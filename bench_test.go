@@ -1,0 +1,340 @@
+package snails
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its table/figure rows once (the paper-shaped output)
+// and reports a headline scalar via b.ReportMetric so regressions in the
+// reproduced shapes are visible in benchmark diffs. The full 503-question
+// sweep is executed once per process and cached, so individual benchmarks
+// measure aggregation cost, not inference cost; BenchmarkFullSweep measures
+// one complete model/variant/question cell end to end.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/token"
+	"github.com/snails-bench/snails/internal/workflow"
+)
+
+var printOnce sync.Map
+
+// printTable emits the table text once per benchmark name.
+func printTable(b *testing.B, name string, write func(io.Writer)) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(name, true); dup {
+		return
+	}
+	fmt.Printf("\n")
+	write(writerFunc(func(p []byte) (int, error) {
+		fmt.Print(string(p))
+		return len(p), nil
+	}))
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func BenchmarkTable1_ExampleIdentifiers(b *testing.B) {
+	printTable(b, "t1", experiments.WriteTable1)
+	for i := 0; i < b.N; i++ {
+		ex := experiments.Table1(5)
+		if len(ex[naturalness.Regular]) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure2_TokenInDictionary(b *testing.B) {
+	printTable(b, "f2", experiments.WriteFigure2)
+	var rows []experiments.Figure2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure2()
+	}
+	b.ReportMetric(rows[0].Mean-rows[2].Mean, "regular-least-gap")
+}
+
+func BenchmarkFigure3_CollectionComparison(b *testing.B) {
+	printTable(b, "f3", experiments.WriteFigure3)
+	var rows []experiments.CollectionRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure3()
+	}
+	b.ReportMetric(rows[0].Combined, "snails-combined")
+}
+
+func BenchmarkSection22_SchemaPileScan(b *testing.B) {
+	printTable(b, "s22", experiments.WriteSection22)
+	var scan experiments.PileScan
+	for i := 0; i < b.N; i++ {
+		scan = experiments.Section22Scan()
+	}
+	b.ReportMetric(scan.LeastHeavyFraction, "least-heavy-frac")
+}
+
+func BenchmarkTable2_DatabaseStats(b *testing.B) {
+	printTable(b, "t2", experiments.WriteTable2)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) != 9 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable3_GoldClauseCounts(b *testing.B) {
+	printTable(b, "t3", experiments.WriteTable3)
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, r := range experiments.Table3() {
+			total += r.Qs
+		}
+	}
+	b.ReportMetric(float64(total), "questions")
+}
+
+func BenchmarkTable4_SBODModules(b *testing.B) {
+	printTable(b, "t4", experiments.WriteTable4)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table4()) != 9 {
+			b.Fatal("table 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure5_NativeNaturalness(b *testing.B) {
+	printTable(b, "f5", experiments.WriteFigure5)
+	var rows []experiments.Figure5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure5()
+	}
+	b.ReportMetric(rows[0].Combined, "asis-combined")
+}
+
+func BenchmarkTable5_ClassifierComparison(b *testing.B) {
+	printTable(b, "t5", experiments.WriteTable5)
+	b.ResetTimer()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5()
+		best = 0
+		for _, r := range rows {
+			if r.Accuracy > best {
+				best = r.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(best, "best-accuracy")
+}
+
+func BenchmarkFigure8_ExecutionAccuracy(b *testing.B) {
+	printTable(b, "f8", experiments.WriteFigure8)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure8()
+	}
+	var reg, least float64
+	for _, r := range rows {
+		if r.Model == "gpt-4o" && r.Variant == schema.VariantRegular {
+			reg = r.Accuracy
+		}
+		if r.Model == "gpt-4o" && r.Variant == schema.VariantLeast {
+			least = r.Accuracy
+		}
+	}
+	b.ReportMetric(reg-least, "gpt4o-reg-least-gap")
+}
+
+func BenchmarkFigure9_IdentifierRecall(b *testing.B) {
+	printTable(b, "f9", experiments.WriteFigure9)
+	var rows []experiments.IdentifierRecallRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure9()
+	}
+	b.ReportMetric(rows[0].Recall, "first-recall")
+}
+
+func BenchmarkFigure10_QueryRecall(b *testing.B) {
+	printTable(b, "f10", experiments.WriteFigure10)
+	var rows []experiments.LinkingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure10()
+	}
+	b.ReportMetric(rows[0].Recall, "first-recall")
+}
+
+func BenchmarkFigure11_DrillDown(b *testing.B) {
+	printTable(b, "f11", experiments.WriteFigure11)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure11("NTSB", "PILB", "SBOD")) == 0 {
+			b.Fatal("empty drilldown")
+		}
+	}
+}
+
+func BenchmarkFigure12_SchemaSubsetting(b *testing.B) {
+	printTable(b, "f12", experiments.WriteFigure12)
+	var rows []experiments.SubsetRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure12()
+	}
+	b.ReportMetric(rows[0].F1, "first-f1")
+}
+
+func BenchmarkFigure13_SpiderModified(b *testing.B) {
+	printTable(b, "f13", experiments.WriteFigure13)
+	var rows []experiments.SpiderRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure13()
+	}
+	b.ReportMetric(rows[0].Accuracy, "first-accuracy")
+}
+
+func BenchmarkFigure26_CharCountCDF(b *testing.B) {
+	printTable(b, "f26", experiments.WriteFigure26)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure26()) != 3 {
+			b.Fatal("figure 26 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure27_TokenCountCDF(b *testing.B) {
+	printTable(b, "f27", experiments.WriteFigure27)
+	for i := 0; i < b.N; i++ {
+		for _, m := range token.ModelNames() {
+			if len(experiments.Figure27(m)) != 3 {
+				b.Fatal("figure 27 incomplete")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure28_TCR(b *testing.B) {
+	printTable(b, "f28", experiments.WriteFigure28)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure28()) != 9 {
+			b.Fatal("figure 28 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure30_AccuracyGrid(b *testing.B) {
+	printTable(b, "f30", experiments.WriteFigure30)
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure30()) != 9*6*4 {
+			b.Fatal("grid incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure31_TCRRecallTau(b *testing.B) {
+	spec := experiments.Catalog()[0]
+	printTable(b, "f31", func(w io.Writer) {
+		fmt.Fprintf(w, "=== Figure %s: %s ===\n", spec.Figure, spec.Caption)
+		for _, r := range experiments.Correlate(spec.F, spec.O, spec.Scope) {
+			fmt.Fprintf(w, "%-24s tau=%.4f p=%.2e n=%d\n", r.Model, r.Tau, r.P, r.N)
+		}
+	})
+	var rows []experiments.TauRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Correlate(spec.F, spec.O, spec.Scope)
+	}
+	b.ReportMetric(rows[0].Tau, "first-tau")
+}
+
+func BenchmarkFigure32to34_NaturalnessLinkingTau(b *testing.B) {
+	benchCorrelationRange(b, "f32-34", 2, 8)
+}
+
+func BenchmarkFigure35to43_ProportionLinkingTau(b *testing.B) {
+	benchCorrelationRange(b, "f35-43", 8, 26)
+}
+
+func BenchmarkFigure44to47_AccuracyTau(b *testing.B) {
+	benchCorrelationRange(b, "f44-47", 26, 34)
+}
+
+func benchCorrelationRange(b *testing.B, key string, lo, hi int) {
+	b.Helper()
+	specs := experiments.Catalog()[lo:hi]
+	printTable(b, key, func(w io.Writer) {
+		for _, spec := range specs {
+			fmt.Fprintf(w, "=== Figure %s: %s ===\n", spec.Figure, spec.Caption)
+			for _, r := range experiments.Correlate(spec.F, spec.O, spec.Scope) {
+				fmt.Fprintf(w, "%-24s tau=%.4f p=%.2e n=%d\n", r.Model, r.Tau, r.P, r.N)
+			}
+		}
+	})
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if len(experiments.Correlate(spec.F, spec.O, spec.Scope)) != 6 {
+				b.Fatal("correlation table incomplete")
+			}
+		}
+	}
+}
+
+func BenchmarkSection6_NaturalViews(b *testing.B) {
+	db, _ := datasets.Get("SBOD")
+	printTable(b, "s6", func(w io.Writer) {
+		views := workflow.NaturalViews(db.Schema)
+		fmt.Fprintf(w, "=== Section 6: natural views (SBOD, %d views; first shown) ===\n%s\n", len(views), views[0])
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(workflow.NaturalViews(db.Schema)) != len(db.Schema.Tables) {
+			b.Fatal("view count mismatch")
+		}
+	}
+}
+
+// BenchmarkFullSweep measures the cost of one end-to-end benchmark cell:
+// prompt rendering, inference, denaturalization, execution and scoring.
+func BenchmarkFullSweep(b *testing.B) {
+	db, _ := datasets.Get("CWO")
+	qs := nlq.Generate(db)
+	p, _ := llm.ProfileByName("gpt-4o")
+	m := llm.New(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		out := workflow.Run(workflow.RunInput{
+			B: db, Q: q, Variant: schema.Variants[i%4], Model: m,
+		})
+		_ = out
+	}
+}
+
+func BenchmarkFigures48to51_LinkingBoxStats(b *testing.B) {
+	printTable(b, "f48-51", experiments.WriteFigures48to51)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure11()
+		if len(rows) != 9*6*4 {
+			b.Fatalf("box-stat rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	printTable(b, "ablations", experiments.WriteAblations)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationGate("ATBI", "gpt-4o")
+		if len(rows) != 8 {
+			b.Fatal("ablation rows missing")
+		}
+	}
+}

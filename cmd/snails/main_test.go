@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	ok := [][]string{
+		{"dbs"},
+		{"help"},
+		{"info", "CWO"},
+		{"classify", "VgHt", "vegetation_height"},
+		{"crosswalk", "CWO", "5"},
+		{"views", "CWO"},
+		{"questions", "CWO", "3"},
+		{"sql", "CWO", "SELECT", "COUNT(*)", "FROM", "species"},
+	}
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := [][]string{
+		{"bogus"},
+		{"info"},
+		{"info", "NOPE"},
+		{"classify"},
+		{"ask", "CWO"},
+		{"ask", "CWO", "gpt-4o", "zero"},
+		{"ask", "CWO", "gpt-4o", "abc"},
+		{"ask", "CWO", "gpt-4o", "1", "weird-variant"},
+		{"ask", "CWO", "bogus-model", "1"},
+		{"sql", "CWO"},
+		{"sql", "CWO", "NOT", "SQL"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+	// No arguments prints usage without error.
+	if err := run(nil); err != nil {
+		t.Errorf("run(nil): %v", err)
+	}
+}
+
+func TestAskCommand(t *testing.T) {
+	for _, variant := range []string{"", "native", "regular", "low", "least"} {
+		args := []string{"ask", "CWO", "gpt-4o", "1"}
+		if variant != "" {
+			args = append(args, variant)
+		}
+		if err := run(args); err != nil {
+			t.Errorf("ask with variant %q: %v", variant, err)
+		}
+	}
+}
+
+func TestSummaryLike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary runs the full sweep")
+	}
+	if err := run([]string{"summary"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssessAndExpand(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ids.txt"
+	if err := os.WriteFile(path, []byte("# comment\nVgHt\nvegetation_height\nSpCd\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"assess", path}); err != nil {
+		t.Errorf("assess: %v", err)
+	}
+	if err := run([]string{"assess", dir + "/missing.txt"}); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := dir + "/empty.txt"
+	if err := os.WriteFile(empty, []byte("\n# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"assess", empty}); err == nil {
+		t.Error("no identifiers should error")
+	}
+	if err := run([]string{"expand", "VegHt"}); err != nil {
+		t.Errorf("expand: %v", err)
+	}
+	if err := run([]string{"expand"}); err == nil {
+		t.Error("expand without identifier should error")
+	}
+}

@@ -1,0 +1,40 @@
+// Command snailsbench regenerates every table and figure of the SNAILS
+// paper's evaluation section and prints them in paper order. With -out it
+// writes the report to a file instead of stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/snails-bench/snails/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	summary := flag.Bool("summary", false, "print only the headline digest")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snailsbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	start := time.Now()
+	if *summary {
+		fmt.Fprint(w, experiments.Summary())
+	} else {
+		experiments.Report(w)
+	}
+	fmt.Fprintf(w, "\n(report generated in %s)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,43 @@
+package snails_test
+
+import (
+	"fmt"
+
+	snails "github.com/snails-bench/snails"
+)
+
+// Classify a handful of identifiers with the bundled classifier.
+func ExampleDefaultClassifier() {
+	c := snails.DefaultClassifier()
+	for _, id := range []string{"vegetation_height", "VgHt"} {
+		fmt.Println(id, "->", c.Classify(id))
+	}
+	// Output:
+	// vegetation_height -> Regular
+	// VgHt -> Least
+}
+
+// Lower a concept's naturalness with the Artifact 5 abbreviator.
+func ExampleAbbreviate() {
+	fmt.Println(snails.Abbreviate([]string{"water", "temperature"}, snails.Least))
+	// Output:
+	// WrTmr
+}
+
+// Compute the combined naturalness score (equation 5 of the paper).
+func ExampleCombined() {
+	fmt.Printf("%.2f\n", snails.Combined(6, 3, 1))
+	// Output:
+	// 0.75
+}
+
+// Map a native identifier through the crosswalk and back.
+func ExampleDatabase_Rename() {
+	db, _ := snails.Open("ATBI")
+	id := db.Identifiers()[0]
+	least := db.Rename(id, snails.VariantLeast)
+	back := db.ToNative(least, snails.VariantLeast)
+	fmt.Println(back == id)
+	// Output:
+	// true
+}

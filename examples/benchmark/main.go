@@ -1,0 +1,56 @@
+// Benchmark: a condensed Figure 8/10 sweep — every model over one natural
+// (PILB) and one unnatural (SBOD) database at all four schema variants,
+// reporting execution accuracy and QueryRecall side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snails "github.com/snails-bench/snails"
+)
+
+func main() {
+	variants := []snails.Variant{
+		snails.VariantNative, snails.VariantRegular, snails.VariantLow, snails.VariantLeast,
+	}
+	for _, name := range []string{"PILB", "SBOD"} {
+		db, err := snails.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		questions := db.Questions()
+		if len(questions) > 30 {
+			questions = questions[:30]
+		}
+		fmt.Printf("\n=== %s (combined naturalness %.2f, %d questions) ===\n",
+			db.Name(), db.CombinedNaturalness(), len(questions))
+		fmt.Printf("%-24s %-8s %10s %10s\n", "model", "variant", "accuracy", "recall")
+		for _, model := range snails.Models() {
+			for _, v := range variants {
+				correct, valid := 0, 0
+				var recall float64
+				for _, q := range questions {
+					inf, err := db.Ask(model, q, v)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if inf.ExecCorrect {
+						correct++
+					}
+					if inf.Valid {
+						recall += inf.Recall
+						valid++
+					}
+				}
+				meanRecall := 0.0
+				if valid > 0 {
+					meanRecall = recall / float64(valid)
+				}
+				fmt.Printf("%-24s %-8v %10.2f %10.2f\n",
+					model, v, float64(correct)/float64(len(questions)), meanRecall)
+			}
+		}
+	}
+	fmt.Println("\nfor the full 503-question study across all 9 databases, run: go run ./cmd/snailsbench")
+}

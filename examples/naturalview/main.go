@@ -1,0 +1,76 @@
+// Natural views: the section-6 workflow for a database whose identifiers
+// cannot be renamed (existing integrations depend on them). The schema is
+// classified, Low/Least identifiers are mapped to Regular forms via the
+// crosswalk, and CREATE VIEW DDL exposes the whole schema at Regular
+// naturalness under a db_nl schema — the base dbo schema stays untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	snails "github.com/snails-bench/snails"
+)
+
+func main() {
+	// SBOD is the least natural database in the collection — the motivating
+	// case for natural views (OHEM-style ERP codes everywhere).
+	db, err := snails.Open("SBOD")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clf := snails.DefaultClassifier()
+	needRename := 0
+	for _, id := range db.Identifiers() {
+		if clf.Classify(id) != snails.Regular {
+			needRename++
+		}
+	}
+	fmt.Printf("%s: %d of %d identifiers are Low/Least naturalness\n",
+		db.Name(), needRename, len(db.Identifiers()))
+
+	// Generate the natural-view DDL. Each view maps the Regular
+	// representation of a table and its columns onto the native names.
+	views := db.NaturalViews()
+	fmt.Printf("generated %d natural views; the first one:\n\n%s\n\n", len(views), views[0])
+
+	// The LLM-facing workflow then reads schema knowledge from the natural
+	// view layer while generated queries still resolve to native tables:
+	regularSchema := db.SchemaKnowledge(snails.VariantRegular)
+	lines := strings.SplitN(regularSchema, "\n", 3)
+	fmt.Println("LLM-facing schema knowledge (first two tables):")
+	fmt.Println(lines[0])
+	fmt.Println(lines[1])
+
+	// Install the views on the in-memory instance and query one directly:
+	// the whole point of the workflow is that natural-language-friendly SQL
+	// runs without touching the native schema.
+	viewNames := db.InstallNaturalViews()
+	fmt.Printf("\ninstalled %d views; querying %s directly:\n", len(viewNames), viewNames[0])
+	res, err := db.Execute("SELECT COUNT(*) FROM " + viewNames[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s -> %s rows counted\n", viewNames[0], res.Row(0)[0])
+
+	// A query written against the natural representation also denaturalizes
+	// to the native schema for execution (the middleware direction).
+	q := db.Questions()[0]
+	natural, err := db.NaturalizeQuery(q.Gold, snails.VariantRegular)
+	if err != nil {
+		log.Fatal(err)
+	}
+	native, err := db.DenaturalizeQuery(natural, snails.VariantRegular)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnatural query:  %s\n", natural)
+	fmt.Printf("native query:   %s\n", native)
+	res, err = db.Execute(native)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed on the native schema: %d rows\n", res.NumRows())
+}

@@ -1,0 +1,3 @@
+module github.com/snails-bench/snails
+
+go 1.22

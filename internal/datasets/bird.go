@@ -1,0 +1,125 @@
+package datasets
+
+import (
+	"sync"
+
+	"github.com/snails-bench/snails/internal/ident"
+	nat "github.com/snails-bench/snails/internal/naturalness"
+)
+
+// BIRD-like collection: larger, multi-domain, highly natural databases in
+// the style of the BIRD benchmark (95 large databases over 37 domains). Like
+// Spider it is far more natural than real-world corpora — the Figure 3/23
+// comparison point. Identifiers lean natural but include the occasional
+// abbreviation BIRD's bigger schemas carry.
+
+var (
+	birdOnce sync.Once
+	birdDBs  []*Built
+)
+
+// BirdDev returns the BIRD-like development collection.
+func BirdDev() []*Built {
+	birdOnce.Do(func() {
+		birdDBs = []*Built{buildBirdFinancial(), buildBirdSchools(), buildBirdHockey()}
+	})
+	return birdDBs
+}
+
+func buildBirdFinancial() *Built {
+	return Build(Spec{
+		Name:  "bird_financial",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("account", nat.Regular, 40, "account"),
+				col(nat.Regular, KID, "account", "id"),
+				colPool(nat.Regular, poolRegions, "district"),
+				colPool(nat.Low, []string{"monthly", "weekly", "after transaction"}, "statement", "frequency"),
+				col(nat.Regular, KDate, "creation", "date"),
+			),
+			with(tbl("loan", nat.Regular, 60, "loan"),
+				col(nat.Regular, KID, "loan", "id"),
+				fk(nat.Regular, "account", "account", "id"),
+				col(nat.Regular, KMeasure, "amount"),
+				col(nat.Regular, KCount, "duration"),
+				colPool(nat.Regular, []string{"active", "finished", "default"}, "status"),
+			),
+			with(tbl("transactions", nat.Regular, 200, "transactions"),
+				col(nat.Regular, KID, "transaction", "id"),
+				fk(nat.Regular, "account", "account", "id"),
+				col(nat.Regular, KDate, "transaction", "date"),
+				col(nat.Regular, KMeasure, "amount"),
+				colPool(nat.Low, []string{"credit", "withdrawal"}, "operation", "type"),
+			),
+		},
+		PadTables: 5, PadMinCols: 5, PadMaxCols: 8,
+		PadNouns:       erpNouns,
+		PadQualifiers:  erpQualifiers,
+		Mix:            LevelMix{0.88, 0.10, 0.02},
+		QuestionTarget: 12,
+	})
+}
+
+func buildBirdSchools() *Built {
+	return Build(Spec{
+		Name:  "bird_california_schools",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("schools", nat.Regular, 50, "schools"),
+				col(nat.Regular, KID, "school", "id"),
+				col(nat.Regular, KName, "school", "name"),
+				colPool(nat.Regular, poolRegions, "county"),
+				colPool(nat.Regular, []string{"elementary", "middle", "high"}, "school", "type"),
+			),
+			with(tbl("scores", nat.Regular, 140, "satscores"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "schools", "school", "id"),
+				col(nat.Low, KCount, "average", "reading", "score"),
+				col(nat.Low, KCount, "average", "math", "score"),
+				col(nat.Regular, KCount, "test", "takers"),
+			),
+		},
+		PadTables: 4, PadMinCols: 6, PadMaxCols: 9,
+		PadNouns: []string{
+			"district", "program", "grade", "meal", "budget", "enrollment",
+			"teacher", "calendar", "facility", "zone",
+		},
+		PadQualifiers:  []string{"annual", "federal", "state", "charter", "magnet"},
+		Mix:            LevelMix{0.88, 0.10, 0.02},
+		QuestionTarget: 12,
+	})
+}
+
+func buildBirdHockey() *Built {
+	return Build(Spec{
+		Name:  "bird_hockey",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("teams", nat.Regular, 16, "teams"),
+				col(nat.Regular, KID, "team", "id"),
+				col(nat.Regular, KName, "team", "name"),
+				colPool(nat.Regular, poolRegions, "division"),
+			),
+			with(tbl("players", nat.Regular, 80, "players"),
+				col(nat.Regular, KID, "player", "id"),
+				fk(nat.Regular, "teams", "team", "id"),
+				col(nat.Regular, KName, "last", "name"),
+				colPool(nat.Regular, []string{"center", "wing", "defense", "goalie"}, "position"),
+				col(nat.Regular, KCount, "games", "played"),
+			),
+			with(tbl("goals", nat.Regular, 220, "goals"),
+				col(nat.Regular, KID, "goal", "id"),
+				fk(nat.Regular, "players", "player", "id"),
+				col(nat.Regular, KYear, "season"),
+				col(nat.Low, KCount, "goals", "scored"),
+			),
+		},
+		PadTables: 4, PadMinCols: 5, PadMaxCols: 8,
+		PadNouns: []string{
+			"coach", "arena", "penalty", "draft", "award", "series", "shift",
+		},
+		PadQualifiers:  []string{"regular", "playoff", "rookie", "career"},
+		Mix:            LevelMix{0.88, 0.10, 0.02},
+		QuestionTarget: 12,
+	})
+}

@@ -1,0 +1,324 @@
+package datasets
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+func TestAllDatabasesBuild(t *testing.T) {
+	dbs := All()
+	if len(dbs) != 9 {
+		t.Fatalf("want 9 databases, got %d", len(dbs))
+	}
+	for _, b := range dbs {
+		if b.Schema == nil || b.Instance == nil {
+			t.Fatalf("%s: missing schema or instance", b.Name)
+		}
+		if len(b.CoreTables) == 0 {
+			t.Errorf("%s: no core tables", b.Name)
+		}
+	}
+}
+
+// Table 2 shape: table and column counts should land near the paper's.
+func TestTable2Counts(t *testing.T) {
+	want := map[string]struct{ tables, cols int }{
+		"ASIS":  {36, 245},
+		"ATBI":  {28, 192},
+		"CWO":   {13, 71},
+		"KIS":   {18, 157},
+		"NPFM":  {27, 190},
+		"NTSB":  {40, 1611},
+		"NYSED": {27, 423},
+		"PILB":  {21, 196},
+		"SBOD":  {416, 10460}, // module-pruned scale (Table 4 totals)
+	}
+	for _, b := range All() {
+		w := want[b.Name]
+		gotT := len(b.Schema.Tables)
+		gotC := b.Schema.NumColumns()
+		if relErr(gotT, w.tables) > 0.15 {
+			t.Errorf("%s: %d tables, want ~%d", b.Name, gotT, w.tables)
+		}
+		if relErr(gotC, w.cols) > 0.25 {
+			t.Errorf("%s: %d columns, want ~%d", b.Name, gotC, w.cols)
+		}
+	}
+}
+
+func relErr(got, want int) float64 {
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+// Figure 5 shape: combined naturalness per database should land near the
+// paper's reported scores.
+func TestFigure5CombinedNaturalness(t *testing.T) {
+	want := map[string]float64{
+		"ASIS": 0.77, "ATBI": 0.70, "CWO": 0.84, "KIS": 0.79, "NPFM": 0.70,
+		"NTSB": 0.59, "NYSED": 0.68, "PILB": 0.75, "SBOD": 0.49,
+	}
+	for _, b := range All() {
+		got := b.Schema.CombinedNaturalness()
+		if math.Abs(got-want[b.Name]) > 0.06 {
+			t.Errorf("%s: combined naturalness %.3f, want ~%.2f", b.Name, got, want[b.Name])
+		}
+	}
+}
+
+func TestCoreTablesPopulated(t *testing.T) {
+	for _, b := range All() {
+		for _, name := range b.CoreTables {
+			td, ok := b.Instance.Table(name)
+			if !ok {
+				t.Fatalf("%s: core table %q missing from instance", b.Name, name)
+			}
+			if td.NumRows() == 0 {
+				t.Errorf("%s: core table %q has no rows", b.Name, name)
+			}
+		}
+	}
+}
+
+func TestInstanceMatchesSchema(t *testing.T) {
+	for _, b := range All() {
+		for _, st := range b.Schema.Tables {
+			td, ok := b.Instance.Table(st.Name)
+			if !ok {
+				t.Fatalf("%s: schema table %q missing from instance catalog", b.Name, st.Name)
+			}
+			if len(td.Columns) != len(st.Columns) {
+				t.Errorf("%s.%s: %d instance cols vs %d schema cols", b.Name, st.Name, len(td.Columns), len(st.Columns))
+			}
+		}
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	for _, b := range All() {
+		for _, st := range b.Schema.Tables {
+			for _, c := range st.Columns {
+				if c.Ref == nil {
+					continue
+				}
+				rt, ok := b.Schema.Table(c.Ref.Table)
+				if !ok {
+					t.Errorf("%s: FK %s.%s references missing table %q", b.Name, st.Name, c.Name, c.Ref.Table)
+					continue
+				}
+				if _, ok := rt.Column(c.Ref.Column); !ok {
+					t.Errorf("%s: FK %s.%s references missing column %s.%s", b.Name, st.Name, c.Name, rt.Name, c.Ref.Column)
+				}
+			}
+		}
+	}
+}
+
+func TestFKValuesExistInParent(t *testing.T) {
+	// Referential integrity of populated rows.
+	for _, b := range All() {
+		for _, st := range b.Schema.Tables {
+			td, _ := b.Instance.Table(st.Name)
+			if td.NumRows() == 0 {
+				continue
+			}
+			for ci, c := range st.Columns {
+				if c.Ref == nil {
+					continue
+				}
+				parent, _ := b.Instance.Table(c.Ref.Table)
+				pi, _ := parent.ColumnIndex(c.Ref.Column)
+				valid := map[string]bool{}
+				for _, pr := range parent.Rows {
+					valid[pr[pi].String()] = true
+				}
+				for _, r := range td.Rows {
+					if r[ci].IsNull() {
+						continue
+					}
+					if !valid[r[ci].String()] {
+						t.Errorf("%s: dangling FK %s.%s = %v", b.Name, st.Name, c.Name, r[ci])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrosswalkCoversAllIdentifiers(t *testing.T) {
+	for _, b := range All() {
+		for _, id := range b.Schema.Identifiers() {
+			e, ok := b.Schema.Crosswalk.Lookup(id)
+			if !ok {
+				t.Fatalf("%s: identifier %q missing from crosswalk", b.Name, id)
+			}
+			if e.Forms[e.NativeLevel] != id {
+				t.Errorf("%s: native %q does not map to itself at %v: %q", b.Name, id, e.NativeLevel, e.Forms[e.NativeLevel])
+			}
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := buildCWO()
+	b := buildCWO()
+	if a.Schema.NumColumns() != b.Schema.NumColumns() {
+		t.Fatal("rebuild changed column count")
+	}
+	for i, ta := range a.Schema.Tables {
+		tb := b.Schema.Tables[i]
+		if ta.Name != tb.Name {
+			t.Fatalf("table %d name differs: %q vs %q", i, ta.Name, tb.Name)
+		}
+	}
+	ia, _ := a.Instance.Table(a.CoreTables[0])
+	ib, _ := b.Instance.Table(b.CoreTables[0])
+	if ia.NumRows() != ib.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for ri := range ia.Rows {
+		for ci := range ia.Rows[ri] {
+			if ia.Rows[ri][ci].String() != ib.Rows[ri][ci].String() {
+				t.Fatalf("row %d col %d differs", ri, ci)
+			}
+		}
+	}
+}
+
+func TestSBODModules(t *testing.T) {
+	b, ok := Get("SBOD")
+	if !ok {
+		t.Fatal("SBOD missing")
+	}
+	mods := b.ModuleNames()
+	if len(mods) != 9 {
+		t.Fatalf("SBOD should have 9 modules, got %v", mods)
+	}
+	// The paper prompts one module at a time; each module's schema
+	// knowledge must be far smaller than the whole database's.
+	whole := b.Schema.TokenEstimate(schema.PromptOptions{Variant: schema.VariantNative})
+	hr := b.Schema.TokenEstimate(schema.PromptOptions{Variant: schema.VariantNative, Tables: b.Modules["Human Resources"]})
+	if hr*5 > whole {
+		t.Errorf("module prompt should be much smaller: module=%d whole=%d", hr, whole)
+	}
+	if b.ModuleOf(b.TableName("employees")) != "Human Resources" {
+		t.Errorf("employees module = %q", b.ModuleOf(b.TableName("employees")))
+	}
+}
+
+func TestNTSBCompositeKeyShape(t *testing.T) {
+	b, _ := Get("NTSB")
+	crash, _ := b.Schema.Table(b.TableName("crash"))
+	vehicle, _ := b.Schema.Table(b.TableName("vehicle"))
+	shared := 0
+	for _, cc := range crash.Columns {
+		if _, ok := vehicle.Column(cc.Name); ok {
+			shared++
+		}
+	}
+	if shared < 2 {
+		t.Errorf("NTSB crash/vehicle must share >= 2 columns for composite joins, got %d", shared)
+	}
+}
+
+func TestQuestionTargetsSumTo503(t *testing.T) {
+	total := 0
+	for _, b := range All() {
+		total += b.QuestionTarget
+	}
+	if total != 503 {
+		t.Errorf("question targets sum to %d, want 503", total)
+	}
+}
+
+func TestLabeledCollections(t *testing.T) {
+	c2 := Collection2()
+	if len(c2) < 5000 {
+		t.Fatalf("Collection 2 too small: %d", len(c2))
+	}
+	c1 := Collection1()
+	if len(c1) < 800 || len(c1) > 1648 {
+		t.Fatalf("Collection 1 size out of band: %d", len(c1))
+	}
+	// All three levels must be represented in both collections.
+	for _, coll := range [][]naturalness.Labeled{c1, c2} {
+		counts := map[naturalness.Level]int{}
+		for _, ex := range coll {
+			counts[ex.Level]++
+		}
+		for _, l := range naturalness.Levels {
+			if counts[l] == 0 {
+				t.Errorf("collection missing level %v", l)
+			}
+		}
+	}
+	// No duplicate identifiers in Collection 2.
+	seen := map[string]bool{}
+	for _, ex := range c2 {
+		key := strings.ToUpper(ex.Identifier)
+		if seen[key] {
+			t.Fatalf("duplicate identifier in Collection 2: %q", ex.Identifier)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSchemaPileDistribution(t *testing.T) {
+	pile := SchemaPile()
+	if len(pile) != 2000 {
+		t.Fatalf("pile size = %d", len(pile))
+	}
+	leastHeavy := 0
+	lowCombined := 0
+	for i := range pile {
+		if pile[i].LeastFraction() >= 0.10 {
+			leastHeavy++
+		}
+		if pile[i].Combined() <= 0.7 {
+			lowCombined++
+		}
+	}
+	fLeast := float64(leastHeavy) / float64(len(pile))
+	fLow := float64(lowCombined) / float64(len(pile))
+	// Paper: ~32% of schemas have >=10% Least; >5k/22k (~23%) score <=0.7.
+	if fLeast < 0.2 || fLeast > 0.45 {
+		t.Errorf("least-heavy fraction %.2f outside the SchemaPile band", fLeast)
+	}
+	if fLow < 0.12 || fLow > 0.4 {
+		t.Errorf("low-combined fraction %.2f outside the SchemaPile band", fLow)
+	}
+}
+
+func TestSpiderCollectionHighlyNatural(t *testing.T) {
+	for _, b := range SpiderDev() {
+		c := b.Schema.CombinedNaturalness()
+		if c < 0.9 {
+			t.Errorf("%s: spider-like schema should be highly natural, got %.2f", b.Name, c)
+		}
+		if len(b.CoreTables) == 0 {
+			t.Errorf("%s: no core tables", b.Name)
+		}
+	}
+}
+
+func TestMixSequence(t *testing.T) {
+	mix := LevelMix{0.5, 0.3, 0.2}
+	seq := mix.sequence(100)
+	counts := map[naturalness.Level]int{}
+	for _, l := range seq {
+		counts[l]++
+	}
+	if counts[naturalness.Regular] != 50 || counts[naturalness.Low] != 30 || counts[naturalness.Least] != 20 {
+		t.Errorf("sequence counts off: %v", counts)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("NOPE"); ok {
+		t.Error("unknown database should not resolve")
+	}
+}

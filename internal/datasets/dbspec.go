@@ -1,0 +1,190 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// ValueKind tells the populator what a column stores.
+type ValueKind int
+
+const (
+	KID       ValueKind = iota // surrogate key, sequential
+	KFK                        // foreign key into Ref's id column
+	KCategory                  // small categorical string domain (good GROUP BY target)
+	KName                      // high-cardinality descriptive string
+	KCount                     // small non-negative integer
+	KMeasure                   // float measurement
+	KDate                      // ISO date within a range
+	KYear                      // integer year
+	KFlag                      // 0/1
+	KText                      // free text
+)
+
+// C is a column specification.
+type C struct {
+	Words []string
+	Level naturalness.Level
+	Kind  ValueKind
+	Pool  []string // category pool override for KCategory
+	Ref   string   // table key for KFK
+}
+
+// T is a table specification.
+type T struct {
+	Key    string // stable key for FK references and question generation
+	Module string // SBOD-style module assignment ("" for single-module DBs)
+	Words  []string
+	Level  naturalness.Level
+	Rows   int
+	Cols   []C
+}
+
+// Spec describes one SNAILS database.
+type Spec struct {
+	Name  string
+	Style ident.CaseStyle
+	// Core tables carry data and receive NL questions.
+	Core []T
+	// PadTables / PadMinCols / PadMaxCols grow the schema to the paper's
+	// Table 2 counts with empty auxiliary tables (excluded from questions
+	// the same way the paper prunes zero-cardinality SBOD tables).
+	PadTables     int
+	PadMinCols    int
+	PadMaxCols    int
+	PadNouns      []string
+	PadQualifiers []string
+	// Pads lists module-scoped padding groups (used by SBOD; overrides the
+	// single-group fields above when non-empty).
+	Pads           []PadGroup
+	Mix            LevelMix
+	QuestionTarget int // number of NL-SQL pairs to generate (Table 2)
+}
+
+// Built is a fully constructed database: schema, instance, and bookkeeping.
+type Built struct {
+	Name     string
+	Schema   *schema.Database
+	Instance *sqldb.DB
+	// CoreTables lists native names of populated (question-eligible) tables.
+	CoreTables []string
+	// Modules maps a module name to the native table names it contains.
+	// Single-module databases use the "" module.
+	Modules map[string][]string
+	// idOf maps spec keys to native table names.
+	idOf map[string]string
+	// QuestionTarget is the Artifact 6 question count for this database.
+	QuestionTarget int
+}
+
+// TableName resolves a spec key to the built native table name.
+func (b *Built) TableName(key string) string { return b.idOf[key] }
+
+// Build constructs the schema and populated instance from the spec.
+func Build(spec Spec) *Built {
+	sb := schema.NewBuilder(spec.Name, spec.Style)
+	built := &Built{
+		Name:           spec.Name,
+		idOf:           map[string]string{},
+		Modules:        map[string][]string{},
+		QuestionTarget: spec.QuestionTarget,
+	}
+
+	type pendingFK struct {
+		table, col string // native names
+		refKey     string
+	}
+	var fks []pendingFK
+	idColOf := map[string]string{} // spec key -> native id column name
+
+	for _, ts := range spec.Core {
+		tb := sb.AddTable(ts.Level, ts.Words...)
+		built.idOf[ts.Key] = tb.Table().Name
+		built.CoreTables = append(built.CoreTables, tb.Table().Name)
+		built.Modules[ts.Module] = append(built.Modules[ts.Module], tb.Table().Name)
+		for _, cs := range ts.Cols {
+			var col *schema.Column
+			switch cs.Kind {
+			case KID:
+				col = tb.PK(cs.Level, cs.Words...)
+				idColOf[ts.Key] = col.Name
+			case KFK:
+				col = tb.Col(cs.Level, schema.TypeInt, cs.Words...)
+				fks = append(fks, pendingFK{table: tb.Table().Name, col: col.Name, refKey: cs.Ref})
+			default:
+				col = tb.Col(cs.Level, typeForKind(cs.Kind), cs.Words...)
+			}
+			_ = col
+		}
+	}
+	// Resolve FK targets now that all core tables exist.
+	db := sb.Database()
+	for _, fk := range fks {
+		t, _ := db.Table(fk.table)
+		c, _ := t.Column(fk.col)
+		refTable := built.idOf[fk.refKey]
+		refCol := idColOf[fk.refKey]
+		if refTable == "" || refCol == "" {
+			panic(fmt.Sprintf("datasets: %s.%s references unknown table key %q", fk.table, fk.col, fk.refKey))
+		}
+		c.Ref = &schema.ColumnRef{Table: refTable, Column: refCol}
+	}
+
+	// Padding tables: empty auxiliary tables at the target naturalness mix.
+	groups := spec.Pads
+	if len(groups) == 0 && spec.PadTables > 0 {
+		groups = []PadGroup{{
+			Tables: spec.PadTables, MinCols: spec.PadMinCols, MaxCols: spec.PadMaxCols,
+			Nouns: spec.PadNouns, Qualifiers: spec.PadQualifiers,
+		}}
+	}
+	for gi, g := range groups {
+		pool := newConceptPool(fmt.Sprintf("%s/%s/%d", spec.Name, g.Module, gi), g.Nouns, g.Qualifiers)
+		r := newRNG(hashSeed("pad", spec.Name, g.Module))
+		levels := spec.Mix.sequence(g.Tables * (1 + g.MaxCols))
+		li := 0
+		nextLevel := func() naturalness.Level {
+			l := levels[li%len(levels)]
+			li++
+			return l
+		}
+		for i := 0; i < g.Tables; i++ {
+			tb := sb.AddTable(nextLevel(), pool.concept()...)
+			built.Modules[g.Module] = append(built.Modules[g.Module], tb.Table().Name)
+			ncols := g.MinCols
+			if g.MaxCols > g.MinCols {
+				ncols += r.intn(g.MaxCols - g.MinCols + 1)
+			}
+			tb.PK(naturalness.Regular, append(tb.Table().Concept, "id")...)
+			for j := 1; j < ncols; j++ {
+				tb.Col(nextLevel(), typeForKind(padKind(r)), pool.concept()...)
+			}
+		}
+	}
+
+	built.Schema = db
+	built.Instance = populate(spec, built)
+	return built
+}
+
+func typeForKind(k ValueKind) schema.ColType {
+	switch k {
+	case KID, KFK, KCount, KYear, KFlag:
+		return schema.TypeInt
+	case KMeasure:
+		return schema.TypeFloat
+	case KDate:
+		return schema.TypeDate
+	default:
+		return schema.TypeText
+	}
+}
+
+func padKind(r *rng) ValueKind {
+	kinds := []ValueKind{KCategory, KName, KCount, KMeasure, KDate, KFlag, KText}
+	return kinds[r.intn(len(kinds))]
+}

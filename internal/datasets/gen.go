@@ -1,0 +1,171 @@
+// Package datasets builds the SNAILS benchmark collections as deterministic
+// synthetic equivalents of the paper's artifacts: the 9 real-world database
+// schemas with populated instances (Artifact 1), the labeled identifier
+// corpus (Artifact 2), and the SchemaPile-like and Spider-like comparison
+// collections used by Figures 3 and 13.
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+// rng is a deterministic splitmix64 stream.
+type rng uint64
+
+func newRNG(seed uint64) *rng { r := rng(seed); return &r }
+
+func (s *rng) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (s *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (s *rng) float() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// pick selects one element.
+func pick[T any](s *rng, items []T) T {
+	return items[s.intn(len(items))]
+}
+
+// hashSeed derives a stable seed from a path of strings.
+func hashSeed(parts ...string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 0x100000001b3
+		}
+		h ^= 0x1f
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// LevelMix is a target distribution over naturalness levels.
+type LevelMix struct {
+	Regular, Low, Least float64
+}
+
+// Combined returns the equation-5 combined naturalness of the mix.
+func (m LevelMix) Combined() float64 { return m.Regular + 0.5*m.Low }
+
+// sequence returns n levels matching the mix as closely as possible, in a
+// deterministic interleaved order (largest remainder assignment).
+func (m LevelMix) sequence(n int) []naturalness.Level {
+	nr := int(m.Regular*float64(n) + 0.5)
+	nl := int(m.Low*float64(n) + 0.5)
+	if nr+nl > n {
+		nl = n - nr
+	}
+	ne := n - nr - nl
+	out := make([]naturalness.Level, 0, n)
+	// Interleave deterministically so every table sees a mix.
+	cr, cl, ce := nr, nl, ne
+	for len(out) < n {
+		switch {
+		case cr > 0 && cr*ne >= ce*nr && cr*nl >= cl*nr:
+			out = append(out, naturalness.Regular)
+			cr--
+		case cl > 0 && cl*ne >= ce*nl:
+			out = append(out, naturalness.Low)
+			cl--
+		case ce > 0:
+			out = append(out, naturalness.Least)
+			ce--
+		case cr > 0:
+			out = append(out, naturalness.Regular)
+			cr--
+		default:
+			out = append(out, naturalness.Low)
+			cl--
+		}
+	}
+	return out
+}
+
+// MixFor returns the per-database native naturalness mixes reported in the
+// paper (Figure 5 combined scores; Figure 11 gives exact proportions for
+// PILB, NTSB and SBOD).
+func MixFor(db string) LevelMix {
+	switch db {
+	case "ASIS":
+		return LevelMix{0.62, 0.30, 0.08}
+	case "ATBI":
+		return LevelMix{0.52, 0.36, 0.12}
+	case "CWO":
+		return LevelMix{0.74, 0.20, 0.06}
+	case "KIS":
+		return LevelMix{0.64, 0.30, 0.06}
+	case "NPFM":
+		return LevelMix{0.52, 0.36, 0.12}
+	case "NTSB":
+		return LevelMix{0.42, 0.34, 0.24}
+	case "NYSED":
+		return LevelMix{0.50, 0.36, 0.14}
+	case "PILB":
+		return LevelMix{0.65, 0.22, 0.13}
+	case "SBOD":
+		return LevelMix{0.24, 0.49, 0.27}
+	default:
+		return LevelMix{0.6, 0.3, 0.1}
+	}
+}
+
+// conceptPool generates deterministic multi-word concepts from a domain
+// vocabulary without repetition.
+type conceptPool struct {
+	nouns      []string
+	qualifiers []string
+	used       map[string]struct{}
+	r          *rng
+}
+
+func newConceptPool(seedPath string, nouns, qualifiers []string) *conceptPool {
+	return &conceptPool{
+		nouns:      nouns,
+		qualifiers: qualifiers,
+		used:       map[string]struct{}{},
+		r:          newRNG(hashSeed("concepts", seedPath)),
+	}
+}
+
+// concept returns a fresh 1-3 word concept.
+func (p *conceptPool) concept() []string {
+	for attempt := 0; ; attempt++ {
+		var words []string
+		switch p.r.intn(4) {
+		case 0:
+			words = []string{pick(p.r, p.nouns)}
+		case 1, 2:
+			words = []string{pick(p.r, p.qualifiers), pick(p.r, p.nouns)}
+		default:
+			words = []string{pick(p.r, p.nouns), pick(p.r, p.qualifiers), pick(p.r, p.nouns)}
+		}
+		key := fmt.Sprint(words)
+		if _, dup := p.used[key]; !dup {
+			p.used[key] = struct{}{}
+			return words
+		}
+		if attempt > 200 {
+			// Exhausted combinations: extend with a counter word.
+			words = append(words, fmt.Sprintf("v%d", len(p.used)))
+			p.used[fmt.Sprint(words)] = struct{}{}
+			return words
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package datasets
+
+import (
+	"github.com/snails-bench/snails/internal/ident"
+	nat "github.com/snails-bench/snails/internal/naturalness"
+)
+
+// col builds a column spec.
+func col(level nat.Level, kind ValueKind, words ...string) C {
+	return C{Words: words, Level: level, Kind: kind}
+}
+
+// colPool builds a categorical column with an explicit value domain.
+func colPool(level nat.Level, pool []string, words ...string) C {
+	return C{Words: words, Level: level, Kind: KCategory, Pool: pool}
+}
+
+// fk builds a foreign-key column referencing the table with the given key.
+func fk(level nat.Level, refKey string, words ...string) C {
+	return C{Words: words, Level: level, Kind: KFK, Ref: refKey}
+}
+
+// tbl builds a table spec.
+func tbl(key string, level nat.Level, rows int, words ...string) T {
+	return T{Key: key, Words: words, Level: level, Rows: rows}
+}
+
+func with(t T, cols ...C) T {
+	t.Cols = cols
+	return t
+}
+
+var npsNouns = []string{
+	"habitat", "transect", "sample", "protocol", "voucher", "specimen", "weather",
+	"soil", "canopy", "stream", "trail", "sensor", "camera", "permit", "marker",
+	"boundary", "elevation", "basin", "meadow", "ridge", "shore", "nest", "burrow",
+	"season", "crew", "visit", "photo", "segment", "quadrant", "fence",
+}
+
+var npsQualifiers = []string{
+	"field", "annual", "summer", "winter", "primary", "reference", "historic",
+	"monitoring", "survey", "plot", "site", "water", "ground", "vegetation",
+}
+
+// buildASIS builds the Assateague Island amphibian and reptile inventory.
+func buildASIS() *Built {
+	mix := MixFor("ASIS")
+	spec := Spec{
+		Name:  "ASIS",
+		Style: ident.CasePascal,
+		Core: []T{
+			with(tbl("locations", nat.Low, 30, "table", "locations"),
+				col(nat.Regular, KID, "location", "id"),
+				col(nat.Regular, KName, "location", "name"),
+				colPool(nat.Regular, []string{"Accomack", "Worcester", "Sussex"}, "county"),
+				colPool(nat.Low, []string{"marsh", "dune", "forest", "pond", "swale"}, "habitat", "type"),
+				colPool(nat.Regular, poolRegions, "region"),
+			),
+			with(tbl("species", nat.Regular, 24, "species"),
+				col(nat.Regular, KID, "species", "id"),
+				col(nat.Regular, KName, "scientific", "name"),
+				col(nat.Regular, KName, "common", "name"),
+				colPool(nat.Low, []string{"frog", "salamander", "snake", "turtle", "lizard"}, "species", "group"),
+			),
+			with(tbl("surveys", nat.Low, 60, "table", "field", "surveys"),
+				col(nat.Regular, KID, "survey", "id"),
+				fk(nat.Low, "locations", "location", "id"),
+				col(nat.Regular, KDate, "survey", "date"),
+				colPool(nat.Regular, poolSurnames, "observer", "name"),
+				col(nat.Low, KMeasure, "water", "temperature"),
+				col(nat.Low, KMeasure, "air", "temperature"),
+			),
+			with(tbl("observations", nat.Regular, 150, "table", "field", "observations"),
+				col(nat.Regular, KID, "observation", "id"),
+				fk(nat.Regular, "surveys", "survey", "id"),
+				fk(nat.Low, "species", "species", "id"),
+				col(nat.Regular, KCount, "count"),
+				colPool(nat.Low, []string{"adult", "juvenile", "larva", "egg"}, "stage"),
+			),
+			with(tbl("minnowtraps", nat.Low, 60, "table", "field", "data", "minnow", "trap", "surveys"),
+				col(nat.Regular, KID, "trap", "id"),
+				fk(nat.Least, "locations", "location", "id"),
+				colPool(nat.Low, []string{"adult", "juvenile", "larva"}, "stage"),
+				col(nat.Regular, KCount, "count"),
+				col(nat.Regular, KDate, "trap", "date"),
+			),
+			with(tbl("observers", nat.Regular, 12, "observers"),
+				col(nat.Regular, KID, "observer", "id"),
+				colPool(nat.Regular, poolSurnames, "observer", "name"),
+				colPool(nat.Low, []string{"lead", "technician", "volunteer"}, "role"),
+			),
+			with(tbl("weather", nat.Least, 60, "weather", "records"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "surveys", "survey", "id"),
+				colPool(nat.Regular, []string{"clear", "cloudy", "rain", "fog"}, "condition"),
+				col(nat.Least, KMeasure, "precipitation", "amount"),
+			),
+			with(tbl("equipment", nat.Regular, 10, "equipment"),
+				col(nat.Regular, KID, "equipment", "id"),
+				col(nat.Regular, KName, "equipment", "name"),
+				colPool(nat.Low, poolStatuses, "condition", "status"),
+			),
+		},
+		PadTables:      28,
+		PadMinCols:     6,
+		PadMaxCols:     8,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            mix,
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// buildATBI builds the Great Smoky Mountains vegetation monitoring database.
+func buildATBI() *Built {
+	spec := Spec{
+		Name:  "ATBI",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("plots", nat.Low, 25, "table", "plots"),
+				col(nat.Regular, KID, "plot", "id"),
+				col(nat.Regular, KName, "plot", "name"),
+				col(nat.Low, KMeasure, "elevation"),
+				colPool(nat.Low, []string{"ridge", "cove", "slope", "flat"}, "topography", "position"),
+			),
+			with(tbl("plantspecies", nat.Low, 30, "lookup", "plant", "species"),
+				col(nat.Regular, KID, "species", "code"),
+				col(nat.Regular, KName, "species"),
+				col(nat.Regular, KName, "common", "name"),
+				col(nat.Low, KName, "genus"),
+				colPool(nat.Low, []string{"tree", "shrub", "herb", "vine", "fern"}, "growth", "form"),
+			),
+			with(tbl("events", nat.Low, 50, "table", "events"),
+				col(nat.Regular, KID, "event", "id"),
+				fk(nat.Regular, "plots", "plot", "id"),
+				col(nat.Regular, KDate, "event", "date"),
+				colPool(nat.Regular, poolSurnames, "crew", "leader"),
+			),
+			with(tbl("overstory", nat.Low, 120, "table", "overstory"),
+				col(nat.Regular, KID, "overstory", "id"),
+				fk(nat.Regular, "events", "event", "id"),
+				fk(nat.Low, "plantspecies", "species", "code"),
+				col(nat.Least, KMeasure, "diameter", "breast", "height"),
+				colPool(nat.Least, []string{"dominant", "codominant", "intermediate", "suppressed"}, "canopy", "position"),
+			),
+			with(tbl("seedlings", nat.Low, 80, "table", "seedlings"),
+				col(nat.Regular, KID, "seedlings", "id"),
+				fk(nat.Regular, "events", "event", "id"),
+				fk(nat.Low, "plantspecies", "species", "code"),
+				col(nat.Regular, KCount, "seedling", "count"),
+			),
+			with(tbl("saplings", nat.Low, 80, "table", "saplings"),
+				col(nat.Regular, KID, "saplings", "id"),
+				fk(nat.Regular, "events", "event", "id"),
+				fk(nat.Low, "plantspecies", "species", "code"),
+				col(nat.Regular, KCount, "sapling", "count"),
+				col(nat.Least, KMeasure, "vegetation", "height"),
+			),
+			with(tbl("deadwood", nat.Low, 60, "table", "deadwood"),
+				col(nat.Regular, KID, "data", "id"),
+				fk(nat.Regular, "events", "event", "id"),
+				colPool(nat.Low, []string{"1", "2", "3", "4", "5"}, "decay", "class"),
+				col(nat.Least, KMeasure, "midpoint", "diameter"),
+				col(nat.Regular, KMeasure, "length"),
+			),
+		},
+		PadTables:      21,
+		PadMinCols:     5,
+		PadMaxCols:     8,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            MixFor("ATBI"),
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// buildCWO builds the Craters of the Moon wildlife observations database —
+// the smallest and most natural schema in the collection.
+func buildCWO() *Built {
+	spec := Spec{
+		Name:  "CWO",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("species", nat.Regular, 30, "species"),
+				col(nat.Regular, KID, "species", "id"),
+				col(nat.Regular, KName, "common", "name"),
+				col(nat.Regular, KName, "scientific", "name"),
+				colPool(nat.Regular, []string{"mammal", "bird", "reptile", "amphibian", "insect"}, "animal", "class"),
+			),
+			with(tbl("locations", nat.Regular, 20, "locations"),
+				col(nat.Regular, KID, "location", "id"),
+				col(nat.Regular, KName, "location", "name"),
+				colPool(nat.Regular, []string{"Butte", "Blaine", "Power", "Minidoka", "Shasta"}, "county"),
+				colPool(nat.Low, []string{"lava field", "sagebrush", "kipuka", "cave"}, "location", "type"),
+			),
+			with(tbl("observations", nat.Regular, 160, "wildlife", "observations"),
+				col(nat.Regular, KID, "observation", "id"),
+				fk(nat.Regular, "species", "species", "id"),
+				fk(nat.Regular, "locations", "location", "id"),
+				col(nat.Regular, KDate, "observation", "date"),
+				col(nat.Regular, KCount, "animal", "count"),
+				colPool(nat.Regular, poolSurnames, "observer"),
+			),
+			with(tbl("observers", nat.Regular, 12, "observers"),
+				col(nat.Regular, KID, "observer", "id"),
+				colPool(nat.Regular, poolSurnames, "full", "name"),
+				colPool(nat.Low, []string{"ranger", "biologist", "visitor"}, "observer", "role"),
+			),
+		},
+		PadTables:      9,
+		PadMinCols:     4,
+		PadMaxCols:     6,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            MixFor("CWO"),
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// buildKIS builds the Klamath exotic and invasive plants database.
+func buildKIS() *Built {
+	spec := Spec{
+		Name:  "KIS",
+		Style: ident.CasePascal,
+		Core: []T{
+			with(tbl("invasives", nat.Regular, 28, "invasive", "species"),
+				col(nat.Regular, KID, "species", "id"),
+				col(nat.Regular, KName, "species", "name"),
+				col(nat.Low, KName, "species", "code"),
+				colPool(nat.Regular, []string{"grass", "forb", "shrub", "tree", "aquatic"}, "growth", "form"),
+				colPool(nat.Low, []string{"high", "medium", "low"}, "invasion", "priority"),
+			),
+			with(tbl("plots", nat.Low, 24, "monitoring", "plots"),
+				col(nat.Regular, KID, "plot", "id"),
+				col(nat.Regular, KName, "plot", "name"),
+				colPool(nat.Regular, poolRegions, "park", "zone"),
+				col(nat.Low, KMeasure, "plot", "area"),
+			),
+			with(tbl("visits", nat.Low, 50, "plot", "visits"),
+				col(nat.Regular, KID, "visit", "id"),
+				fk(nat.Regular, "plots", "plot", "id"),
+				col(nat.Regular, KDate, "visit", "date"),
+				colPool(nat.Regular, poolSurnames, "surveyor"),
+			),
+			with(tbl("detections", nat.Low, 140, "invasive", "detections"),
+				col(nat.Regular, KID, "detection", "id"),
+				fk(nat.Regular, "visits", "visit", "id"),
+				fk(nat.Low, "invasives", "species", "id"),
+				col(nat.Regular, KCount, "stem", "count"),
+				col(nat.Least, KMeasure, "cover", "percent"),
+			),
+			with(tbl("treatments", nat.Regular, 40, "treatments"),
+				col(nat.Regular, KID, "treatment", "id"),
+				fk(nat.Regular, "plots", "plot", "id"),
+				colPool(nat.Regular, []string{"manual", "chemical", "mechanical", "biological"}, "treatment", "method"),
+				col(nat.Regular, KDate, "treatment", "date"),
+				col(nat.Low, KFlag, "follow", "up", "required"),
+			),
+		},
+		PadTables:      13,
+		PadMinCols:     6,
+		PadMaxCols:     10,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            MixFor("KIS"),
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// buildNPFM builds the Northern Great Plains fire management database.
+func buildNPFM() *Built {
+	spec := Spec{
+		Name:  "NPFM",
+		Style: ident.CasePascal,
+		Core: []T{
+			with(tbl("units", nat.Low, 20, "burn", "units"),
+				col(nat.Regular, KID, "unit", "id"),
+				col(nat.Regular, KName, "unit", "name"),
+				col(nat.Low, KMeasure, "unit", "area"),
+				colPool(nat.Regular, poolRegions, "district"),
+			),
+			with(tbl("fires", nat.Low, 40, "prescribed", "fires"),
+				col(nat.Regular, KID, "fire", "id"),
+				fk(nat.Regular, "units", "unit", "id"),
+				col(nat.Regular, KDate, "burn", "date"),
+				colPool(nat.Low, []string{"low", "moderate", "high"}, "burn", "severity"),
+			),
+			with(tbl("plots", nat.Low, 30, "vegetation", "plots"),
+				col(nat.Regular, KID, "plot", "id"),
+				fk(nat.Regular, "units", "unit", "id"),
+				colPool(nat.Low, []string{"prairie", "woodland", "shrubland"}, "cover", "type"),
+			),
+			with(tbl("overstory", nat.Low, 100, "table", "overstory"),
+				col(nat.Regular, KID, "overstory", "id"),
+				fk(nat.Regular, "plots", "plot", "id"),
+				col(nat.Regular, KName, "species", "name"),
+				colPool(nat.Least, []string{"dominant", "codominant", "intermediate", "suppressed"}, "canopy", "position"),
+				col(nat.Least, KMeasure, "basal", "area"),
+			),
+			with(tbl("fuels", nat.Least, 80, "fuel", "loads"),
+				col(nat.Regular, KID, "sample", "id"),
+				fk(nat.Regular, "plots", "plot", "id"),
+				col(nat.Least, KMeasure, "fuel", "depth"),
+				col(nat.Low, KMeasure, "fuel", "moisture"),
+				colPool(nat.Low, []string{"fine", "coarse", "duff"}, "fuel", "class"),
+			),
+			with(tbl("crews", nat.Regular, 10, "fire", "crews"),
+				col(nat.Regular, KID, "crew", "id"),
+				colPool(nat.Regular, poolSurnames, "crew", "leader"),
+				col(nat.Regular, KCount, "crew", "size"),
+			),
+		},
+		PadTables:      21,
+		PadMinCols:     6,
+		PadMaxCols:     8,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            MixFor("NPFM"),
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// buildPILB builds the Pacific Island Network landbird monitoring database.
+func buildPILB() *Built {
+	spec := Spec{
+		Name:  "PILB",
+		Style: ident.CasePascal,
+		Core: []T{
+			with(tbl("islands", nat.Regular, 8, "islands"),
+				col(nat.Regular, KID, "island", "id"),
+				col(nat.Regular, KName, "island", "name"),
+				colPool(nat.Regular, []string{"Hawaii", "Guam", "Samoa", "Saipan"}, "territory"),
+			),
+			with(tbl("stations", nat.Regular, 30, "count", "stations"),
+				col(nat.Regular, KID, "station", "id"),
+				fk(nat.Regular, "islands", "island", "id"),
+				col(nat.Regular, KName, "station", "name"),
+				col(nat.Low, KMeasure, "elevation"),
+				colPool(nat.Low, []string{"forest", "scrub", "grassland", "wetland"}, "habitat", "type"),
+			),
+			with(tbl("birds", nat.Regular, 26, "bird", "species"),
+				col(nat.Regular, KID, "species", "id"),
+				col(nat.Regular, KName, "common", "name"),
+				col(nat.Regular, KName, "scientific", "name"),
+				col(nat.Least, KName, "species", "code"),
+				col(nat.Regular, KFlag, "endangered"),
+			),
+			with(tbl("counts", nat.Regular, 60, "point", "counts"),
+				col(nat.Regular, KID, "count", "id"),
+				fk(nat.Regular, "stations", "station", "id"),
+				col(nat.Regular, KDate, "count", "date"),
+				colPool(nat.Regular, poolSurnames, "observer"),
+				col(nat.Low, KMeasure, "wind", "speed"),
+			),
+			with(tbl("detections", nat.Regular, 160, "bird", "detections"),
+				col(nat.Regular, KID, "detection", "id"),
+				fk(nat.Regular, "counts", "count", "id"),
+				fk(nat.Low, "birds", "species", "id"),
+				col(nat.Regular, KCount, "bird", "count"),
+				col(nat.Least, KMeasure, "detection", "distance"),
+			),
+		},
+		PadTables:      16,
+		PadMinCols:     7,
+		PadMaxCols:     10,
+		PadNouns:       npsNouns,
+		PadQualifiers:  npsQualifiers,
+		Mix:            MixFor("PILB"),
+		QuestionTarget: 40,
+	}
+	return Build(spec)
+}
+
+// mtbl builds a table spec assigned to a module.
+func mtbl(key, module string, level nat.Level, rows int, words ...string) T {
+	t := tbl(key, level, rows, words...)
+	t.Module = module
+	return t
+}

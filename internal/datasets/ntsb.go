@@ -1,0 +1,183 @@
+package datasets
+
+import (
+	"github.com/snails-bench/snails/internal/ident"
+	nat "github.com/snails-bench/snails/internal/naturalness"
+)
+
+// ntsbWide appends filler measurement/flag columns so NTSB tables reach the
+// very wide shapes of the real crash-sampling dataset (mean ~40 columns per
+// table).
+func ntsbWide(t T, n int, seedKey string, mix LevelMix) T {
+	pool := newConceptPool("NTSB/"+seedKey, []string{
+		"damage", "deformation", "intrusion", "angle", "severity", "force",
+		"deployment", "contact", "rotation", "speed", "weight", "position",
+		"pressure", "restraint", "ejection", "posture", "injury", "delta",
+		"code", "zone", "region", "class", "rating", "estimate", "indicator",
+	}, []string{
+		"front", "rear", "left", "right", "upper", "lower", "maximum",
+		"minimum", "primary", "secondary", "lateral", "vertical", "initial",
+		"final", "occupant", "vehicle",
+	})
+	r := newRNG(hashSeed("ntsbwide", seedKey))
+	levels := mix.sequence(n)
+	for i := 0; i < n; i++ {
+		kind := KMeasure
+		switch r.intn(4) {
+		case 0:
+			kind = KFlag
+		case 1:
+			kind = KCount
+		}
+		t.Cols = append(t.Cols, C{Words: pool.concept(), Level: levels[i], Kind: kind})
+	}
+	return t
+}
+
+// buildNTSB builds the 2021 crash investigation sampling database. Its
+// tables require composite-key joins (case number + primary sampling unit)
+// for most multi-relation queries, reproducing the paper's note.
+func buildNTSB() *Built {
+	mix := MixFor("NTSB")
+	psuPool := []string{"11", "24", "37", "48", "52"}
+	spec := Spec{
+		Name:  "NTSB",
+		Style: ident.CaseUpper,
+		Core: []T{
+			ntsbWide(with(tbl("crash", nat.Low, 80, "crash"),
+				col(nat.Low, KID, "case", "number"),
+				colPool(nat.Least, psuPool, "primary", "sampling", "unit"),
+				col(nat.Regular, KDate, "crash", "date"),
+				colPool(nat.Low, []string{"interstate", "arterial", "collector", "local"}, "road", "class"),
+				colPool(nat.Regular, []string{"clear", "rain", "snow", "fog"}, "weather"),
+				col(nat.Least, KCount, "vehicle", "count"),
+				colPool(nat.Low, []string{"minor", "moderate", "serious", "fatal"}, "crash", "severity"),
+			), 14, "crash", mix),
+			ntsbWide(with(tbl("vehicle", nat.Low, 140, "vehicle"),
+				col(nat.Regular, KID, "vehicle", "id"),
+				fk(nat.Low, "crash", "case", "number"),
+				colPool(nat.Least, psuPool, "primary", "sampling", "unit"),
+				col(nat.Regular, KName, "vehicle", "make"),
+				col(nat.Regular, KYear, "model", "year"),
+				colPool(nat.Low, []string{"sedan", "pickup", "van", "utility", "motorcycle"}, "body", "type"),
+				col(nat.Least, KMeasure, "travel", "speed"),
+				col(nat.Regular, KFlag, "airbag"),
+			), 18, "vehicle", mix),
+			ntsbWide(with(tbl("occupant", nat.Low, 220, "occupant"),
+				col(nat.Regular, KID, "occupant", "id"),
+				fk(nat.Low, "vehicle", "vehicle", "id"),
+				colPool(nat.Least, psuPool, "primary", "sampling", "unit"),
+				col(nat.Low, KCount, "age"),
+				colPool(nat.Regular, []string{"driver", "passenger"}, "role"),
+				colPool(nat.Least, []string{"none", "minor", "moderate", "serious", "fatal"}, "injury", "severity"),
+				col(nat.Least, KFlag, "restraint", "used"),
+				colPool(nat.Low, []string{"front", "rear", "middle"}, "seat", "position"),
+			), 12, "occupant", mix),
+			ntsbWide(with(tbl("event", nat.Least, 120, "crash", "event"),
+				col(nat.Regular, KID, "event", "id"),
+				fk(nat.Low, "crash", "case", "number"),
+				colPool(nat.Least, psuPool, "primary", "sampling", "unit"),
+				colPool(nat.Low, []string{"rollover", "head on", "rear end", "side impact", "run off road"}, "event", "type"),
+				col(nat.Least, KCount, "event", "sequence", "number"),
+			), 10, "event", mix),
+			ntsbWide(with(tbl("distract", nat.Least, 90, "driver", "distraction"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Low, "vehicle", "vehicle", "id"),
+				colPool(nat.Least, psuPool, "primary", "sampling", "unit"),
+				colPool(nat.Least, []string{"phone", "passenger", "outside", "device", "none"}, "distraction", "source"),
+			), 8, "distract", mix),
+			ntsbWide(with(tbl("avoid", nat.Least, 90, "avoidance", "maneuver"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Low, "vehicle", "vehicle", "id"),
+				colPool(nat.Low, []string{"braking", "steering", "both", "none"}, "maneuver", "type"),
+			), 8, "avoid", mix),
+		},
+		PadTables:  34,
+		PadMinCols: 36,
+		PadMaxCols: 54,
+		PadNouns: []string{
+			"injury", "impact", "barrier", "roadway", "shoulder", "median",
+			"intersection", "signal", "lighting", "surface", "grade", "curve",
+			"tire", "brake", "cargo", "trailer", "license", "citation",
+			"alcohol", "test", "transport", "hospital", "scene", "tow",
+		},
+		PadQualifiers: []string{
+			"first", "second", "reported", "estimated", "coded", "derived",
+			"police", "medical", "roadside", "crash", "vehicle", "driver",
+		},
+		Mix:            mix,
+		QuestionTarget: 100,
+	}
+	return Build(spec)
+}
+
+// buildNYSED builds the New York State Education Department report card
+// database.
+func buildNYSED() *Built {
+	mix := MixFor("NYSED")
+	spec := Spec{
+		Name:  "NYSED",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("districts", nat.Regular, 25, "districts"),
+				col(nat.Regular, KID, "district", "id"),
+				col(nat.Regular, KName, "district", "name"),
+				colPool(nat.Regular, poolRegions, "region"),
+				col(nat.Low, KCount, "total", "schools"),
+			),
+			with(tbl("schools", nat.Low, 60, "school", "directory"),
+				col(nat.Regular, KID, "school", "id"),
+				fk(nat.Regular, "districts", "district", "id"),
+				col(nat.Regular, KName, "school", "name"),
+				colPool(nat.Regular, []string{"elementary", "middle", "high"}, "school", "level"),
+				colPool(nat.Low, []string{"city", "suburb", "town", "rural"}, "locale", "type"),
+			),
+			with(tbl("enrollment", nat.Low, 120, "annual", "enrollment"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "schools", "school", "id"),
+				col(nat.Low, KYear, "reporting", "year"),
+				col(nat.Regular, KCount, "student", "count"),
+				col(nat.Least, KCount, "english", "language", "learner", "count"),
+				col(nat.Least, KMeasure, "attendance", "rate"),
+			),
+			with(tbl("staff", nat.Low, 120, "staff", "summary"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "schools", "school", "id"),
+				col(nat.Low, KCount, "number", "teachers"),
+				col(nat.Least, KCount, "number", "teachers", "inexperienced"),
+				col(nat.Least, KMeasure, "percent", "teachers", "inexperienced"),
+			),
+			with(tbl("assessments", nat.Low, 180, "assessment", "results"),
+				col(nat.Regular, KID, "result", "id"),
+				fk(nat.Regular, "schools", "school", "id"),
+				colPool(nat.Regular, []string{"math", "english", "science"}, "subject"),
+				colPool(nat.Low, []string{"3", "4", "5", "6", "7", "8"}, "grade", "level"),
+				col(nat.Least, KCount, "tested", "count"),
+				col(nat.Least, KMeasure, "proficiency", "rate"),
+			),
+			with(tbl("graduation", nat.Least, 60, "graduation", "rate", "data"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "schools", "school", "id"),
+				col(nat.Low, KYear, "cohort", "year"),
+				col(nat.Least, KMeasure, "graduation", "rate"),
+				col(nat.Least, KCount, "cohort", "count"),
+			),
+		},
+		PadTables:  21,
+		PadMinCols: 13,
+		PadMaxCols: 18,
+		PadNouns: []string{
+			"suspension", "expense", "revenue", "salary", "certification",
+			"program", "lunch", "transport", "library", "technology",
+			"demographic", "language", "disability", "cohort", "regents",
+			"diploma", "credit", "course", "absence", "incident",
+		},
+		PadQualifiers: []string{
+			"annual", "district", "school", "state", "federal", "average",
+			"total", "student", "teacher", "reported", "weighted",
+		},
+		Mix:            mix,
+		QuestionTarget: 63,
+	}
+	return Build(spec)
+}

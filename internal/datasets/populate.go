@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// Value pools for the populator. All values are deterministic functions of
+// the (database, table, column, row) path.
+var (
+	poolColors   = []string{"red", "blue", "green", "gray", "brown", "white", "black"}
+	poolStatuses = []string{"active", "inactive", "pending", "closed"}
+	poolRegions  = []string{"north", "south", "east", "west", "central"}
+	poolNameA    = []string{"great", "common", "western", "eastern", "mountain", "spotted",
+		"golden", "silver", "least", "pacific", "northern", "island"}
+	poolNameB = []string{"falcon", "warbler", "sparrow", "thrush", "salamander", "frog",
+		"turtle", "snake", "fox", "elk", "pine", "fir", "willow", "sage", "thistle",
+		"fern", "maple", "aster", "sedge", "rush"}
+	poolSurnames = []string{"Anderson", "Brooks", "Carter", "Diaz", "Evans", "Foster",
+		"Garcia", "Hayes", "Iverson", "Jensen", "Keller", "Lopez", "Morris", "Nguyen"}
+)
+
+// populate fills the core tables of the built database with deterministic
+// synthetic rows. Padding tables stay empty (the paper's cardinality-based
+// pruning makes zero-row tables ineligible for questions anyway).
+func populate(spec Spec, built *Built) *sqldb.DB {
+	db := sqldb.NewDB(spec.Name)
+
+	// Register every table (including padding) in the instance catalog.
+	for _, t := range built.Schema.Tables {
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name
+		}
+		db.CreateTable(t.Name, cols)
+	}
+
+	// Populate core tables in spec order so FK parents fill first.
+	rowCount := map[string]int{} // spec key -> rows inserted
+	for _, ts := range spec.Core {
+		native := built.idOf[ts.Key]
+		td, _ := db.Table(native)
+		r := newRNG(hashSeed("rows", spec.Name, ts.Key))
+		for row := 0; row < ts.Rows; row++ {
+			vals := make([]sqldb.Value, len(ts.Cols))
+			for ci, cs := range ts.Cols {
+				vals[ci] = genValue(spec, ts, cs, row, rowCount, r)
+			}
+			td.MustInsert(vals...)
+		}
+		rowCount[ts.Key] = ts.Rows
+	}
+	return db
+}
+
+func genValue(spec Spec, ts T, cs C, row int, rowCount map[string]int, r *rng) sqldb.Value {
+	switch cs.Kind {
+	case KID:
+		return sqldb.Int(int64(row + 1))
+	case KFK:
+		parentRows := rowCount[cs.Ref]
+		if parentRows == 0 {
+			return sqldb.Null()
+		}
+		return sqldb.Int(int64(r.intn(parentRows) + 1))
+	case KCategory:
+		pool := cs.Pool
+		if len(pool) == 0 {
+			pool = defaultCategoryPool(cs.Words)
+		}
+		// Skew the draw so categories have uneven counts (realistic GROUP BY
+		// results, deterministic winners for max/min questions).
+		idx := skewIndex(r, len(pool))
+		return sqldb.String(pool[idx])
+	case KName:
+		a := poolNameA[r.intn(len(poolNameA))]
+		b := poolNameB[r.intn(len(poolNameB))]
+		return sqldb.String(fmt.Sprintf("%s %s %d", a, b, row+1))
+	case KCount:
+		return sqldb.Int(int64(r.intn(40) + 1))
+	case KMeasure:
+		return sqldb.Float(float64(int(r.float()*10000)) / 100.0)
+	case KDate:
+		year := 2015 + r.intn(8)
+		month := 1 + r.intn(12)
+		day := 1 + r.intn(28)
+		return sqldb.String(fmt.Sprintf("%04d-%02d-%02d", year, month, day))
+	case KYear:
+		return sqldb.Int(int64(2015 + r.intn(8)))
+	case KFlag:
+		return sqldb.Int(int64(r.intn(2)))
+	default: // KText
+		return sqldb.String(fmt.Sprintf("note %d for %s", row+1, ts.Key))
+	}
+}
+
+// skewIndex draws an index with a geometric-ish skew so category counts
+// differ (index 0 is most frequent).
+func skewIndex(r *rng, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	for i := 0; i < n-1; i++ {
+		if r.float() < 0.45 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// defaultCategoryPool picks a plausible categorical domain from the concept
+// words so values read naturally ("status" -> active/inactive/...).
+func defaultCategoryPool(words []string) []string {
+	for _, w := range words {
+		switch w {
+		case "status", "condition":
+			return poolStatuses
+		case "color":
+			return poolColors
+		case "region", "zone", "direction", "area":
+			return poolRegions
+		case "name", "observer", "teacher", "employee", "owner", "manager":
+			return poolSurnames
+		}
+	}
+	// Generic typed categories derived from the first word.
+	w := "item"
+	if len(words) > 0 {
+		w = words[0]
+	}
+	return []string{
+		w + " type a", w + " type b", w + " type c", w + " type d", w + " type e",
+	}
+}

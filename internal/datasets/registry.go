@@ -1,0 +1,69 @@
+package datasets
+
+import (
+	"sort"
+	"sync"
+)
+
+// Names lists the 9 SNAILS databases in the paper's Table 2 order.
+var Names = []string{"ASIS", "ATBI", "CWO", "KIS", "NPFM", "NTSB", "NYSED", "PILB", "SBOD"}
+
+var (
+	buildOnce sync.Once
+	byName    map[string]*Built
+)
+
+func buildAll() {
+	byName = map[string]*Built{
+		"ASIS":  buildASIS(),
+		"ATBI":  buildATBI(),
+		"CWO":   buildCWO(),
+		"KIS":   buildKIS(),
+		"NPFM":  buildNPFM(),
+		"NTSB":  buildNTSB(),
+		"NYSED": buildNYSED(),
+		"PILB":  buildPILB(),
+		"SBOD":  buildSBOD(),
+	}
+}
+
+// Get returns the named SNAILS database, building the collection on first
+// use. Built databases are shared; callers must not mutate them.
+func Get(name string) (*Built, bool) {
+	buildOnce.Do(buildAll)
+	b, ok := byName[name]
+	return b, ok
+}
+
+// All returns the full collection in Table 2 order.
+func All() []*Built {
+	buildOnce.Do(buildAll)
+	out := make([]*Built, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// ModuleNames returns a database's modules in sorted order.
+func (b *Built) ModuleNames() []string {
+	out := make([]string, 0, len(b.Modules))
+	for m := range b.Modules {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModuleOf returns the module containing the given native table ("" for
+// single-module databases).
+func (b *Built) ModuleOf(table string) string {
+	for m, tables := range b.Modules {
+		for _, t := range tables {
+			if t == table {
+				return m
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,140 @@
+package datasets
+
+import (
+	"sync"
+
+	"github.com/snails-bench/snails/internal/ident"
+	nat "github.com/snails-bench/snails/internal/naturalness"
+)
+
+// Spider-like collection: small, canonical, highly natural multi-domain
+// databases in the style of the Spider dev set. Figure 13 renames these with
+// the SNAILS crosswalk artifacts and re-runs the benchmark; Figure 3 uses
+// their (near-uniform Regular) naturalness distribution as a comparison
+// point.
+
+var (
+	spiderOnce sync.Once
+	spiderDBs  []*Built
+)
+
+// SpiderDev returns the Spider-like development collection.
+func SpiderDev() []*Built {
+	spiderOnce.Do(func() {
+		spiderDBs = []*Built{buildSpiderConcerts(), buildSpiderPets(), buildSpiderFlights(), buildSpiderShops()}
+	})
+	return spiderDBs
+}
+
+func buildSpiderConcerts() *Built {
+	return Build(Spec{
+		Name:  "spider_concert_singer",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("singer", nat.Regular, 20, "singer"),
+				col(nat.Regular, KID, "singer", "id"),
+				col(nat.Regular, KName, "name"),
+				colPool(nat.Regular, []string{"France", "Netherlands", "United States"}, "country"),
+				col(nat.Regular, KCount, "age"),
+			),
+			with(tbl("concert", nat.Regular, 30, "concert"),
+				col(nat.Regular, KID, "concert", "id"),
+				col(nat.Regular, KName, "concert", "name"),
+				col(nat.Regular, KYear, "year"),
+				colPool(nat.Regular, []string{"stadium", "arena", "park"}, "venue", "type"),
+			),
+			with(tbl("appearance", nat.Regular, 50, "singer", "in", "concert"),
+				col(nat.Regular, KID, "appearance", "id"),
+				fk(nat.Regular, "singer", "singer", "id"),
+				fk(nat.Regular, "concert", "concert", "id"),
+			),
+		},
+		Mix:            LevelMix{0.95, 0.05, 0},
+		QuestionTarget: 12,
+	})
+}
+
+func buildSpiderPets() *Built {
+	return Build(Spec{
+		Name:  "spider_pets",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("student", nat.Regular, 25, "student"),
+				col(nat.Regular, KID, "student", "id"),
+				col(nat.Regular, KName, "last", "name"),
+				col(nat.Regular, KCount, "age"),
+				colPool(nat.Regular, []string{"north", "south", "city"}, "campus"),
+			),
+			with(tbl("pet", nat.Regular, 30, "pet"),
+				col(nat.Regular, KID, "pet", "id"),
+				colPool(nat.Regular, []string{"dog", "cat", "bird", "fish"}, "pet", "type"),
+				col(nat.Regular, KCount, "pet", "age"),
+				col(nat.Regular, KMeasure, "weight"),
+			),
+			with(tbl("haspet", nat.Regular, 35, "has", "pet"),
+				col(nat.Regular, KID, "record", "id"),
+				fk(nat.Regular, "student", "student", "id"),
+				fk(nat.Regular, "pet", "pet", "id"),
+			),
+		},
+		Mix:            LevelMix{0.95, 0.05, 0},
+		QuestionTarget: 12,
+	})
+}
+
+func buildSpiderFlights() *Built {
+	return Build(Spec{
+		Name:  "spider_flights",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("airline", nat.Regular, 12, "airline"),
+				col(nat.Regular, KID, "airline", "id"),
+				col(nat.Regular, KName, "airline", "name"),
+				colPool(nat.Regular, []string{"United States", "France", "Japan"}, "country"),
+			),
+			with(tbl("airport", nat.Regular, 15, "airport"),
+				col(nat.Regular, KID, "airport", "id"),
+				col(nat.Regular, KName, "airport", "name"),
+				colPool(nat.Regular, poolRegions, "region"),
+			),
+			with(tbl("flight", nat.Regular, 60, "flight"),
+				col(nat.Regular, KID, "flight", "id"),
+				fk(nat.Regular, "airline", "airline", "id"),
+				fk(nat.Regular, "airport", "airport", "id"),
+				col(nat.Regular, KDate, "departure", "date"),
+				col(nat.Regular, KMeasure, "distance"),
+			),
+		},
+		Mix:            LevelMix{0.95, 0.05, 0},
+		QuestionTarget: 12,
+	})
+}
+
+func buildSpiderShops() *Built {
+	return Build(Spec{
+		Name:  "spider_shops",
+		Style: ident.CaseSnake,
+		Core: []T{
+			with(tbl("shop", nat.Regular, 12, "shop"),
+				col(nat.Regular, KID, "shop", "id"),
+				col(nat.Regular, KName, "shop", "name"),
+				colPool(nat.Regular, poolRegions, "district"),
+			),
+			with(tbl("product", nat.Regular, 30, "product"),
+				col(nat.Regular, KID, "product", "id"),
+				col(nat.Regular, KName, "product", "name"),
+				col(nat.Regular, KMeasure, "price"),
+				colPool(nat.Regular, []string{"food", "clothing", "electronics"}, "category"),
+			),
+			with(tbl("sale", nat.Regular, 70, "sale"),
+				col(nat.Regular, KID, "sale", "id"),
+				fk(nat.Regular, "shop", "shop", "id"),
+				fk(nat.Regular, "product", "product", "id"),
+				col(nat.Regular, KCount, "quantity"),
+				col(nat.Regular, KDate, "sale", "date"),
+			),
+		},
+		Mix:            LevelMix{0.95, 0.05, 0},
+		QuestionTarget: 12,
+	})
+}

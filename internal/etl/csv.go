@@ -1,0 +1,170 @@
+// Package etl loads external data into the in-memory engine. It reproduces
+// the paper's NTSB migration path (appendix A.1.7): the crash-sampling data
+// arrived as one CSV per table and was ingested into the target schema with
+// typed columns. LoadCSV infers column types from the data the same way the
+// authors' ETL scripting did.
+package etl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// Options configures CSV ingestion.
+type Options struct {
+	// HasHeader treats the first record as column names (default when zero
+	// value is used via LoadCSV: true).
+	HasHeader bool
+	// Columns overrides/declares column names when HasHeader is false.
+	Columns []string
+	// NullTokens are treated as SQL NULL in addition to the empty string.
+	NullTokens []string
+}
+
+// LoadCSV reads CSV content into a new table of the database, inferring a
+// type for each column: int64 if every non-null value parses as an integer,
+// float64 if every non-null value parses as a number, ISO dates and
+// everything else as strings. It returns the created table.
+func LoadCSV(db *sqldb.DB, tableName string, r io.Reader) (*sqldb.TableData, error) {
+	return LoadCSVWith(db, tableName, r, Options{HasHeader: true})
+}
+
+// LoadCSVWith is LoadCSV with explicit options.
+func LoadCSVWith(db *sqldb.DB, tableName string, r io.Reader, opts Options) (*sqldb.TableData, error) {
+	reader := csv.NewReader(r)
+	reader.TrimLeadingSpace = true
+	records, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("etl: reading %s: %w", tableName, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("etl: %s: empty input", tableName)
+	}
+	var header []string
+	rows := records
+	if opts.HasHeader {
+		header = records[0]
+		rows = records[1:]
+	} else {
+		header = opts.Columns
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("etl: %s: no column names (set HasHeader or Columns)", tableName)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			return nil, fmt.Errorf("etl: %s: empty column name at position %d", tableName, i)
+		}
+	}
+	nulls := map[string]struct{}{"": {}}
+	for _, t := range opts.NullTokens {
+		nulls[strings.ToUpper(t)] = struct{}{}
+	}
+	isNull := func(s string) bool {
+		_, ok := nulls[strings.ToUpper(strings.TrimSpace(s))]
+		return ok
+	}
+
+	// Pass 1: infer a type per column.
+	kinds := make([]sqldb.Kind, len(header))
+	for i := range kinds {
+		kinds[i] = inferColumn(rows, i, isNull)
+	}
+
+	// Pass 2: convert and insert.
+	table := db.CreateTable(tableName, header)
+	for ri, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("etl: %s row %d: %d fields, want %d", tableName, ri+1, len(rec), len(header))
+		}
+		vals := make([]sqldb.Value, len(header))
+		for ci, raw := range rec {
+			vals[ci] = convert(raw, kinds[ci], isNull)
+		}
+		if err := table.Insert(vals); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+// inferColumn picks the narrowest type every non-null value fits.
+func inferColumn(rows [][]string, col int, isNull func(string) bool) sqldb.Kind {
+	kind := sqldb.KindInt
+	seen := false
+	for _, rec := range rows {
+		if col >= len(rec) || isNull(rec[col]) {
+			continue
+		}
+		seen = true
+		v := strings.TrimSpace(rec[col])
+		switch kind {
+		case sqldb.KindInt:
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				continue
+			}
+			kind = sqldb.KindFloat
+			fallthrough
+		case sqldb.KindFloat:
+			if _, err := strconv.ParseFloat(v, 64); err == nil {
+				continue
+			}
+			kind = sqldb.KindString
+		}
+		if kind == sqldb.KindString {
+			return sqldb.KindString
+		}
+	}
+	if !seen {
+		return sqldb.KindString
+	}
+	return kind
+}
+
+func convert(raw string, kind sqldb.Kind, isNull func(string) bool) sqldb.Value {
+	if isNull(raw) {
+		return sqldb.Null()
+	}
+	v := strings.TrimSpace(raw)
+	switch kind {
+	case sqldb.KindInt:
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return sqldb.Int(n)
+		}
+	case sqldb.KindFloat:
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return sqldb.Float(f)
+		}
+	}
+	return sqldb.String(v)
+}
+
+// DumpCSV writes a table back out as CSV (header + rows), the inverse of
+// LoadCSV; useful for exporting benchmark instances.
+func DumpCSV(w io.Writer, table *sqldb.TableData) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(table.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(table.Columns))
+	for _, row := range table.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+				continue
+			}
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,140 @@
+package etl
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+)
+
+const crashCSV = `CASENO,PSU,SEVERITY,SPEED,CRASHDATE
+1,11,minor,42.5,2021-03-01
+2,11,serious,,2021-04-12
+3,24,fatal,88,2021-05-30
+`
+
+func TestLoadCSVBasic(t *testing.T) {
+	db := sqldb.NewDB("ntsb")
+	table, err := LoadCSV(db, "crash", strings.NewReader(crashCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.NumRows() != 3 || len(table.Columns) != 5 {
+		t.Fatalf("shape = %dx%d", table.NumRows(), len(table.Columns))
+	}
+	// Type inference: CASENO int, SPEED float (mixed 42.5/88), SEVERITY string.
+	if table.Rows[0][0].Kind != sqldb.KindInt {
+		t.Errorf("CASENO kind = %v", table.Rows[0][0].Kind)
+	}
+	if table.Rows[0][3].Kind != sqldb.KindFloat {
+		t.Errorf("SPEED kind = %v", table.Rows[0][3].Kind)
+	}
+	if table.Rows[0][2].Kind != sqldb.KindString {
+		t.Errorf("SEVERITY kind = %v", table.Rows[0][2].Kind)
+	}
+	// Empty field becomes NULL.
+	if !table.Rows[1][3].IsNull() {
+		t.Errorf("empty speed should be NULL: %v", table.Rows[1][3])
+	}
+}
+
+func TestLoadedTableIsQueryable(t *testing.T) {
+	db := sqldb.NewDB("ntsb")
+	if _, err := LoadCSV(db, "crash", strings.NewReader(crashCSV)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sqlexec.ExecuteSQL(db, "SELECT COUNT(*) FROM crash WHERE SPEED > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	res, err = sqlexec.ExecuteSQL(db, "SELECT SEVERITY FROM crash WHERE YEAR(CRASHDATE) = 2021 ORDER BY CASENO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || res.Rows[0][0].S != "minor" {
+		t.Errorf("date query wrong: %v", res.Rows)
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	db := sqldb.NewDB("x")
+	table, err := LoadCSVWith(db, "t", strings.NewReader("1,a\n2,b\n"),
+		Options{Columns: []string{"id", "name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.NumRows() != 2 || table.Columns[1] != "name" {
+		t.Fatalf("no-header load wrong: %+v", table)
+	}
+}
+
+func TestLoadCSVNullTokens(t *testing.T) {
+	db := sqldb.NewDB("x")
+	table, err := LoadCSVWith(db, "t", strings.NewReader("v\nNA\n7\n"),
+		Options{HasHeader: true, NullTokens: []string{"NA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Rows[0][0].IsNull() {
+		t.Errorf("NA should be NULL: %v", table.Rows[0][0])
+	}
+	if table.Rows[1][0].I != 7 {
+		t.Errorf("int inference should survive null tokens: %v", table.Rows[1][0])
+	}
+}
+
+func TestLoadCSVQuotedFields(t *testing.T) {
+	db := sqldb.NewDB("x")
+	table, err := LoadCSV(db, "t", strings.NewReader("name,notes\n\"Smith, Jr\",\"said \"\"hi\"\"\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows[0][0].S != "Smith, Jr" || table.Rows[0][1].S != `said "hi"` {
+		t.Errorf("quoted parsing wrong: %v", table.Rows[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := sqldb.NewDB("x")
+	if _, err := LoadCSV(db, "t", strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := LoadCSVWith(db, "t", strings.NewReader("1,2\n"), Options{}); err == nil {
+		t.Error("missing column names should error")
+	}
+	if _, err := LoadCSV(db, "t", strings.NewReader("a,\n1,2\n")); err == nil {
+		t.Error("empty header cell should error")
+	}
+}
+
+func TestDumpCSVRoundTrip(t *testing.T) {
+	db := sqldb.NewDB("x")
+	table, err := LoadCSV(db, "crash", strings.NewReader(crashCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := DumpCSV(&sb, table); err != nil {
+		t.Fatal(err)
+	}
+	db2 := sqldb.NewDB("y")
+	table2, err := LoadCSV(db2, "crash", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-load failed: %v\n%s", err, sb.String())
+	}
+	if table2.NumRows() != table.NumRows() {
+		t.Errorf("round trip rows %d != %d", table2.NumRows(), table.NumRows())
+	}
+	for ri := range table.Rows {
+		for ci := range table.Rows[ri] {
+			a, b := table.Rows[ri][ci], table2.Rows[ri][ci]
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && a.String() != b.String()) {
+				t.Errorf("round trip cell (%d,%d): %v vs %v", ri, ci, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package evalx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+func res(cols []string, rows ...[]sqldb.Value) *sqldb.Result {
+	return &sqldb.Result{Columns: cols, Rows: rows}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("identical results: %v", got)
+	}
+}
+
+func TestCompareRowOrderInsensitive(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Int(2)}, []sqldb.Value{sqldb.Int(1)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("row order should not matter: %v", got)
+	}
+}
+
+func TestCompareColumnOrderInsensitive(t *testing.T) {
+	g := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.String("x")},
+		[]sqldb.Value{sqldb.Int(2), sqldb.String("y")})
+	p := res([]string{"bb", "aa"},
+		[]sqldb.Value{sqldb.String("x"), sqldb.Int(1)},
+		[]sqldb.Value{sqldb.String("y"), sqldb.Int(2)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("column order/name should not matter: %v", got)
+	}
+}
+
+func TestCompareSupersetColumnsAllowed(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	p := res([]string{"a", "extra"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.String("junk")},
+		[]sqldb.Value{sqldb.Int(2), sqldb.String("junk")})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("extra predicted columns should not fail: %v", got)
+	}
+}
+
+func TestCompareMissingGoldColumnFails(t *testing.T) {
+	g := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.String("x")})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)})
+	if got := CompareResults(g, p); got != MatchNo {
+		t.Errorf("missing gold column must fail: %v", got)
+	}
+}
+
+func TestCompareCardinalityMismatch(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(1)})
+	if got := CompareResults(g, p); got != MatchNo {
+		t.Errorf("cardinality mismatch must fail: %v", got)
+	}
+}
+
+func TestCompareEmptyUndetermined(t *testing.T) {
+	g := res([]string{"a"})
+	p := res([]string{"a"})
+	if got := CompareResults(g, p); got != MatchUndetermined {
+		t.Errorf("empty results are undetermined: %v", got)
+	}
+	if got := CompareResults(nil, p); got != MatchNo {
+		t.Errorf("nil gold must fail: %v", got)
+	}
+}
+
+func TestCompareRowAlignment(t *testing.T) {
+	// Same column multisets but rows paired differently must fail: (1,x),(2,y)
+	// vs (1,y),(2,x).
+	g := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.String("x")},
+		[]sqldb.Value{sqldb.Int(2), sqldb.String("y")})
+	p := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.String("y")},
+		[]sqldb.Value{sqldb.Int(2), sqldb.String("x")})
+	if got := CompareResults(g, p); got != MatchNo {
+		t.Errorf("misaligned rows must fail: %v", got)
+	}
+}
+
+func TestCompareDuplicateColumnsBacktracking(t *testing.T) {
+	// Two gold columns with identical content: assignment needs to be
+	// injective but any pairing works.
+	g := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(1)},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(2)})
+	p := res([]string{"x", "y"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(1)},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(2)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("duplicate columns should match injectively: %v", got)
+	}
+}
+
+func TestCompareCaseInsensitiveValues(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.String("Wolf")})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.String("WOLF")})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("value comparison should be case-insensitive: %v", got)
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(4)})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Float(4.0)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("4 and 4.0 should match: %v", got)
+	}
+}
+
+func TestOrderedCompare(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	inOrder := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	reversed := res([]string{"a"}, []sqldb.Value{sqldb.Int(2)}, []sqldb.Value{sqldb.Int(1)})
+	if OrderedCompare(g, inOrder) != MatchYes {
+		t.Error("in-order comparison should pass")
+	}
+	if OrderedCompare(g, reversed) != MatchNo {
+		t.Error("ordered comparison must reject reordered rows")
+	}
+}
+
+func TestCompareReflexiveProperty(t *testing.T) {
+	f := func(vals [6]int16) bool {
+		r := res([]string{"a", "b"},
+			[]sqldb.Value{sqldb.Int(int64(vals[0])), sqldb.Int(int64(vals[1]))},
+			[]sqldb.Value{sqldb.Int(int64(vals[2])), sqldb.Int(int64(vals[3]))},
+			[]sqldb.Value{sqldb.Int(int64(vals[4])), sqldb.Int(int64(vals[5]))})
+		return CompareResults(r, r.Clone()) == MatchYes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- linking ------------------------------------------------------------------
+
+func set(ids ...string) sqlparse.IdentifierSet {
+	s := sqlparse.IdentifierSet{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func TestQueryLinkingPaperExample(t *testing.T) {
+	// The appendix E.4 worked example: |gold|=9, |pred|=10, |intersection|=6.
+	gold := set("TLU_PLANTSPECIES", "TBL_OVERSTORY", "TBL_SEEDLINGS", "SPECIES",
+		"SPECIESCODE", "COMMONNAME", "SPCODE", "OVERSTORY_ID", "SEEDLINGS_ID")
+	pred := set("TLU_PLANTSPECIES", "TBL_OVERSTORY", "TBL_SAPLINGS", "SPECIES",
+		"SPECIESCODE", "COMMONNAME", "SPCODE", "GENUS", "SUBSPECIES", "SUBGENUS")
+	s := QueryLinking(gold, pred)
+	if math.Abs(s.Recall-6.0/9.0) > 1e-9 {
+		t.Errorf("recall = %v, want 0.667", s.Recall)
+	}
+	if math.Abs(s.Precision-0.6) > 1e-9 {
+		t.Errorf("precision = %v, want 0.60", s.Precision)
+	}
+	if math.Abs(s.F1-0.632) > 1e-3 {
+		t.Errorf("f1 = %v, want 0.632", s.F1)
+	}
+}
+
+func TestQueryLinkingSQLInvalidPrediction(t *testing.T) {
+	s := QueryLinkingSQL("SELECT a FROM t", "THIS IS NOT SQL")
+	if s.Valid {
+		t.Error("unparseable prediction must be flagged invalid")
+	}
+	s = QueryLinkingSQL("SELECT a FROM t", "SELECT a FROM t")
+	if !s.Valid || s.Recall != 1 || s.Precision != 1 {
+		t.Errorf("identical queries should score 1: %+v", s)
+	}
+}
+
+func TestLinkingBounds(t *testing.T) {
+	f := func(goldN, predN, interN uint8) bool {
+		gold := sqlparse.IdentifierSet{}
+		pred := sqlparse.IdentifierSet{}
+		gi := int(goldN%10) + 1
+		pi := int(predN%10) + 1
+		in := int(interN) % (gi + 1)
+		if in > pi {
+			in = pi
+		}
+		for i := 0; i < gi; i++ {
+			gold.Add(idName("g", i, in))
+		}
+		for i := 0; i < pi; i++ {
+			pred.Add(idName("p", i, in))
+		}
+		s := QueryLinking(gold, pred)
+		return s.Recall >= 0 && s.Recall <= 1 && s.Precision >= 0 && s.Precision <= 1 && s.F1 >= 0 && s.F1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func idName(prefix string, i, shared int) string {
+	if i < shared {
+		return "SHARED" + string(rune('A'+i))
+	}
+	return prefix + string(rune('A'+i))
+}
+
+func TestIdentifierTally(t *testing.T) {
+	tally := NewIdentifierTally()
+	tally.Observe(set("A", "B"), set("A"))
+	tally.Observe(set("A", "C"), set("A", "C"))
+	tally.Observe(set("B"), set("X"))
+	if r, ok := tally.Recall("A"); !ok || r != 1 {
+		t.Errorf("recall(A) = %v %v", r, ok)
+	}
+	if r, ok := tally.Recall("B"); !ok || r != 0 {
+		t.Errorf("recall(B) = %v %v", r, ok)
+	}
+	if r, ok := tally.Recall("C"); !ok || r != 1 {
+		t.Errorf("recall(C) = %v %v", r, ok)
+	}
+	if _, ok := tally.Recall("NEVER"); ok {
+		t.Error("unseen identifier should report !ok")
+	}
+	if tally.GoldCount("a") != 2 {
+		t.Errorf("gold count case-insensitivity broken: %d", tally.GoldCount("a"))
+	}
+	if len(tally.Identifiers()) != 3 {
+		t.Errorf("identifiers = %v", tally.Identifiers())
+	}
+}
+
+func TestSchemaSubsetting(t *testing.T) {
+	gold := set("T1", "T2")
+	selected := set("T1", "T2", "T3", "T4")
+	s := SchemaSubsetting(gold, selected)
+	if s.Recall != 1 || s.Precision != 0.5 {
+		t.Errorf("subsetting scores wrong: %+v", s)
+	}
+	if math.Abs(s.F1-2.0/3.0) > 1e-9 {
+		t.Errorf("f1 = %v", s.F1)
+	}
+	empty := SchemaSubsetting(set(), set())
+	if empty.Recall != 0 || empty.Precision != 0 || empty.F1 != 0 {
+		t.Errorf("empty sets should score 0: %+v", empty)
+	}
+}

@@ -1,0 +1,179 @@
+// Package evalx implements the SNAILS performance-evaluation layer:
+// relaxed execution result matching (set-superset comparison, appendix E.2),
+// query-level and identifier-level schema-linking metrics (section 5.2), and
+// schema-subsetting metrics (Figure 12).
+package evalx
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// MatchOutcome classifies an execution-accuracy comparison.
+type MatchOutcome int
+
+const (
+	// MatchNo means the prediction is ruled out (wrong cardinality or
+	// missing gold columns).
+	MatchNo MatchOutcome = iota
+	// MatchYes means the prediction passed set-superset comparison.
+	MatchYes
+	// MatchUndetermined marks empty result sets, which the paper retains
+	// for syntactic comparison rather than scoring immediately.
+	MatchUndetermined
+)
+
+// String names the outcome.
+func (m MatchOutcome) String() string {
+	switch m {
+	case MatchYes:
+		return "match"
+	case MatchUndetermined:
+		return "undetermined"
+	default:
+		return "no-match"
+	}
+}
+
+// CompareResults performs the relaxed set-superset execution comparison:
+//
+//   - result cardinality must be equal and greater than zero;
+//   - every gold column must be present (as a value multiset) among the
+//     predicted columns — extra predicted columns do not fail the match;
+//   - with columns aligned, the two results must agree row-wise under a
+//     canonical ordering.
+func CompareResults(gold, pred *sqldb.Result) MatchOutcome {
+	if gold == nil || pred == nil {
+		return MatchNo
+	}
+	if gold.Empty() || pred.Empty() {
+		return MatchUndetermined
+	}
+	if gold.NumRows() != pred.NumRows() {
+		return MatchNo
+	}
+	if gold.NumCols() > pred.NumCols() {
+		return MatchNo
+	}
+	assignment := matchColumns(gold, pred)
+	if assignment == nil {
+		return MatchNo
+	}
+	if !rowsEqualUnderAssignment(gold, pred, assignment) {
+		return MatchNo
+	}
+	return MatchYes
+}
+
+// matchColumns finds an injective mapping gold column -> predicted column
+// with identical value multisets, backtracking across interchangeable
+// candidates.
+func matchColumns(gold, pred *sqldb.Result) []int {
+	goldKeys := make([]string, gold.NumCols())
+	for i := range goldKeys {
+		goldKeys[i] = gold.ColumnKey(i)
+	}
+	predKeys := make([]string, pred.NumCols())
+	for j := range predKeys {
+		predKeys[j] = pred.ColumnKey(j)
+	}
+	candidates := make([][]int, gold.NumCols())
+	for i, gk := range goldKeys {
+		for j, pk := range predKeys {
+			if gk == pk {
+				candidates[i] = append(candidates[i], j)
+			}
+		}
+		if len(candidates[i]) == 0 {
+			return nil
+		}
+	}
+	// Assign scarce columns first.
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(candidates[order[a]]) < len(candidates[order[b]])
+	})
+	assignment := make([]int, len(candidates))
+	used := make([]bool, pred.NumCols())
+	var assign func(k int) bool
+	assign = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		i := order[k]
+		for _, j := range candidates[i] {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			assignment[i] = j
+			if assign(k + 1) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil
+	}
+	return assignment
+}
+
+// rowsEqualUnderAssignment checks that the multiset of gold row tuples
+// equals the multiset of predicted row tuples projected onto the assigned
+// columns.
+func rowsEqualUnderAssignment(gold, pred *sqldb.Result, assignment []int) bool {
+	key := func(row []sqldb.Value, cols []int) string {
+		var b strings.Builder
+		for _, c := range cols {
+			b.WriteString(strings.ToUpper(row[c].String()))
+			b.WriteByte('\x1f')
+		}
+		return b.String()
+	}
+	goldCols := make([]int, gold.NumCols())
+	for i := range goldCols {
+		goldCols[i] = i
+	}
+	counts := map[string]int{}
+	for _, r := range gold.Rows {
+		counts[key(r, goldCols)]++
+	}
+	for _, r := range pred.Rows {
+		k := key(r, assignment)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	for _, n := range counts {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderedCompare additionally requires identical row order for questions
+// that specify an ordering.
+func OrderedCompare(gold, pred *sqldb.Result) MatchOutcome {
+	out := CompareResults(gold, pred)
+	if out != MatchYes {
+		return out
+	}
+	assignment := matchColumns(gold, pred)
+	for ri, grow := range gold.Rows {
+		for gi, pi := range assignment {
+			if !strings.EqualFold(grow[gi].String(), pred.Rows[ri][pi].String()) {
+				return MatchNo
+			}
+		}
+	}
+	return MatchYes
+}

@@ -1,0 +1,120 @@
+package evalx
+
+import (
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// LinkScores holds the query-level schema-linking metrics of section 5.2.
+type LinkScores struct {
+	Recall    float64
+	Precision float64
+	F1        float64
+	// Valid is false when the predicted query could not be parsed, which
+	// the paper excludes from linking analysis.
+	Valid bool
+}
+
+// QueryLinking computes QueryRecall / QueryPrecision / QueryF1 between the
+// identifier sets of the gold and predicted queries (equations 1-3).
+func QueryLinking(gold, pred sqlparse.IdentifierSet) LinkScores {
+	s := LinkScores{Valid: true}
+	inter := float64(gold.Intersect(pred))
+	if len(gold) > 0 {
+		s.Recall = inter / float64(len(gold))
+	}
+	if len(pred) > 0 {
+		s.Precision = inter / float64(len(pred))
+	}
+	if s.Recall+s.Precision > 0 {
+		s.F1 = 2 * s.Recall * s.Precision / (s.Recall + s.Precision)
+	}
+	return s
+}
+
+// QueryLinkingSQL parses both queries and computes linking scores. The
+// returned Valid flag is false when the predicted SQL fails to parse (the
+// gold query is trusted and panics are not tolerated there).
+func QueryLinkingSQL(goldSQL, predSQL string) LinkScores {
+	goldSel, err := sqlparse.Parse(goldSQL)
+	if err != nil {
+		return LinkScores{Valid: false}
+	}
+	predSel, err := sqlparse.Parse(predSQL)
+	if err != nil {
+		return LinkScores{Valid: false}
+	}
+	return QueryLinking(sqlparse.Analyze(goldSel).All(), sqlparse.Analyze(predSel).All())
+}
+
+// IdentifierTally accumulates identifier-level linking statistics
+// (equation 4): for each native identifier, how many gold queries contained
+// it and how many predictions recalled it.
+type IdentifierTally struct {
+	gold  map[string]int
+	match map[string]int
+}
+
+// NewIdentifierTally returns an empty tally.
+func NewIdentifierTally() *IdentifierTally {
+	return &IdentifierTally{gold: map[string]int{}, match: map[string]int{}}
+}
+
+// Observe records one gold/predicted identifier-set pair.
+func (t *IdentifierTally) Observe(gold, pred sqlparse.IdentifierSet) {
+	for id := range gold {
+		t.gold[id]++
+		if _, ok := pred[id]; ok {
+			t.match[id]++
+		}
+	}
+}
+
+// Recall returns IdentifierRecall for one identifier; ok is false if the
+// identifier never appeared in a gold query.
+func (t *IdentifierTally) Recall(identifier string) (float64, bool) {
+	key := strings.ToUpper(identifier)
+	g := t.gold[key]
+	if g == 0 {
+		return 0, false
+	}
+	return float64(t.match[key]) / float64(g), true
+}
+
+// GoldCount returns how many gold queries contained the identifier.
+func (t *IdentifierTally) GoldCount(identifier string) int {
+	return t.gold[strings.ToUpper(identifier)]
+}
+
+// Identifiers returns all identifiers seen in gold queries.
+func (t *IdentifierTally) Identifiers() []string {
+	out := make([]string, 0, len(t.gold))
+	for id := range t.gold {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SubsetScores holds schema-subsetting (table retrieval) metrics.
+type SubsetScores struct {
+	Recall    float64
+	Precision float64
+	F1        float64
+}
+
+// SchemaSubsetting scores a filtered table set against the gold tables.
+func SchemaSubsetting(goldTables, selectedTables sqlparse.IdentifierSet) SubsetScores {
+	var s SubsetScores
+	inter := float64(goldTables.Intersect(selectedTables))
+	if len(goldTables) > 0 {
+		s.Recall = inter / float64(len(goldTables))
+	}
+	if len(selectedTables) > 0 {
+		s.Precision = inter / float64(len(selectedTables))
+	}
+	if s.Recall+s.Precision > 0 {
+		s.F1 = 2 * s.Recall * s.Precision / (s.Recall + s.Precision)
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+func recallOf(rows []AblationRow, config string, v schema.Variant) float64 {
+	for _, r := range rows {
+		if r.Config == config && r.Variant == v {
+			return r.Recall
+		}
+	}
+	return -1
+}
+
+func TestAblationGate(t *testing.T) {
+	rows := AblationGate("ATBI", "gpt-4o")
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Without the gate, Least-naturalness linking improves (the mechanism
+	// carries the Least degradation); Regular is essentially unaffected.
+	fullLeast := recallOf(rows, "full", schema.VariantLeast)
+	offLeast := recallOf(rows, "no-gate", schema.VariantLeast)
+	if offLeast <= fullLeast {
+		t.Errorf("disabling the gate should raise Least recall: full=%.3f off=%.3f", fullLeast, offLeast)
+	}
+	fullReg := recallOf(rows, "full", schema.VariantRegular)
+	offReg := recallOf(rows, "no-gate", schema.VariantRegular)
+	if offReg-fullReg > 0.05 {
+		t.Errorf("the gate should barely touch Regular: full=%.3f off=%.3f", fullReg, offReg)
+	}
+}
+
+func TestAblationPrefixEase(t *testing.T) {
+	rows := AblationPrefixEase("ATBI", "gpt-3.5")
+	// Without prefix ease, Low-naturalness identifiers (mostly truncations)
+	// become harder to read, dropping Low recall.
+	fullLow := recallOf(rows, "full", schema.VariantLow)
+	offLow := recallOf(rows, "no-prefix-ease", schema.VariantLow)
+	if offLow >= fullLow {
+		t.Errorf("removing prefix ease should lower Low recall: full=%.3f off=%.3f", fullLow, offLow)
+	}
+}
+
+func TestAblationExpander(t *testing.T) {
+	r := AblationExpander("ATBI")
+	if r.Entries == 0 {
+		t.Fatal("no Low/Least entries")
+	}
+	if r.GroundedExact < r.DictOnlyExact {
+		t.Errorf("metadata grounding should not hurt exact recovery: grounded=%d dict=%d",
+			r.GroundedExact, r.DictOnlyExact)
+	}
+	if r.GroundedExact == 0 {
+		t.Error("grounded expansion should recover some concepts exactly")
+	}
+	if r.GroundedOK < r.DictOnlyOK {
+		t.Errorf("grounding should not reduce resolution coverage: %d vs %d", r.GroundedOK, r.DictOnlyOK)
+	}
+}
+
+func TestAblationMatching(t *testing.T) {
+	r := AblationMatching("CWO", "gpt-4o")
+	if r.N == 0 || r.Relaxed == 0 {
+		t.Fatalf("implausible matching ablation: %+v", r)
+	}
+	if r.Strict > r.Relaxed {
+		t.Errorf("strict cannot exceed relaxed: %+v", r)
+	}
+}
+
+func TestWriteAblationsRenders(t *testing.T) {
+	var sb strings.Builder
+	WriteAblations(&sb)
+	out := sb.String()
+	for _, want := range []string{"recognition gate", "prefix-truncation", "metadata grounding", "relaxed vs strict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

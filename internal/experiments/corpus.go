@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/stats"
+	"github.com/snails-bench/snails/internal/token"
+)
+
+// Figure2Row is the mean token-in-dictionary proportion for one naturalness
+// class.
+type Figure2Row struct {
+	Level naturalness.Level
+	Mean  float64
+	N     int
+}
+
+// Figure2 computes mean token-in-dictionary by class over the labeled
+// corpus (Artifact 2).
+func Figure2() []Figure2Row {
+	d := ident.DefaultDictionary()
+	sums := map[naturalness.Level]float64{}
+	counts := map[naturalness.Level]int{}
+	for _, ex := range datasets.Collection2() {
+		sums[ex.Level] += ident.MeanTokenInDictionary(ex.Identifier, d)
+		counts[ex.Level]++
+	}
+	var rows []Figure2Row
+	for _, l := range naturalness.Levels {
+		mean := 0.0
+		if counts[l] > 0 {
+			mean = sums[l] / float64(counts[l])
+		}
+		rows = append(rows, Figure2Row{Level: l, Mean: mean, N: counts[l]})
+	}
+	return rows
+}
+
+// Table1 returns example identifiers per class, like the paper's Table 1.
+// Examples are stride-sampled across the corpus so each class shows a
+// spread of databases and naming styles.
+func Table1(perLevel int) map[naturalness.Level][]string {
+	byLevel := map[naturalness.Level][]string{}
+	for _, ex := range datasets.Collection2() {
+		byLevel[ex.Level] = append(byLevel[ex.Level], ex.Identifier)
+	}
+	out := map[naturalness.Level][]string{}
+	for l, ids := range byLevel {
+		if perLevel <= 0 || len(ids) == 0 {
+			continue
+		}
+		stride := len(ids) / perLevel
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < len(ids) && len(out[l]) < perLevel; i += stride {
+			out[l] = append(out[l], ids[i])
+		}
+	}
+	return out
+}
+
+// CollectionRow is one collection's naturalness distribution (Figure 3).
+type CollectionRow struct {
+	Collection string
+	Regular    float64
+	Low        float64
+	Least      float64
+	Combined   float64
+	N          int
+}
+
+// Figure3 compares the naturalness proportions of the SNAILS collection,
+// the Spider-like benchmark collection, and the SchemaPile-like corpus.
+// Proportions for SNAILS and Spider come from classifying each identifier
+// with the trained classifier — as the paper does — rather than from the
+// generators' ground truth.
+func Figure3() []CollectionRow {
+	clf := TrainedClassifier()
+	var rows []CollectionRow
+
+	// Each database/schema contributes its proportion profile equally so a
+	// single huge schema (SBOD, 10k+ identifiers) cannot dominate the
+	// collection's distribution — matching the chart semantics of Figure 3.
+	summarize := func(name string, perSchema [][]string) CollectionRow {
+		var row CollectionRow
+		for _, ids := range perSchema {
+			var levels []naturalness.Level
+			for _, id := range ids {
+				levels = append(levels, clf.Classify(id))
+			}
+			r, lo, le := naturalness.Proportions(levels)
+			row.Regular += r
+			row.Low += lo
+			row.Least += le
+			row.Combined += naturalness.CombinedOf(levels)
+			row.N += len(levels)
+		}
+		n := float64(len(perSchema))
+		row.Collection = name
+		row.Regular /= n
+		row.Low /= n
+		row.Least /= n
+		row.Combined /= n
+		return row
+	}
+
+	var snails [][]string
+	for _, b := range datasets.All() {
+		snails = append(snails, b.Schema.UniqueIdentifiers())
+	}
+	rows = append(rows, summarize("SNAILS", snails))
+
+	var spider [][]string
+	for _, b := range datasets.SpiderDev() {
+		spider = append(spider, b.Schema.UniqueIdentifiers())
+	}
+	rows = append(rows, summarize("Spider-like", spider))
+
+	var bird [][]string
+	for _, b := range datasets.BirdDev() {
+		bird = append(bird, b.Schema.UniqueIdentifiers())
+	}
+	rows = append(rows, summarize("BIRD-like", bird))
+
+	// SchemaPile: classify a deterministic sample (the paper classifies the
+	// full 1M-identifier collection with the CANINE model; we bound work).
+	var pile [][]string
+	all := datasets.SchemaPile()
+	total := 0
+	for i := range all {
+		if i%4 != 0 {
+			continue
+		}
+		pile = append(pile, all[i].Identifiers)
+		total += len(all[i].Identifiers)
+		if total > 8000 {
+			break
+		}
+	}
+	rows = append(rows, summarize("SchemaPile-like", pile))
+	return rows
+}
+
+// PileScan summarizes the section 2.2 SchemaPile scan.
+type PileScan struct {
+	Schemas            int
+	LeastHeavySchemas  int     // schemas with >= 10% Least identifiers
+	LeastHeavyFraction float64 // proportion of such schemas
+	LowCombined        int     // schemas with combined naturalness <= 0.7
+	LowCombinedMinor   int     // of those, schemas where Low+Least outnumber Regular
+}
+
+// Section22Scan classifies the SchemaPile-like corpus with the trained
+// classifier and reproduces the section 2.2 statistics.
+func Section22Scan() PileScan {
+	clf := TrainedClassifier()
+	pile := datasets.SchemaPile()
+	scan := PileScan{Schemas: len(pile)}
+	for i := range pile {
+		var levels []naturalness.Level
+		for _, id := range pile[i].Identifiers {
+			levels = append(levels, clf.Classify(id))
+		}
+		r, lo, le := naturalness.Proportions(levels)
+		if le >= 0.10 {
+			scan.LeastHeavySchemas++
+		}
+		if naturalness.CombinedOf(levels) <= 0.7 {
+			scan.LowCombined++
+			if lo+le > r {
+				scan.LowCombinedMinor++
+			}
+		}
+	}
+	scan.LeastHeavyFraction = float64(scan.LeastHeavySchemas) / float64(scan.Schemas)
+	return scan
+}
+
+// CDFSeries is one naturalness level's cumulative distribution over a
+// measurement (Figures 26 and 27).
+type CDFSeries struct {
+	Level      naturalness.Level
+	Thresholds []float64
+	CDF        []float64
+	N          int
+}
+
+// Figure26 computes the identifier character-count CDF by naturalness level.
+func Figure26() []CDFSeries {
+	perLevel := map[naturalness.Level][]float64{}
+	for _, ex := range datasets.Collection2() {
+		perLevel[ex.Level] = append(perLevel[ex.Level], float64(len(ex.Identifier)))
+	}
+	thresholds := makeThresholds(1, 40)
+	var out []CDFSeries
+	for _, l := range naturalness.Levels {
+		out = append(out, CDFSeries{
+			Level: l, Thresholds: thresholds,
+			CDF: stats.CDF(perLevel[l], thresholds), N: len(perLevel[l]),
+		})
+	}
+	return out
+}
+
+// Figure27 computes the token-count CDF by level for one model tokenizer.
+func Figure27(model string) []CDFSeries {
+	tok := token.ForModel(model)
+	perLevel := map[naturalness.Level][]float64{}
+	for _, ex := range datasets.Collection2() {
+		perLevel[ex.Level] = append(perLevel[ex.Level], float64(tok.Count(ex.Identifier)))
+	}
+	thresholds := makeThresholds(1, 16)
+	var out []CDFSeries
+	for _, l := range naturalness.Levels {
+		out = append(out, CDFSeries{
+			Level: l, Thresholds: thresholds,
+			CDF: stats.CDF(perLevel[l], thresholds), N: len(perLevel[l]),
+		})
+	}
+	return out
+}
+
+// TCRRow is one (tokenizer, level) token-to-character summary (Figure 28).
+type TCRRow struct {
+	Tokenizer string
+	Level     naturalness.Level
+	Box       stats.BoxStats
+}
+
+// Figure28 computes TCR distributions by naturalness level per tokenizer.
+func Figure28() []TCRRow {
+	var rows []TCRRow
+	for _, model := range token.ModelNames() {
+		tok := token.ForModel(model)
+		perLevel := map[naturalness.Level][]float64{}
+		for _, ex := range datasets.Collection2() {
+			perLevel[ex.Level] = append(perLevel[ex.Level], tok.TCR(ex.Identifier))
+		}
+		for _, l := range naturalness.Levels {
+			rows = append(rows, TCRRow{Tokenizer: model, Level: l, Box: stats.Box(perLevel[l])})
+		}
+	}
+	return rows
+}
+
+// Figure5Row is one database's native naturalness summary (Figures 5/24).
+type Figure5Row struct {
+	DB       string
+	Regular  float64
+	Low      float64
+	Least    float64
+	Combined float64
+}
+
+// Figure5 reports the per-database native naturalness proportions and
+// combined scores.
+func Figure5() []Figure5Row {
+	var rows []Figure5Row
+	for _, b := range datasets.All() {
+		levels := b.Schema.NativeLevels()
+		r, lo, le := naturalness.Proportions(levels)
+		rows = append(rows, Figure5Row{
+			DB: b.Name, Regular: r, Low: lo, Least: le,
+			Combined: naturalness.CombinedOf(levels),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].DB < rows[j].DB })
+	return rows
+}
+
+func makeThresholds(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// NamingPatternScan reports the section-6 "other naming patterns" counts
+// over the SchemaPile-like corpus: identifiers containing whitespace and
+// identifiers embedding the word "table" — both rare (<1%) but present, as
+// the paper observes.
+type NamingPatternScan struct {
+	Identifiers int
+	Whitespace  int
+	TableWord   int
+}
+
+// Section6NamingPatterns scans the corpus for LLM-unfriendly naming
+// patterns.
+func Section6NamingPatterns() NamingPatternScan {
+	var scan NamingPatternScan
+	for _, s := range datasets.SchemaPile() {
+		for _, id := range s.Identifiers {
+			scan.Identifiers++
+			if strings.ContainsAny(id, " \t") {
+				scan.Whitespace++
+			}
+			lower := strings.ToLower(id)
+			if strings.Contains(lower, "table") || strings.HasPrefix(lower, "tbl_") {
+				scan.TableWord++
+			}
+		}
+	}
+	return scan
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/stats"
+)
+
+// TauRow is one Kendall-Tau correlation table row (Figures 31-47).
+type TauRow struct {
+	Model string
+	Tau   float64
+	P     float64
+	N     int
+}
+
+// Feature selects the x-variable of a correlation.
+type Feature int
+
+const (
+	FeatCombined Feature = iota
+	FeatRegular
+	FeatLow
+	FeatLeast
+	FeatTCR
+)
+
+// Outcome selects the y-variable of a correlation.
+type Outcome int
+
+const (
+	OutRecall Outcome = iota
+	OutPrecision
+	OutF1
+	OutExecAccuracy
+)
+
+// Scope selects which schema variants feed the correlation (the paper
+// reports each table for native-only and for native+modified).
+type Scope int
+
+const (
+	ScopeNative Scope = iota
+	ScopeAll
+)
+
+func featureOf(c *Cell, f Feature) float64 {
+	switch f {
+	case FeatCombined:
+		return c.Combined
+	case FeatRegular:
+		return c.RegFrac
+	case FeatLow:
+		return c.LowFrac
+	case FeatLeast:
+		return c.LeastFrac
+	default:
+		return c.TCR
+	}
+}
+
+func outcomeOf(c *Cell, o Outcome) (float64, bool) {
+	switch o {
+	case OutExecAccuracy:
+		if c.ExecCorrect {
+			return 1, true
+		}
+		return 0, true
+	case OutRecall:
+		return c.Link.Recall, c.ParseOK
+	case OutPrecision:
+		return c.Link.Precision, c.ParseOK
+	default:
+		return c.Link.F1, c.ParseOK
+	}
+}
+
+// Correlate computes the Kendall-Tau table for one (feature, outcome, scope)
+// combination, one row per model — the layout of Figures 31-47.
+func Correlate(f Feature, o Outcome, scope Scope) []TauRow {
+	s := Run()
+	var rows []TauRow
+	for _, m := range ModelNames() {
+		var xs, ys []float64
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			if c.Model != m {
+				continue
+			}
+			if scope == ScopeNative && c.Variant != schema.VariantNative {
+				continue
+			}
+			y, ok := outcomeOf(c, o)
+			if !ok {
+				continue // linking analysis excludes unparseable predictions
+			}
+			xs = append(xs, featureOf(c, f))
+			ys = append(ys, y)
+		}
+		res, err := stats.KendallTau(xs, ys)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, TauRow{Model: m, Tau: res.Tau, P: res.P, N: res.N})
+	}
+	return rows
+}
+
+// CorrelationCatalog enumerates every Kendall-Tau table of the appendix with
+// its figure number, so the bench harness can regenerate them all.
+type CorrelationSpec struct {
+	Figure  string
+	F       Feature
+	O       Outcome
+	Scope   Scope
+	Caption string
+}
+
+// Catalog returns the full list of appendix correlation tables.
+func Catalog() []CorrelationSpec {
+	return []CorrelationSpec{
+		{"31a", FeatTCR, OutRecall, ScopeNative, "TCR vs QueryRecall (native)"},
+		{"31b", FeatTCR, OutRecall, ScopeAll, "TCR vs QueryRecall (all schemas)"},
+		{"32a", FeatCombined, OutRecall, ScopeNative, "Combined naturalness vs QueryRecall (native)"},
+		{"32b", FeatCombined, OutRecall, ScopeAll, "Combined naturalness vs QueryRecall (all)"},
+		{"33a", FeatCombined, OutF1, ScopeNative, "Combined naturalness vs QueryF1 (native)"},
+		{"33b", FeatCombined, OutF1, ScopeAll, "Combined naturalness vs QueryF1 (all)"},
+		{"34a", FeatCombined, OutPrecision, ScopeNative, "Combined naturalness vs QueryPrecision (native)"},
+		{"34b", FeatCombined, OutPrecision, ScopeAll, "Combined naturalness vs QueryPrecision (all)"},
+		{"35a", FeatRegular, OutRecall, ScopeNative, "Regular proportion vs QueryRecall (native)"},
+		{"35b", FeatRegular, OutRecall, ScopeAll, "Regular proportion vs QueryRecall (all)"},
+		{"36a", FeatLow, OutRecall, ScopeNative, "Low proportion vs QueryRecall (native)"},
+		{"36b", FeatLow, OutRecall, ScopeAll, "Low proportion vs QueryRecall (all)"},
+		{"37a", FeatLeast, OutRecall, ScopeNative, "Least proportion vs QueryRecall (native)"},
+		{"37b", FeatLeast, OutRecall, ScopeAll, "Least proportion vs QueryRecall (all)"},
+		{"38a", FeatRegular, OutF1, ScopeNative, "Regular proportion vs QueryF1 (native)"},
+		{"38b", FeatRegular, OutF1, ScopeAll, "Regular proportion vs QueryF1 (all)"},
+		{"39a", FeatLow, OutF1, ScopeNative, "Low proportion vs QueryF1 (native)"},
+		{"39b", FeatLow, OutF1, ScopeAll, "Low proportion vs QueryF1 (all)"},
+		{"40a", FeatLeast, OutF1, ScopeNative, "Least proportion vs QueryF1 (native)"},
+		{"40b", FeatLeast, OutF1, ScopeAll, "Least proportion vs QueryF1 (all)"},
+		{"41a", FeatRegular, OutPrecision, ScopeNative, "Regular proportion vs QueryPrecision (native)"},
+		{"41b", FeatRegular, OutPrecision, ScopeAll, "Regular proportion vs QueryPrecision (all)"},
+		{"42a", FeatLow, OutPrecision, ScopeNative, "Low proportion vs QueryPrecision (native)"},
+		{"42b", FeatLow, OutPrecision, ScopeAll, "Low proportion vs QueryPrecision (all)"},
+		{"43a", FeatLeast, OutPrecision, ScopeNative, "Least proportion vs QueryPrecision (native)"},
+		{"43b", FeatLeast, OutPrecision, ScopeAll, "Least proportion vs QueryPrecision (all)"},
+		{"44a", FeatRegular, OutExecAccuracy, ScopeNative, "Regular proportion vs Execution Accuracy (native)"},
+		{"44b", FeatRegular, OutExecAccuracy, ScopeAll, "Regular proportion vs Execution Accuracy (all)"},
+		{"45a", FeatLow, OutExecAccuracy, ScopeNative, "Low proportion vs Execution Accuracy (native)"},
+		{"45b", FeatLow, OutExecAccuracy, ScopeAll, "Low proportion vs Execution Accuracy (all)"},
+		{"46a", FeatLeast, OutExecAccuracy, ScopeNative, "Least proportion vs Execution Accuracy (native)"},
+		{"46b", FeatLeast, OutExecAccuracy, ScopeAll, "Least proportion vs Execution Accuracy (all)"},
+		{"47a", FeatCombined, OutExecAccuracy, ScopeNative, "Combined naturalness vs Execution Accuracy (native)"},
+		{"47b", FeatCombined, OutExecAccuracy, ScopeAll, "Combined naturalness vs Execution Accuracy (all)"},
+	}
+}

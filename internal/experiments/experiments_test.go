@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+func rowsByVariant(rows []AccuracyRow, model string) map[schema.Variant]float64 {
+	out := map[schema.Variant]float64{}
+	for _, r := range rows {
+		if r.Model == model {
+			out[r.Variant] = r.Accuracy
+		}
+	}
+	return out
+}
+
+func TestSweepCoversFullGrid(t *testing.T) {
+	s := Run()
+	want := 6 * 4 * 503
+	if len(s.Cells) != want {
+		t.Fatalf("sweep cells = %d, want %d", len(s.Cells), want)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	s := Run()
+	a := s.Cells[100]
+	b := Run().Cells[100]
+	if a.Model != b.Model || a.ExecCorrect != b.ExecCorrect || a.Link != b.Link {
+		t.Error("sweep should be cached and stable")
+	}
+}
+
+// Figure 8 key takeaway: Regular >= Low > Least execution accuracy for every
+// model, and Least is substantially worse.
+func TestFigure8Shape(t *testing.T) {
+	rows := Figure8()
+	for _, m := range ModelNames() {
+		acc := rowsByVariant(rows, m)
+		if acc[schema.VariantRegular] < acc[schema.VariantLow] {
+			t.Errorf("%s: Regular (%.3f) should be >= Low (%.3f)", m,
+				acc[schema.VariantRegular], acc[schema.VariantLow])
+		}
+		if acc[schema.VariantLow] <= acc[schema.VariantLeast] {
+			t.Errorf("%s: Low (%.3f) should beat Least (%.3f)", m,
+				acc[schema.VariantLow], acc[schema.VariantLeast])
+		}
+		if acc[schema.VariantRegular]-acc[schema.VariantLeast] < 0.15 {
+			t.Errorf("%s: Least should be substantially worse than Regular (%.3f vs %.3f)",
+				m, acc[schema.VariantLeast], acc[schema.VariantRegular])
+		}
+	}
+}
+
+// Model ordering: the strong closed models beat the open-source models, and
+// DIN-SQL does not beat plain GPT-4o zero-shot (the paper's
+// complex-workflows-counterproductive observation).
+func TestModelOrdering(t *testing.T) {
+	rows := Figure8()
+	overall := map[string]float64{}
+	for _, m := range ModelNames() {
+		acc := rowsByVariant(rows, m)
+		overall[m] = (acc[schema.VariantNative] + acc[schema.VariantRegular] +
+			acc[schema.VariantLow] + acc[schema.VariantLeast]) / 4
+	}
+	for _, weak := range []string{"gpt-3.5", "Phind-CodeLlama-34B-v2", "CodeS"} {
+		if overall[weak] >= overall["gpt-4o"] {
+			t.Errorf("%s (%.3f) should be below gpt-4o (%.3f)", weak, overall[weak], overall["gpt-4o"])
+		}
+	}
+	if overall["DINSQL"] > overall["gpt-4o"]+0.01 {
+		t.Errorf("DIN-SQL (%.3f) should not beat GPT-4o zero-shot (%.3f)",
+			overall["DINSQL"], overall["gpt-4o"])
+	}
+}
+
+// Figure 9: IdentifierRecall decreases with lower identifier naturalness for
+// every model.
+func TestFigure9Shape(t *testing.T) {
+	rows := Figure9()
+	byModel := map[string]map[naturalness.Level]float64{}
+	for _, r := range rows {
+		if byModel[r.Model] == nil {
+			byModel[r.Model] = map[naturalness.Level]float64{}
+		}
+		byModel[r.Model][r.Level] = r.Recall
+		if r.N == 0 {
+			t.Errorf("%s/%v: no identifiers measured", r.Model, r.Level)
+		}
+	}
+	for m, rec := range byModel {
+		if rec[naturalness.Regular] < rec[naturalness.Least] {
+			t.Errorf("%s: Regular identifier recall (%.3f) below Least (%.3f)",
+				m, rec[naturalness.Regular], rec[naturalness.Least])
+		}
+		if rec[naturalness.Low] < rec[naturalness.Least] {
+			t.Errorf("%s: Low identifier recall (%.3f) below Least (%.3f)",
+				m, rec[naturalness.Low], rec[naturalness.Least])
+		}
+	}
+}
+
+// Figure 10: QueryRecall ordering and higher sensitivity for the open-source
+// models.
+func TestFigure10Shape(t *testing.T) {
+	rows := Figure10()
+	recall := map[string]map[schema.Variant]float64{}
+	for _, r := range rows {
+		if recall[r.Model] == nil {
+			recall[r.Model] = map[schema.Variant]float64{}
+		}
+		recall[r.Model][r.Variant] = r.Recall
+	}
+	for m, rec := range recall {
+		if !(rec[schema.VariantRegular] >= rec[schema.VariantLow] &&
+			rec[schema.VariantLow] > rec[schema.VariantLeast]) {
+			t.Errorf("%s: recall ordering violated: %v", m, rec)
+		}
+	}
+	dropStrong := recall["gpt-4o"][schema.VariantRegular] - recall["gpt-4o"][schema.VariantLeast]
+	dropWeak := recall["Phind-CodeLlama-34B-v2"][schema.VariantRegular] - recall["Phind-CodeLlama-34B-v2"][schema.VariantLeast]
+	if dropWeak <= dropStrong {
+		t.Errorf("open-source model should be more naturalness-sensitive: weak drop %.3f vs strong drop %.3f",
+			dropWeak, dropStrong)
+	}
+}
+
+// Figure 11: SBOD (a Least-natural schema) improves dramatically when
+// renamed to Regular, for every model; PILB (already natural) does not need
+// renaming.
+func TestFigure11Shape(t *testing.T) {
+	rows := Figure11("PILB", "SBOD")
+	get := func(db, m string, v schema.Variant) float64 {
+		for _, r := range rows {
+			if r.DB == db && r.Model == m && r.Variant == v {
+				return r.Recall
+			}
+		}
+		t.Fatalf("missing row %s/%s/%v", db, m, v)
+		return 0
+	}
+	for _, m := range ModelNames() {
+		if gain := get("SBOD", m, schema.VariantRegular) - get("SBOD", m, schema.VariantNative); gain < 0.15 {
+			t.Errorf("%s: SBOD Native->Regular gain %.3f should be large", m, gain)
+		}
+		if gain := get("PILB", m, schema.VariantRegular) - get("PILB", m, schema.VariantNative); gain > 0.15 {
+			t.Errorf("%s: PILB should not need renaming (gain %.3f)", m, gain)
+		}
+		if drop := get("PILB", m, schema.VariantNative) - get("PILB", m, schema.VariantLeast); drop < 0.03 {
+			t.Errorf("%s: reducing PILB to Least should degrade recall (drop %.3f)", m, drop)
+		}
+	}
+}
+
+// Figure 12: subsetting stages exist only for DIN-SQL and CodeS, and Least
+// schemas hurt filter recall.
+func TestFigure12Shape(t *testing.T) {
+	rows := Figure12()
+	models := map[string]bool{}
+	f1 := map[string]map[schema.Variant]float64{}
+	recall := map[string]map[schema.Variant]float64{}
+	for _, r := range rows {
+		models[r.Model] = true
+		if f1[r.Model] == nil {
+			f1[r.Model] = map[schema.Variant]float64{}
+			recall[r.Model] = map[schema.Variant]float64{}
+		}
+		f1[r.Model][r.Variant] = r.F1
+		recall[r.Model][r.Variant] = r.Recall
+	}
+	if len(models) != 2 || !models["DINSQL"] || !models["CodeS"] {
+		t.Fatalf("subsetting models = %v, want DINSQL and CodeS", models)
+	}
+	for m := range models {
+		if recall[m][schema.VariantRegular] <= recall[m][schema.VariantLeast] {
+			t.Errorf("%s: filter recall should degrade at Least: %v", m, recall[m])
+		}
+	}
+}
+
+// Figure 13: the Spider-like collection is natural, so Native performs like
+// Regular and the damage concentrates between Low and Least.
+func TestFigure13Shape(t *testing.T) {
+	rows := Figure13()
+	rec := map[string]map[schema.Variant]float64{}
+	for _, r := range rows {
+		if rec[r.Model] == nil {
+			rec[r.Model] = map[schema.Variant]float64{}
+		}
+		rec[r.Model][r.Variant] = r.Recall
+		if r.N == 0 {
+			t.Fatalf("no spider cells for %s/%v", r.Model, r.Variant)
+		}
+	}
+	var meanDrop float64
+	for m, v := range rec {
+		if math.Abs(v[schema.VariantNative]-v[schema.VariantRegular]) > 0.12 {
+			t.Errorf("%s: spider Native (%.3f) should track Regular (%.3f)",
+				m, v[schema.VariantNative], v[schema.VariantRegular])
+		}
+		drop := v[schema.VariantLow] - v[schema.VariantLeast]
+		meanDrop += drop
+		if drop < -0.03 {
+			t.Errorf("%s: spider Least should not beat Low: low=%.3f least=%.3f",
+				m, v[schema.VariantLow], v[schema.VariantLeast])
+		}
+	}
+	meanDrop /= float64(len(rec))
+	if meanDrop < 0.05 {
+		t.Errorf("spider Low->Least drop should be the dominant effect: mean drop %.3f", meanDrop)
+	}
+}
+
+// The statistical headline: combined query naturalness correlates positively
+// and significantly with QueryRecall and execution accuracy for every model,
+// and the Least-identifier proportion correlates negatively.
+func TestKendallTauHeadlines(t *testing.T) {
+	for _, spec := range []struct {
+		f       Feature
+		o       Outcome
+		scope   Scope
+		signPos bool
+	}{
+		{FeatCombined, OutRecall, ScopeAll, true},
+		{FeatCombined, OutExecAccuracy, ScopeAll, true},
+		{FeatLeast, OutRecall, ScopeAll, false},
+		{FeatLeast, OutExecAccuracy, ScopeAll, false},
+	} {
+		rows := Correlate(spec.f, spec.o, spec.scope)
+		if len(rows) != 6 {
+			t.Fatalf("expected 6 model rows, got %d", len(rows))
+		}
+		for _, r := range rows {
+			if spec.signPos && r.Tau <= 0 {
+				t.Errorf("feature %d outcome %d: %s tau=%.3f should be positive", spec.f, spec.o, r.Model, r.Tau)
+			}
+			if !spec.signPos && r.Tau >= 0 {
+				t.Errorf("feature %d outcome %d: %s tau=%.3f should be negative", spec.f, spec.o, r.Model, r.Tau)
+			}
+			if r.P > 0.01 {
+				t.Errorf("feature %d outcome %d: %s correlation not significant (p=%.4f)", spec.f, spec.o, r.Model, r.P)
+			}
+		}
+	}
+}
+
+// Open-source models exhibit the strongest naturalness correlations
+// (section 5's key takeaway about model-dependent sensitivity).
+func TestCorrelationMagnitudeOrdering(t *testing.T) {
+	rows := Correlate(FeatCombined, OutRecall, ScopeAll)
+	tau := map[string]float64{}
+	for _, r := range rows {
+		tau[r.Model] = r.Tau
+	}
+	if tau["Phind-CodeLlama-34B-v2"] <= tau["gemini-1.5-pro"] {
+		t.Errorf("Phind tau (%.3f) should exceed Gemini tau (%.3f)",
+			tau["Phind-CodeLlama-34B-v2"], tau["gemini-1.5-pro"])
+	}
+	if tau["CodeS"] <= tau["gpt-4o"] {
+		t.Errorf("CodeS tau (%.3f) should exceed GPT-4o tau (%.3f)", tau["CodeS"], tau["gpt-4o"])
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 34 {
+		t.Fatalf("catalog should list the 34 appendix tau tables, got %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Figure] {
+			t.Errorf("duplicate figure id %s", s.Figure)
+		}
+		seen[s.Figure] = true
+		if s.Caption == "" {
+			t.Errorf("figure %s has no caption", s.Figure)
+		}
+	}
+}
+
+// Table 5: finetuned classifiers beat few-shot which beat the heuristic, and
+// the best model lands in the high-accuracy band the paper reports (~0.89).
+func TestTable5Shape(t *testing.T) {
+	rows := Table5()
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Model] = r.Accuracy
+		if r.F1 < 0 || r.F1 > 1 {
+			t.Errorf("%s: f1 out of range: %v", r.Model, r.F1)
+		}
+	}
+	if byName["Softmax+TG C2"] < 0.8 {
+		t.Errorf("best classifier accuracy %.3f below the Table 5 band", byName["Softmax+TG C2"])
+	}
+	if byName["Softmax+TG C2"] < byName["FewShot-25"] {
+		t.Error("finetuned should beat few-shot")
+	}
+	if byName["Softmax+TG C2"] < byName["Heuristic"] {
+		t.Error("finetuned should beat the heuristic")
+	}
+	if byName["Softmax+TG C2"] < byName["Softmax C2"]-0.02 {
+		t.Error("character tagging should not hurt")
+	}
+	if byName["Softmax C2"] < byName["Softmax C1"]-0.02 {
+		t.Error("training on the larger Collection 2 should not hurt")
+	}
+}
+
+// Figure 2: mean token-in-dictionary decreases monotonically with lower
+// naturalness.
+func TestFigure2Shape(t *testing.T) {
+	rows := Figure2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[0].Mean > rows[1].Mean && rows[1].Mean > rows[2].Mean) {
+		t.Errorf("token-in-dictionary should decrease with naturalness: %+v", rows)
+	}
+	if rows[0].Mean < 0.9 {
+		t.Errorf("Regular identifiers should be nearly all in-dictionary: %.3f", rows[0].Mean)
+	}
+}
+
+// Figure 3: the SNAILS collection is less natural than the Spider-like
+// benchmark and closer to the SchemaPile-like real-world corpus.
+func TestFigure3Shape(t *testing.T) {
+	rows := Figure3()
+	byName := map[string]CollectionRow{}
+	for _, r := range rows {
+		byName[r.Collection] = r
+	}
+	snails, spider, pile := byName["SNAILS"], byName["Spider-like"], byName["SchemaPile-like"]
+	if snails.Combined >= spider.Combined {
+		t.Errorf("SNAILS (%.3f) should be less natural than Spider (%.3f)", snails.Combined, spider.Combined)
+	}
+	// Alignment in the full proportion space (the Figure 3 comparison):
+	// SNAILS must sit closer to the real-world corpus than Spider does.
+	dist := func(a, b CollectionRow) float64 {
+		dr, dl, de := a.Regular-b.Regular, a.Low-b.Low, a.Least-b.Least
+		return math.Sqrt(dr*dr + dl*dl + de*de)
+	}
+	if dist(snails, pile) >= dist(spider, pile) {
+		t.Errorf("SNAILS should align closer to SchemaPile: d(snails,pile)=%.3f d(spider,pile)=%.3f",
+			dist(snails, pile), dist(spider, pile))
+	}
+}
+
+// Section 2.2 scan statistics fall in the published bands.
+func TestSection22Scan(t *testing.T) {
+	scan := Section22Scan()
+	if scan.Schemas == 0 {
+		t.Fatal("empty scan")
+	}
+	if scan.LeastHeavyFraction < 0.15 || scan.LeastHeavyFraction > 0.5 {
+		t.Errorf("least-heavy fraction %.3f outside band", scan.LeastHeavyFraction)
+	}
+	if scan.LowCombined == 0 || scan.LowCombinedMinor == 0 {
+		t.Errorf("scan should find low-combined schemas: %+v", scan)
+	}
+	if scan.LowCombinedMinor > scan.LowCombined {
+		t.Errorf("subset count exceeds superset: %+v", scan)
+	}
+}
+
+// Figures 26-28: character counts increase with naturalness, TCR decreases.
+func TestTokenFiguresShape(t *testing.T) {
+	f26 := Figure26()
+	// At threshold ~8 chars, Least should have much more mass than Regular.
+	idx := 7
+	if !(f26[2].CDF[idx] > f26[0].CDF[idx]) {
+		t.Errorf("Least identifiers should be shorter: reg=%.3f least=%.3f",
+			f26[0].CDF[idx], f26[2].CDF[idx])
+	}
+	f28 := Figure28()
+	for i := 0; i < len(f28); i += 3 {
+		reg, least := f28[i], f28[i+2]
+		if reg.Box.Median >= least.Box.Median {
+			t.Errorf("%s: TCR median should rise as naturalness falls: reg=%.3f least=%.3f",
+				reg.Tokenizer, reg.Box.Median, least.Box.Median)
+		}
+	}
+	if len(Figure27("gpt-bpe")) != 3 {
+		t.Error("figure 27 should have one series per level")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t2 := Table2()
+	if len(t2) != 9 {
+		t.Fatalf("table 2 rows = %d", len(t2))
+	}
+	totalQ := 0
+	for _, r := range t2 {
+		totalQ += r.Questions
+	}
+	if totalQ != 503 {
+		t.Errorf("questions total %d, want 503", totalQ)
+	}
+	t3 := Table3()
+	for _, r := range t3 {
+		if r.Qs == 0 || r.Function == 0 || r.Where == 0 {
+			t.Errorf("table 3 row %s implausible: %+v", r.DB, r)
+		}
+	}
+	t4 := Table4()
+	if len(t4) != 9 {
+		t.Fatalf("table 4 modules = %d", len(t4))
+	}
+	for _, r := range t4 {
+		if r.Tables == 0 || r.Columns == 0 {
+			t.Errorf("module %s empty: %+v", r.Module, r)
+		}
+	}
+}
+
+func TestTable1Examples(t *testing.T) {
+	ex := Table1(5)
+	for _, l := range naturalness.Levels {
+		if len(ex[l]) != 5 {
+			t.Errorf("level %v examples = %d", l, len(ex[l]))
+		}
+	}
+}
+
+func TestFigure5MatchesPaperBand(t *testing.T) {
+	want := map[string]float64{
+		"ASIS": 0.77, "ATBI": 0.70, "CWO": 0.84, "KIS": 0.79, "NPFM": 0.70,
+		"NTSB": 0.59, "NYSED": 0.68, "PILB": 0.75, "SBOD": 0.49,
+	}
+	for _, r := range Figure5() {
+		if math.Abs(r.Combined-want[r.DB]) > 0.06 {
+			t.Errorf("%s combined %.3f vs paper %.2f", r.DB, r.Combined, want[r.DB])
+		}
+		if s := r.Regular + r.Low + r.Least; math.Abs(s-1) > 1e-9 {
+			t.Errorf("%s proportions sum to %v", r.DB, s)
+		}
+	}
+}
+
+func TestWeakSupervisionAgreementBand(t *testing.T) {
+	res := WeakSupervisionAgreement()
+	// Paper: 90.1% of pre-labels were accurate before curation.
+	if res.Agreement < 0.82 || res.Agreement > 0.99 {
+		t.Errorf("weak-supervision agreement %.3f outside the appendix band", res.Agreement)
+	}
+	if len(res.Disagreements) == 0 {
+		t.Error("some identifiers should need curation")
+	}
+}
+
+func TestSection6NamingPatterns(t *testing.T) {
+	scan := Section6NamingPatterns()
+	if scan.Identifiers == 0 {
+		t.Fatal("empty scan")
+	}
+	wsFrac := float64(scan.Whitespace) / float64(scan.Identifiers)
+	twFrac := float64(scan.TableWord) / float64(scan.Identifiers)
+	// The paper: both patterns are uncommon (<1%) but present.
+	if scan.Whitespace == 0 || wsFrac > 0.02 {
+		t.Errorf("whitespace identifiers out of band: %d (%.3f%%)", scan.Whitespace, 100*wsFrac)
+	}
+	if scan.TableWord == 0 || twFrac > 0.02 {
+		t.Errorf("table-word identifiers out of band: %d (%.3f%%)", scan.TableWord, 100*twFrac)
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/stats"
+)
+
+// AccuracyRow is one (model, variant) execution-accuracy summary.
+type AccuracyRow struct {
+	Model    string
+	Variant  schema.Variant
+	Accuracy float64
+	N        int
+}
+
+// Figure8 computes execution accuracy by model and naturalness level.
+func Figure8() []AccuracyRow {
+	s := Run()
+	var rows []AccuracyRow
+	for _, m := range ModelNames() {
+		for _, v := range schema.Variants {
+			correct, n := 0, 0
+			for i := range s.Cells {
+				c := &s.Cells[i]
+				if c.Model != m || c.Variant != v {
+					continue
+				}
+				n++
+				if c.ExecCorrect {
+					correct++
+				}
+			}
+			rows = append(rows, AccuracyRow{Model: m, Variant: v, Accuracy: ratio(correct, n), N: n})
+		}
+	}
+	return rows
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// IdentifierRecallRow is one (model, identifier naturalness level) mean
+// IdentifierRecall with its 95% confidence half-width (Figure 9).
+type IdentifierRecallRow struct {
+	Model  string
+	Level  naturalness.Level
+	Recall float64
+	CI     float64
+	N      int
+}
+
+// Figure9 computes Native-identifier recall by model and identifier
+// naturalness level over the Native-variant runs.
+func Figure9() []IdentifierRecallRow {
+	s := Run()
+	var rows []IdentifierRecallRow
+	levelOf := map[string]naturalness.Level{}
+	for _, b := range datasets.All() {
+		for _, id := range b.Schema.UniqueIdentifiers() {
+			if l, ok := b.Schema.IdentifierLevel(id); ok {
+				levelOf[upper(id)] = l
+			}
+		}
+	}
+	for _, m := range ModelNames() {
+		tally := s.Tally[m]
+		perLevel := map[naturalness.Level][]float64{}
+		for _, id := range tally.Identifiers() {
+			r, ok := tally.Recall(id)
+			if !ok {
+				continue
+			}
+			l, known := levelOf[id]
+			if !known {
+				continue
+			}
+			perLevel[l] = append(perLevel[l], r)
+		}
+		for _, l := range naturalness.Levels {
+			mean, ci := stats.MeanCI(perLevel[l], 0.95)
+			rows = append(rows, IdentifierRecallRow{
+				Model: m, Level: l, Recall: mean, CI: ci, N: len(perLevel[l]),
+			})
+		}
+	}
+	return rows
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// LinkingRow is one (model, variant) mean linking-score summary
+// (Figure 10 uses Recall; the appendix F figures use F1 and Precision).
+type LinkingRow struct {
+	Model     string
+	Variant   schema.Variant
+	Recall    float64
+	Precision float64
+	F1        float64
+	N         int // valid (parseable) predictions
+	Excluded  int // unparseable predictions excluded from linking analysis
+}
+
+// Figure10 computes QueryRecall (and Precision/F1) by model and schema
+// naturalness level.
+func Figure10() []LinkingRow {
+	s := Run()
+	var rows []LinkingRow
+	for _, m := range ModelNames() {
+		for _, v := range schema.Variants {
+			row := LinkingRow{Model: m, Variant: v}
+			var r, p, f float64
+			for i := range s.Cells {
+				c := &s.Cells[i]
+				if c.Model != m || c.Variant != v {
+					continue
+				}
+				if !c.ParseOK {
+					row.Excluded++
+					continue
+				}
+				row.N++
+				r += c.Link.Recall
+				p += c.Link.Precision
+				f += c.Link.F1
+			}
+			if row.N > 0 {
+				row.Recall = r / float64(row.N)
+				row.Precision = p / float64(row.N)
+				row.F1 = f / float64(row.N)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// DrillDownRow is one (db, model, variant) QueryRecall mean (Figure 11 and
+// the appendix box plots).
+type DrillDownRow struct {
+	DB      string
+	Model   string
+	Variant schema.Variant
+	Recall  float64
+	Box     stats.BoxStats // recall distribution
+	BoxF1   stats.BoxStats // F1 distribution (appendix Figures 48-51)
+}
+
+// Figure11 drills QueryRecall down into individual databases. The paper
+// showcases NTSB, PILB and SBOD; passing no names returns all databases.
+func Figure11(dbNames ...string) []DrillDownRow {
+	if len(dbNames) == 0 {
+		dbNames = datasets.Names
+	}
+	s := Run()
+	var rows []DrillDownRow
+	for _, db := range dbNames {
+		for _, m := range ModelNames() {
+			for _, v := range schema.Variants {
+				var vals, f1s []float64
+				for i := range s.Cells {
+					c := &s.Cells[i]
+					if c.DB != db || c.Model != m || c.Variant != v || !c.ParseOK {
+						continue
+					}
+					vals = append(vals, c.Link.Recall)
+					f1s = append(f1s, c.Link.F1)
+				}
+				rows = append(rows, DrillDownRow{
+					DB: db, Model: m, Variant: v,
+					Recall: stats.Mean(vals), Box: stats.Box(vals), BoxF1: stats.Box(f1s),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// GridRow is one (db, model, variant) execution accuracy cell (Figure 30).
+type GridRow struct {
+	DB       string
+	Model    string
+	Variant  schema.Variant
+	Accuracy float64
+	N        int
+}
+
+// Figure30 computes the per-database execution-accuracy grid.
+func Figure30() []GridRow {
+	s := Run()
+	var rows []GridRow
+	for _, db := range datasets.Names {
+		for _, m := range ModelNames() {
+			for _, v := range schema.Variants {
+				correct, n := 0, 0
+				for i := range s.Cells {
+					c := &s.Cells[i]
+					if c.DB != db || c.Model != m || c.Variant != v {
+						continue
+					}
+					n++
+					if c.ExecCorrect {
+						correct++
+					}
+				}
+				rows = append(rows, GridRow{DB: db, Model: m, Variant: v, Accuracy: ratio(correct, n), N: n})
+			}
+		}
+	}
+	return rows
+}
+
+// SubsetRow is one (model, variant) schema-subsetting summary (Figure 12).
+type SubsetRow struct {
+	Model     string
+	Variant   schema.Variant
+	Recall    float64
+	Precision float64
+	F1        float64
+	N         int
+}
+
+// Figure12 computes schema-subsetting performance for the workflows with a
+// filtering stage (DIN SQL and CodeS).
+func Figure12() []SubsetRow {
+	s := Run()
+	var rows []SubsetRow
+	for _, m := range ModelNames() {
+		for _, v := range schema.Variants {
+			row := SubsetRow{Model: m, Variant: v}
+			var r, p, f float64
+			for i := range s.Cells {
+				c := &s.Cells[i]
+				if c.Model != m || c.Variant != v || c.Subset == nil {
+					continue
+				}
+				row.N++
+				r += c.Subset.Recall
+				p += c.Subset.Precision
+				f += c.Subset.F1
+			}
+			if row.N == 0 {
+				continue
+			}
+			row.Recall = r / float64(row.N)
+			row.Precision = p / float64(row.N)
+			row.F1 = f / float64(row.N)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/token"
+)
+
+// Report renders every reproduced table and figure as plain text in paper
+// order. It is what `snailsbench` prints and what the bench harness samples.
+func Report(w io.Writer) {
+	WriteTable1(w)
+	WriteFigure2(w)
+	WriteFigure3(w)
+	WriteSection22(w)
+	WriteTable2(w)
+	WriteTable3(w)
+	WriteTable4(w)
+	WriteFigure5(w)
+	WriteTable5(w)
+	WriteFigure8(w)
+	WriteFigure9(w)
+	WriteFigure10(w)
+	WriteFigure11(w)
+	WriteFigure12(w)
+	WriteFigure13(w)
+	WriteFigure26(w)
+	WriteFigure27(w)
+	WriteFigure28(w)
+	WriteFigure30(w)
+	WriteCorrelations(w)
+	WriteFigures48to51(w)
+	WriteAblations(w)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// WriteTable1 prints example identifiers per naturalness class.
+func WriteTable1(w io.Writer) {
+	header(w, "Table 1: example identifiers per naturalness level")
+	ex := Table1(5)
+	fmt.Fprintf(w, "%-28s %-28s %-28s\n", "Regular", "Low", "Least")
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(w, "%-28s %-28s %-28s\n",
+			ex[naturalness.Regular][i], ex[naturalness.Low][i], ex[naturalness.Least][i])
+	}
+}
+
+// WriteFigure2 prints mean token-in-dictionary by class.
+func WriteFigure2(w io.Writer) {
+	header(w, "Figure 2: mean token-in-dictionary by naturalness level")
+	for _, r := range Figure2() {
+		fmt.Fprintf(w, "%-8s %.3f (n=%d)\n", r.Level, r.Mean, r.N)
+	}
+}
+
+// WriteFigure3 prints the collection naturalness comparison.
+func WriteFigure3(w io.Writer) {
+	header(w, "Figure 3: collection naturalness comparison")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %9s %8s\n", "collection", "Regular", "Low", "Least", "combined", "n")
+	for _, r := range Figure3() {
+		fmt.Fprintf(w, "%-16s %8.3f %8.3f %8.3f %9.3f %8d\n",
+			r.Collection, r.Regular, r.Low, r.Least, r.Combined, r.N)
+	}
+}
+
+// WriteSection22 prints the SchemaPile scan statistics.
+func WriteSection22(w io.Writer) {
+	header(w, "Section 2.2: SchemaPile-like corpus scan")
+	s := Section22Scan()
+	fmt.Fprintf(w, "schemas scanned:                    %d\n", s.Schemas)
+	fmt.Fprintf(w, "schemas with >=10%% Least:           %d (%.1f%%)\n", s.LeastHeavySchemas, 100*s.LeastHeavyFraction)
+	fmt.Fprintf(w, "schemas with combined <= 0.7:       %d\n", s.LowCombined)
+	fmt.Fprintf(w, "  of which Low+Least outnumber Reg: %d\n", s.LowCombinedMinor)
+	np := Section6NamingPatterns()
+	fmt.Fprintf(w, "section 6 naming patterns: %d of %d identifiers contain whitespace (%.2f%%), %d embed the word table (%.2f%%)\n",
+		np.Whitespace, np.Identifiers, 100*float64(np.Whitespace)/float64(np.Identifiers),
+		np.TableWord, 100*float64(np.TableWord)/float64(np.Identifiers))
+}
+
+// WriteTable2 prints schema statistics.
+func WriteTable2(w io.Writer) {
+	header(w, "Table 2: SNAILS real-world database schemas")
+	fmt.Fprintf(w, "%-8s %8s %9s %10s %9s\n", "db", "tables", "columns", "questions", "combined")
+	for _, r := range Table2() {
+		fmt.Fprintf(w, "%-8s %8d %9d %10d %9.2f\n", r.DB, r.Tables, r.Columns, r.Questions, r.Combined)
+	}
+}
+
+// WriteTable3 prints gold-query clause counts.
+func WriteTable3(w io.Writer) {
+	header(w, "Table 3: gold query clause counts")
+	fmt.Fprintf(w, "%-8s %4s %4s %5s %5s %7s %7s %9s %6s %9s %8s %8s %7s\n",
+		"db", "qs", "top", "func", "join", "ckjoin", "exists", "subquery", "where", "negation", "groupby", "orderby", "having")
+	for _, r := range Table3() {
+		fmt.Fprintf(w, "%-8s %4d %4d %5d %5d %7d %7d %9d %6d %9d %8d %8d %7d\n",
+			r.DB, r.Qs, r.Top, r.Function, r.Join, r.CKJoin, r.Exists, r.Subquery,
+			r.Where, r.Negation, r.GroupBy, r.OrderBy, r.Having)
+	}
+}
+
+// WriteTable4 prints SBOD module statistics.
+func WriteTable4(w io.Writer) {
+	header(w, "Table 4: SBOD module schemas")
+	fmt.Fprintf(w, "%-22s %8s %9s %10s\n", "module", "tables", "columns", "questions")
+	for _, r := range Table4() {
+		fmt.Fprintf(w, "%-22s %8d %9d %10d\n", r.Module, r.Tables, r.Columns, r.Questions)
+	}
+}
+
+// WriteFigure5 prints native schema naturalness proportions.
+func WriteFigure5(w io.Writer) {
+	header(w, "Figure 5: native schema naturalness proportions")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %9s\n", "db", "Regular", "Low", "Least", "combined")
+	for _, r := range Figure5() {
+		fmt.Fprintf(w, "%-8s %8.2f %8.2f %8.2f %9.2f\n", r.DB, r.Regular, r.Low, r.Least, r.Combined)
+	}
+}
+
+// WriteTable5 prints the classifier comparison.
+func WriteTable5(w io.Writer) {
+	header(w, "Table 5: naturalness classifier comparison")
+	fmt.Fprintf(w, "%-16s %9s %10s %8s %8s\n", "model", "accuracy", "precision", "recall", "f1")
+	for _, r := range Table5() {
+		fmt.Fprintf(w, "%-16s %9.3f %10.3f %8.3f %8.3f\n", r.Model, r.Accuracy, r.Precision, r.Recall, r.F1)
+	}
+	ws := WeakSupervisionAgreement()
+	fmt.Fprintf(w, "weak supervision (appendix B.3): seed pre-label agreement %.1f%% over %d identifiers (%d curated)\n",
+		100*ws.Agreement, len(ws.Labeled), len(ws.Disagreements))
+}
+
+// WriteFigure8 prints execution accuracy by model and level.
+func WriteFigure8(w io.Writer) {
+	header(w, "Figure 8: execution accuracy by model and naturalness level")
+	writeModelVariantGrid(w, "accuracy", func(m string, v schema.Variant) float64 {
+		for _, r := range Figure8() {
+			if r.Model == m && r.Variant == v {
+				return r.Accuracy
+			}
+		}
+		return 0
+	})
+}
+
+func writeModelVariantGrid(w io.Writer, metric string, get func(string, schema.Variant) float64) {
+	fmt.Fprintf(w, "%-24s", "model \\ "+metric)
+	for _, v := range schema.Variants {
+		fmt.Fprintf(w, " %8s", v)
+	}
+	fmt.Fprintln(w)
+	for _, m := range ModelNames() {
+		fmt.Fprintf(w, "%-24s", m)
+		for _, v := range schema.Variants {
+			fmt.Fprintf(w, " %8.3f", get(m, v))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFigure9 prints identifier recall by model and identifier level.
+func WriteFigure9(w io.Writer) {
+	header(w, "Figure 9: native IdentifierRecall by model and identifier level (±95% CI)")
+	rows := Figure9()
+	fmt.Fprintf(w, "%-24s %-8s %8s %8s %6s\n", "model", "level", "recall", "ci", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-8s %8.3f %8.3f %6d\n", r.Model, r.Level, r.Recall, r.CI, r.N)
+	}
+}
+
+// WriteFigure10 prints query-level linking scores, using the paper's chart
+// labels (zero-shot methods are suffixed ZS, e.g. "Ph-CdLlm2-ZS").
+func WriteFigure10(w io.Writer) {
+	header(w, "Figure 10 (+appendix F): QueryRecall / Precision / F1 by model and level")
+	display := map[string]string{}
+	for _, p := range llm.Profiles() {
+		display[p.Name] = p.Display
+	}
+	fmt.Fprintf(w, "%-24s %-8s %8s %10s %8s %6s %5s\n", "model", "variant", "recall", "precision", "f1", "n", "excl")
+	for _, r := range Figure10() {
+		label := display[r.Model]
+		if label == "" {
+			label = r.Model
+		}
+		fmt.Fprintf(w, "%-24s %-8s %8.3f %10.3f %8.3f %6d %5d\n",
+			label, r.Variant, r.Recall, r.Precision, r.F1, r.N, r.Excluded)
+	}
+}
+
+// WriteFigure11 prints the drill-down view for the paper's three showcase
+// databases.
+func WriteFigure11(w io.Writer) {
+	header(w, "Figure 11: QueryRecall drill-down (NTSB / PILB / SBOD)")
+	fmt.Fprintf(w, "%-6s %-24s %-8s %8s %8s\n", "db", "model", "variant", "recall", "median")
+	for _, r := range Figure11("NTSB", "PILB", "SBOD") {
+		fmt.Fprintf(w, "%-6s %-24s %-8s %8.3f %8.3f\n", r.DB, r.Model, r.Variant, r.Recall, r.Box.Median)
+	}
+}
+
+// WriteFigure12 prints schema-subsetting metrics.
+func WriteFigure12(w io.Writer) {
+	header(w, "Figure 12: schema subsetting (recall / precision / f1)")
+	fmt.Fprintf(w, "%-24s %-8s %8s %10s %8s %6s\n", "model", "variant", "recall", "precision", "f1", "n")
+	for _, r := range Figure12() {
+		fmt.Fprintf(w, "%-24s %-8s %8.3f %10.3f %8.3f %6d\n",
+			r.Model, r.Variant, r.Recall, r.Precision, r.F1, r.N)
+	}
+}
+
+// WriteFigure13 prints the Spider-modified experiment.
+func WriteFigure13(w io.Writer) {
+	header(w, "Figure 13: Spider-like dev set renamed with SNAILS artifacts")
+	fmt.Fprintf(w, "%-24s %-8s %8s %9s %6s\n", "model", "variant", "recall", "accuracy", "n")
+	for _, r := range Figure13() {
+		fmt.Fprintf(w, "%-24s %-8s %8.3f %9.3f %6d\n", r.Model, r.Variant, r.Recall, r.Accuracy, r.N)
+	}
+}
+
+func writeCDF(w io.Writer, series []CDFSeries, pick []float64) {
+	fmt.Fprintf(w, "%-8s", "level")
+	for _, t := range pick {
+		fmt.Fprintf(w, " %7.0f", t)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-8s", s.Level)
+		for _, t := range pick {
+			// find threshold index
+			idx := 0
+			for i, th := range s.Thresholds {
+				if th <= t {
+					idx = i
+				}
+			}
+			fmt.Fprintf(w, " %7.2f", s.CDF[idx])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFigure26 prints the character-count CDF.
+func WriteFigure26(w io.Writer) {
+	header(w, "Figure 26: identifier character-count CDF by level (chars <= t)")
+	writeCDF(w, Figure26(), []float64{4, 8, 12, 16, 20, 28, 40})
+}
+
+// WriteFigure27 prints the token-count CDF per tokenizer.
+func WriteFigure27(w io.Writer) {
+	for _, model := range token.ModelNames() {
+		header(w, "Figure 27: token-count CDF by level — "+model)
+		writeCDF(w, Figure27(model), []float64{1, 2, 3, 4, 6, 8, 12})
+	}
+}
+
+// WriteFigure28 prints the TCR distribution summary.
+func WriteFigure28(w io.Writer) {
+	header(w, "Figure 28: token-to-character ratio by level and tokenizer")
+	fmt.Fprintf(w, "%-16s %-8s %8s %8s %8s\n", "tokenizer", "level", "q1", "median", "q3")
+	for _, r := range Figure28() {
+		fmt.Fprintf(w, "%-16s %-8s %8.3f %8.3f %8.3f\n",
+			r.Tokenizer, r.Level, r.Box.Q1, r.Box.Median, r.Box.Q3)
+	}
+}
+
+// WriteFigure30 prints the per-database accuracy grid.
+func WriteFigure30(w io.Writer) {
+	header(w, "Figure 30: execution accuracy by database, model and level")
+	rows := Figure30()
+	fmt.Fprintf(w, "%-24s %-8s", "model", "variant")
+	for _, db := range datasets.Names {
+		fmt.Fprintf(w, " %6s", db)
+	}
+	fmt.Fprintln(w)
+	for _, m := range ModelNames() {
+		for _, v := range schema.Variants {
+			fmt.Fprintf(w, "%-24s %-8s", m, v)
+			for _, db := range datasets.Names {
+				for _, r := range rows {
+					if r.DB == db && r.Model == m && r.Variant == v {
+						fmt.Fprintf(w, " %6.2f", r.Accuracy)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteFigures48to51 prints the appendix database-level box-and-whisker
+// summaries of schema-linking performance (F1 in Figures 48-49, Recall in
+// Figures 50-51) for every database, model and naturalness level.
+func WriteFigures48to51(w io.Writer) {
+	header(w, "Figures 48-51: database-level linking distributions (F1 and Recall box stats)")
+	fmt.Fprintf(w, "%-6s %-24s %-8s %23s %23s\n", "db", "model", "variant", "f1 (q1/med/q3)", "recall (q1/med/q3)")
+	for _, r := range Figure11() {
+		fmt.Fprintf(w, "%-6s %-24s %-8s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f\n",
+			r.DB, r.Model, r.Variant,
+			r.BoxF1.Q1, r.BoxF1.Median, r.BoxF1.Q3,
+			r.Box.Q1, r.Box.Median, r.Box.Q3)
+	}
+}
+
+// WriteCorrelations prints every appendix Kendall-Tau table.
+func WriteCorrelations(w io.Writer) {
+	for _, spec := range Catalog() {
+		header(w, fmt.Sprintf("Figure %s: Kendall-Tau — %s", spec.Figure, spec.Caption))
+		fmt.Fprintf(w, "%-24s %12s %12s %6s\n", "model", "kendall-tau", "p-value", "n")
+		for _, r := range Correlate(spec.F, spec.O, spec.Scope) {
+			fmt.Fprintf(w, "%-24s %12.4f %12.2e %6d\n", r.Model, r.Tau, r.P, r.N)
+		}
+	}
+}
+
+// Summary returns a compact one-page digest of the headline results, used by
+// the quickstart example and the CLI.
+func Summary() string {
+	var b strings.Builder
+	b.WriteString("SNAILS reproduction — headline results\n")
+	b.WriteString("execution accuracy (all 503 questions):\n")
+	acc := Figure8()
+	for _, m := range ModelNames() {
+		fmt.Fprintf(&b, "  %-24s", m)
+		for _, v := range schema.Variants {
+			for _, r := range acc {
+				if r.Model == m && r.Variant == v {
+					fmt.Fprintf(&b, " %s=%.2f", v, r.Accuracy)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	taus := Correlate(FeatCombined, OutExecAccuracy, ScopeAll)
+	sort.Slice(taus, func(i, j int) bool { return taus[i].Tau > taus[j].Tau })
+	b.WriteString("combined naturalness vs execution accuracy (Kendall tau):\n")
+	for _, r := range taus {
+		fmt.Fprintf(&b, "  %-24s tau=%.3f p=%.1e\n", r.Model, r.Tau, r.P)
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportRendersEverySection smoke-tests the full report: every
+// table/figure section header must appear exactly once and the output must
+// be byte-for-byte deterministic across renders.
+func TestReportRendersEverySection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report requires the complete sweep")
+	}
+	var a strings.Builder
+	Report(&a)
+	out := a.String()
+	for _, section := range []string{
+		"Table 1:", "Figure 2:", "Figure 3:", "Section 2.2:", "Table 2:",
+		"Table 3:", "Table 4:", "Figure 5:", "Table 5:", "Figure 8:",
+		"Figure 9:", "Figure 10 ", "Figure 11:", "Figure 12:", "Figure 13:",
+		"Figure 26:", "Figure 27:", "Figure 28:", "Figure 30:",
+		"Figure 31a:", "Figure 47b:", "Figures 48-51:",
+		"Ablation: recognition gate", "Ablation: metadata grounding",
+		"weak supervision",
+	} {
+		if n := strings.Count(out, section); n != 1 && !strings.HasPrefix(section, "Figure 27") {
+			t.Errorf("section %q appears %d times", section, n)
+		}
+	}
+	// Figure 27 renders once per tokenizer.
+	if n := strings.Count(out, "Figure 27:"); n != 3 {
+		t.Errorf("figure 27 sections = %d, want 3", n)
+	}
+	// Determinism: a second render is identical.
+	var b strings.Builder
+	Report(&b)
+	if out != b.String() {
+		t.Error("report is not deterministic")
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary requires the complete sweep")
+	}
+	s := Summary()
+	for _, m := range ModelNames() {
+		if !strings.Contains(s, m) {
+			t.Errorf("summary missing model %s", m)
+		}
+	}
+	if !strings.Contains(s, "tau=") {
+		t.Error("summary missing correlation digest")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"sync"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+var (
+	spiderOnce  sync.Once
+	spiderSweep *Sweep
+)
+
+// SpiderSweep runs the grid over the Spider-like dev collection renamed with
+// the SNAILS crosswalk artifacts (Figure 13).
+func SpiderSweep() *Sweep {
+	spiderOnce.Do(func() { spiderSweep = runSweep(datasets.SpiderDev()) })
+	return spiderSweep
+}
+
+// SpiderRow is one (model, variant) Figure 13 summary over the modified
+// Spider collection: QueryRecall and Execution Accuracy side by side.
+type SpiderRow struct {
+	Model    string
+	Variant  schema.Variant
+	Recall   float64
+	Accuracy float64
+	N        int
+}
+
+// Figure13 summarizes the Spider-modified experiment.
+func Figure13() []SpiderRow {
+	s := SpiderSweep()
+	var rows []SpiderRow
+	for _, m := range ModelNames() {
+		for _, v := range schema.Variants {
+			row := SpiderRow{Model: m, Variant: v}
+			var recall float64
+			valid, correct, n := 0, 0, 0
+			for i := range s.Cells {
+				c := &s.Cells[i]
+				if c.Model != m || c.Variant != v {
+					continue
+				}
+				n++
+				if c.ExecCorrect {
+					correct++
+				}
+				if c.ParseOK {
+					valid++
+					recall += c.Link.Recall
+				}
+			}
+			row.N = n
+			row.Accuracy = ratio(correct, n)
+			if valid > 0 {
+				row.Recall = recall / float64(valid)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

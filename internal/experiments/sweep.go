@@ -1,0 +1,248 @@
+// Package experiments runs the SNAILS evaluation grid — 6 models x 4 schema
+// variants x 503 questions — and aggregates every table and figure of the
+// paper's evaluation section. The full sweep is deterministic and cached per
+// process.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/evalx"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/sqlparse"
+	"github.com/snails-bench/snails/internal/token"
+	"github.com/snails-bench/snails/internal/workflow"
+)
+
+// Cell is one observation of the benchmark grid.
+type Cell struct {
+	Model      string
+	DB         string
+	Variant    schema.Variant
+	QuestionID int
+
+	// Execution accuracy.
+	ExecCorrect bool
+	// Linking (valid only when ParseOK).
+	ParseOK bool
+	Link    evalx.LinkScores
+	// GoldIDs / PredIDs are native identifier sets.
+	GoldIDs, PredIDs sqlparse.IdentifierSet
+	// Subset holds schema-subsetting scores for filter workflows.
+	Subset *evalx.SubsetScores
+
+	// Query naturalness features (of the gold identifiers as rendered in
+	// the prompt variant).
+	Combined  float64
+	RegFrac   float64
+	LowFrac   float64
+	LeastFrac float64
+	// TCR is the mean token-to-character ratio of those identifiers under
+	// the model's tokenizer.
+	TCR float64
+}
+
+// Sweep is the full grid plus lookup indexes.
+type Sweep struct {
+	Cells []Cell
+	// Tally maps (model) -> identifier-level recall accumulator over the
+	// Native-variant runs (Figure 9).
+	Tally map[string]*evalx.IdentifierTally
+}
+
+var (
+	sweepOnce sync.Once
+	sweepVal  *Sweep
+
+	questionsOnce sync.Once
+	questionsByDB map[string][]nlq.Question
+
+	goldOnce sync.Once
+	goldRes  map[string]*sqldb.Result
+)
+
+// Questions returns the cached Artifact 6 question set for a database.
+func Questions(db string) []nlq.Question {
+	questionsOnce.Do(func() {
+		questionsByDB = map[string][]nlq.Question{}
+		for _, b := range datasets.All() {
+			questionsByDB[b.Name] = nlq.Generate(b)
+		}
+	})
+	return questionsByDB[db]
+}
+
+func goldKey(db string, qid int) string { return fmt.Sprintf("%s#%d", db, qid) }
+
+// goldResult executes (once) and caches a gold query's result.
+func goldResult(b *datasets.Built, q nlq.Question) *sqldb.Result {
+	goldOnce.Do(func() { goldRes = map[string]*sqldb.Result{} })
+	key := goldKey(b.Name, q.ID)
+	if r, ok := goldRes[key]; ok {
+		return r
+	}
+	res, err := sqlexec.ExecuteSQL(b.Instance, q.Gold)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: gold query failed (%s q%d): %v", b.Name, q.ID, err))
+	}
+	goldRes[key] = res
+	return res
+}
+
+// Run returns the full cached sweep over the SNAILS collection.
+func Run() *Sweep {
+	sweepOnce.Do(func() { sweepVal = runSweep(datasets.All()) })
+	return sweepVal
+}
+
+// runSweep executes the grid over the given databases (exported indirectly
+// for the Spider-modified experiment, which sweeps a different collection).
+func runSweep(dbs []*datasets.Built) *Sweep {
+	s := &Sweep{Tally: map[string]*evalx.IdentifierTally{}}
+	models := make([]*llm.Model, 0, 6)
+	for _, p := range llm.Profiles() {
+		models = append(models, llm.New(p))
+		s.Tally[p.Name] = evalx.NewIdentifierTally()
+	}
+	for _, b := range dbs {
+		qs := questionsOf(b)
+		for _, q := range qs {
+			goldSel, err := sqlparse.Parse(q.Gold)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: unparseable gold (%s q%d): %v", b.Name, q.ID, err))
+			}
+			goldIDs := sqlparse.Analyze(goldSel).All()
+			gold := goldResult(b, q)
+			for _, m := range models {
+				for _, v := range schema.Variants {
+					cell := runCell(b, q, goldIDs, gold, m, v)
+					if v == schema.VariantNative && cell.ParseOK {
+						s.Tally[m.Profile.Name].Observe(cell.GoldIDs, cell.PredIDs)
+					}
+					s.Cells = append(s.Cells, cell)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// questionsOf returns cached questions for SNAILS databases and generates
+// fresh ones for foreign collections (Spider).
+func questionsOf(b *datasets.Built) []nlq.Question {
+	if qs := Questions(b.Name); qs != nil {
+		return qs
+	}
+	return nlq.Generate(b)
+}
+
+func runCell(b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
+	gold *sqldb.Result, m *llm.Model, v schema.Variant) Cell {
+
+	out := workflow.Run(workflow.RunInput{B: b, Q: q, Variant: v, Model: m})
+	cell := Cell{
+		Model:      m.Profile.Name,
+		DB:         b.Name,
+		Variant:    v,
+		QuestionID: q.ID,
+		GoldIDs:    goldIDs,
+		ParseOK:    out.ParseOK,
+	}
+	fillNaturalnessFeatures(&cell, b, goldIDs, m, v)
+
+	if out.ParseOK {
+		predSel, err := sqlparse.Parse(out.NativeSQL)
+		if err == nil {
+			cell.PredIDs = sqlparse.Analyze(predSel).All()
+			cell.Link = evalx.QueryLinking(goldIDs, cell.PredIDs)
+			res, execErr := sqlexec.Execute(b.Instance, predSel)
+			if execErr == nil {
+				outcome := evalx.CompareResults(gold, res)
+				if outcome == evalx.MatchYes && q.Ordered {
+					outcome = evalx.OrderedCompare(gold, res)
+				}
+				cell.ExecCorrect = outcome == evalx.MatchYes
+			}
+		}
+	}
+
+	if out.FilteredNative != nil {
+		goldTables := sqlparse.IdentifierSet{}
+		for _, t := range q.Tables {
+			goldTables.Add(t)
+		}
+		selected := sqlparse.IdentifierSet{}
+		for _, t := range out.FilteredNative {
+			selected.Add(t)
+		}
+		ss := evalx.SchemaSubsetting(goldTables, selected)
+		cell.Subset = &ss
+	}
+	return cell
+}
+
+// fillNaturalnessFeatures derives the query-level naturalness measures the
+// correlation tables use: the levels of the gold identifiers as the prompt
+// variant renders them, and their tokenizer TCR.
+func fillNaturalnessFeatures(cell *Cell, b *datasets.Built, goldIDs sqlparse.IdentifierSet, m *llm.Model, v schema.Variant) {
+	var levels []naturalness.Level
+	tok := token.ForModel(tokenizerFor(m.Profile.Name))
+	var tcrSum float64
+	n := 0
+	for _, id := range goldIDs.Sorted() {
+		var lvl naturalness.Level
+		if l, ok := v.Level(); ok {
+			lvl = l
+		} else if nl, ok := b.Schema.IdentifierLevel(id); ok {
+			lvl = nl
+		} else {
+			continue
+		}
+		levels = append(levels, lvl)
+		rendered := b.Schema.RenameVariant(id, v)
+		tcrSum += tok.TCR(rendered)
+		n++
+	}
+	cell.Combined = naturalness.CombinedOf(levels)
+	cell.RegFrac, cell.LowFrac, cell.LeastFrac = naturalness.Proportions(levels)
+	if n > 0 {
+		cell.TCR = tcrSum / float64(n)
+	}
+}
+
+// tokenizerFor maps a model profile to its tokenizer family.
+func tokenizerFor(model string) string {
+	switch model {
+	case "Phind-CodeLlama-34B-v2", "CodeS":
+		return token.ModelCodeLlama
+	default:
+		return token.ModelGPT
+	}
+}
+
+// Filter returns the cells matching the predicate.
+func (s *Sweep) Filter(keep func(*Cell) bool) []Cell {
+	var out []Cell
+	for i := range s.Cells {
+		if keep(&s.Cells[i]) {
+			out = append(out, s.Cells[i])
+		}
+	}
+	return out
+}
+
+// ModelNames returns the evaluated model names in reporting order.
+func ModelNames() []string {
+	out := make([]string, 0, 6)
+	for _, p := range llm.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}

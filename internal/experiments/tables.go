@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// Table2Row is one database's schema statistics.
+type Table2Row struct {
+	DB        string
+	Tables    int
+	Columns   int
+	Questions int
+	Combined  float64
+}
+
+// Table2 reports the SNAILS schema statistics.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, b := range datasets.All() {
+		rows = append(rows, Table2Row{
+			DB:        b.Name,
+			Tables:    len(b.Schema.Tables),
+			Columns:   b.Schema.NumColumns(),
+			Questions: len(Questions(b.Name)),
+			Combined:  b.Schema.CombinedNaturalness(),
+		})
+	}
+	return rows
+}
+
+// Table3Row is one database's gold-query clause-count row.
+type Table3Row struct {
+	DB       string
+	Qs       int
+	Top      int
+	Function int
+	Join     int
+	CKJoin   int
+	Exists   int
+	Subquery int
+	Where    int
+	Negation int
+	GroupBy  int
+	OrderBy  int
+	Having   int
+}
+
+// Table3 counts, per database, the gold queries containing each clause type.
+func Table3() []Table3Row {
+	var rows []Table3Row
+	for _, b := range datasets.All() {
+		row := Table3Row{DB: b.Name}
+		for _, q := range Questions(b.Name) {
+			sel, err := sqlparse.Parse(q.Gold)
+			if err != nil {
+				continue
+			}
+			f := sqlparse.CountClauses(sel)
+			row.Qs++
+			if f.Top {
+				row.Top++
+			}
+			if f.Function {
+				row.Function++
+			}
+			if f.Join {
+				row.Join++
+			}
+			if f.CKJoin {
+				row.CKJoin++
+			}
+			if f.Exists {
+				row.Exists++
+			}
+			if f.Subquery {
+				row.Subquery++
+			}
+			if f.Where {
+				row.Where++
+			}
+			if f.Negation {
+				row.Negation++
+			}
+			if f.GroupBy {
+				row.GroupBy++
+			}
+			if f.OrderBy {
+				row.OrderBy++
+			}
+			if f.Having {
+				row.Having++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table4Row is one SBOD module's statistics.
+type Table4Row struct {
+	Module    string
+	Tables    int
+	Columns   int
+	Questions int
+}
+
+// Table4 reports the SBOD module segmentation.
+func Table4() []Table4Row {
+	b, ok := datasets.Get("SBOD")
+	if !ok {
+		return nil
+	}
+	qCount := map[string]int{}
+	for _, q := range Questions("SBOD") {
+		mods := map[string]struct{}{}
+		for _, t := range q.Tables {
+			mods[b.ModuleOf(t)] = struct{}{}
+		}
+		for m := range mods {
+			qCount[m]++
+		}
+	}
+	var rows []Table4Row
+	for _, m := range b.ModuleNames() {
+		row := Table4Row{Module: m, Questions: qCount[m]}
+		for _, tn := range b.Modules[m] {
+			st, _ := b.Schema.Table(tn)
+			row.Tables++
+			row.Columns += len(st.Columns)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,177 @@
+package ident
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dictionary is an English word list used for naturalness analysis. The
+// SNAILS paper derives a "mean token-in-dictionary" measurement (Figure 2)
+// from a comprehensive English word list; this embedded list covers common
+// English plus the domain vocabulary of the SNAILS database collection
+// (wildlife observation, vehicle safety, education reporting, and business
+// resource planning).
+type Dictionary struct {
+	words map[string]struct{}
+	// byFirst groups words by first letter for abbreviation-candidate
+	// lookups (appendix B.1 heuristic scoring).
+	byFirst map[byte][]string
+}
+
+var (
+	defaultDict     *Dictionary
+	defaultDictOnce sync.Once
+)
+
+// DefaultDictionary returns the shared embedded dictionary. The returned
+// value is read-only and safe for concurrent use.
+func DefaultDictionary() *Dictionary {
+	defaultDictOnce.Do(func() {
+		defaultDict = NewDictionary(strings.Fields(embeddedWords))
+	})
+	return defaultDict
+}
+
+// NewDictionary builds a dictionary from the given word list. Words are
+// lower-cased; duplicates are ignored.
+func NewDictionary(words []string) *Dictionary {
+	d := &Dictionary{
+		words:   make(map[string]struct{}, len(words)),
+		byFirst: make(map[byte][]string),
+	}
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		if _, dup := d.words[w]; dup {
+			continue
+		}
+		d.words[w] = struct{}{}
+		d.byFirst[w[0]] = append(d.byFirst[w[0]], w)
+	}
+	for _, list := range d.byFirst {
+		sort.Strings(list)
+	}
+	return d
+}
+
+// Contains reports whether the word (case-insensitive) is in the dictionary.
+func (d *Dictionary) Contains(word string) bool {
+	_, ok := d.words[strings.ToLower(word)]
+	return ok
+}
+
+// Len returns the number of words in the dictionary.
+func (d *Dictionary) Len() int { return len(d.words) }
+
+// WordsWithPrefixLetter returns all dictionary words starting with the given
+// letter (lower-case). The returned slice must not be modified.
+func (d *Dictionary) WordsWithPrefixLetter(c byte) []string {
+	if c >= 'A' && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	return d.byFirst[c]
+}
+
+// CommonAcronyms are acronyms in common usage. Per the paper's Regular
+// category definition, identifiers containing only acronyms in common usage
+// (e.g. ID or GPS) still count as Regular naturalness.
+var CommonAcronyms = map[string]struct{}{
+	"id": {}, "gps": {}, "url": {}, "usa": {}, "api": {}, "sql": {},
+	"utc": {}, "iso": {}, "pdf": {}, "csv": {}, "xml": {}, "html": {},
+	"http": {}, "ssn": {}, "zip": {}, "fax": {}, "atm": {}, "dna": {},
+	"fbi": {}, "irs": {}, "ok": {}, "am": {}, "pm": {}, "tv": {},
+	"vin": {}, "mpg": {}, "mph": {}, "cpu": {}, "ram": {}, "faq": {},
+	"ceo": {}, "vip": {}, "rsvp": {}, "diy": {}, "eta": {},
+}
+
+// IsCommonAcronym reports whether the token is a widely-understood acronym.
+func IsCommonAcronym(tok string) bool {
+	_, ok := CommonAcronyms[strings.ToLower(tok)]
+	return ok
+}
+
+// Segment splits a concatenated token into dictionary words when the whole
+// token parses as 2-4 English words ("casenumber" -> ["case", "number"]).
+// It returns nil when no full segmentation exists. Real-world identifiers
+// such as the NTSB's CASENO-style names concatenate full words without
+// separators; the paper's few-shot examples label these Regular (N1), so
+// every naturalness measurement must be able to read them.
+func (d *Dictionary) Segment(token string) []string {
+	s := strings.ToLower(token)
+	n := len(s)
+	if n < 6 || d.Contains(s) {
+		return nil
+	}
+	const maxParts = 4
+	// best[i] = minimal number of words covering s[:i]; -1 = unreachable.
+	best := make([]int, n+1)
+	prev := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = -1
+	}
+	for i := 1; i <= n; i++ {
+		for j := 0; j < i; j++ {
+			if best[j] < 0 || best[j] >= maxParts {
+				continue
+			}
+			w := s[j:i]
+			if len(w) < 3 && !IsCommonAcronym(w) {
+				continue
+			}
+			if !d.Contains(w) && !IsCommonAcronym(w) {
+				continue
+			}
+			if best[i] < 0 || best[j]+1 < best[i] {
+				best[i] = best[j] + 1
+				prev[i] = j
+			}
+		}
+	}
+	if best[n] < 2 || best[n] > maxParts {
+		return nil
+	}
+	var parts []string
+	for i := n; i > 0; i = prev[i] {
+		parts = append([]string{s[prev[i]:i]}, parts...)
+	}
+	return parts
+}
+
+// SegmentedWords returns the identifier's word tokens with concatenated
+// dictionary words split apart.
+func SegmentedWords(identifier string, d *Dictionary) []string {
+	var out []string
+	for _, t := range Split(identifier) {
+		if t.Kind != KindWord {
+			continue
+		}
+		w := strings.ToLower(t.Text)
+		if parts := d.Segment(w); parts != nil {
+			out = append(out, parts...)
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// MeanTokenInDictionary computes, for an identifier, the proportion of its
+// tokens that exactly match a dictionary word or a common acronym. This is
+// the Figure 2 measurement from the paper. Concatenated full words
+// ("CASENUMBER") count as in-dictionary via segmentation.
+func MeanTokenInDictionary(identifier string, d *Dictionary) float64 {
+	words := SegmentedWords(identifier, d)
+	if len(words) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, w := range words {
+		if d.Contains(w) || IsCommonAcronym(w) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(words))
+}

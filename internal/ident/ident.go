@@ -1,0 +1,218 @@
+// Package ident provides low-level analysis of database schema identifiers:
+// sub-token splitting, dictionary lookups, character tagging, and
+// abbreviation analysis. It is the foundation for the SNAILS naturalness
+// taxonomy (Regular / Low / Least) implemented in package naturalness.
+package ident
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a sub-token of an identifier.
+type TokenKind int
+
+const (
+	// KindWord is an alphabetic sub-token (e.g. "Veg" in "VegHeight").
+	KindWord TokenKind = iota
+	// KindNumber is a numeric sub-token (e.g. "22" in "CSI22").
+	KindNumber
+	// KindSymbol is a run of other characters (e.g. "$" or "#").
+	KindSymbol
+)
+
+// Token is one sub-token of a split identifier.
+type Token struct {
+	Text string
+	Kind TokenKind
+}
+
+// Split decomposes an identifier into sub-tokens on underscores, hyphens,
+// whitespace, digit boundaries, and camel-case humps. Acronym runs followed
+// by a capitalized word are split per the usual camel-case convention
+// ("NTSBCrash" -> "NTSB", "Crash").
+func Split(identifier string) []Token {
+	var toks []Token
+	runes := []rune(identifier)
+	n := len(runes)
+	i := 0
+	flush := func(start, end int, kind TokenKind) {
+		if end > start {
+			toks = append(toks, Token{Text: string(runes[start:end]), Kind: kind})
+		}
+	}
+	for i < n {
+		r := runes[i]
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.' || r == '\t':
+			i++
+		case unicode.IsDigit(r):
+			start := i
+			for i < n && unicode.IsDigit(runes[i]) {
+				i++
+			}
+			flush(start, i, KindNumber)
+		case unicode.IsLetter(r):
+			start := i
+			// Consume an uppercase run first.
+			j := i
+			for j < n && unicode.IsUpper(runes[j]) {
+				j++
+			}
+			switch {
+			case j-i >= 2:
+				// Acronym run. If followed by a lowercase letter the last
+				// capital starts the next word ("DBName" -> "DB","Name").
+				if j < n && unicode.IsLower(runes[j]) {
+					j--
+				}
+				flush(start, j, KindWord)
+				i = j
+			default:
+				// Single capital or lowercase start: consume one hump.
+				j = i + 1
+				for j < n && unicode.IsLower(runes[j]) {
+					j++
+				}
+				flush(start, j, KindWord)
+				i = j
+			}
+		default:
+			start := i
+			for i < n && !unicode.IsLetter(runes[i]) && !unicode.IsDigit(runes[i]) &&
+				runes[i] != '_' && runes[i] != '-' && runes[i] != ' ' && runes[i] != '.' && runes[i] != '\t' {
+				i++
+			}
+			flush(start, i, KindSymbol)
+		}
+	}
+	return toks
+}
+
+// Words returns only the alphabetic sub-tokens of the identifier, lower-cased.
+func Words(identifier string) []string {
+	toks := Split(identifier)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == KindWord {
+			out = append(out, strings.ToLower(t.Text))
+		}
+	}
+	return out
+}
+
+// CaseStyle describes the dominant casing convention of an identifier.
+type CaseStyle int
+
+const (
+	CaseUnknown CaseStyle = iota
+	CaseSnake             // vegetation_height
+	CaseCamel             // vegetationHeight
+	CasePascal            // VegetationHeight
+	CaseUpper             // VEGETATION_HEIGHT or VEGHT
+	CaseLower             // vegetationheight
+)
+
+// DetectCase reports the identifier's dominant casing convention.
+func DetectCase(identifier string) CaseStyle {
+	hasUnderscore := strings.ContainsRune(identifier, '_')
+	hasUpper := strings.IndexFunc(identifier, unicode.IsUpper) >= 0
+	hasLower := strings.IndexFunc(identifier, unicode.IsLower) >= 0
+	switch {
+	case hasUnderscore && hasUpper && !hasLower:
+		return CaseUpper
+	case hasUnderscore:
+		return CaseSnake
+	case hasUpper && !hasLower:
+		return CaseUpper
+	case hasUpper && hasLower:
+		first, _ := firstLetter(identifier)
+		if unicode.IsUpper(first) {
+			return CasePascal
+		}
+		return CaseCamel
+	case hasLower:
+		return CaseLower
+	default:
+		return CaseUnknown
+	}
+}
+
+func firstLetter(s string) (rune, bool) {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Join renders words into an identifier using the given case style. Words
+// should be lower-case inputs.
+func Join(words []string, style CaseStyle) string {
+	switch style {
+	case CaseSnake:
+		return strings.Join(words, "_")
+	case CaseUpper:
+		return strings.ToUpper(strings.Join(words, ""))
+	case CaseLower:
+		return strings.Join(words, "")
+	case CaseCamel:
+		var b strings.Builder
+		for i, w := range words {
+			if i == 0 {
+				b.WriteString(w)
+				continue
+			}
+			b.WriteString(titleWord(w))
+		}
+		return b.String()
+	default: // CasePascal, CaseUnknown
+		var b strings.Builder
+		for _, w := range words {
+			b.WriteString(titleWord(w))
+		}
+		return b.String()
+	}
+}
+
+func titleWord(w string) string {
+	if w == "" {
+		return w
+	}
+	r := []rune(w)
+	return string(unicode.ToUpper(r[0])) + string(r[1:])
+}
+
+// VowelRatio returns the proportion of letters in s that are vowels. Word
+// abbreviations generally contain more consonants than vowels because vowels
+// are the first characters removed during abbreviation.
+func VowelRatio(s string) float64 {
+	letters, vowels := 0, 0
+	for _, r := range strings.ToLower(s) {
+		if !unicode.IsLetter(r) {
+			continue
+		}
+		letters++
+		switch r {
+		case 'a', 'e', 'i', 'o', 'u':
+			vowels++
+		}
+	}
+	if letters == 0 {
+		return 0
+	}
+	return float64(vowels) / float64(letters)
+}
+
+// HasWhitespace reports whether the identifier contains whitespace. The
+// paper replaces whitespace with underscores to avoid confounding inference
+// failures.
+func HasWhitespace(identifier string) bool {
+	return strings.IndexFunc(identifier, unicode.IsSpace) >= 0
+}
+
+// ReplaceWhitespace replaces each whitespace run with a single underscore.
+func ReplaceWhitespace(identifier string) string {
+	return strings.Join(strings.Fields(identifier), "_")
+}

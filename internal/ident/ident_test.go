@@ -1,0 +1,410 @@
+package ident
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func words(toks []Token) []string {
+	var out []string
+	for _, t := range toks {
+		out = append(out, t.Text)
+	}
+	return out
+}
+
+func TestSplitCamelCase(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"VegHeight", []string{"Veg", "Height"}},
+		{"vegetation_height", []string{"vegetation", "height"}},
+		{"AdaptiveCruiseControl", []string{"Adaptive", "Cruise", "Control"}},
+		{"ModelYear", []string{"Model", "Year"}},
+		{"service_name", []string{"service", "name"}},
+		{"Research Staff", []string{"Research", "Staff"}},
+		{"NTSBCrash", []string{"NTSB", "Crash"}},
+		{"AuthorID_5", []string{"Author", "ID", "5"}},
+		{"COGM_Act", []string{"COGM", "Act"}},
+		{"CSI22", []string{"CSI", "22"}},
+		{"tbl_MicroHabitat", []string{"tbl", "Micro", "Habitat"}},
+		{"x", []string{"x"}},
+		{"", nil},
+		{"__", nil},
+		{"a1b2", []string{"a", "1", "b", "2"}},
+	}
+	for _, c := range cases {
+		got := words(Split(c.in))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Split(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitKinds(t *testing.T) {
+	toks := Split("Veg_Height22$")
+	wantKinds := []TokenKind{KindWord, KindWord, KindNumber, KindSymbol}
+	if len(toks) != len(wantKinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(wantKinds), toks)
+	}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestSplitNeverEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Split(s) {
+			if tok.Text == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPreservesLetters(t *testing.T) {
+	// Property: concatenating all tokens preserves every letter and digit of
+	// the input in order.
+	f := func(s string) bool {
+		keep := func(r rune) bool {
+			return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		}
+		var in, out strings.Builder
+		for _, r := range s {
+			if keep(r) {
+				in.WriteRune(r)
+			}
+		}
+		for _, tok := range Split(s) {
+			for _, r := range tok.Text {
+				if keep(r) {
+					out.WriteRune(r)
+				}
+			}
+		}
+		return in.String() == out.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectCase(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CaseStyle
+	}{
+		{"vegetation_height", CaseSnake},
+		{"vegetationHeight", CaseCamel},
+		{"VegetationHeight", CasePascal},
+		{"VEGHT", CaseUpper},
+		{"VEG_HT", CaseUpper},
+		{"veght", CaseLower},
+		{"123", CaseUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectCase(c.in); got != c.want {
+			t.Errorf("DetectCase(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	ws := []string{"vegetation", "height"}
+	cases := []struct {
+		style CaseStyle
+		want  string
+	}{
+		{CaseSnake, "vegetation_height"},
+		{CaseCamel, "vegetationHeight"},
+		{CasePascal, "VegetationHeight"},
+		{CaseUpper, "VEGETATIONHEIGHT"},
+		{CaseLower, "vegetationheight"},
+	}
+	for _, c := range cases {
+		if got := Join(ws, c.style); got != c.want {
+			t.Errorf("Join(%v, %v) = %q, want %q", ws, c.style, got, c.want)
+		}
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := DefaultDictionary()
+	if d.Len() < 1000 {
+		t.Fatalf("embedded dictionary too small: %d", d.Len())
+	}
+	for _, w := range []string{"vegetation", "height", "species", "vehicle", "teacher", "invoice"} {
+		if !d.Contains(w) {
+			t.Errorf("dictionary missing %q", w)
+		}
+	}
+	if d.Contains("xqzzyk") {
+		t.Error("dictionary should not contain nonsense word")
+	}
+	if !d.Contains("Vegetation") {
+		t.Error("Contains should be case-insensitive")
+	}
+}
+
+func TestMeanTokenInDictionary(t *testing.T) {
+	d := DefaultDictionary()
+	cases := []struct {
+		in       string
+		min, max float64
+	}{
+		{"vegetation_height", 1, 1},
+		{"VegHeight", 0.49, 0.51}, // Veg is out, Height is in
+		{"VgHt", 0, 0},
+		{"ModelYear", 1, 1},
+		{"airbag", 1, 1},
+	}
+	for _, c := range cases {
+		got := MeanTokenInDictionary(c.in, d)
+		if got < c.min || got > c.max {
+			t.Errorf("MeanTokenInDictionary(%q) = %v, want in [%v,%v]", c.in, got, c.min, c.max)
+		}
+	}
+}
+
+func TestCharTag(t *testing.T) {
+	got := CharTag("AuthorID_5")
+	want := "^^+++^+$#"
+	// A u t h o r I D _ 5 => ^ ^ + + ^ + ^ + $ #? Let's compute: A vowel ^,
+	// u vowel ^, t +, h +, o ^, r +, I vowel ^, D +, _ $, 5 #.
+	want = "^^++^+^+$#"
+	if got != want {
+		t.Errorf("CharTag(AuthorID_5) = %q, want %q", got, want)
+	}
+	if CharTag("") != "" {
+		t.Error("CharTag empty should be empty")
+	}
+}
+
+func TestTagAugment(t *testing.T) {
+	if got := TagAugment("ab"); got != "ab ^+" {
+		t.Errorf("TagAugment(ab) = %q", got)
+	}
+}
+
+func TestCharTagLength(t *testing.T) {
+	f := func(s string) bool {
+		// tag length equals rune count of input
+		return len([]rune(CharTag(s))) == len([]rune(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSubsequence(t *testing.T) {
+	cases := []struct {
+		abbr, word string
+		want       bool
+	}{
+		{"vg", "vegetation", true},
+		{"ht", "height", true},
+		{"veg", "vegetation", true},
+		{"temp", "temperature", true},
+		{"xyz", "vegetation", false},
+		{"gv", "vegetation", false}, // must share first letter
+		{"", "vegetation", false},
+		{"vegetationx", "vegetation", false},
+	}
+	for _, c := range cases {
+		if got := IsSubsequence(c.abbr, c.word); got != c.want {
+			t.Errorf("IsSubsequence(%q, %q) = %v, want %v", c.abbr, c.word, got, c.want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"veg", "vegetation", 7},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("identity:", err)
+	}
+}
+
+func TestAbbrevSeverity(t *testing.T) {
+	d := DefaultDictionary()
+	if s := AbbrevSeverity("height", d); s != 0 {
+		t.Errorf("severity of full word = %v, want 0", s)
+	}
+	if s := AbbrevSeverity("id", d); s != 0 {
+		t.Errorf("severity of common acronym = %v, want 0", s)
+	}
+	ht := AbbrevSeverity("ht", d)
+	veg := AbbrevSeverity("veg", d)
+	if ht <= veg {
+		t.Errorf("severity(ht)=%v should exceed severity(veg)=%v", ht, veg)
+	}
+	if s := AbbrevSeverity("zzqx", d); s != 1 {
+		t.Errorf("severity of undecipherable token = %v, want 1", s)
+	}
+}
+
+func TestAbbrevSeverityBounds(t *testing.T) {
+	d := DefaultDictionary()
+	f := func(s string) bool {
+		v := AbbrevSeverity(s, d)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentifierSeverityOrdering(t *testing.T) {
+	d := DefaultDictionary()
+	reg := IdentifierSeverity("vegetation_height", d)
+	low := IdentifierSeverity("VegHeight", d)
+	least := IdentifierSeverity("VgHt", d)
+	if !(reg < low && low < least) {
+		t.Errorf("severity ordering violated: regular=%v low=%v least=%v", reg, low, least)
+	}
+}
+
+func TestHeuristicScoreOrdering(t *testing.T) {
+	d := DefaultDictionary()
+	reg := HeuristicScore("vegetation_height", d)
+	least := HeuristicScore("VgHt", d)
+	if reg <= least {
+		t.Errorf("heuristic score ordering violated: regular=%v least=%v", reg, least)
+	}
+	if reg < 0.9 {
+		t.Errorf("full-word identifier should score near 1, got %v", reg)
+	}
+}
+
+func TestHeuristicScoreBounds(t *testing.T) {
+	d := DefaultDictionary()
+	f := func(s string) bool {
+		v := HeuristicScore(s, d)
+		return v >= 0 && v <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVowelRatio(t *testing.T) {
+	if got := VowelRatio("aeiou"); got != 1 {
+		t.Errorf("VowelRatio(aeiou) = %v", got)
+	}
+	if got := VowelRatio("xyz"); got != 0 {
+		t.Errorf("VowelRatio(xyz) = %v", got)
+	}
+	if got := VowelRatio("VgHt"); got != 0 {
+		t.Errorf("abbreviations drop vowels: VowelRatio(VgHt) = %v", got)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	if !HasWhitespace("Research Staff") {
+		t.Error("HasWhitespace failed")
+	}
+	if HasWhitespace("Research_Staff") {
+		t.Error("underscore is not whitespace")
+	}
+	if got := ReplaceWhitespace("Research  Staff"); got != "Research_Staff" {
+		t.Errorf("ReplaceWhitespace = %q", got)
+	}
+}
+
+func TestExpansionCandidates(t *testing.T) {
+	d := DefaultDictionary()
+	cands := ExpansionCandidates("vg", d)
+	found := false
+	for _, c := range cands {
+		if c == "vegetation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vegetation should be an expansion candidate for vg; got %v", cands)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	d := DefaultDictionary()
+	cases := []struct {
+		in   string
+		want string // "-" means no segmentation
+	}{
+		{"casenumber", "case number"},
+		{"CASENUMBER", "case number"},
+		{"vehiclecount", "vehicle count"},
+		{"modelyear", "model year"},
+		{"height", "-"}, // single dictionary word: nothing to split
+		{"vg", "-"},     // too short
+		{"zzqxkk", "-"}, // no parse
+		{"alcoholcrashcargo", "alcohol crash cargo"},
+	}
+	for _, c := range cases {
+		got := d.Segment(c.in)
+		if c.want == "-" {
+			if got != nil {
+				t.Errorf("Segment(%q) = %v, want none", c.in, got)
+			}
+			continue
+		}
+		if strings.Join(got, " ") != c.want {
+			t.Errorf("Segment(%q) = %v, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSegmentedWords(t *testing.T) {
+	d := DefaultDictionary()
+	got := SegmentedWords("CASENUMBER_2021", d)
+	if strings.Join(got, " ") != "case number" {
+		t.Errorf("SegmentedWords = %v", got)
+	}
+	got = SegmentedWords("VgHt", d)
+	if strings.Join(got, " ") != "vg ht" {
+		t.Errorf("unsegmentable tokens pass through: %v", got)
+	}
+}
+
+func TestSegmentNeverPanics(t *testing.T) {
+	d := DefaultDictionary()
+	f := func(s string) bool {
+		_ = d.Segment(s)
+		_ = SegmentedWords(s, d)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

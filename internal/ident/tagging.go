@@ -1,0 +1,50 @@
+package ident
+
+import (
+	"strings"
+	"unicode"
+)
+
+// CharTag generates the character-tagging sequence described in appendix B.5
+// of the paper: a string of special characters corresponding to each input
+// character's class. Models trained with this feature concatenate the tag
+// sequence to the identifier (e.g. "AuthorID_5" -> "AuthorID_5 ^^+++^+$#").
+//
+//	^  vowels
+//	+  consonants
+//	#  numbers
+//	$  special characters (underscore, hyphen, ...)
+//	*  anything else
+func CharTag(identifier string) string {
+	var b strings.Builder
+	b.Grow(len(identifier))
+	for _, r := range identifier {
+		switch {
+		case isVowel(r):
+			b.WriteByte('^')
+		case unicode.IsLetter(r):
+			b.WriteByte('+')
+		case unicode.IsDigit(r):
+			b.WriteByte('#')
+		case r == '_' || r == '-' || r == '$' || r == '#' || r == '.' || r == ' ':
+			b.WriteByte('$')
+		default:
+			b.WriteByte('*')
+		}
+	}
+	return b.String()
+}
+
+// TagAugment returns the identifier with its character tag appended,
+// matching the training-data format used by the tagged (TG) models.
+func TagAugment(identifier string) string {
+	return identifier + " " + CharTag(identifier)
+}
+
+func isVowel(r rune) bool {
+	switch unicode.ToLower(r) {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}

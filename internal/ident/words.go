@@ -1,0 +1,178 @@
+package ident
+
+// embeddedWords is the built-in English word list. It combines a core
+// common-English vocabulary with the domain vocabulary of the SNAILS
+// database collection (scientific nature observation, vehicle safety,
+// school performance reporting, and business resource planning), so that
+// every Regular-naturalness identifier rendered by the dataset generators
+// decomposes into in-dictionary tokens.
+const embeddedWords = `
+a ability able about above absence abstract academic accept access account
+accuracy acre across act action active activity actual add address adjust
+adjusted administration adult advance advisory affect age agency agent ago
+agreement air airbag alert alias all allocation allow alpha also alternate
+altitude amount amphibian analysis and angle animal annual answer any
+apparatus application applied apply approach approval approved april area
+argument arrival arrive article as assessment asset assign assigned
+assistance associate association at atlas attempt attendance attribute audit
+august author authority auto automatic available average avian avoid awake
+award axis baby back background bag balance band bank banking bar barcode
+base baseline basin basis batch battery bay beach bear become bed begin
+behavior being belt benefit best between bicycle big bill billing bin binary
+biodiversity bird birth block blood board boat body bonus book border both
+bottom boundary box branch brand breed bridge brief broad brood browser
+budget buffer build building bulk bureau bus business but buyer by cache
+calculation calendar call camera campaign campus can canopy capacity capital
+caption capture car card care cargo carrier case cash catalog category cause
+ceiling cell census center central certificate chain chair change channel
+chapter character charge chart chassis check chemical chick child choice
+circle citation city claim class classification clause clear clerk client
+climate clinic clock close closure cloud cluster coast code cognitive
+cohort collection collector college collision color column combined comment
+commercial commission committee common community comp company comparison
+compensation complete completion complex component composite compound
+computer concentration concept concession condition conduct confidence
+configuration confirm conflict conservation console constant constraint
+consumer contact container content contents context continent contract
+contrast control conversion coordinate coordinator copy core corner
+corporate correct correction cost count counter country county course court
+cover coverage covered crash create created creation credit creek crew
+criteria critical crop cross crown cruise cube cubic culture cumulative
+currency current curriculum curve custom customer cycle daily damage dash
+data database date day dead deadwood dealer death debit december decay
+decimal decision deck decline default defect definition degree delay
+delete delivery delta demand demographic denominator density department
+departure dependency deploy deposit depth description design designation
+detail detection developer development device diameter dictionary
+difference digit digital dimension direct direction directory disability
+disabled discount discovery display distance distribution district division
+document dollar domain dominant door dosage double down draft drainage draw
+driver drop drought dry due duplicate duration duty each early earning east
+ecology economic edge edit edition education effect effective efficiency
+effort egg eight election electric element elementary elevation eligible
+else emergency employee employer employment empty enabled encounter end
+endangered ending energy engine english enrollment enter entity entrance
+entry environment equal equipment equity error escape estimate ethnic
+evaluation even evening event every exam examination example except exchange
+exclusion excuse executive exempt exit exotic expansion expected expense
+experience expert expiration export exposure expression extension extent
+exterior external extra extract eye facility factor faculty fail failure
+fall family fare farm fatal fault feature february federal fee feed feeder
+feet female fence field figure file fill filter final finance financial
+find finding fine finish fire first fiscal fish five fixed flag flat fleet
+flight flood floor flora flow flower fog folder foliage follow food foot
+for force forecast foreign forest form format formula four fraction frame
+framework free freight frequency fresh friday from front frost fruit fuel
+full function fund fungus fur future gain gallon game gap garden gas gate
+gateway gauge gender general generation genus geography geometry girl give
+glass global goal gold good government grade graduate graduation grain
+grand grant graph grass gravel gray grazing great green grid gross ground
+group grove growth guard guest guide habitat hair half hand handle harness
+hatch have hazard head header headquarters health hearing heat heavy hedge
+height help herb here high highway hire hispanic history hit hold holding
+holiday home horizontal hospital host hour house household housing human
+humidity hundred hunting ice identification identifier identity image
+impact import improvement in inactive incident include income increase
+independent index indicator individual industry infant inexperienced info
+information initial injury inland input insect inspection installation
+instance institution instruction instrument insurance intake integer
+intensity interaction interest interior internal international internet
+interval interview into introduced inventory invoice is island issue item
+january job join journal july junction june junior jurisdiction juvenile
+keeper key kind kingdom kit knowledge lab label labor lake land landbird
+lane language large larva last late latitude launch layer lead leader leaf
+league leak lease least leave ledger left leg legal legend length less
+lesson letter level liability license life light like limit line link list
+liter litter live lizard load loan local location lock lodge log logic
+login long longitude lookup loss lost lot low lower machine magnitude mail
+main maintenance major make male mammal management manager mandatory manual
+manufacturer many map march margin marine mark market marsh mass master
+match material math matrix mature maximum may meadow meal mean measure
+measurement mechanic media median medical medium meeting member membership
+memo mention menu merchandise merge mesh message metadata metal meter
+method metric middle midpoint migration mile milestone military milk mill
+minimum minnow minor minute mission mobile mode model moderate modified
+module moisture monday money monitor monitoring month monument moon more
+morning mortality most moth mother motion motor motorcycle mountain mouse
+mouth move movement much multiple municipal museum music must name narrow
+national native nature nest net network new next night nine no node noise
+nominal none noon normal north not note notice november number numerator
+nurse nursery oak object observation observer occupancy occupant occurrence
+ocean october odometer of off offer office officer offset often oil old on
+once one online only open operating operation operator opportunity option
+or orange order ordinal organization origin original other out outcome
+outlet output outstanding over overstory owl owner ownership pack package
+page paid pair pan panel paper parcel parent park parking part partial
+participant participation partner party pass passenger password past patch
+path patient pattern pay payment payroll peak pedestrian pending pension
+people per percent percentage performance perimeter period permanent permit
+person personal personnel pest petal phase phone photo physical pick pickup
+picture piece pilot pine pipeline place plain plan planning plant plat
+plate platform plot plus point poison pole policy pond pool population port
+portal portion position post postal posting prairie precipitation precision
+predator preferred prefix premium preparation presence present preserve
+pressure previous prey price primary principal print prior priority private
+probability problem procedure proceeds process processing producer product
+production professional proficiency profile profit program progress project
+projection promotion proof property proportion protected protection
+protocol provider province public publication purchase purchasing purpose
+quadrant quality quantity quarter query question queue quick quota quote
+race radio radius rail rain raise range rank raptor rate rating ratio raw
+reach read reading reason rebate recall receipt receive received receiver
+recent reception recipient record recovery recreation reference referral
+refund region register registration regular rejection relation relative
+release remainder remark removal renewal rent repair replacement report
+reporting representative reptile request required requirement research
+reserve reservoir reset resident residual resolution resource response
+responsibility rest restraint restricted result retail retention return
+revenue reverse review revision reward ridge right ring riparian risk river
+road rock rodent role roll roof room root roster rotation round route
+routine row rule run rural safety salamander salary sale sales salt sample
+sampling sand saturday saving scale scan scenario schedule schema school
+science scientific scope score scrub season seat second secondary section
+sector security sediment seed seedling segment selection seller semester
+senior sensitive sensor sequence serial series service session set setting
+settlement setup seven severity shade shape share shelf shell shift ship
+shipment shipping shore short show shrub side sign signal signature silver
+simple single site six size skill slope small snake snow social sodium
+software soil solution sort source south space span spatial spawn special
+species specification specimen speed spend spring square stack staff stage
+stand standard standing start state statement station statistic status
+steering stem step stock stop storage store storm story strategy stratum
+stream street strength stress strike string strip structure student study
+subgenus subject submission subplot subscriber subsection subsidy subspecies
+substrate subtotal suburb success suffix sum summary summer sunday supervisor
+supplier supply support surcharge surface surname survey survival suspect
+swamp system table tag tail target task tax taxon taxonomy teacher team
+technical technician temperature template temporary ten tenure term terminal
+termination terrain territory tertiary test text that the theme thing third
+thirty this thousand thread three threshold through thursday ticket tide
+tier time timestamp tire title to toad today token toll tool top topic
+topography total touch tour town township toxic track tract trade traffic
+trail trailer training transaction transcript transfer transit translation
+transmission transport trap travel treatment tree trend trial tributary
+trigger trim trip truck trunk trust tuesday tuition turn turtle two type
+under understory union unique unit universe university unknown up update
+upland upper urban usage use used user utility vacancy vacation valid
+validation value valve van variable variance variant variety vegetation
+vehicle vendor verification version vertical veteran viability video view
+village vine vintage visibility visit visitor visual vital volume voucher
+wage walk wall warehouse warning warranty watch water waterfowl watershed
+wave way weather wednesday week weekly weight well west wet wetland wheel
+when where which white whole wholesale width wild wildlife willow wind
+window wing winter wire with withdrawal within without witness wolf wood
+woodland woody word work worker workshop world wound wrap year yearly yes
+yield young zero zone
+airline airport alcohol appearance avoidance barrier basal brake breast burn
+burrow certification closed coded committed concert counts crews deformation
+deployment derived detections diploma distraction districts ejection estimated
+events fires has historic intersection intrusion invasion invasive islands
+lateral learner library lighting lines loads locale locations lunch maneuver
+marker means members monthly observations observers payments pet planned plots
+police posted posture potential prescribed profession quotation rear records
+regents reported results roadside roadway sapling saplings scene schools
+seedlings shop shoulder singer stations surveyor surveys suspension teachers
+technology tested tow transect treatments units venue visits weighted lookup
+arena career charter coach games goals magnet penalty played player players
+playoff rookie scored scores takers teams transactions sat
+`

@@ -1,0 +1,257 @@
+package llm
+
+import (
+	"math"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+)
+
+// linker scores candidate identifiers against natural-language mention
+// phrases for one model profile.
+type linker struct {
+	p    *Profile
+	seed uint64 // per-(model, question, variant) base seed
+}
+
+// decode returns the model's ability to recognize identifier sub-token tok
+// as standing for the natural word w. Exact matches score 1; abbreviations
+// decay exponentially with the fraction of removed characters, scaled by
+// the profile's lexical skill and sensitivity. This is the reproduction's
+// core mechanism: the same identifier is easy at Regular naturalness and
+// nearly opaque at Least, with weaker profiles decaying faster.
+func (l *linker) decode(tok, w string) float64 {
+	tok = strings.ToLower(tok)
+	w = strings.ToLower(w)
+	if tok == w {
+		return 1
+	}
+	if ident.IsCommonAcronym(tok) && strings.HasPrefix(w, tok[:1]) {
+		return 0.9 * l.p.LexSkill
+	}
+	if !ident.IsSubsequence(tok, w) {
+		return 0
+	}
+	removed := float64(len(w)-len(tok)) / float64(len(w))
+	if ident.IsPrefixAbbrev(tok, w) && !l.p.DisablePrefixEase {
+		// Prefix truncations ("temp" for "temperature", "veg" for
+		// "vegetation") read far more easily than interior abbreviations.
+		removed *= 0.45
+	}
+	if len(tok) <= 2 {
+		// One/two-letter consonant skeletons are near-opaque regardless of
+		// the original word length.
+		removed = math.Max(removed, 0.8)
+	} else if len(tok) == 3 && !ident.IsPrefixAbbrev(tok, w) {
+		// Three-letter interior skeletons ("cnt", "sgr") are little better.
+		removed = math.Max(removed, 0.68)
+	}
+	return l.p.LexSkill * math.Exp(-l.p.Sensitivity*removed)
+}
+
+// initials returns the first letters of the phrase words ("cost of goods
+// manufactured" -> "cogm") for acronym-collapse identifiers.
+func initials(words []string) string {
+	var b strings.Builder
+	for _, w := range words {
+		if w != "" {
+			b.WriteByte(w[0])
+		}
+	}
+	return strings.ToLower(b.String())
+}
+
+// sim scores how well an identifier matches a mention phrase in [0, ~1].
+func (l *linker) sim(phrase, identifier string) float64 {
+	words := strings.Fields(strings.ToLower(phrase))
+	if len(words) == 0 || identifier == "" {
+		return 0
+	}
+	toks := ident.Words(identifier)
+	if len(toks) == 0 {
+		return 0
+	}
+	// Acronym collapse: a single identifier token matching the phrase
+	// initials ("COGM" for "cost of goods manufactured").
+	if len(toks) == 1 && len(words) >= 3 && strings.ToLower(toks[0]) == initials(words) {
+		return l.p.LexSkill * math.Exp(-l.p.Sensitivity*0.85)
+	}
+	// Concatenated rendering: all-caps or lower styles fuse the phrase into
+	// one token ("CASENUMBER" for "case number"). Match the token against
+	// the concatenated phrase; exact concatenations read as natural text.
+	if len(toks) == 1 && len(words) > 1 {
+		concat := strings.Join(words, "")
+		t := strings.ToLower(toks[0])
+		if t == concat {
+			return 1
+		}
+		if whole := l.decode(t, concat); whole > 0 {
+			perWord := l.simPerWord(words, toks, identifier)
+			if whole > perWord {
+				return whole
+			}
+			return perWord
+		}
+	}
+	return l.simPerWord(words, toks, identifier)
+}
+
+// simPerWord is the word-by-word coverage component of sim.
+func (l *linker) simPerWord(words, toks []string, identifier string) float64 {
+	var total float64
+	for _, w := range words {
+		best := 0.0
+		for _, t := range toks {
+			if s := l.decode(t, w); s > best {
+				best = s
+			}
+		}
+		// Recognition gate: an abbreviation the model cannot confidently
+		// decode is sometimes simply unreadable — the mapping from "VgHt"
+		// back to "vegetation height" either clicks or it doesn't. The gate
+		// fires with probability growing quadratically in the decode
+		// uncertainty, so confidently-read identifiers are unaffected while
+		// Least-naturalness skeletons frequently drop most of their signal.
+		if best > 0 && best < 0.999 && !l.p.DisableGate {
+			uncertain := 1 - best
+			gateP := 0.6 * uncertain * uncertain
+			if hash01(l.seed^hashSeed("gate", w, identifier)) < gateP {
+				best *= 0.15
+			}
+		}
+		total += best
+	}
+	cov := total / float64(len(words))
+	// Mild penalty for identifiers with many unrelated extra tokens, which
+	// dilute the lexical signal real embeddings rely on.
+	if extra := len(toks) - len(words); extra > 1 {
+		cov *= 1 / (1 + 0.08*float64(extra-1))
+	}
+	return cov
+}
+
+// noise returns the deterministic per-candidate score perturbation.
+func (l *linker) noise(kind, candidate string) float64 {
+	return (hash01(l.seed^hashSeed(kind, strings.ToUpper(candidate))) - 0.5) * 2 * l.p.NoiseAmp
+}
+
+// linkTable picks the best table for a mention phrase. ok is false when no
+// candidate clears the model's confidence floor (the model will hallucinate
+// a table name instead).
+func (l *linker) linkTable(phrase string, ps *PromptSchema) (int, float64, bool) {
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for i := range ps.Tables {
+		s := l.sim(phrase, ps.Tables[i].Name) + l.noise("table", ps.Tables[i].Name)
+		if s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx < 0 || bestScore < l.p.MinConfidence {
+		return bestIdx, bestScore, false
+	}
+	return bestIdx, bestScore, true
+}
+
+// linkColumn picks the best column for a mention phrase among the given
+// tables (in priority order: earlier tables get a locality bonus, the way
+// attention concentrates on the table already chosen for the FROM clause).
+func (l *linker) linkColumn(phrase string, ps *PromptSchema, tableIdxs []int) (tableIdx int, column string, score float64, ok bool) {
+	bestScore := math.Inf(-1)
+	for pri, ti := range tableIdxs {
+		if ti < 0 || ti >= len(ps.Tables) {
+			continue
+		}
+		bonus := 0.0
+		if pri == 0 {
+			bonus = 0.05
+		}
+		for _, c := range ps.Tables[ti].Columns {
+			s := l.sim(phrase, c.Name) + l.noise("column", ps.Tables[ti].Name+"."+c.Name) + bonus
+			if s > bestScore {
+				bestScore, tableIdx, column = s, ti, c.Name
+			}
+		}
+	}
+	if column == "" || bestScore < l.p.MinConfidence {
+		return tableIdx, column, bestScore, false
+	}
+	return tableIdx, column, bestScore, true
+}
+
+// hallucinateIdentifier invents an identifier for a phrase the model failed
+// to link: it renders the phrase the way the model "expects" schemas to be
+// named. The result rarely exists in the schema, producing the typo-like
+// failures the paper reports.
+func (l *linker) hallucinateIdentifier(phrase string) string {
+	words := strings.Fields(strings.ToLower(phrase))
+	if len(words) == 0 {
+		return "unknown"
+	}
+	// Hallucinations are near-misses, not faithful reconstructions: models
+	// toggle plurality, add spurious suffixes, or drop qualifying words.
+	switch h := hash01(l.seed ^ hashSeed("halluc", phrase)); {
+	case h < 0.2:
+		words = append([]string{}, words...)
+		words[len(words)-1] = togglePlural(words[len(words)-1])
+		return strings.Join(words, "_")
+	case h < 0.4:
+		return strings.Join(words, "_") + "_id"
+	case h < 0.6:
+		return ident.Join(words, ident.CasePascal)
+	case h < 0.8:
+		return words[len(words)-1]
+	default:
+		return ident.Join(words, ident.CaseCamel)
+	}
+}
+
+func togglePlural(w string) string {
+	if strings.HasSuffix(w, "s") {
+		return strings.TrimSuffix(w, "s")
+	}
+	return w + "s"
+}
+
+// mutateIdentifier applies a typo-like hallucination to a linked identifier:
+// dropping a tbl_/table prefix token or snake-casing a camel identifier —
+// the specific mutation behaviours observed in section 6.
+func (l *linker) mutateIdentifier(name string, seed uint64) string {
+	toks := ident.Split(name)
+	if len(toks) == 0 {
+		return name
+	}
+	first := strings.ToLower(toks[0].Text)
+	if first == "tbl" || first == "tlu" || first == "table" {
+		// Drop the prefix token (table_employee -> employee).
+		var words []string
+		for _, t := range toks[1:] {
+			words = append(words, strings.ToLower(t.Text))
+		}
+		if len(words) > 0 {
+			style := ident.DetectCase(name)
+			if style == ident.CaseUnknown {
+				style = ident.CasePascal
+			}
+			return ident.Join(words, style)
+		}
+	}
+	// Otherwise re-case into snake (the whitespace/camel mutation); when the
+	// identifier is already snake-cased this would be a no-op, so fall
+	// through to the character drop instead.
+	var words []string
+	for _, t := range toks {
+		words = append(words, strings.ToLower(t.Text))
+	}
+	if seed%2 == 0 && len(words) > 1 {
+		if snake := strings.Join(words, "_"); !strings.EqualFold(snake, name) {
+			return snake
+		}
+	}
+	// Drop a low-salience interior character.
+	r := []rune(name)
+	if len(r) > 2 {
+		pos := 1 + int(seed%uint64(len(r)-1))
+		return string(r[:pos]) + string(r[pos+1:])
+	}
+	return name
+}

@@ -1,0 +1,418 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/nlq"
+)
+
+// Task is one NL-to-SQL inference request. The model sees only the prompt's
+// schema rendering and the question; the structured intent carries the
+// template-level meaning of the (shared, templated) English with schema
+// elements referenced by natural-language phrases.
+type Task struct {
+	SchemaKnowledge string
+	Question        string
+	Intent          nlq.Intent
+	// Seed individualizes deterministic noise; derive it from
+	// (model, database, question, variant).
+	Seed uint64
+}
+
+// Prediction is the inference output.
+type Prediction struct {
+	SQL string
+	// FilteredTables records the schema-subsetting stage's selection for
+	// workflows that have one (DIN-SQL, CodeS); nil for zero-shot.
+	FilteredTables []string
+	// Invalid marks generations that are not parseable SQL (the paper
+	// excludes these from linking analysis).
+	Invalid bool
+}
+
+// Model is a runnable synthetic LLM.
+type Model struct {
+	Profile *Profile
+}
+
+// New returns a model for the profile.
+func New(p *Profile) *Model { return &Model{Profile: p} }
+
+// Infer produces a SQL prediction for the task.
+func (m *Model) Infer(task Task) Prediction {
+	p := m.Profile
+	l := &linker{p: p, seed: task.Seed ^ hashSeed(p.Name)}
+	ps := ParsePrompt(task.SchemaKnowledge)
+	if len(ps.Tables) == 0 {
+		return Prediction{SQL: "SELECT 1", Invalid: true}
+	}
+
+	// Occasional entirely-invalid generations (weaker models in the paper
+	// produced ~137 unparseable queries across the benchmark).
+	if hash01(l.seed^0xbad) < p.invalidRate() {
+		return Prediction{SQL: "SELECT FROM WHERE", Invalid: true}
+	}
+
+	var pred Prediction
+
+	// Schema filtering stage (DIN-SQL / CodeS).
+	working := ps
+	if p.FilterKeep > 0 {
+		kept := m.filterTables(l, ps, task.Intent)
+		pred.FilteredTables = kept
+		working = subsetSchema(ps, kept)
+	}
+
+	res := m.resolve(l, working, task.Intent)
+	sql := compose(task.Intent, res)
+
+	// Structural slips scale with template complexity; the DIN-SQL
+	// self-correction pass repairs them.
+	complexity := templateComplexity(task.Intent.Kind)
+	okProb := pow(p.StructSkill, complexity)
+	if hash01(l.seed^0x57) > okProb && !p.SelfCorrect {
+		sql = injectStructuralSlip(task.Intent, res, l.seed)
+	}
+
+	pred.SQL = sql
+	return pred
+}
+
+func (p *Profile) invalidRate() float64 {
+	switch {
+	case p.StructSkill >= 0.95:
+		return 0.004
+	case p.StructSkill >= 0.9:
+		return 0.015
+	default:
+		return 0.04
+	}
+}
+
+func pow(b float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= b
+	}
+	return out
+}
+
+func templateComplexity(k nlq.Kind) int {
+	switch k {
+	case nlq.KindCountAll:
+		return 1
+	case nlq.KindListFilter, nlq.KindAggMeasure, nlq.KindCountGroup, nlq.KindNegationFilter, nlq.KindYearCount:
+		return 2
+	case nlq.KindGroupHaving, nlq.KindTopOrder, nlq.KindScalarMax:
+		return 3
+	default: // joins, subqueries
+		return 4
+	}
+}
+
+// resolved holds the model's schema-linking decisions for one query.
+type resolved struct {
+	table     string // FROM table (as named in the prompt)
+	joinTable string
+	cols      map[nlq.Role]string // resolved column per role
+	colJoined map[nlq.Role]bool   // whether the resolved column sits on the joined table
+	sharedCol string              // composite-key second column
+	hasJoin   bool
+}
+
+// resolve links every mention of the intent against the prompt schema.
+func (m *Model) resolve(l *linker, ps *PromptSchema, in nlq.Intent) *resolved {
+	r := &resolved{cols: map[nlq.Role]string{}, colJoined: map[nlq.Role]bool{}}
+
+	ti, tscore, ok := l.linkTable(in.TableMention, ps)
+	if !ok {
+		r.table = l.hallucinateIdentifier(in.TableMention)
+		ti = -1
+	} else {
+		r.table = m.maybeMutate(l, ps.Tables[ti].Name, tscore, "tbl:"+in.TableMention)
+	}
+	ji := -1
+	if in.JoinTableMention != "" {
+		r.hasJoin = true
+		var jok bool
+		ji, _, jok = l.linkTable(in.JoinTableMention, ps)
+		if !jok || ji == ti {
+			// Re-link excluding the primary table.
+			ji = m.secondBestTable(l, ps, in.JoinTableMention, ti)
+		}
+		if ji >= 0 {
+			r.joinTable = m.maybeMutate(l, ps.Tables[ji].Name, l.sim(in.JoinTableMention, ps.Tables[ji].Name), "jtbl:"+in.JoinTableMention)
+		} else {
+			r.joinTable = l.hallucinateIdentifier(in.JoinTableMention)
+		}
+	}
+
+	for _, cm := range in.Columns {
+		priority := []int{ti, ji}
+		if cm.OnJoined {
+			priority = []int{ji, ti}
+		}
+		cti, col, score, ok := l.linkColumn(cm.Phrase, ps, priority)
+		if !ok {
+			col = l.hallucinateIdentifier(cm.Phrase)
+			cti = priority[0]
+		} else {
+			// Typo-like hallucination grows with linking uncertainty: a
+			// confidently linked natural identifier is copied verbatim while
+			// an opaque abbreviation is frequently mis-rendered. This is
+			// what produces the paper's consistent recall drop at Least
+			// naturalness even for the strongest models.
+			uncertain := 1 - score
+			if uncertain < 0 {
+				uncertain = 0
+			}
+			mutP := m.Profile.HallucinationRate + 0.30*uncertain*uncertain
+			if hash01(l.seed^hashSeed("mut", cm.Phrase)) < mutP {
+				col = l.mutateIdentifier(col, l.seed^hashSeed(cm.Phrase))
+			}
+		}
+		r.cols[cm.Role] = col
+		r.colJoined[cm.Role] = cti >= 0 && cti == ji && r.hasJoin
+		if cm.Role == nlq.RoleJoinShared {
+			r.sharedCol = col
+		}
+	}
+
+	// Join-column fallback: a real model defaults to same-named or id-like
+	// columns when the mention fails to link.
+	if r.hasJoin && (r.cols[nlq.RoleJoinChild] == "" || r.cols[nlq.RoleJoinParent] == "") {
+		child, parent := idLikeColumn(ps, ti), idLikeColumn(ps, ji)
+		if r.cols[nlq.RoleJoinChild] == "" {
+			r.cols[nlq.RoleJoinChild] = child
+		}
+		if r.cols[nlq.RoleJoinParent] == "" {
+			r.cols[nlq.RoleJoinParent] = parent
+		}
+	}
+	return r
+}
+
+// maybeMutate applies the uncertainty-scaled typo hallucination to a linked
+// identifier. Table names are as vulnerable as columns: the paper observes
+// models dropping tbl_ prefixes and re-casing opaque table names.
+func (m *Model) maybeMutate(l *linker, name string, score float64, key string) string {
+	uncertain := 1 - score
+	if uncertain < 0 {
+		uncertain = 0
+	}
+	mutP := m.Profile.HallucinationRate*0.5 + 0.22*uncertain*uncertain
+	if hash01(l.seed^hashSeed("tmut", key)) < mutP {
+		return l.mutateIdentifier(name, l.seed^hashSeed(key))
+	}
+	return name
+}
+
+// secondBestTable re-links a phrase while excluding one index.
+func (m *Model) secondBestTable(l *linker, ps *PromptSchema, phrase string, exclude int) int {
+	best, bestScore := -1, -1e9
+	for i := range ps.Tables {
+		if i == exclude {
+			continue
+		}
+		s := l.sim(phrase, ps.Tables[i].Name) + l.noise("table2", ps.Tables[i].Name)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if bestScore < l.p.MinConfidence {
+		return -1
+	}
+	return best
+}
+
+func idLikeColumn(ps *PromptSchema, ti int) string {
+	if ti < 0 || ti >= len(ps.Tables) {
+		return "id"
+	}
+	for _, c := range ps.Tables[ti].Columns {
+		if strings.HasSuffix(strings.ToLower(c.Name), "id") {
+			return c.Name
+		}
+	}
+	return ps.Tables[ti].Columns[0].Name
+}
+
+// filterTables implements the schema-subsetting stage: tables are ranked by
+// their link score against the question's mentions and the top-K kept. Less
+// natural table names rank lower, reproducing the Figure 12 recall drop.
+func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []string {
+	type scored struct {
+		name  string
+		score float64
+	}
+	var all []scored
+	mentions := []string{in.TableMention}
+	if in.JoinTableMention != "" {
+		mentions = append(mentions, in.JoinTableMention)
+	}
+	for i := range ps.Tables {
+		best := 0.0
+		for _, mn := range mentions {
+			if s := l.sim(mn, ps.Tables[i].Name); s > best {
+				best = s
+			}
+		}
+		// Column evidence: a table whose columns match the question's column
+		// mentions is likely relevant even if its own name is opaque.
+		for _, cm := range in.Columns {
+			for _, c := range ps.Tables[i].Columns {
+				if s := 0.6 * l.sim(cm.Phrase, c.Name); s > best {
+					best = s
+				}
+			}
+		}
+		best += l.noise("filter", ps.Tables[i].Name)
+		all = append(all, scored{ps.Tables[i].Name, best})
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].score > all[b].score })
+	keep := m.Profile.FilterKeep
+	if keep > len(all) {
+		keep = len(all)
+	}
+	out := make([]string, 0, keep)
+	for _, s := range all[:keep] {
+		out = append(out, s.name)
+	}
+	return out
+}
+
+func subsetSchema(ps *PromptSchema, keep []string) *PromptSchema {
+	kept := map[string]struct{}{}
+	for _, k := range keep {
+		kept[strings.ToUpper(k)] = struct{}{}
+	}
+	out := &PromptSchema{}
+	for _, t := range ps.Tables {
+		if _, ok := kept[strings.ToUpper(t.Name)]; ok {
+			out.Tables = append(out.Tables, t)
+		}
+	}
+	return out
+}
+
+// --- composition ---------------------------------------------------------------
+
+// compose renders the SQL for the intent using the model's resolved
+// identifiers. Composition mirrors the template grammar: the paper observes
+// that modern LLMs almost always emit structurally valid SQL, with errors
+// concentrated in identifier selection.
+func compose(in nlq.Intent, r *resolved) string {
+	q := func(role nlq.Role) string { return r.cols[role] }
+	qual := func(role nlq.Role) string {
+		if !r.hasJoin {
+			return q(role)
+		}
+		if r.colJoined[role] {
+			return "p." + q(role)
+		}
+		return "c." + q(role)
+	}
+	switch in.Kind {
+	case nlq.KindCountAll:
+		return fmt.Sprintf("SELECT COUNT(*) FROM %s", r.table)
+	case nlq.KindListFilter:
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s = '%s'",
+			q(nlq.RoleProjection), r.table, q(nlq.RoleFilter), esc(in.FilterValue))
+	case nlq.KindNegationFilter:
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s <> '%s'",
+			q(nlq.RoleProjection), r.table, q(nlq.RoleFilter), esc(in.FilterValue))
+	case nlq.KindCountGroup:
+		g := q(nlq.RoleGroup)
+		return fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", g, r.table, g)
+	case nlq.KindAggMeasure:
+		return fmt.Sprintf("SELECT %s(%s) FROM %s", in.Agg, q(nlq.RoleAggArg), r.table)
+	case nlq.KindGroupHaving:
+		g := q(nlq.RoleGroup)
+		return fmt.Sprintf("SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) > %d",
+			g, r.table, g, in.HavingK)
+	case nlq.KindTopOrder:
+		return fmt.Sprintf("SELECT TOP %d %s FROM %s ORDER BY %s DESC",
+			in.TopK, q(nlq.RoleProjection), r.table, q(nlq.RoleOrder))
+	case nlq.KindScalarMax:
+		mcol := q(nlq.RoleAggArg)
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s = (SELECT MAX(%s) FROM %s)",
+			q(nlq.RoleProjection), r.table, mcol, mcol, r.table)
+	case nlq.KindYearCount:
+		return fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE YEAR(%s) = %d",
+			r.table, q(nlq.RoleFilter), in.Year)
+	case nlq.KindJoinList:
+		return fmt.Sprintf("SELECT p.%s FROM %s c JOIN %s p ON c.%s = p.%s WHERE %s = '%s'",
+			q(nlq.RoleProjection), r.table, r.joinTable,
+			q(nlq.RoleJoinChild), q(nlq.RoleJoinParent),
+			qual(nlq.RoleFilter), esc(in.FilterValue))
+	case nlq.KindJoinGroup:
+		g := q(nlq.RoleGroup)
+		return fmt.Sprintf("SELECT p.%s, COUNT(*) FROM %s c JOIN %s p ON c.%s = p.%s GROUP BY p.%s",
+			g, r.table, r.joinTable, q(nlq.RoleJoinChild), q(nlq.RoleJoinParent), g)
+	case nlq.KindCKJoin:
+		g := q(nlq.RoleGroup)
+		return fmt.Sprintf("SELECT p.%s, COUNT(*) FROM %s c JOIN %s p ON c.%s = p.%s AND c.%s = p.%s GROUP BY p.%s",
+			g, r.table, r.joinTable, q(nlq.RoleJoinChild), q(nlq.RoleJoinParent),
+			r.sharedCol, r.sharedCol, g)
+	case nlq.KindNotExists:
+		// Primary mention is the parent here (mirrors the template).
+		return fmt.Sprintf("SELECT %s FROM %s p WHERE NOT EXISTS (SELECT %s FROM %s WHERE %s = p.%s)",
+			q(nlq.RoleProjection), r.table, q(nlq.RoleJoinChild), r.joinTable,
+			q(nlq.RoleJoinChild), q(nlq.RoleJoinParent))
+	case nlq.KindInSubquery:
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s IN (SELECT %s FROM %s WHERE %s = '%s')",
+			q(nlq.RoleProjection), r.table, q(nlq.RoleJoinParent),
+			q(nlq.RoleJoinChild), r.joinTable, q(nlq.RoleFilter), esc(in.FilterValue))
+	default:
+		return fmt.Sprintf("SELECT * FROM %s", r.table)
+	}
+}
+
+// injectStructuralSlip degrades the composed query with one of the
+// skeleton-level mistakes weaker models make.
+func injectStructuralSlip(in nlq.Intent, r *resolved, seed uint64) string {
+	switch seed % 4 {
+	case 0:
+		// Drop the WHERE clause / threshold.
+		stripped := in
+		stripped.FilterValue = ""
+		switch in.Kind {
+		case nlq.KindListFilter, nlq.KindNegationFilter:
+			return fmt.Sprintf("SELECT %s FROM %s", r.cols[nlq.RoleProjection], r.table)
+		case nlq.KindYearCount:
+			return fmt.Sprintf("SELECT COUNT(*) FROM %s", r.table)
+		}
+		return compose(stripped, r)
+	case 1:
+		// Wrong aggregate.
+		wrong := in
+		switch in.Agg {
+		case "AVG":
+			wrong.Agg = "SUM"
+		case "SUM":
+			wrong.Agg = "AVG"
+		case "MAX":
+			wrong.Agg = "MIN"
+		default:
+			wrong.Agg = "MAX"
+		}
+		if in.Kind == nlq.KindAggMeasure {
+			return compose(wrong, r)
+		}
+		return fmt.Sprintf("SELECT * FROM %s", r.table)
+	case 2:
+		// Forget the ordering direction / grouping column.
+		if in.Kind == nlq.KindTopOrder {
+			return fmt.Sprintf("SELECT TOP %d %s FROM %s ORDER BY %s",
+				in.TopK, r.cols[nlq.RoleProjection], r.table, r.cols[nlq.RoleOrder])
+		}
+		return fmt.Sprintf("SELECT * FROM %s", r.table)
+	default:
+		// Bare scan of the linked table.
+		return fmt.Sprintf("SELECT * FROM %s", r.table)
+	}
+}
+
+func esc(s string) string { return strings.ReplaceAll(s, "'", "''") }

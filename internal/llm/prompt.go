@@ -1,0 +1,72 @@
+package llm
+
+import (
+	"strings"
+)
+
+// PromptColumn is one column as seen in the schema-knowledge prompt.
+type PromptColumn struct {
+	Name string
+	Type string
+}
+
+// PromptTable is one table line of the schema-knowledge prompt.
+type PromptTable struct {
+	Name    string
+	Columns []PromptColumn
+}
+
+// PromptSchema is the model's view of the database: exactly what the prompt
+// text conveys, nothing more. Models never see gold identifiers or native
+// names — only the (possibly naturalness-modified) prompt rendering.
+type PromptSchema struct {
+	Tables []PromptTable
+}
+
+// ParsePrompt recovers the schema graph from a schema-knowledge block in the
+// paper's "#Table(Col Type, ...)" format. Unparseable lines are skipped (a
+// real LLM degrades gracefully on malformed prompt content).
+func ParsePrompt(block string) *PromptSchema {
+	ps := &PromptSchema{}
+	for _, line := range strings.Split(block, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimPrefix(line, "#")
+		open := strings.IndexByte(line, '(')
+		if open < 0 || !strings.HasSuffix(line, ")") {
+			continue
+		}
+		t := PromptTable{Name: strings.TrimSpace(line[:open])}
+		if t.Name == "" || strings.HasPrefix(t.Name, "Database:") {
+			continue
+		}
+		body := line[open+1 : len(line)-1]
+		for _, colDef := range strings.Split(body, ",") {
+			fields := strings.Fields(strings.TrimSpace(colDef))
+			if len(fields) == 0 {
+				continue
+			}
+			pc := PromptColumn{Name: fields[0]}
+			if len(fields) > 1 {
+				pc.Type = fields[1]
+			}
+			t.Columns = append(t.Columns, pc)
+		}
+		if len(t.Columns) > 0 {
+			ps.Tables = append(ps.Tables, t)
+		}
+	}
+	return ps
+}
+
+// Table returns the index of the named table, or -1.
+func (ps *PromptSchema) Table(name string) int {
+	for i := range ps.Tables {
+		if strings.EqualFold(ps.Tables[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}

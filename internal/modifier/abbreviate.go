@@ -1,0 +1,170 @@
+// Package modifier implements the SNAILS naturalness modifiers (Artifact 5):
+// an abbreviator that lowers identifier naturalness (Regular -> Low -> Least)
+// and a metadata-retrieval expander that raises it, plus the crosswalk
+// structures (Artifact 4) that map every native identifier to semantically
+// equivalent forms at each naturalness level.
+package modifier
+
+import (
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+// fnv1a provides deterministic per-word choice of abbreviation rule, so the
+// same word always abbreviates the same way (as a human designer would
+// consistently shorten "vegetation" to "veg" across a schema).
+func fnv1a(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// vowelStrip removes interior vowels from a word, always keeping the first
+// character: "height" -> "hght".
+func vowelStrip(w string) string {
+	if w == "" {
+		return w
+	}
+	var b strings.Builder
+	b.WriteByte(w[0])
+	for i := 1; i < len(w); i++ {
+		switch w[i] {
+		case 'a', 'e', 'i', 'o', 'u':
+		default:
+			b.WriteByte(w[i])
+		}
+	}
+	return b.String()
+}
+
+// consonantSkeleton reduces a word to a 2-3 character consonant skeleton:
+// "vegetation" -> "vg", "height" -> "ht".
+func consonantSkeleton(w string, n int) string {
+	s := vowelStrip(w)
+	if len(s) <= n {
+		return s
+	}
+	// First consonant plus the most salient following consonants.
+	if n >= len(s) {
+		return s
+	}
+	if n == 2 {
+		return string(s[0]) + string(s[len(s)-1])
+	}
+	return s[:n-1] + string(s[len(s)-1])
+}
+
+// AbbreviateWord lowers the naturalness of a single lower-case word to the
+// target level. Regular keeps the word intact. The transformation is
+// deterministic per (word, level).
+func AbbreviateWord(w string, target naturalness.Level) string {
+	w = strings.ToLower(w)
+	if w == "" || target == naturalness.Regular {
+		return w
+	}
+	if len(w) <= 3 {
+		// Already short; Least squeezes out any vowel.
+		if target == naturalness.Least {
+			return vowelStrip(w)
+		}
+		return w
+	}
+	h := fnv1a(w)
+	switch target {
+	case naturalness.Low:
+		// Recognizable abbreviation: truncation prefix or partial vowel
+		// strip, >= 3 characters.
+		switch h % 3 {
+		case 0: // truncate to a recognizable prefix
+			n := 4
+			if len(w) <= 5 {
+				n = 3
+			}
+			return w[:n]
+		case 1: // drop the last vowels only ("protocol" -> "protcl")
+			if len(w) >= 6 {
+				head := w[:len(w)/2]
+				tail := vowelStrip(w[len(w)/2:])
+				if len(head+tail) >= 3 && len(head+tail) < len(w) {
+					return head + tail
+				}
+			}
+			return w[:4]
+		default: // drop vowels but keep length >= 4 ("number" -> "nmbr")
+			s := vowelStrip(w)
+			if len(s) >= 4 {
+				return s
+			}
+			return w[:4]
+		}
+	default: // Least: indecipherable 2-3 char skeleton
+		n := 2
+		if h%3 == 0 {
+			n = 3
+		}
+		return consonantSkeleton(w, n)
+	}
+}
+
+// Abbreviate lowers the naturalness of a multi-word concept. The words are
+// the Regular (full English) form; the result uses the requested case style.
+// For Least, concepts of 3+ words may collapse into an acronym (the paper's
+// COGM_Act pattern).
+func Abbreviate(words []string, target naturalness.Level, style ident.CaseStyle) string {
+	if len(words) == 0 {
+		return ""
+	}
+	if target == naturalness.Regular {
+		return ident.Join(words, style)
+	}
+	if target == naturalness.Least && len(words) >= 3 && fnv1a(strings.Join(words, " "))%2 == 0 {
+		// Acronym collapse.
+		var b strings.Builder
+		for _, w := range words {
+			if w != "" {
+				b.WriteByte(w[0])
+			}
+		}
+		return strings.ToUpper(b.String())
+	}
+	out := make([]string, len(words))
+	if target == naturalness.Low && len(words) > 1 {
+		// Low-naturalness identifiers typically mix full words with
+		// abbreviations (the paper's VegHeight, IsueFrDate, AccountChk):
+		// abbreviate roughly half the words, always at least one.
+		abbreviated := 0
+		for i, w := range words {
+			if fnv1a(w+"|mix")%5 < 2 {
+				out[i] = w
+				continue
+			}
+			out[i] = AbbreviateWord(w, target)
+			if out[i] != w {
+				abbreviated++
+			}
+		}
+		if abbreviated == 0 {
+			longest := 0
+			for i, w := range words {
+				if len(w) > len(words[longest]) {
+					longest = i
+				}
+			}
+			out[longest] = AbbreviateWord(words[longest], target)
+		}
+		return ident.Join(out, style)
+	}
+	for i, w := range words {
+		out[i] = AbbreviateWord(w, target)
+	}
+	if target == naturalness.Least && style == ident.CaseSnake {
+		// Least-natural snake identifiers typically drop separators too.
+		return ident.Join(out, ident.CasePascal)
+	}
+	return ident.Join(out, style)
+}

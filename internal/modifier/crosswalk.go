@@ -1,0 +1,204 @@
+package modifier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+// Entry maps one native identifier to its semantically equivalent forms at
+// every naturalness level (Artifact 4). The native identifier maps to itself
+// at its own naturalness level.
+type Entry struct {
+	Native      string
+	NativeLevel naturalness.Level
+	// Forms holds the identifier rendered at each level. Forms[NativeLevel]
+	// equals Native.
+	Forms [3]string
+	// Words is the Regular-form word decomposition (the underlying concept).
+	Words []string
+}
+
+// Form returns the identifier at the requested naturalness level.
+func (e *Entry) Form(l naturalness.Level) string { return e.Forms[l] }
+
+// Crosswalk is the full identifier mapping for one database schema: the
+// "schema crosswalk" used for prompt naturalness modification and generated
+// query denaturalization.
+type Crosswalk struct {
+	// entries maps the upper-cased native identifier to its entry.
+	entries map[string]*Entry
+	// reverse maps (level, upper-cased modified identifier) back to native.
+	reverse [3]map[string]string
+	order   []string // native identifiers in insertion order
+}
+
+// NewCrosswalk returns an empty crosswalk.
+func NewCrosswalk() *Crosswalk {
+	cw := &Crosswalk{entries: make(map[string]*Entry)}
+	for i := range cw.reverse {
+		cw.reverse[i] = make(map[string]string)
+	}
+	return cw
+}
+
+// Add inserts an entry. Collisions between distinct native identifiers
+// mapping to the same modified form at a level are disambiguated with a
+// numeric suffix, keeping each level's mapping invertible. When the
+// collision happens at the entry's own native level (two different concepts
+// abbreviating to the same native name), the native identifier itself is
+// disambiguated so that Forms[NativeLevel] == Native always holds; callers
+// must use the returned entry's Native as the identifier's actual name.
+func (cw *Crosswalk) Add(e Entry) *Entry {
+	if prev, dup := cw.entries[strings.ToUpper(e.Native)]; dup {
+		return prev
+	}
+	for _, l := range naturalness.Levels {
+		if e.Forms[l] == "" {
+			e.Forms[l] = e.Native
+		}
+	}
+	// The native-level form defines the entry's identity, so disambiguate
+	// it first.
+	e.Forms[e.NativeLevel] = cw.disambiguate(e.NativeLevel, e.Forms[e.NativeLevel], "")
+	e.Native = e.Forms[e.NativeLevel]
+	key := strings.ToUpper(e.Native)
+	if prev, dup := cw.entries[key]; dup {
+		return prev
+	}
+	for _, l := range naturalness.Levels {
+		if l == e.NativeLevel {
+			continue
+		}
+		e.Forms[l] = cw.disambiguate(l, e.Forms[l], key)
+	}
+	for _, l := range naturalness.Levels {
+		cw.reverse[l][strings.ToUpper(e.Forms[l])] = key
+	}
+	stored := e
+	cw.entries[key] = &stored
+	cw.order = append(cw.order, e.Native)
+	return &stored
+}
+
+// disambiguate returns form unchanged when free at the level, or a
+// numerically suffixed variant otherwise. ownKey marks forms already owned
+// by the entry being inserted.
+func (cw *Crosswalk) disambiguate(l naturalness.Level, form, ownKey string) string {
+	fkey := strings.ToUpper(form)
+	owner, taken := cw.reverse[l][fkey]
+	if !taken || (ownKey != "" && owner == ownKey) {
+		return form
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", form, i)
+		if _, t := cw.reverse[l][strings.ToUpper(cand)]; !t {
+			return cand
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (cw *Crosswalk) Len() int { return len(cw.entries) }
+
+// Lookup returns the entry for a native identifier (case-insensitive).
+func (cw *Crosswalk) Lookup(native string) (*Entry, bool) {
+	e, ok := cw.entries[strings.ToUpper(native)]
+	return e, ok
+}
+
+// ToLevel maps a native identifier to its form at the given level; the
+// identifier itself is returned when unmapped.
+func (cw *Crosswalk) ToLevel(native string, l naturalness.Level) string {
+	if e, ok := cw.Lookup(native); ok {
+		return e.Forms[l]
+	}
+	return native
+}
+
+// ToNative maps a level-modified identifier back to its native form — the
+// denaturalization direction. Unmapped identifiers are returned unchanged.
+func (cw *Crosswalk) ToNative(modified string, l naturalness.Level) string {
+	if nativeKey, ok := cw.reverse[l][strings.ToUpper(modified)]; ok {
+		if e, ok2 := cw.entries[nativeKey]; ok2 {
+			return e.Native
+		}
+	}
+	return modified
+}
+
+// Natives returns native identifiers in insertion order.
+func (cw *Crosswalk) Natives() []string {
+	out := make([]string, len(cw.order))
+	copy(out, cw.order)
+	return out
+}
+
+// Entries returns all entries sorted by native identifier.
+func (cw *Crosswalk) Entries() []*Entry {
+	out := make([]*Entry, 0, len(cw.entries))
+	for _, nat := range cw.order {
+		if e, ok := cw.Lookup(nat); ok {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Native < out[j].Native })
+	return out
+}
+
+// Builder assembles crosswalk entries using the modifier artifacts: the
+// expander recovers the Regular concept words from a native identifier and
+// the abbreviator renders the Low and Least forms. This is the
+// classify -> expand -> abbreviate workflow of Figure 4.
+type Builder struct {
+	Classifier naturalness.Classifier
+	Expander   *Expander
+	// Style controls how the Regular form is rendered; defaults to snake case.
+	Style ident.CaseStyle
+}
+
+// Build produces the entry for one native identifier.
+func (b *Builder) Build(native string) Entry {
+	style := b.Style
+	if style == ident.CaseUnknown {
+		style = ident.CaseSnake
+	}
+	level := naturalness.Regular
+	if b.Classifier != nil {
+		level = b.Classifier.Classify(native)
+	}
+	exp := b.Expander
+	if exp == nil {
+		exp = &Expander{}
+	}
+	words, _ := exp.Expand(native)
+	if len(words) == 0 {
+		words = []string{strings.ToLower(native)}
+	}
+	var e Entry
+	e.Native = native
+	e.NativeLevel = level
+	e.Words = words
+	for _, l := range naturalness.Levels {
+		if l == level {
+			// Native maps to itself at its own level (the paper does not
+			// generate new identifiers at the native level).
+			e.Forms[l] = native
+			continue
+		}
+		e.Forms[l] = Abbreviate(words, l, style)
+	}
+	return e
+}
+
+// BuildAll builds a crosswalk for a list of native identifiers.
+func (b *Builder) BuildAll(natives []string) *Crosswalk {
+	cw := NewCrosswalk()
+	for _, n := range natives {
+		cw.Add(b.Build(n))
+	}
+	return cw
+}

@@ -1,0 +1,178 @@
+package modifier
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+)
+
+// MetadataIndex is a word-level index over database metadata documents
+// (data dictionaries), implementing the appendix-C.2 retrieval design: words
+// are indexed to their positions and the expander retrieves context windows
+// around occurrences of an identifier to ground its expansion.
+type MetadataIndex struct {
+	// entries maps a lower-cased identifier to its documented description.
+	entries map[string]string
+	// index maps each description word to the identifiers whose context
+	// contains it.
+	index map[string][]string
+}
+
+// NewMetadataIndex builds an index from identifier -> description pairs.
+func NewMetadataIndex() *MetadataIndex {
+	return &MetadataIndex{
+		entries: make(map[string]string),
+		index:   make(map[string][]string),
+	}
+}
+
+// Add records a metadata entry: the identifier as it appears in the data
+// dictionary and its free-text description.
+func (m *MetadataIndex) Add(identifier, description string) {
+	key := strings.ToLower(identifier)
+	m.entries[key] = description
+	for _, w := range strings.Fields(strings.ToLower(description)) {
+		w = strings.Trim(w, ".,;:()[]\"'")
+		if w == "" {
+			continue
+		}
+		m.index[w] = append(m.index[w], key)
+	}
+}
+
+// Len returns the number of indexed entries.
+func (m *MetadataIndex) Len() int { return len(m.entries) }
+
+// Lookup returns the description for the identifier, if documented.
+func (m *MetadataIndex) Lookup(identifier string) (string, bool) {
+	d, ok := m.entries[strings.ToLower(identifier)]
+	return d, ok
+}
+
+// ContextWindows returns up to max description excerpts mentioning any word
+// token of the identifier — the retrieval step of the expansion prompt.
+func (m *MetadataIndex) ContextWindows(identifier string, max int) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	add := func(key string) {
+		if _, dup := seen[key]; dup || len(out) >= max {
+			return
+		}
+		seen[key] = struct{}{}
+		out = append(out, m.entries[key])
+	}
+	if _, ok := m.entries[strings.ToLower(identifier)]; ok {
+		add(strings.ToLower(identifier))
+	}
+	for _, w := range ident.Words(identifier) {
+		keys := m.index[w]
+		sort.Strings(keys)
+		for _, k := range keys {
+			add(k)
+		}
+	}
+	return out
+}
+
+// Expander raises identifier naturalness using metadata retrieval plus
+// dictionary-based expansion-candidate analysis. It substitutes for the
+// paper's GPT-with-metadata-lookup program.
+type Expander struct {
+	Dict     *ident.Dictionary
+	Metadata *MetadataIndex
+}
+
+// Expand returns the Regular-naturalness form of the identifier as a list of
+// lower-case full English words. Resolution order per token:
+//
+//  1. the token is already a dictionary word or common acronym — keep it;
+//  2. a metadata description for the identifier contains a dictionary word
+//     the token abbreviates — use the grounded word;
+//  3. otherwise the shortest dictionary expansion candidate is used;
+//  4. tokens with no candidates are kept as-is (flagged via ok=false).
+func (e *Expander) Expand(identifier string) (words []string, ok bool) {
+	d := e.Dict
+	if d == nil {
+		d = ident.DefaultDictionary()
+	}
+	ok = true
+	var contextWords []string
+	if e.Metadata != nil {
+		for _, win := range e.Metadata.ContextWindows(identifier, 10) {
+			for _, w := range strings.Fields(strings.ToLower(win)) {
+				w = strings.Trim(w, ".,;:()[]\"'")
+				if d.Contains(w) {
+					contextWords = append(contextWords, w)
+				}
+			}
+		}
+	}
+	// Identifiers preserve the word order of the phrases they abbreviate
+	// ("DtDs" stands for "detection distance", in that order), so grounding
+	// walks the retrieved context left to right before falling back to a
+	// global shortest-candidate search.
+	ptr := 0
+	groundSequential := func(tok string) string {
+		for i := ptr; i < len(contextWords); i++ {
+			w := contextWords[i]
+			if len(w) > len(tok) && ident.IsSubsequence(tok, w) {
+				ptr = i + 1
+				return w
+			}
+		}
+		return bestGrounded(tok, contextWords)
+	}
+	for _, tok := range ident.Split(identifier) {
+		switch tok.Kind {
+		case ident.KindNumber:
+			words = append(words, tok.Text)
+			continue
+		case ident.KindSymbol:
+			continue
+		}
+		w := strings.ToLower(tok.Text)
+		if d.Contains(w) || ident.IsCommonAcronym(w) {
+			words = append(words, w)
+			continue
+		}
+		if grounded := groundSequential(w); grounded != "" {
+			words = append(words, grounded)
+			continue
+		}
+		cands := ident.ExpansionCandidates(w, d)
+		if len(cands) == 0 {
+			words = append(words, w)
+			ok = false
+			continue
+		}
+		words = append(words, shortest(cands))
+	}
+	return words, ok
+}
+
+// bestGrounded picks the shortest context word that the token abbreviates.
+func bestGrounded(tok string, contextWords []string) string {
+	best := ""
+	for _, w := range contextWords {
+		if len(w) <= len(tok) {
+			continue
+		}
+		if ident.IsSubsequence(tok, w) {
+			if best == "" || len(w) < len(best) {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+func shortest(words []string) string {
+	best := words[0]
+	for _, w := range words[1:] {
+		if len(w) < len(best) || (len(w) == len(best) && w < best) {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,170 @@
+package modifier
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metadata document readers (appendix C.2): the paper's expander reads data
+// dictionaries in .pdf, .xml and .csv formats, indexes them at the word
+// level, and retrieves context windows around identifier occurrences. The
+// PDF path is represented here by the plain-text reader (the paper extracts
+// text from PDFs before indexing; text extraction itself is out of scope).
+
+// ReadCSVMetadata indexes a CSV data dictionary. The first column is taken
+// as the identifier and the remaining columns as its description, matching
+// the usual data-dictionary export layout.
+func ReadCSVMetadata(idx *MetadataIndex, r io.Reader) error {
+	reader := csv.NewReader(r)
+	reader.TrimLeadingSpace = true
+	reader.FieldsPerRecord = -1
+	records, err := reader.ReadAll()
+	if err != nil {
+		return fmt.Errorf("modifier: reading csv metadata: %w", err)
+	}
+	for i, rec := range records {
+		if len(rec) < 2 {
+			continue
+		}
+		id := strings.TrimSpace(rec[0])
+		if id == "" || (i == 0 && looksLikeHeader(rec)) {
+			continue
+		}
+		idx.Add(id, strings.Join(rec[1:], " "))
+	}
+	return nil
+}
+
+func looksLikeHeader(rec []string) bool {
+	first := strings.ToLower(strings.TrimSpace(rec[0]))
+	switch first {
+	case "identifier", "column", "field", "name", "column_name", "field_name":
+		return true
+	}
+	return false
+}
+
+// xmlField is one <field> element of an XML data dictionary.
+type xmlField struct {
+	Name        string `xml:"name,attr"`
+	NameElem    string `xml:"name"`
+	Description string `xml:"description"`
+	Text        string `xml:",chardata"`
+}
+
+type xmlDict struct {
+	Fields []xmlField `xml:"field"`
+}
+
+// ReadXMLMetadata indexes an XML data dictionary of the shape
+//
+//	<dictionary>
+//	  <field name="VegHt"><description>Vegetation height in meters</description></field>
+//	</dictionary>
+//
+// Both name attributes and <name> child elements are accepted.
+func ReadXMLMetadata(idx *MetadataIndex, r io.Reader) error {
+	var dict xmlDict
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&dict); err != nil {
+		return fmt.Errorf("modifier: reading xml metadata: %w", err)
+	}
+	for _, f := range dict.Fields {
+		name := f.Name
+		if name == "" {
+			name = strings.TrimSpace(f.NameElem)
+		}
+		desc := strings.TrimSpace(f.Description)
+		if desc == "" {
+			desc = strings.TrimSpace(f.Text)
+		}
+		if name == "" || desc == "" {
+			continue
+		}
+		idx.Add(name, desc)
+	}
+	return nil
+}
+
+// ReadTextMetadata indexes a free-text data dictionary (the extracted-PDF
+// path): any line of the form "IDENTIFIER  description ..." or
+// "IDENTIFIER: description" contributes an entry; other lines extend the
+// previous entry's description, reproducing the unstructured excerpts the
+// paper's context windows retrieve.
+func ReadTextMetadata(idx *MetadataIndex, r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("modifier: reading text metadata: %w", err)
+	}
+	var lastID, lastDesc string
+	flush := func() {
+		if lastID != "" && lastDesc != "" {
+			idx.Add(lastID, strings.TrimSpace(lastDesc))
+		}
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			flush()
+			lastID, lastDesc = "", ""
+			continue
+		}
+		if id, desc, ok := splitDictLine(line); ok {
+			flush()
+			lastID, lastDesc = id, desc
+			continue
+		}
+		if lastID != "" {
+			lastDesc += " " + line
+		}
+	}
+	flush()
+	return nil
+}
+
+// splitDictLine detects "IDENT description..." lines: the first token must
+// look like an identifier (no spaces, starts with a letter or underscore)
+// and be followed by at least two description words.
+func splitDictLine(line string) (id, desc string, ok bool) {
+	if i := strings.IndexByte(line, ':'); i > 0 && !strings.ContainsAny(line[:i], " \t") {
+		id = strings.TrimSpace(line[:i])
+		desc = strings.TrimSpace(line[i+1:])
+		if id != "" && desc != "" {
+			return id, desc, true
+		}
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", "", false
+	}
+	first := fields[0]
+	if !isIdentLike(first) {
+		return "", "", false
+	}
+	return first, strings.Join(fields[1:], " "), true
+}
+
+func isIdentLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	// Heuristic: data-dictionary identifiers contain an underscore, a digit,
+	// or mixed case — plain English words are description text.
+	hasUpper := strings.IndexFunc(s, func(r rune) bool { return r >= 'A' && r <= 'Z' }) >= 0
+	hasLower := strings.IndexFunc(s, func(r rune) bool { return r >= 'a' && r <= 'z' }) >= 0
+	return strings.ContainsAny(s, "_0123456789") || (hasUpper && hasLower) || !hasLower
+}

@@ -1,0 +1,119 @@
+package modifier
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVMetadata(t *testing.T) {
+	idx := NewMetadataIndex()
+	csvDoc := `identifier,description,type
+NUM_TEACH,Number of teachers as reported in the repository,Number
+VegHt,Vegetation height measured in meters,Float
+`
+	if err := ReadCSVMetadata(idx, strings.NewReader(csvDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2 {
+		t.Fatalf("index size %d (header should be skipped)", idx.Len())
+	}
+	desc, ok := idx.Lookup("veght")
+	if !ok || !strings.Contains(desc, "Vegetation height") {
+		t.Errorf("lookup failed: %q %v", desc, ok)
+	}
+	e := &Expander{Metadata: idx}
+	words, _ := e.Expand("NUM_TEACH")
+	if !strings.Contains(strings.Join(words, " "), "teacher") {
+		t.Errorf("csv-grounded expansion failed: %v", words)
+	}
+}
+
+func TestReadXMLMetadata(t *testing.T) {
+	idx := NewMetadataIndex()
+	xmlDoc := `<dictionary>
+  <field name="VegHt"><description>Vegetation height in meters</description></field>
+  <field><name>SpCd</name><description>Species code from the taxonomy</description></field>
+  <field name="empty"></field>
+</dictionary>`
+	if err := ReadXMLMetadata(idx, strings.NewReader(xmlDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2 {
+		t.Fatalf("index size %d", idx.Len())
+	}
+	if _, ok := idx.Lookup("SpCd"); !ok {
+		t.Error("element-style name not indexed")
+	}
+	if err := ReadXMLMetadata(idx, strings.NewReader("not xml <<<")); err == nil {
+		t.Error("malformed xml should error")
+	}
+}
+
+func TestReadTextMetadata(t *testing.T) {
+	idx := NewMetadataIndex()
+	txt := `Data dictionary for the landbird survey
+
+DtDs detection distance from the station in meters
+continued over multiple lines of the manual
+
+WndSp: wind speed at the start of the count
+`
+	if err := ReadTextMetadata(idx, strings.NewReader(txt)); err != nil {
+		t.Fatal(err)
+	}
+	desc, ok := idx.Lookup("DtDs")
+	if !ok || !strings.Contains(desc, "multiple lines") {
+		t.Errorf("continuation lines lost: %q %v", desc, ok)
+	}
+	if _, ok := idx.Lookup("WndSp"); !ok {
+		t.Error("colon-style entry not indexed")
+	}
+	// Grounded expansion through the text reader.
+	e := &Expander{Metadata: idx}
+	words, _ := e.Expand("DtDs")
+	joined := strings.Join(words, " ")
+	if !strings.Contains(joined, "detection") || !strings.Contains(joined, "distance") {
+		t.Errorf("text-grounded expansion failed: %v", words)
+	}
+}
+
+func TestPromptBuilderInteractive(t *testing.T) {
+	idx := NewMetadataIndex()
+	idx.Add("VegHt", "vegetation height of the plot")
+	idx.Add("WtTmp", "water temperature at the gauge")
+	idx.Add("SpCd", "species code from the master list")
+	pb := NewPromptBuilder(&Expander{Metadata: idx})
+	pb.Target = 2
+
+	accepted := 0
+	examples := pb.BuildInteractive(
+		[]string{"VegHt", "WtTmp", "SpCd"},
+		func(id, expansion string) bool {
+			accepted++
+			return true
+		},
+	)
+	if len(examples) != 2 {
+		t.Fatalf("examples = %d, want 2 (target reached)", len(examples))
+	}
+	if !pb.Done() {
+		t.Error("builder should be done")
+	}
+	prompt := pb.Prompt("DfltSlp")
+	for _, want := range []string{"data dictionary", "Examples:", "DfltSlp", examples[0].Identifier} {
+		if !strings.Contains(prompt, want) {
+			t.Errorf("prompt missing %q:\n%s", want, prompt)
+		}
+	}
+}
+
+func TestPromptBuilderRejection(t *testing.T) {
+	pb := NewPromptBuilder(&Expander{})
+	pb.Target = 1
+	examples := pb.BuildInteractive([]string{"VegHt", "WaterTemp"}, func(id, exp string) bool {
+		return id == "WaterTemp" // reject the first suggestion
+	})
+	if len(examples) != 1 || examples[0].Identifier != "WaterTemp" {
+		t.Errorf("rejection handling wrong: %+v", examples)
+	}
+}

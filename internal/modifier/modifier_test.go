@@ -1,0 +1,236 @@
+package modifier
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+func TestAbbreviateWordLevels(t *testing.T) {
+	for _, w := range []string{"vegetation", "height", "temperature", "protocol", "customer"} {
+		reg := AbbreviateWord(w, naturalness.Regular)
+		low := AbbreviateWord(w, naturalness.Low)
+		least := AbbreviateWord(w, naturalness.Least)
+		if reg != w {
+			t.Errorf("Regular should keep word: %q -> %q", w, reg)
+		}
+		if len(low) >= len(w) {
+			t.Errorf("Low form of %q not shorter: %q", w, low)
+		}
+		if len(least) >= len(low) && len(least) > 3 {
+			t.Errorf("Least form of %q (%q) should be shorter than Low (%q)", w, least, low)
+		}
+		if least == "" || low == "" {
+			t.Errorf("empty abbreviation for %q", w)
+		}
+		// Abbreviations must start with the same letter (subsequence shape).
+		if low[0] != w[0] || least[0] != w[0] {
+			t.Errorf("abbreviations of %q must share first letter: %q %q", w, low, least)
+		}
+	}
+}
+
+func TestAbbreviateWordDeterministic(t *testing.T) {
+	f := func(s string) bool {
+		w := strings.ToLower(s)
+		return AbbreviateWord(w, naturalness.Low) == AbbreviateWord(w, naturalness.Low) &&
+			AbbreviateWord(w, naturalness.Least) == AbbreviateWord(w, naturalness.Least)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbbreviateConcept(t *testing.T) {
+	words := []string{"vegetation", "height"}
+	reg := Abbreviate(words, naturalness.Regular, ident.CaseSnake)
+	if reg != "vegetation_height" {
+		t.Errorf("Regular snake form = %q", reg)
+	}
+	low := Abbreviate(words, naturalness.Low, ident.CasePascal)
+	least := Abbreviate(words, naturalness.Least, ident.CasePascal)
+	if len(least) >= len(low) {
+		t.Errorf("least %q should be shorter than low %q", least, low)
+	}
+	// Severity ordering must hold so downstream linking behaves.
+	d := ident.DefaultDictionary()
+	if !(ident.IdentifierSeverity(reg, d) < ident.IdentifierSeverity(least, d)) {
+		t.Errorf("severity ordering violated: reg %q vs least %q", reg, least)
+	}
+}
+
+func TestAbbreviateAcronymCollapse(t *testing.T) {
+	// Some 3+ word concepts collapse into acronyms at Least level.
+	sawAcronym := false
+	concepts := [][]string{
+		{"cost", "of", "goods", "manufactured"},
+		{"average", "daily", "attendance", "rate"},
+		{"total", "gross", "vehicle", "weight"},
+		{"estimated", "time", "of", "arrival"},
+	}
+	for _, c := range concepts {
+		got := Abbreviate(c, naturalness.Least, ident.CasePascal)
+		if got == strings.ToUpper(got) && len(got) == len(c) {
+			sawAcronym = true
+		}
+	}
+	if !sawAcronym {
+		t.Error("expected at least one acronym collapse among multi-word concepts")
+	}
+}
+
+func TestExpanderRecoversWords(t *testing.T) {
+	e := &Expander{}
+	words, ok := e.Expand("VegHeight")
+	if !ok {
+		t.Fatalf("expand failed: %v", words)
+	}
+	joined := strings.Join(words, " ")
+	if !strings.Contains(joined, "height") {
+		t.Errorf("expected 'height' in expansion, got %v", words)
+	}
+}
+
+func TestExpanderUsesMetadata(t *testing.T) {
+	idx := NewMetadataIndex()
+	idx.Add("num_teach_inexp", "Number of teachers with fewer than four years of experience in their positions")
+	e := &Expander{Metadata: idx}
+	words, _ := e.Expand("num_teach_inexp")
+	joined := strings.Join(words, " ")
+	if !strings.Contains(joined, "teacher") {
+		t.Errorf("metadata grounding should recover 'teacher'; got %v", words)
+	}
+	if !strings.Contains(joined, "number") {
+		t.Errorf("metadata grounding should recover 'number'; got %v", words)
+	}
+}
+
+func TestExpanderKeepsDictionaryWords(t *testing.T) {
+	e := &Expander{}
+	words, ok := e.Expand("vegetation_height")
+	if !ok || strings.Join(words, "_") != "vegetation_height" {
+		t.Errorf("dictionary words must be kept: %v ok=%v", words, ok)
+	}
+}
+
+func TestMetadataIndexContextWindows(t *testing.T) {
+	idx := NewMetadataIndex()
+	idx.Add("VegHt", "Height of the vegetation measured in meters")
+	idx.Add("SpCode", "Species code from the master taxonomy table")
+	if idx.Len() != 2 {
+		t.Fatalf("index size %d", idx.Len())
+	}
+	wins := idx.ContextWindows("VegHt", 5)
+	if len(wins) == 0 {
+		t.Fatal("no context retrieved for documented identifier")
+	}
+	if !strings.Contains(wins[0], "vegetation") && !strings.Contains(wins[0], "Height") {
+		t.Errorf("retrieved context should describe the identifier: %q", wins[0])
+	}
+}
+
+func TestCrosswalkRoundTrip(t *testing.T) {
+	b := &Builder{Classifier: naturalness.NewHeuristicClassifier()}
+	natives := []string{"vegetation_height", "WaterTemp", "SpCd", "observation_date", "plot_number"}
+	cw := b.BuildAll(natives)
+	if cw.Len() != len(natives) {
+		t.Fatalf("crosswalk size %d != %d", cw.Len(), len(natives))
+	}
+	for _, nat := range natives {
+		for _, l := range naturalness.Levels {
+			mod := cw.ToLevel(nat, l)
+			back := cw.ToNative(mod, l)
+			if !strings.EqualFold(back, nat) {
+				t.Errorf("round trip failed at %v: %q -> %q -> %q", l, nat, mod, back)
+			}
+		}
+	}
+}
+
+func TestCrosswalkNativeSelfMap(t *testing.T) {
+	b := &Builder{Classifier: naturalness.NewHeuristicClassifier()}
+	e := b.Build("vegetation_height")
+	if e.Forms[e.NativeLevel] != "vegetation_height" {
+		t.Errorf("native must map to itself at its own level: %+v", e)
+	}
+}
+
+func TestCrosswalkCollisionDisambiguation(t *testing.T) {
+	cw := NewCrosswalk()
+	e1 := Entry{Native: "ColA", NativeLevel: naturalness.Low,
+		Forms: [3]string{"column_alpha", "ColA", "CA"}}
+	e2 := Entry{Native: "ColB", NativeLevel: naturalness.Low,
+		Forms: [3]string{"column_beta", "ColB", "CA"}} // Least collides
+	cw.Add(e1)
+	added := cw.Add(e2)
+	if added.Forms[naturalness.Least] == "CA" {
+		t.Error("collision not disambiguated")
+	}
+	// Both directions must still invert.
+	if cw.ToNative("CA", naturalness.Least) != "ColA" {
+		t.Error("original mapping lost")
+	}
+	if got := cw.ToNative(added.Forms[naturalness.Least], naturalness.Least); got != "ColB" {
+		t.Errorf("disambiguated mapping broken: %q", got)
+	}
+}
+
+func TestCrosswalkUnmappedPassThrough(t *testing.T) {
+	cw := NewCrosswalk()
+	if cw.ToLevel("unknown_col", naturalness.Least) != "unknown_col" {
+		t.Error("unmapped ToLevel should pass through")
+	}
+	if cw.ToNative("unknown_col", naturalness.Least) != "unknown_col" {
+		t.Error("unmapped ToNative should pass through")
+	}
+}
+
+func TestCrosswalkInvertibleProperty(t *testing.T) {
+	// Property: for arbitrary lower-case word sets, building a crosswalk and
+	// mapping to any level then back recovers the native identifier.
+	b := &Builder{}
+	f := func(raw []string) bool {
+		var natives []string
+		seen := map[string]bool{}
+		for _, r := range raw {
+			w := strings.Map(func(c rune) rune {
+				if c >= 'a' && c <= 'z' {
+					return c
+				}
+				return -1
+			}, strings.ToLower(r))
+			if len(w) < 3 || seen[strings.ToUpper(w)] {
+				continue
+			}
+			seen[strings.ToUpper(w)] = true
+			natives = append(natives, w)
+			if len(natives) >= 8 {
+				break
+			}
+		}
+		cw := b.BuildAll(natives)
+		for _, n := range natives {
+			for _, l := range naturalness.Levels {
+				if !strings.EqualFold(cw.ToNative(cw.ToLevel(n, l), l), n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	b := &Builder{}
+	cw := b.BuildAll([]string{"zebra", "apple", "mango"})
+	es := cw.Entries()
+	if len(es) != 3 || es[0].Native != "apple" || es[2].Native != "zebra" {
+		t.Errorf("entries not sorted: %v", es)
+	}
+}

@@ -1,0 +1,102 @@
+package modifier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PromptBuilder reproduces the appendix-C.2 interactive few-shot
+// prompt-building subroutine for identifier expansion: a user proposes
+// identifiers, the expander suggests an expansion grounded in the metadata
+// index, the user validates or rejects it, and validated pairs accumulate
+// into a reusable few-shot prompt. Once the target number of examples has
+// been collected the prompt is stored for future runs.
+type PromptBuilder struct {
+	Expander *Expander
+	// Target is the number of validated examples to collect (the paper
+	// uses five).
+	Target int
+
+	examples []PromptExample
+}
+
+// PromptExample is one validated identifier-expansion pair.
+type PromptExample struct {
+	Identifier string
+	Expansion  string
+}
+
+// NewPromptBuilder returns a builder collecting five examples, the paper's
+// configuration.
+func NewPromptBuilder(exp *Expander) *PromptBuilder {
+	return &PromptBuilder{Expander: exp, Target: 5}
+}
+
+// Suggest proposes an expansion for the identifier using the current
+// few-shot context (zero-shot when no examples are validated yet).
+func (pb *PromptBuilder) Suggest(identifier string) (string, bool) {
+	words, ok := pb.Expander.Expand(identifier)
+	return strings.Join(words, "_"), ok
+}
+
+// Validate records the user's decision for a suggestion. Accepted pairs
+// join the example list; rejected ones are dropped (the user "tries again
+// with a different identifier" per the appendix procedure). It reports
+// whether the builder has reached its target.
+func (pb *PromptBuilder) Validate(identifier, expansion string, accept bool) bool {
+	if accept {
+		pb.examples = append(pb.examples, PromptExample{Identifier: identifier, Expansion: expansion})
+	}
+	return pb.Done()
+}
+
+// Done reports whether enough examples have been validated.
+func (pb *PromptBuilder) Done() bool { return len(pb.examples) >= pb.Target }
+
+// Examples returns the validated examples collected so far.
+func (pb *PromptBuilder) Examples() []PromptExample {
+	return append([]PromptExample(nil), pb.examples...)
+}
+
+// Prompt renders the stored few-shot expansion prompt for a new identifier,
+// in the appendix-C.2 template: metadata context windows followed by the
+// validated examples and the expansion instruction.
+func (pb *PromptBuilder) Prompt(identifier string) string {
+	var b strings.Builder
+	b.WriteString("Using the following text extracted from a data dictionary:\n")
+	if pb.Expander.Metadata != nil {
+		for _, win := range pb.Expander.Metadata.ContextWindows(identifier, 10) {
+			b.WriteString(win)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\nExamples:\n")
+	for _, ex := range pb.examples {
+		fmt.Fprintf(&b, "%s, %s\n", ex.Identifier, ex.Expansion)
+	}
+	b.WriteString("\nIn the response, provide only the old identifier and new identifier ")
+	b.WriteString("(e.g. \"old_identifier, new_identifier\"). Create a meaningful and ")
+	b.WriteString("concise database identifier using SQL compatible complete words to ")
+	b.WriteString("represent abbreviations and acronyms for only the identifier ")
+	b.WriteString(identifier)
+	b.WriteString(":\n")
+	return b.String()
+}
+
+// BuildInteractive drives the full appendix procedure over a stream of
+// candidate identifiers with a validation callback standing in for the
+// human: it suggests, validates, and stops at the target. It returns the
+// validated examples (possibly fewer than Target if candidates run out).
+func (pb *PromptBuilder) BuildInteractive(candidates []string, validate func(identifier, expansion string) bool) []PromptExample {
+	for _, id := range candidates {
+		if pb.Done() {
+			break
+		}
+		suggestion, ok := pb.Suggest(id)
+		if !ok {
+			continue
+		}
+		pb.Validate(id, suggestion, validate(id, suggestion))
+	}
+	return pb.Examples()
+}

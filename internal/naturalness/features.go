@@ -1,0 +1,112 @@
+package naturalness
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+)
+
+// FeatureDim is the dimensionality of the hashed character n-gram feature
+// space; dense engineered features occupy the first denseFeatures slots.
+const (
+	hashedDim     = 1024
+	denseFeatures = 8
+	FeatureDim    = denseFeatures + hashedDim
+)
+
+// Featurizer converts identifiers into sparse feature vectors for the
+// trainable classifiers. Tagging toggles the appendix-B.5 character-tagging
+// feature, which the paper shows improves F1 for both GPT- and CANINE-based
+// models.
+type Featurizer struct {
+	Dict    *ident.Dictionary
+	Tagging bool
+}
+
+// Features returns the identifier's feature vector.
+func (f *Featurizer) Features(identifier string) []float64 {
+	d := f.Dict
+	if d == nil {
+		d = ident.DefaultDictionary()
+	}
+	v := make([]float64, FeatureDim)
+
+	// Dense engineered features.
+	words := ident.Words(identifier)
+	v[0] = ident.MeanTokenInDictionary(identifier, d)
+	v[1] = ident.IdentifierSeverity(identifier, d)
+	v[2] = ident.VowelRatio(identifier)
+	v[3] = clamp01(float64(len(identifier)) / 24.0)
+	v[4] = clamp01(float64(len(words)) / 5.0)
+	v[5] = avgWordLen(words) / 12.0
+	v[6] = shortTokenFraction(words)
+	v[7] = ident.HeuristicScore(identifier, d)
+
+	// Hashed character n-grams (2- and 3-grams) over the lower-cased
+	// identifier, optionally augmented with the character tag sequence.
+	text := strings.ToLower(identifier)
+	if f.Tagging {
+		text = text + "\x00" + ident.CharTag(identifier)
+	}
+	addNGrams(v, text, 2)
+	addNGrams(v, text, 3)
+	return v
+}
+
+func addNGrams(v []float64, text string, n int) {
+	runes := []rune(text)
+	if len(runes) < n {
+		return
+	}
+	for i := 0; i+n <= len(runes); i++ {
+		h := fnv.New32a()
+		h.Write([]byte(string(runes[i : i+n])))
+		idx := denseFeatures + int(h.Sum32()%uint32(hashedDim))
+		v[idx] += 1
+	}
+	// L1-normalize the hashed block so long identifiers don't dominate.
+	var sum float64
+	for i := denseFeatures; i < len(v); i++ {
+		sum += v[i]
+	}
+	if sum > 0 {
+		for i := denseFeatures; i < len(v); i++ {
+			v[i] /= sum
+		}
+	}
+}
+
+func avgWordLen(words []string) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	total := 0
+	for _, w := range words {
+		total += len(w)
+	}
+	return float64(total) / float64(len(words))
+}
+
+func shortTokenFraction(words []string) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	short := 0
+	for _, w := range words {
+		if len(w) <= 3 && !ident.IsCommonAcronym(w) {
+			short++
+		}
+	}
+	return float64(short) / float64(len(words))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,128 @@
+// Package naturalness implements the SNAILS 3-class schema identifier
+// naturalness taxonomy (Regular / Low / Least), the heuristic and trainable
+// machine-learning classifiers of Artifact 3, and the combined naturalness
+// score used throughout the paper's evaluation.
+package naturalness
+
+import "fmt"
+
+// Level is a discrete naturalness category for a schema identifier.
+type Level int
+
+const (
+	// Regular (N1): complete English words with no abbreviations, or only
+	// acronyms in common usage (e.g. ID, GPS).
+	Regular Level = iota
+	// Low (N2): abbreviated English words and less common acronyms that are
+	// usually recognizable by non-domain experts; the meaning can be
+	// inferred without consulting external documentation.
+	Low
+	// Least (N3): the identifier's meaning cannot be inferred by non-experts
+	// due to indecipherable acronyms or abbreviations; external metadata
+	// must be consulted.
+	Least
+)
+
+// Levels lists all categories in decreasing naturalness order.
+var Levels = []Level{Regular, Low, Least}
+
+// String returns the category name used in the paper's figures.
+func (l Level) String() string {
+	switch l {
+	case Regular:
+		return "Regular"
+	case Low:
+		return "Low"
+	case Least:
+		return "Least"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Label returns the N1/N2/N3 label used in the paper's training data.
+func (l Level) Label() string {
+	switch l {
+	case Regular:
+		return "N1"
+	case Low:
+		return "N2"
+	case Least:
+		return "N3"
+	default:
+		return "N?"
+	}
+}
+
+// ParseLevel parses either the long ("Regular") or short ("N1") label.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "Regular", "regular", "N1", "n1":
+		return Regular, nil
+	case "Low", "low", "N2", "n2":
+		return Low, nil
+	case "Least", "least", "N3", "n3":
+		return Least, nil
+	}
+	return Regular, fmt.Errorf("naturalness: unknown level %q", s)
+}
+
+// Weight returns the combined-naturalness weight of the category
+// (equation 5 of the paper): Regular 1.0, Low 0.5, Least 0.0.
+func (l Level) Weight() float64 {
+	switch l {
+	case Regular:
+		return 1.0
+	case Low:
+		return 0.5
+	default:
+		return 0.0
+	}
+}
+
+// Combined computes the combined naturalness score of a set of category
+// counts: the weighted average of category proportions, ranging from 0.0
+// (all Least) to 1.0 (all Regular).
+func Combined(regular, low, least int) float64 {
+	total := regular + low + least
+	if total == 0 {
+		return 0
+	}
+	return (1.0*float64(regular) + 0.5*float64(low)) / float64(total)
+}
+
+// CombinedOf computes the combined naturalness of a slice of levels.
+func CombinedOf(levels []Level) float64 {
+	var r, lo, le int
+	for _, l := range levels {
+		switch l {
+		case Regular:
+			r++
+		case Low:
+			lo++
+		default:
+			le++
+		}
+	}
+	return Combined(r, lo, le)
+}
+
+// Proportions returns the fraction of identifiers at each level.
+func Proportions(levels []Level) (regular, low, least float64) {
+	if len(levels) == 0 {
+		return 0, 0, 0
+	}
+	var r, lo, le int
+	for _, l := range levels {
+		switch l {
+		case Regular:
+			r++
+		case Low:
+			lo++
+		default:
+			le++
+		}
+	}
+	n := float64(len(levels))
+	return float64(r) / n, float64(lo) / n, float64(le) / n
+}

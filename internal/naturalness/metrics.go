@@ -1,0 +1,116 @@
+package naturalness
+
+// Confusion is a 3x3 confusion matrix indexed [gold][predicted].
+type Confusion [3][3]int
+
+// Evaluate runs the classifier over the labeled test set and returns the
+// confusion matrix.
+func Evaluate(c Classifier, test []Labeled) Confusion {
+	var m Confusion
+	for _, ex := range test {
+		m[ex.Level][c.Classify(ex.Identifier)]++
+	}
+	return m
+}
+
+// Total returns the number of evaluated examples.
+func (m Confusion) Total() int {
+	n := 0
+	for i := range m {
+		for j := range m[i] {
+			n += m[i][j]
+		}
+	}
+	return n
+}
+
+// Accuracy is the fraction of correctly classified examples.
+func (m Confusion) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range m {
+		correct += m[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassPrecision returns precision for one class.
+func (m Confusion) ClassPrecision(l Level) float64 {
+	tp := m[l][l]
+	predicted := 0
+	for i := range m {
+		predicted += m[i][l]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// ClassRecall returns recall for one class.
+func (m Confusion) ClassRecall(l Level) float64 {
+	tp := m[l][l]
+	actual := 0
+	for j := range m[l] {
+		actual += m[l][j]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(tp) / float64(actual)
+}
+
+// MacroPrecision averages per-class precision, matching the Table 5 style.
+func (m Confusion) MacroPrecision() float64 {
+	var s float64
+	for _, l := range Levels {
+		s += m.ClassPrecision(l)
+	}
+	return s / float64(len(Levels))
+}
+
+// MacroRecall averages per-class recall.
+func (m Confusion) MacroRecall() float64 {
+	var s float64
+	for _, l := range Levels {
+		s += m.ClassRecall(l)
+	}
+	return s / float64(len(Levels))
+}
+
+// MacroF1 is the harmonic mean of per-class precision and recall averaged
+// across classes.
+func (m Confusion) MacroF1() float64 {
+	var s float64
+	for _, l := range Levels {
+		p, r := m.ClassPrecision(l), m.ClassRecall(l)
+		if p+r > 0 {
+			s += 2 * p * r / (p + r)
+		}
+	}
+	return s / float64(len(Levels))
+}
+
+// Report bundles the Table 5 row for a classifier.
+type Report struct {
+	Model     string
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Score evaluates the classifier and returns its Table 5 row.
+func Score(c Classifier, test []Labeled) Report {
+	m := Evaluate(c, test)
+	return Report{
+		Model:     c.Name(),
+		Accuracy:  m.Accuracy(),
+		Precision: m.MacroPrecision(),
+		Recall:    m.MacroRecall(),
+		F1:        m.MacroF1(),
+	}
+}

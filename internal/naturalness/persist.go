@@ -1,0 +1,50 @@
+package naturalness
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model persistence: the paper releases its trained classifier artifacts for
+// practitioners; Save and LoadSoftmax serialize a trained softmax classifier
+// so it can ship alongside a schema-assessment tool without retraining.
+
+// softmaxState is the serialized form of a SoftmaxClassifier.
+type softmaxState struct {
+	Name    string
+	Tagging bool
+	Weights [3][]float64
+}
+
+// Save writes the trained model to w in gob encoding.
+func (c *SoftmaxClassifier) Save(w io.Writer) error {
+	state := softmaxState{
+		Name:    c.name,
+		Tagging: c.feats.Tagging,
+		Weights: c.weights,
+	}
+	if err := gob.NewEncoder(w).Encode(state); err != nil {
+		return fmt.Errorf("naturalness: saving classifier: %w", err)
+	}
+	return nil
+}
+
+// LoadSoftmax reads a model previously written by Save.
+func LoadSoftmax(r io.Reader) (*SoftmaxClassifier, error) {
+	var state softmaxState
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("naturalness: loading classifier: %w", err)
+	}
+	for i := range state.Weights {
+		if len(state.Weights[i]) != FeatureDim+1 {
+			return nil, fmt.Errorf("naturalness: classifier was trained with feature dim %d, this build uses %d",
+				len(state.Weights[i])-1, FeatureDim)
+		}
+	}
+	return &SoftmaxClassifier{
+		name:    state.Name,
+		feats:   &Featurizer{Tagging: state.Tagging},
+		weights: state.Weights,
+	}, nil
+}

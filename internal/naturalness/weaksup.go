@@ -1,0 +1,44 @@
+package naturalness
+
+// Weak supervision (appendix B.3): the paper bootstraps its large labeled
+// collection by training a first classifier on the small hand-labeled
+// Collection 1, pre-labeling the full identifier set with it, and having the
+// authors curate the disagreements (90.1% of the Davinci pre-labels were
+// already correct). WeakSupervise reproduces that workflow.
+
+// WeakSupervisionResult summarizes a pre-labeling pass.
+type WeakSupervisionResult struct {
+	// Labeled is the machine-pre-labeled collection.
+	Labeled []Labeled
+	// Agreement is the fraction of pre-labels that matched the reference
+	// labels (the paper reports 0.901 for its Davinci pass).
+	Agreement float64
+	// Disagreements holds the identifiers whose pre-label differed — the
+	// set a human curator reviews.
+	Disagreements []Labeled
+}
+
+// WeakSupervise pre-labels the identifiers of the reference collection with
+// the seed classifier and reports agreement against the reference labels.
+// The returned Labeled set carries the classifier's labels for the
+// identifiers it got right and the reference (curated) labels for the
+// disagreements, mirroring the paper's review-and-correct procedure.
+func WeakSupervise(seed Classifier, reference []Labeled) WeakSupervisionResult {
+	var res WeakSupervisionResult
+	agree := 0
+	for _, ref := range reference {
+		pred := seed.Classify(ref.Identifier)
+		if pred == ref.Level {
+			agree++
+			res.Labeled = append(res.Labeled, Labeled{Identifier: ref.Identifier, Level: pred})
+			continue
+		}
+		res.Disagreements = append(res.Disagreements, Labeled{Identifier: ref.Identifier, Level: pred})
+		// Curation restores the reference label.
+		res.Labeled = append(res.Labeled, ref)
+	}
+	if len(reference) > 0 {
+		res.Agreement = float64(agree) / float64(len(reference))
+	}
+	return res
+}

@@ -1,0 +1,613 @@
+package nlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// noiseWords are identifier-prefix habits stripped from NL mention phrases
+// ("tbl_Overstory" is mentioned as "overstory", not "tbl overstory").
+var noiseWords = map[string]struct{}{
+	"tbl": {}, "tlu": {}, "open": {}, "table": {}, "master": {}, "header": {},
+	"record": {}, "directory": {}, "detail": {}, "data": {}, "1": {}, "2": {},
+	"organization": {},
+}
+
+// phrase renders concept words as the NL mention phrase.
+func phrase(words []string) string {
+	var kept []string
+	for _, w := range words {
+		if _, noisy := noiseWords[w]; noisy {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	if len(kept) == 0 {
+		kept = words
+	}
+	return strings.Join(kept, " ")
+}
+
+// columnInfo is a question-generation view of one column.
+type columnInfo struct {
+	table *schema.Table
+	col   *schema.Column
+	// distinct non-null values in the instance (capped).
+	values []sqldb.Value
+}
+
+// tableInfo is a question-generation view of one populated table.
+type tableInfo struct {
+	table      *schema.Table
+	rows       int
+	categories []columnInfo // low-cardinality text columns
+	measures   []columnInfo // float columns
+	counts     []columnInfo // non-key int columns
+	dates      []columnInfo // date columns
+	names      []columnInfo // high-cardinality text columns
+	pk         *schema.Column
+}
+
+type joinInfo struct {
+	child, parent   *tableInfo
+	childFK         *schema.Column
+	parentPK        *schema.Column
+	sharedExtraCols []string // same-named non-key columns in both tables (CK joins)
+}
+
+// generator holds the state for one database's question generation.
+type generator struct {
+	b      *datasets.Built
+	r      *rng
+	tables []*tableInfo
+	joins  []joinInfo
+	seen   map[string]struct{}
+	out    []Question
+}
+
+type rng uint64
+
+func (s *rng) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+func seedFor(name string) rng {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return rng(h)
+}
+
+// Generate builds the Artifact 6 question set for one database.
+func Generate(b *datasets.Built) []Question {
+	r := seedFor("questions/" + b.Name)
+	g := &generator{b: b, r: &r, seen: map[string]struct{}{}}
+	g.analyze()
+	g.run()
+	return g.out
+}
+
+// analyze classifies populated tables and join edges.
+func (g *generator) analyze() {
+	infoByName := map[string]*tableInfo{}
+	for _, name := range g.b.CoreTables {
+		st, _ := g.b.Schema.Table(name)
+		td, _ := g.b.Instance.Table(name)
+		if td.NumRows() == 0 {
+			continue
+		}
+		ti := &tableInfo{table: st, rows: td.NumRows()}
+		for _, c := range st.Columns {
+			vals := td.DistinctValues(c.Name)
+			ci := columnInfo{table: st, col: c, values: vals}
+			switch {
+			case c.PK:
+				ti.pk = c
+			case c.Ref != nil:
+				// join column; handled below
+			case c.Type == schema.TypeText && len(vals) > 0 && len(vals) <= 12:
+				ti.categories = append(ti.categories, ci)
+			case c.Type == schema.TypeText:
+				ti.names = append(ti.names, ci)
+			case c.Type == schema.TypeFloat:
+				ti.measures = append(ti.measures, ci)
+			case c.Type == schema.TypeDate:
+				ti.dates = append(ti.dates, ci)
+			case c.Type == schema.TypeInt && len(vals) > 1:
+				ti.counts = append(ti.counts, ci)
+			}
+		}
+		g.tables = append(g.tables, ti)
+		infoByName[strings.ToUpper(st.Name)] = ti
+	}
+	for _, ti := range g.tables {
+		for _, c := range ti.table.Columns {
+			if c.Ref == nil {
+				continue
+			}
+			parent, ok := infoByName[strings.ToUpper(c.Ref.Table)]
+			if !ok {
+				continue
+			}
+			ppk, _ := parent.table.Column(c.Ref.Column)
+			ji := joinInfo{child: ti, parent: parent, childFK: c, parentPK: ppk}
+			// Composite-key candidates: same-named non-key columns present in
+			// both tables (the NTSB case number + sampling unit pattern).
+			for _, cc := range ti.table.Columns {
+				if cc.PK || cc.Ref != nil {
+					continue
+				}
+				if pc, ok := parent.table.Column(cc.Name); ok && !pc.PK && pc.Ref == nil {
+					ji.sharedExtraCols = append(ji.sharedExtraCols, cc.Name)
+				}
+			}
+			g.joins = append(g.joins, ji)
+		}
+	}
+	sort.Slice(g.joins, func(i, j int) bool {
+		if g.joins[i].child.table.Name != g.joins[j].child.table.Name {
+			return g.joins[i].child.table.Name < g.joins[j].child.table.Name
+		}
+		return g.joins[i].childFK.Name < g.joins[j].childFK.Name
+	})
+}
+
+// run draws templates until the target question count is reached.
+func (g *generator) run() {
+	kinds := []Kind{
+		KindListFilter, KindJoinList, KindCountGroup, KindAggMeasure,
+		KindJoinGroup, KindCountAll, KindGroupHaving, KindTopOrder,
+		KindNotExists, KindInSubquery, KindScalarMax, KindNegationFilter,
+		KindYearCount, KindCKJoin,
+		// Second pass of the high-frequency templates to bias the clause mix
+		// toward the Table 3 shape (most questions have WHERE + functions);
+		// composite-key joins recur because most NTSB multi-relation queries
+		// need them.
+		KindListFilter, KindJoinList, KindCountGroup, KindAggMeasure, KindJoinGroup, KindCKJoin,
+	}
+	attempts := 0
+	maxAttempts := g.b.QuestionTarget * 60
+	for len(g.out) < g.b.QuestionTarget && attempts < maxAttempts {
+		kind := kinds[attempts%len(kinds)]
+		attempts++
+		q, ok := g.tryTemplate(kind)
+		if !ok {
+			continue
+		}
+		if _, dup := g.seen[q.Text]; dup {
+			continue
+		}
+		// Gold queries must parse and return non-empty results.
+		sel, err := sqlparse.Parse(q.Gold)
+		if err != nil {
+			continue
+		}
+		res, err := sqlexec.Execute(g.b.Instance, sel)
+		if err != nil || res.Empty() {
+			continue
+		}
+		g.seen[q.Text] = struct{}{}
+		q.ID = len(g.out) + 1
+		q.DB = g.b.Name
+		g.out = append(g.out, q)
+	}
+}
+
+func (g *generator) pickTable() *tableInfo {
+	return g.tables[g.r.intn(len(g.tables))]
+}
+
+func (g *generator) pickJoin() (joinInfo, bool) {
+	if len(g.joins) == 0 {
+		return joinInfo{}, false
+	}
+	return g.joins[g.r.intn(len(g.joins))], true
+}
+
+func pickCol(r *rng, cols []columnInfo) (columnInfo, bool) {
+	if len(cols) == 0 {
+		return columnInfo{}, false
+	}
+	return cols[r.intn(len(cols))], true
+}
+
+// pickValue returns a literal from the column's observed values.
+func pickValue(r *rng, ci columnInfo) (string, bool) {
+	if len(ci.values) == 0 {
+		return "", false
+	}
+	return ci.values[r.intn(len(ci.values))].String(), true
+}
+
+func (g *generator) tryTemplate(kind Kind) (Question, bool) {
+	switch kind {
+	case KindCountAll:
+		t := g.pickTable()
+		tp := phrase(t.table.Concept)
+		return Question{
+			Text: fmt.Sprintf("How many %s are there?", plural(tp)),
+			Gold: fmt.Sprintf("SELECT COUNT(*) FROM %s", t.table.Name),
+			Intent: Intent{
+				Kind: KindCountAll, TableMention: tp, Agg: "COUNT",
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindListFilter:
+		t := g.pickTable()
+		proj, ok1 := pickCol(g.r, append(append([]columnInfo{}, t.names...), t.measures...))
+		filt, ok2 := pickCol(g.r, t.categories)
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		val, ok := pickValue(g.r, filt)
+		if !ok {
+			return Question{}, false
+		}
+		tp, pp, fp := phrase(t.table.Concept), phrase(proj.col.Concept), phrase(filt.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Show the %s of the %s whose %s is '%s'.", pp, plural(tp), fp, val),
+			Gold: fmt.Sprintf("SELECT %s FROM %s WHERE %s = '%s'",
+				proj.col.Name, t.table.Name, filt.col.Name, escape(val)),
+			Intent: Intent{
+				Kind: KindListFilter, TableMention: tp,
+				Columns: []ColMention{
+					{Phrase: pp, Role: RoleProjection},
+					{Phrase: fp, Role: RoleFilter},
+				},
+				FilterOp: "=", FilterValue: val,
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindNegationFilter:
+		t := g.pickTable()
+		proj, ok1 := pickCol(g.r, t.names)
+		filt, ok2 := pickCol(g.r, t.categories)
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		val, ok := pickValue(g.r, filt)
+		if !ok {
+			return Question{}, false
+		}
+		tp, pp, fp := phrase(t.table.Concept), phrase(proj.col.Concept), phrase(filt.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("List the %s of the %s whose %s is not '%s'.", pp, plural(tp), fp, val),
+			Gold: fmt.Sprintf("SELECT %s FROM %s WHERE %s <> '%s'",
+				proj.col.Name, t.table.Name, filt.col.Name, escape(val)),
+			Intent: Intent{
+				Kind: KindNegationFilter, TableMention: tp,
+				Columns: []ColMention{
+					{Phrase: pp, Role: RoleProjection},
+					{Phrase: fp, Role: RoleFilter},
+				},
+				FilterOp: "<>", FilterValue: val,
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindCountGroup:
+		t := g.pickTable()
+		grp, ok := pickCol(g.r, t.categories)
+		if !ok {
+			return Question{}, false
+		}
+		tp, gp := phrase(t.table.Concept), phrase(grp.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("For each %s, show how many %s there are.", gp, plural(tp)),
+			Gold: fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s",
+				grp.col.Name, t.table.Name, grp.col.Name),
+			Intent: Intent{
+				Kind: KindCountGroup, TableMention: tp, Agg: "COUNT",
+				Columns: []ColMention{{Phrase: gp, Role: RoleGroup}},
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindAggMeasure:
+		t := g.pickTable()
+		m, ok := pickCol(g.r, append(append([]columnInfo{}, t.measures...), t.counts...))
+		if !ok {
+			return Question{}, false
+		}
+		aggs := []struct{ fn, en string }{
+			{"AVG", "average"}, {"SUM", "total"}, {"MAX", "maximum"}, {"MIN", "minimum"},
+		}
+		a := aggs[g.r.intn(len(aggs))]
+		tp, mp := phrase(t.table.Concept), phrase(m.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("What is the %s %s across all %s?", a.en, mp, plural(tp)),
+			Gold: fmt.Sprintf("SELECT %s(%s) FROM %s", a.fn, m.col.Name, t.table.Name),
+			Intent: Intent{
+				Kind: KindAggMeasure, TableMention: tp, Agg: a.fn,
+				Columns: []ColMention{{Phrase: mp, Role: RoleAggArg}},
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindGroupHaving:
+		t := g.pickTable()
+		grp, ok := pickCol(g.r, t.categories)
+		if !ok {
+			return Question{}, false
+		}
+		k := 1 + g.r.intn(3)
+		tp, gp := phrase(t.table.Concept), phrase(grp.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Which %s values have more than %d %s?", gp, k, plural(tp)),
+			Gold: fmt.Sprintf("SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) > %d",
+				grp.col.Name, t.table.Name, grp.col.Name, k),
+			Intent: Intent{
+				Kind: KindGroupHaving, TableMention: tp, Agg: "COUNT", HavingK: k,
+				Columns: []ColMention{{Phrase: gp, Role: RoleGroup}},
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindJoinList:
+		j, ok := g.pickJoin()
+		if !ok {
+			return Question{}, false
+		}
+		proj, ok1 := pickCol(g.r, j.parent.names)
+		filt, ok2 := pickCol(g.r, j.child.categories)
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		val, ok := pickValue(g.r, filt)
+		if !ok {
+			return Question{}, false
+		}
+		cp, pp := phrase(j.child.table.Concept), phrase(j.parent.table.Concept)
+		projp, fp := phrase(proj.col.Concept), phrase(filt.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Show the %s of the %s for %s whose %s is '%s'.",
+				projp, plural(pp), plural(cp), fp, val),
+			Gold: fmt.Sprintf("SELECT p.%s FROM %s c JOIN %s p ON c.%s = p.%s WHERE c.%s = '%s'",
+				proj.col.Name, j.child.table.Name, j.parent.table.Name,
+				j.childFK.Name, j.parentPK.Name, filt.col.Name, escape(val)),
+			Intent: Intent{
+				Kind: KindJoinList, TableMention: cp, JoinTableMention: pp,
+				Columns: []ColMention{
+					{Phrase: projp, Role: RoleProjection, OnJoined: true},
+					{Phrase: fp, Role: RoleFilter},
+					{Phrase: phrase(j.childFK.Concept), Role: RoleJoinChild},
+					{Phrase: phrase(j.parentPK.Concept), Role: RoleJoinParent, OnJoined: true},
+				},
+				FilterOp: "=", FilterValue: val,
+			},
+			Tables: []string{j.child.table.Name, j.parent.table.Name},
+		}, true
+	case KindJoinGroup:
+		j, ok := g.pickJoin()
+		if !ok {
+			return Question{}, false
+		}
+		grp, ok1 := pickCol(g.r, append(append([]columnInfo{}, j.parent.categories...), j.parent.names...))
+		if !ok1 {
+			return Question{}, false
+		}
+		cp, pp := phrase(j.child.table.Concept), phrase(j.parent.table.Concept)
+		gp := phrase(grp.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("For each %s %s, count the %s.", pp, gp, plural(cp)),
+			Gold: fmt.Sprintf("SELECT p.%s, COUNT(*) FROM %s c JOIN %s p ON c.%s = p.%s GROUP BY p.%s",
+				grp.col.Name, j.child.table.Name, j.parent.table.Name,
+				j.childFK.Name, j.parentPK.Name, grp.col.Name),
+			Intent: Intent{
+				Kind: KindJoinGroup, TableMention: cp, JoinTableMention: pp, Agg: "COUNT",
+				Columns: []ColMention{
+					{Phrase: gp, Role: RoleGroup, OnJoined: true},
+					{Phrase: phrase(j.childFK.Concept), Role: RoleJoinChild},
+					{Phrase: phrase(j.parentPK.Concept), Role: RoleJoinParent, OnJoined: true},
+				},
+			},
+			Tables: []string{j.child.table.Name, j.parent.table.Name},
+		}, true
+	case KindTopOrder:
+		t := g.pickTable()
+		proj, ok1 := pickCol(g.r, t.names)
+		m, ok2 := pickCol(g.r, append(append([]columnInfo{}, t.measures...), t.counts...))
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		k := 3 + g.r.intn(5)
+		tp, pp, mp := phrase(t.table.Concept), phrase(proj.col.Concept), phrase(m.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Show the %s of the top %d %s by %s.", pp, k, plural(tp), mp),
+			Gold: fmt.Sprintf("SELECT TOP %d %s FROM %s ORDER BY %s DESC",
+				k, proj.col.Name, t.table.Name, m.col.Name),
+			Intent: Intent{
+				Kind: KindTopOrder, TableMention: tp, TopK: k,
+				Columns: []ColMention{
+					{Phrase: pp, Role: RoleProjection},
+					{Phrase: mp, Role: RoleOrder},
+				},
+			},
+			Tables:  []string{t.table.Name},
+			Ordered: true,
+		}, true
+	case KindNotExists:
+		j, ok := g.pickJoin()
+		if !ok {
+			return Question{}, false
+		}
+		proj, ok1 := pickCol(g.r, j.parent.names)
+		if !ok1 {
+			return Question{}, false
+		}
+		cp, pp := phrase(j.child.table.Concept), phrase(j.parent.table.Concept)
+		projp := phrase(proj.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Which %s have no %s? Show their %s.", plural(pp), plural(cp), projp),
+			Gold: fmt.Sprintf("SELECT %s FROM %s p WHERE NOT EXISTS (SELECT %s FROM %s WHERE %s = p.%s)",
+				proj.col.Name, j.parent.table.Name, j.childFK.Name,
+				j.child.table.Name, j.childFK.Name, j.parentPK.Name),
+			Intent: Intent{
+				Kind: KindNotExists, TableMention: pp, JoinTableMention: cp,
+				Columns: []ColMention{
+					{Phrase: projp, Role: RoleProjection},
+					{Phrase: phrase(j.childFK.Concept), Role: RoleJoinChild, OnJoined: true},
+					{Phrase: phrase(j.parentPK.Concept), Role: RoleJoinParent},
+				},
+			},
+			Tables: []string{j.parent.table.Name, j.child.table.Name},
+		}, true
+	case KindInSubquery:
+		j, ok := g.pickJoin()
+		if !ok {
+			return Question{}, false
+		}
+		proj, ok1 := pickCol(g.r, j.parent.names)
+		filt, ok2 := pickCol(g.r, j.child.categories)
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		val, ok := pickValue(g.r, filt)
+		if !ok {
+			return Question{}, false
+		}
+		cp, pp := phrase(j.child.table.Concept), phrase(j.parent.table.Concept)
+		projp, fp := phrase(proj.col.Concept), phrase(filt.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("List the %s of %s that have at least one %s with %s '%s'.",
+				projp, plural(pp), cp, fp, val),
+			Gold: fmt.Sprintf("SELECT %s FROM %s WHERE %s IN (SELECT %s FROM %s WHERE %s = '%s')",
+				proj.col.Name, j.parent.table.Name, j.parentPK.Name,
+				j.childFK.Name, j.child.table.Name, filt.col.Name, escape(val)),
+			Intent: Intent{
+				Kind: KindInSubquery, TableMention: pp, JoinTableMention: cp,
+				Columns: []ColMention{
+					{Phrase: projp, Role: RoleProjection},
+					{Phrase: phrase(j.parentPK.Concept), Role: RoleJoinParent},
+					{Phrase: phrase(j.childFK.Concept), Role: RoleJoinChild, OnJoined: true},
+					{Phrase: fp, Role: RoleFilter, OnJoined: true},
+				},
+				FilterOp: "=", FilterValue: val,
+			},
+			Tables: []string{j.parent.table.Name, j.child.table.Name},
+		}, true
+	case KindScalarMax:
+		t := g.pickTable()
+		proj, ok1 := pickCol(g.r, t.names)
+		m, ok2 := pickCol(g.r, t.measures)
+		if !ok1 || !ok2 {
+			return Question{}, false
+		}
+		tp, pp, mp := phrase(t.table.Concept), phrase(proj.col.Concept), phrase(m.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("Which %s has the highest %s? Show its %s.", tp, mp, pp),
+			Gold: fmt.Sprintf("SELECT %s FROM %s WHERE %s = (SELECT MAX(%s) FROM %s)",
+				proj.col.Name, t.table.Name, m.col.Name, m.col.Name, t.table.Name),
+			Intent: Intent{
+				Kind: KindScalarMax, TableMention: tp, Agg: "MAX",
+				Columns: []ColMention{
+					{Phrase: pp, Role: RoleProjection},
+					{Phrase: mp, Role: RoleAggArg},
+				},
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindYearCount:
+		t := g.pickTable()
+		d, ok := pickCol(g.r, t.dates)
+		if !ok {
+			return Question{}, false
+		}
+		if len(d.values) == 0 {
+			return Question{}, false
+		}
+		year := d.values[g.r.intn(len(d.values))].String()[:4]
+		tp, dp := phrase(t.table.Concept), phrase(d.col.Concept)
+		return Question{
+			Text: fmt.Sprintf("How many %s have a %s in %s?", plural(tp), dp, year),
+			Gold: fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE YEAR(%s) = %s",
+				t.table.Name, d.col.Name, year),
+			Intent: Intent{
+				Kind: KindYearCount, TableMention: tp, Agg: "COUNT",
+				Columns: []ColMention{{Phrase: dp, Role: RoleFilter}},
+				Year:    atoiSafe(year),
+			},
+			Tables: []string{t.table.Name},
+		}, true
+	case KindCKJoin:
+		// Composite-key joins exist only where tables share an extra column.
+		for off := 0; off < len(g.joins); off++ {
+			j := g.joins[(g.r.intn(len(g.joins)+1)+off)%len(g.joins)]
+			if len(j.sharedExtraCols) == 0 {
+				continue
+			}
+			shared := j.sharedExtraCols[g.r.intn(len(j.sharedExtraCols))]
+			sharedCol, _ := j.child.table.Column(shared)
+			proj, ok1 := pickCol(g.r, append(append([]columnInfo{}, j.parent.categories...), j.parent.names...))
+			if !ok1 {
+				return Question{}, false
+			}
+			cp, pp := phrase(j.child.table.Concept), phrase(j.parent.table.Concept)
+			projp := phrase(proj.col.Concept)
+			sp := phrase(sharedCol.Concept)
+			return Question{
+				Text: fmt.Sprintf("For %s matched to their %s by %s and %s, show the %s and a count of %s.",
+					plural(cp), plural(pp), phrase(j.childFK.Concept), sp, projp, plural(cp)),
+				Gold: fmt.Sprintf("SELECT p.%s, COUNT(*) FROM %s c JOIN %s p ON c.%s = p.%s AND c.%s = p.%s GROUP BY p.%s",
+					proj.col.Name, j.child.table.Name, j.parent.table.Name,
+					j.childFK.Name, j.parentPK.Name, shared, shared, proj.col.Name),
+				Intent: Intent{
+					Kind: KindCKJoin, TableMention: cp, JoinTableMention: pp, Agg: "COUNT",
+					Columns: []ColMention{
+						{Phrase: projp, Role: RoleGroup, OnJoined: true},
+						{Phrase: phrase(j.childFK.Concept), Role: RoleJoinChild},
+						{Phrase: phrase(j.parentPK.Concept), Role: RoleJoinParent, OnJoined: true},
+						{Phrase: sp, Role: RoleJoinShared},
+					},
+				},
+				Tables: []string{j.child.table.Name, j.parent.table.Name},
+			}, true
+		}
+		return Question{}, false
+	default:
+		return Question{}, false
+	}
+}
+
+func plural(s string) string {
+	if s == "" {
+		return s
+	}
+	switch {
+	case strings.HasSuffix(s, "s"), strings.HasSuffix(s, "x"):
+		return s
+	case strings.HasSuffix(s, "y"):
+		return s[:len(s)-1] + "ies"
+	default:
+		return s + "s"
+	}
+}
+
+func escape(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

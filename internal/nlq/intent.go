@@ -1,0 +1,106 @@
+// Package nlq generates the SNAILS NL-question / gold-SQL pairs
+// (Artifact 6) from the populated benchmark databases. Questions are
+// produced from a template grammar whose clause mix approximates the paper's
+// Table 3; every gold query is executed during generation and kept only if
+// it returns a non-empty result, matching the paper's construction rule.
+//
+// Each question also carries a structured Intent: the template-level meaning
+// of the English text, with schema elements referred to by natural-language
+// mention phrases only (never by identifiers). The synthetic LLMs consume
+// the intent instead of re-implementing English parsing — all models in the
+// paper comprehend the templated English; the behaviour under study is
+// schema linking, which remains entirely on the model side.
+package nlq
+
+// Kind enumerates question templates.
+type Kind int
+
+const (
+	// KindCountAll: "How many X are there?"
+	KindCountAll Kind = iota
+	// KindListFilter: "Show the A of X where B is V."
+	KindListFilter
+	// KindCountGroup: "For each B, show how many X there are."
+	KindCountGroup
+	// KindAggMeasure: "What is the average M of X?"
+	KindAggMeasure
+	// KindGroupHaving: "Which B have more than K X?"
+	KindGroupHaving
+	// KindJoinList: "Show the P of each X where B is V." (child->parent join)
+	KindJoinList
+	// KindJoinGroup: "For each P, count the X." (join + group by)
+	KindJoinGroup
+	// KindTopOrder: "Show the top K X by M." (ordered)
+	KindTopOrder
+	// KindNotExists: "Which P have no X?"
+	KindNotExists
+	// KindInSubquery: "List the A of X that have at least one Y with B = V."
+	KindInSubquery
+	// KindScalarMax: "Which X has the highest M?"
+	KindScalarMax
+	// KindNegationFilter: "Show the A of X whose B is not V."
+	KindNegationFilter
+	// KindYearCount: "How many X were recorded in year Y?"
+	KindYearCount
+	// KindCKJoin: composite-key join over two shared columns (NTSB style).
+	KindCKJoin
+)
+
+// Role describes how a mentioned column participates in the query.
+type Role int
+
+const (
+	RoleProjection Role = iota
+	RoleFilter
+	RoleGroup
+	RoleAggArg
+	RoleOrder
+	RoleJoinChild  // join column on the child side
+	RoleJoinParent // join column on the parent side
+	RoleJoinShared // second shared column of a composite-key join
+)
+
+// ColMention is a natural-language reference to a column.
+type ColMention struct {
+	// Phrase is the Regular-words phrase used in the English question
+	// ("vegetation height").
+	Phrase string
+	// OnJoined marks mentions that resolve against the joined (parent or
+	// subquery) table rather than the primary table.
+	OnJoined bool
+	Role     Role
+}
+
+// Intent is the structured meaning of a question.
+type Intent struct {
+	Kind Kind
+	// TableMention / JoinTableMention are natural-language phrases for the
+	// primary and joined tables.
+	TableMention     string
+	JoinTableMention string
+	Columns          []ColMention
+	// Agg is the aggregate function name for aggregate templates.
+	Agg string
+	// FilterOp / FilterValue configure the WHERE comparison.
+	FilterOp    string
+	FilterValue string
+	// HavingK is the HAVING threshold; TopK the TOP row count; Year the
+	// YEAR() filter value.
+	HavingK int
+	TopK    int
+	Year    int
+}
+
+// Question is one Artifact 6 entry.
+type Question struct {
+	ID     int
+	DB     string
+	Text   string
+	Gold   string // gold SQL over native identifiers
+	Intent Intent
+	// Tables lists the native tables the gold query uses (for module-scoped
+	// prompting and schema-subsetting gold sets).
+	Tables []string
+	// Ordered marks questions whose answer order matters.
+	Ordered bool
+}

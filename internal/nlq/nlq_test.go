@@ -1,0 +1,220 @@
+package nlq
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+func TestGenerateReachesTargets(t *testing.T) {
+	for _, b := range datasets.All() {
+		qs := Generate(b)
+		if len(qs) != b.QuestionTarget {
+			t.Errorf("%s: generated %d questions, want %d", b.Name, len(qs), b.QuestionTarget)
+		}
+	}
+}
+
+func TestTotal503Questions(t *testing.T) {
+	total := 0
+	for _, b := range datasets.All() {
+		total += len(Generate(b))
+	}
+	if total != 503 {
+		t.Errorf("total questions = %d, want 503 (Artifact 6)", total)
+	}
+}
+
+func TestGoldQueriesParseAndExecuteNonEmpty(t *testing.T) {
+	for _, b := range datasets.All() {
+		for _, q := range Generate(b) {
+			sel, err := sqlparse.Parse(q.Gold)
+			if err != nil {
+				t.Fatalf("%s q%d: gold does not parse: %v\n%s", b.Name, q.ID, err, q.Gold)
+			}
+			res, err := sqlexec.Execute(b.Instance, sel)
+			if err != nil {
+				t.Fatalf("%s q%d: gold does not execute: %v\n%s", b.Name, q.ID, err, q.Gold)
+			}
+			if res.Empty() {
+				t.Errorf("%s q%d: gold returns empty result\n%s", b.Name, q.ID, q.Gold)
+			}
+		}
+	}
+}
+
+func TestQuestionsAreDistinctAndLabeled(t *testing.T) {
+	for _, b := range datasets.All() {
+		seen := map[string]bool{}
+		for _, q := range Generate(b) {
+			if seen[q.Text] {
+				t.Errorf("%s: duplicate question %q", b.Name, q.Text)
+			}
+			seen[q.Text] = true
+			if q.DB != b.Name || q.ID == 0 || q.Text == "" || q.Gold == "" {
+				t.Errorf("%s: incomplete question %+v", b.Name, q)
+			}
+			if len(q.Tables) == 0 {
+				t.Errorf("%s q%d: no gold tables", b.Name, q.ID)
+			}
+		}
+	}
+}
+
+func TestGoldTablesMatchParsedTables(t *testing.T) {
+	b, _ := datasets.Get("CWO")
+	for _, q := range Generate(b) {
+		sel, _ := sqlparse.Parse(q.Gold)
+		parsed := sqlparse.Analyze(sel).Tables
+		for _, tab := range q.Tables {
+			if !parsed.Contains(tab) {
+				t.Errorf("q%d: Tables lists %q but gold does not reference it\n%s", q.ID, tab, q.Gold)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b, _ := datasets.Get("ASIS")
+	a := Generate(b)
+	c := Generate(b)
+	if len(a) != len(c) {
+		t.Fatal("nondeterministic question count")
+	}
+	for i := range a {
+		if a[i].Text != c[i].Text || a[i].Gold != c[i].Gold {
+			t.Fatalf("question %d differs between runs", i)
+		}
+	}
+}
+
+func TestClauseMixShape(t *testing.T) {
+	// Table 3 shape: most questions use functions and WHERE; joins and
+	// GROUP BY are common; TOP/EXISTS/subqueries appear but are rarer.
+	var counts struct {
+		fn, where, join, group, top, exists, subq, having, negation, order, ck int
+	}
+	total := 0
+	for _, b := range datasets.All() {
+		for _, q := range Generate(b) {
+			sel, _ := sqlparse.Parse(q.Gold)
+			f := sqlparse.CountClauses(sel)
+			total++
+			if f.Function {
+				counts.fn++
+			}
+			if f.Where {
+				counts.where++
+			}
+			if f.Join {
+				counts.join++
+			}
+			if f.GroupBy {
+				counts.group++
+			}
+			if f.Top {
+				counts.top++
+			}
+			if f.Exists {
+				counts.exists++
+			}
+			if f.Subquery {
+				counts.subq++
+			}
+			if f.Having {
+				counts.having++
+			}
+			if f.Negation {
+				counts.negation++
+			}
+			if f.OrderBy {
+				counts.order++
+			}
+			if f.CKJoin {
+				counts.ck++
+			}
+		}
+	}
+	frac := func(n int) float64 { return float64(n) / float64(total) }
+	if frac(counts.fn) < 0.4 {
+		t.Errorf("function fraction too low: %.2f", frac(counts.fn))
+	}
+	if frac(counts.where) < 0.3 {
+		t.Errorf("where fraction too low: %.2f", frac(counts.where))
+	}
+	if frac(counts.join) < 0.15 || frac(counts.join) > 0.7 {
+		t.Errorf("join fraction out of band: %.2f", frac(counts.join))
+	}
+	if frac(counts.group) < 0.15 {
+		t.Errorf("group-by fraction too low: %.2f", frac(counts.group))
+	}
+	if counts.top == 0 || counts.exists == 0 || counts.subq == 0 || counts.having == 0 || counts.negation == 0 {
+		t.Errorf("missing clause coverage: %+v", counts)
+	}
+	if counts.ck == 0 {
+		t.Error("no composite-key join questions generated")
+	}
+}
+
+func TestNTSBHasCompositeKeyQuestions(t *testing.T) {
+	b, _ := datasets.Get("NTSB")
+	ck := 0
+	for _, q := range Generate(b) {
+		sel, _ := sqlparse.Parse(q.Gold)
+		if sqlparse.CountClauses(sel).CKJoin {
+			ck++
+		}
+	}
+	if ck < 3 {
+		t.Errorf("NTSB composite-key join questions = %d, want several", ck)
+	}
+}
+
+func TestIntentMentionsUseNaturalPhrases(t *testing.T) {
+	b, _ := datasets.Get("SBOD")
+	for _, q := range Generate(b) {
+		if q.Intent.TableMention == "" {
+			t.Fatalf("q%d: empty table mention", q.ID)
+		}
+		// Mentions are natural-language phrases, never native identifiers:
+		// SBOD natives are heavily abbreviated so phrases must differ.
+		for _, m := range q.Intent.Columns {
+			if m.Phrase == "" {
+				t.Errorf("q%d: empty column mention phrase", q.ID)
+			}
+			if strings.Contains(m.Phrase, "_") {
+				t.Errorf("q%d: mention %q looks like an identifier", q.ID, m.Phrase)
+			}
+		}
+	}
+}
+
+func TestPlural(t *testing.T) {
+	cases := map[string]string{
+		"observation": "observations",
+		"species":     "species",
+		"category":    "categories",
+		"box":         "box",
+		"":            "",
+	}
+	for in, want := range cases {
+		if got := plural(in); got != want {
+			t.Errorf("plural(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOrderedFlagOnlyForTopQuestions(t *testing.T) {
+	for _, b := range datasets.All() {
+		for _, q := range Generate(b) {
+			sel, _ := sqlparse.Parse(q.Gold)
+			f := sqlparse.CountClauses(sel)
+			if q.Ordered && !f.OrderBy {
+				t.Errorf("%s q%d: ordered question without ORDER BY", b.Name, q.ID)
+			}
+		}
+	}
+}

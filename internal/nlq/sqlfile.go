@@ -1,0 +1,116 @@
+package nlq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Artifact 6 storage format: the paper stores each database's NL-question /
+// gold-SQL pairs as an executable .sql file where questions are SQL comments
+// and gold queries follow, terminated by ";". Optional HINT and NOTE lines
+// follow the question. ExportSQL and ParseSQLFile round-trip this format so
+// collections can be extended outside Go.
+
+// ExportSQL writes questions in the .sql artifact format:
+//
+//	-- 8: show how many minnows were counted at ASIS_HERPS_20H
+//	SELECT ... ;
+func ExportSQL(w io.Writer, questions []Question) error {
+	for _, q := range questions {
+		if _, err := fmt.Fprintf(w, "-- %d: %s\n%s\n;\n\n", q.ID, q.Text, q.Gold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParsedPair is one entry read back from a .sql artifact file.
+type ParsedPair struct {
+	ID       int
+	Question string
+	Gold     string
+	Hints    []string
+	Notes    []string
+}
+
+// ParseSQLFile reads a .sql artifact file. It accepts the hint/note
+// annotations the paper's files carry (HINT:/NOTE: comment lines after the
+// question) and tolerates flexible whitespace.
+func ParseSQLFile(r io.Reader) ([]ParsedPair, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []ParsedPair
+	var cur *ParsedPair
+	var sqlLines []string
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.Gold = strings.TrimSpace(strings.Join(sqlLines, "\n"))
+		cur.Gold = strings.TrimSuffix(cur.Gold, ";")
+		cur.Gold = strings.TrimSpace(cur.Gold)
+		if cur.Gold != "" {
+			out = append(out, *cur)
+		}
+		cur = nil
+		sqlLines = nil
+	}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "--"):
+			body := strings.TrimSpace(strings.TrimPrefix(trimmed, "--"))
+			switch {
+			case strings.HasPrefix(strings.ToUpper(body), "HINT:"):
+				if cur != nil {
+					cur.Hints = append(cur.Hints, strings.TrimSpace(body[5:]))
+				}
+			case strings.HasPrefix(strings.ToUpper(body), "NOTE:"):
+				if cur != nil {
+					cur.Notes = append(cur.Notes, strings.TrimSpace(body[5:]))
+				}
+			default:
+				// "N: question text" starts a new entry.
+				id, text, ok := splitQuestionComment(body)
+				if !ok {
+					// A stray comment inside SQL is skipped.
+					continue
+				}
+				flush()
+				cur = &ParsedPair{ID: id, Question: text}
+			}
+		case trimmed == ";":
+			flush()
+		case trimmed == "":
+			// blank lines are separators
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("nlq: line %d: SQL before any question comment", lineNo)
+			}
+			sqlLines = append(sqlLines, line)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+func splitQuestionComment(body string) (int, string, bool) {
+	i := strings.IndexByte(body, ':')
+	if i <= 0 {
+		return 0, "", false
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(body[:i]))
+	if err != nil {
+		return 0, "", false
+	}
+	return id, strings.TrimSpace(body[i+1:]), true
+}

@@ -1,0 +1,82 @@
+package nlq
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+)
+
+func TestExportParseRoundTrip(t *testing.T) {
+	b, _ := datasets.Get("CWO")
+	qs := Generate(b)
+	var sb strings.Builder
+	if err := ExportSQL(&sb, qs); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ParseSQLFile(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(qs) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(pairs), len(qs))
+	}
+	for i, p := range pairs {
+		if p.ID != qs[i].ID || p.Question != qs[i].Text {
+			t.Errorf("entry %d header differs: %+v", i, p)
+		}
+		if p.Gold != qs[i].Gold {
+			t.Errorf("entry %d gold differs:\n got %q\nwant %q", i, p.Gold, qs[i].Gold)
+		}
+	}
+}
+
+func TestParseSQLFileWithHintsAndNotes(t *testing.T) {
+	doc := `-- 13: How many parked cars were struck?
+-- HINT: parked code is 2
+-- NOTE: uses the accident type lookup
+SELECT COUNT(*)
+FROM crash
+WHERE acctype = 2
+;
+
+-- 14: second question
+SELECT 1 FROM t
+;
+`
+	pairs, err := ParseSQLFile(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	p := pairs[0]
+	if p.ID != 13 || !strings.Contains(p.Question, "parked cars") {
+		t.Errorf("header wrong: %+v", p)
+	}
+	if len(p.Hints) != 1 || !strings.Contains(p.Hints[0], "parked code") {
+		t.Errorf("hints wrong: %v", p.Hints)
+	}
+	if len(p.Notes) != 1 {
+		t.Errorf("notes wrong: %v", p.Notes)
+	}
+	if !strings.Contains(p.Gold, "FROM crash") || strings.Contains(p.Gold, ";") {
+		t.Errorf("gold wrong: %q", p.Gold)
+	}
+}
+
+func TestParseSQLFileErrors(t *testing.T) {
+	if _, err := ParseSQLFile(strings.NewReader("SELECT 1 FROM t;\n")); err == nil {
+		t.Error("SQL before a question comment should error")
+	}
+	pairs, err := ParseSQLFile(strings.NewReader(""))
+	if err != nil || len(pairs) != 0 {
+		t.Errorf("empty file: %v %v", pairs, err)
+	}
+	// Question without SQL is dropped silently (incomplete trailing entry).
+	pairs, err = ParseSQLFile(strings.NewReader("-- 1: dangling question\n"))
+	if err != nil || len(pairs) != 0 {
+		t.Errorf("dangling question: %v %v", pairs, err)
+	}
+}

@@ -1,0 +1,135 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/modifier"
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+// Builder constructs a Database with exact crosswalk entries: every
+// identifier is defined by its Regular concept words and a native
+// naturalness level; the builder renders the native name with the
+// abbreviator, guarantees scope-level uniqueness, and registers all three
+// naturalness forms.
+type Builder struct {
+	db *Database
+	// Style is the rendering convention for this database's identifiers.
+	Style ident.CaseStyle
+	// used tracks names per level to keep table names unique.
+	usedTables [4]map[string]struct{}
+}
+
+// NewBuilder starts a database definition.
+func NewBuilder(name string, style ident.CaseStyle) *Builder {
+	b := &Builder{
+		db: &Database{
+			Name:      name,
+			Crosswalk: modifier.NewCrosswalk(),
+			Metadata:  modifier.NewMetadataIndex(),
+		},
+		Style: style,
+	}
+	for i := range b.usedTables {
+		b.usedTables[i] = make(map[string]struct{})
+	}
+	return b
+}
+
+// render builds the identifier forms for a concept at a native level.
+func (b *Builder) render(words []string, level naturalness.Level, style ident.CaseStyle) modifier.Entry {
+	var e modifier.Entry
+	e.Words = words
+	e.NativeLevel = level
+	for _, l := range naturalness.Levels {
+		e.Forms[l] = modifier.Abbreviate(words, l, style)
+	}
+	e.Native = e.Forms[level]
+	return e
+}
+
+// TableBuilder accumulates one table's columns.
+type TableBuilder struct {
+	b     *Builder
+	table *Table
+	// usedCols tracks column names per level within the table scope.
+	usedCols [3]map[string]struct{}
+}
+
+// AddTable defines a table by its concept words and native naturalness. A
+// prefix such as "tbl" may be included in the words to reproduce real-world
+// prefix habits.
+func (b *Builder) AddTable(level naturalness.Level, words ...string) *TableBuilder {
+	e := b.render(words, level, b.Style)
+	// Ensure the native table name is unique within the database.
+	for i := 2; ; i++ {
+		if _, dup := b.usedTables[0][strings.ToUpper(e.Native)]; !dup {
+			break
+		}
+		e = b.render(append(append([]string{}, words...), fmt.Sprintf("%d", i)), level, b.Style)
+	}
+	stored := b.db.Crosswalk.Add(e)
+	b.usedTables[0][strings.ToUpper(stored.Native)] = struct{}{}
+	t := &Table{
+		Name:        stored.Native,
+		Concept:     words,
+		NativeLevel: level,
+	}
+	b.db.Tables = append(b.db.Tables, t)
+	tb := &TableBuilder{b: b, table: t}
+	for i := range tb.usedCols {
+		tb.usedCols[i] = make(map[string]struct{})
+	}
+	return tb
+}
+
+// Describe adds a data-dictionary entry for the table.
+func (tb *TableBuilder) Describe(description string) *TableBuilder {
+	tb.b.db.Metadata.Add(tb.table.Name, description)
+	return tb
+}
+
+// Col adds a column defined by concept words.
+func (tb *TableBuilder) Col(level naturalness.Level, typ ColType, words ...string) *Column {
+	e := tb.b.render(words, level, tb.b.Style)
+	for i := 2; ; i++ {
+		if _, dup := tb.usedCols[0][strings.ToUpper(e.Native)]; !dup {
+			break
+		}
+		e = tb.b.render(append(append([]string{}, words...), fmt.Sprintf("%d", i)), level, tb.b.Style)
+	}
+	stored := tb.b.db.Crosswalk.Add(e)
+	tb.usedCols[0][strings.ToUpper(stored.Native)] = struct{}{}
+	c := &Column{
+		Name:        stored.Native,
+		Concept:     words,
+		NativeLevel: level,
+		Type:        typ,
+	}
+	tb.table.Columns = append(tb.table.Columns, c)
+	// Auto-document every column so the expander has metadata to retrieve.
+	tb.b.db.Metadata.Add(c.Name, strings.Join(words, " ")+" of the "+strings.Join(tb.table.Concept, " "))
+	return c
+}
+
+// PK adds a primary-key integer column.
+func (tb *TableBuilder) PK(level naturalness.Level, words ...string) *Column {
+	c := tb.Col(level, TypeInt, words...)
+	c.PK = true
+	return c
+}
+
+// FK adds a foreign-key column referencing another table's column.
+func (tb *TableBuilder) FK(level naturalness.Level, ref ColumnRef, words ...string) *Column {
+	c := tb.Col(level, TypeInt, words...)
+	c.Ref = &ref
+	return c
+}
+
+// Table returns the table under construction.
+func (tb *TableBuilder) Table() *Table { return tb.table }
+
+// Database finalizes and returns the built database.
+func (b *Builder) Database() *Database { return b.db }

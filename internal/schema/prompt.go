@@ -1,0 +1,100 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PromptOptions controls schema-knowledge rendering for NL-to-SQL prompts.
+type PromptOptions struct {
+	// Variant selects native identifiers or a modified virtual schema.
+	Variant Variant
+	// Tables restricts rendering to a subset (native table names); nil means
+	// all tables. Used by the SBOD module segmentation and by schema
+	// filtering stages.
+	Tables []string
+	// IncludeTypes appends column types, the paper's default format.
+	IncludeTypes bool
+}
+
+// SchemaKnowledge renders the database's schema-knowledge block in the
+// paper's zero-shot format:
+//
+//	#TableName (Col1Name Type, Col2Name Type, ...)
+//
+// one line per table, with identifiers mapped to the requested variant.
+func (d *Database) SchemaKnowledge(opts PromptOptions) string {
+	var keep map[string]struct{}
+	if opts.Tables != nil {
+		keep = make(map[string]struct{}, len(opts.Tables))
+		for _, t := range opts.Tables {
+			keep[strings.ToUpper(t)] = struct{}{}
+		}
+	}
+	var b strings.Builder
+	for _, t := range d.Tables {
+		if keep != nil {
+			if _, ok := keep[strings.ToUpper(t.Name)]; !ok {
+				continue
+			}
+		}
+		b.WriteByte('#')
+		b.WriteString(d.RenameVariant(t.Name, opts.Variant))
+		b.WriteByte('(')
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.RenameVariant(c.Name, opts.Variant))
+			if opts.IncludeTypes {
+				b.WriteByte(' ')
+				b.WriteString(c.Type.String())
+			}
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+// ZeroShotPrompt assembles the full zero-shot prompt of section 4.1: task
+// instructions, database header, schema knowledge, and the NL question.
+func (d *Database) ZeroShotPrompt(question string, opts PromptOptions) string {
+	var b strings.Builder
+	b.WriteString("For the database described next, provide only a sql query. ")
+	b.WriteString("do not include any text that is not valid SQL.\n")
+	fmt.Fprintf(&b, "#Database: %s\n", d.Name)
+	b.WriteString("#MS SQL Server tables, with their properties:\n")
+	b.WriteString(d.SchemaKnowledge(opts))
+	b.WriteString("### a sql query, written in the MS SQL Server dialect, to answer the question: ")
+	b.WriteString(question)
+	b.WriteString("\n")
+	return b.String()
+}
+
+// NaturalViewDDL generates the section-6 natural-view proof of concept:
+// one CREATE VIEW statement per table mapping the Regular-naturalness
+// representation onto the native schema under a db_nl schema, leaving the
+// dbo base schema untouched for existing integrations.
+func (d *Database) NaturalViewDDL() []string {
+	out := make([]string, 0, len(d.Tables))
+	for _, t := range d.Tables {
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE VIEW db_nl.[%s] AS\nSELECT\n", d.Rename(t.Name, 0))
+		for i, c := range t.Columns {
+			sep := ","
+			if i == len(t.Columns)-1 {
+				sep = ""
+			}
+			fmt.Fprintf(&b, "  [%s] AS [%s]%s\n", c.Name, d.Rename(c.Name, 0), sep)
+		}
+		fmt.Fprintf(&b, "FROM dbo.[%s];", t.Name)
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// TokenEstimate returns a crude prompt-size estimate (whitespace-separated
+// chunks) used for SBOD module pruning decisions.
+func (d *Database) TokenEstimate(opts PromptOptions) int {
+	return len(strings.Fields(d.SchemaKnowledge(opts)))
+}

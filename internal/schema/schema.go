@@ -1,0 +1,236 @@
+// Package schema models relational database schemas for the SNAILS
+// benchmark: tables, columns, foreign keys, the identifier crosswalk that
+// maps every native identifier to Regular/Low/Least forms, schema-knowledge
+// prompt rendering, and natural-view DDL generation.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/modifier"
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+// ColType is a simplified SQL column type.
+type ColType int
+
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeText
+	TypeDate
+	TypeBool
+)
+
+// String renders the type as the T-SQL name used in schema prompts.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeText:
+		return "nvarchar"
+	case TypeDate:
+		return "date"
+	case TypeBool:
+		return "bit"
+	default:
+		return "nvarchar"
+	}
+}
+
+// ColumnRef identifies a column by native table and column name.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// Column is one schema column.
+type Column struct {
+	// Name is the native identifier.
+	Name string
+	// Concept is the Regular-naturalness word decomposition of the meaning.
+	Concept []string
+	// NativeLevel is the naturalness of the native identifier.
+	NativeLevel naturalness.Level
+	Type        ColType
+	// Ref is the foreign-key target, if any.
+	Ref *ColumnRef
+	// PK marks primary-key membership.
+	PK bool
+}
+
+// Table is one schema table.
+type Table struct {
+	Name        string
+	Concept     []string
+	NativeLevel naturalness.Level
+	Columns     []*Column
+}
+
+// Column returns the column with the given native name (case-insensitive).
+func (t *Table) Column(name string) (*Column, bool) {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Database is a complete schema with its crosswalk and metadata.
+type Database struct {
+	Name   string
+	Tables []*Table
+	// Crosswalk maps every native identifier (tables and columns) to its
+	// forms at every naturalness level.
+	Crosswalk *modifier.Crosswalk
+	// Metadata is the database's data dictionary, used by the expander.
+	Metadata *modifier.MetadataIndex
+}
+
+// Table returns the table with the given native name (case-insensitive).
+func (d *Database) Table(name string) (*Table, bool) {
+	for _, t := range d.Tables {
+		if strings.EqualFold(t.Name, name) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// NumColumns returns the total column count across tables.
+func (d *Database) NumColumns() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// Identifiers returns every native identifier (table names then column
+// names) in deterministic order. Duplicate column names across tables appear
+// once per occurrence.
+func (d *Database) Identifiers() []string {
+	var out []string
+	for _, t := range d.Tables {
+		out = append(out, t.Name)
+		for _, c := range t.Columns {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// UniqueIdentifiers returns the deduplicated, sorted native identifiers.
+func (d *Database) UniqueIdentifiers() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, id := range d.Identifiers() {
+		key := strings.ToUpper(id)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NativeLevels returns the naturalness levels of all identifiers
+// (one per occurrence), for proportion and combined-naturalness reporting.
+func (d *Database) NativeLevels() []naturalness.Level {
+	var out []naturalness.Level
+	for _, t := range d.Tables {
+		out = append(out, t.NativeLevel)
+		for _, c := range t.Columns {
+			out = append(out, c.NativeLevel)
+		}
+	}
+	return out
+}
+
+// CombinedNaturalness returns the equation-5 combined score of the native
+// schema.
+func (d *Database) CombinedNaturalness() float64 {
+	return naturalness.CombinedOf(d.NativeLevels())
+}
+
+// IdentifierLevel looks up the native naturalness level of an identifier.
+func (d *Database) IdentifierLevel(name string) (naturalness.Level, bool) {
+	if e, ok := d.Crosswalk.Lookup(name); ok {
+		return e.NativeLevel, true
+	}
+	return naturalness.Regular, false
+}
+
+// Rename maps a native identifier to the requested schema variant level.
+// The Native pseudo-level is handled by callers passing the identity.
+func (d *Database) Rename(native string, l naturalness.Level) string {
+	return d.Crosswalk.ToLevel(native, l)
+}
+
+// Variant describes which schema version a prompt or experiment uses:
+// the native identifiers or one of the three modified virtual schemas.
+type Variant int
+
+const (
+	VariantNative Variant = iota
+	VariantRegular
+	VariantLow
+	VariantLeast
+)
+
+// Variants lists all schema variants in report order.
+var Variants = []Variant{VariantNative, VariantRegular, VariantLow, VariantLeast}
+
+// String returns the variant name used in figures.
+func (v Variant) String() string {
+	switch v {
+	case VariantNative:
+		return "Native"
+	case VariantRegular:
+		return "Regular"
+	case VariantLow:
+		return "Low"
+	case VariantLeast:
+		return "Least"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Level returns the naturalness level of a modified variant; ok is false
+// for VariantNative, which keeps identifiers unchanged.
+func (v Variant) Level() (naturalness.Level, bool) {
+	switch v {
+	case VariantRegular:
+		return naturalness.Regular, true
+	case VariantLow:
+		return naturalness.Low, true
+	case VariantLeast:
+		return naturalness.Least, true
+	default:
+		return naturalness.Regular, false
+	}
+}
+
+// RenameVariant maps a native identifier into the given variant.
+func (d *Database) RenameVariant(native string, v Variant) string {
+	if l, ok := v.Level(); ok {
+		return d.Rename(native, l)
+	}
+	return native
+}
+
+// ToNativeVariant maps a variant identifier back to native (denaturalization).
+func (d *Database) ToNativeVariant(name string, v Variant) string {
+	if l, ok := v.Level(); ok {
+		return d.Crosswalk.ToNative(name, l)
+	}
+	return name
+}

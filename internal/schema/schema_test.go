@@ -1,0 +1,217 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/naturalness"
+)
+
+func buildSample() *Database {
+	b := NewBuilder("TESTDB", 3 /* CasePascal */)
+	loc := b.AddTable(naturalness.Low, "tbl", "locations")
+	locID := loc.PK(naturalness.Regular, "location", "id")
+	loc.Col(naturalness.Regular, TypeText, "location", "name")
+	loc.Col(naturalness.Low, TypeText, "county")
+	obs := b.AddTable(naturalness.Least, "observations")
+	obs.PK(naturalness.Regular, "observation", "id")
+	obs.FK(naturalness.Low, ColumnRef{Table: loc.Table().Name, Column: locID.Name}, "location", "id")
+	obs.Col(naturalness.Least, TypeFloat, "vegetation", "height")
+	obs.Col(naturalness.Regular, TypeDate, "observation", "date")
+	return b.Database()
+}
+
+func TestBuilderConstructsSchema(t *testing.T) {
+	db := buildSample()
+	if len(db.Tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(db.Tables))
+	}
+	if db.NumColumns() != 7 {
+		t.Fatalf("want 7 columns, got %d", db.NumColumns())
+	}
+	// Native names reflect native levels: a Least table name should be
+	// heavily abbreviated.
+	obs := db.Tables[1]
+	if obs.NativeLevel != naturalness.Least {
+		t.Fatalf("table level wrong: %v", obs.NativeLevel)
+	}
+	if len(obs.Name) >= len("observations") {
+		t.Errorf("Least table name should be abbreviated: %q", obs.Name)
+	}
+}
+
+func TestCrosswalkRegisteredForAllIdentifiers(t *testing.T) {
+	db := buildSample()
+	for _, id := range db.Identifiers() {
+		if _, ok := db.Crosswalk.Lookup(id); !ok {
+			t.Errorf("identifier %q missing from crosswalk", id)
+		}
+	}
+}
+
+func TestRenameRoundTrip(t *testing.T) {
+	db := buildSample()
+	for _, id := range db.UniqueIdentifiers() {
+		for _, v := range []Variant{VariantRegular, VariantLow, VariantLeast} {
+			mod := db.RenameVariant(id, v)
+			back := db.ToNativeVariant(mod, v)
+			if !strings.EqualFold(back, id) {
+				t.Errorf("round trip %v: %q -> %q -> %q", v, id, mod, back)
+			}
+		}
+		// Native variant is the identity.
+		if db.RenameVariant(id, VariantNative) != id {
+			t.Errorf("native variant should not rename %q", id)
+		}
+	}
+}
+
+func TestSchemaKnowledgeFormat(t *testing.T) {
+	db := buildSample()
+	sk := db.SchemaKnowledge(PromptOptions{Variant: VariantNative, IncludeTypes: true})
+	lines := strings.Split(strings.TrimSpace(sk), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one line per table, got %d: %q", len(lines), sk)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "#") || !strings.Contains(ln, "(") || !strings.HasSuffix(ln, ")") {
+			t.Errorf("malformed schema line: %q", ln)
+		}
+	}
+	if !strings.Contains(sk, " int") || !strings.Contains(sk, " float") {
+		t.Errorf("types missing from schema knowledge: %q", sk)
+	}
+}
+
+func TestSchemaKnowledgeVariantRenames(t *testing.T) {
+	db := buildSample()
+	nat := db.SchemaKnowledge(PromptOptions{Variant: VariantNative})
+	reg := db.SchemaKnowledge(PromptOptions{Variant: VariantRegular})
+	least := db.SchemaKnowledge(PromptOptions{Variant: VariantLeast})
+	if nat == reg && nat == least {
+		t.Error("variants should differ from native rendering")
+	}
+	if !strings.Contains(reg, "VegetationHeight") {
+		t.Errorf("regular variant should contain full words: %q", reg)
+	}
+	if strings.Contains(least, "VegetationHeight") {
+		t.Errorf("least variant should not contain full words: %q", least)
+	}
+}
+
+func TestSchemaKnowledgeTableSubset(t *testing.T) {
+	db := buildSample()
+	first := db.Tables[0].Name
+	sk := db.SchemaKnowledge(PromptOptions{Variant: VariantNative, Tables: []string{first}})
+	if lines := strings.Split(strings.TrimSpace(sk), "\n"); len(lines) != 1 {
+		t.Errorf("subset should render 1 table, got %d", len(lines))
+	}
+}
+
+func TestZeroShotPrompt(t *testing.T) {
+	db := buildSample()
+	p := db.ZeroShotPrompt("How many observations are there?", PromptOptions{Variant: VariantNative, IncludeTypes: true})
+	for _, want := range []string{
+		"provide only a sql query",
+		"#Database: TESTDB",
+		"MS SQL Server tables",
+		"How many observations are there?",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q:\n%s", want, p)
+		}
+	}
+}
+
+func TestNaturalViewDDL(t *testing.T) {
+	db := buildSample()
+	ddl := db.NaturalViewDDL()
+	if len(ddl) != len(db.Tables) {
+		t.Fatalf("want %d views, got %d", len(db.Tables), len(ddl))
+	}
+	for _, stmt := range ddl {
+		if !strings.HasPrefix(stmt, "CREATE VIEW db_nl.[") {
+			t.Errorf("view DDL should target db_nl schema: %q", stmt)
+		}
+		if !strings.Contains(stmt, "FROM dbo.[") {
+			t.Errorf("view DDL should select from dbo: %q", stmt)
+		}
+	}
+}
+
+func TestCombinedNaturalness(t *testing.T) {
+	db := buildSample()
+	c := db.CombinedNaturalness()
+	if c <= 0 || c >= 1 {
+		t.Errorf("mixed schema combined naturalness should be in (0,1): %v", c)
+	}
+	// Hand-check: levels = [Low, Reg, Reg, Low, Least, Reg, Low, Least, Reg]
+	levels := db.NativeLevels()
+	want := naturalness.CombinedOf(levels)
+	if c != want {
+		t.Errorf("combined = %v, want %v", c, want)
+	}
+}
+
+func TestColumnUniquenessWithinTable(t *testing.T) {
+	b := NewBuilder("DUP", 1 /* CaseSnake */)
+	tb := b.AddTable(naturalness.Regular, "things")
+	c1 := tb.Col(naturalness.Regular, TypeInt, "value")
+	c2 := tb.Col(naturalness.Regular, TypeInt, "value")
+	if c1.Name == c2.Name {
+		t.Errorf("duplicate concept should get unique native names: %q vs %q", c1.Name, c2.Name)
+	}
+}
+
+func TestTableLookupCaseInsensitive(t *testing.T) {
+	db := buildSample()
+	name := db.Tables[0].Name
+	if _, ok := db.Table(strings.ToUpper(name)); !ok {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if _, ok := db.Table("nope"); ok {
+		t.Error("unknown table should not be found")
+	}
+	tbl := db.Tables[0]
+	colName := tbl.Columns[0].Name
+	if _, ok := tbl.Column(strings.ToLower(colName)); !ok {
+		t.Error("column lookup should be case-insensitive")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := []string{"Native", "Regular", "Low", "Least"}
+	for i, v := range Variants {
+		if v.String() != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v.String(), want[i])
+		}
+	}
+	if _, ok := VariantNative.Level(); ok {
+		t.Error("native variant has no modification level")
+	}
+	if l, ok := VariantLeast.Level(); !ok || l != naturalness.Least {
+		t.Error("least variant level wrong")
+	}
+}
+
+func TestMetadataPopulated(t *testing.T) {
+	db := buildSample()
+	if db.Metadata.Len() == 0 {
+		t.Fatal("builder should auto-document columns")
+	}
+	// The Least column VgHt-like identifier should have retrievable context.
+	var leastCol *Column
+	for _, t2 := range db.Tables {
+		for _, c := range t2.Columns {
+			if c.NativeLevel == naturalness.Least {
+				leastCol = c
+			}
+		}
+	}
+	if leastCol == nil {
+		t.Fatal("no least column in sample")
+	}
+	if _, ok := db.Metadata.Lookup(leastCol.Name); !ok {
+		t.Errorf("metadata missing for %q", leastCol.Name)
+	}
+}

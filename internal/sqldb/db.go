@@ -1,0 +1,127 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TableData holds one table's column names and row storage.
+type TableData struct {
+	Name    string
+	Columns []string
+	colIdx  map[string]int
+	Rows    [][]Value
+}
+
+// NewTableData creates an empty table with the given columns.
+func NewTableData(name string, columns []string) *TableData {
+	t := &TableData{Name: name, Columns: append([]string(nil), columns...)}
+	t.colIdx = make(map[string]int, len(columns))
+	for i, c := range columns {
+		t.colIdx[strings.ToUpper(c)] = i
+	}
+	return t
+}
+
+// ColumnIndex returns the position of a column (case-insensitive).
+func (t *TableData) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIdx[strings.ToUpper(name)]
+	return i, ok
+}
+
+// Insert appends a row; the row length must match the column count.
+func (t *TableData) Insert(row []Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	t.Rows = append(t.Rows, append([]Value(nil), row...))
+	return nil
+}
+
+// MustInsert panics on arity mismatch; used by the deterministic dataset
+// generators where a mismatch is a programming error.
+func (t *TableData) MustInsert(row ...Value) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the row count.
+func (t *TableData) NumRows() int { return len(t.Rows) }
+
+// DistinctValues returns the sorted distinct non-null values of a column.
+func (t *TableData) DistinctValues(col string) []Value {
+	i, ok := t.ColumnIndex(col)
+	if !ok {
+		return nil
+	}
+	seen := map[string]Value{}
+	for _, r := range t.Rows {
+		v := r[i]
+		if v.IsNull() {
+			continue
+		}
+		seen[v.String()] = v
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Value, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// DB is an in-memory database instance: a set of named tables and views.
+type DB struct {
+	Name      string
+	tables    map[string]*TableData
+	order     []string
+	views     map[string]View
+	viewOrder []string
+}
+
+// NewDB creates an empty database.
+func NewDB(name string) *DB {
+	return &DB{Name: name, tables: make(map[string]*TableData)}
+}
+
+// CreateTable registers a new table; re-creating an existing table replaces it.
+func (d *DB) CreateTable(name string, columns []string) *TableData {
+	t := NewTableData(name, columns)
+	key := strings.ToUpper(name)
+	if _, exists := d.tables[key]; !exists {
+		d.order = append(d.order, name)
+	}
+	d.tables[key] = t
+	return t
+}
+
+// Table returns the named table (case-insensitive).
+func (d *DB) Table(name string) (*TableData, bool) {
+	t, ok := d.tables[strings.ToUpper(name)]
+	return t, ok
+}
+
+// TableNames returns table names in creation order.
+func (d *DB) TableNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// NumTables returns the number of tables.
+func (d *DB) NumTables() int { return len(d.tables) }
+
+// TotalRows returns the sum of row counts across tables.
+func (d *DB) TotalRows() int {
+	n := 0
+	for _, t := range d.tables {
+		n += len(t.Rows)
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+)
+
+// Result is a query result set: named columns and rows of values. It is the
+// unit of the paper's execution-accuracy comparison.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// NumRows returns the result cardinality.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// NumCols returns the number of projected columns.
+func (r *Result) NumCols() int { return len(r.Columns) }
+
+// Empty reports whether the result has no rows.
+func (r *Result) Empty() bool { return len(r.Rows) == 0 }
+
+// Column returns the values of the i-th column.
+func (r *Result) Column(i int) []Value {
+	out := make([]Value, len(r.Rows))
+	for j, row := range r.Rows {
+		out[j] = row[i]
+	}
+	return out
+}
+
+// ColumnKey returns a canonical sorted key of the i-th column's rendered
+// values, used for column-match candidate detection during set-superset
+// comparison (appendix E.2).
+func (r *Result) ColumnKey(i int) string {
+	vals := make([]string, len(r.Rows))
+	for j, row := range r.Rows {
+		vals[j] = strings.ToUpper(row[i].String())
+	}
+	sort.Strings(vals)
+	return strings.Join(vals, "\x1f")
+}
+
+// SortBy sorts rows by the given column indexes (ascending) for canonical
+// row-wise comparison.
+func (r *Result) SortBy(cols []int) {
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		for _, c := range cols {
+			if cmp := Compare(r.Rows[a][c], r.Rows[b][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// Clone deep-copies the result.
+func (r *Result) Clone() *Result {
+	out := &Result{Columns: append([]string(nil), r.Columns...)}
+	out.Rows = make([][]Value, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = append([]Value(nil), row...)
+	}
+	return out
+}

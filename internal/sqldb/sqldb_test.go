@@ -1,0 +1,211 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Float(3.5), "3.5"},
+		{Float(4.0), "4"}, // integral floats render without decimal
+		{String("abc"), "abc"},
+		{Bool(true), "1"},
+		{Bool(false), "0"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	if Compare(Int(1), Int(2)) != -1 || Compare(Int(2), Int(1)) != 1 || Compare(Int(2), Int(2)) != 0 {
+		t.Error("int comparison broken")
+	}
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("int/float equality broken")
+	}
+	if Compare(Float(1.5), Int(2)) != -1 {
+		t.Error("float/int ordering broken")
+	}
+}
+
+func TestCompareStringsCaseInsensitive(t *testing.T) {
+	if Compare(String("abc"), String("ABC")) != 0 {
+		t.Error("string comparison should be case-insensitive")
+	}
+	if Compare(String("a"), String("b")) != -1 {
+		t.Error("string ordering broken")
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	if Compare(Null(), Null()) != 0 {
+		t.Error("null/null should compare 0 for sorting")
+	}
+	if Compare(Null(), Int(0)) != -1 || Compare(Int(0), Null()) != 1 {
+		t.Error("null should sort first")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("SQL NULL equals nothing")
+	}
+}
+
+func TestCompareNumericStrings(t *testing.T) {
+	// A numeric string compares numerically against a number (type-coerced
+	// results from different query formulations must match).
+	if Compare(String("10"), Int(10)) != 0 {
+		t.Error("numeric string should equal number")
+	}
+	if Compare(String("9"), Int(10)) != -1 {
+		t.Error("numeric string ordering broken")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	gen := func(k uint8, i int64, s string) Value {
+		switch k % 4 {
+		case 0:
+			return Null()
+		case 1:
+			return Int(i)
+		case 2:
+			return Float(float64(i) / 2)
+		default:
+			return String(s)
+		}
+	}
+	f := func(k1, k2 uint8, i1, i2 int64, s1, s2 string) bool {
+		a, b := gen(k1, i1, s1), gen(k2, i2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableDataInsertAndLookup(t *testing.T) {
+	tab := NewTableData("obs", []string{"id", "species", "count"})
+	tab.MustInsert(Int(1), String("wolf"), Int(3))
+	tab.MustInsert(Int(2), String("bear"), Int(1))
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if i, ok := tab.ColumnIndex("SPECIES"); !ok || i != 1 {
+		t.Errorf("ColumnIndex case-insensitive lookup failed: %d %v", i, ok)
+	}
+	if err := tab.Insert([]Value{Int(3)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	tab := NewTableData("obs", []string{"species"})
+	for _, s := range []string{"wolf", "bear", "wolf", "owl"} {
+		tab.MustInsert(String(s))
+	}
+	tab.MustInsert(Null())
+	got := tab.DistinctValues("species")
+	if len(got) != 3 {
+		t.Fatalf("distinct = %v", got)
+	}
+	if got[0].S != "bear" || got[2].S != "wolf" {
+		t.Errorf("distinct values not sorted: %v", got)
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewDB("test")
+	db.CreateTable("a", []string{"x"})
+	db.CreateTable("b", []string{"y"})
+	if db.NumTables() != 2 {
+		t.Fatalf("tables = %d", db.NumTables())
+	}
+	if _, ok := db.Table("A"); !ok {
+		t.Error("catalog lookup should be case-insensitive")
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("creation order lost: %v", names)
+	}
+	ta, _ := db.Table("a")
+	ta.MustInsert(Int(1))
+	if db.TotalRows() != 1 {
+		t.Errorf("total rows = %d", db.TotalRows())
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{
+		Columns: []string{"name", "n"},
+		Rows: [][]Value{
+			{String("wolf"), Int(3)},
+			{String("bear"), Int(1)},
+		},
+	}
+	if r.NumRows() != 2 || r.NumCols() != 2 || r.Empty() {
+		t.Error("basic result accessors broken")
+	}
+	col := r.Column(0)
+	if col[0].S != "wolf" {
+		t.Errorf("Column extraction broken: %v", col)
+	}
+	// ColumnKey is order-insensitive.
+	r2 := &Result{Columns: r.Columns, Rows: [][]Value{r.Rows[1], r.Rows[0]}}
+	if r.ColumnKey(0) != r2.ColumnKey(0) {
+		t.Error("ColumnKey should be row-order-insensitive")
+	}
+	r.SortBy([]int{1})
+	if r.Rows[0][1].I != 1 {
+		t.Errorf("SortBy broken: %v", r.Rows)
+	}
+	c := r.Clone()
+	c.Rows[0][0] = String("changed")
+	if r.Rows[0][0].S == "changed" {
+		t.Error("Clone should deep copy")
+	}
+}
+
+func TestViewRegistry(t *testing.T) {
+	db := NewDB("v")
+	db.CreateTable("base", []string{"x"})
+	db.CreateView("db_nl.natural_base", "SELECT x AS value FROM base")
+	db.CreateView("plain_view", "SELECT x FROM base")
+	if len(db.ViewNames()) != 2 {
+		t.Fatalf("views = %v", db.ViewNames())
+	}
+	if v, ok := db.ViewLookup("db_nl", "natural_base"); !ok || v.SelectSQL == "" {
+		t.Error("qualified lookup failed")
+	}
+	if _, ok := db.ViewLookup("", "plain_view"); !ok {
+		t.Error("bare lookup failed")
+	}
+	if _, ok := db.ViewLookup("dbo", "plain_view"); ok {
+		t.Error("wrong qualifier should not resolve")
+	}
+	// Replacement keeps a single registry entry.
+	db.CreateView("plain_view", "SELECT x AS renamed FROM base")
+	if len(db.ViewNames()) != 2 {
+		t.Errorf("replacement duplicated the view: %v", db.ViewNames())
+	}
+	if !db.DropView("plain_view") {
+		t.Error("drop failed")
+	}
+	if db.DropView("plain_view") {
+		t.Error("double drop should report false")
+	}
+	if len(db.ViewNames()) != 1 {
+		t.Errorf("views after drop = %v", db.ViewNames())
+	}
+	if s := db.String(); !strings.Contains(s, "1 views") {
+		t.Errorf("String() = %q", s)
+	}
+}

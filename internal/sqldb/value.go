@@ -1,0 +1,145 @@
+// Package sqldb provides the in-memory relational storage engine that
+// substitutes for the paper's MS SQL Server instances: typed values, table
+// storage, and a database catalog that queries execute against.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates value types.
+type Kind int
+
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Value is a dynamically typed SQL value. Dates are represented as ISO-8601
+// strings, which order correctly under string comparison.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Convenience constructors.
+func Null() Value           { return Value{Kind: KindNull} }
+func Int(i int64) Value     { return Value{Kind: KindInt, I: i} }
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+func String(s string) Value { return Value{Kind: KindString, S: s} }
+func Bool(b bool) Value     { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat coerces numeric values to float64; ok is false otherwise.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	case KindBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		if f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the value for result display and comparison keys.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		// Render integral floats without the decimal point so numerically
+		// equal results compare equal across int/float columns.
+		if v.F == float64(int64(v.F)) {
+			return strconv.FormatInt(int64(v.F), 10)
+		}
+		return strconv.FormatFloat(v.F, 'g', 12, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "1"
+		}
+		return "0"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", int(v.Kind))
+	}
+}
+
+// Compare orders two values: -1, 0, or +1. NULL sorts before everything.
+// Numeric kinds compare numerically; everything else compares as
+// case-insensitive strings (matching SQL Server's default collation
+// behaviour closely enough for the benchmark's workloads).
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok && a.Kind != KindString && b.Kind != KindString {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Mixed string/number: try numeric comparison when both parse.
+	if aok && bok && (a.Kind == KindString || b.Kind == KindString) {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as := strings.ToUpper(a.String())
+	bs := strings.ToUpper(b.String())
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports SQL equality (NULL equals nothing, including NULL).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}

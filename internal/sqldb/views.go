@@ -1,0 +1,70 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// View is a named stored query. Views are stored as SQL text so the storage
+// layer stays independent of the parser; the executor parses the definition
+// at resolution time.
+type View struct {
+	// Name may be schema-qualified ("db_nl.table_deadwood").
+	Name string
+	// SelectSQL is the view's defining SELECT statement.
+	SelectSQL string
+}
+
+// CreateView registers (or replaces) a view definition.
+func (d *DB) CreateView(name, selectSQL string) {
+	if d.views == nil {
+		d.views = make(map[string]View)
+	}
+	key := strings.ToUpper(name)
+	if _, exists := d.views[key]; !exists {
+		d.viewOrder = append(d.viewOrder, name)
+	}
+	d.views[key] = View{Name: name, SelectSQL: selectSQL}
+}
+
+// ViewLookup resolves a view by qualified or bare name. When schema is
+// non-empty, only "schema.table" is tried; otherwise the bare table name.
+func (d *DB) ViewLookup(schema, table string) (View, bool) {
+	if d.views == nil {
+		return View{}, false
+	}
+	name := table
+	if schema != "" {
+		name = schema + "." + table
+	}
+	v, ok := d.views[strings.ToUpper(name)]
+	return v, ok
+}
+
+// ViewNames returns registered view names in creation order.
+func (d *DB) ViewNames() []string {
+	out := make([]string, len(d.viewOrder))
+	copy(out, d.viewOrder)
+	return out
+}
+
+// DropView removes a view; it reports whether the view existed.
+func (d *DB) DropView(name string) bool {
+	key := strings.ToUpper(name)
+	if _, ok := d.views[key]; !ok {
+		return false
+	}
+	delete(d.views, key)
+	for i, n := range d.viewOrder {
+		if strings.EqualFold(n, name) {
+			d.viewOrder = append(d.viewOrder[:i], d.viewOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// String implements a compact debug rendering of the catalog.
+func (d *DB) String() string {
+	return fmt.Sprintf("DB(%s: %d tables, %d views)", d.Name, len(d.tables), len(d.views))
+}

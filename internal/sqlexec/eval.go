@@ -1,0 +1,516 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// aggContext provides aggregate evaluation over a group's rows.
+type aggContext struct {
+	ex    *executor
+	rows  [][]*source
+	outer *env
+}
+
+// eval evaluates a scalar (non-aggregate) expression in the row environment.
+func (ex *executor) eval(e sqlparse.Expr, env *env) (sqldb.Value, error) {
+	return ex.evalWith(e, env, nil)
+}
+
+// evalAgg evaluates an expression that may contain aggregate functions.
+func (ex *executor) evalAgg(e sqlparse.Expr, env *env, agg *aggContext) (sqldb.Value, error) {
+	return ex.evalWith(e, env, agg)
+}
+
+func (ex *executor) evalWith(e sqlparse.Expr, en *env, agg *aggContext) (sqldb.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		if strings.Contains(x.Text, ".") {
+			f, err := strconv.ParseFloat(x.Text, 64)
+			if err != nil {
+				return sqldb.Null(), fmt.Errorf("sqlexec: bad number %q", x.Text)
+			}
+			return sqldb.Float(f), nil
+		}
+		i, err := strconv.ParseInt(x.Text, 10, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("sqlexec: bad number %q", x.Text)
+		}
+		return sqldb.Int(i), nil
+	case *sqlparse.StringLit:
+		return sqldb.String(x.Value), nil
+	case sqlparse.NullLit:
+		return sqldb.Null(), nil
+	case *sqlparse.ColRef:
+		if v, ok := en.lookup(x.Table, x.Column); ok {
+			return v, nil
+		}
+		return sqldb.Null(), fmt.Errorf("sqlexec: unknown column %q", colRefName(x))
+	case *sqlparse.Paren:
+		return ex.evalWith(x.Inner, en, agg)
+	case *sqlparse.Binary:
+		return ex.evalBinary(x, en, agg)
+	case *sqlparse.Not:
+		b, err := ex.evalBoolWith(x.Inner, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool(!b), nil
+	case *sqlparse.IsNull:
+		v, err := ex.evalWith(x.Inner, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		res := v.IsNull()
+		if x.Negate {
+			res = !res
+		}
+		return sqldb.Bool(res), nil
+	case *sqlparse.Between:
+		v, err := ex.evalWith(x.Inner, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		lo, err := ex.evalWith(x.Lo, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		hi, err := ex.evalWith(x.Hi, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return sqldb.Bool(false), nil
+		}
+		in := sqldb.Compare(v, lo) >= 0 && sqldb.Compare(v, hi) <= 0
+		if x.Negate {
+			in = !in
+		}
+		return sqldb.Bool(in), nil
+	case *sqlparse.InExpr:
+		return ex.evalIn(x, en, agg)
+	case *sqlparse.Exists:
+		res, err := execSelect(ex.db, x.Subquery, en)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		found := !res.Empty()
+		if x.Negate {
+			found = !found
+		}
+		return sqldb.Bool(found), nil
+	case *sqlparse.SubqueryExpr:
+		res, err := execSelect(ex.db, x.Subquery, en)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if res.Empty() || res.NumCols() == 0 {
+			return sqldb.Null(), nil
+		}
+		return res.Rows[0][0], nil
+	case *sqlparse.CaseExpr:
+		for _, w := range x.Whens {
+			ok, err := ex.evalBoolWith(w.Cond, en, agg)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			if ok {
+				return ex.evalWith(w.Then, en, agg)
+			}
+		}
+		if x.Else != nil {
+			return ex.evalWith(x.Else, en, agg)
+		}
+		return sqldb.Null(), nil
+	case *sqlparse.FuncCall:
+		if isAggregateFunc(x.Name) {
+			if agg == nil {
+				return sqldb.Null(), fmt.Errorf("sqlexec: aggregate %s outside grouped context", x.Name)
+			}
+			return ex.evalAggregate(x, agg)
+		}
+		return ex.evalScalarFunc(x, en, agg)
+	case *sqlparse.Star:
+		return sqldb.Null(), fmt.Errorf("sqlexec: * is not a scalar expression")
+	default:
+		return sqldb.Null(), fmt.Errorf("sqlexec: unsupported expression %T", e)
+	}
+}
+
+func colRefName(x *sqlparse.ColRef) string {
+	if x.Table != "" {
+		return x.Table + "." + x.Column
+	}
+	return x.Column
+}
+
+func (ex *executor) evalBinary(x *sqlparse.Binary, en *env, agg *aggContext) (sqldb.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := ex.evalBoolWith(x.Left, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if !l {
+			return sqldb.Bool(false), nil
+		}
+		r, err := ex.evalBoolWith(x.Right, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool(r), nil
+	case "OR":
+		l, err := ex.evalBoolWith(x.Left, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if l {
+			return sqldb.Bool(true), nil
+		}
+		r, err := ex.evalBoolWith(x.Right, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool(r), nil
+	}
+	l, err := ex.evalWith(x.Left, en, agg)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	r, err := ex.evalWith(x.Right, en, agg)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Bool(false), nil
+		}
+		cmp := sqldb.Compare(l, r)
+		var res bool
+		switch x.Op {
+		case "=":
+			res = cmp == 0
+		case "<>":
+			res = cmp != 0
+		case "<":
+			res = cmp < 0
+		case "<=":
+			res = cmp <= 0
+		case ">":
+			res = cmp > 0
+		case ">=":
+			res = cmp >= 0
+		}
+		return sqldb.Bool(res), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Bool(false), nil
+		}
+		return sqldb.Bool(likeMatch(l.String(), r.String())), nil
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			if x.Op == "+" {
+				// string concatenation fallback (T-SQL + on strings)
+				return sqldb.String(l.String() + r.String()), nil
+			}
+			return sqldb.Null(), fmt.Errorf("sqlexec: non-numeric operands for %s", x.Op)
+		}
+		switch x.Op {
+		case "+":
+			return numeric(l, r, lf+rf), nil
+		case "-":
+			return numeric(l, r, lf-rf), nil
+		case "*":
+			return numeric(l, r, lf*rf), nil
+		case "/":
+			if rf == 0 {
+				return sqldb.Null(), nil
+			}
+			if l.Kind == sqldb.KindInt && r.Kind == sqldb.KindInt {
+				return sqldb.Int(l.I / r.I), nil
+			}
+			return sqldb.Float(lf / rf), nil
+		default: // %
+			if rf == 0 {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Int(int64(lf) % int64(rf)), nil
+		}
+	default:
+		return sqldb.Null(), fmt.Errorf("sqlexec: unsupported operator %q", x.Op)
+	}
+}
+
+// numeric keeps integer typing when both operands are integers.
+func numeric(l, r sqldb.Value, f float64) sqldb.Value {
+	if l.Kind == sqldb.KindInt && r.Kind == sqldb.KindInt {
+		return sqldb.Int(int64(f))
+	}
+	return sqldb.Float(f)
+}
+
+func (ex *executor) evalIn(x *sqlparse.InExpr, en *env, agg *aggContext) (sqldb.Value, error) {
+	v, err := ex.evalWith(x.Inner, en, agg)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if v.IsNull() {
+		return sqldb.Bool(false), nil
+	}
+	found := false
+	if x.Subquery != nil {
+		res, err := execSelect(ex.db, x.Subquery, en)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		for _, row := range res.Rows {
+			if len(row) > 0 && sqldb.Equal(v, row[0]) {
+				found = true
+				break
+			}
+		}
+	} else {
+		for _, item := range x.List {
+			iv, err := ex.evalWith(item, en, agg)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			if sqldb.Equal(v, iv) {
+				found = true
+				break
+			}
+		}
+	}
+	if x.Negate {
+		found = !found
+	}
+	return sqldb.Bool(found), nil
+}
+
+func (ex *executor) evalBool(e sqlparse.Expr, en *env) (bool, error) {
+	return ex.evalBoolWith(e, en, nil)
+}
+
+func (ex *executor) evalBoolAgg(e sqlparse.Expr, en *env, agg *aggContext) (bool, error) {
+	return ex.evalBoolWith(e, en, agg)
+}
+
+func (ex *executor) evalBoolWith(e sqlparse.Expr, en *env, agg *aggContext) (bool, error) {
+	v, err := ex.evalWith(e, en, agg)
+	if err != nil {
+		return false, err
+	}
+	switch v.Kind {
+	case sqldb.KindBool:
+		return v.B, nil
+	case sqldb.KindNull:
+		return false, nil
+	default:
+		f, ok := v.AsFloat()
+		return ok && f != 0, nil
+	}
+}
+
+// evalAggregate computes COUNT/SUM/AVG/MIN/MAX over the group rows.
+func (ex *executor) evalAggregate(f *sqlparse.FuncCall, agg *aggContext) (sqldb.Value, error) {
+	if f.Name == "COUNT" && f.Star {
+		return sqldb.Int(int64(len(agg.rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return sqldb.Null(), fmt.Errorf("sqlexec: %s expects one argument", f.Name)
+	}
+	var vals []sqldb.Value
+	seen := map[string]struct{}{}
+	for _, r := range agg.rows {
+		e := &env{sources: r, outer: agg.outer}
+		v, err := agg.ex.eval(f.Args[0], e)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := strings.ToUpper(v.String())
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		vals = append(vals, v)
+	}
+	switch f.Name {
+	case "COUNT":
+		return sqldb.Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqldb.Null(), nil
+		}
+		var sum float64
+		allInt := true
+		for _, v := range vals {
+			fv, ok := v.AsFloat()
+			if !ok {
+				return sqldb.Null(), fmt.Errorf("sqlexec: %s over non-numeric values", f.Name)
+			}
+			if v.Kind != sqldb.KindInt {
+				allInt = false
+			}
+			sum += fv
+		}
+		if f.Name == "SUM" {
+			if allInt {
+				return sqldb.Int(int64(sum)), nil
+			}
+			return sqldb.Float(sum), nil
+		}
+		return sqldb.Float(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqldb.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := sqldb.Compare(v, best)
+			if (f.Name == "MIN" && cmp < 0) || (f.Name == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return sqldb.Null(), fmt.Errorf("sqlexec: unknown aggregate %s", f.Name)
+	}
+}
+
+// evalScalarFunc computes non-aggregate functions.
+func (ex *executor) evalScalarFunc(f *sqlparse.FuncCall, en *env, agg *aggContext) (sqldb.Value, error) {
+	args := make([]sqldb.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ex.evalWith(a, en, agg)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqlexec: %s expects %d argument(s)", f.Name, n)
+		}
+		return nil
+	}
+	switch f.Name {
+	case "YEAR", "MONTH", "DAY":
+		if err := need(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		return datePart(f.Name, args[0].String())
+	case "LEN":
+		if err := need(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Int(int64(len(args[0].String()))), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		fv, ok := args[0].AsFloat()
+		if !ok {
+			return sqldb.Null(), fmt.Errorf("sqlexec: ABS over non-numeric value")
+		}
+		if args[0].Kind == sqldb.KindInt {
+			return sqldb.Int(int64(math.Abs(fv))), nil
+		}
+		return sqldb.Float(math.Abs(fv)), nil
+	case "ROUND":
+		if len(args) < 1 || len(args) > 2 {
+			return sqldb.Null(), fmt.Errorf("sqlexec: ROUND expects 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		fv, ok := args[0].AsFloat()
+		if !ok {
+			return sqldb.Null(), fmt.Errorf("sqlexec: ROUND over non-numeric value")
+		}
+		places := 0.0
+		if len(args) == 2 {
+			places, _ = args[1].AsFloat()
+		}
+		scale := math.Pow(10, places)
+		return sqldb.Float(math.Round(fv*scale) / scale), nil
+	case "UPPER":
+		if err := need(1); err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.String(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.String(strings.ToLower(args[0].String())), nil
+	default:
+		return sqldb.Null(), fmt.Errorf("sqlexec: unknown function %s", f.Name)
+	}
+}
+
+// datePart extracts YEAR/MONTH/DAY from an ISO-8601 date string.
+func datePart(part, s string) (sqldb.Value, error) {
+	fields := strings.SplitN(strings.TrimSpace(s), "-", 3)
+	idx := map[string]int{"YEAR": 0, "MONTH": 1, "DAY": 2}[part]
+	if idx >= len(fields) {
+		return sqldb.Null(), nil
+	}
+	digits := fields[idx]
+	if i := strings.IndexAny(digits, " T"); i >= 0 {
+		digits = digits[:i]
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return sqldb.Null(), nil
+	}
+	return sqldb.Int(int64(n)), nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToUpper(s), strings.ToUpper(pattern))
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}

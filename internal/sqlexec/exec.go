@@ -1,0 +1,527 @@
+// Package sqlexec executes parsed SELECT statements against the in-memory
+// sqldb engine. Together with sqlparse and sqldb it substitutes for the
+// paper's MS SQL Server instances: gold and predicted queries are executed
+// here and their result sets compared for execution accuracy.
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// Execute runs the statement against the database.
+func Execute(db *sqldb.DB, sel *sqlparse.Select) (*sqldb.Result, error) {
+	return execSelect(db, sel, nil)
+}
+
+// ExecuteSQL parses and runs a SQL string.
+func ExecuteSQL(db *sqldb.DB, query string) (*sqldb.Result, error) {
+	sel, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, sel)
+}
+
+// --- row environments ---------------------------------------------------------
+
+// source is one bound FROM/JOIN input: a table or derived subquery with its
+// current row.
+type source struct {
+	name    string // base table name ("" for derived)
+	alias   string
+	columns []string
+	colIdx  map[string]int
+	row     []sqldb.Value
+}
+
+func newSource(name, alias string, columns []string) *source {
+	s := &source{name: name, alias: alias, columns: columns}
+	s.colIdx = make(map[string]int, len(columns))
+	for i, c := range columns {
+		s.colIdx[strings.ToUpper(c)] = i
+	}
+	return s
+}
+
+func (s *source) matchesQualifier(q string) bool {
+	if q == "" {
+		return true
+	}
+	return strings.EqualFold(q, s.alias) || strings.EqualFold(q, s.name)
+}
+
+// env is a chain of row environments; outer links support correlated
+// subqueries.
+type env struct {
+	sources []*source
+	outer   *env
+}
+
+func (e *env) lookup(qualifier, column string) (sqldb.Value, bool) {
+	for cur := e; cur != nil; cur = cur.outer {
+		for _, s := range cur.sources {
+			if !s.matchesQualifier(qualifier) {
+				continue
+			}
+			if i, ok := s.colIdx[strings.ToUpper(column)]; ok {
+				return s.row[i], true
+			}
+		}
+	}
+	return sqldb.Null(), false
+}
+
+// --- execution ------------------------------------------------------------------
+
+type executor struct {
+	db *sqldb.DB
+}
+
+func execSelect(db *sqldb.DB, sel *sqlparse.Select, outer *env) (*sqldb.Result, error) {
+	ex := &executor{db: db}
+	rows, sources, err := ex.buildRows(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE
+	if sel.Where != nil {
+		var kept [][]*source
+		for _, r := range rows {
+			e := &env{sources: r, outer: outer}
+			ok, err := ex.evalBool(sel.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if len(sel.GroupBy) > 0 || hasAggregate(sel) {
+		return ex.execGrouped(sel, rows, sources, outer)
+	}
+	return ex.execPlain(sel, rows, sources, outer)
+}
+
+// buildRows materializes the FROM/JOIN row combinations. Each row is a slice
+// of bound sources (one per table ref) whose row fields are set.
+func (ex *executor) buildRows(sel *sqlparse.Select, outer *env) ([][]*source, []*source, error) {
+	if sel.From == nil {
+		// SELECT without FROM: a single empty row.
+		return [][]*source{{}}, nil, nil
+	}
+	base, baseRows, err := ex.bindRef(sel.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := []*source{base}
+	rows := make([][]*source, 0, len(baseRows))
+	for _, r := range baseRows {
+		b := *base
+		b.row = r
+		rows = append(rows, []*source{&b})
+	}
+	for ji := range sel.Joins {
+		j := &sel.Joins[ji]
+		right, rightRows, err := ex.bindRef(&j.Right, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources = append(sources, right)
+		var next [][]*source
+		for _, left := range rows {
+			matched := false
+			for _, rr := range rightRows {
+				rb := *right
+				rb.row = rr
+				combined := append(append([]*source{}, left...), &rb)
+				e := &env{sources: combined, outer: outer}
+				ok, err := ex.evalBool(j.On, e)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					matched = true
+					next = append(next, combined)
+				}
+			}
+			if !matched && j.Kind == sqlparse.JoinLeft {
+				nullRight := *right
+				nullRight.row = make([]sqldb.Value, len(right.columns))
+				for i := range nullRight.row {
+					nullRight.row[i] = sqldb.Null()
+				}
+				next = append(next, append(append([]*source{}, left...), &nullRight))
+			}
+		}
+		rows = next
+	}
+	return rows, sources, nil
+}
+
+// bindRef resolves a table ref to a source template plus its rows. Views
+// (qualified like db_nl.X or bare) resolve by executing their definition;
+// the view name remains addressable as a qualifier inside the query.
+func (ex *executor) bindRef(ref *sqlparse.TableRef, outer *env) (*source, [][]sqldb.Value, error) {
+	if ref.Subquery != nil {
+		res, err := execSelect(ex.db, ref.Subquery, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := newSource("", ref.Alias, res.Columns)
+		return s, res.Rows, nil
+	}
+	if v, ok := ex.db.ViewLookup(ref.Schema, ref.Table); ok {
+		sel, err := sqlparse.Parse(v.SelectSQL)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sqlexec: view %s has an invalid definition: %w", v.Name, err)
+		}
+		res, err := execSelect(ex.db, sel, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sqlexec: executing view %s: %w", v.Name, err)
+		}
+		s := newSource(ref.Table, ref.Alias, res.Columns)
+		return s, res.Rows, nil
+	}
+	if ref.Schema != "" && !strings.EqualFold(ref.Schema, "dbo") {
+		return nil, nil, fmt.Errorf("sqlexec: unknown relation %s.%s", ref.Schema, ref.Table)
+	}
+	t, ok := ex.db.Table(ref.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("sqlexec: unknown table %q", ref.Table)
+	}
+	s := newSource(t.Name, ref.Alias, t.Columns)
+	return s, t.Rows, nil
+}
+
+// --- plain (ungrouped) projection ------------------------------------------------
+
+func (ex *executor) execPlain(sel *sqlparse.Select, rows [][]*source, sources []*source, outer *env) (*sqldb.Result, error) {
+	cols, err := projectionColumns(sel, sources)
+	if err != nil {
+		return nil, err
+	}
+	res := &sqldb.Result{Columns: cols}
+	var ordered []projRow
+	for _, r := range rows {
+		e := &env{sources: r, outer: outer}
+		out, err := ex.projectRow(sel, e, r)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := ex.orderKeys(sel, e, cols, out, nil)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, projRow{out: out, keys: keys})
+	}
+	sortOrdered(sel, ordered)
+	for _, r := range ordered {
+		res.Rows = append(res.Rows, r.out)
+	}
+	if sel.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	applyTop(sel, res)
+	return res, nil
+}
+
+func (ex *executor) projectRow(sel *sqlparse.Select, e *env, r []*source) ([]sqldb.Value, error) {
+	var out []sqldb.Value
+	for i := range sel.Items {
+		switch it := sel.Items[i].Expr.(type) {
+		case *sqlparse.Star:
+			for _, s := range r {
+				if it.Table != "" && !s.matchesQualifier(it.Table) {
+					continue
+				}
+				out = append(out, s.row...)
+			}
+		default:
+			v, err := ex.eval(sel.Items[i].Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// --- grouped execution --------------------------------------------------------
+
+type group struct {
+	key  string
+	rows [][]*source
+}
+
+func (ex *executor) execGrouped(sel *sqlparse.Select, rows [][]*source, sources []*source, outer *env) (*sqldb.Result, error) {
+	cols, err := projectionColumns(sel, sources)
+	if err != nil {
+		return nil, err
+	}
+	var groups []*group
+	if len(sel.GroupBy) == 0 {
+		// Global aggregation: one group containing everything (even empty).
+		groups = []*group{{rows: rows}}
+	} else {
+		byKey := map[string]*group{}
+		var order []string
+		for _, r := range rows {
+			e := &env{sources: r, outer: outer}
+			var kb strings.Builder
+			for _, ge := range sel.GroupBy {
+				v, err := ex.eval(ge, e)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(strings.ToUpper(v.String()))
+				kb.WriteByte('\x1f')
+			}
+			k := kb.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &group{key: k}
+				byKey[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, r)
+		}
+		for _, k := range order {
+			groups = append(groups, byKey[k])
+		}
+	}
+
+	res := &sqldb.Result{Columns: cols}
+	var ordered []projRow
+	for _, g := range groups {
+		var e *env
+		if len(g.rows) > 0 {
+			e = &env{sources: g.rows[0], outer: outer}
+		} else {
+			e = &env{outer: outer}
+		}
+		agg := &aggContext{ex: ex, rows: g.rows, outer: outer}
+		if sel.Having != nil {
+			ok, err := ex.evalBoolAgg(sel.Having, e, agg)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		var out []sqldb.Value
+		for i := range sel.Items {
+			v, err := ex.evalAgg(sel.Items[i].Expr, e, agg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		keys, err := ex.orderKeys(sel, e, cols, out, agg)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, projRow{out: out, keys: keys})
+	}
+	sortOrdered(sel, ordered)
+	for _, r := range ordered {
+		res.Rows = append(res.Rows, r.out)
+	}
+	if sel.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	applyTop(sel, res)
+	return res, nil
+}
+
+// projRow is a projected output row with its precomputed ORDER BY keys.
+type projRow struct {
+	out  []sqldb.Value
+	keys []sqldb.Value
+}
+
+// sortOrdered sorts projected rows by their precomputed keys.
+func sortOrdered(sel *sqlparse.Select, rows []projRow) {
+	if len(sel.OrderBy) == 0 {
+		return
+	}
+	stableSort(len(rows), func(a, b int) bool {
+		return keyLess(sel, rows[a].keys, rows[b].keys)
+	}, func(a, b int) {
+		rows[a], rows[b] = rows[b], rows[a]
+	})
+}
+
+func keyLess(sel *sqlparse.Select, a, b []sqldb.Value) bool {
+	for i := range sel.OrderBy {
+		cmp := sqldb.Compare(a[i], b[i])
+		if sel.OrderBy[i].Desc {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+// stableSort is an insertion sort (stable, no reflect) adequate for result
+// sizes in this benchmark.
+func stableSort(n int, less func(a, b int) bool, swap func(a, b int)) {
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && less(j, j-1); j-- {
+			swap(j, j-1)
+		}
+	}
+}
+
+// orderKeys computes the ORDER BY sort keys for one output row. Aliases and
+// positional matches against select items resolve to the projected values.
+func (ex *executor) orderKeys(sel *sqlparse.Select, e *env, cols []string, out []sqldb.Value, agg *aggContext) ([]sqldb.Value, error) {
+	if len(sel.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]sqldb.Value, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		// Alias or projected column reference?
+		if cr, ok := o.Expr.(*sqlparse.ColRef); ok && cr.Table == "" {
+			if idx := columnIndexByName(cols, cr.Column); idx >= 0 && idx < len(out) {
+				keys[i] = out[idx]
+				continue
+			}
+		}
+		// Positional ORDER BY (ORDER BY 1).
+		if num, ok := o.Expr.(*sqlparse.NumberLit); ok {
+			if pos, err := strconv.Atoi(num.Text); err == nil && pos >= 1 && pos <= len(out) {
+				keys[i] = out[pos-1]
+				continue
+			}
+		}
+		var v sqldb.Value
+		var err error
+		if agg != nil {
+			v, err = ex.evalAgg(o.Expr, e, agg)
+		} else {
+			v, err = ex.eval(o.Expr, e)
+		}
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func columnIndexByName(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// projectionColumns derives output column names.
+func projectionColumns(sel *sqlparse.Select, sources []*source) ([]string, error) {
+	var cols []string
+	for i := range sel.Items {
+		item := &sel.Items[i]
+		if item.Alias != "" {
+			cols = append(cols, item.Alias)
+			continue
+		}
+		switch it := item.Expr.(type) {
+		case *sqlparse.Star:
+			for _, s := range sources {
+				if it.Table != "" && !s.matchesQualifier(it.Table) {
+					continue
+				}
+				cols = append(cols, s.columns...)
+			}
+		case *sqlparse.ColRef:
+			cols = append(cols, it.Column)
+		case *sqlparse.FuncCall:
+			cols = append(cols, strings.ToLower(it.Name))
+		default:
+			cols = append(cols, fmt.Sprintf("expr%d", i+1))
+		}
+	}
+	return cols, nil
+}
+
+func distinctRows(rows [][]sqldb.Value) [][]sqldb.Value {
+	seen := map[string]struct{}{}
+	var out [][]sqldb.Value
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(strings.ToUpper(v.String()))
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func applyTop(sel *sqlparse.Select, res *sqldb.Result) {
+	if sel.Top > 0 && len(res.Rows) > sel.Top {
+		res.Rows = res.Rows[:sel.Top]
+	}
+}
+
+func hasAggregate(sel *sqlparse.Select) bool {
+	agg := false
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.FuncCall:
+			if isAggregateFunc(x.Name) {
+				agg = true
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sqlparse.Binary:
+			walk(x.Left)
+			walk(x.Right)
+		case *sqlparse.Not:
+			walk(x.Inner)
+		case *sqlparse.Paren:
+			walk(x.Inner)
+		case *sqlparse.CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		}
+	}
+	for i := range sel.Items {
+		walk(sel.Items[i].Expr)
+	}
+	walk(sel.Having)
+	return agg
+}
+
+func isAggregateFunc(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// testDB builds a small wildlife-observation database.
+func testDB() *sqldb.DB {
+	db := sqldb.NewDB("test")
+	sp := db.CreateTable("species", []string{"species_id", "name", "kind"})
+	sp.MustInsert(sqldb.Int(1), sqldb.String("gray wolf"), sqldb.String("mammal"))
+	sp.MustInsert(sqldb.Int(2), sqldb.String("bald eagle"), sqldb.String("bird"))
+	sp.MustInsert(sqldb.Int(3), sqldb.String("gopher snake"), sqldb.String("reptile"))
+	sp.MustInsert(sqldb.Int(4), sqldb.String("great owl"), sqldb.String("bird"))
+
+	obs := db.CreateTable("observations", []string{"obs_id", "species_id", "obs_date", "count", "location"})
+	obs.MustInsert(sqldb.Int(1), sqldb.Int(1), sqldb.String("2020-05-01"), sqldb.Int(2), sqldb.String("north"))
+	obs.MustInsert(sqldb.Int(2), sqldb.Int(1), sqldb.String("2021-06-11"), sqldb.Int(1), sqldb.String("south"))
+	obs.MustInsert(sqldb.Int(3), sqldb.Int(2), sqldb.String("2021-07-04"), sqldb.Int(5), sqldb.String("north"))
+	obs.MustInsert(sqldb.Int(4), sqldb.Int(3), sqldb.String("2019-04-20"), sqldb.Int(1), sqldb.String("east"))
+	obs.MustInsert(sqldb.Int(5), sqldb.Int(1), sqldb.String("2021-08-15"), sqldb.Int(4), sqldb.String("north"))
+	return db
+}
+
+func mustExec(t *testing.T, db *sqldb.DB, sql string) *sqldb.Result {
+	t.Helper()
+	res, err := ExecuteSQL(db, sql)
+	if err != nil {
+		t.Fatalf("ExecuteSQL(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSimpleScan(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT name FROM species")
+	if res.NumRows() != 4 || res.NumCols() != 1 {
+		t.Fatalf("got %dx%d", res.NumRows(), res.NumCols())
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT * FROM species WHERE kind = 'bird'")
+	if res.NumRows() != 2 || res.NumCols() != 3 {
+		t.Fatalf("got %dx%d", res.NumRows(), res.NumCols())
+	}
+	if res.Columns[0] != "species_id" {
+		t.Errorf("star should expand column names: %v", res.Columns)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT obs_id FROM observations WHERE count > 1", 3},
+		{"SELECT obs_id FROM observations WHERE count >= 1", 5},
+		{"SELECT obs_id FROM observations WHERE count = 1", 2},
+		{"SELECT obs_id FROM observations WHERE count <> 1", 3},
+		{"SELECT obs_id FROM observations WHERE count BETWEEN 2 AND 4", 2},
+		{"SELECT obs_id FROM observations WHERE location IN ('north', 'east')", 4},
+		{"SELECT obs_id FROM observations WHERE location NOT IN ('north')", 2},
+		{"SELECT obs_id FROM observations WHERE NOT location = 'north'", 2},
+		{"SELECT name FROM species WHERE name LIKE 'g%'", 3},
+		{"SELECT name FROM species WHERE name LIKE '%owl%'", 1},
+		{"SELECT name FROM species WHERE name LIKE '_ray wolf'", 1},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, c.sql)
+		if res.NumRows() != c.want {
+			t.Errorf("%s: got %d rows, want %d", c.sql, res.NumRows(), c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT s.name, o.count FROM observations o JOIN species s ON o.species_id = s.species_id WHERE s.kind = 'mammal'`)
+	if res.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	for _, r := range res.Rows {
+		if r[0].S != "gray wolf" {
+			t.Errorf("unexpected joined name: %v", r)
+		}
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	// great owl (id 4) has no observations -> null side preserved.
+	res := mustExec(t, testDB(), `SELECT s.name, o.obs_id FROM species s LEFT JOIN observations o ON s.species_id = o.species_id WHERE o.obs_id IS NULL`)
+	if res.NumRows() != 1 || res.Rows[0][0].S != "great owl" {
+		t.Fatalf("left join anti pattern failed: %+v", res.Rows)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT location, COUNT(*) AS n, SUM(count) AS total FROM observations GROUP BY location ORDER BY n DESC`)
+	if res.NumRows() != 3 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+	// north: 3 observations totalling 11.
+	if res.Rows[0][0].S != "north" || res.Rows[0][1].I != 3 || res.Rows[0][2].I != 11 {
+		t.Errorf("north group wrong: %v", res.Rows[0])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT species_id, COUNT(*) AS n FROM observations GROUP BY species_id HAVING COUNT(*) > 1`)
+	if res.NumRows() != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("having failed: %+v", res.Rows)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT COUNT(*), MAX(count), MIN(count), AVG(count) FROM observations")
+	if res.NumRows() != 1 {
+		t.Fatalf("global agg rows = %d", res.NumRows())
+	}
+	r := res.Rows[0]
+	if r[0].I != 5 || r[1].I != 5 || r[2].I != 1 {
+		t.Errorf("agg values wrong: %v", r)
+	}
+	if avg, _ := r[3].AsFloat(); avg != 2.6 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT COUNT(DISTINCT location) FROM observations")
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("count distinct = %v", res.Rows[0][0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT DISTINCT location FROM observations")
+	if res.NumRows() != 3 {
+		t.Errorf("distinct rows = %d", res.NumRows())
+	}
+}
+
+func TestTopAndOrder(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT TOP 2 obs_id FROM observations ORDER BY count DESC")
+	if res.NumRows() != 2 {
+		t.Fatalf("top rows = %d", res.NumRows())
+	}
+	if res.Rows[0][0].I != 3 || res.Rows[1][0].I != 5 {
+		t.Errorf("order/top wrong: %v", res.Rows)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT location, SUM(count) AS total FROM observations GROUP BY location ORDER BY total")
+	// totals: south 1, east 1, north 11 — north must sort last.
+	if res.Rows[2][0].S != "north" {
+		t.Errorf("order by alias wrong: %v", res.Rows)
+	}
+	if res.Rows[0][1].I != 1 || res.Rows[1][1].I != 1 {
+		t.Errorf("ascending order violated: %v", res.Rows)
+	}
+}
+
+func TestExistsCorrelated(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT name FROM species sp WHERE EXISTS (SELECT obs_id FROM observations WHERE species_id = sp.species_id)`)
+	if res.NumRows() != 3 {
+		t.Fatalf("exists rows = %d: %v", res.NumRows(), res.Rows)
+	}
+	res = mustExec(t, testDB(), `SELECT name FROM species sp WHERE NOT EXISTS (SELECT obs_id FROM observations WHERE species_id = sp.species_id)`)
+	if res.NumRows() != 1 || res.Rows[0][0].S != "great owl" {
+		t.Fatalf("not exists wrong: %v", res.Rows)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT name FROM species WHERE species_id IN (SELECT species_id FROM observations WHERE location = 'north')`)
+	if res.NumRows() != 2 {
+		t.Fatalf("in-subquery rows = %d", res.NumRows())
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT name FROM species WHERE species_id = (SELECT MAX(species_id) FROM species)`)
+	if res.NumRows() != 1 || res.Rows[0][0].S != "great owl" {
+		t.Fatalf("scalar subquery wrong: %v", res.Rows)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT AVG(total) FROM (SELECT species_id, SUM(count) AS total FROM observations GROUP BY species_id) sub`)
+	if res.NumRows() != 1 {
+		t.Fatalf("derived table failed: %v", res.Rows)
+	}
+	// totals: wolf 7, eagle 5, snake 1 -> avg 13/3
+	if avg, _ := res.Rows[0][0].AsFloat(); avg < 4.3 || avg > 4.4 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestYearFunction(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT obs_id FROM observations WHERE YEAR(obs_date) = 2021")
+	if res.NumRows() != 3 {
+		t.Errorf("year filter rows = %d", res.NumRows())
+	}
+	res = mustExec(t, testDB(), "SELECT MONTH(obs_date) FROM observations WHERE obs_id = 3")
+	if res.Rows[0][0].I != 7 {
+		t.Errorf("month = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := testDB()
+	if r := mustExec(t, db, "SELECT UPPER(name) FROM species WHERE species_id = 1"); r.Rows[0][0].S != "GRAY WOLF" {
+		t.Errorf("upper = %v", r.Rows[0][0])
+	}
+	if r := mustExec(t, db, "SELECT LEN(name) FROM species WHERE species_id = 1"); r.Rows[0][0].I != 9 {
+		t.Errorf("len = %v", r.Rows[0][0])
+	}
+	if r := mustExec(t, db, "SELECT ROUND(AVG(count), 1) FROM observations"); r.Rows[0][0].F != 2.6 {
+		t.Errorf("round(avg) = %v", r.Rows[0][0])
+	}
+	if r := mustExec(t, db, "SELECT ABS(0 - 3) FROM species WHERE species_id = 1"); r.Rows[0][0].I != 3 {
+		t.Errorf("abs = %v", r.Rows[0][0])
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	res := mustExec(t, testDB(), `SELECT name, CASE WHEN kind = 'bird' THEN 'flies' ELSE 'walks' END AS mode FROM species ORDER BY name`)
+	for _, r := range res.Rows {
+		want := "walks"
+		if strings.Contains(r[0].S, "eagle") || strings.Contains(r[0].S, "owl") {
+			want = "flies"
+		}
+		if r[1].S != want {
+			t.Errorf("case wrong for %v: %v", r[0], r[1])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT count * 2 + 1 FROM observations WHERE obs_id = 1")
+	if res.Rows[0][0].I != 5 {
+		t.Errorf("arithmetic = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, testDB(), "SELECT 7 / 2 FROM species WHERE species_id = 1")
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("int division = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, testDB(), "SELECT 7.0 / 2 FROM species WHERE species_id = 1")
+	if res.Rows[0][0].F != 3.5 {
+		t.Errorf("float division = %v", res.Rows[0][0])
+	}
+}
+
+func TestDivisionByZeroYieldsNull(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT 1 / 0 FROM species WHERE species_id = 1")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("division by zero should be NULL, got %v", res.Rows[0][0])
+	}
+}
+
+func TestUnknownTableAndColumnErrors(t *testing.T) {
+	db := testDB()
+	if _, err := ExecuteSQL(db, "SELECT x FROM nope"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := ExecuteSQL(db, "SELECT bogus_col FROM species"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := ExecuteSQL(db, "not sql at all"); err == nil {
+		t.Error("parse error should propagate")
+	}
+}
+
+func TestCompositeKeyJoin(t *testing.T) {
+	db := sqldb.NewDB("ck")
+	a := db.CreateTable("crash", []string{"caseno", "psu", "severity"})
+	a.MustInsert(sqldb.Int(1), sqldb.Int(10), sqldb.String("minor"))
+	a.MustInsert(sqldb.Int(1), sqldb.Int(20), sqldb.String("major"))
+	b := db.CreateTable("vehicle", []string{"caseno", "psu", "make"})
+	b.MustInsert(sqldb.Int(1), sqldb.Int(10), sqldb.String("ford"))
+	b.MustInsert(sqldb.Int(1), sqldb.Int(20), sqldb.String("kia"))
+	res := mustExec(t, db, `SELECT c.severity, v.make FROM crash c JOIN vehicle v ON c.caseno = v.caseno AND c.psu = v.psu`)
+	if res.NumRows() != 2 {
+		t.Fatalf("composite join rows = %d", res.NumRows())
+	}
+}
+
+func TestCountStarEqualsRowCountProperty(t *testing.T) {
+	// Property: COUNT(*) with a threshold filter equals the number of rows
+	// the same filter returns.
+	db := testDB()
+	f := func(threshold int8) bool {
+		where := " WHERE count >= " + sqldb.Int(int64(threshold)).String()
+		if threshold < 0 {
+			where = ""
+		}
+		cnt, err := ExecuteSQL(db, "SELECT COUNT(*) FROM observations"+where)
+		if err != nil {
+			return false
+		}
+		rows, err := ExecuteSQL(db, "SELECT obs_id FROM observations"+where)
+		if err != nil {
+			return false
+		}
+		return cnt.Rows[0][0].I == int64(rows.NumRows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderByPositional(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT name FROM species ORDER BY 1")
+	if res.Rows[0][0].S != "bald eagle" {
+		t.Errorf("positional order by wrong: %v", res.Rows)
+	}
+}
+
+func TestAggregateWithoutGroupOnEmptyFilter(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT COUNT(*) FROM observations WHERE count > 100")
+	if res.NumRows() != 1 || res.Rows[0][0].I != 0 {
+		t.Errorf("empty aggregate should return single zero row: %v", res.Rows)
+	}
+}
+
+func TestAggregateInsideExpression(t *testing.T) {
+	db := testDB()
+	res := mustExec(t, db, "SELECT SUM(count) + 1 FROM observations")
+	if res.Rows[0][0].I != 14 {
+		t.Errorf("SUM+1 = %v, want 14", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "SELECT location FROM observations GROUP BY location HAVING SUM(count) > 10")
+	if res.NumRows() != 1 || res.Rows[0][0].S != "north" {
+		t.Errorf("HAVING SUM wrong: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT MAX(count) - MIN(count) FROM observations")
+	if res.Rows[0][0].I != 4 {
+		t.Errorf("MAX-MIN = %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregateOutsideGroupErrors(t *testing.T) {
+	if _, err := ExecuteSQL(testDB(), "SELECT obs_id FROM observations WHERE SUM(count) > 3"); err == nil {
+		t.Error("aggregate in WHERE should error")
+	}
+}
+
+func TestStringConcatenation(t *testing.T) {
+	res := mustExec(t, testDB(), "SELECT name + '!' FROM species WHERE species_id = 1")
+	if res.Rows[0][0].S != "gray wolf!" {
+		t.Errorf("concat = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,239 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// propertyDB builds a deterministic two-table database for algebraic
+// property checks.
+func propertyDB() *sqldb.DB {
+	db := sqldb.NewDB("prop")
+	a := db.CreateTable("items", []string{"id", "grp", "val", "tag"})
+	seed := uint64(99)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	for i := 1; i <= 60; i++ {
+		a.MustInsert(
+			sqldb.Int(int64(i)),
+			sqldb.String(fmt.Sprintf("g%d", next(5))),
+			sqldb.Int(int64(next(100))),
+			sqldb.String(fmt.Sprintf("t%d", next(3))),
+		)
+	}
+	b := db.CreateTable("groups", []string{"grp", "label"})
+	for g := 0; g < 5; g++ {
+		b.MustInsert(sqldb.String(fmt.Sprintf("g%d", g)), sqldb.String(fmt.Sprintf("label %d", g)))
+	}
+	return db
+}
+
+// randQuery builds a random-but-valid SELECT over the property DB.
+func randQuery(pick func(n int) int) string {
+	cols := []string{"id", "grp", "val", "tag"}
+	proj := cols[pick(len(cols))]
+	q := "SELECT " + proj + " FROM items"
+	switch pick(4) {
+	case 0:
+		q += fmt.Sprintf(" WHERE val > %d", pick(100))
+	case 1:
+		q += fmt.Sprintf(" WHERE grp = 'g%d'", pick(5))
+	case 2:
+		q += fmt.Sprintf(" WHERE val BETWEEN %d AND %d", pick(50), 50+pick(50))
+	}
+	if pick(3) == 0 {
+		q += " ORDER BY " + proj
+	}
+	if pick(4) == 0 {
+		q = fmt.Sprintf("SELECT TOP %d %s", 1+pick(10), q[len("SELECT "):])
+	}
+	return q
+}
+
+func mkPick(seed uint64) func(int) int {
+	return func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		if n <= 0 {
+			return 0
+		}
+		return int(seed>>33) % n
+	}
+}
+
+func TestRandomQueriesNeverPanicAndParseRoundTrip(t *testing.T) {
+	db := propertyDB()
+	f := func(seed uint64) bool {
+		q := randQuery(mkPick(seed))
+		sel, err := sqlparse.Parse(q)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", q, err)
+		}
+		// Rendering must be stable and executable.
+		rendered := sel.SQL()
+		res1, err := ExecuteSQL(db, q)
+		if err != nil {
+			t.Fatalf("execute %q: %v", q, err)
+		}
+		res2, err := ExecuteSQL(db, rendered)
+		if err != nil {
+			t.Fatalf("execute rendered %q: %v", rendered, err)
+		}
+		return res1.NumRows() == res2.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctNeverIncreasesRows(t *testing.T) {
+	db := propertyDB()
+	f := func(seed uint64) bool {
+		pick := mkPick(seed)
+		base := randQuery(pick)
+		sel, _ := sqlparse.Parse(base)
+		if sel.Top > 0 {
+			return true // TOP interacts with DISTINCT ordering; skip
+		}
+		plain, err := ExecuteSQL(db, base)
+		if err != nil {
+			return false
+		}
+		distinct, err := ExecuteSQL(db, "SELECT DISTINCT"+base[len("SELECT"):])
+		if err != nil {
+			return false
+		}
+		return distinct.NumRows() <= plain.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjunctionNarrowsResults(t *testing.T) {
+	db := propertyDB()
+	f := func(threshold uint8, grp uint8) bool {
+		tv := int(threshold) % 100
+		g := int(grp) % 5
+		one, err := ExecuteSQL(db, fmt.Sprintf("SELECT id FROM items WHERE val > %d", tv))
+		if err != nil {
+			return false
+		}
+		both, err := ExecuteSQL(db, fmt.Sprintf("SELECT id FROM items WHERE val > %d AND grp = 'g%d'", tv, g))
+		if err != nil {
+			return false
+		}
+		return both.NumRows() <= one.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopBoundsRows(t *testing.T) {
+	db := propertyDB()
+	f := func(seed uint64, k uint8) bool {
+		n := 1 + int(k)%15
+		res, err := ExecuteSQL(db, fmt.Sprintf("SELECT TOP %d id FROM items ORDER BY val DESC", n))
+		if err != nil {
+			return false
+		}
+		return res.NumRows() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMatchesRowCount(t *testing.T) {
+	db := propertyDB()
+	f := func(seed uint64) bool {
+		pick := mkPick(seed)
+		base := randQuery(pick)
+		sel, _ := sqlparse.Parse(base)
+		if sel.Top > 0 || len(sel.OrderBy) > 0 {
+			return true
+		}
+		rows, err := ExecuteSQL(db, base)
+		if err != nil {
+			return false
+		}
+		where := ""
+		if i := indexOfWhere(base); i >= 0 {
+			where = base[i:]
+		}
+		cnt, err := ExecuteSQL(db, "SELECT COUNT(*) FROM items "+where)
+		if err != nil {
+			return false
+		}
+		return cnt.Rows[0][0].I == int64(rows.NumRows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func indexOfWhere(q string) int {
+	for i := 0; i+5 <= len(q); i++ {
+		if q[i:i+5] == "WHERE" {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestGroupCountsSumToTotal(t *testing.T) {
+	db := propertyDB()
+	grouped, err := ExecuteSQL(db, "SELECT grp, COUNT(*) FROM items GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, r := range grouped.Rows {
+		sum += r[1].I
+	}
+	total, _ := ExecuteSQL(db, "SELECT COUNT(*) FROM items")
+	if sum != total.Rows[0][0].I {
+		t.Errorf("group counts sum %d != total %d", sum, total.Rows[0][0].I)
+	}
+}
+
+func TestJoinSubsetOfCrossProduct(t *testing.T) {
+	db := propertyDB()
+	join, err := ExecuteSQL(db, "SELECT i.id FROM items i JOIN groups g ON i.grp = g.grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, _ := ExecuteSQL(db, "SELECT id FROM items")
+	groups, _ := ExecuteSQL(db, "SELECT grp FROM groups")
+	if join.NumRows() > items.NumRows()*groups.NumRows() {
+		t.Error("join exceeds cross product")
+	}
+	// Every item's group exists, so the equi-join preserves all items.
+	if join.NumRows() != items.NumRows() {
+		t.Errorf("FK join should preserve items: %d vs %d", join.NumRows(), items.NumRows())
+	}
+}
+
+func TestLeftJoinSupersetOfInnerJoin(t *testing.T) {
+	db := propertyDB()
+	// Add a group-less item.
+	items, _ := db.Table("items")
+	items.MustInsert(sqldb.Int(999), sqldb.String("gX"), sqldb.Int(1), sqldb.String("t0"))
+	inner, err := ExecuteSQL(db, "SELECT i.id FROM items i JOIN groups g ON i.grp = g.grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := ExecuteSQL(db, "SELECT i.id FROM items i LEFT JOIN groups g ON i.grp = g.grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.NumRows() != inner.NumRows()+1 {
+		t.Errorf("left join should keep the unmatched row: inner=%d left=%d", inner.NumRows(), left.NumRows())
+	}
+}

@@ -1,0 +1,343 @@
+package sqlparse
+
+import (
+	"sort"
+	"strings"
+)
+
+// IdentifierSet is the set of schema identifiers (table and column names)
+// referenced by a query, upper-cased as in the paper's linking analysis.
+type IdentifierSet map[string]struct{}
+
+// Add inserts a name.
+func (s IdentifierSet) Add(name string) {
+	if name != "" {
+		s[strings.ToUpper(name)] = struct{}{}
+	}
+}
+
+// Contains reports membership (case-insensitive).
+func (s IdentifierSet) Contains(name string) bool {
+	_, ok := s[strings.ToUpper(name)]
+	return ok
+}
+
+// Sorted returns the members in sorted order.
+func (s IdentifierSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Intersect returns the size of the intersection with another set.
+func (s IdentifierSet) Intersect(other IdentifierSet) int {
+	n := 0
+	for k := range s {
+		if _, ok := other[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Analysis holds the extraction results for one query.
+type Analysis struct {
+	// Tables are base table names referenced in FROM/JOIN clauses
+	// (including subqueries).
+	Tables IdentifierSet
+	// Columns are column names referenced anywhere (aliases excluded).
+	Columns IdentifierSet
+	// Aliases holds table and select-item aliases defined by the query.
+	Aliases IdentifierSet
+}
+
+// All returns the union of table and column identifiers — the QI set of the
+// paper's schema-linking metrics.
+func (a *Analysis) All() IdentifierSet {
+	out := IdentifierSet{}
+	for k := range a.Tables {
+		out[k] = struct{}{}
+	}
+	for k := range a.Columns {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Analyze extracts the identifier sets of a parsed query. Table and
+// select-item aliases are tracked so that alias references are not counted
+// as schema identifiers.
+func Analyze(sel *Select) *Analysis {
+	a := &Analysis{Tables: IdentifierSet{}, Columns: IdentifierSet{}, Aliases: IdentifierSet{}}
+	collectAliases(sel, a.Aliases)
+	collectIdentifiers(sel, a)
+	return a
+}
+
+func collectAliases(sel *Select, aliases IdentifierSet) {
+	if sel == nil {
+		return
+	}
+	for _, item := range sel.Items {
+		aliases.Add(item.Alias)
+	}
+	if sel.From != nil {
+		aliases.Add(sel.From.Alias)
+		collectAliases(sel.From.Subquery, aliases)
+	}
+	for i := range sel.Joins {
+		aliases.Add(sel.Joins[i].Right.Alias)
+		collectAliases(sel.Joins[i].Right.Subquery, aliases)
+	}
+	walkExprs(sel, func(e Expr) {
+		switch x := e.(type) {
+		case *Exists:
+			collectAliases(x.Subquery, aliases)
+		case *InExpr:
+			collectAliases(x.Subquery, aliases)
+		case *SubqueryExpr:
+			collectAliases(x.Subquery, aliases)
+		}
+	})
+}
+
+func collectIdentifiers(sel *Select, a *Analysis) {
+	if sel == nil {
+		return
+	}
+	addRef := func(ref *TableRef) {
+		if ref == nil {
+			return
+		}
+		if ref.Subquery != nil {
+			collectIdentifiers(ref.Subquery, a)
+			return
+		}
+		a.Tables.Add(ref.Table)
+	}
+	addRef(sel.From)
+	for i := range sel.Joins {
+		addRef(&sel.Joins[i].Right)
+	}
+	walkExprs(sel, func(e Expr) {
+		switch x := e.(type) {
+		case *ColRef:
+			if x.Table != "" && !a.Aliases.Contains(x.Table) {
+				a.Tables.Add(x.Table)
+			}
+			if !a.Aliases.Contains(x.Column) {
+				a.Columns.Add(x.Column)
+			}
+		case *Star:
+			if x.Table != "" && !a.Aliases.Contains(x.Table) {
+				a.Tables.Add(x.Table)
+			}
+		case *Exists:
+			collectIdentifiers(x.Subquery, a)
+		case *InExpr:
+			collectIdentifiers(x.Subquery, a)
+		case *SubqueryExpr:
+			collectIdentifiers(x.Subquery, a)
+		}
+	})
+}
+
+// walkExprs visits every expression in the statement (not descending into
+// subquery statements; callers recurse via the callback).
+func walkExprs(sel *Select, visit func(Expr)) {
+	if sel == nil {
+		return
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		visit(e)
+		switch x := e.(type) {
+		case *Binary:
+			walk(x.Left)
+			walk(x.Right)
+		case *Not:
+			walk(x.Inner)
+		case *Paren:
+			walk(x.Inner)
+		case *FuncCall:
+			for _, arg := range x.Args {
+				walk(arg)
+			}
+		case *IsNull:
+			walk(x.Inner)
+		case *Between:
+			walk(x.Inner)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InExpr:
+			walk(x.Inner)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		}
+	}
+	for _, item := range sel.Items {
+		walk(item.Expr)
+	}
+	for i := range sel.Joins {
+		walk(sel.Joins[i].On)
+	}
+	walk(sel.Where)
+	for _, g := range sel.GroupBy {
+		walk(g)
+	}
+	walk(sel.Having)
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+}
+
+// RenameIdentifiers renders the query with schema identifiers rewritten by
+// rename(kind, name); aliases defined inside the query are preserved. This
+// implements both prompt naturalization and generated-query
+// denaturalization (appendix D.4).
+func RenameIdentifiers(sel *Select, rename Renamer) string {
+	aliases := IdentifierSet{}
+	collectAliases(sel, aliases)
+	wrapped := func(kind, name string) string {
+		if aliases.Contains(name) {
+			return name
+		}
+		return rename(kind, name)
+	}
+	return sel.SQLRenamed(wrapped)
+}
+
+// TagIdentifiers renders the query with table and column identifiers encased
+// in XML-like tags, reproducing the paper's parser tagging service:
+// <TABLE_NAME>Locs</TABLE_NAME>, <COLUMN_NAME>LcTp</COLUMN_NAME>.
+func TagIdentifiers(sel *Select) string {
+	return RenameIdentifiers(sel, func(kind, name string) string {
+		if kind == "table" {
+			return "<TABLE_NAME>" + name + "</TABLE_NAME>"
+		}
+		return "<COLUMN_NAME>" + name + "</COLUMN_NAME>"
+	})
+}
+
+// ClauseFlags records which clause types a query contains — one Table 3 row
+// contribution.
+type ClauseFlags struct {
+	Top      bool
+	Function bool
+	Join     bool
+	CKJoin   bool // composite-key join: an ON clause ANDing 2+ equalities
+	Exists   bool
+	Subquery bool
+	Where    bool
+	Negation bool
+	GroupBy  bool
+	OrderBy  bool
+	Having   bool
+}
+
+// CountClauses inspects a query (including subqueries) and reports its
+// clause composition.
+func CountClauses(sel *Select) ClauseFlags {
+	var f ClauseFlags
+	countClausesInto(sel, &f)
+	return f
+}
+
+func countClausesInto(sel *Select, f *ClauseFlags) {
+	if sel == nil {
+		return
+	}
+	if sel.Top > 0 {
+		f.Top = true
+	}
+	if len(sel.Joins) > 0 {
+		f.Join = true
+		for i := range sel.Joins {
+			if equalityCount(sel.Joins[i].On) >= 2 {
+				f.CKJoin = true
+			}
+		}
+	}
+	if sel.Where != nil {
+		f.Where = true
+	}
+	if len(sel.GroupBy) > 0 {
+		f.GroupBy = true
+	}
+	if sel.Having != nil {
+		f.Having = true
+	}
+	if len(sel.OrderBy) > 0 {
+		f.OrderBy = true
+	}
+	walkExprs(sel, func(e Expr) {
+		switch x := e.(type) {
+		case *FuncCall:
+			f.Function = true
+		case *Exists:
+			f.Exists = true
+			f.Subquery = true
+			if x.Negate {
+				f.Negation = true
+			}
+			countClausesInto(x.Subquery, f)
+		case *InExpr:
+			if x.Subquery != nil {
+				f.Subquery = true
+				countClausesInto(x.Subquery, f)
+			}
+			if x.Negate {
+				f.Negation = true
+			}
+		case *SubqueryExpr:
+			f.Subquery = true
+			countClausesInto(x.Subquery, f)
+		case *Not:
+			f.Negation = true
+		case *Binary:
+			if x.Op == "<>" {
+				f.Negation = true
+			}
+		}
+	})
+	if sel.From != nil && sel.From.Subquery != nil {
+		f.Subquery = true
+		countClausesInto(sel.From.Subquery, f)
+	}
+	for i := range sel.Joins {
+		if sel.Joins[i].Right.Subquery != nil {
+			f.Subquery = true
+			countClausesInto(sel.Joins[i].Right.Subquery, f)
+		}
+	}
+}
+
+// equalityCount counts the top-level AND-ed equality comparisons of an ON
+// expression, for composite-key join detection.
+func equalityCount(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "AND":
+			return equalityCount(x.Left) + equalityCount(x.Right)
+		case "=":
+			return 1
+		}
+	case *Paren:
+		return equalityCount(x.Inner)
+	}
+	return 0
+}

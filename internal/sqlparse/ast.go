@@ -1,0 +1,390 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface {
+	sql(b *strings.Builder, r Renamer)
+}
+
+// Renamer rewrites identifiers during rendering; used for query
+// denaturalization and identifier tagging. kind is "table" or "column".
+type Renamer func(kind, name string) string
+
+// identity is the no-op renamer.
+func identity(kind, name string) string { return name }
+
+func render(n Node, r Renamer) string {
+	if r == nil {
+		r = identity
+	}
+	var b strings.Builder
+	n.sql(&b, r)
+	return b.String()
+}
+
+// --- expressions -------------------------------------------------------------
+
+// Expr is any SQL expression.
+type Expr interface{ Node }
+
+// Star is the "*" projection (optionally qualified: t.*).
+type Star struct{ Table string }
+
+func (s *Star) sql(b *strings.Builder, r Renamer) {
+	if s.Table != "" {
+		b.WriteString(r("table", s.Table))
+		b.WriteString(".*")
+		return
+	}
+	b.WriteByte('*')
+}
+
+// ColRef is a column reference, optionally qualified by a table or alias.
+type ColRef struct {
+	Table  string // may be an alias; resolved during analysis
+	Column string
+}
+
+func (c *ColRef) sql(b *strings.Builder, r Renamer) {
+	if c.Table != "" {
+		b.WriteString(r("table", c.Table))
+		b.WriteByte('.')
+	}
+	b.WriteString(r("column", c.Column))
+}
+
+// NumberLit is a numeric literal (kept as written).
+type NumberLit struct{ Text string }
+
+func (n *NumberLit) sql(b *strings.Builder, r Renamer) { b.WriteString(n.Text) }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (s *StringLit) sql(b *strings.Builder, r Renamer) {
+	b.WriteByte('\'')
+	b.WriteString(strings.ReplaceAll(s.Value, "'", "''"))
+	b.WriteByte('\'')
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (NullLit) sql(b *strings.Builder, r Renamer) { b.WriteString("NULL") }
+
+// Binary is a binary operation: comparison, arithmetic, AND/OR, LIKE.
+type Binary struct {
+	Op          string // upper-cased: =, <>, <, <=, >, >=, +, -, *, /, %, AND, OR, LIKE
+	Left, Right Expr
+}
+
+func (x *Binary) sql(b *strings.Builder, r Renamer) {
+	x.Left.sql(b, r)
+	b.WriteByte(' ')
+	b.WriteString(x.Op)
+	b.WriteByte(' ')
+	x.Right.sql(b, r)
+}
+
+// Not is logical negation.
+type Not struct{ Inner Expr }
+
+func (n *Not) sql(b *strings.Builder, r Renamer) {
+	b.WriteString("NOT ")
+	n.Inner.sql(b, r)
+}
+
+// Paren preserves explicit grouping.
+type Paren struct{ Inner Expr }
+
+func (p *Paren) sql(b *strings.Builder, r Renamer) {
+	b.WriteByte('(')
+	p.Inner.sql(b, r)
+	b.WriteByte(')')
+}
+
+// FuncCall is a function application; Star is true for COUNT(*).
+type FuncCall struct {
+	Name     string // upper-cased
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+func (f *FuncCall) sql(b *strings.Builder, r Renamer) {
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	if f.Star {
+		b.WriteByte('*')
+	} else {
+		if f.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.sql(b, r)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	Inner  Expr
+	Negate bool
+}
+
+func (x *IsNull) sql(b *strings.Builder, r Renamer) {
+	x.Inner.sql(b, r)
+	if x.Negate {
+		b.WriteString(" IS NOT NULL")
+	} else {
+		b.WriteString(" IS NULL")
+	}
+}
+
+// Between is "expr [NOT] BETWEEN lo AND hi".
+type Between struct {
+	Inner, Lo, Hi Expr
+	Negate        bool
+}
+
+func (x *Between) sql(b *strings.Builder, r Renamer) {
+	x.Inner.sql(b, r)
+	if x.Negate {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" BETWEEN ")
+	x.Lo.sql(b, r)
+	b.WriteString(" AND ")
+	x.Hi.sql(b, r)
+}
+
+// InExpr is "expr [NOT] IN (list)" or "expr [NOT] IN (subquery)".
+type InExpr struct {
+	Inner    Expr
+	List     []Expr
+	Subquery *Select
+	Negate   bool
+}
+
+func (x *InExpr) sql(b *strings.Builder, r Renamer) {
+	x.Inner.sql(b, r)
+	if x.Negate {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	if x.Subquery != nil {
+		x.Subquery.sql(b, r)
+	} else {
+		for i, e := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.sql(b, r)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// Exists is "[NOT] EXISTS (subquery)".
+type Exists struct {
+	Subquery *Select
+	Negate   bool
+}
+
+func (x *Exists) sql(b *strings.Builder, r Renamer) {
+	if x.Negate {
+		b.WriteString("NOT ")
+	}
+	b.WriteString("EXISTS (")
+	x.Subquery.sql(b, r)
+	b.WriteByte(')')
+}
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct{ Subquery *Select }
+
+func (x *SubqueryExpr) sql(b *strings.Builder, r Renamer) {
+	b.WriteByte('(')
+	x.Subquery.sql(b, r)
+	b.WriteByte(')')
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN...THEN arm.
+type CaseWhen struct{ Cond, Then Expr }
+
+func (x *CaseExpr) sql(b *strings.Builder, r Renamer) {
+	b.WriteString("CASE")
+	for _, w := range x.Whens {
+		b.WriteString(" WHEN ")
+		w.Cond.sql(b, r)
+		b.WriteString(" THEN ")
+		w.Then.sql(b, r)
+	}
+	if x.Else != nil {
+		b.WriteString(" ELSE ")
+		x.Else.sql(b, r)
+	}
+	b.WriteString(" END")
+}
+
+// --- statement structure ------------------------------------------------------
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+func (s *SelectItem) sql(b *strings.Builder, r Renamer) {
+	s.Expr.sql(b, r)
+	if s.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(s.Alias)
+	}
+}
+
+// TableRef is a FROM-clause source: a base table or a derived subquery.
+type TableRef struct {
+	// Schema is the optional schema qualifier (dbo, db_nl, ...). It is
+	// preserved verbatim so view lookups can distinguish db_nl.X from X.
+	Schema   string
+	Table    string // base table name ("" when Subquery != nil)
+	Subquery *Select
+	Alias    string
+}
+
+func (t *TableRef) sql(b *strings.Builder, r Renamer) {
+	if t.Subquery != nil {
+		b.WriteByte('(')
+		t.Subquery.sql(b, r)
+		b.WriteByte(')')
+	} else {
+		if t.Schema != "" {
+			b.WriteString(t.Schema)
+			b.WriteByte('.')
+		}
+		b.WriteString(r("table", t.Table))
+	}
+	if t.Alias != "" {
+		b.WriteByte(' ')
+		b.WriteString(t.Alias)
+	}
+}
+
+// JoinKind enumerates supported join types.
+type JoinKind int
+
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+func (k JoinKind) String() string {
+	if k == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// Join is one JOIN clause.
+type Join struct {
+	Kind  JoinKind
+	Right TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Distinct bool
+	Top      int // 0 means absent
+	Items    []SelectItem
+	From     *TableRef
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+}
+
+func (s *Select) sql(b *strings.Builder, r Renamer) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Top > 0 {
+		fmt.Fprintf(b, "TOP %d ", s.Top)
+	}
+	for i := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		s.Items[i].sql(b, r)
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		s.From.sql(b, r)
+		for i := range s.Joins {
+			b.WriteByte(' ')
+			b.WriteString(s.Joins[i].Kind.String())
+			b.WriteByte(' ')
+			s.Joins[i].Right.sql(b, r)
+			b.WriteString(" ON ")
+			s.Joins[i].On.sql(b, r)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		s.Where.sql(b, r)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.sql(b, r)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		s.Having.sql(b, r)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			o.Expr.sql(b, r)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+}
+
+// SQL renders the statement back to SQL text.
+func (s *Select) SQL() string { return render(s, nil) }
+
+// SQLRenamed renders the statement with identifiers rewritten by r.
+func (s *Select) SQLRenamed(r Renamer) string { return render(s, r) }

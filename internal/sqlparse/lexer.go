@@ -1,0 +1,152 @@
+// Package sqlparse implements a T-SQL-flavoured SQL lexer, parser, and AST
+// with the analysis services the SNAILS pipeline needs: identifier
+// extraction for schema-linking metrics, identifier tagging and renaming for
+// prompt naturalization and query denaturalization, and clause counting for
+// query-complexity reporting (Table 3).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation
+	TokParam // unused placeholder kinds kept for extension
+)
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string // keywords upper-cased; identifiers as written (brackets stripped)
+	Pos  int    // byte offset in the input
+	// Bracketed marks identifiers written as [name] or "name".
+	Bracketed bool
+}
+
+var keywords = map[string]struct{}{
+	"SELECT": {}, "FROM": {}, "WHERE": {}, "GROUP": {}, "BY": {}, "HAVING": {},
+	"ORDER": {}, "ASC": {}, "DESC": {}, "TOP": {}, "DISTINCT": {}, "AS": {},
+	"JOIN": {}, "INNER": {}, "LEFT": {}, "RIGHT": {}, "FULL": {}, "OUTER": {},
+	"ON": {}, "AND": {}, "OR": {}, "NOT": {}, "IN": {}, "EXISTS": {},
+	"BETWEEN": {}, "LIKE": {}, "IS": {}, "NULL": {}, "COUNT": {}, "SUM": {},
+	"AVG": {}, "MIN": {}, "MAX": {}, "YEAR": {}, "MONTH": {}, "DAY": {},
+	"LEN": {}, "ROUND": {}, "ABS": {}, "UPPER": {}, "LOWER": {},
+	"CASE": {}, "WHEN": {}, "THEN": {}, "ELSE": {}, "END": {},
+	"UNION": {}, "ALL": {}, "CROSS": {},
+}
+
+// IsKeyword reports whether the upper-cased word is a reserved keyword.
+func IsKeyword(s string) bool {
+	_, ok := keywords[strings.ToUpper(s)]
+	return ok
+}
+
+// Lex tokenizes the SQL text. It returns an error for unterminated strings
+// or brackets.
+func Lex(input string) ([]Tok, error) {
+	var toks []Tok
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '[':
+			j := strings.IndexByte(input[i+1:], ']')
+			if j < 0 {
+				return nil, fmt.Errorf("sqlparse: unterminated [identifier] at offset %d", i)
+			}
+			toks = append(toks, Tok{Kind: TokIdent, Text: input[i+1 : i+1+j], Pos: i, Bracketed: true})
+			i += j + 2
+		case c == '"':
+			j := strings.IndexByte(input[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", i)
+			}
+			toks = append(toks, Tok{Kind: TokIdent, Text: input[i+1 : i+1+j], Pos: i, Bracketed: true})
+			i += j + 2
+		case c == '\'':
+			// string literal with '' escaping
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, Tok{Kind: TokString, Text: sb.String(), Pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Tok{Kind: TokNumber, Text: input[i:j], Pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '@' || c == '#':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '@' || input[j] == '#' || input[j] == '$') {
+				j++
+			}
+			word := input[i:j]
+			if IsKeyword(word) {
+				toks = append(toks, Tok{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: i})
+			} else {
+				toks = append(toks, Tok{Kind: TokIdent, Text: word, Pos: i})
+			}
+			i = j
+		default:
+			// multi-char operators
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				toks = append(toks, Tok{Kind: TokOp, Text: two, Pos: i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.':
+				toks = append(toks, Tok{Kind: TokOp, Text: string(c), Pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Tok{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

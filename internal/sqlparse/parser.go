@@ -1,0 +1,634 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement (optionally terminated by ';').
+func Parse(input string) (*Select, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.at(TokEOF, "") {
+		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.cur().Text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Tok
+	pos  int
+}
+
+func (p *parser) cur() Tok  { return p.toks[p.pos] }
+func (p *parser) next() Tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	if t.Kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.Text, text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Tok, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return Tok{}, fmt.Errorf("sqlparse: expected %q, found %q at offset %d", text, p.cur().Text, p.cur().Pos)
+}
+
+// acceptName consumes an identifier token. Function-name keywords (COUNT,
+// YEAR, ...) double as identifiers in real schemas ("count" is a column of
+// the ASIS minnow survey table), so they are accepted here when they are not
+// followed by an opening parenthesis.
+func (p *parser) acceptName() (Tok, bool) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t, true
+	}
+	if t.Kind == TokKeyword {
+		if _, ok := funcKeywords[t.Text]; ok && !(p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "(") {
+			p.pos++
+			return t, true
+		}
+	}
+	return Tok{}, false
+}
+
+func (p *parser) expectName(what string) (Tok, error) {
+	if t, ok := p.acceptName(); ok {
+		return t, nil
+	}
+	return Tok{}, fmt.Errorf("sqlparse: expected %s, found %q at offset %d", what, p.cur().Text, p.cur().Pos)
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.accept(TokKeyword, "DISTINCT") {
+		sel.Distinct = true
+	}
+	if p.accept(TokKeyword, "TOP") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: TOP requires a number: %w", err)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: invalid TOP count %q", t.Text)
+		}
+		sel.Top = n
+	}
+	// select list
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = &from
+		for {
+			kind, ok := p.acceptJoin()
+			if !ok {
+				break
+			}
+			right, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Joins = append(sel.Joins, Join{Kind: kind, Right: right, On: on})
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) acceptJoin() (JoinKind, bool) {
+	switch {
+	case p.accept(TokKeyword, "JOIN"):
+		return JoinInner, true
+	case p.at(TokKeyword, "INNER"):
+		p.next()
+		p.accept(TokKeyword, "JOIN")
+		return JoinInner, true
+	case p.at(TokKeyword, "LEFT"):
+		p.next()
+		p.accept(TokKeyword, "OUTER")
+		p.accept(TokKeyword, "JOIN")
+		return JoinLeft, true
+	}
+	return JoinInner, false
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// "*" or "t.*"
+	if p.at(TokOp, "*") {
+		p.next()
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.at(TokIdent, "") {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	if p.accept(TokOp, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return ref, err
+		}
+		ref.Subquery = sub
+	} else {
+		t, err := p.expectName("table name")
+		if err != nil {
+			return ref, err
+		}
+		name := t.Text
+		// Support schema-qualified names like dbo.Table and db_nl.Table:
+		// the last component is the table name, earlier components form the
+		// schema qualifier.
+		var qualifier []string
+		for p.accept(TokOp, ".") {
+			t2, err := p.expectName("table name")
+			if err != nil {
+				return ref, err
+			}
+			qualifier = append(qualifier, name)
+			name = t2.Text
+		}
+		ref.Schema = strings.Join(qualifier, ".")
+		ref.Table = name
+	}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = t.Text
+	} else if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or     := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | predicate
+//	pred   := additive ((=|<>|<|<=|>|>=|LIKE) additive
+//	        | IS [NOT] NULL | [NOT] BETWEEN .. AND ..
+//	        | [NOT] IN (..))?
+//	additive := mult ((+|-) mult)*
+//	mult   := primary ((*|/|%) primary)*
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.at(TokKeyword, "EXISTS") {
+		p.next()
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Subquery: sub}, nil
+	}
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// comparison operators
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.at(TokOp, op) {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			canon := op
+			if canon == "!=" {
+				canon = "<>"
+			}
+			return &Binary{Op: canon, Left: left, Right: right}, nil
+		}
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "LIKE", Left: left, Right: right}, nil
+	}
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Inner: left, Negate: neg}, nil
+	}
+	neg := false
+	if p.at(TokKeyword, "NOT") {
+		// lookahead for NOT BETWEEN / NOT IN / NOT LIKE
+		save := p.pos
+		p.next()
+		switch {
+		case p.at(TokKeyword, "BETWEEN"), p.at(TokKeyword, "IN"):
+			neg = true
+		case p.accept(TokKeyword, "LIKE"):
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Not{Inner: &Binary{Op: "LIKE", Left: left, Right: right}}, nil
+		default:
+			p.pos = save
+			return left, nil
+		}
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{Inner: left, Lo: lo, Hi: hi, Negate: neg}, nil
+	}
+	if p.accept(TokKeyword, "IN") {
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Inner: left, Negate: neg}
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Subquery = sub
+		} else {
+			for {
+				e, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokOp, "+"), p.at(TokOp, "-"):
+			op := p.next().Text
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: op, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokOp, "*"), p.at(TokOp, "/"), p.at(TokOp, "%"):
+			op := p.next().Text
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: op, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+var funcKeywords = map[string]struct{}{
+	"COUNT": {}, "SUM": {}, "AVG": {}, "MIN": {}, "MAX": {},
+	"YEAR": {}, "MONTH": {}, "DAY": {}, "LEN": {}, "ROUND": {}, "ABS": {},
+	"UPPER": {}, "LOWER": {},
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumberLit{Text: t.Text}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{Value: t.Text}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return NullLit{}, nil
+	case t.Kind == TokKeyword && t.Text == "CASE":
+		return p.parseCase()
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Subquery: sub}, nil
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &Paren{Inner: inner}, nil
+	case t.Kind == TokOp && t.Text == "-":
+		p.next()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "-", Left: &NumberLit{Text: "0"}, Right: inner}, nil
+	case t.Kind == TokKeyword:
+		if _, isFunc := funcKeywords[t.Text]; isFunc {
+			if p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "(" {
+				return p.parseFuncCall(t.Text)
+			}
+			// A function keyword not followed by "(" is a plain column
+			// reference (e.g. the ASIS "count" column, the NYSED "YEAR").
+			p.next()
+			if p.accept(TokOp, ".") {
+				t2, err := p.expectName("column name")
+				if err != nil {
+					return nil, err
+				}
+				return &ColRef{Table: t.Text, Column: t2.Text}, nil
+			}
+			return &ColRef{Column: t.Text}, nil
+		}
+		return nil, fmt.Errorf("sqlparse: unexpected keyword %q at offset %d", t.Text, t.Pos)
+	case t.Kind == TokIdent:
+		p.next()
+		name := t.Text
+		// Function call written as identifier(...)?
+		if !t.Bracketed && p.at(TokOp, "(") {
+			return p.parseFuncCallNamed(strings.ToUpper(name))
+		}
+		if p.accept(TokOp, ".") {
+			if p.at(TokOp, "*") {
+				p.next()
+				return &Star{Table: name}, nil
+			}
+			t2, err := p.expectName("column name")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Column: t2.Text}, nil
+		}
+		return &ColRef{Column: name}, nil
+	default:
+		return nil, fmt.Errorf("sqlparse: unexpected token %q at offset %d", t.Text, t.Pos)
+	}
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // consume keyword
+	return p.parseFuncCallNamed(name)
+}
+
+func (p *parser) parseFuncCallNamed(name string) (Expr, error) {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	f := &FuncCall{Name: name}
+	if p.accept(TokOp, "*") {
+		f.Star = true
+	} else if !p.at(TokOp, ")") {
+		if p.accept(TokKeyword, "DISTINCT") {
+			f.Distinct = true
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	c := &CaseExpr{}
+	for p.accept(TokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("sqlparse: CASE requires at least one WHEN")
+	}
+	return c, nil
+}

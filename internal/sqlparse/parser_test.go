@@ -1,0 +1,307 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, sql string) *Select {
+	t.Helper()
+	sel, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustParse(t, "SELECT species, count FROM observations")
+	if len(sel.Items) != 2 || sel.From == nil || sel.From.Table != "observations" {
+		t.Fatalf("bad parse: %+v", sel)
+	}
+}
+
+func TestParsePaperExampleASIS(t *testing.T) {
+	// ASIS question 8 from the paper appendix.
+	sql := `SELECT stage, sum(count) minnowCountSum
+	FROM tblFieldDataMinnowTrapSurveys
+	WHERE locationID = 'ASIS_HERPS_20H'
+	GROUP BY stage;`
+	sel := mustParse(t, sql)
+	if sel.Items[1].Alias != "minnowCountSum" {
+		t.Errorf("implicit alias lost: %+v", sel.Items[1])
+	}
+	f, ok := sel.Items[1].Expr.(*FuncCall)
+	if !ok || f.Name != "SUM" {
+		t.Errorf("sum() not parsed as function: %+v", sel.Items[1].Expr)
+	}
+	if len(sel.GroupBy) != 1 {
+		t.Errorf("group by lost")
+	}
+	a := Analyze(sel)
+	if !a.Tables.Contains("tblFieldDataMinnowTrapSurveys") {
+		t.Errorf("table missing: %v", a.Tables.Sorted())
+	}
+	if !a.Columns.Contains("stage") || !a.Columns.Contains("count") || !a.Columns.Contains("locationID") {
+		t.Errorf("columns missing: %v", a.Columns.Sorted())
+	}
+	if a.Columns.Contains("minnowCountSum") {
+		t.Error("alias should not be counted as a column")
+	}
+}
+
+func TestParsePaperExampleSBOD(t *testing.T) {
+	sql := `SELECT StatusOfP, StatusOfE, StreetNoW, StreetNoH
+	FROM OHEM employees
+	JOIN HTM1 teamMembers ON employees.empId = teamMembers.empID
+	JOIN OHTM emplTeams ON teamMembers.teamID = emplTeams.teamID
+	WHERE emplTeams.name = 'Purchasing'`
+	sel := mustParse(t, sql)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	a := Analyze(sel)
+	for _, tab := range []string{"OHEM", "HTM1", "OHTM"} {
+		if !a.Tables.Contains(tab) {
+			t.Errorf("table %s missing: %v", tab, a.Tables.Sorted())
+		}
+	}
+	// Aliases must not appear as tables.
+	for _, alias := range []string{"employees", "teamMembers", "emplTeams"} {
+		if a.Tables.Contains(alias) {
+			t.Errorf("alias %s counted as table", alias)
+		}
+	}
+}
+
+func TestParseExistsNotExists(t *testing.T) {
+	// ATBI question 30 shape from the appendix.
+	sql := `SELECT species, CommonName FROM tlu_PlantSpecies sp
+	WHERE EXISTS( SELECT overstory_id FROM tbl_Overstory WHERE SpCode = sp.SpeciesCode )
+	AND NOT EXISTS ( SELECT Seedlings_ID FROM tbl_Seedlings WHERE SpCode = sp.SpeciesCode )`
+	sel := mustParse(t, sql)
+	flags := CountClauses(sel)
+	if !flags.Exists || !flags.Subquery || !flags.Negation || !flags.Where {
+		t.Errorf("clause flags wrong: %+v", flags)
+	}
+	a := Analyze(sel)
+	for _, want := range []string{"TLU_PLANTSPECIES", "TBL_OVERSTORY", "TBL_SEEDLINGS"} {
+		if !a.Tables.Contains(want) {
+			t.Errorf("missing table %s: %v", want, a.Tables.Sorted())
+		}
+	}
+	for _, want := range []string{"SPECIES", "COMMONNAME", "SPCODE", "OVERSTORY_ID", "SEEDLINGS_ID", "SPECIESCODE"} {
+		if !a.Columns.Contains(want) {
+			t.Errorf("missing column %s: %v", want, a.Columns.Sorted())
+		}
+	}
+}
+
+func TestParseTopDistinct(t *testing.T) {
+	sel := mustParse(t, "SELECT DISTINCT TOP 5 name FROM locations ORDER BY name DESC")
+	if !sel.Distinct || sel.Top != 5 {
+		t.Fatalf("distinct/top lost: %+v", sel)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatalf("order by lost: %+v", sel.OrderBy)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*) FROM obs WHERE x > 1")
+	f := sel.Items[0].Expr.(*FuncCall)
+	if !f.Star || f.Name != "COUNT" {
+		t.Fatalf("count(*) mis-parsed: %+v", f)
+	}
+}
+
+func TestParseBracketedIdentifiers(t *testing.T) {
+	sel := mustParse(t, "SELECT [LOC_TYPE], COUNT(*) AS cnt FROM [TBL_LOCATIONS] WHERE [COUNTY] = 'SHASTA COUNTY' GROUP BY [LOC_TYPE]")
+	a := Analyze(sel)
+	if !a.Tables.Contains("TBL_LOCATIONS") || !a.Columns.Contains("LOC_TYPE") || !a.Columns.Contains("COUNTY") {
+		t.Errorf("bracketed identifiers mishandled: %v %v", a.Tables.Sorted(), a.Columns.Sorted())
+	}
+}
+
+func TestParseInSubqueryAndBetween(t *testing.T) {
+	sql := `SELECT name FROM species WHERE code IN (SELECT sp FROM sightings WHERE yr BETWEEN 2000 AND 2020) AND kind NOT IN ('x','y')`
+	sel := mustParse(t, sql)
+	flags := CountClauses(sel)
+	if !flags.Subquery || !flags.Negation {
+		t.Errorf("flags: %+v", flags)
+	}
+}
+
+func TestParseLeftJoin(t *testing.T) {
+	sel := mustParse(t, "SELECT a.x FROM t1 a LEFT JOIN t2 b ON a.id = b.id WHERE b.id IS NULL")
+	if sel.Joins[0].Kind != JoinLeft {
+		t.Error("left join kind lost")
+	}
+	flags := CountClauses(sel)
+	if flags.CKJoin {
+		t.Error("single-equality ON is not a composite key join")
+	}
+}
+
+func TestCompositeKeyJoinDetection(t *testing.T) {
+	sel := mustParse(t, "SELECT v.x FROM crash c JOIN vehicle v ON c.caseno = v.caseno AND c.psu = v.psu")
+	flags := CountClauses(sel)
+	if !flags.CKJoin {
+		t.Error("composite-key join not detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"UPDATE t SET x = 1",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT a FROM t WHERE x = 'unterminated",
+		"SELECT [broken FROM t",
+		"SELECT * FROM t; extra",
+		"SELECT TOP abc * FROM t",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRoundTripRendersParseably(t *testing.T) {
+	queries := []string{
+		"SELECT species, COUNT(*) AS n FROM obs WHERE yr >= 2000 GROUP BY species HAVING COUNT(*) > 3 ORDER BY n DESC",
+		"SELECT TOP 10 a.x, b.y FROM t1 a JOIN t2 b ON a.id = b.id AND a.k = b.k WHERE a.x <> 5",
+		"SELECT DISTINCT name FROM sp WHERE EXISTS (SELECT 1 FROM ob WHERE ob.code = sp.code)",
+		"SELECT x FROM t WHERE c LIKE 'abc%' AND d IS NOT NULL",
+		"SELECT CASE WHEN x > 1 THEN 'hi' ELSE 'lo' END AS lvl FROM t",
+		"SELECT AVG(v) FROM (SELECT v FROM raw WHERE v > 0) sub",
+		"SELECT x FROM t WHERE NOT (a = 1 OR b = 2)",
+	}
+	for _, q := range queries {
+		sel := mustParse(t, q)
+		rendered := sel.SQL()
+		sel2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-parse of rendered %q failed: %v", rendered, err)
+			continue
+		}
+		if sel2.SQL() != rendered {
+			t.Errorf("render not stable:\n first=%q\nsecond=%q", rendered, sel2.SQL())
+		}
+	}
+}
+
+func TestRenameIdentifiersPreservesAliases(t *testing.T) {
+	sql := "SELECT LcTp, COUNT(*) AS LocationCount FROM Locs WHERE Cty = 'Shasta County' GROUP BY LcTp"
+	sel := mustParse(t, sql)
+	mapping := map[string]string{
+		"LCTP": "LOC_TYPE", "LOCS": "TBL_LOCATIONS", "CTY": "COUNTY",
+	}
+	out := RenameIdentifiers(sel, func(kind, name string) string {
+		if v, ok := mapping[strings.ToUpper(name)]; ok {
+			return v
+		}
+		return name
+	})
+	for _, want := range []string{"LOC_TYPE", "TBL_LOCATIONS", "COUNTY", "LocationCount"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("denaturalized query missing %q: %s", want, out)
+		}
+	}
+	if strings.Contains(out, "LcTp") || strings.Contains(out, "Locs ") {
+		t.Errorf("modified identifiers remain: %s", out)
+	}
+	// The denaturalized query must itself parse.
+	if _, err := Parse(out); err != nil {
+		t.Errorf("denaturalized output unparseable: %v\n%s", err, out)
+	}
+}
+
+func TestRenameDoesNotTouchStringLiterals(t *testing.T) {
+	// Substring collisions inside literals were the paper's motivation for
+	// parser-based (not string-based) replacement.
+	sql := "SELECT x FROM Locs WHERE name = 'Locs'"
+	sel := mustParse(t, sql)
+	out := RenameIdentifiers(sel, func(kind, name string) string {
+		if strings.EqualFold(name, "Locs") {
+			return "TBL_LOCATIONS"
+		}
+		return name
+	})
+	if !strings.Contains(out, "'Locs'") {
+		t.Errorf("literal mutated: %s", out)
+	}
+	if !strings.Contains(out, "FROM TBL_LOCATIONS") {
+		t.Errorf("table not renamed: %s", out)
+	}
+}
+
+func TestTagIdentifiers(t *testing.T) {
+	sel := mustParse(t, "SELECT LcTp FROM Locs")
+	out := TagIdentifiers(sel)
+	if !strings.Contains(out, "<TABLE_NAME>Locs</TABLE_NAME>") ||
+		!strings.Contains(out, "<COLUMN_NAME>LcTp</COLUMN_NAME>") {
+		t.Errorf("tagging wrong: %s", out)
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	sel := mustParse(t, "SELECT sp.* FROM species sp")
+	a := Analyze(sel)
+	if a.Tables.Contains("sp") {
+		t.Error("alias qualifier of star counted as table")
+	}
+}
+
+func TestSchemaQualifiedTable(t *testing.T) {
+	sel := mustParse(t, "SELECT x FROM dbo.Locations")
+	a := Analyze(sel)
+	if !a.Tables.Contains("Locations") {
+		t.Errorf("schema-qualified table mis-parsed: %v", a.Tables.Sorted())
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	sel := mustParse(t, "-- question 8\nSELECT x FROM t -- trailing\n")
+	if sel.From.Table != "t" {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestAnalyzeAllUnion(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE b = 1")
+	all := Analyze(sel).All()
+	if len(all) != 3 {
+		t.Errorf("All() = %v", all.Sorted())
+	}
+	if all.Intersect(all) != 3 {
+		t.Error("self-intersection should equal size")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Fuzz-style: Parse on arbitrary input must return an error, never panic.
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		_, _ = Parse("SELECT " + s)
+		_, _ = Parse("SELECT a FROM t WHERE " + s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Lex(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package stats provides the statistical machinery of the paper's analysis:
+// Kendall tau-b rank correlation with significance testing, means,
+// confidence intervals, and distribution summaries.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// TauResult holds a Kendall tau-b correlation and its significance.
+type TauResult struct {
+	Tau    float64
+	P      float64 // two-sided p-value, normal approximation
+	N      int
+	ZScore float64
+}
+
+// ErrTooFewObservations is returned when fewer than two pairs are supplied.
+var ErrTooFewObservations = errors.New("stats: need at least 2 observations")
+
+// KendallTau computes the tau-b rank correlation between x and y (handling
+// ties), with a two-sided p-value from the normal approximation — the same
+// statistic the paper reports in Figures 31-47.
+func KendallTau(x, y []float64) (TauResult, error) {
+	if len(x) != len(y) {
+		return TauResult{}, errors.New("stats: mismatched lengths")
+	}
+	n := len(x)
+	if n < 2 {
+		return TauResult{}, ErrTooFewObservations
+	}
+	var concordant, discordant int64
+	// tie counts per distinct value
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(x[j] - x[i])
+			dy := sign(y[j] - y[i])
+			s := dx * dy
+			if s > 0 {
+				concordant++
+			} else if s < 0 {
+				discordant++
+			}
+		}
+	}
+	n0 := int64(n) * int64(n-1) / 2
+	n1 := tiePairs(x)
+	n2 := tiePairs(y)
+	denom := math.Sqrt(float64(n0-n1)) * math.Sqrt(float64(n0-n2))
+	if denom == 0 {
+		// One of the variables is constant: correlation undefined; report 0
+		// with p=1 as scipy does for degenerate inputs.
+		return TauResult{Tau: 0, P: 1, N: n}, nil
+	}
+	tau := float64(concordant-discordant) / denom
+
+	// Normal approximation of the null distribution of S = C - D with tie
+	// correction (the standard tau-b significance test).
+	v0 := float64(n) * float64(n-1) * float64(2*n+5)
+	vt := tieVariance(x)
+	vu := tieVariance(y)
+	v1 := float64(tieSum1(x)) * float64(tieSum1(y)) / (2 * float64(n) * float64(n-1))
+	v2 := float64(tieSum2(x)) * float64(tieSum2(y)) /
+		(9 * float64(n) * float64(n-1) * float64(n-2))
+	variance := (v0 - vt - vu) / 18
+	if n > 2 {
+		variance += v1 + v2
+	}
+	if variance <= 0 {
+		return TauResult{Tau: tau, P: 1, N: n}, nil
+	}
+	z := float64(concordant-discordant) / math.Sqrt(variance)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TauResult{Tau: tau, P: p, N: n, ZScore: z}, nil
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// tieGroups returns the sizes of groups of tied values.
+func tieGroups(v []float64) []int64 {
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	var groups []int64
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if j-i > 1 {
+			groups = append(groups, int64(j-i))
+		}
+		i = j
+	}
+	return groups
+}
+
+func tiePairs(v []float64) int64 {
+	var n int64
+	for _, t := range tieGroups(v) {
+		n += t * (t - 1) / 2
+	}
+	return n
+}
+
+func tieVariance(v []float64) float64 {
+	var s float64
+	for _, t := range tieGroups(v) {
+		s += float64(t) * float64(t-1) * float64(2*t+5)
+	}
+	return s
+}
+
+func tieSum1(v []float64) int64 {
+	var s int64
+	for _, t := range tieGroups(v) {
+		s += t * (t - 1)
+	}
+	return s
+}
+
+func tieSum2(v []float64) int64 {
+	var s int64
+	for _, t := range tieGroups(v) {
+		s += t * (t - 1) * (t - 2)
+	}
+	return s
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(v []float64) float64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// MeanCI returns the mean and its half-width confidence interval at the
+// given confidence level (e.g. 0.95), using the normal approximation — the
+// error bars of Figure 9.
+func MeanCI(v []float64, confidence float64) (mean, halfWidth float64) {
+	mean = Mean(v)
+	if len(v) < 2 {
+		return mean, 0
+	}
+	z := NormalQuantile(0.5 + confidence/2)
+	halfWidth = z * StdDev(v) / math.Sqrt(float64(len(v)))
+	return mean, halfWidth
+}
+
+// NormalQuantile is the inverse standard normal CDF (Acklam's rational
+// approximation; max relative error ~1e-9).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Percentile returns the q-th percentile (0..1) using linear interpolation.
+func Percentile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF returns, for each threshold, the fraction of values <= threshold —
+// used by the cumulative-distribution figures (Figure 26/27).
+func CDF(values []float64, thresholds []float64) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		idx := sort.SearchFloat64s(sorted, t+1e-12)
+		if len(sorted) == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(idx) / float64(len(sorted))
+	}
+	return out
+}
+
+// BoxStats summarizes a distribution for box-and-whisker reporting.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Box computes box-plot statistics.
+func Box(v []float64) BoxStats {
+	if len(v) == 0 {
+		return BoxStats{}
+	}
+	return BoxStats{
+		Min:    Percentile(v, 0),
+		Q1:     Percentile(v, 0.25),
+		Median: Percentile(v, 0.5),
+		Q3:     Percentile(v, 0.75),
+		Max:    Percentile(v, 1),
+		Mean:   Mean(v),
+		N:      len(v),
+	}
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	r, err := KendallTau(x, up)
+	if err != nil || math.Abs(r.Tau-1) > 1e-9 {
+		t.Errorf("perfect concordance: tau=%v err=%v", r.Tau, err)
+	}
+	r, err = KendallTau(x, down)
+	if err != nil || math.Abs(r.Tau+1) > 1e-9 {
+		t.Errorf("perfect discordance: tau=%v err=%v", r.Tau, err)
+	}
+}
+
+func TestKendallTauIndependent(t *testing.T) {
+	// Deterministic pseudo-random independent sequences.
+	var x, y []float64
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>33) / float64(1<<31)
+	}
+	for i := 0; i < 400; i++ {
+		x = append(x, next())
+		y = append(y, next())
+	}
+	r, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Tau) > 0.08 {
+		t.Errorf("independent data should have tau near 0: %v", r.Tau)
+	}
+	if r.P < 0.05 {
+		t.Errorf("independent data should not be significant: p=%v", r.P)
+	}
+}
+
+func TestKendallTauSignificance(t *testing.T) {
+	// Strongly correlated data with noise must be significant.
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+float64(i%7))
+	}
+	r, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tau < 0.8 || r.P > 1e-10 {
+		t.Errorf("expected strong significant correlation: tau=%v p=%v", r.Tau, r.P)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// Binary outcome vs 3-level predictor — the shape of the paper's
+	// naturalness/accuracy correlations. Ties must not panic or skew out of
+	// bounds.
+	x := []float64{0, 0, 0.5, 0.5, 1, 1, 1, 0, 0.5, 1}
+	y := []float64{0, 0, 0, 1, 1, 1, 1, 0, 1, 0}
+	r, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tau < -1 || r.Tau > 1 {
+		t.Errorf("tau out of bounds with ties: %v", r.Tau)
+	}
+	if r.Tau <= 0 {
+		t.Errorf("expected positive correlation: %v", r.Tau)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4}
+	r, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tau != 0 || r.P != 1 {
+		t.Errorf("constant input should yield tau=0 p=1, got %+v", r)
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Error("single observation should error")
+	}
+	if _, err := KendallTau([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestKendallTauBounds(t *testing.T) {
+	f := func(pairs [12]struct{ X, Y int8 }) bool {
+		var x, y []float64
+		for _, p := range pairs {
+			x = append(x, float64(p.X))
+			y = append(y, float64(p.Y))
+		}
+		r, err := KendallTau(x, y)
+		if err != nil {
+			return false
+		}
+		return r.Tau >= -1.0001 && r.Tau <= 1.0001 && r.P >= 0 && r.P <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallTauSymmetry(t *testing.T) {
+	x := []float64{1, 3, 2, 5, 4, 6, 8, 7}
+	y := []float64{2, 1, 4, 3, 6, 5, 8, 7}
+	a, _ := KendallTau(x, y)
+	b, _ := KendallTau(y, x)
+	if math.Abs(a.Tau-b.Tau) > 1e-12 {
+		t.Errorf("tau should be symmetric: %v vs %v", a.Tau, b.Tau)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.99} {
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); math.Abs(back-p) > 1e-6 {
+			t.Errorf("quantile/CDF round trip at %v: z=%v back=%v", p, z, back)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if sd := StdDev(v); math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("stddev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty inputs should return 0")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i % 10)
+	}
+	mean, hw := MeanCI(v, 0.95)
+	if mean != 4.5 {
+		t.Errorf("mean = %v", mean)
+	}
+	if hw <= 0 || hw > 1 {
+		t.Errorf("95%% CI half width implausible: %v", hw)
+	}
+}
+
+func TestPercentileAndBox(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(v, 0.5); p != 5.5 {
+		t.Errorf("median = %v", p)
+	}
+	if p := Percentile(v, 0); p != 1 {
+		t.Errorf("min = %v", p)
+	}
+	if p := Percentile(v, 1); p != 10 {
+		t.Errorf("max = %v", p)
+	}
+	b := Box(v)
+	if b.Min != 1 || b.Max != 10 || b.Median != 5.5 || b.N != 10 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 >= b.Median || b.Median >= b.Q3 {
+		t.Errorf("quartile ordering broken: %+v", b)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []float64{1, 2, 2, 3, 4}
+	got := CDF(vals, []float64{0, 2, 4, 10})
+	want := []float64{0, 0.6, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw [10]float64, thresholds [5]float64) bool {
+		vals := raw[:]
+		ths := thresholds[:]
+		// sort thresholds ascending
+		for i := 0; i < len(ths); i++ {
+			for j := i + 1; j < len(ths); j++ {
+				if ths[j] < ths[i] {
+					ths[i], ths[j] = ths[j], ths[i]
+				}
+			}
+		}
+		cdf := CDF(vals, ths)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

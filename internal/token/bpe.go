@@ -1,0 +1,208 @@
+// Package token implements a byte-pair-encoding (BPE) subword tokenizer
+// trained offline on the embedded English corpus. It substitutes for the
+// model tokenizers (tiktoken, CodeLlama SentencePiece) the paper uses in its
+// appendix-B.9 token analyses: natural identifiers decompose into few
+// in-vocabulary tokens while abbreviated identifiers shatter into many
+// subtokens, raising their token-to-character ratio.
+package token
+
+import (
+	"sort"
+	"strings"
+)
+
+// pair is an adjacent symbol pair considered for merging during training.
+type pair struct{ left, right string }
+
+// Tokenizer is a trained BPE tokenizer. It is immutable after Train and safe
+// for concurrent use.
+type Tokenizer struct {
+	name   string
+	ranks  map[pair]int // merge priority: lower rank merges first
+	vocab  map[string]struct{}
+	merges int
+}
+
+// Train learns merge rules from the corpus. The corpus is a whitespace
+// separated list of words; word frequency is taken as the number of times a
+// word appears. numMerges bounds the learned vocabulary size.
+func Train(name, corpus string, numMerges int) *Tokenizer {
+	freq := make(map[string]int)
+	for _, w := range strings.Fields(strings.ToLower(corpus)) {
+		freq[w]++
+	}
+	// Represent each word as a sequence of symbols ending in the word
+	// boundary marker.
+	type entry struct {
+		syms []string
+		n    int
+	}
+	entries := make([]entry, 0, len(freq))
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic training order
+	for _, w := range words {
+		syms := make([]string, 0, len(w)+1)
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		syms = append(syms, "</w>")
+		entries = append(entries, entry{syms: syms, n: freq[w]})
+	}
+
+	t := &Tokenizer{
+		name:   name,
+		ranks:  make(map[pair]int, numMerges),
+		vocab:  make(map[string]struct{}),
+		merges: numMerges,
+	}
+	for i := 0; i < numMerges; i++ {
+		counts := make(map[pair]int)
+		for _, e := range entries {
+			for j := 0; j+1 < len(e.syms); j++ {
+				counts[pair{e.syms[j], e.syms[j+1]}] += e.n
+			}
+		}
+		if len(counts) == 0 {
+			break
+		}
+		best := pair{}
+		bestN := -1
+		for p, n := range counts {
+			if n > bestN || (n == bestN && lessPair(p, best)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // nothing left worth merging
+		}
+		t.ranks[best] = i
+		merged := best.left + best.right
+		t.vocab[merged] = struct{}{}
+		for k := range entries {
+			entries[k].syms = applyMerge(entries[k].syms, best, merged)
+		}
+	}
+	return t
+}
+
+func lessPair(a, b pair) bool {
+	if a.left != b.left {
+		return a.left < b.left
+	}
+	return a.right < b.right
+}
+
+func applyMerge(syms []string, p pair, merged string) []string {
+	out := syms[:0]
+	i := 0
+	for i < len(syms) {
+		if i+1 < len(syms) && syms[i] == p.left && syms[i+1] == p.right {
+			out = append(out, merged)
+			i += 2
+			continue
+		}
+		out = append(out, syms[i])
+		i++
+	}
+	return out
+}
+
+// Name returns the tokenizer's display name.
+func (t *Tokenizer) Name() string { return t.name }
+
+// Merges returns the number of merge rules requested at training time.
+func (t *Tokenizer) Merges() int { return t.merges }
+
+// VocabSize returns the number of learned multi-character symbols.
+func (t *Tokenizer) VocabSize() int { return len(t.vocab) }
+
+// EncodeWord tokenizes a single lower-case word into BPE subtokens.
+func (t *Tokenizer) EncodeWord(word string) []string {
+	if word == "" {
+		return nil
+	}
+	syms := make([]string, 0, len(word)+1)
+	for _, r := range strings.ToLower(word) {
+		syms = append(syms, string(r))
+	}
+	syms = append(syms, "</w>")
+	for {
+		bestRank := int(^uint(0) >> 1)
+		bestIdx := -1
+		for j := 0; j+1 < len(syms); j++ {
+			if r, ok := t.ranks[pair{syms[j], syms[j+1]}]; ok && r < bestRank {
+				bestRank, bestIdx = r, j
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		merged := syms[bestIdx] + syms[bestIdx+1]
+		syms = append(syms[:bestIdx], append([]string{merged}, syms[bestIdx+2:]...)...)
+	}
+	// Strip the boundary marker from the trailing token for reporting.
+	out := make([]string, 0, len(syms))
+	for _, s := range syms {
+		s = strings.TrimSuffix(s, "</w>")
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Encode tokenizes an identifier: it is first segmented on case and
+// punctuation boundaries (mirroring how model tokenizers treat identifiers
+// in schema prompts) and each segment is BPE-encoded. Digits and symbols
+// each count as single tokens.
+func (t *Tokenizer) Encode(identifier string) []string {
+	var out []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, t.EncodeWord(string(cur))...)
+			cur = cur[:0]
+		}
+	}
+	prevLower := false
+	for _, r := range identifier {
+		switch {
+		case r >= 'a' && r <= 'z':
+			cur = append(cur, r)
+			prevLower = true
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			cur = append(cur, r+('a'-'A'))
+			prevLower = false
+		case r >= '0' && r <= '9':
+			flush()
+			out = append(out, string(r))
+			prevLower = false
+		default:
+			flush()
+			out = append(out, string(r))
+			prevLower = false
+		}
+	}
+	flush()
+	return out
+}
+
+// Count returns the number of tokens the identifier encodes to.
+func (t *Tokenizer) Count(identifier string) int { return len(t.Encode(identifier)) }
+
+// TCR returns the token-to-character ratio of the identifier (equation 6 of
+// the paper): token count divided by character count. More natural
+// identifiers have lower TCR because their words are in-vocabulary.
+func (t *Tokenizer) TCR(identifier string) float64 {
+	n := len([]rune(identifier))
+	if n == 0 {
+		return 0
+	}
+	return float64(t.Count(identifier)) / float64(n)
+}

@@ -1,0 +1,141 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainAndEncodeBasic(t *testing.T) {
+	tok := Train("test", "height height height vegetation vegetation", 50)
+	if tok.VocabSize() == 0 {
+		t.Fatal("no merges learned")
+	}
+	enc := tok.EncodeWord("height")
+	if len(enc) == 0 {
+		t.Fatal("empty encoding")
+	}
+	if got := strings.Join(enc, ""); got != "height" {
+		t.Errorf("encoding does not reassemble word: %v -> %q", enc, got)
+	}
+	// A trained frequent word should compress to very few tokens.
+	if len(enc) > 2 {
+		t.Errorf("frequent word should compress, got %d tokens: %v", len(enc), enc)
+	}
+}
+
+func TestEncodeReassembles(t *testing.T) {
+	tok := ForModel(ModelGPT)
+	f := func(s string) bool {
+		// Lower-cased alphanumeric content must be preserved in order.
+		var want strings.Builder
+		for _, r := range strings.ToLower(s) {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+				want.WriteRune(r)
+			}
+		}
+		var got strings.Builder
+		for _, tk := range tok.Encode(s) {
+			for _, r := range strings.ToLower(tk) {
+				if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+					got.WriteRune(r)
+				}
+			}
+		}
+		return want.String() == got.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaturalWordsFewerTokens(t *testing.T) {
+	tok := ForModel(ModelGPT)
+	// In-vocabulary natural identifiers should have lower TCR than
+	// abbreviated ones: this is the Figure 28 relationship.
+	natural := tok.TCR("vegetation_height")
+	abbrev := tok.TCR("VgHt")
+	if natural >= abbrev {
+		t.Errorf("TCR(natural)=%v should be below TCR(abbrev)=%v", natural, abbrev)
+	}
+}
+
+func TestTCRBounds(t *testing.T) {
+	tok := ForModel(ModelGPT)
+	f := func(s string) bool {
+		v := tok.TCR(s)
+		return v >= 0 && (len(s) == 0 || v <= float64(len([]rune(s))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabularySizeOrdering(t *testing.T) {
+	gpt := ForModel(ModelGPT)
+	llama := ForModel(ModelCodeLlama)
+	bison := ForModel(ModelCodeBison)
+	if !(gpt.VocabSize() > llama.VocabSize() && llama.VocabSize() > bison.VocabSize()) {
+		t.Errorf("vocab sizes should be ordered gpt > codellama > codebison: %d %d %d",
+			gpt.VocabSize(), llama.VocabSize(), bison.VocabSize())
+	}
+	// A smaller vocabulary should yield equal-or-more tokens for the same word.
+	w := "transportation"
+	if gpt.Count(w) > bison.Count(w) {
+		t.Errorf("larger vocab should not produce more tokens: gpt=%d bison=%d",
+			gpt.Count(w), bison.Count(w))
+	}
+}
+
+func TestForModelFallback(t *testing.T) {
+	if ForModel("nonexistent") != ForModel(ModelGPT) {
+		t.Error("unknown model should fall back to GPT tokenizer")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 3 {
+		t.Fatalf("want 3 model names, got %v", names)
+	}
+	for _, n := range names {
+		if ForModel(n) == nil {
+			t.Errorf("no tokenizer for %q", n)
+		}
+	}
+}
+
+func TestEncodeDigitsAndSymbols(t *testing.T) {
+	tok := ForModel(ModelGPT)
+	enc := tok.Encode("CSI22")
+	// digits are individual tokens
+	found2 := 0
+	for _, e := range enc {
+		if e == "2" {
+			found2++
+		}
+	}
+	if found2 != 2 {
+		t.Errorf("expected two digit tokens in %v", enc)
+	}
+	if tok.Count("") != 0 {
+		t.Error("empty identifier should have 0 tokens")
+	}
+}
+
+func TestEncodeWordDeterministic(t *testing.T) {
+	tok := ForModel(ModelCodeLlama)
+	a := tok.Encode("WaterTemperature")
+	b := tok.Encode("WaterTemperature")
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Error("encoding must be deterministic")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok := ForModel(ModelGPT)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok.Encode("AdaptiveCruiseControlStatus_2021")
+	}
+}

@@ -1,0 +1,72 @@
+package token
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/snails-bench/snails/internal/ident"
+)
+
+// Model tokenizer profiles. The paper compares token statistics under the
+// GPT (tiktoken BPE), Code Llama (SentencePiece), and Code Bison tokenizers;
+// we train three BPE tokenizers of decreasing vocabulary size on the same
+// embedded corpus to reproduce the comparison.
+const (
+	ModelGPT       = "gpt-bpe"
+	ModelCodeLlama = "codellama-bpe"
+	ModelCodeBison = "codebison-bpe"
+)
+
+var (
+	modelOnce sync.Once
+	models    map[string]*Tokenizer
+)
+
+// trainingCorpus builds the training text: the embedded dictionary with
+// common words repeated so frequent merges favour them, mimicking the
+// frequency skew of natural-language training corpora.
+func trainingCorpus() string {
+	var b strings.Builder
+	words := ident.DefaultDictionary()
+	// Re-derive the word list through the letter index to keep package
+	// coupling minimal and ordering deterministic.
+	for c := byte('a'); c <= 'z'; c++ {
+		for _, w := range words.WordsWithPrefixLetter(c) {
+			// Short words are more frequent in English; weight inversely
+			// by length so merges learn common stems first.
+			reps := 1
+			if len(w) <= 4 {
+				reps = 4
+			} else if len(w) <= 7 {
+				reps = 2
+			}
+			for i := 0; i < reps; i++ {
+				b.WriteString(w)
+				b.WriteByte(' ')
+			}
+		}
+	}
+	return b.String()
+}
+
+// ForModel returns the shared tokenizer for a model profile name. Unknown
+// names fall back to the GPT profile.
+func ForModel(name string) *Tokenizer {
+	modelOnce.Do(func() {
+		corpus := trainingCorpus()
+		models = map[string]*Tokenizer{
+			ModelGPT:       Train(ModelGPT, corpus, 2600),
+			ModelCodeLlama: Train(ModelCodeLlama, corpus, 1600),
+			ModelCodeBison: Train(ModelCodeBison, corpus, 900),
+		}
+	})
+	if t, ok := models[name]; ok {
+		return t
+	}
+	return models[ModelGPT]
+}
+
+// ModelNames lists the available tokenizer profiles in report order.
+func ModelNames() []string {
+	return []string{ModelGPT, ModelCodeLlama, ModelCodeBison}
+}

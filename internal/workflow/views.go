@@ -1,0 +1,38 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// RegisterNaturalViews installs the section-6 natural views into a database
+// instance: for every table, a db_nl.<regular_table> view projecting each
+// native column under its Regular-naturalness name. Afterwards queries
+// written entirely against Regular identifiers execute directly:
+//
+//	SELECT vegetation_height FROM db_nl.table_saplings
+//
+// The base tables are untouched, exactly as the paper's proof of concept
+// leaves the dbo schema as-is for existing integrations. It returns the
+// qualified view names in table order.
+func RegisterNaturalViews(db *schema.Database, instance *sqldb.DB) []string {
+	names := make([]string, 0, len(db.Tables))
+	for _, t := range db.Tables {
+		var sel strings.Builder
+		sel.WriteString("SELECT ")
+		for i, c := range t.Columns {
+			if i > 0 {
+				sel.WriteString(", ")
+			}
+			fmt.Fprintf(&sel, "%s AS %s", c.Name, db.Rename(c.Name, 0))
+		}
+		fmt.Fprintf(&sel, " FROM %s", t.Name)
+		name := "db_nl." + db.Rename(t.Name, 0)
+		instance.CreateView(name, sel.String())
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,111 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+)
+
+func TestRegisterNaturalViewsExecutable(t *testing.T) {
+	b, _ := datasets.Get("ATBI")
+	// Work on a fresh instance so the shared registry stays pristine.
+	instance := cloneInstance(b.Instance)
+	names := RegisterNaturalViews(b.Schema, instance)
+	if len(names) != len(b.Schema.Tables) {
+		t.Fatalf("views = %d, tables = %d", len(names), len(b.Schema.Tables))
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "db_nl.") {
+			t.Fatalf("view name %q not under db_nl", n)
+		}
+	}
+	// Query a natural view end to end: a saplings table exists in ATBI and
+	// its Regular name derives from the crosswalk.
+	tbl, ok := b.Schema.Table(b.TableName("saplings"))
+	if !ok {
+		t.Fatal("saplings table missing")
+	}
+	viewName := "db_nl." + b.Schema.Rename(tbl.Name, naturalness.Regular)
+	res, err := sqlexec.ExecuteSQL(instance, "SELECT COUNT(*) FROM "+viewName)
+	if err != nil {
+		t.Fatalf("view query failed: %v", err)
+	}
+	base, _ := instance.Table(tbl.Name)
+	if res.Rows[0][0].I != int64(base.NumRows()) {
+		t.Errorf("view row count %v != base %d", res.Rows[0][0], base.NumRows())
+	}
+	// Regular column names are directly selectable through the view.
+	var regCol string
+	for _, c := range tbl.Columns {
+		if c.NativeLevel == naturalness.Least {
+			regCol = b.Schema.Rename(c.Name, naturalness.Regular)
+			break
+		}
+	}
+	if regCol == "" {
+		t.Skip("no least column to project")
+	}
+	res, err = sqlexec.ExecuteSQL(instance, fmt.Sprintf("SELECT %s FROM %s", regCol, viewName))
+	if err != nil {
+		t.Fatalf("regular-name projection failed: %v", err)
+	}
+	if res.NumRows() != base.NumRows() {
+		t.Errorf("projection rows %d != %d", res.NumRows(), base.NumRows())
+	}
+}
+
+func TestViewQualifierDoesNotShadowBaseTables(t *testing.T) {
+	b, _ := datasets.Get("CWO")
+	instance := cloneInstance(b.Instance)
+	RegisterNaturalViews(b.Schema, instance)
+	// Base tables remain addressable by bare and dbo-qualified names.
+	tbl := b.CoreTables[0]
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM " + tbl,
+		"SELECT COUNT(*) FROM dbo." + tbl,
+	} {
+		if _, err := sqlexec.ExecuteSQL(instance, q); err != nil {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+	// Unknown schema qualifiers fail loudly.
+	if _, err := sqlexec.ExecuteSQL(instance, "SELECT COUNT(*) FROM nope."+tbl); err == nil {
+		t.Error("unknown schema qualifier should error")
+	}
+}
+
+func TestViewJoinsWork(t *testing.T) {
+	b, _ := datasets.Get("CWO")
+	instance := cloneInstance(b.Instance)
+	RegisterNaturalViews(b.Schema, instance)
+	// Join two natural views on their Regular key names.
+	obs, _ := b.Schema.Table(b.TableName("observations"))
+	sp, _ := b.Schema.Table(b.TableName("species"))
+	obsView := "db_nl." + b.Schema.Rename(obs.Name, naturalness.Regular)
+	spView := "db_nl." + b.Schema.Rename(sp.Name, naturalness.Regular)
+	q := fmt.Sprintf("SELECT COUNT(*) FROM %s o JOIN %s s ON o.species_id = s.species_id", obsView, spView)
+	res, err := sqlexec.ExecuteSQL(instance, q)
+	if err != nil {
+		t.Fatalf("view join failed: %v", err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Error("view join returned no rows")
+	}
+}
+
+// cloneInstance copies tables (sharing row storage is fine for read-only
+// tests; views are per-clone).
+func cloneInstance(src *sqldb.DB) *sqldb.DB {
+	dst := sqldb.NewDB(src.Name)
+	for _, name := range src.TableNames() {
+		t, _ := src.Table(name)
+		nt := dst.CreateTable(name, t.Columns)
+		nt.Rows = t.Rows
+	}
+	return dst
+}

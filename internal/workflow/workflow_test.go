@@ -1,0 +1,185 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+func cwoQuestion(t *testing.T) (*datasets.Built, nlq.Question) {
+	t.Helper()
+	b, ok := datasets.Get("CWO")
+	if !ok {
+		t.Fatal("CWO missing")
+	}
+	qs := nlq.Generate(b)
+	if len(qs) == 0 {
+		t.Fatal("no questions")
+	}
+	return b, qs[0]
+}
+
+func TestRunProducesExecutableNativeSQL(t *testing.T) {
+	b, q := cwoQuestion(t)
+	m := llm.New(llm.Profiles()[1]) // gpt-4o
+	for _, v := range schema.Variants {
+		out := Run(RunInput{B: b, Q: q, Variant: v, Model: m})
+		if !out.ParseOK {
+			continue // invalid generations are legitimate outcomes
+		}
+		if _, err := sqlparse.Parse(out.NativeSQL); err != nil {
+			t.Errorf("variant %v: denaturalized SQL does not parse: %v\n%s", v, err, out.NativeSQL)
+			continue
+		}
+		// Execution may fail (wrong identifiers) but must not fail because
+		// of leftover variant identifiers when the model linked correctly.
+		_, _ = sqlexec.ExecuteSQL(b.Instance, out.NativeSQL)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b, q := cwoQuestion(t)
+	m := llm.New(llm.Profiles()[0])
+	a := Run(RunInput{B: b, Q: q, Variant: schema.VariantLeast, Model: m})
+	c := Run(RunInput{B: b, Q: q, Variant: schema.VariantLeast, Model: m})
+	if a.Prediction.SQL != c.Prediction.SQL || a.NativeSQL != c.NativeSQL {
+		t.Error("pipeline not deterministic")
+	}
+}
+
+func TestVariantChangesPrompt(t *testing.T) {
+	b, q := cwoQuestion(t)
+	m := llm.New(llm.Profiles()[1])
+	nat := Run(RunInput{B: b, Q: q, Variant: schema.VariantNative, Model: m})
+	least := Run(RunInput{B: b, Q: q, Variant: schema.VariantLeast, Model: m})
+	if nat.Prompt == least.Prompt {
+		t.Error("variant should change the prompt's schema rendering")
+	}
+}
+
+func TestDenaturalizeRoundTrip(t *testing.T) {
+	b, _ := datasets.Get("ATBI")
+	for _, q := range nlq.Generate(b)[:10] {
+		sel, err := sqlparse.Parse(q.Gold)
+		if err != nil {
+			t.Fatalf("gold parse: %v", err)
+		}
+		for _, v := range []schema.Variant{schema.VariantRegular, schema.VariantLow, schema.VariantLeast} {
+			naturalized := Naturalize(b.Schema, sel, v)
+			sel2, err := sqlparse.Parse(naturalized)
+			if err != nil {
+				t.Fatalf("naturalized gold does not parse: %v\n%s", err, naturalized)
+			}
+			back := Denaturalize(b.Schema, sel2, v)
+			selBack, err := sqlparse.Parse(back)
+			if err != nil {
+				t.Fatalf("denaturalized round trip does not parse: %v", err)
+			}
+			// Identifier sets must be identical to the original gold query's.
+			orig := sqlparse.Analyze(sel).All()
+			round := sqlparse.Analyze(selBack).All()
+			if len(orig) != len(round) || orig.Intersect(round) != len(orig) {
+				t.Errorf("variant %v round trip changed identifiers:\n got %v\nwant %v",
+					v, round.Sorted(), orig.Sorted())
+			}
+		}
+	}
+}
+
+func TestSBODPromptsAreModuleScoped(t *testing.T) {
+	b, _ := datasets.Get("SBOD")
+	qs := nlq.Generate(b)
+	m := llm.New(llm.Profiles()[1])
+	out := Run(RunInput{B: b, Q: qs[0], Variant: schema.VariantNative, Model: m})
+	if len(out.PromptTables) == 0 {
+		t.Fatal("SBOD prompt should be module-scoped")
+	}
+	whole := len(b.Schema.Tables)
+	if len(out.PromptTables) >= whole/2 {
+		t.Errorf("module scope too large: %d of %d tables", len(out.PromptTables), whole)
+	}
+	// Gold tables must always be inside the prompt scope.
+	scope := map[string]bool{}
+	for _, tn := range out.PromptTables {
+		scope[strings.ToUpper(tn)] = true
+	}
+	for _, tn := range qs[0].Tables {
+		if !scope[strings.ToUpper(tn)] {
+			t.Errorf("gold table %q outside prompt scope", tn)
+		}
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	b, _ := datasets.Get("ATBI")
+	mw := &Middleware{DB: b.Schema}
+	prompt := mw.NaturalizePrompt(nil)
+	if !strings.Contains(prompt, "vegetation_height") {
+		t.Errorf("naturalized prompt should contain full words:\n%s", prompt[:200])
+	}
+	// Build a Regular-naturalness query and denaturalize it.
+	q := nlq.Generate(b)[0]
+	sel, _ := sqlparse.Parse(q.Gold)
+	regular := Naturalize(b.Schema, sel, schema.VariantRegular)
+	native, err := mw.DenaturalizeQuery(regular)
+	if err != nil {
+		t.Fatalf("middleware denaturalize: %v", err)
+	}
+	res, err := sqlexec.ExecuteSQL(b.Instance, native)
+	if err != nil {
+		t.Fatalf("denaturalized query does not execute: %v\n%s", err, native)
+	}
+	if res.Empty() {
+		t.Error("middleware round trip should return the gold result")
+	}
+	if _, err := mw.DenaturalizeQuery("NOT SQL"); err == nil {
+		t.Error("unparseable query must error")
+	}
+}
+
+func TestNaturalViews(t *testing.T) {
+	b, _ := datasets.Get("SBOD")
+	views := NaturalViews(b.Schema)
+	if len(views) != len(b.Schema.Tables) {
+		t.Fatalf("views = %d, tables = %d", len(views), len(b.Schema.Tables))
+	}
+	v := ViewNameFor(b.Schema, b.TableName("employees"))
+	if !strings.HasPrefix(v, "db_nl.") {
+		t.Errorf("view name %q should live in db_nl schema", v)
+	}
+}
+
+func TestSeedVariesByCell(t *testing.T) {
+	a := Seed("m", "db", 1, schema.VariantNative)
+	if a == Seed("m", "db", 2, schema.VariantNative) {
+		t.Error("seed should vary by question")
+	}
+	if a == Seed("m", "db", 1, schema.VariantLeast) {
+		t.Error("seed should vary by variant")
+	}
+	if a == Seed("m2", "db", 1, schema.VariantNative) {
+		t.Error("seed should vary by model")
+	}
+}
+
+func TestDescribeWorkflow(t *testing.T) {
+	names := map[string]string{}
+	for _, p := range llm.Profiles() {
+		names[p.Name] = DescribeWorkflow(llm.New(p))
+	}
+	if !strings.Contains(names["DINSQL"], "DIN") {
+		t.Error("DIN workflow description wrong")
+	}
+	if !strings.Contains(names["CodeS"], "filtering") {
+		t.Error("CodeS workflow description wrong")
+	}
+	if !strings.Contains(names["gpt-4o"], "zero-shot") {
+		t.Error("ZS workflow description wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package snails is a from-scratch Go reproduction of "SNAILS: Schema
+// Naming Assessments for Improved LLM-Based SQL Inference" (SIGMOD 2025).
+//
+// It bundles the paper's artifacts behind one façade:
+//
+//   - naturalness classification of schema identifiers (Artifacts 2 and 3);
+//   - identifier abbreviation/expansion and crosswalk construction
+//     (Artifacts 4 and 5);
+//   - the 9-database benchmark collection with populated instances and 503
+//     NL-question/gold-SQL pairs (Artifacts 1 and 6);
+//   - the full evaluation pipeline — deterministic synthetic LLMs, relaxed
+//     execution matching, schema-linking metrics, and Kendall-Tau analysis;
+//   - the practical section-6 workflows: naturalness middleware and natural
+//     views.
+//
+// The complete study can be regenerated with the benchmarks in
+// bench_test.go or the snailsbench command.
+package snails
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/evalx"
+	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/modifier"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/sqlparse"
+	"github.com/snails-bench/snails/internal/workflow"
+)
+
+// Level is a schema-identifier naturalness category.
+type Level = naturalness.Level
+
+// Naturalness levels (the paper's N1/N2/N3 taxonomy).
+const (
+	Regular = naturalness.Regular
+	Low     = naturalness.Low
+	Least   = naturalness.Least
+)
+
+// Variant selects the native schema or one of the three modified virtual
+// schemas.
+type Variant = schema.Variant
+
+// Schema variants.
+const (
+	VariantNative  = schema.VariantNative
+	VariantRegular = schema.VariantRegular
+	VariantLow     = schema.VariantLow
+	VariantLeast   = schema.VariantLeast
+)
+
+// Classifier scores identifier naturalness. The default is the trained
+// character-tagged softmax model (the paper's best-performing family).
+type Classifier interface {
+	Classify(identifier string) Level
+}
+
+// DefaultClassifier returns the production classifier trained on the
+// Collection 2 labeled corpus.
+func DefaultClassifier() Classifier { return experiments.TrainedClassifier() }
+
+// HeuristicClassifier returns the appendix-B.1 heuristic scorer.
+func HeuristicClassifier() Classifier { return naturalness.NewHeuristicClassifier() }
+
+// ClassifySchema classifies every identifier of a database and returns the
+// per-level proportions and the combined naturalness score.
+func ClassifySchema(c Classifier, identifiers []string) (regular, low, least, combined float64) {
+	var levels []Level
+	for _, id := range identifiers {
+		levels = append(levels, c.Classify(id))
+	}
+	regular, low, least = naturalness.Proportions(levels)
+	combined = naturalness.CombinedOf(levels)
+	return regular, low, least, combined
+}
+
+// Combined computes the equation-5 combined naturalness of level counts.
+func Combined(regular, low, least int) float64 {
+	return naturalness.Combined(regular, low, least)
+}
+
+// Abbreviate lowers the naturalness of a concept (given as lower-case full
+// words) to the target level, rendered in snake case — the Artifact 5
+// abbreviator.
+func Abbreviate(words []string, target Level) string {
+	return modifier.Abbreviate(words, target, 1 /* ident.CaseSnake */)
+}
+
+// Expand recovers the Regular-naturalness words of an abbreviated
+// identifier using dictionary analysis — the Artifact 5 expander (without
+// metadata grounding; use Database.Metadata for grounded expansion).
+func Expand(identifier string) (words []string, ok bool) {
+	e := &modifier.Expander{}
+	return e.Expand(identifier)
+}
+
+// Database is one benchmark database: schema, populated instance, crosswalk
+// and question set.
+type Database struct {
+	b *datasets.Built
+}
+
+// Databases lists the benchmark collection in Table 2 order.
+func Databases() []string { return append([]string(nil), datasets.Names...) }
+
+// Open returns a benchmark database by name (ASIS, ATBI, CWO, KIS, NPFM,
+// NTSB, NYSED, PILB, SBOD).
+func Open(name string) (*Database, error) {
+	b, ok := datasets.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("snails: unknown database %q (have %s)", name, strings.Join(datasets.Names, ", "))
+	}
+	return &Database{b: b}, nil
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.b.Name }
+
+// Tables returns the native table names.
+func (d *Database) Tables() []string {
+	var out []string
+	for _, t := range d.b.Schema.Tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Identifiers returns the deduplicated native identifiers.
+func (d *Database) Identifiers() []string { return d.b.Schema.UniqueIdentifiers() }
+
+// CombinedNaturalness returns the native schema's combined score.
+func (d *Database) CombinedNaturalness() float64 { return d.b.Schema.CombinedNaturalness() }
+
+// Rename maps a native identifier into a schema variant.
+func (d *Database) Rename(identifier string, v Variant) string {
+	return d.b.Schema.RenameVariant(identifier, v)
+}
+
+// ToNative maps a variant identifier back to its native form.
+func (d *Database) ToNative(identifier string, v Variant) string {
+	return d.b.Schema.ToNativeVariant(identifier, v)
+}
+
+// SchemaKnowledge renders the prompt schema block at a variant.
+func (d *Database) SchemaKnowledge(v Variant) string {
+	return d.b.Schema.SchemaKnowledge(schema.PromptOptions{Variant: v, IncludeTypes: true})
+}
+
+// NaturalViews returns the section-6 CREATE VIEW DDL exposing the schema at
+// Regular naturalness under db_nl.
+func (d *Database) NaturalViews() []string { return d.b.Schema.NaturalViewDDL() }
+
+// InstallNaturalViews registers the natural views on the database instance
+// so queries written against db_nl.<regular_name> execute directly — the
+// runnable version of the section-6 proof of concept. It returns the
+// qualified view names.
+func (d *Database) InstallNaturalViews() []string {
+	return workflow.RegisterNaturalViews(d.b.Schema, d.b.Instance)
+}
+
+// Execute runs a SQL query against the database instance.
+func (d *Database) Execute(sql string) (*Result, error) {
+	res, err := sqlexec.ExecuteSQL(d.b.Instance, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res}, nil
+}
+
+// DenaturalizeQuery rewrites a query whose identifiers are at the given
+// variant back to native names (the middleware direction).
+func (d *Database) DenaturalizeQuery(sql string, v Variant) (string, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return workflow.Denaturalize(d.b.Schema, sel, v), nil
+}
+
+// NaturalizeQuery rewrites a native-identifier query into a variant.
+func (d *Database) NaturalizeQuery(sql string, v Variant) (string, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return workflow.Naturalize(d.b.Schema, sel, v), nil
+}
+
+// Questions returns the database's Artifact 6 NL-question/gold-SQL pairs.
+func (d *Database) Questions() []Question {
+	var out []Question
+	for _, q := range experiments.Questions(d.b.Name) {
+		out = append(out, Question{ID: q.ID, DB: q.DB, Text: q.Text, Gold: q.Gold, inner: q})
+	}
+	return out
+}
+
+// Question is one NL-question / gold-SQL pair.
+type Question struct {
+	ID   int
+	DB   string
+	Text string
+	Gold string
+
+	inner nlq.Question
+}
+
+// Result is an executed query result set.
+type Result struct{ res *sqldb.Result }
+
+// Columns returns the projected column names.
+func (r *Result) Columns() []string { return append([]string(nil), r.res.Columns...) }
+
+// NumRows returns the result cardinality.
+func (r *Result) NumRows() int { return r.res.NumRows() }
+
+// Row renders one row's values as strings.
+func (r *Result) Row(i int) []string {
+	out := make([]string, len(r.res.Rows[i]))
+	for j, v := range r.res.Rows[i] {
+		out[j] = v.String()
+	}
+	return out
+}
+
+// Models lists the evaluated synthetic NL-to-SQL systems.
+func Models() []string { return experiments.ModelNames() }
+
+// Inference is one NL-to-SQL round's outcome.
+type Inference struct {
+	// SQL is the raw prediction (identifiers at the prompt variant).
+	SQL string
+	// NativeSQL is the denaturalized prediction, executable on the native
+	// instance ("" when the prediction does not parse).
+	NativeSQL string
+	// ExecCorrect reports relaxed set-superset execution accuracy.
+	ExecCorrect bool
+	// Recall / Precision / F1 are the schema-linking scores.
+	Recall, Precision, F1 float64
+	// Valid is false for unparseable predictions.
+	Valid bool
+}
+
+// Ask runs one NL-to-SQL inference for a benchmark question with the given
+// model and schema variant, and evaluates it against the gold query.
+func (d *Database) Ask(model string, q Question, v Variant) (Inference, error) {
+	p, ok := llm.ProfileByName(model)
+	if !ok {
+		return Inference{}, fmt.Errorf("snails: unknown model %q (have %s)", model, strings.Join(Models(), ", "))
+	}
+	out := workflow.Run(workflow.RunInput{B: d.b, Q: q.inner, Variant: v, Model: llm.New(p)})
+	inf := Inference{SQL: out.Prediction.SQL, NativeSQL: out.NativeSQL, Valid: out.ParseOK}
+	if !out.ParseOK {
+		return inf, nil
+	}
+	link := evalx.QueryLinkingSQL(q.Gold, out.NativeSQL)
+	inf.Recall, inf.Precision, inf.F1 = link.Recall, link.Precision, link.F1
+	gold, err := sqlexec.ExecuteSQL(d.b.Instance, q.Gold)
+	if err != nil {
+		return inf, fmt.Errorf("snails: gold query failed: %w", err)
+	}
+	pred, err := sqlexec.ExecuteSQL(d.b.Instance, out.NativeSQL)
+	if err == nil {
+		inf.ExecCorrect = evalx.CompareResults(gold, pred) == evalx.MatchYes
+	}
+	return inf, nil
+}
+
+// CompareSQL evaluates a predicted query against a gold query on the
+// database: relaxed execution matching plus linking scores. Use it to score
+// externally generated SQL against the benchmark.
+func (d *Database) CompareSQL(goldSQL, predSQL string) (Inference, error) {
+	inf := Inference{SQL: predSQL, NativeSQL: predSQL}
+	link := evalx.QueryLinkingSQL(goldSQL, predSQL)
+	inf.Valid = link.Valid
+	if !link.Valid {
+		return inf, nil
+	}
+	inf.Recall, inf.Precision, inf.F1 = link.Recall, link.Precision, link.F1
+	gold, err := sqlexec.ExecuteSQL(d.b.Instance, goldSQL)
+	if err != nil {
+		return inf, fmt.Errorf("snails: gold query failed: %w", err)
+	}
+	pred, err := sqlexec.ExecuteSQL(d.b.Instance, predSQL)
+	if err == nil {
+		inf.ExecCorrect = evalx.CompareResults(gold, pred) == evalx.MatchYes
+	}
+	return inf, nil
+}
+
+// ExportQuestions writes the database's Artifact 6 question set in the
+// paper's executable .sql file format (questions as comments, gold queries
+// terminated by ";").
+func (d *Database) ExportQuestions(w io.Writer) error {
+	return nlq.ExportSQL(w, experiments.Questions(d.b.Name))
+}
+
+// SaveClassifier persists the trained default classifier so downstream
+// tools can load it without retraining.
+func SaveClassifier(w io.Writer) error {
+	return experiments.TrainedClassifier().Save(w)
+}
+
+// LoadClassifier restores a classifier saved with SaveClassifier.
+func LoadClassifier(r io.Reader) (Classifier, error) {
+	return naturalness.LoadSoftmax(r)
+}
+
+// WriteReport regenerates every reproduced table and figure as text.
+func WriteReport(w io.Writer) { experiments.Report(w) }
+
+// Summary returns a one-page digest of the headline results.
+func Summary() string { return experiments.Summary() }

@@ -1,0 +1,231 @@
+package snails
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatabasesList(t *testing.T) {
+	dbs := Databases()
+	if len(dbs) != 9 {
+		t.Fatalf("want 9 databases, got %v", dbs)
+	}
+	if _, err := Open("nope"); err == nil {
+		t.Error("unknown database should error")
+	}
+}
+
+func TestOpenAndInspect(t *testing.T) {
+	db, err := Open("CWO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name() != "CWO" {
+		t.Errorf("name = %q", db.Name())
+	}
+	if len(db.Tables()) == 0 || len(db.Identifiers()) == 0 {
+		t.Error("schema should not be empty")
+	}
+	c := db.CombinedNaturalness()
+	if c < 0.7 || c > 0.95 {
+		t.Errorf("CWO combined naturalness %v outside its band", c)
+	}
+	sk := db.SchemaKnowledge(VariantNative)
+	if !strings.Contains(sk, "#") {
+		t.Error("schema knowledge should use the paper's format")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	c := DefaultClassifier()
+	if got := c.Classify("vegetation_height"); got != Regular {
+		t.Errorf("vegetation_height -> %v", got)
+	}
+	if got := c.Classify("VgHt"); got == Regular {
+		t.Errorf("VgHt should not be Regular")
+	}
+	h := HeuristicClassifier()
+	if got := h.Classify("observation_date"); got != Regular {
+		t.Errorf("heuristic: observation_date -> %v", got)
+	}
+	r, l, le, comb := ClassifySchema(c, []string{"vegetation_height", "VegHt", "VgHt"})
+	if r+l+le < 0.999 || comb <= 0 || comb >= 1 {
+		t.Errorf("ClassifySchema proportions implausible: %v %v %v %v", r, l, le, comb)
+	}
+}
+
+func TestAbbreviateAndExpand(t *testing.T) {
+	low := Abbreviate([]string{"water", "temperature"}, Low)
+	if low == "water_temperature" {
+		t.Errorf("Low form should be abbreviated: %q", low)
+	}
+	words, ok := Expand("WaterTemp")
+	if !ok || !strings.Contains(strings.Join(words, " "), "water") {
+		t.Errorf("Expand(WaterTemp) = %v %v", words, ok)
+	}
+}
+
+func TestExecuteAndCompare(t *testing.T) {
+	db, _ := Open("CWO")
+	qs := db.Questions()
+	if len(qs) != 40 {
+		t.Fatalf("CWO questions = %d", len(qs))
+	}
+	res, err := db.Execute(qs[0].Gold)
+	if err != nil {
+		t.Fatalf("gold execution failed: %v", err)
+	}
+	if res.NumRows() == 0 || len(res.Columns()) == 0 {
+		t.Error("gold result should be non-empty")
+	}
+	if len(res.Row(0)) != len(res.Columns()) {
+		t.Error("row arity mismatch")
+	}
+	// Self-comparison must be a perfect match.
+	inf, err := db.CompareSQL(qs[0].Gold, qs[0].Gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.ExecCorrect || inf.Recall != 1 || inf.Precision != 1 {
+		t.Errorf("gold vs gold should be perfect: %+v", inf)
+	}
+	// Invalid prediction is flagged, not an error.
+	inf, err = db.CompareSQL(qs[0].Gold, "NOT SQL")
+	if err != nil || inf.Valid {
+		t.Errorf("invalid prediction should be flagged: %+v err=%v", inf, err)
+	}
+}
+
+func TestAskRoundTrip(t *testing.T) {
+	db, _ := Open("CWO")
+	q := db.Questions()[0]
+	for _, model := range Models() {
+		inf, err := db.Ask(model, q, VariantRegular)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if inf.Valid && inf.NativeSQL == "" {
+			t.Errorf("%s: valid inference without native SQL", model)
+		}
+	}
+	if _, err := db.Ask("bogus-model", q, VariantNative); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestNaturalnessAffectsInference(t *testing.T) {
+	// The library-level restatement of the headline finding, on one DB.
+	db, _ := Open("SBOD")
+	model := "gpt-3.5"
+	var regRecall, leastRecall, n float64
+	for _, q := range db.Questions()[:25] {
+		reg, err := db.Ask(model, q, VariantRegular)
+		if err != nil {
+			t.Fatal(err)
+		}
+		least, err := db.Ask(model, q, VariantLeast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Valid && least.Valid {
+			regRecall += reg.Recall
+			leastRecall += least.Recall
+			n++
+		}
+	}
+	if n == 0 || regRecall/n <= leastRecall/n {
+		t.Errorf("Regular recall (%.3f) should beat Least (%.3f) on SBOD", regRecall/n, leastRecall/n)
+	}
+}
+
+func TestDenaturalizeNaturalizeRoundTrip(t *testing.T) {
+	db, _ := Open("ATBI")
+	q := db.Questions()[0]
+	nat, err := db.NaturalizeQuery(q.Gold, VariantLeast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := db.DenaturalizeQuery(nat, VariantLeast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := db.CompareSQL(q.Gold, back)
+	if err != nil || !inf.ExecCorrect {
+		t.Errorf("round trip should preserve semantics: %+v err=%v", inf, err)
+	}
+}
+
+func TestNaturalViews(t *testing.T) {
+	db, _ := Open("NTSB")
+	views := db.NaturalViews()
+	if len(views) != len(db.Tables()) {
+		t.Errorf("views = %d, tables = %d", len(views), len(db.Tables()))
+	}
+	if !strings.Contains(views[0], "CREATE VIEW db_nl.") {
+		t.Errorf("view DDL malformed: %s", views[0])
+	}
+}
+
+func TestRenameRoundTrip(t *testing.T) {
+	db, _ := Open("KIS")
+	for _, id := range db.Identifiers()[:20] {
+		for _, v := range []Variant{VariantRegular, VariantLow, VariantLeast} {
+			if got := db.ToNative(db.Rename(id, v), v); !strings.EqualFold(got, id) {
+				t.Errorf("round trip %v: %q -> %q", v, id, got)
+			}
+		}
+	}
+}
+
+func TestCombinedExported(t *testing.T) {
+	if Combined(1, 0, 0) != 1 || Combined(0, 0, 1) != 0 {
+		t.Error("Combined weights wrong")
+	}
+}
+
+func TestModelsList(t *testing.T) {
+	ms := Models()
+	if len(ms) != 6 {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestSummaryRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary requires the full sweep")
+	}
+	s := Summary()
+	if !strings.Contains(s, "execution accuracy") || !strings.Contains(s, "tau") {
+		t.Errorf("summary incomplete:\n%s", s)
+	}
+}
+
+func TestExportQuestionsFormat(t *testing.T) {
+	db, _ := Open("CWO")
+	var sb strings.Builder
+	if err := db.ExportQuestions(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "-- 1: ") || !strings.Contains(out, "\n;\n") {
+		t.Errorf("unexpected artifact format:\n%s", out[:120])
+	}
+}
+
+func TestClassifierPersistence(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveClassifier(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := DefaultClassifier()
+	for _, id := range []string{"vegetation_height", "VegHt", "VgHt", "COGM"} {
+		if loaded.Classify(id) != orig.Classify(id) {
+			t.Errorf("loaded classifier diverges on %q", id)
+		}
+	}
+}
