@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test vet race check bench report
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages the parallel sweep engine touches. -short keeps
+# the determinism test on a database subset; interleaving, not grid size, is
+# what the race detector exercises.
+race:
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/
+
+# Tier-1 verification: build, vet, full tests, then the race pass.
+check:
+	./scripts/check.sh
+
+# Sweep throughput comparison (serial vs 4 workers, bit-identical outputs).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSweep' -benchmem .
+
+# Regenerate the committed report and BENCH_sweep.json artifacts.
+report:
+	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json

@@ -319,6 +319,30 @@ func BenchmarkFullSweep(b *testing.B) {
 	}
 }
 
+// benchmarkSweepWorkers measures the grid engine itself — job fan-out,
+// memoized substrate, cell assembly — over one database at a fixed worker
+// count. Compare SweepSerial vs SweepParallel4 to see pool scaling on
+// multi-core hosts; the outputs are bit-identical by construction.
+func benchmarkSweepWorkers(b *testing.B, workers int) {
+	db, ok := datasets.Get("CWO")
+	if !ok {
+		b.Fatal("CWO dataset missing")
+	}
+	dbs := []*datasets.Built{db}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := experiments.RunSweep(dbs, experiments.Options{Workers: workers})
+		if len(s.Cells) == 0 {
+			b.Fatal("empty sweep")
+		}
+		b.ReportMetric(s.Stats.CellsPerSec, "cells/sec")
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)    { benchmarkSweepWorkers(b, 1) }
+func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepWorkers(b, 4) }
+
 func BenchmarkFigures48to51_LinkingBoxStats(b *testing.B) {
 	printTable(b, "f48-51", experiments.WriteFigures48to51)
 	for i := 0; i < b.N; i++ {

@@ -9,9 +9,12 @@
 //	snails ask <db> <model> <q#> [variant]   run one NL-to-SQL round
 //	snails sql <db> <query>             execute SQL on the instance
 //	snails summary                      headline benchmark digest
+//	snails bench                        run the evaluation sweep, report throughput
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -59,6 +62,8 @@ func run(args []string) error {
 	case "summary":
 		fmt.Print(snails.Summary())
 		return nil
+	case "bench":
+		return cmdBench(args[1:])
 	case "help", "-h", "--help":
 		return usage()
 	default:
@@ -81,6 +86,7 @@ commands:
   assess <file|->                       classify identifiers (one per line) and recommend actions
   expand <identifier> [metadata.csv]    expand an abbreviated identifier (optionally grounded)
   summary                               headline benchmark digest
+  bench [-parallel n] [-json file]      run the evaluation sweep and report throughput
 
 models:   ` + strings.Join(snails.Models(), ", ") + `
 variants: Native, Regular, Low, Least`)
@@ -284,6 +290,32 @@ func cmdAssess(args []string) error {
 	}
 	if len(leastExamples) > 0 {
 		fmt.Printf("Least identifiers to prioritize: %s\n", strings.Join(leastExamples, ", "))
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "also write the stats as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snails.SetParallelism(*parallel)
+	st := snails.BenchSweep()
+	fmt.Printf("cells:      %d\n", st.Cells)
+	fmt.Printf("workers:    %d\n", st.Workers)
+	fmt.Printf("wall clock: %.3fs\n", st.WallClockSeconds)
+	fmt.Printf("throughput: %.0f cells/sec\n", st.CellsPerSec)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("stats written to %s\n", *jsonOut)
 	}
 	return nil
 }

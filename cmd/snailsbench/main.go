@@ -1,22 +1,39 @@
 // Command snailsbench regenerates every table and figure of the SNAILS
 // paper's evaluation section and prints them in paper order. With -out it
-// writes the report to a file instead of stdout.
+// writes the report to a file instead of stdout. Alongside the report it
+// emits machine-readable sweep throughput stats (BENCH_sweep.json by
+// default) so performance regressions are diffable artifacts.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/snails-bench/snails/internal/experiments"
 )
 
+// benchStats is the schema of the BENCH_sweep.json artifact.
+type benchStats struct {
+	Cells            int     `json:"cells"`
+	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	CellsPerSec      float64 `json:"cells_per_sec"`
+}
+
 func main() {
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	summary := flag.Bool("summary", false, "print only the headline digest")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at every setting")
+	benchOut := flag.String("bench", "BENCH_sweep.json", "write sweep throughput stats to this JSON file (empty disables)")
 	flag.Parse()
+
+	experiments.SetDefaultWorkers(*parallel)
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
@@ -37,4 +54,23 @@ func main() {
 		experiments.Report(w)
 	}
 	fmt.Fprintf(w, "\n(report generated in %s)\n", time.Since(start).Round(time.Millisecond))
+
+	if *benchOut != "" {
+		st := experiments.Run().Stats
+		data, err := json.MarshalIndent(benchStats{
+			Cells:            st.Cells,
+			Workers:          st.Workers,
+			GOMAXPROCS:       runtime.GOMAXPROCS(0),
+			WallClockSeconds: st.WallClock.Seconds(),
+			CellsPerSec:      st.CellsPerSec,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snailsbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "snailsbench:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"sort"
 	"strings"
 
 	"github.com/snails-bench/snails/internal/sqlparse"
@@ -87,12 +88,15 @@ func (t *IdentifierTally) GoldCount(identifier string) int {
 	return t.gold[strings.ToUpper(identifier)]
 }
 
-// Identifiers returns all identifiers seen in gold queries.
+// Identifiers returns all identifiers seen in gold queries, sorted. The
+// order is part of the determinism contract: downstream figures accumulate
+// floats in this order, so it must not depend on map iteration.
 func (t *IdentifierTally) Identifiers() []string {
 	out := make([]string, 0, len(t.gold))
 	for id := range t.gold {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -76,8 +76,10 @@ func outcomeOf(c *Cell, o Outcome) (float64, bool) {
 
 // Correlate computes the Kendall-Tau table for one (feature, outcome, scope)
 // combination, one row per model — the layout of Figures 31-47.
-func Correlate(f Feature, o Outcome, scope Scope) []TauRow {
-	s := Run()
+func Correlate(f Feature, o Outcome, scope Scope) []TauRow { return CorrelateOf(Run(), f, o, scope) }
+
+// CorrelateOf computes the same table over an explicit sweep.
+func CorrelateOf(s *Sweep, f Feature, o Outcome, scope Scope) []TauRow {
 	var rows []TauRow
 	for _, m := range ModelNames() {
 		var xs, ys []float64

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+)
+
+// TestParallelSweepDeterministic is the bit-identity contract of the worker
+// pool: a sweep fanned out over 4 workers must produce exactly the cells,
+// tallies, and downstream report tables of the serial sweep. Under -short
+// (and therefore under -race in the tier-1 recipe) it runs on a database
+// subset to keep goroutine interleaving checks fast.
+func TestParallelSweepDeterministic(t *testing.T) {
+	dbs := datasets.All()
+	if testing.Short() {
+		dbs = dbs[:3]
+	}
+
+	serial := RunSweep(dbs, Options{Workers: 1})
+	parallel := RunSweep(dbs, Options{Workers: 4})
+
+	if serial.Stats.Workers != 1 || parallel.Stats.Workers != 4 {
+		t.Fatalf("worker counts: serial=%d parallel=%d", serial.Stats.Workers, parallel.Stats.Workers)
+	}
+	if len(serial.Cells) != len(parallel.Cells) {
+		t.Fatalf("cell counts differ: serial=%d parallel=%d", len(serial.Cells), len(parallel.Cells))
+	}
+	for i := range serial.Cells {
+		if !reflect.DeepEqual(serial.Cells[i], parallel.Cells[i]) {
+			t.Fatalf("cell %d differs:\nserial:   %+v\nparallel: %+v", i, serial.Cells[i], parallel.Cells[i])
+		}
+	}
+	if !reflect.DeepEqual(serial.Tally, parallel.Tally) {
+		t.Fatal("identifier tallies differ between serial and parallel sweeps")
+	}
+
+	// Every report table must digest identically: the figures are pure
+	// functions of the sweep, so this pins the full reporting surface.
+	pd := tableDigests(parallel)
+	for name, digest := range tableDigests(serial) {
+		if pd[name] != digest {
+			t.Errorf("table %s digests differ: serial=%s parallel=%s", name, digest, pd[name])
+		}
+	}
+}
+
+// tableDigests renders every report table of a sweep and hashes it.
+func tableDigests(s *Sweep) map[string]string {
+	d := map[string]string{
+		"figure8":  fmt.Sprintf("%+v", Figure8Of(s)),
+		"figure9":  fmt.Sprintf("%+v", Figure9Of(s)),
+		"figure10": fmt.Sprintf("%+v", Figure10Of(s)),
+		"figure11": fmt.Sprintf("%+v", Figure11Of(s)),
+		"figure30": fmt.Sprintf("%+v", Figure30Of(s)),
+		"figure12": fmt.Sprintf("%+v", Figure12Of(s)),
+	}
+	for _, spec := range Catalog() {
+		d["corr"+spec.Figure] = fmt.Sprintf("%+v", CorrelateOf(s, spec.F, spec.O, spec.Scope))
+	}
+	for k, v := range d {
+		d[k] = fmt.Sprintf("%x", sha256.Sum256([]byte(v)))
+	}
+	return d
+}
+
+// TestSweepStats checks that execution statistics are populated without
+// participating in result equality.
+func TestSweepStats(t *testing.T) {
+	dbs := datasets.All()[:1]
+	s := RunSweep(dbs, Options{Workers: 2})
+	if s.Stats.Cells != len(s.Cells) {
+		t.Errorf("Stats.Cells = %d, want %d", s.Stats.Cells, len(s.Cells))
+	}
+	if s.Stats.WallClock <= 0 || s.Stats.CellsPerSec <= 0 {
+		t.Errorf("Stats timing not populated: %+v", s.Stats)
+	}
+}
+
+// TestDefaultWorkers exercises the process-wide override used by the
+// -parallel CLI flags.
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("DefaultWorkers = %d after SetDefaultWorkers(3)", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got < 1 {
+		t.Errorf("DefaultWorkers = %d, want >= 1", got)
+	}
+}

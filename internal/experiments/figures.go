@@ -16,8 +16,10 @@ type AccuracyRow struct {
 }
 
 // Figure8 computes execution accuracy by model and naturalness level.
-func Figure8() []AccuracyRow {
-	s := Run()
+func Figure8() []AccuracyRow { return Figure8Of(Run()) }
+
+// Figure8Of computes the same summary over an explicit sweep.
+func Figure8Of(s *Sweep) []AccuracyRow {
 	var rows []AccuracyRow
 	for _, m := range ModelNames() {
 		for _, v := range schema.Variants {
@@ -57,8 +59,10 @@ type IdentifierRecallRow struct {
 
 // Figure9 computes Native-identifier recall by model and identifier
 // naturalness level over the Native-variant runs.
-func Figure9() []IdentifierRecallRow {
-	s := Run()
+func Figure9() []IdentifierRecallRow { return Figure9Of(Run()) }
+
+// Figure9Of computes the same summary over an explicit sweep.
+func Figure9Of(s *Sweep) []IdentifierRecallRow {
 	var rows []IdentifierRecallRow
 	levelOf := map[string]naturalness.Level{}
 	for _, b := range datasets.All() {
@@ -116,8 +120,10 @@ type LinkingRow struct {
 
 // Figure10 computes QueryRecall (and Precision/F1) by model and schema
 // naturalness level.
-func Figure10() []LinkingRow {
-	s := Run()
+func Figure10() []LinkingRow { return Figure10Of(Run()) }
+
+// Figure10Of computes the same summary over an explicit sweep.
+func Figure10Of(s *Sweep) []LinkingRow {
 	var rows []LinkingRow
 	for _, m := range ModelNames() {
 		for _, v := range schema.Variants {
@@ -161,11 +167,13 @@ type DrillDownRow struct {
 
 // Figure11 drills QueryRecall down into individual databases. The paper
 // showcases NTSB, PILB and SBOD; passing no names returns all databases.
-func Figure11(dbNames ...string) []DrillDownRow {
+func Figure11(dbNames ...string) []DrillDownRow { return Figure11Of(Run(), dbNames...) }
+
+// Figure11Of computes the same drill-down over an explicit sweep.
+func Figure11Of(s *Sweep, dbNames ...string) []DrillDownRow {
 	if len(dbNames) == 0 {
 		dbNames = datasets.Names
 	}
-	s := Run()
 	var rows []DrillDownRow
 	for _, db := range dbNames {
 		for _, m := range ModelNames() {
@@ -199,8 +207,10 @@ type GridRow struct {
 }
 
 // Figure30 computes the per-database execution-accuracy grid.
-func Figure30() []GridRow {
-	s := Run()
+func Figure30() []GridRow { return Figure30Of(Run()) }
+
+// Figure30Of computes the same grid over an explicit sweep.
+func Figure30Of(s *Sweep) []GridRow {
 	var rows []GridRow
 	for _, db := range datasets.Names {
 		for _, m := range ModelNames() {
@@ -235,8 +245,10 @@ type SubsetRow struct {
 
 // Figure12 computes schema-subsetting performance for the workflows with a
 // filtering stage (DIN SQL and CodeS).
-func Figure12() []SubsetRow {
-	s := Run()
+func Figure12() []SubsetRow { return Figure12Of(Run()) }
+
+// Figure12Of computes the same summary over an explicit sweep.
+func Figure12Of(s *Sweep) []SubsetRow {
 	var rows []SubsetRow
 	for _, m := range ModelNames() {
 		for _, v := range schema.Variants {

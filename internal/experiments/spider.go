@@ -15,7 +15,7 @@ var (
 // SpiderSweep runs the grid over the Spider-like dev collection renamed with
 // the SNAILS crosswalk artifacts (Figure 13).
 func SpiderSweep() *Sweep {
-	spiderOnce.Do(func() { spiderSweep = runSweep(datasets.SpiderDev()) })
+	spiderOnce.Do(func() { spiderSweep = RunSweep(datasets.SpiderDev(), Options{}) })
 	return spiderSweep
 }
 

@@ -1,16 +1,21 @@
 // Package experiments runs the SNAILS evaluation grid — 6 models x 4 schema
 // variants x 503 questions — and aggregates every table and figure of the
 // paper's evaluation section. The full sweep is deterministic and cached per
-// process.
+// process; grid cells fan out across a bounded worker pool with output
+// ordering identical to the serial evaluation.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/evalx"
 	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/nlq"
 	"github.com/snails-bench/snails/internal/schema"
@@ -49,12 +54,53 @@ type Cell struct {
 	TCR float64
 }
 
+// Stats records how a sweep executed. It describes the run, not the results:
+// two sweeps with different Stats but equal Cells are the same experiment.
+type Stats struct {
+	Cells       int
+	Workers     int
+	WallClock   time.Duration
+	CellsPerSec float64
+}
+
 // Sweep is the full grid plus lookup indexes.
 type Sweep struct {
 	Cells []Cell
 	// Tally maps (model) -> identifier-level recall accumulator over the
 	// Native-variant runs (Figure 9).
 	Tally map[string]*evalx.IdentifierTally
+	// Stats describes the execution (worker count, wall clock).
+	Stats Stats
+}
+
+// Options configures sweep execution. The zero value runs with the
+// process-default worker count.
+type Options struct {
+	// Workers is the number of concurrent grid workers. 0 means the
+	// process default (SetDefaultWorkers, else GOMAXPROCS); 1 runs the
+	// classic serial loop. Results are identical at every setting.
+	Workers int
+}
+
+// defaultWorkers holds the process-wide worker override; 0 defers to
+// GOMAXPROCS. Set from the -parallel CLI flags.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers overrides the worker count used by sweeps that do not
+// specify one. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the worker count a zero-Options sweep will use.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 var (
@@ -64,9 +110,47 @@ var (
 	questionsOnce sync.Once
 	questionsByDB map[string][]nlq.Question
 
-	goldOnce sync.Once
-	goldRes  map[string]*sqldb.Result
+	// goldCache memoizes gold query results across the whole process: the
+	// same gold runs for every (model, variant) pair and for overlapping
+	// experiment sweeps.
+	goldCache = memo.New[*sqldb.Result]()
+
+	// predCache memoizes predicted-query parse/analyze/execute outcomes per
+	// (database, native SQL). Different models and variants frequently emit
+	// the same SQL for a question — most cells on natural schemas produce
+	// the correct query verbatim — so the grid re-executes each distinct
+	// query once instead of once per cell. Cached results and identifier
+	// sets are shared read-only across cells.
+	predCache = memo.NewBounded[*predExec](1 << 16)
 )
+
+// predExec is the memoized outcome of handling one predicted SQL string
+// against one database. Fields mirror the stage gates of runCell: parse,
+// identifier analysis, then execution.
+type predExec struct {
+	parseOK bool
+	ids     sqlparse.IdentifierSet
+	execOK  bool
+	res     *sqldb.Result
+}
+
+// predExecution parses, analyzes, and executes a predicted query, memoized.
+func predExecution(b *datasets.Built, sql string) *predExec {
+	return predCache.GetOrCompute(b.Name+"\x00"+sql, func() *predExec {
+		pe := &predExec{}
+		sel, err := sqlparse.Parse(sql)
+		if err != nil {
+			return pe
+		}
+		pe.parseOK = true
+		pe.ids = sqlparse.Analyze(sel).All()
+		if res, execErr := sqlexec.Execute(b.Instance, sel); execErr == nil {
+			pe.execOK = true
+			pe.res = res
+		}
+		return pe
+	})
+}
 
 // Questions returns the cached Artifact 6 question set for a database.
 func Questions(db string) []nlq.Question {
@@ -81,57 +165,148 @@ func Questions(db string) []nlq.Question {
 
 func goldKey(db string, qid int) string { return fmt.Sprintf("%s#%d", db, qid) }
 
-// goldResult executes (once) and caches a gold query's result.
+// goldResult executes (once) and caches a gold query's result. Concurrent
+// callers may race to execute the same gold; both executions produce the
+// identical deterministic result, so either may be cached.
 func goldResult(b *datasets.Built, q nlq.Question) *sqldb.Result {
-	goldOnce.Do(func() { goldRes = map[string]*sqldb.Result{} })
-	key := goldKey(b.Name, q.ID)
-	if r, ok := goldRes[key]; ok {
-		return r
-	}
-	res, err := sqlexec.ExecuteSQL(b.Instance, q.Gold)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: gold query failed (%s q%d): %v", b.Name, q.ID, err))
-	}
-	goldRes[key] = res
-	return res
+	return goldCache.GetOrCompute(goldKey(b.Name, q.ID), func() *sqldb.Result {
+		res, err := sqlexec.ExecuteSQL(b.Instance, q.Gold)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: gold query failed (%s q%d): %v", b.Name, q.ID, err))
+		}
+		return res
+	})
 }
 
 // Run returns the full cached sweep over the SNAILS collection.
 func Run() *Sweep {
-	sweepOnce.Do(func() { sweepVal = runSweep(datasets.All()) })
+	sweepOnce.Do(func() { sweepVal = RunSweep(datasets.All(), Options{}) })
 	return sweepVal
 }
 
-// runSweep executes the grid over the given databases (exported indirectly
-// for the Spider-modified experiment, which sweeps a different collection).
-func runSweep(dbs []*datasets.Built) *Sweep {
+// job is one unit of parallel work: a (database, question) pair owning a
+// contiguous stride of len(models)*len(variants) cells starting at base.
+type job struct {
+	b    *datasets.Built
+	q    nlq.Question
+	base int
+}
+
+// RunSweep executes the grid over the given databases. Cells are laid out in
+// the fixed grid order (database, question, model, variant) regardless of the
+// worker count: each (db, question) job writes its stride of the preallocated
+// cell slice by index, and the identifier tally is accumulated in a serial
+// pass afterwards, so parallel output is bit-identical to serial.
+func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	start := time.Now()
+
 	s := &Sweep{Tally: map[string]*evalx.IdentifierTally{}}
 	models := make([]*llm.Model, 0, 6)
 	for _, p := range llm.Profiles() {
 		models = append(models, llm.New(p))
 		s.Tally[p.Name] = evalx.NewIdentifierTally()
 	}
+	stride := len(models) * len(schema.Variants)
+
+	// Enumerate jobs serially: question generation touches package-level
+	// caches and fixes the grid layout.
+	var jobs []job
+	total := 0
 	for _, b := range dbs {
-		qs := questionsOf(b)
-		for _, q := range qs {
-			goldSel, err := sqlparse.Parse(q.Gold)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: unparseable gold (%s q%d): %v", b.Name, q.ID, err))
-			}
-			goldIDs := sqlparse.Analyze(goldSel).All()
-			gold := goldResult(b, q)
-			for _, m := range models {
-				for _, v := range schema.Variants {
-					cell := runCell(b, q, goldIDs, gold, m, v)
-					if v == schema.VariantNative && cell.ParseOK {
-						s.Tally[m.Profile.Name].Observe(cell.GoldIDs, cell.PredIDs)
-					}
-					s.Cells = append(s.Cells, cell)
-				}
-			}
+		for _, q := range questionsOf(b) {
+			jobs = append(jobs, job{b: b, q: q, base: total})
+			total += stride
 		}
 	}
+	s.Cells = make([]Cell, total)
+
+	if workers == 1 {
+		for _, j := range jobs {
+			runJob(s.Cells, j, models)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					runJob(s.Cells, jobs[i], models)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Identifier tallies mutate shared maps; accumulate serially in grid
+	// order after the fan-out.
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Variant == schema.VariantNative && c.ParseOK {
+			s.Tally[c.Model].Observe(c.GoldIDs, c.PredIDs)
+		}
+	}
+
+	wall := time.Since(start)
+	s.Stats = Stats{Cells: total, Workers: workers, WallClock: wall}
+	if secs := wall.Seconds(); secs > 0 {
+		s.Stats.CellsPerSec = float64(total) / secs
+	}
 	return s
+}
+
+// runJob evaluates one (database, question) across every model and variant,
+// writing cells into the shared slice at the job's reserved stride. Cells in
+// distinct jobs never alias, so no locking is needed.
+func runJob(cells []Cell, j job, models []*llm.Model) {
+	b, q := j.b, j.q
+	goldSel, err := sqlparse.Parse(q.Gold)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: unparseable gold (%s q%d): %v", b.Name, q.ID, err))
+	}
+	goldIDs := sqlparse.Analyze(goldSel).All()
+	gold := goldResult(b, q)
+
+	// Naturalness features depend only on (variant, tokenizer family), not
+	// the model itself: compute each combination once per question instead
+	// of once per cell.
+	type featKey struct {
+		v      schema.Variant
+		family string
+	}
+	feats := make(map[featKey]natFeatures, 8)
+	featsOf := func(v schema.Variant, family string) natFeatures {
+		k := featKey{v, family}
+		if f, ok := feats[k]; ok {
+			return f
+		}
+		f := naturalnessFeatures(b, goldIDs, family, v)
+		feats[k] = f
+		return f
+	}
+
+	idx := j.base
+	for _, m := range models {
+		family := tokenizerFor(m.Profile.Name)
+		for _, v := range schema.Variants {
+			cell := runCell(b, q, goldIDs, gold, m, v)
+			f := featsOf(v, family)
+			cell.Combined = f.combined
+			cell.RegFrac, cell.LowFrac, cell.LeastFrac = f.regFrac, f.lowFrac, f.leastFrac
+			cell.TCR = f.tcr
+			cells[idx] = cell
+			idx++
+		}
+	}
 }
 
 // questionsOf returns cached questions for SNAILS databases and generates
@@ -155,18 +330,16 @@ func runCell(b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
 		GoldIDs:    goldIDs,
 		ParseOK:    out.ParseOK,
 	}
-	fillNaturalnessFeatures(&cell, b, goldIDs, m, v)
 
 	if out.ParseOK {
-		predSel, err := sqlparse.Parse(out.NativeSQL)
-		if err == nil {
-			cell.PredIDs = sqlparse.Analyze(predSel).All()
+		pe := predExecution(b, out.NativeSQL)
+		if pe.parseOK {
+			cell.PredIDs = pe.ids
 			cell.Link = evalx.QueryLinking(goldIDs, cell.PredIDs)
-			res, execErr := sqlexec.Execute(b.Instance, predSel)
-			if execErr == nil {
-				outcome := evalx.CompareResults(gold, res)
+			if pe.execOK {
+				outcome := evalx.CompareResults(gold, pe.res)
 				if outcome == evalx.MatchYes && q.Ordered {
-					outcome = evalx.OrderedCompare(gold, res)
+					outcome = evalx.OrderedCompare(gold, pe.res)
 				}
 				cell.ExecCorrect = outcome == evalx.MatchYes
 			}
@@ -188,12 +361,18 @@ func runCell(b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
 	return cell
 }
 
-// fillNaturalnessFeatures derives the query-level naturalness measures the
-// correlation tables use: the levels of the gold identifiers as the prompt
-// variant renders them, and their tokenizer TCR.
-func fillNaturalnessFeatures(cell *Cell, b *datasets.Built, goldIDs sqlparse.IdentifierSet, m *llm.Model, v schema.Variant) {
+// natFeatures are the query-level naturalness measures the correlation
+// tables use, hoisted out of runCell because they are model-independent (up
+// to tokenizer family).
+type natFeatures struct {
+	combined, regFrac, lowFrac, leastFrac, tcr float64
+}
+
+// naturalnessFeatures derives the levels of the gold identifiers as the
+// prompt variant renders them, and their tokenizer TCR.
+func naturalnessFeatures(b *datasets.Built, goldIDs sqlparse.IdentifierSet, family string, v schema.Variant) natFeatures {
 	var levels []naturalness.Level
-	tok := token.ForModel(tokenizerFor(m.Profile.Name))
+	tok := token.ForModel(family)
 	var tcrSum float64
 	n := 0
 	for _, id := range goldIDs.Sorted() {
@@ -210,11 +389,13 @@ func fillNaturalnessFeatures(cell *Cell, b *datasets.Built, goldIDs sqlparse.Ide
 		tcrSum += tok.TCR(rendered)
 		n++
 	}
-	cell.Combined = naturalness.CombinedOf(levels)
-	cell.RegFrac, cell.LowFrac, cell.LeastFrac = naturalness.Proportions(levels)
+	var f natFeatures
+	f.combined = naturalness.CombinedOf(levels)
+	f.regFrac, f.lowFrac, f.leastFrac = naturalness.Proportions(levels)
 	if n > 0 {
-		cell.TCR = tcrSum / float64(n)
+		f.tcr = tcrSum / float64(n)
 	}
+	return f
 }
 
 // tokenizerFor maps a model profile to its tokenizer family.
@@ -229,7 +410,13 @@ func tokenizerFor(model string) string {
 
 // Filter returns the cells matching the predicate.
 func (s *Sweep) Filter(keep func(*Cell) bool) []Cell {
-	var out []Cell
+	n := 0
+	for i := range s.Cells {
+		if keep(&s.Cells[i]) {
+			n++
+		}
+	}
+	out := make([]Cell, 0, n)
 	for i := range s.Cells {
 		if keep(&s.Cells[i]) {
 			out = append(out, s.Cells[i])

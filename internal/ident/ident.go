@@ -7,6 +7,8 @@ package ident
 import (
 	"strings"
 	"unicode"
+
+	"github.com/snails-bench/snails/internal/memo"
 )
 
 // TokenKind classifies a sub-token of an identifier.
@@ -89,8 +91,18 @@ func Split(identifier string) []Token {
 	return toks
 }
 
-// Words returns only the alphabetic sub-tokens of the identifier, lower-cased.
+// wordsMemo caches Words decompositions. Identifiers come from a bounded
+// universe (schema crosswalks and question phrases), but the bound guards
+// against pathological callers feeding unbounded strings.
+var wordsMemo = memo.NewBounded[[]string](1 << 16)
+
+// Words returns only the alphabetic sub-tokens of the identifier,
+// lower-cased. The returned slice is shared across callers and must not be
+// modified.
 func Words(identifier string) []string {
+	if v, ok := wordsMemo.Get(identifier); ok {
+		return v
+	}
 	toks := Split(identifier)
 	out := make([]string, 0, len(toks))
 	for _, t := range toks {
@@ -98,6 +110,7 @@ func Words(identifier string) []string {
 			out = append(out, strings.ToLower(t.Text))
 		}
 	}
+	wordsMemo.Put(identifier, out)
 	return out
 }
 

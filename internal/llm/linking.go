@@ -5,13 +5,76 @@ import (
 	"strings"
 
 	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/memo"
 )
 
+// linkMemo caches the seed-independent parts of linking for one model. Raw
+// decode scores depend only on the profile's lexical parameters, so each
+// (phrase, identifier) pair compiles once into a simPlan that is replayed
+// for all 12k grid cells. Seed-dependent noise and gating stay per-call,
+// keeping results bit-identical to the unmemoized linker.
+//
+// Plans are stored two-level (phrase -> identifier -> plan) so the hot
+// candidate loops — which score one phrase against every table or column —
+// look up by bare identifier with no per-call key allocation.
+type linkMemo struct {
+	plans *memo.Cache[*memo.Cache[*simPlan]]
+}
+
+func newLinkMemo() *linkMemo {
+	return &linkMemo{plans: memo.NewBounded[*memo.Cache[*simPlan]](1 << 12)}
+}
+
+// fieldsMemo caches phrase tokenizations (seed- and model-independent).
+var fieldsMemo = memo.NewBounded[[]string](1 << 14) // phrase -> lower-cased fields
+
+// lowerFields returns strings.Fields(strings.ToLower(phrase)), memoized.
+// The returned slice is shared and must not be modified.
+func lowerFields(phrase string) []string {
+	if v, ok := fieldsMemo.Get(phrase); ok {
+		return v
+	}
+	v := strings.Fields(strings.ToLower(phrase))
+	fieldsMemo.Put(phrase, v)
+	return v
+}
+
 // linker scores candidate identifiers against natural-language mention
-// phrases for one model profile.
+// phrases for one model profile. A linker serves a single Infer call on a
+// single goroutine; only its memo is shared.
 type linker struct {
 	p    *Profile
 	seed uint64 // per-(model, question, variant) base seed
+	memo *linkMemo
+
+	// Single-entry cache of the plan set for the phrase currently being
+	// linked: candidate loops score one phrase against many identifiers, so
+	// this collapses the outer memo lookup to one per phrase change.
+	curPhrase string
+	curPlans  *memo.Cache[*simPlan]
+}
+
+// simPlan is the compiled, seed-independent evaluation of sim for one
+// (phrase, identifier) pair: everything except the recognition-gate draws,
+// which mix in the per-cell seed at eval time.
+type simPlan struct {
+	// isFixed short-circuits eval to the fixed score (empty inputs, acronym
+	// collapse, exact concatenation).
+	isFixed bool
+	fixed   float64
+	// hasWhole marks the concatenated-rendering path: eval returns
+	// max(whole, per-word coverage), as the serial linker did.
+	hasWhole bool
+	whole    float64
+	// Per-word best decode scores, their gate eligibility, and the
+	// seed-independent gate hash keys.
+	best     []float64
+	gateable []bool
+	gateKey  []uint64
+	nWords   int
+	// Extra-token dilution multiplier (1 when not applicable).
+	hasPenalty bool
+	penalty    float64
 }
 
 // decode returns the model's ability to recognize identifier sub-token tok
@@ -61,20 +124,27 @@ func initials(words []string) string {
 	return strings.ToLower(b.String())
 }
 
-// sim scores how well an identifier matches a mention phrase in [0, ~1].
-func (l *linker) sim(phrase, identifier string) float64 {
-	words := strings.Fields(strings.ToLower(phrase))
+// buildPlan compiles the seed-independent evaluation of sim(phrase,
+// identifier). The branch structure mirrors the direct computation exactly;
+// see evalPlan for the seed-dependent remainder.
+func (l *linker) buildPlan(phrase, identifier string) *simPlan {
+	p := &simPlan{}
+	words := lowerFields(phrase)
 	if len(words) == 0 || identifier == "" {
-		return 0
+		p.isFixed = true
+		return p
 	}
 	toks := ident.Words(identifier)
 	if len(toks) == 0 {
-		return 0
+		p.isFixed = true
+		return p
 	}
 	// Acronym collapse: a single identifier token matching the phrase
 	// initials ("COGM" for "cost of goods manufactured").
 	if len(toks) == 1 && len(words) >= 3 && strings.ToLower(toks[0]) == initials(words) {
-		return l.p.LexSkill * math.Exp(-l.p.Sensitivity*0.85)
+		p.isFixed = true
+		p.fixed = l.p.LexSkill * math.Exp(-l.p.Sensitivity*0.85)
+		return p
 	}
 	// Concatenated rendering: all-caps or lower styles fuse the phrase into
 	// one token ("CASENUMBER" for "case number"). Match the token against
@@ -83,56 +153,126 @@ func (l *linker) sim(phrase, identifier string) float64 {
 		concat := strings.Join(words, "")
 		t := strings.ToLower(toks[0])
 		if t == concat {
-			return 1
+			p.isFixed = true
+			p.fixed = 1
+			return p
 		}
 		if whole := l.decode(t, concat); whole > 0 {
-			perWord := l.simPerWord(words, toks, identifier)
-			if whole > perWord {
-				return whole
-			}
-			return perWord
+			p.hasWhole = true
+			p.whole = whole
 		}
 	}
-	return l.simPerWord(words, toks, identifier)
-}
-
-// simPerWord is the word-by-word coverage component of sim.
-func (l *linker) simPerWord(words, toks []string, identifier string) float64 {
-	var total float64
-	for _, w := range words {
+	p.nWords = len(words)
+	p.best = make([]float64, len(words))
+	p.gateable = make([]bool, len(words))
+	p.gateKey = make([]uint64, len(words))
+	for i, w := range words {
 		best := 0.0
 		for _, t := range toks {
 			if s := l.decode(t, w); s > best {
 				best = s
 			}
 		}
+		p.best[i] = best
+		if best > 0 && best < 0.999 {
+			p.gateable[i] = true
+			p.gateKey[i] = hashSeed("gate", w, identifier)
+		}
+	}
+	// Mild penalty for identifiers with many unrelated extra tokens, which
+	// dilute the lexical signal real embeddings rely on.
+	if extra := len(toks) - len(words); extra > 1 {
+		p.hasPenalty = true
+		p.penalty = 1 / (1 + 0.08*float64(extra-1))
+	}
+	return p
+}
+
+// evalPlan applies the per-cell seed to a compiled plan. Allocation-free.
+func (l *linker) evalPlan(p *simPlan) float64 {
+	if p.isFixed {
+		return p.fixed
+	}
+	var total float64
+	for i, best := range p.best {
 		// Recognition gate: an abbreviation the model cannot confidently
 		// decode is sometimes simply unreadable — the mapping from "VgHt"
 		// back to "vegetation height" either clicks or it doesn't. The gate
 		// fires with probability growing quadratically in the decode
 		// uncertainty, so confidently-read identifiers are unaffected while
 		// Least-naturalness skeletons frequently drop most of their signal.
-		if best > 0 && best < 0.999 && !l.p.DisableGate {
+		if p.gateable[i] && !l.p.DisableGate {
 			uncertain := 1 - best
 			gateP := 0.6 * uncertain * uncertain
-			if hash01(l.seed^hashSeed("gate", w, identifier)) < gateP {
+			if hash01(l.seed^p.gateKey[i]) < gateP {
 				best *= 0.15
 			}
 		}
 		total += best
 	}
-	cov := total / float64(len(words))
-	// Mild penalty for identifiers with many unrelated extra tokens, which
-	// dilute the lexical signal real embeddings rely on.
-	if extra := len(toks) - len(words); extra > 1 {
-		cov *= 1 / (1 + 0.08*float64(extra-1))
+	cov := total / float64(p.nWords)
+	if p.hasPenalty {
+		cov *= p.penalty
+	}
+	if p.hasWhole && p.whole > cov {
+		return p.whole
 	}
 	return cov
 }
 
+// sim scores how well an identifier matches a mention phrase in [0, ~1].
+func (l *linker) sim(phrase, identifier string) float64 {
+	if l.memo == nil {
+		return l.evalPlan(l.buildPlan(phrase, identifier))
+	}
+	if phrase != l.curPhrase || l.curPlans == nil {
+		l.curPlans = l.memo.plans.GetOrCompute(phrase, func() *memo.Cache[*simPlan] {
+			return memo.NewBounded[*simPlan](1 << 13)
+		})
+		l.curPhrase = phrase
+	}
+	if p, ok := l.curPlans.Get(identifier); ok {
+		return l.evalPlan(p)
+	}
+	p := l.buildPlan(phrase, identifier)
+	l.curPlans.Put(identifier, p)
+	return l.evalPlan(p)
+}
+
 // noise returns the deterministic per-candidate score perturbation.
 func (l *linker) noise(kind, candidate string) float64 {
-	return (hash01(l.seed^hashSeed(kind, strings.ToUpper(candidate))) - 0.5) * 2 * l.p.NoiseAmp
+	return l.noiseKeyed(hashSeed(kind, strings.ToUpper(candidate)))
+}
+
+// noiseKeyed draws noise from a precomputed hash key (see PromptTable's
+// primed noise keys: the key material is schema-static, only the seed mix
+// is per-cell).
+func (l *linker) noiseKeyed(k uint64) float64 {
+	return (hash01(l.seed^k) - 0.5) * 2 * l.p.NoiseAmp
+}
+
+// tableNoiseKey returns the noise hash key for a table-name candidate under
+// the given kind, preferring the primed key.
+func tableNoiseKey(t *PromptTable, kind string) uint64 {
+	if t.primed {
+		switch kind {
+		case "table":
+			return t.nkTable
+		case "table2":
+			return t.nkTable2
+		case "filter":
+			return t.nkFilter
+		}
+	}
+	return hashSeed(kind, strings.ToUpper(t.Name))
+}
+
+// columnNoiseKey returns the noise hash key for table.column qualified names.
+func columnNoiseKey(t *PromptTable, ci int) uint64 {
+	if t.primed {
+		return t.nkColumns[ci]
+	}
+	return hashSeed("column", strings.ToUpper(t.Name+"."+t.Columns[ci].Name))
 }
 
 // linkTable picks the best table for a mention phrase. ok is false when no
@@ -141,7 +281,8 @@ func (l *linker) noise(kind, candidate string) float64 {
 func (l *linker) linkTable(phrase string, ps *PromptSchema) (int, float64, bool) {
 	bestIdx, bestScore := -1, math.Inf(-1)
 	for i := range ps.Tables {
-		s := l.sim(phrase, ps.Tables[i].Name) + l.noise("table", ps.Tables[i].Name)
+		t := &ps.Tables[i]
+		s := l.sim(phrase, t.Name) + l.noiseKeyed(tableNoiseKey(t, "table"))
 		if s > bestScore {
 			bestIdx, bestScore = i, s
 		}
@@ -165,8 +306,10 @@ func (l *linker) linkColumn(phrase string, ps *PromptSchema, tableIdxs []int) (t
 		if pri == 0 {
 			bonus = 0.05
 		}
-		for _, c := range ps.Tables[ti].Columns {
-			s := l.sim(phrase, c.Name) + l.noise("column", ps.Tables[ti].Name+"."+c.Name) + bonus
+		t := &ps.Tables[ti]
+		for ci := range t.Columns {
+			c := &t.Columns[ci]
+			s := l.sim(phrase, c.Name) + l.noiseKeyed(columnNoiseKey(t, ci)) + bonus
 			if s > bestScore {
 				bestScore, tableIdx, column = s, ti, c.Name
 			}
@@ -183,7 +326,7 @@ func (l *linker) linkColumn(phrase string, ps *PromptSchema, tableIdxs []int) (t
 // named. The result rarely exists in the schema, producing the typo-like
 // failures the paper reports.
 func (l *linker) hallucinateIdentifier(phrase string) string {
-	words := strings.Fields(strings.ToLower(phrase))
+	words := lowerFields(phrase) // shared slice: copy before any mutation
 	if len(words) == 0 {
 		return "unknown"
 	}

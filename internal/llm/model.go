@@ -32,19 +32,22 @@ type Prediction struct {
 	Invalid bool
 }
 
-// Model is a runnable synthetic LLM.
+// Model is a runnable synthetic LLM. A Model is safe for concurrent use: the
+// profile is read-only and the linking memo is a concurrency-safe cache of
+// seed-independent decode scores.
 type Model struct {
 	Profile *Profile
+	memo    *linkMemo
 }
 
 // New returns a model for the profile.
-func New(p *Profile) *Model { return &Model{Profile: p} }
+func New(p *Profile) *Model { return &Model{Profile: p, memo: newLinkMemo()} }
 
 // Infer produces a SQL prediction for the task.
 func (m *Model) Infer(task Task) Prediction {
 	p := m.Profile
-	l := &linker{p: p, seed: task.Seed ^ hashSeed(p.Name)}
-	ps := ParsePrompt(task.SchemaKnowledge)
+	l := &linker{p: p, seed: task.Seed ^ hashSeed(p.Name), memo: m.memo}
+	ps := parsePromptCached(task.SchemaKnowledge)
 	if len(ps.Tables) == 0 {
 		return Prediction{SQL: "SELECT 1", Invalid: true}
 	}
@@ -216,7 +219,8 @@ func (m *Model) secondBestTable(l *linker, ps *PromptSchema, phrase string, excl
 		if i == exclude {
 			continue
 		}
-		s := l.sim(phrase, ps.Tables[i].Name) + l.noise("table2", ps.Tables[i].Name)
+		t := &ps.Tables[i]
+		s := l.sim(phrase, t.Name) + l.noiseKeyed(tableNoiseKey(t, "table2"))
 		if s > bestScore {
 			best, bestScore = i, s
 		}
@@ -253,23 +257,24 @@ func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []strin
 		mentions = append(mentions, in.JoinTableMention)
 	}
 	for i := range ps.Tables {
+		t := &ps.Tables[i]
 		best := 0.0
 		for _, mn := range mentions {
-			if s := l.sim(mn, ps.Tables[i].Name); s > best {
+			if s := l.sim(mn, t.Name); s > best {
 				best = s
 			}
 		}
 		// Column evidence: a table whose columns match the question's column
 		// mentions is likely relevant even if its own name is opaque.
 		for _, cm := range in.Columns {
-			for _, c := range ps.Tables[i].Columns {
+			for _, c := range t.Columns {
 				if s := 0.6 * l.sim(cm.Phrase, c.Name); s > best {
 					best = s
 				}
 			}
 		}
-		best += l.noise("filter", ps.Tables[i].Name)
-		all = append(all, scored{ps.Tables[i].Name, best})
+		best += l.noiseKeyed(tableNoiseKey(t, "filter"))
+		all = append(all, scored{t.Name, best})
 	}
 	sort.SliceStable(all, func(a, b int) bool { return all[a].score > all[b].score })
 	keep := m.Profile.FilterKeep

@@ -2,6 +2,8 @@ package llm
 
 import (
 	"strings"
+
+	"github.com/snails-bench/snails/internal/memo"
 )
 
 // PromptColumn is one column as seen in the schema-knowledge prompt.
@@ -14,6 +16,27 @@ type PromptColumn struct {
 type PromptTable struct {
 	Name    string
 	Columns []PromptColumn
+
+	// Precomputed seed-independent noise hash keys (linker.noiseKeyed): the
+	// candidate loops draw per-candidate noise thousands of times per cell
+	// and the UPPER+hash key material is schema-static. primed is false for
+	// hand-assembled literals, which fall back to hashing on the fly.
+	primed                      bool
+	nkTable, nkTable2, nkFilter uint64
+	nkColumns                   []uint64
+}
+
+// prime precomputes the noise hash keys.
+func (t *PromptTable) prime() {
+	up := strings.ToUpper(t.Name)
+	t.nkTable = hashSeed("table", up)
+	t.nkTable2 = hashSeed("table2", up)
+	t.nkFilter = hashSeed("filter", up)
+	t.nkColumns = make([]uint64, len(t.Columns))
+	for i := range t.Columns {
+		t.nkColumns[i] = hashSeed("column", strings.ToUpper(t.Name+"."+t.Columns[i].Name))
+	}
+	t.primed = true
 }
 
 // PromptSchema is the model's view of the database: exactly what the prompt
@@ -55,9 +78,27 @@ func ParsePrompt(block string) *PromptSchema {
 			t.Columns = append(t.Columns, pc)
 		}
 		if len(t.Columns) > 0 {
+			t.prime()
 			ps.Tables = append(ps.Tables, t)
 		}
 	}
+	return ps
+}
+
+// promptMemo caches parsed schema-knowledge blocks. The sweep renders only
+// (database, variant, subset) distinct prompts but parses one per grid cell;
+// caching collapses ~12k parses into a few hundred. Cached PromptSchemas are
+// shared across models and goroutines and must be treated as immutable.
+var promptMemo = memo.NewBounded[*PromptSchema](1 << 12)
+
+// parsePromptCached is ParsePrompt behind a global memo keyed on the raw
+// block text.
+func parsePromptCached(block string) *PromptSchema {
+	if ps, ok := promptMemo.Get(block); ok {
+		return ps
+	}
+	ps := ParsePrompt(block)
+	promptMemo.Put(block, ps)
 	return ps
 }
 

@@ -1,0 +1,102 @@
+// Package memo provides small sharded, mutex-protected memoization caches
+// for deterministic computations. The sweep engine runs grid cells on a
+// bounded worker pool, so every cache feeding it (gold query results, prompt
+// renderings, identifier decompositions, tokenizer ratios, linker decode
+// scores) must be safe for concurrent use without becoming a contention
+// point; sharding by key hash keeps lock traffic spread across independent
+// mutexes.
+package memo
+
+import "sync"
+
+// shardCount is a power of two so shard selection is a mask, not a modulo.
+const shardCount = 32
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// Cache is a string-keyed sharded cache. The zero value is not usable; use
+// New or NewBounded. Values stored must be treated as immutable by every
+// reader: the cache hands out the same value to all callers.
+type Cache[V any] struct {
+	shards      [shardCount]shard[V]
+	maxPerShard int // 0 = unbounded
+}
+
+// New returns an unbounded cache.
+func New[V any]() *Cache[V] { return NewBounded[V](0) }
+
+// NewBounded returns a cache that stops accepting new entries once it holds
+// roughly maxEntries (existing entries keep being served). A bound turns the
+// cache into a best-effort memo for workloads with unbounded key spaces —
+// correctness never depends on a hit. maxEntries <= 0 means unbounded.
+func NewBounded[V any](maxEntries int) *Cache[V] {
+	c := &Cache[V]{}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + shardCount - 1) / shardCount
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to keep Get allocation-free.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Get returns the cached value for key.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores the value for key unless the cache is at its bound.
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]V)
+	}
+	if c.maxPerShard == 0 || len(s.m) < c.maxPerShard {
+		s.m[key] = v
+	}
+	s.mu.Unlock()
+}
+
+// GetOrCompute returns the cached value for key, computing and storing it on
+// a miss. compute runs outside the shard lock, so concurrent callers may
+// compute the same key more than once; that is only correct because memoized
+// computations are deterministic — every racer produces the same value.
+func (c *Cache[V]) GetOrCompute(key string, compute func() V) V {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := compute()
+	c.Put(key, v)
+	return v
+}
+
+// Len returns the current entry count across shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

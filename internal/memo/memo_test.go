@@ -1,0 +1,84 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int]()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[string]()
+	calls := 0
+	f := func() string { calls++; return "v" }
+	if got := c.GetOrCompute("k", f); got != "v" {
+		t.Fatalf("GetOrCompute = %q", got)
+	}
+	if got := c.GetOrCompute("k", f); got != "v" {
+		t.Fatalf("GetOrCompute (cached) = %q", got)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestBound(t *testing.T) {
+	// With maxEntries = shardCount, each shard accepts exactly one entry:
+	// inserts beyond the first per shard are dropped, not evicted.
+	c := NewBounded[int](shardCount)
+	for i := 0; i < 10*shardCount; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n > shardCount {
+		t.Fatalf("bounded cache grew to %d entries, bound %d", n, shardCount)
+	}
+	// Entries that made it in keep being served.
+	served := 0
+	for i := 0; i < 10*shardCount; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("bounded cache should retain early entries")
+	}
+}
+
+// TestConcurrent exercises the cache from many goroutines; run under -race
+// this is the shard-locking regression test.
+func TestConcurrent(t *testing.T) {
+	c := New[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key-%d", i%97)
+				want := (i % 97) * 3
+				got := c.GetOrCompute(key, func() int { return want })
+				if got != want {
+					t.Errorf("GetOrCompute(%s) = %d, want %d", key, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n != 97 {
+		t.Fatalf("Len = %d, want 97", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/modifier"
 	"github.com/snails-bench/snails/internal/naturalness"
 )
@@ -26,9 +27,10 @@ type Builder struct {
 func NewBuilder(name string, style ident.CaseStyle) *Builder {
 	b := &Builder{
 		db: &Database{
-			Name:      name,
-			Crosswalk: modifier.NewCrosswalk(),
-			Metadata:  modifier.NewMetadataIndex(),
+			Name:       name,
+			Crosswalk:  modifier.NewCrosswalk(),
+			Metadata:   modifier.NewMetadataIndex(),
+			promptMemo: memo.NewBounded[string](1 << 10),
 		},
 		Style: style,
 	}

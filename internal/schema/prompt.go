@@ -23,7 +23,39 @@ type PromptOptions struct {
 //	#TableName (Col1Name Type, Col2Name Type, ...)
 //
 // one line per table, with identifiers mapped to the requested variant.
+// Renders are memoized per option set once the database is built (builder
+// databases are frozen before evaluation; hand-assembled literals render
+// uncached).
 func (d *Database) SchemaKnowledge(opts PromptOptions) string {
+	if d.promptMemo == nil {
+		return d.schemaKnowledge(opts)
+	}
+	key := opts.cacheKey()
+	if s, ok := d.promptMemo.Get(key); ok {
+		return s
+	}
+	s := d.schemaKnowledge(opts)
+	d.promptMemo.Put(key, s)
+	return s
+}
+
+// cacheKey serializes the options into a stable memo key. A nil table subset
+// (all tables) and an empty one (no tables) are distinct renderings.
+func (o PromptOptions) cacheKey() string {
+	var b strings.Builder
+	b.Grow(8 + 16*len(o.Tables))
+	fmt.Fprintf(&b, "%d|%t|", o.Variant, o.IncludeTypes)
+	if o.Tables == nil {
+		b.WriteString("*")
+	}
+	for _, t := range o.Tables {
+		b.WriteString(t)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func (d *Database) schemaKnowledge(opts PromptOptions) string {
 	var keep map[string]struct{}
 	if opts.Tables != nil {
 		keep = make(map[string]struct{}, len(opts.Tables))

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/modifier"
 	"github.com/snails-bench/snails/internal/naturalness"
 )
@@ -90,6 +91,10 @@ type Database struct {
 	Crosswalk *modifier.Crosswalk
 	// Metadata is the database's data dictionary, used by the expander.
 	Metadata *modifier.MetadataIndex
+	// promptMemo caches rendered schema-knowledge blocks per PromptOptions.
+	// The sweep asks for the same handful of renderings thousands of times,
+	// concurrently. nil (hand-built Database literals) disables caching.
+	promptMemo *memo.Cache[string]
 }
 
 // Table returns the table with the given native name (case-insensitive).

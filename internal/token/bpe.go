@@ -9,6 +9,8 @@ package token
 import (
 	"sort"
 	"strings"
+
+	"github.com/snails-bench/snails/internal/memo"
 )
 
 // pair is an adjacent symbol pair considered for merging during training.
@@ -21,6 +23,10 @@ type Tokenizer struct {
 	ranks  map[pair]int // merge priority: lower rank merges first
 	vocab  map[string]struct{}
 	merges int
+	// counts memoizes per-identifier token counts: the sweep asks for the
+	// same few hundred schema identifiers tens of thousands of times, from
+	// many goroutines at once. nil (zero-value Tokenizer) disables the memo.
+	counts *memo.Cache[int]
 }
 
 // Train learns merge rules from the corpus. The corpus is a whitespace
@@ -57,6 +63,7 @@ func Train(name, corpus string, numMerges int) *Tokenizer {
 		ranks:  make(map[pair]int, numMerges),
 		vocab:  make(map[string]struct{}),
 		merges: numMerges,
+		counts: memo.NewBounded[int](1 << 16),
 	}
 	for i := 0; i < numMerges; i++ {
 		counts := make(map[pair]int)
@@ -194,7 +201,17 @@ func (t *Tokenizer) Encode(identifier string) []string {
 }
 
 // Count returns the number of tokens the identifier encodes to.
-func (t *Tokenizer) Count(identifier string) int { return len(t.Encode(identifier)) }
+func (t *Tokenizer) Count(identifier string) int {
+	if t.counts == nil {
+		return len(t.Encode(identifier))
+	}
+	if n, ok := t.counts.Get(identifier); ok {
+		return n
+	}
+	n := len(t.Encode(identifier))
+	t.counts.Put(identifier, n)
+	return n
+}
 
 // TCR returns the token-to-character ratio of the identifier (equation 6 of
 // the paper): token count divided by character count. More natural

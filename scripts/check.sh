@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 verification recipe (see ROADMAP.md). Run from the repo root.
+#
+# The -race pass covers the packages the parallel sweep engine touches:
+# the worker pool and memoized caches in experiments, the shared linking
+# memos in llm, and the per-cell pipeline in workflow. It runs with -short
+# so the determinism test uses a database subset (goroutine interleaving is
+# what the race detector needs, not the full grid).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-touched packages)"
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/
+
+echo "OK"

@@ -320,3 +320,33 @@ func WriteReport(w io.Writer) { experiments.Report(w) }
 
 // Summary returns a one-page digest of the headline results.
 func Summary() string { return experiments.Summary() }
+
+// SetParallelism sets the worker count used by the evaluation sweep. n <= 0
+// restores the default (GOMAXPROCS). The sweep's results are bit-identical
+// at every worker count; parallelism only affects wall-clock time. Call
+// before the first sweep runs — the full grid is computed once per process.
+func SetParallelism(n int) { experiments.SetDefaultWorkers(n) }
+
+// Parallelism returns the worker count the next sweep will use.
+func Parallelism() int { return experiments.DefaultWorkers() }
+
+// SweepStats describes how the evaluation sweep executed: grid size, worker
+// count, and throughput. The numbers describe the run, not the results.
+type SweepStats struct {
+	Cells            int     `json:"cells"`
+	Workers          int     `json:"workers"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	CellsPerSec      float64 `json:"cells_per_sec"`
+}
+
+// BenchSweep runs (or returns the cached) full evaluation sweep and reports
+// its execution statistics.
+func BenchSweep() SweepStats {
+	st := experiments.Run().Stats
+	return SweepStats{
+		Cells:            st.Cells,
+		Workers:          st.Workers,
+		WallClockSeconds: st.WallClock.Seconds(),
+		CellsPerSec:      st.CellsPerSec,
+	}
+}
