@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report
+.PHONY: build test vet race check bench report fuzz serve loadtest
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,14 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/
+
+# Short fuzz pass over the SQL front end and CSV ingestion (the same smoke
+# scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sqlparse/
+	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime 10s ./internal/sqlparse/
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s ./internal/etl/
 
 # Tier-1 verification: build, vet, full tests, then the race pass.
 check:
@@ -28,3 +35,11 @@ bench:
 # Regenerate the committed report and BENCH_sweep.json artifacts.
 report:
 	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json
+
+# Run the serving daemon on :8080 (Ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/snailsd
+
+# Load-test a spawned in-process daemon and regenerate BENCH_serve.json.
+loadtest:
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snails-bench/snails/internal/server"
+)
+
+// serveStats is the schema of the BENCH_serve.json artifact: client-side
+// throughput and latency plus the server's own /metricsz counters.
+type serveStats struct {
+	Target           string  `json:"target"`
+	Requests         int     `json:"requests"`
+	Errors           int     `json:"errors"`
+	Concurrency      int     `json:"concurrency"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	RequestsPerSec   float64 `json:"requests_per_sec"`
+	ClientP50Millis  float64 `json:"client_p50_ms"`
+	ClientP99Millis  float64 `json:"client_p99_ms"`
+
+	Server server.MetricsSnapshot `json:"server"`
+}
+
+// workload builds the deterministic request mix: /v1/infer across four
+// databases, two models, and three variants (with deliberate repeats so the
+// response cache sees hits), interleaved with classify/modify/link traffic.
+func workload(n int) []struct{ path, body string } {
+	dbs := []string{"ASIS", "ATBI", "CWO", "KIS"}
+	models := []string{"gpt-4o", "gpt-3.5"}
+	variants := []string{"native", "regular", "least"}
+	reqs := make([]struct{ path, body string }, 0, n)
+	for i := 0; len(reqs) < n; i++ {
+		switch i % 8 {
+		case 6:
+			switch i % 3 {
+			case 0:
+				reqs = append(reqs, struct{ path, body string }{"/v1/classify",
+					fmt.Sprintf(`{"identifiers":["tbl_emp_%d","vegetation_height","xqz"]}`, i%5)})
+			case 1:
+				reqs = append(reqs, struct{ path, body string }{"/v1/modify",
+					`{"op":"expand","identifier":"veg_hght"}`})
+			default:
+				reqs = append(reqs, struct{ path, body string }{"/v1/classify",
+					fmt.Sprintf(`{"db":%q}`, dbs[i%len(dbs)])})
+			}
+		case 7:
+			reqs = append(reqs, struct{ path, body string }{"/v1/link",
+				`{"gold_sql":"SELECT a FROM t","pred_sql":"SELECT a FROM t WHERE b = 1"}`})
+		default:
+			// Consecutive requests share a (db, variant) block so concurrent
+			// workers actually exercise micro-batching; question ids cycle
+			// over a small window so repeats drive cache hits.
+			qid := (i % 7) + 1
+			block := i / 8
+			body := fmt.Sprintf(`{"db":%q,"model":%q,"variant":%q,"question_id":%d}`,
+				dbs[block%len(dbs)], models[i%len(models)], variants[(block/len(dbs))%len(variants)], qid)
+			reqs = append(reqs, struct{ path, body string }{"/v1/infer", body})
+		}
+	}
+	return reqs[:n]
+}
+
+// spawnInprocServer starts a snailsd-equivalent server on a loopback port
+// and returns its base URL plus a graceful stop function.
+func spawnInprocServer(stderr io.Writer) (string, func(), error) {
+	s := server.New(server.Config{})
+	s.Preload()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: s}
+	go httpSrv.Serve(ln)
+	stop := func() {
+		s.BeginShutdown()
+		httpSrv.Close()
+		s.Drain()
+	}
+	fmt.Fprintf(stderr, "snailsbench: spawned in-process snailsd on %s\n", ln.Addr())
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runLoadgen hammers the target server with the deterministic workload and
+// writes BENCH_serve.json. Exit status 0 requires every request to succeed.
+func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
+	target := cfg.target
+	if target == "" {
+		t, stop, err := spawnInprocServer(stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+		defer stop()
+		target = t
+	}
+
+	reqs := workload(cfg.requests)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies = make([]float64, 0, len(reqs))
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := reqs[i]
+				t0 := time.Now()
+				resp, err := client.Post(target+r.path, "application/json", bytes.NewReader([]byte(r.body)))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				if err != nil {
+					errs.Add(1)
+					fmt.Fprintf(stderr, "snailsbench: %s: %v\n", r.path, err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					fmt.Fprintf(stderr, "snailsbench: %s: HTTP %d: %s\n", r.path, resp.StatusCode, bytes.TrimSpace(body))
+					continue
+				}
+				latMu.Lock()
+				latencies = append(latencies, ms)
+				latMu.Unlock()
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	stats := serveStats{
+		Target:           target,
+		Requests:         len(reqs),
+		Errors:           int(errs.Load()),
+		Concurrency:      cfg.concurrency,
+		WallClockSeconds: wall.Seconds(),
+		RequestsPerSec:   float64(len(reqs)) / wall.Seconds(),
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		stats.ClientP50Millis = latencies[n/2]
+		stats.ClientP99Millis = latencies[int(0.99*float64(n-1))]
+	}
+
+	// Pull the server's own counters (cache hit ratio, batching, p50/p99).
+	if resp, err := client.Get(target + "/metricsz"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&stats.Server)
+		resp.Body.Close()
+	} else {
+		fmt.Fprintln(stderr, "snailsbench: metricsz:", err)
+	}
+
+	if cfg.serveOut != "" {
+		data, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.serveOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %d requests in %.2fs (%.0f req/s), %d errors, cache hit ratio %.2f, server p50 %.2fms p99 %.2fms\n",
+		stats.Requests, stats.WallClockSeconds, stats.RequestsPerSec, stats.Errors,
+		stats.Server.CacheHitRatio, stats.Server.LatencyP50Millis, stats.Server.LatencyP99Millis)
+	if stats.Errors > 0 {
+		return 1
+	}
+	return 0
+}

@@ -3,6 +3,10 @@
 // writes the report to a file instead of stdout. Alongside the report it
 // emits machine-readable sweep throughput stats (BENCH_sweep.json by
 // default) so performance regressions are diffable artifacts.
+//
+// With -loadgen it instead hammers a snailsd serving instance (spawning an
+// in-process one when -target is empty) and emits BENCH_serve.json with
+// throughput, cache hit ratio, and latency percentiles.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -26,21 +31,58 @@ type benchStats struct {
 	CellsPerSec      float64 `json:"cells_per_sec"`
 }
 
-func main() {
-	out := flag.String("out", "", "write the report to this file instead of stdout")
-	summary := flag.Bool("summary", false, "print only the headline digest")
-	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at every setting")
-	benchOut := flag.String("bench", "BENCH_sweep.json", "write sweep throughput stats to this JSON file (empty disables)")
-	flag.Parse()
+// benchConfig is the parsed flag set, split from main for testability.
+type benchConfig struct {
+	out      string
+	summary  bool
+	parallel int
+	benchOut string
 
-	experiments.SetDefaultWorkers(*parallel)
+	// loadgen mode
+	loadgen     bool
+	target      string
+	requests    int
+	concurrency int
+	serveOut    string
+}
 
-	w := bufio.NewWriter(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+// parseFlags parses argv into a benchConfig using an isolated FlagSet.
+func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
+	fs := flag.NewFlagSet("snailsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &benchConfig{}
+	fs.StringVar(&cfg.out, "out", "", "write the report to this file instead of stdout")
+	fs.BoolVar(&cfg.summary, "summary", false, "print only the headline digest")
+	fs.IntVar(&cfg.parallel, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at every setting")
+	fs.StringVar(&cfg.benchOut, "bench", "BENCH_sweep.json", "write sweep throughput stats to this JSON file (empty disables)")
+	fs.BoolVar(&cfg.loadgen, "loadgen", false, "load-test a snailsd server instead of generating the report")
+	fs.StringVar(&cfg.target, "target", "", "loadgen: base URL of a running snailsd (empty spawns one in-process)")
+	fs.IntVar(&cfg.requests, "requests", 400, "loadgen: total requests to issue")
+	fs.IntVar(&cfg.concurrency, "concurrency", 16, "loadgen: concurrent client workers")
+	fs.StringVar(&cfg.serveOut, "serve-bench", "BENCH_serve.json", "loadgen: write serving stats to this JSON file (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.requests <= 0 || cfg.concurrency <= 0 {
+		return nil, fmt.Errorf("-requests and -concurrency must be positive")
+	}
+	return cfg, nil
+}
+
+// runReport is the classic mode: regenerate the paper report and the sweep
+// throughput artifact.
+func runReport(cfg *benchConfig, stdout, stderr io.Writer) int {
+	experiments.SetDefaultWorkers(cfg.parallel)
+
+	w := bufio.NewWriter(stdout)
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "snailsbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
 		}
 		defer f.Close()
 		w = bufio.NewWriter(f)
@@ -48,14 +90,14 @@ func main() {
 	defer w.Flush()
 
 	start := time.Now()
-	if *summary {
+	if cfg.summary {
 		fmt.Fprint(w, experiments.Summary())
 	} else {
 		experiments.Report(w)
 	}
 	fmt.Fprintf(w, "\n(report generated in %s)\n", time.Since(start).Round(time.Millisecond))
 
-	if *benchOut != "" {
+	if cfg.benchOut != "" {
 		st := experiments.Run().Stats
 		data, err := json.MarshalIndent(benchStats{
 			Cells:            st.Cells,
@@ -65,12 +107,24 @@ func main() {
 			CellsPerSec:      st.CellsPerSec,
 		}, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "snailsbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "snailsbench:", err)
-			os.Exit(1)
+		if err := os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
 		}
 	}
+	return 0
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if cfg.loadgen {
+		os.Exit(runLoadgen(cfg, os.Stdout, os.Stderr))
+	}
+	os.Exit(runReport(cfg, os.Stdout, os.Stderr))
 }

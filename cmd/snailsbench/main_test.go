@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatalf("parseFlags(nil): %v", err)
+	}
+	if cfg.out != "" || cfg.summary || cfg.parallel != 0 {
+		t.Errorf("unexpected report defaults: %+v", cfg)
+	}
+	if cfg.benchOut != "BENCH_sweep.json" {
+		t.Errorf("benchOut = %q, want BENCH_sweep.json", cfg.benchOut)
+	}
+	if cfg.loadgen || cfg.target != "" {
+		t.Errorf("loadgen should default off: %+v", cfg)
+	}
+	if cfg.requests != 400 || cfg.concurrency != 16 || cfg.serveOut != "BENCH_serve.json" {
+		t.Errorf("unexpected loadgen defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsLoadgen(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-loadgen", "-target", "http://localhost:9999", "-requests", "10",
+		"-concurrency", "2", "-serve-bench", "",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if !cfg.loadgen || cfg.target != "http://localhost:9999" ||
+		cfg.requests != 10 || cfg.concurrency != 2 || cfg.serveOut != "" {
+		t.Errorf("parsed config = %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"positional"},
+		{"-requests", "0"},
+		{"-requests", "-5"},
+		{"-concurrency", "0"},
+		{"-requests", "notanumber"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}
+
+// TestWorkloadShape checks the loadgen request mix is well-formed: exactly n
+// requests, every path a real endpoint, every body valid JSON, and enough
+// repetition for the response cache to see hits.
+func TestWorkloadShape(t *testing.T) {
+	for _, n := range []int{1, 8, 100, 333} {
+		reqs := workload(n)
+		if len(reqs) != n {
+			t.Fatalf("workload(%d) returned %d requests", n, len(reqs))
+		}
+		valid := map[string]bool{"/v1/infer": true, "/v1/classify": true, "/v1/modify": true, "/v1/link": true}
+		for i, r := range reqs {
+			if !valid[r.path] {
+				t.Errorf("workload(%d)[%d] path %q unknown", n, i, r.path)
+			}
+			var decoded map[string]any
+			if err := json.Unmarshal([]byte(r.body), &decoded); err != nil {
+				t.Errorf("workload(%d)[%d] body not JSON: %v", n, i, err)
+			}
+		}
+	}
+
+	// With enough requests the mix must repeat bodies (cache-hit fuel) and
+	// include every endpoint.
+	reqs := workload(400)
+	seen := map[string]int{}
+	paths := map[string]bool{}
+	for _, r := range reqs {
+		seen[r.path+"\x00"+r.body]++
+		paths[r.path] = true
+	}
+	repeats := 0
+	for _, c := range seen {
+		if c > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Error("workload(400) has no repeated requests; loadgen would never exercise the cache")
+	}
+	if len(paths) != 4 {
+		t.Errorf("workload(400) covers %d endpoints, want 4", len(paths))
+	}
+}
+
+// TestRunLoadgenSmoke drives the full loadgen path against an in-process
+// server and validates the BENCH_serve.json artifact it writes.
+func TestRunLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen smoke is slow; skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := &benchConfig{loadgen: true, requests: 40, concurrency: 8, serveOut: out}
+	var stdout, stderr bytes.Buffer
+	if code := runLoadgen(cfg, &stdout, &stderr); code != 0 {
+		t.Fatalf("runLoadgen = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+	var stats serveStats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if stats.Requests != 40 || stats.Errors != 0 {
+		t.Errorf("requests=%d errors=%d, want 40/0", stats.Requests, stats.Errors)
+	}
+	if stats.Server.RequestsTotal < 40 {
+		t.Errorf("server requests_total = %d, want >= 40", stats.Server.RequestsTotal)
+	}
+	if !strings.Contains(stdout.String(), "loadgen:") {
+		t.Errorf("stdout missing summary line: %q", stdout.String())
+	}
+}

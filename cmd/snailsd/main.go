@@ -1,0 +1,130 @@
+// Command snailsd is the SNAILS serving daemon: a long-running HTTP JSON
+// API over the benchmark artifacts. It exposes NL-to-SQL inference with
+// execution-match evaluation (/v1/infer), identifier naturalness
+// classification (/v1/classify), abbreviation/expansion (/v1/modify),
+// schema-linking scoring (/v1/link), and the /healthz + /metricsz
+// observability pair.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
+// in-flight requests and queued micro-batches drain, and the process exits
+// 0. See DESIGN.md's "Serving layer" section for the architecture.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/snails-bench/snails/internal/server"
+)
+
+// config is the daemon's flag set, split from main for testability.
+type config struct {
+	addr         string
+	timeout      time.Duration
+	cacheEntries int
+	batchWindow  time.Duration
+	maxBatch     int
+	workers      int
+	preload      bool
+	drainGrace   time.Duration
+}
+
+// parseFlags parses argv into a config using an isolated FlagSet.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("snailsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request deadline (504 on expiry)")
+	fs.IntVar(&cfg.cacheEntries, "cache", 4096, "response cache entries (negative disables caching)")
+	fs.DurationVar(&cfg.batchWindow, "batch-window", 2*time.Millisecond, "micro-batch accumulation window for /v1/infer")
+	fs.IntVar(&cfg.maxBatch, "batch-max", 16, "flush a micro-batch early at this many requests")
+	fs.IntVar(&cfg.workers, "workers", 0, "inference worker pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.preload, "preload", true, "build all databases and train the classifier before listening")
+	fs.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "maximum time to drain in-flight work on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+func (c *config) serverConfig() server.Config {
+	return server.Config{
+		RequestTimeout: c.timeout,
+		CacheEntries:   c.cacheEntries,
+		BatchWindow:    c.batchWindow,
+		MaxBatch:       c.maxBatch,
+		Workers:        c.workers,
+	}
+}
+
+// run starts the daemon and blocks until a shutdown signal arrives and the
+// drain completes; the returned code is the process exit status. ready, if
+// non-nil, receives the bound listen address once the server is accepting —
+// tests and the loadgen harness use it to avoid polling.
+func run(cfg *config, stderr io.Writer, ready chan<- string, signals <-chan os.Signal) int {
+	s := server.New(cfg.serverConfig())
+	if cfg.preload {
+		start := time.Now()
+		s.Preload()
+		fmt.Fprintf(stderr, "snailsd: preloaded collection in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: s}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stderr, "snailsd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-signals:
+		fmt.Fprintf(stderr, "snailsd: %v — draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return 1
+	}
+
+	// Graceful shutdown: flip /healthz to draining and reject new API
+	// requests, stop the listener and wait for in-flight handlers, then
+	// drain queued micro-batches and stop the worker pool.
+	s.BeginShutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "snailsd: shutdown:", err)
+		s.Drain()
+		return 1
+	}
+	s.Drain()
+	fmt.Fprintln(stderr, "snailsd: drained, exiting")
+	return 0
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(cfg, os.Stderr, nil, signals))
+}

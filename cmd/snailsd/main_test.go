@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatalf("parseFlags(nil): %v", err)
+	}
+	if cfg.addr != ":8080" || cfg.timeout != 10*time.Second || cfg.cacheEntries != 4096 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.batchWindow != 2*time.Millisecond || cfg.maxBatch != 16 || cfg.workers != 0 {
+		t.Errorf("unexpected batching defaults: %+v", cfg)
+	}
+	if !cfg.preload || cfg.drainGrace != 30*time.Second {
+		t.Errorf("unexpected lifecycle defaults: %+v", cfg)
+	}
+	sc := cfg.serverConfig()
+	if sc.RequestTimeout != cfg.timeout || sc.CacheEntries != cfg.cacheEntries ||
+		sc.BatchWindow != cfg.batchWindow || sc.MaxBatch != cfg.maxBatch || sc.Workers != cfg.workers {
+		t.Errorf("serverConfig() lost fields: %+v", sc)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"positional"},
+		{"-timeout", "notaduration"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}
+
+// TestRunGracefulShutdown boots the daemon on a loopback port, verifies it
+// serves, then delivers a synthetic SIGTERM and asserts the drain path exits
+// with status 0 — the acceptance criterion for graceful shutdown.
+func TestRunGracefulShutdown(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-preload=false"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	signals := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() { code <- run(cfg, io.Discard, ready, signals) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	signals <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Errorf("run exited %d after SIGTERM, want 0", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+
+	// The listener is gone after the drain.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still accepting after drained exit")
+	}
+}
+
+// TestRunBadAddr asserts a listen failure reports exit code 1 instead of
+// hanging.
+func TestRunBadAddr(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "256.256.256.256:1", "-preload=false"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run(cfg, io.Discard, nil, make(chan os.Signal)); code != 1 {
+		t.Errorf("run with bad addr = %d, want 1", code)
+	}
+}

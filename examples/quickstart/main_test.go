@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestQuickstart runs the example end to end. The example log.Fatals on any
+// API failure, so simply reaching the end is the assertion: the public
+// facade's open/classify/crosswalk/ask/execute path works as documented.
+func TestQuickstart(t *testing.T) {
+	main()
+}

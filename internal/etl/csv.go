@@ -161,6 +161,19 @@ func DumpCSV(w io.Writer, table *sqldb.TableData) error {
 			}
 			rec[i] = v.String()
 		}
+		// A single-column NULL row would serialize as a blank line, which
+		// CSV readers skip — quote it explicitly so the row survives a
+		// round trip.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

@@ -1,0 +1,73 @@
+package etl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// FuzzLoadCSV feeds arbitrary bytes through CSV ingestion. Properties:
+//
+//  1. LoadCSV never panics — it returns a table or an error;
+//  2. a successful load has non-empty, trimmed column names and every row
+//     matches the column count;
+//  3. DumpCSV of a loaded table re-loads with the same shape (column names
+//     and row count), i.e. export is an inverse of ingestion at the schema
+//     level.
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"id,name\n1,abies\n2,acer\n",
+		"id,height\n1,2.5\n2,\n3,10\n",
+		"a,b,c\n1,2\n", // ragged row: must error, not panic
+		"\"quoted,col\",plain\n\"x,y\",z\n",
+		"col\n\"multi\nline\"\n",
+		"id,code\n1,NA\n2,NULL\n",
+		"only_header\n",
+		"",
+		"\n\n\n",
+		"a,a\n1,2\n", // duplicate column names
+		"spécies,été\nabies,1\n",
+		"a;b\n1;2\n",
+		" padded , names \n 1 , 2 \n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db := sqldb.NewDB("fuzz")
+		table, err := LoadCSV(db, "t", strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		for i, col := range table.Columns {
+			if col == "" || col != strings.TrimSpace(col) {
+				t.Fatalf("LoadCSV(%q) column %d = %q, want trimmed non-empty", input, i, col)
+			}
+		}
+		for ri, row := range table.Rows {
+			if len(row) != len(table.Columns) {
+				t.Fatalf("LoadCSV(%q) row %d has %d values, want %d", input, ri, len(row), len(table.Columns))
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := DumpCSV(&buf, table); err != nil {
+			t.Fatalf("DumpCSV after LoadCSV(%q): %v", input, err)
+		}
+		again, err := LoadCSV(sqldb.NewDB("fuzz2"), "t", &buf)
+		if err != nil {
+			t.Fatalf("reload of dumped CSV from %q: %v", input, err)
+		}
+		if len(again.Columns) != len(table.Columns) || len(again.Rows) != len(table.Rows) {
+			t.Fatalf("dump/reload of %q changed shape: %dx%d -> %dx%d", input,
+				len(table.Columns), len(table.Rows), len(again.Columns), len(again.Rows))
+		}
+		for i := range table.Columns {
+			if again.Columns[i] != table.Columns[i] {
+				t.Fatalf("dump/reload of %q changed column %d: %q -> %q", input, i, table.Columns[i], again.Columns[i])
+			}
+		}
+	})
+}

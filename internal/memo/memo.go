@@ -4,17 +4,34 @@
 // renderings, identifier decompositions, tokenizer ratios, linker decode
 // scores) must be safe for concurrent use without becoming a contention
 // point; sharding by key hash keeps lock traffic spread across independent
-// mutexes.
+// mutexes. Bounded caches evict with a per-shard clock hand so long-running
+// processes (the snailsd serving daemon) hold memory steady while keeping
+// recently-touched entries hot.
 package memo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // shardCount is a power of two so shard selection is a mask, not a modulo.
 const shardCount = 32
 
+// entry boxes a cached value with its clock-hand reference bit. The ref bit
+// is atomic so Get can mark recency under the shard's read lock.
+type entry[V any] struct {
+	key string
+	v   V
+	ref atomic.Bool
+}
+
 type shard[V any] struct {
 	mu sync.RWMutex
-	m  map[string]V
+	m  map[string]*entry[V]
+	// ring holds the shard's entries in insertion slots for the clock hand.
+	// len(ring) never exceeds the shard bound; eviction reuses slots.
+	ring []*entry[V]
+	hand int
 }
 
 // Cache is a string-keyed sharded cache. The zero value is not usable; use
@@ -23,15 +40,19 @@ type shard[V any] struct {
 type Cache[V any] struct {
 	shards      [shardCount]shard[V]
 	maxPerShard int // 0 = unbounded
+	evictions   atomic.Uint64
 }
 
 // New returns an unbounded cache.
 func New[V any]() *Cache[V] { return NewBounded[V](0) }
 
-// NewBounded returns a cache that stops accepting new entries once it holds
-// roughly maxEntries (existing entries keep being served). A bound turns the
-// cache into a best-effort memo for workloads with unbounded key spaces —
-// correctness never depends on a hit. maxEntries <= 0 means unbounded.
+// NewBounded returns a cache that holds at most roughly maxEntries. Once a
+// shard reaches its bound, inserting a new key evicts an existing entry
+// chosen by a clock hand (second-chance): entries touched by Get since the
+// hand last passed survive one sweep. A bound turns the cache into a
+// best-effort memo for workloads with unbounded key spaces — correctness
+// never depends on a hit — while capping resident memory for long-running
+// servers. maxEntries <= 0 means unbounded.
 func NewBounded[V any](maxEntries int) *Cache[V] {
 	c := &Cache[V]{}
 	if maxEntries > 0 {
@@ -54,25 +75,54 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 	return &c.shards[fnv1a(key)&(shardCount-1)]
 }
 
-// Get returns the cached value for key.
+// Get returns the cached value for key and marks the entry recently used.
 func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shardFor(key)
 	s.mu.RLock()
-	v, ok := s.m[key]
+	e, ok := s.m[key]
+	var v V
+	if ok {
+		v = e.v
+		e.ref.Store(true)
+	}
 	s.mu.RUnlock()
 	return v, ok
 }
 
-// Put stores the value for key unless the cache is at its bound.
+// Put stores the value for key, evicting a clock-hand victim when the shard
+// is at its bound.
 func (c *Cache[V]) Put(key string, v V) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if s.m == nil {
-		s.m = make(map[string]V)
+		s.m = make(map[string]*entry[V])
 	}
-	if c.maxPerShard == 0 || len(s.m) < c.maxPerShard {
-		s.m[key] = v
+	if e, ok := s.m[key]; ok {
+		e.v = v
+		e.ref.Store(true)
+		s.mu.Unlock()
+		return
 	}
+	e := &entry[V]{key: key, v: v}
+	if c.maxPerShard > 0 && len(s.ring) >= c.maxPerShard {
+		// Clock hand: clear ref bits until an unreferenced victim is found.
+		// Bounded: after one full sweep every bit is clear, so the loop
+		// terminates at most 2*len(ring) steps in.
+		for {
+			victim := s.ring[s.hand]
+			if !victim.ref.Swap(false) {
+				delete(s.m, victim.key)
+				s.ring[s.hand] = e
+				s.hand = (s.hand + 1) % len(s.ring)
+				c.evictions.Add(1)
+				break
+			}
+			s.hand = (s.hand + 1) % len(s.ring)
+		}
+	} else {
+		s.ring = append(s.ring, e)
+	}
+	s.m[key] = e
 	s.mu.Unlock()
 }
 
@@ -100,3 +150,7 @@ func (c *Cache[V]) Len() int {
 	}
 	return n
 }
+
+// Evictions returns the number of entries displaced by the clock hand since
+// the cache was created (always 0 for unbounded caches).
+func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }

@@ -36,8 +36,9 @@ func TestGetOrCompute(t *testing.T) {
 }
 
 func TestBound(t *testing.T) {
-	// With maxEntries = shardCount, each shard accepts exactly one entry:
-	// inserts beyond the first per shard are dropped, not evicted.
+	// With maxEntries = shardCount, each shard holds exactly one entry:
+	// inserts beyond the first per shard evict, so Len never exceeds the
+	// bound no matter how many distinct keys flow through.
 	c := NewBounded[int](shardCount)
 	for i := 0; i < 10*shardCount; i++ {
 		c.Put(fmt.Sprintf("key-%d", i), i)
@@ -45,15 +46,84 @@ func TestBound(t *testing.T) {
 	if n := c.Len(); n > shardCount {
 		t.Fatalf("bounded cache grew to %d entries, bound %d", n, shardCount)
 	}
-	// Entries that made it in keep being served.
-	served := 0
-	for i := 0; i < 10*shardCount; i++ {
-		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
-			served++
+	// New keys displace old ones rather than being dropped: the most
+	// recently inserted key is always resident.
+	last := fmt.Sprintf("key-%d", 10*shardCount-1)
+	if _, ok := c.Get(last); !ok {
+		t.Fatalf("most recent insert %s was not retained", last)
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("overfilling a bounded cache should record evictions")
+	}
+}
+
+func TestClockHandEviction(t *testing.T) {
+	// All keys land in one shard by construction is hard to arrange with
+	// FNV, so use a bound of shardCount (one slot per shard) and find two
+	// keys that collide on a shard: the second insert must evict the first
+	// unless the first was touched.
+	c := NewBounded[int](shardCount)
+	target := fnv1a("a0") & (shardCount - 1)
+	collider := ""
+	for i := 1; i < 10000; i++ {
+		k := fmt.Sprintf("a%d", i)
+		if fnv1a(k)&(shardCount-1) == target {
+			collider = k
+			break
 		}
 	}
-	if served == 0 {
-		t.Fatal("bounded cache should retain early entries")
+	if collider == "" {
+		t.Fatal("no shard collider found")
+	}
+
+	// Untouched entry: evicted by the next colliding insert.
+	c.Put("a0", 1)
+	c.Put(collider, 2)
+	if _, ok := c.Get("a0"); ok {
+		t.Fatal("untouched entry should have been evicted by the clock hand")
+	}
+	if v, ok := c.Get(collider); !ok || v != 2 {
+		t.Fatalf("collider = %d, %v; want 2, true", v, ok)
+	}
+
+	// Referenced entry: Get sets the ref bit, so with two slots per shard a
+	// hot entry survives the sweep and the hand evicts the cold one.
+	c3 := NewBounded[int](2 * shardCount)
+	second := ""
+	for i := 1; i < 20000; i++ {
+		k := fmt.Sprintf("a%d", i)
+		if k != collider && fnv1a(k)&(shardCount-1) == target {
+			second = k
+			break
+		}
+	}
+	if second == "" {
+		t.Fatal("no second collider found")
+	}
+	c3.Put("a0", 1)
+	c3.Put(collider, 2)
+	c3.Get("a0") // hot
+	c3.Put(second, 3)
+	if _, ok := c3.Get("a0"); !ok {
+		t.Fatal("recently-used entry should survive the sweep")
+	}
+	if _, ok := c3.Get(collider); ok {
+		t.Fatal("cold entry should have been evicted")
+	}
+	if v, ok := c3.Get(second); !ok || v != 3 {
+		t.Fatalf("new entry = %d, %v; want 3, true", v, ok)
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := NewBounded[int](shardCount)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("updated value = %d, want 2", v)
+	}
+	if c.Evictions() != 0 {
+		t.Fatal("overwriting a key must not evict")
 	}
 }
 

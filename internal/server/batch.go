@@ -1,0 +1,315 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/evalx"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/memo"
+	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/workflow"
+)
+
+// pool is a bounded worker pool with a fixed-depth queue. Submissions are
+// rejected (never blocked) when the queue is full, so an overloaded server
+// answers 503 instead of accumulating unbounded goroutines.
+type pool struct {
+	mu     sync.RWMutex
+	jobs   chan func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, queueDepth int) *pool {
+	p := &pool{jobs: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues f, reporting false when the pool is saturated or closed.
+func (p *pool) submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake and waits for queued work to drain — the serving
+// daemon's "finish in-flight batches" step.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// inferKey groups concurrent inference requests that can share one rendered
+// schema prompt.
+type inferKey struct {
+	db      string
+	variant schema.Variant
+}
+
+// inferItem is one queued /v1/infer request inside a batch.
+type inferItem struct {
+	q       nlq.Question
+	profile *llm.Profile
+	out     chan inferOutcome // buffered(1); exactly one send per item
+}
+
+type inferOutcome struct {
+	resp InferResponse
+	err  *apiError
+}
+
+type inferBatch struct {
+	key   inferKey
+	b     *datasets.Built
+	items []*inferItem
+	timer *time.Timer
+}
+
+// batcher accumulates concurrent /v1/infer requests per (db, variant) for up
+// to window (or maxBatch items) and flushes each batch as one pool job that
+// renders the schema prompt once. Batching trades a bounded added latency
+// (≤ window) for shared prompt work — the micro-batching pattern of serving
+// systems, applied to schema-knowledge rendering.
+type batcher struct {
+	s        *Server
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending map[inferKey]*inferBatch
+	// inflight counts batches handed to the pool but not yet finished, so
+	// shutdown can drain them.
+	inflight sync.WaitGroup
+}
+
+func newBatcher(s *Server, window time.Duration, maxBatch int) *batcher {
+	return &batcher{s: s, window: window, maxBatch: maxBatch, pending: map[inferKey]*inferBatch{}}
+}
+
+// enqueue queues one request and returns the channel its outcome will be
+// delivered on. Every item receives exactly one outcome — a result, or an
+// overload error if the pool rejects its batch.
+func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, p *llm.Profile) chan inferOutcome {
+	item := &inferItem{q: q, profile: p, out: make(chan inferOutcome, 1)}
+	key := inferKey{db: b.Name, variant: v}
+
+	bt.mu.Lock()
+	ba := bt.pending[key]
+	if ba == nil {
+		ba = &inferBatch{key: key, b: b}
+		bt.pending[key] = ba
+		ba.timer = time.AfterFunc(bt.window, func() { bt.flush(key, ba) })
+	}
+	ba.items = append(ba.items, item)
+	full := len(ba.items) >= bt.maxBatch
+	if full {
+		ba.timer.Stop()
+		delete(bt.pending, key)
+	}
+	bt.mu.Unlock()
+
+	if full {
+		bt.dispatch(ba)
+	}
+	return item.out
+}
+
+// flush moves a timed-out batch from pending to the pool. It is a no-op if
+// the batch was already dispatched by the size trigger.
+func (bt *batcher) flush(key inferKey, ba *inferBatch) {
+	bt.mu.Lock()
+	if bt.pending[key] != ba {
+		bt.mu.Unlock()
+		return
+	}
+	delete(bt.pending, key)
+	bt.mu.Unlock()
+	bt.dispatch(ba)
+}
+
+// dispatch hands a batch to the worker pool; on rejection it fails every
+// item (the sole outcome send for those items).
+func (bt *batcher) dispatch(ba *inferBatch) {
+	bt.inflight.Add(1)
+	ok := bt.s.pool.submit(func() {
+		defer bt.inflight.Done()
+		bt.run(ba)
+	})
+	if !ok {
+		bt.inflight.Done()
+		for _, it := range ba.items {
+			it.out <- inferOutcome{err: errOverloaded}
+		}
+	}
+}
+
+// drain flushes every pending batch immediately and waits for in-flight
+// batches to finish. Called during graceful shutdown after the listener has
+// stopped accepting new requests.
+func (bt *batcher) drain() {
+	bt.mu.Lock()
+	pending := make([]*inferBatch, 0, len(bt.pending))
+	for key, ba := range bt.pending {
+		ba.timer.Stop()
+		delete(bt.pending, key)
+		pending = append(pending, ba)
+	}
+	bt.mu.Unlock()
+	for _, ba := range pending {
+		bt.dispatch(ba)
+	}
+	bt.inflight.Wait()
+}
+
+// run executes one flushed batch: the schema prompt is rendered once when
+// the database's prompts are question-independent (all databases except the
+// module-scoped SBOD), then each item runs the standard pipeline and
+// evaluation.
+func (bt *batcher) run(ba *inferBatch) {
+	bt.s.metrics.batches.Add(1)
+	bt.s.metrics.batchedReq.Add(uint64(len(ba.items)))
+
+	shared := ""
+	if workflow.SharedPrompt(ba.b) && len(ba.items) > 0 {
+		shared, _ = workflow.PromptFor(ba.b, ba.items[0].q, ba.key.variant)
+	}
+	for _, it := range ba.items {
+		resp, err := bt.s.runInfer(ba, it, shared)
+		if err != nil {
+			it.out <- inferOutcome{err: err}
+			continue
+		}
+		it.out <- inferOutcome{resp: resp}
+	}
+}
+
+// runInfer is the per-item pipeline: prompt → synthetic-LLM inference →
+// denaturalization → linking scores → relaxed execution match. Gold query
+// results and predicted-query executions are memoized across requests.
+func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (InferResponse, *apiError) {
+	in := workflow.RunInput{B: ba.b, Q: it.q, Variant: ba.key.variant, Model: s.modelFor(it.profile)}
+	var out workflow.RunOutput
+	if sharedPrompt != "" {
+		out = workflow.RunWithPrompt(in, sharedPrompt, nil)
+	} else {
+		out = workflow.Run(in)
+	}
+
+	resp := InferResponse{
+		DB:         ba.b.Name,
+		Model:      it.profile.Name,
+		Variant:    ba.key.variant.String(),
+		QuestionID: it.q.ID,
+		Question:   it.q.Text,
+		SQL:        out.Prediction.SQL,
+		NativeSQL:  out.NativeSQL,
+		Valid:      out.ParseOK,
+	}
+	if !out.ParseOK {
+		return resp, nil
+	}
+	link := evalx.QueryLinkingSQL(it.q.Gold, out.NativeSQL)
+	resp.Recall, resp.Precision, resp.F1 = link.Recall, link.Precision, link.F1
+
+	gold, err := s.goldResult(ba.b, it.q)
+	if err != nil {
+		return resp, errorf(500, "gold_failed", "gold query for %s#%d failed: %v", ba.b.Name, it.q.ID, err)
+	}
+	if pred := s.predResult(ba.b, out.NativeSQL); pred != nil {
+		resp.ExecCorrect = evalx.CompareResults(gold, pred) == evalx.MatchYes
+	}
+	return resp, nil
+}
+
+// modelFor returns the server's shared model instance for a profile. Models
+// carry only memoized deterministic state, so sharing across requests is
+// race-safe (the parallel sweep engine relies on the same property).
+func (s *Server) modelFor(p *llm.Profile) *llm.Model {
+	s.modelsMu.Lock()
+	defer s.modelsMu.Unlock()
+	m, ok := s.models[p.Name]
+	if !ok {
+		m = llm.New(p)
+		s.models[p.Name] = m
+	}
+	return m
+}
+
+// goldResult executes (and memoizes) a question's gold query.
+func (s *Server) goldResult(b *datasets.Built, q nlq.Question) (*sqldb.Result, error) {
+	key := fmt.Sprintf("%s#%d", b.Name, q.ID)
+	if v, ok := s.goldCache.Get(key); ok {
+		return v, nil
+	}
+	res, err := sqlexec.ExecuteSQL(b.Instance, q.Gold)
+	if err != nil {
+		return nil, err
+	}
+	s.goldCache.Put(key, res)
+	return res, nil
+}
+
+// goldSQLResult executes an arbitrary caller-supplied gold query (the
+// /v1/link path, where gold is not a benchmark question). Errors are
+// reported to the caller, so results are not memoized through predCache's
+// nil-on-error convention.
+func (s *Server) goldSQLResult(b *datasets.Built, sql string) (*sqldb.Result, error) {
+	key := b.Name + "\x00gold\x00" + sql
+	if v, ok := s.goldCache.Get(key); ok {
+		return v, nil
+	}
+	res, err := sqlexec.ExecuteSQL(b.Instance, sql)
+	if err != nil {
+		return nil, err
+	}
+	s.goldCache.Put(key, res)
+	return res, nil
+}
+
+// predResult executes (and memoizes) a predicted query; nil means the
+// prediction does not execute, which scores as an execution miss.
+func (s *Server) predResult(b *datasets.Built, sql string) *sqldb.Result {
+	key := b.Name + "\x00" + sql
+	return s.predCache.GetOrCompute(key, func() *sqldb.Result {
+		res, err := sqlexec.ExecuteSQL(b.Instance, sql)
+		if err != nil {
+			return nil
+		}
+		return res
+	})
+}
+
+// newExecCaches builds the server's execution memos. Both are bounded:
+// /v1/link accepts arbitrary caller SQL, so even the gold side has an
+// unbounded key space in a long-running daemon.
+func newExecCaches() (gold *memo.Cache[*sqldb.Result], pred *memo.Cache[*sqldb.Result]) {
+	return memo.NewBounded[*sqldb.Result](1 << 13), memo.NewBounded[*sqldb.Result](1 << 14)
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize bounds the latency sample memory; 2048 samples give stable
+// p99 estimates at serving rates without unbounded growth.
+const latencyRingSize = 2048
+
+// latencyRing is a fixed-size ring of request latencies in milliseconds.
+// Percentiles are computed over whatever the ring currently holds, so they
+// reflect recent traffic rather than the whole process lifetime.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [latencyRingSize]float64
+	next  int
+	count int
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % latencyRingSize
+	if r.count < latencyRingSize {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the requested quantiles (0..1) over the ring in one
+// pass; the ring is copied and sorted outside the lock's hot path.
+func (r *latencyRing) percentiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	n := r.count
+	samples := make([]float64, n)
+	copy(samples, r.buf[:n])
+	r.mu.Unlock()
+
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out
+	}
+	sort.Float64s(samples)
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = samples[idx]
+	}
+	return out
+}
+
+// metrics aggregates serving counters. All fields are safe for concurrent
+// update; /metricsz renders a point-in-time snapshot.
+type metrics struct {
+	start time.Time
+
+	requests   atomic.Uint64 // all requests, including errors
+	errors     atomic.Uint64 // responses with status >= 400
+	timeouts   atomic.Uint64 // 504s
+	inflight   atomic.Int64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	batches    atomic.Uint64 // flushed inference batches
+	batchedReq atomic.Uint64 // inference requests carried by those batches
+
+	byEndpoint sync.Map // endpoint path -> *atomic.Uint64
+
+	lat latencyRing
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+func (m *metrics) countEndpoint(path string) {
+	v, ok := m.byEndpoint.Load(path)
+	if !ok {
+		v, _ = m.byEndpoint.LoadOrStore(path, new(atomic.Uint64))
+	}
+	v.(*atomic.Uint64).Add(1)
+}
+
+// MetricsSnapshot is the /metricsz response document.
+type MetricsSnapshot struct {
+	UptimeSeconds    float64           `json:"uptime_seconds"`
+	RequestsTotal    uint64            `json:"requests_total"`
+	RequestsByPath   map[string]uint64 `json:"requests_by_path"`
+	ErrorsTotal      uint64            `json:"errors_total"`
+	TimeoutsTotal    uint64            `json:"timeouts_total"`
+	Inflight         int64             `json:"inflight"`
+	CacheHits        uint64            `json:"cache_hits"`
+	CacheMisses      uint64            `json:"cache_misses"`
+	CacheHitRatio    float64           `json:"cache_hit_ratio"`
+	CacheEntries     int               `json:"cache_entries"`
+	CacheEvictions   uint64            `json:"cache_evictions"`
+	Batches          uint64            `json:"batches"`
+	BatchedRequests  uint64            `json:"batched_requests"`
+	MeanBatchSize    float64           `json:"mean_batch_size"`
+	LatencyP50Millis float64           `json:"latency_p50_ms"`
+	LatencyP99Millis float64           `json:"latency_p99_ms"`
+}
+
+func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnapshot {
+	hits, misses := m.cacheHits.Load(), m.cacheMiss.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	batches, batched := m.batches.Load(), m.batchedReq.Load()
+	meanBatch := 0.0
+	if batches > 0 {
+		meanBatch = float64(batched) / float64(batches)
+	}
+	ps := m.lat.percentiles(0.50, 0.99)
+	byPath := map[string]uint64{}
+	m.byEndpoint.Range(func(k, v any) bool {
+		byPath[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return MetricsSnapshot{
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		RequestsTotal:    m.requests.Load(),
+		RequestsByPath:   byPath,
+		ErrorsTotal:      m.errors.Load(),
+		TimeoutsTotal:    m.timeouts.Load(),
+		Inflight:         m.inflight.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheHitRatio:    ratio,
+		CacheEntries:     cacheEntries,
+		CacheEvictions:   cacheEvictions,
+		Batches:          batches,
+		BatchedRequests:  batched,
+		MeanBatchSize:    meanBatch,
+		LatencyP50Millis: ps[0],
+		LatencyP99Millis: ps[1],
+	}
+}

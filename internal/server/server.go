@@ -1,0 +1,316 @@
+// Package server is the snailsd serving layer: a long-running HTTP JSON API
+// exposing the SNAILS artifacts — NL-to-SQL inference with evaluation
+// (/v1/infer), identifier naturalness classification (/v1/classify),
+// identifier abbreviation/expansion (/v1/modify), and schema-linking scoring
+// (/v1/link) — plus /healthz and /metricsz observability endpoints.
+//
+// The serving pipeline is built for sustained concurrent traffic:
+//
+//   - a bounded worker pool executes inference batches, so load beyond
+//     capacity queues briefly and then sheds with 503 instead of piling up
+//     goroutines;
+//   - concurrent /v1/infer requests against the same (db, variant) are
+//     micro-batched for a few milliseconds so the schema-knowledge prompt is
+//     rendered once per batch;
+//   - a sharded clock-hand cache (internal/memo) memoizes whole responses
+//     keyed by (endpoint, db, variant, body digest), and gold/predicted
+//     query executions are memoized independently;
+//   - every request runs under a deadline (504 on expiry) and shutdown
+//     drains in-flight batches before the process exits.
+//
+// Everything the server computes is deterministic, so cached and batched
+// responses are byte-identical to serial, uncached ones.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/snails-bench/snails/internal/datasets"
+	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/memo"
+	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// Config parameterizes a Server. The zero value is production-ready; fields
+// override individual knobs.
+type Config struct {
+	// RequestTimeout bounds each request's total latency (default 10s);
+	// expiry answers 504.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB); larger answers 413.
+	MaxBodyBytes int64
+	// CacheEntries bounds the response cache (default 4096 entries, evicted
+	// clock-hand); negative disables response caching.
+	CacheEntries int
+	// BatchWindow is how long a lone /v1/infer request waits for companions
+	// before its batch flushes (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch flushes a batch early once it holds this many requests
+	// (default 16).
+	MaxBatch int
+	// Workers sizes the inference worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// cachedResponse is one memoized response body.
+type cachedResponse struct {
+	status int
+	body   []byte
+}
+
+// Server implements http.Handler for the snailsd API.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
+
+	cache     *memo.Cache[cachedResponse] // nil when caching is disabled
+	goldCache *memo.Cache[*sqldb.Result]
+	predCache *memo.Cache[*sqldb.Result]
+
+	pool    *pool
+	batcher *batcher
+
+	modelsMu sync.Mutex
+	models   map[string]*llm.Model
+
+	clfOnce    sync.Once
+	classifier *naturalness.SoftmaxClassifier
+
+	draining  chan struct{} // closed when shutdown begins
+	drainOnce sync.Once
+}
+
+// New constructs a Server. Databases are built lazily on first touch (or
+// eagerly via Preload); the classifier trains on first /v1/classify.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		models:   map[string]*llm.Model{},
+		draining: make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = memo.NewBounded[cachedResponse](cfg.CacheEntries)
+	}
+	s.goldCache, s.predCache = newExecCaches()
+	s.pool = newPool(cfg.Workers, 4*cfg.Workers+64)
+	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
+
+	s.mux.HandleFunc("/v1/infer", s.post("/v1/infer", s.handleInfer))
+	s.mux.HandleFunc("/v1/classify", s.post("/v1/classify", s.handleClassify))
+	s.mux.HandleFunc("/v1/modify", s.post("/v1/modify", s.handleModify))
+	s.mux.HandleFunc("/v1/link", s.post("/v1/link", s.handleLink))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	return s
+}
+
+// Preload builds every benchmark database and trains the classifier so the
+// first request pays no cold-start cost.
+func (s *Server) Preload() {
+	datasets.All()
+	s.trainedClassifier()
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginShutdown flips /healthz to draining (so load balancers stop routing
+// here) and rejects new API requests with 503. Safe to call more than once.
+func (s *Server) BeginShutdown() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Drain flushes pending micro-batches, waits for in-flight work, and stops
+// the worker pool. Call after the HTTP listener has stopped accepting
+// connections (http.Server.Shutdown) to finish a graceful exit.
+func (s *Server) Drain() {
+	s.BeginShutdown()
+	s.batcher.drain()
+	s.pool.close()
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Sentinel API errors shared across handlers.
+var (
+	errOverloaded = errorf(http.StatusServiceUnavailable, "overloaded", "server is saturated; retry with backoff")
+	errDrainingAPI = errorf(http.StatusServiceUnavailable, "draining", "server is shutting down")
+)
+
+// handlerFunc is one POST endpoint's logic: it receives the decoded request
+// and returns a response document or an API error.
+type handlerFunc func(ctx context.Context, req *apiRequest) (any, *apiError)
+
+// post wraps an endpoint with the shared serving concerns: method check,
+// body cap, request deadline, response cache, metrics, and uniform error
+// rendering.
+func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests.Add(1)
+		s.metrics.countEndpoint(endpoint)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		defer func() { s.metrics.lat.record(time.Since(start)) }()
+
+		if r.Method != http.MethodPost {
+			s.writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST", endpoint))
+			return
+		}
+		if s.isDraining() {
+			s.writeError(w, errDrainingAPI)
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var req apiRequest
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.writeError(w, errorf(http.StatusRequestEntityTooLarge, "body_too_large",
+					"request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			s.writeError(w, errorf(http.StatusBadRequest, "bad_json", "malformed request body: %v", err))
+			return
+		}
+		if dec.More() {
+			s.writeError(w, errorf(http.StatusBadRequest, "bad_json", "trailing data after JSON body"))
+			return
+		}
+
+		key := s.cacheKey(endpoint, &req)
+		if s.cache != nil {
+			if hit, ok := s.cache.Get(key); ok {
+				s.metrics.cacheHits.Add(1)
+				w.Header().Set("X-Snails-Cache", "hit")
+				s.writeJSON(w, hit.status, hit.body)
+				return
+			}
+			s.metrics.cacheMiss.Add(1)
+			w.Header().Set("X-Snails-Cache", "miss")
+		}
+
+		// A request that arrives already expired (or canceled) never reaches
+		// the pipeline.
+		if err := ctx.Err(); err != nil {
+			s.writeError(w, ctxError(err))
+			return
+		}
+
+		doc, apiErr := h(ctx, &req)
+		if apiErr != nil {
+			s.writeError(w, apiErr)
+			return
+		}
+		body, err := json.Marshal(doc)
+		if err != nil {
+			s.writeError(w, errorf(http.StatusInternalServerError, "encode_failed", "encoding response: %v", err))
+			return
+		}
+		if s.cache != nil {
+			s.cache.Put(key, cachedResponse{status: http.StatusOK, body: body})
+		}
+		s.writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// cacheKey derives the response-cache key from the endpoint, the request's
+// addressing fields, and a digest of its full canonical encoding.
+func (s *Server) cacheKey(endpoint string, req *apiRequest) string {
+	canonical, _ := json.Marshal(req)
+	sum := sha256.Sum256(canonical)
+	return fmt.Sprintf("%s|%s|%s|%x", endpoint, req.DB, req.Variant, sum[:16])
+}
+
+// ctxError maps a context error to its HTTP rendering: 504 for an expired
+// deadline, 499 (nginx's client-closed-request) for a canceled caller.
+func ctxError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errorf(http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+	}
+	return &apiError{Status: 499, Code: "canceled", Message: "client canceled the request"}
+}
+
+// writeDoc marshals and writes a response document (used by the GET
+// observability endpoints, which bypass the POST wrapper).
+func (s *Server) writeDoc(w http.ResponseWriter, status int, doc any) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		s.writeError(w, errorf(http.StatusInternalServerError, "encode_failed", "encoding response: %v", err))
+		return
+	}
+	s.writeJSON(w, status, body)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	s.metrics.errors.Add(1)
+	if e.Status == http.StatusGatewayTimeout {
+		s.metrics.timeouts.Add(1)
+	}
+	body, _ := json.Marshal(struct {
+		Error *apiError `json:"error"`
+	}{e})
+	s.writeJSON(w, e.Status, body)
+}
+
+// trainedClassifier lazily trains (once) the paper's production softmax
+// classifier for /v1/classify.
+func (s *Server) trainedClassifier() *naturalness.SoftmaxClassifier {
+	s.clfOnce.Do(func() { s.classifier = experiments.TrainedClassifier() })
+	return s.classifier
+}

@@ -26,6 +26,42 @@ func render(n Node, r Renamer) string {
 	return b.String()
 }
 
+// isBareIdent reports whether name can be rendered without quoting: a
+// letter or underscore followed by letters, digits, or underscores, and not
+// a reserved keyword.
+func isBareIdent(name string) bool {
+	if name == "" || IsKeyword(name) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// writeIdent renders an identifier, double-quoting it when it is not a bare
+// identifier (empty, embedded punctuation/whitespace, leading digit, or a
+// keyword) so rendered queries always re-parse — the denaturalization path
+// re-parses and executes its own output.
+func writeIdent(b *strings.Builder, name string) {
+	if isBareIdent(name) {
+		b.WriteString(name)
+		return
+	}
+	b.WriteByte('"')
+	b.WriteString(strings.ReplaceAll(name, `"`, `""`))
+	b.WriteByte('"')
+}
+
 // --- expressions -------------------------------------------------------------
 
 // Expr is any SQL expression.
@@ -36,7 +72,7 @@ type Star struct{ Table string }
 
 func (s *Star) sql(b *strings.Builder, r Renamer) {
 	if s.Table != "" {
-		b.WriteString(r("table", s.Table))
+		writeIdent(b, r("table", s.Table))
 		b.WriteString(".*")
 		return
 	}
@@ -51,10 +87,10 @@ type ColRef struct {
 
 func (c *ColRef) sql(b *strings.Builder, r Renamer) {
 	if c.Table != "" {
-		b.WriteString(r("table", c.Table))
+		writeIdent(b, r("table", c.Table))
 		b.WriteByte('.')
 	}
-	b.WriteString(r("column", c.Column))
+	writeIdent(b, r("column", c.Column))
 }
 
 // NumberLit is a numeric literal (kept as written).
@@ -253,7 +289,7 @@ func (s *SelectItem) sql(b *strings.Builder, r Renamer) {
 	s.Expr.sql(b, r)
 	if s.Alias != "" {
 		b.WriteString(" AS ")
-		b.WriteString(s.Alias)
+		writeIdent(b, s.Alias)
 	}
 }
 
@@ -274,14 +310,14 @@ func (t *TableRef) sql(b *strings.Builder, r Renamer) {
 		b.WriteByte(')')
 	} else {
 		if t.Schema != "" {
-			b.WriteString(t.Schema)
+			writeIdent(b, t.Schema)
 			b.WriteByte('.')
 		}
-		b.WriteString(r("table", t.Table))
+		writeIdent(b, r("table", t.Table))
 	}
 	if t.Alias != "" {
 		b.WriteByte(' ')
-		b.WriteString(t.Alias)
+		writeIdent(b, t.Alias)
 	}
 }
 

@@ -1,0 +1,81 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the SQL front end with arbitrary input. The properties
+// under test:
+//
+//  1. Parse never panics — it either returns a Select or an error;
+//  2. analysis of a parsed query yields no empty identifiers;
+//  3. identity renaming of a parsed query renders SQL that parses again
+//     (the denaturalization path rewrites queries via RenameIdentifiers and
+//     then executes the rendered text, so render output must stay inside
+//     the accepted grammar).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT t.a, u.b FROM t JOIN u ON t.id = u.id WHERE t.a > 1 ORDER BY t.a DESC LIMIT 5",
+		"SELECT COUNT(*) FROM tbl_emp WHERE dept = 'sales' AND salary >= 10000",
+		"SELECT AVG(vegetation_height) FROM plots GROUP BY park HAVING COUNT(*) > 2",
+		"SELECT DISTINCT name FROM species WHERE genus IN ('abies', 'acer') OR code IS NULL",
+		"SELECT a AS x, b y FROM t AS tt WHERE NOT (a = 1 OR b < 2.5)",
+		"SELECT * FROM crash JOIN vehicle ON crash.id = vehicle.crash_id",
+		"SELECT \"quoted col\" FROM \"quoted table\"",
+		"select lower(upper(a)) from t where b like '%x%'",
+		"SELECT a FROM t WHERE ts BETWEEN '2020-01-01' AND '2021-01-01'",
+		"SELECT 1",
+		"",
+		"SELECT FROM WHERE",
+		"SELECT a FROM t -- trailing comment",
+		"SELECT a FROM t WHERE b = 'unterminated",
+		"SELECT ((((((a)))))) FROM t",
+		strings.Repeat("SELECT a FROM (", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sel, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		a := Analyze(sel)
+		for _, id := range a.All().Sorted() {
+			if id == "" {
+				t.Errorf("Analyze(%q) produced an empty identifier", input)
+			}
+		}
+		// Identity rename must re-render into parseable SQL.
+		out := RenameIdentifiers(sel, func(kind, name string) string { return name })
+		if _, err := Parse(out); err != nil {
+			t.Errorf("identity render of %q does not re-parse: %q: %v", input, out, err)
+		}
+	})
+}
+
+// FuzzLex asserts the lexer total: every input either tokenizes or errors,
+// and no token is empty.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"SELECT a FROM t", "'str''escaped'", `"id"`, "1.5e10 <> != <= >=", "-- comment\nSELECT 1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := Lex(input)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			// Empty text is legitimate for EOF, the empty string literal
+			// (''), and empty quoted identifiers ("" / []); every other
+			// token must carry at least one character.
+			if tok.Text == "" && tok.Kind != TokEOF && tok.Kind != TokString && !tok.Bracketed {
+				t.Errorf("Lex(%q) produced an empty token of kind %d", input, tok.Kind)
+			}
+		}
+	})
+}

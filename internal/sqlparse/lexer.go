@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokKind enumerates lexical token kinds.
@@ -51,6 +52,29 @@ func IsKeyword(s string) bool {
 	return ok
 }
 
+// startsIdent reports whether s begins an identifier. Identifier runs are
+// decoded rune-by-rune so multi-byte letters lex as single identifiers and
+// invalid UTF-8 is rejected rather than split mid-sequence — this keeps
+// rendered queries (whose function names pass through strings.ToUpper)
+// re-lexable.
+func startsIdent(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsLetter(r) || r == '_' || r == '@' || r == '#'
+}
+
+// identLen returns the byte length of the identifier run at the start of s.
+func identLen(s string) int {
+	j := 0
+	for j < len(s) {
+		r, size := utf8.DecodeRuneInString(s[j:])
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '@' || r == '#' || r == '$') {
+			break
+		}
+		j += size
+	}
+	return j
+}
+
 // Lex tokenizes the SQL text. It returns an error for unterminated strings
 // or brackets.
 func Lex(input string) ([]Tok, error) {
@@ -75,12 +99,28 @@ func Lex(input string) ([]Tok, error) {
 			toks = append(toks, Tok{Kind: TokIdent, Text: input[i+1 : i+1+j], Pos: i, Bracketed: true})
 			i += j + 2
 		case c == '"':
-			j := strings.IndexByte(input[i+1:], '"')
-			if j < 0 {
-				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", i)
+			// quoted identifier with "" escaping (mirrors string literals),
+			// so rendered queries containing quoted names round-trip
+			j := i + 1
+			var qb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", i)
+				}
+				if input[j] == '"' {
+					if j+1 < n && input[j+1] == '"' {
+						qb.WriteByte('"')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				qb.WriteByte(input[j])
+				j++
 			}
-			toks = append(toks, Tok{Kind: TokIdent, Text: input[i+1 : i+1+j], Pos: i, Bracketed: true})
-			i += j + 2
+			toks = append(toks, Tok{Kind: TokIdent, Text: qb.String(), Pos: i, Bracketed: true})
+			i = j
 		case c == '\'':
 			// string literal with '' escaping
 			j := i + 1
@@ -114,11 +154,8 @@ func Lex(input string) ([]Tok, error) {
 			}
 			toks = append(toks, Tok{Kind: TokNumber, Text: input[i:j], Pos: i})
 			i = j
-		case unicode.IsLetter(rune(c)) || c == '_' || c == '@' || c == '#':
-			j := i
-			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '@' || input[j] == '#' || input[j] == '$') {
-				j++
-			}
+		case startsIdent(input[i:]):
+			j := i + identLen(input[i:])
 			word := input[i:j]
 			if IsKeyword(word) {
 				toks = append(toks, Tok{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: i})

@@ -78,12 +78,31 @@ func Seed(model, db string, questionID int, v schema.Variant) uint64 {
 	return h
 }
 
+// PromptFor renders the schema-knowledge prompt for one cell and returns it
+// with the native tables it covers. Cells of a single-module database share
+// one prompt per variant (tables == nil), which is what lets the serving
+// layer's micro-batcher render the prompt once for a whole batch.
+func PromptFor(b *datasets.Built, q nlq.Question, v schema.Variant) (prompt string, tables []string) {
+	tables = promptTables(b, q)
+	opts := schema.PromptOptions{Variant: v, Tables: tables, IncludeTypes: true}
+	return b.Schema.SchemaKnowledge(opts), tables
+}
+
+// SharedPrompt reports whether every question of the database sees the same
+// prompt at a given variant (true for single-module databases; SBOD scopes
+// prompts to the gold tables' modules, so its prompts are per-question).
+func SharedPrompt(b *datasets.Built) bool { return len(b.Modules) <= 1 }
+
 // Run executes the full pipeline for one cell.
 func Run(in RunInput) RunOutput {
-	tables := promptTables(in.B, in.Q)
-	opts := schema.PromptOptions{Variant: in.Variant, Tables: tables, IncludeTypes: true}
-	prompt := in.B.Schema.SchemaKnowledge(opts)
+	prompt, tables := PromptFor(in.B, in.Q, in.Variant)
+	return RunWithPrompt(in, prompt, tables)
+}
 
+// RunWithPrompt executes the pipeline for one cell against a pre-rendered
+// schema prompt (which must be PromptFor's output for the same cell, or the
+// shared per-variant prompt of a single-module database).
+func RunWithPrompt(in RunInput, prompt string, tables []string) RunOutput {
 	pred := in.Model.Infer(llm.Task{
 		SchemaKnowledge: prompt,
 		Question:        in.Q.Text,

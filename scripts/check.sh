@@ -1,11 +1,16 @@
 #!/usr/bin/env sh
 # Tier-1 verification recipe (see ROADMAP.md). Run from the repo root.
 #
-# The -race pass covers the packages the parallel sweep engine touches:
-# the worker pool and memoized caches in experiments, the shared linking
-# memos in llm, and the per-cell pipeline in workflow. It runs with -short
-# so the determinism test uses a database subset (goroutine interleaving is
-# what the race detector needs, not the full grid).
+# The -race pass covers the packages the parallel sweep engine and the
+# serving layer touch: the worker pool and memoized caches in experiments,
+# the shared linking memos in llm, the per-cell pipeline in workflow, the
+# clock-hand cache in memo, and the batching HTTP server. It runs with
+# -short so the determinism test uses a database subset (goroutine
+# interleaving is what the race detector needs, not the full grid).
+#
+# The fuzz smoke replays each target's committed corpus and mutates for ten
+# seconds — long enough to catch shallow regressions in the SQL front end
+# and CSV ingestion without stalling the tier-1 loop.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +25,11 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/
+
+echo "== go fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
+go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sqlparse/
+go test -run '^$' -fuzz '^FuzzLoadCSV$' -fuzztime 10s ./internal/etl/
 
 echo "OK"
