@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report fuzz serve loadtest
+.PHONY: build test vet race check bench report fuzz serve loadtest profile
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/ ./internal/trace/
 
 # Short fuzz pass over the SQL front end and CSV ingestion (the same smoke
 # scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
@@ -42,4 +42,10 @@ serve:
 
 # Load-test a spawned in-process daemon and regenerate BENCH_serve.json.
 loadtest:
-	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
+
+# Capture CPU and heap profiles from a loadgen run against an in-process
+# daemon (so the profiles cover the serving work, not just the client).
+# Inspect with: go tool pprof cpu.pprof
+profile:
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench "" -trace -cpuprofile cpu.pprof -memprofile mem.pprof

@@ -307,6 +307,13 @@ func cmdBench(args []string) error {
 	fmt.Printf("workers:    %d\n", st.Workers)
 	fmt.Printf("wall clock: %.3fs\n", st.WallClockSeconds)
 	fmt.Printf("throughput: %.0f cells/sec\n", st.CellsPerSec)
+	if len(st.Stages) > 0 {
+		fmt.Println("stage breakdown (computed work; memo hits record no span):")
+		for _, sg := range st.Stages {
+			fmt.Printf("  %-13s n=%-6d total=%.3fs mean=%.3fms p50=%.3fms p99=%.3fms\n",
+				sg.Stage, sg.Count, sg.TotalSeconds, sg.MeanMillis, sg.P50Millis, sg.P99Millis)
+		}
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(st, "", "  ")
 		if err != nil {

@@ -8,12 +8,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/snails-bench/snails/internal/server"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // serveStats is the schema of the BENCH_serve.json artifact: client-side
@@ -29,6 +32,49 @@ type serveStats struct {
 	ClientP99Millis  float64 `json:"client_p99_ms"`
 
 	Server server.MetricsSnapshot `json:"server"`
+
+	// StageBudget (with -trace) attributes traced time to pipeline stages
+	// across every trace the server still buffers: where a marginal
+	// millisecond of serving latency actually goes. Fractions are of total
+	// traced span time, not wall clock — stages overlap across a batch.
+	StageBudget []stageBudget `json:"stage_budget,omitempty"`
+	// TracesSampled reports how many buffered traces the budget covers.
+	TracesSampled int `json:"traces_sampled,omitempty"`
+}
+
+// stageBudget is one pipeline stage's share of the traced serving time.
+type stageBudget struct {
+	Stage       string  `json:"stage"`
+	Spans       int     `json:"spans"`
+	TotalMillis float64 `json:"total_ms"`
+	Fraction    float64 `json:"fraction"`
+}
+
+// stageBudgetFrom aggregates buffered traces into the per-stage budget,
+// preserving pipeline stage order of first appearance.
+func stageBudgetFrom(views []trace.View) []stageBudget {
+	idx := map[string]int{}
+	var out []stageBudget
+	var totalMs float64
+	for _, v := range views {
+		for _, sp := range v.Spans {
+			i, ok := idx[sp.Stage]
+			if !ok {
+				i = len(out)
+				idx[sp.Stage] = i
+				out = append(out, stageBudget{Stage: sp.Stage})
+			}
+			out[i].Spans++
+			out[i].TotalMillis += sp.DurMillis
+			totalMs += sp.DurMillis
+		}
+	}
+	for i := range out {
+		if totalMs > 0 {
+			out[i].Fraction = out[i].TotalMillis / totalMs
+		}
+	}
+	return out
 }
 
 // workload builds the deterministic request mix: /v1/infer across four
@@ -93,6 +139,36 @@ func spawnInprocServer(stderr io.Writer) (string, func(), error) {
 // runLoadgen hammers the target server with the deterministic workload and
 // writes BENCH_serve.json. Exit status 0 requires every request to succeed.
 func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
+	// With an in-process server the profiles cover the serving work itself,
+	// not just the client loop — the `make profile` path relies on this.
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "snailsbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "snailsbench:", err)
+			}
+		}()
+	}
+
 	target := cfg.target
 	if target == "" {
 		t, stop, err := spawnInprocServer(stderr)
@@ -171,6 +247,26 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "snailsbench: metricsz:", err)
 	}
 
+	// With -trace, pull the buffered request traces and fold them into the
+	// per-stage time budget. A 404 means the target runs with tracing
+	// disabled — report and carry on; the budget is additive, not required.
+	if cfg.trace {
+		if resp, err := client.Get(target + "/debugz/traces"); err != nil {
+			fmt.Fprintln(stderr, "snailsbench: debugz/traces:", err)
+		} else {
+			var tr server.TracesResponse
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(stderr, "snailsbench: debugz/traces: HTTP %d (tracing disabled on target?)\n", resp.StatusCode)
+			} else if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+				fmt.Fprintln(stderr, "snailsbench: debugz/traces:", err)
+			} else {
+				stats.TracesSampled = len(tr.Traces)
+				stats.StageBudget = stageBudgetFrom(tr.Traces)
+			}
+			resp.Body.Close()
+		}
+	}
+
 	if cfg.serveOut != "" {
 		data, err := json.MarshalIndent(stats, "", "  ")
 		if err != nil {
@@ -186,6 +282,13 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "loadgen: %d requests in %.2fs (%.0f req/s), %d errors, cache hit ratio %.2f, server p50 %.2fms p99 %.2fms\n",
 		stats.Requests, stats.WallClockSeconds, stats.RequestsPerSec, stats.Errors,
 		stats.Server.CacheHitRatio, stats.Server.LatencyP50Millis, stats.Server.LatencyP99Millis)
+	if len(stats.StageBudget) > 0 {
+		fmt.Fprintf(stdout, "stage budget over %d traces:\n", stats.TracesSampled)
+		for _, sb := range stats.StageBudget {
+			fmt.Fprintf(stdout, "  %-13s spans=%-6d total=%.2fms share=%.1f%%\n",
+				sb.Stage, sb.Spans, sb.TotalMillis, 100*sb.Fraction)
+		}
+	}
 	if stats.Errors > 0 {
 		return 1
 	}

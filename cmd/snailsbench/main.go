@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // benchStats is the schema of the BENCH_sweep.json artifact.
@@ -29,6 +30,9 @@ type benchStats struct {
 	GOMAXPROCS       int     `json:"gomaxprocs"`
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	CellsPerSec      float64 `json:"cells_per_sec"`
+	// Stages is the sweep's per-stage latency breakdown (same span
+	// instrumentation as the serving daemon's /metricsz).
+	Stages []trace.StageSnapshot `json:"stages,omitempty"`
 }
 
 // benchConfig is the parsed flag set, split from main for testability.
@@ -44,6 +48,9 @@ type benchConfig struct {
 	requests    int
 	concurrency int
 	serveOut    string
+	trace       bool
+	cpuProfile  string
+	memProfile  string
 }
 
 // parseFlags parses argv into a benchConfig using an isolated FlagSet.
@@ -60,6 +67,9 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	fs.IntVar(&cfg.requests, "requests", 400, "loadgen: total requests to issue")
 	fs.IntVar(&cfg.concurrency, "concurrency", 16, "loadgen: concurrent client workers")
 	fs.StringVar(&cfg.serveOut, "serve-bench", "BENCH_serve.json", "loadgen: write serving stats to this JSON file (empty disables)")
+	fs.BoolVar(&cfg.trace, "trace", false, "loadgen: pull /debugz/traces after the run and add a per-stage time budget to the serving stats")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "loadgen: write a CPU profile to this file (covers the in-process server too)")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "loadgen: write a heap profile to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -105,6 +115,7 @@ func runReport(cfg *benchConfig, stdout, stderr io.Writer) int {
 			GOMAXPROCS:       runtime.GOMAXPROCS(0),
 			WallClockSeconds: st.WallClock.Seconds(),
 			CellsPerSec:      st.CellsPerSec,
+			Stages:           st.Stages,
 		}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "snailsbench:", err)

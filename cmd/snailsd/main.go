@@ -35,6 +35,8 @@ type config struct {
 	workers      int
 	preload      bool
 	drainGrace   time.Duration
+	traceBuffer  int
+	pprof        bool
 }
 
 // parseFlags parses argv into a config using an isolated FlagSet.
@@ -50,6 +52,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "inference worker pool size (0 = GOMAXPROCS)")
 	fs.BoolVar(&cfg.preload, "preload", true, "build all databases and train the classifier before listening")
 	fs.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "maximum time to drain in-flight work on shutdown")
+	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "request traces kept for /debugz/traces (0 = default 256, negative disables tracing)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -66,6 +70,8 @@ func (c *config) serverConfig() server.Config {
 		BatchWindow:    c.batchWindow,
 		MaxBatch:       c.maxBatch,
 		Workers:        c.workers,
+		TraceBuffer:    c.traceBuffer,
+		EnablePprof:    c.pprof,
 	}
 }
 

@@ -57,20 +57,23 @@ func CompareResults(gold, pred *sqldb.Result) MatchOutcome {
 	if gold.NumCols() > pred.NumCols() {
 		return MatchNo
 	}
-	assignment := matchColumns(gold, pred)
+	assignment := matchColumns(gold, pred, func(a []int) bool {
+		return rowsEqualUnderAssignment(gold, pred, a)
+	})
 	if assignment == nil {
-		return MatchNo
-	}
-	if !rowsEqualUnderAssignment(gold, pred, assignment) {
 		return MatchNo
 	}
 	return MatchYes
 }
 
 // matchColumns finds an injective mapping gold column -> predicted column
-// with identical value multisets, backtracking across interchangeable
-// candidates.
-func matchColumns(gold, pred *sqldb.Result) []int {
+// with identical value multisets AND a passing accept predicate, backtracking
+// across interchangeable candidates. The predicate must be part of the search:
+// when two columns share a value multiset (candidates are interchangeable),
+// the first multiset-valid assignment can fail row-wise comparison while a
+// different one passes, so validating only one assignment yields false
+// negatives.
+func matchColumns(gold, pred *sqldb.Result, accept func(assignment []int) bool) []int {
 	goldKeys := make([]string, gold.NumCols())
 	for i := range goldKeys {
 		goldKeys[i] = gold.ColumnKey(i)
@@ -103,7 +106,7 @@ func matchColumns(gold, pred *sqldb.Result) []int {
 	var assign func(k int) bool
 	assign = func(k int) bool {
 		if k == len(order) {
-			return true
+			return accept(assignment)
 		}
 		i := order[k]
 		for _, j := range candidates[i] {
@@ -161,19 +164,44 @@ func rowsEqualUnderAssignment(gold, pred *sqldb.Result, assignment []int) bool {
 }
 
 // OrderedCompare additionally requires identical row order for questions
-// that specify an ordering.
+// that specify an ordering. It runs the same column-assignment search as
+// CompareResults but with the ordered row predicate: an assignment that
+// matches unordered may still disagree in row order while a different
+// multiset-valid assignment agrees, so the ordered check must drive the
+// backtracking rather than re-validate one unordered assignment. Ordered
+// row-wise equality implies multiset equality, so no separate unordered pass
+// is needed.
 func OrderedCompare(gold, pred *sqldb.Result) MatchOutcome {
-	out := CompareResults(gold, pred)
-	if out != MatchYes {
-		return out
+	if gold == nil || pred == nil {
+		return MatchNo
 	}
-	assignment := matchColumns(gold, pred)
+	if gold.Empty() || pred.Empty() {
+		return MatchUndetermined
+	}
+	if gold.NumRows() != pred.NumRows() {
+		return MatchNo
+	}
+	if gold.NumCols() > pred.NumCols() {
+		return MatchNo
+	}
+	assignment := matchColumns(gold, pred, func(a []int) bool {
+		return rowsEqualOrdered(gold, pred, a)
+	})
+	if assignment == nil {
+		return MatchNo
+	}
+	return MatchYes
+}
+
+// rowsEqualOrdered reports whether gold and pred agree cell-for-cell in row
+// order under the column assignment.
+func rowsEqualOrdered(gold, pred *sqldb.Result, assignment []int) bool {
 	for ri, grow := range gold.Rows {
 		for gi, pi := range assignment {
 			if !strings.EqualFold(grow[gi].String(), pred.Rows[ri][pi].String()) {
-				return MatchNo
+				return false
 			}
 		}
 	}
-	return MatchYes
+	return true
 }

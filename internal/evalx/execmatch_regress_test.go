@@ -1,0 +1,86 @@
+package evalx
+
+import (
+	"testing"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+)
+
+// Regression tests for the column-assignment search: when several columns
+// share a value multiset, the first multiset-valid assignment can fail the
+// row-wise predicate while another passes. The backtracker must keep
+// searching instead of validating a single assignment.
+
+// Gold columns a and b both hold the multiset {1,2}, so the columns are
+// interchangeable at the multiset level. Only the swapped assignment
+// (a→col1, b→col0) reproduces gold's row order; the identity assignment
+// passes the unordered comparison but disagrees in order.
+func TestOrderedCompareSearchesAssignments(t *testing.T) {
+	g := res([]string{"a", "b"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(2)},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(1)})
+	p := res([]string{"x", "y"},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(1)},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(2)})
+
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Fatalf("unordered comparison should pass: %v", got)
+	}
+	if got := OrderedCompare(g, p); got != MatchYes {
+		t.Errorf("ordered comparison must search all assignments, got %v", got)
+	}
+}
+
+// The same failure mode inside CompareResults itself: columns a and b are
+// multiset-interchangeable, but only the swapped assignment makes the row
+// multisets agree (the third column pins rows together).
+func TestCompareResultsSearchesAssignments(t *testing.T) {
+	g := res([]string{"a", "b", "tag"},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(2), sqldb.String("A")},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(1), sqldb.String("B")})
+	p := res([]string{"x", "y", "tag"},
+		[]sqldb.Value{sqldb.Int(2), sqldb.Int(1), sqldb.String("A")},
+		[]sqldb.Value{sqldb.Int(1), sqldb.Int(2), sqldb.String("B")})
+
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Errorf("comparison must search all assignments, got %v", got)
+	}
+}
+
+func TestOrderedCompareStillRejectsWrongOrder(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	p := res([]string{"a"}, []sqldb.Value{sqldb.Int(2)}, []sqldb.Value{sqldb.Int(1)})
+	if got := CompareResults(g, p); got != MatchYes {
+		t.Fatalf("unordered comparison should pass: %v", got)
+	}
+	if got := OrderedCompare(g, p); got != MatchNo {
+		t.Errorf("reversed single-column rows must fail ordered comparison, got %v", got)
+	}
+}
+
+// OrderedCompare performs its own prechecks now (it no longer delegates to
+// CompareResults), so pin the edge-case outcomes to the unordered ones.
+func TestOrderedComparePrechecks(t *testing.T) {
+	g := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)})
+	if got := OrderedCompare(nil, g); got != MatchNo {
+		t.Errorf("nil gold: %v", got)
+	}
+	if got := OrderedCompare(g, nil); got != MatchNo {
+		t.Errorf("nil pred: %v", got)
+	}
+	empty := res([]string{"a"})
+	if got := OrderedCompare(empty, g); got != MatchUndetermined {
+		t.Errorf("empty gold: %v", got)
+	}
+	if got := OrderedCompare(g, empty); got != MatchUndetermined {
+		t.Errorf("empty pred: %v", got)
+	}
+	twoRows := res([]string{"a"}, []sqldb.Value{sqldb.Int(1)}, []sqldb.Value{sqldb.Int(2)})
+	if got := OrderedCompare(g, twoRows); got != MatchNo {
+		t.Errorf("row-count mismatch: %v", got)
+	}
+	wide := res([]string{"a", "b"}, []sqldb.Value{sqldb.Int(1), sqldb.Int(2)})
+	if got := OrderedCompare(wide, g); got != MatchNo {
+		t.Errorf("gold wider than pred: %v", got)
+	}
+}

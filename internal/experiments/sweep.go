@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"github.com/snails-bench/snails/internal/sqlexec"
 	"github.com/snails-bench/snails/internal/sqlparse"
 	"github.com/snails-bench/snails/internal/token"
+	"github.com/snails-bench/snails/internal/trace"
 	"github.com/snails-bench/snails/internal/workflow"
 )
 
@@ -61,6 +63,12 @@ type Stats struct {
 	Workers     int
 	WallClock   time.Duration
 	CellsPerSec float64
+
+	// Stages is the per-stage latency breakdown over every cell, recorded
+	// through the same trace spans the serving daemon uses. Cache hits in the
+	// gold/pred memos do no work and record no span, so the histograms
+	// describe compute actually performed, not logical stage counts.
+	Stages []trace.StageSnapshot
 }
 
 // Sweep is the full grid plus lookup indexes.
@@ -135,7 +143,9 @@ type predExec struct {
 }
 
 // predExecution parses, analyzes, and executes a predicted query, memoized.
-func predExecution(b *datasets.Built, sql string) *predExec {
+// The execution span is recorded only on first compute; cache hits do no SQL
+// work and leave no trace (matching the serving daemon's convention).
+func predExecution(ctx context.Context, b *datasets.Built, sql string) *predExec {
 	return predCache.GetOrCompute(b.Name+"\x00"+sql, func() *predExec {
 		pe := &predExec{}
 		sel, err := sqlparse.Parse(sql)
@@ -144,7 +154,7 @@ func predExecution(b *datasets.Built, sql string) *predExec {
 		}
 		pe.parseOK = true
 		pe.ids = sqlparse.Analyze(sel).All()
-		if res, execErr := sqlexec.Execute(b.Instance, sel); execErr == nil {
+		if res, execErr := sqlexec.ExecuteCtx(ctx, b.Instance, sel); execErr == nil {
 			pe.execOK = true
 			pe.res = res
 		}
@@ -224,9 +234,13 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 	}
 	s.Cells = make([]Cell, total)
 
+	// Histogram-only collector (no ring): the sweep records the same stage
+	// spans as the serving path, aggregated into the Stats breakdown.
+	coll := trace.NewCollector(0)
+
 	if workers == 1 {
 		for _, j := range jobs {
-			runJob(s.Cells, j, models)
+			runJob(s.Cells, j, models, coll)
 		}
 	} else {
 		var next atomic.Int64
@@ -240,7 +254,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 					if i >= len(jobs) {
 						return
 					}
-					runJob(s.Cells, jobs[i], models)
+					runJob(s.Cells, jobs[i], models, coll)
 				}
 			}()
 		}
@@ -257,7 +271,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 	}
 
 	wall := time.Since(start)
-	s.Stats = Stats{Cells: total, Workers: workers, WallClock: wall}
+	s.Stats = Stats{Cells: total, Workers: workers, WallClock: wall, Stages: coll.Stages()}
 	if secs := wall.Seconds(); secs > 0 {
 		s.Stats.CellsPerSec = float64(total) / secs
 	}
@@ -267,7 +281,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 // runJob evaluates one (database, question) across every model and variant,
 // writing cells into the shared slice at the job's reserved stride. Cells in
 // distinct jobs never alias, so no locking is needed.
-func runJob(cells []Cell, j job, models []*llm.Model) {
+func runJob(cells []Cell, j job, models []*llm.Model, coll *trace.Collector) {
 	b, q := j.b, j.q
 	goldSel, err := sqlparse.Parse(q.Gold)
 	if err != nil {
@@ -298,7 +312,10 @@ func runJob(cells []Cell, j job, models []*llm.Model) {
 	for _, m := range models {
 		family := tokenizerFor(m.Profile.Name)
 		for _, v := range schema.Variants {
-			cell := runCell(b, q, goldIDs, gold, m, v)
+			tr := coll.Start("sweep")
+			tr.SetRequest(b.Name, v.String(), q.ID)
+			cell := runCell(trace.NewContext(context.Background(), tr), b, q, goldIDs, gold, m, v)
+			coll.Finish(tr)
 			f := featsOf(v, family)
 			cell.Combined = f.combined
 			cell.RegFrac, cell.LowFrac, cell.LeastFrac = f.regFrac, f.lowFrac, f.leastFrac
@@ -318,10 +335,10 @@ func questionsOf(b *datasets.Built) []nlq.Question {
 	return nlq.Generate(b)
 }
 
-func runCell(b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
+func runCell(ctx context.Context, b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
 	gold *sqldb.Result, m *llm.Model, v schema.Variant) Cell {
 
-	out := workflow.Run(workflow.RunInput{B: b, Q: q, Variant: v, Model: m})
+	out := workflow.RunCtx(ctx, workflow.RunInput{B: b, Q: q, Variant: v, Model: m})
 	cell := Cell{
 		Model:      m.Profile.Name,
 		DB:         b.Name,
@@ -332,15 +349,18 @@ func runCell(b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
 	}
 
 	if out.ParseOK {
-		pe := predExecution(b, out.NativeSQL)
+		pe := predExecution(ctx, b, out.NativeSQL)
 		if pe.parseOK {
 			cell.PredIDs = pe.ids
 			cell.Link = evalx.QueryLinking(goldIDs, cell.PredIDs)
 			if pe.execOK {
+				tr := trace.FromContext(ctx)
+				t0 := tr.Now()
 				outcome := evalx.CompareResults(gold, pe.res)
 				if outcome == evalx.MatchYes && q.Ordered {
 					outcome = evalx.OrderedCompare(gold, pe.res)
 				}
+				tr.Span(trace.StageMatch, t0)
 				cell.ExecCorrect = outcome == evalx.MatchYes
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // apiRequest is the union of every POST endpoint's request body. Handlers
@@ -120,6 +121,13 @@ type HealthResponse struct {
 	Status        string  `json:"status"` // "ok" | "draining"
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Databases     int     `json:"databases"`
+}
+
+// TracesResponse is the /debugz/traces body: the buffered request traces,
+// oldest first (or slowest first when requested).
+type TracesResponse struct {
+	Traces  []trace.View `json:"traces"`
+	Slowest bool         `json:"slowest"`
 }
 
 // parseVariant maps the wire form ("native", "regular", "low", "least",

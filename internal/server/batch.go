@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/snails-bench/snails/internal/schema"
 	"github.com/snails-bench/snails/internal/sqldb"
 	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/trace"
 	"github.com/snails-bench/snails/internal/workflow"
 )
 
@@ -79,6 +81,13 @@ type inferItem struct {
 	q       nlq.Question
 	profile *llm.Profile
 	out     chan inferOutcome // buffered(1); exactly one send per item
+
+	// tr is the request's trace (nil when tracing is disabled); enqueued
+	// marks when the item entered the batch, so the worker can record the
+	// queue/batch-wait span against the right request even after the batch
+	// coalesced items from many handlers.
+	tr       *trace.Trace
+	enqueued time.Time
 }
 
 type inferOutcome struct {
@@ -117,8 +126,8 @@ func newBatcher(s *Server, window time.Duration, maxBatch int) *batcher {
 // enqueue queues one request and returns the channel its outcome will be
 // delivered on. Every item receives exactly one outcome — a result, or an
 // overload error if the pool rejects its batch.
-func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, p *llm.Profile) chan inferOutcome {
-	item := &inferItem{q: q, profile: p, out: make(chan inferOutcome, 1)}
+func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, p *llm.Profile, tr *trace.Trace) chan inferOutcome {
+	item := &inferItem{q: q, profile: p, out: make(chan inferOutcome, 1), tr: tr, enqueued: tr.Now()}
 	key := inferKey{db: b.Name, variant: v}
 
 	bt.mu.Lock()
@@ -197,9 +206,31 @@ func (bt *batcher) run(ba *inferBatch) {
 	bt.s.metrics.batches.Add(1)
 	bt.s.metrics.batchedReq.Add(uint64(len(ba.items)))
 
+	// The queue span closes now for every member: the batch has been picked
+	// up, so each request's wait ends here regardless of its slot in the
+	// per-item loop below.
+	for _, it := range ba.items {
+		it.tr.Span(trace.StageQueue, it.enqueued)
+	}
+
 	shared := ""
 	if workflow.SharedPrompt(ba.b) && len(ba.items) > 0 {
+		// The shared render is timed once and attributed to every traced
+		// member — each request did pay for it, amortized.
+		var t0 time.Time
+		for _, it := range ba.items {
+			if it.tr != nil {
+				t0 = time.Now()
+				break
+			}
+		}
 		shared, _ = workflow.PromptFor(ba.b, ba.items[0].q, ba.key.variant)
+		if !t0.IsZero() {
+			d := time.Since(t0)
+			for _, it := range ba.items {
+				it.tr.SpanDur(trace.StagePrompt, t0, d)
+			}
+		}
 	}
 	for _, it := range ba.items {
 		resp, err := bt.s.runInfer(ba, it, shared)
@@ -215,12 +246,13 @@ func (bt *batcher) run(ba *inferBatch) {
 // denaturalization → linking scores → relaxed execution match. Gold query
 // results and predicted-query executions are memoized across requests.
 func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (InferResponse, *apiError) {
+	ctx := trace.NewContext(context.Background(), it.tr)
 	in := workflow.RunInput{B: ba.b, Q: it.q, Variant: ba.key.variant, Model: s.modelFor(it.profile)}
 	var out workflow.RunOutput
 	if sharedPrompt != "" {
-		out = workflow.RunWithPrompt(in, sharedPrompt, nil)
+		out = workflow.RunWithPromptCtx(ctx, in, sharedPrompt, nil)
 	} else {
-		out = workflow.Run(in)
+		out = workflow.RunCtx(ctx, in)
 	}
 
 	resp := InferResponse{
@@ -239,12 +271,14 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (I
 	link := evalx.QueryLinkingSQL(it.q.Gold, out.NativeSQL)
 	resp.Recall, resp.Precision, resp.F1 = link.Recall, link.Precision, link.F1
 
-	gold, err := s.goldResult(ba.b, it.q)
+	gold, err := s.goldResult(ctx, ba.b, it.q)
 	if err != nil {
 		return resp, errorf(500, "gold_failed", "gold query for %s#%d failed: %v", ba.b.Name, it.q.ID, err)
 	}
-	if pred := s.predResult(ba.b, out.NativeSQL); pred != nil {
+	if pred := s.predResult(ctx, ba.b, out.NativeSQL); pred != nil {
+		t0 := it.tr.Now()
 		resp.ExecCorrect = evalx.CompareResults(gold, pred) == evalx.MatchYes
+		it.tr.Span(trace.StageMatch, t0)
 	}
 	return resp, nil
 }
@@ -263,13 +297,15 @@ func (s *Server) modelFor(p *llm.Profile) *llm.Model {
 	return m
 }
 
-// goldResult executes (and memoizes) a question's gold query.
-func (s *Server) goldResult(b *datasets.Built, q nlq.Question) (*sqldb.Result, error) {
+// goldResult executes (and memoizes) a question's gold query. The execution
+// is traced on first compute only; cache hits do no SQL work and record no
+// span.
+func (s *Server) goldResult(ctx context.Context, b *datasets.Built, q nlq.Question) (*sqldb.Result, error) {
 	key := fmt.Sprintf("%s#%d", b.Name, q.ID)
 	if v, ok := s.goldCache.Get(key); ok {
 		return v, nil
 	}
-	res, err := sqlexec.ExecuteSQL(b.Instance, q.Gold)
+	res, err := sqlexec.ExecuteSQLCtx(ctx, b.Instance, q.Gold)
 	if err != nil {
 		return nil, err
 	}
@@ -281,12 +317,12 @@ func (s *Server) goldResult(b *datasets.Built, q nlq.Question) (*sqldb.Result, e
 // /v1/link path, where gold is not a benchmark question). Errors are
 // reported to the caller, so results are not memoized through predCache's
 // nil-on-error convention.
-func (s *Server) goldSQLResult(b *datasets.Built, sql string) (*sqldb.Result, error) {
+func (s *Server) goldSQLResult(ctx context.Context, b *datasets.Built, sql string) (*sqldb.Result, error) {
 	key := b.Name + "\x00gold\x00" + sql
 	if v, ok := s.goldCache.Get(key); ok {
 		return v, nil
 	}
-	res, err := sqlexec.ExecuteSQL(b.Instance, sql)
+	res, err := sqlexec.ExecuteSQLCtx(ctx, b.Instance, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -296,10 +332,10 @@ func (s *Server) goldSQLResult(b *datasets.Built, sql string) (*sqldb.Result, er
 
 // predResult executes (and memoizes) a predicted query; nil means the
 // prediction does not execute, which scores as an execution miss.
-func (s *Server) predResult(b *datasets.Built, sql string) *sqldb.Result {
+func (s *Server) predResult(ctx context.Context, b *datasets.Built, sql string) *sqldb.Result {
 	key := b.Name + "\x00" + sql
 	return s.predCache.GetOrCompute(key, func() *sqldb.Result {
-		res, err := sqlexec.ExecuteSQL(b.Instance, sql)
+		res, err := sqlexec.ExecuteSQLCtx(ctx, b.Instance, sql)
 		if err != nil {
 			return nil
 		}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/snails-bench/snails/internal/datasets"
@@ -13,6 +14,7 @@ import (
 	"github.com/snails-bench/snails/internal/modifier"
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/nlq"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // lookupDB resolves a request's db field, answering 404 with the known names
@@ -84,7 +86,9 @@ func (s *Server) handleInfer(ctx context.Context, req *apiRequest) (any, *apiErr
 		return nil, apiErr
 	}
 
-	out := s.batcher.enqueue(b, v, q, profile)
+	tr := trace.FromContext(ctx)
+	tr.SetRequest(b.Name, v.String(), q.ID)
+	out := s.batcher.enqueue(b, v, q, profile, tr)
 	select {
 	case o := <-out:
 		if o.err != nil {
@@ -228,13 +232,16 @@ func (s *Server) handleLink(ctx context.Context, req *apiRequest) (any, *apiErro
 	link := evalx.QueryLinkingSQL(req.GoldSQL, req.PredSQL)
 	resp := LinkResponse{Valid: link.Valid, Recall: link.Recall, Precision: link.Precision, F1: link.F1}
 	if b != nil && link.Valid {
-		gold, err := s.goldSQLResult(b, req.GoldSQL)
+		gold, err := s.goldSQLResult(ctx, b, req.GoldSQL)
 		if err != nil {
 			return nil, errorf(http.StatusBadRequest, "gold_failed", "gold query failed on %s: %v", b.Name, err)
 		}
 		correct := false
-		if pred := s.predResult(b, req.PredSQL); pred != nil {
+		if pred := s.predResult(ctx, b, req.PredSQL); pred != nil {
+			tr := trace.FromContext(ctx)
+			t0 := tr.Now()
 			correct = evalx.CompareResults(gold, pred) == evalx.MatchYes
+			tr.Span(trace.StageMatch, t0)
 		}
 		resp.ExecCorrect = &correct
 	}
@@ -257,6 +264,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeDoc(w, status, resp)
 }
 
+// handleDebugTraces serves the bounded ring of finished request traces as
+// JSON: the last n traces in completion order, or the n slowest when
+// ?slowest=1. Tracing disabled (TraceBuffer < 0) answers 404 so probes can
+// tell "off" from "idle".
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.countEndpoint("/debugz/traces")
+	if s.traces == nil {
+		s.writeError(w, errorf(http.StatusNotFound, "tracing_disabled",
+			"request tracing is disabled (start with a non-negative trace buffer)"))
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			s.writeError(w, errorf(http.StatusBadRequest, "bad_n", "query parameter n must be a non-negative integer"))
+			return
+		}
+		n = parsed
+	}
+	slowest := false
+	switch v := r.URL.Query().Get("slowest"); v {
+	case "", "0", "false":
+	case "1", "true":
+		slowest = true
+	default:
+		s.writeError(w, errorf(http.StatusBadRequest, "bad_slowest", "query parameter slowest must be a boolean"))
+		return
+	}
+	s.writeDoc(w, http.StatusOK, TracesResponse{
+		Traces:  s.traces.Snapshot(n, slowest),
+		Slowest: slowest,
+	})
+}
+
 // handleMetricsz reports the serving counters.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
@@ -265,5 +308,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		entries, evictions = s.cache.Len(), s.cache.Evictions()
 	}
-	s.writeDoc(w, http.StatusOK, s.metrics.snapshot(entries, evictions))
+	snap := s.metrics.snapshot(entries, evictions)
+	snap.Stages = s.traces.Stages()
+	s.writeDoc(w, http.StatusOK, snap)
 }

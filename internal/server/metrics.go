@@ -1,10 +1,12 @@
 package server
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/snails-bench/snails/internal/stats"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // latencyRingSize bounds the latency sample memory; 2048 samples give stable
@@ -32,8 +34,11 @@ func (r *latencyRing) record(d time.Duration) {
 	r.mu.Unlock()
 }
 
-// percentiles returns the requested quantiles (0..1) over the ring in one
-// pass; the ring is copied and sorted outside the lock's hot path.
+// percentiles returns the requested quantiles (0..1) over the ring; the
+// ring is copied outside the lock and quantiles come from stats.Percentile,
+// which interpolates between ranks. (An earlier version truncated the rank
+// to an index, which biased p99 low — with 2048 samples it reported the
+// 2026th-ranked latency instead of interpolating at rank 2026.53.)
 func (r *latencyRing) percentiles(qs ...float64) []float64 {
 	r.mu.Lock()
 	n := r.count
@@ -42,13 +47,8 @@ func (r *latencyRing) percentiles(qs ...float64) []float64 {
 	r.mu.Unlock()
 
 	out := make([]float64, len(qs))
-	if n == 0 {
-		return out
-	}
-	sort.Float64s(samples)
 	for i, q := range qs {
-		idx := int(q * float64(n-1))
-		out[i] = samples[idx]
+		out[i] = stats.Percentile(samples, q)
 	}
 	return out
 }
@@ -100,6 +100,11 @@ type MetricsSnapshot struct {
 	MeanBatchSize    float64           `json:"mean_batch_size"`
 	LatencyP50Millis float64           `json:"latency_p50_ms"`
 	LatencyP99Millis float64           `json:"latency_p99_ms"`
+
+	// Stages breaks request latency down by pipeline stage (queue, prompt
+	// render, decode, parse, exec, match) from the trace collector's
+	// log-spaced histograms. Empty when tracing is disabled or idle.
+	Stages []trace.StageSnapshot `json:"stages,omitempty"`
 }
 
 func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnapshot {

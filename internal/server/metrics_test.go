@@ -1,0 +1,67 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/snails-bench/snails/internal/stats"
+)
+
+// Regression: percentiles must interpolate between ranks like
+// stats.Percentile does. The old implementation truncated the fractional
+// rank to an index (int(q*(n-1))), which systematically under-reported the
+// high quantiles — with samples 1..10ms, p99 came out 9.0 instead of 9.91.
+func TestLatencyRingPercentilesInterpolate(t *testing.T) {
+	var r latencyRing
+	samples := make([]float64, 0, 10)
+	for i := 1; i <= 10; i++ {
+		r.record(time.Duration(i) * time.Millisecond)
+		samples = append(samples, float64(i))
+	}
+
+	got := r.percentiles(0.50, 0.90, 0.99)
+	want := []float64{
+		stats.Percentile(samples, 0.50),
+		stats.Percentile(samples, 0.90),
+		stats.Percentile(samples, 0.99),
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("quantile %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	// Pin the interpolated values so this test fails under either
+	// implementation drifting, not just under disagreement.
+	if math.Abs(got[0]-5.5) > 1e-9 {
+		t.Errorf("p50 of 1..10 must interpolate to 5.5, got %v", got[0])
+	}
+	if math.Abs(got[2]-9.91) > 1e-9 {
+		t.Errorf("p99 of 1..10 must interpolate to 9.91, got %v", got[2])
+	}
+}
+
+func TestLatencyRingEmpty(t *testing.T) {
+	var r latencyRing
+	got := r.percentiles(0.50, 0.99)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty ring should report zeros, got %v", got)
+	}
+}
+
+// The ring overwrites oldest samples past capacity; percentiles then cover
+// only the retained window.
+func TestLatencyRingWrapAround(t *testing.T) {
+	var r latencyRing
+	for i := 0; i < latencyRingSize+100; i++ {
+		r.record(time.Duration(i) * time.Microsecond)
+	}
+	if r.count != latencyRingSize {
+		t.Fatalf("count=%d want %d", r.count, latencyRingSize)
+	}
+	got := r.percentiles(0.0)
+	// The smallest retained sample is 100µs = 0.1ms.
+	if got[0] < 0.1-1e-9 {
+		t.Errorf("oldest samples should have been evicted, min=%v", got[0])
+	}
+}

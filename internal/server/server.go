@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value is production-ready; fields
@@ -60,6 +62,13 @@ type Config struct {
 	MaxBatch int
 	// Workers sizes the inference worker pool (default GOMAXPROCS).
 	Workers int
+	// TraceBuffer bounds the in-memory ring of finished request traces
+	// served at /debugz/traces (default 256 traces; negative disables
+	// tracing entirely, including the per-stage histograms in /metricsz).
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default; snailsd's -pprof flag sets it).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
 	return c
 }
 
@@ -99,6 +111,10 @@ type Server struct {
 	cache     *memo.Cache[cachedResponse] // nil when caching is disabled
 	goldCache *memo.Cache[*sqldb.Result]
 	predCache *memo.Cache[*sqldb.Result]
+
+	// traces collects finished request traces and per-stage histograms;
+	// nil when tracing is disabled (every hook no-ops on nil).
+	traces *trace.Collector
 
 	pool    *pool
 	batcher *batcher
@@ -127,6 +143,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = memo.NewBounded[cachedResponse](cfg.CacheEntries)
 	}
+	if cfg.TraceBuffer > 0 {
+		s.traces = trace.NewCollector(cfg.TraceBuffer)
+	}
 	s.goldCache, s.predCache = newExecCaches()
 	s.pool = newPool(cfg.Workers, 4*cfg.Workers+64)
 	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
@@ -137,6 +156,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/link", s.post("/v1/link", s.handleLink))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/debugz/traces", s.handleDebugTraces)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -246,7 +273,15 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 			return
 		}
 
+		// Trace the computed path only: cache hits replay bytes and would
+		// produce empty traces. The trace rides the context; pipeline layers
+		// record their stages onto it.
+		tr := s.traces.Start(endpoint)
+		if tr != nil {
+			ctx = trace.NewContext(ctx, tr)
+		}
 		doc, apiErr := h(ctx, &req)
+		s.traces.Finish(tr)
 		if apiErr != nil {
 			s.writeError(w, apiErr)
 			return

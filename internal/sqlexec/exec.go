@@ -5,12 +5,14 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"github.com/snails-bench/snails/internal/sqldb"
 	"github.com/snails-bench/snails/internal/sqlparse"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // Execute runs the statement against the database.
@@ -18,13 +20,37 @@ func Execute(db *sqldb.DB, sel *sqlparse.Select) (*sqldb.Result, error) {
 	return execSelect(db, sel, nil)
 }
 
+// ExecuteCtx is Execute with trace propagation: when the context carries a
+// trace.Trace the execution is recorded as a sql_exec span. Memoizing
+// callers route through this so cache hits (which skip execution entirely)
+// record no span.
+func ExecuteCtx(ctx context.Context, db *sqldb.DB, sel *sqlparse.Select) (*sqldb.Result, error) {
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
+	res, err := execSelect(db, sel, nil)
+	tr.Span(trace.StageExec, t0)
+	return res, err
+}
+
 // ExecuteSQL parses and runs a SQL string.
 func ExecuteSQL(db *sqldb.DB, query string) (*sqldb.Result, error) {
+	return ExecuteSQLCtx(context.Background(), db, query)
+}
+
+// ExecuteSQLCtx parses and runs a SQL string, recording the execution (parse
+// included — gold queries are parsed here, not in the prediction pipeline)
+// as one sql_exec span when the context carries a trace.
+func ExecuteSQLCtx(ctx context.Context, db *sqldb.DB, query string) (*sqldb.Result, error) {
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
 	sel, err := sqlparse.Parse(query)
 	if err != nil {
+		tr.Span(trace.StageExec, t0)
 		return nil, err
 	}
-	return Execute(db, sel)
+	res, err := execSelect(db, sel, nil)
+	tr.Span(trace.StageExec, t0)
+	return res, err
 }
 
 // --- row environments ---------------------------------------------------------

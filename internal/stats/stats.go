@@ -57,15 +57,19 @@ func KendallTau(x, y []float64) (TauResult, error) {
 	tau := float64(concordant-discordant) / denom
 
 	// Normal approximation of the null distribution of S = C - D with tie
-	// correction (the standard tau-b significance test).
+	// correction (the standard tau-b significance test). The v1/v2 terms are
+	// computed only for n > 2: the v2 divisor 9n(n-1)(n-2) is zero at n == 2,
+	// and evaluating it there yields NaN (0/0). At n == 2 both terms are
+	// identically zero anyway — a non-degenerate pair has no ties — so
+	// skipping them matches scipy's tau-b variance at small n.
 	v0 := float64(n) * float64(n-1) * float64(2*n+5)
 	vt := tieVariance(x)
 	vu := tieVariance(y)
-	v1 := float64(tieSum1(x)) * float64(tieSum1(y)) / (2 * float64(n) * float64(n-1))
-	v2 := float64(tieSum2(x)) * float64(tieSum2(y)) /
-		(9 * float64(n) * float64(n-1) * float64(n-2))
 	variance := (v0 - vt - vu) / 18
 	if n > 2 {
+		v1 := float64(tieSum1(x)) * float64(tieSum1(y)) / (2 * float64(n) * float64(n-1))
+		v2 := float64(tieSum2(x)) * float64(tieSum2(y)) /
+			(9 * float64(n) * float64(n-1) * float64(n-2))
 		variance += v1 + v2
 	}
 	if variance <= 0 {

@@ -232,3 +232,43 @@ func TestCDFMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: at n == 2 the v2 tie-correction divisor 9n(n-1)(n-2) is zero.
+// The term must not be evaluated there — every field of the result has to
+// come out finite, matching scipy's tau-b for a two-observation sample.
+func TestKendallTauTwoObservations(t *testing.T) {
+	cases := []struct {
+		name    string
+		x, y    []float64
+		wantTau float64
+	}{
+		{"concordant", []float64{1, 2}, []float64{10, 20}, 1},
+		{"discordant", []float64{1, 2}, []float64{20, 10}, -1},
+	}
+	for _, tc := range cases {
+		r, err := KendallTau(tc.x, tc.y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(r.Tau-tc.wantTau) > 1e-9 {
+			t.Errorf("%s: tau=%v want %v", tc.name, r.Tau, tc.wantTau)
+		}
+		for _, v := range []float64{r.Tau, r.P, r.ZScore} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite field in %+v", tc.name, r)
+			}
+		}
+		if r.P < 0 || r.P > 1 {
+			t.Errorf("%s: p out of range: %v", tc.name, r.P)
+		}
+	}
+
+	// A constant variable at n == 2 keeps the degenerate convention.
+	r, err := KendallTau([]float64{3, 3}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tau != 0 || r.P != 1 {
+		t.Errorf("constant x: want tau=0 p=1, got %+v", r)
+	}
+}

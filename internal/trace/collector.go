@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector owns the finished-trace ring and the per-stage histograms. One
+// Collector serves a whole process (the snailsd server keeps one; the sweep
+// engine builds a histogram-only one per sweep).
+type Collector struct {
+	limit int
+	seq   atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []*Trace // last limit finished traces, oldest first once full
+	next  int
+	count int
+
+	stages [NumStages]Histogram
+}
+
+// NewCollector builds a collector retaining the last limit finished traces.
+// limit <= 0 disables the ring (histograms still accumulate), which is what
+// the sweep engine uses: it wants the per-stage time budget, not 12k traces.
+func NewCollector(limit int) *Collector {
+	c := &Collector{limit: limit}
+	if limit > 0 {
+		c.ring = make([]*Trace, limit)
+	}
+	return c
+}
+
+// Start begins a new trace for the given endpoint. Nil-safe: a nil collector
+// returns a nil trace and the whole recording path no-ops.
+func (c *Collector) Start(endpoint string) *Trace {
+	if c == nil {
+		return nil
+	}
+	return &Trace{
+		ID:       c.seq.Add(1),
+		Endpoint: endpoint,
+		Begin:    time.Now(),
+	}
+}
+
+// Finish seals a trace: records its total latency, folds the published spans
+// into the per-stage histograms, and appends it to the ring. Spans published
+// by straggler goroutines after Finish (a batch that outlives an abandoned
+// waiter) still appear in /debugz/traces but are not folded into histograms.
+func (c *Collector) Finish(t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	t.Total = time.Since(t.Begin)
+	for _, sp := range t.Spans() {
+		c.stages[sp.Stage].Observe(sp.Dur)
+	}
+	if c.limit <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.ring[c.next] = t
+	c.next = (c.next + 1) % c.limit
+	if c.count < c.limit {
+		c.count++
+	}
+	c.mu.Unlock()
+}
+
+// SpanView is the JSON rendering of one span.
+type SpanView struct {
+	Stage        string  `json:"stage"`
+	OffsetMillis float64 `json:"offset_ms"`
+	DurMillis    float64 `json:"dur_ms"`
+}
+
+// View is the JSON rendering of one finished trace, served by
+// /debugz/traces.
+type View struct {
+	ID         uint64     `json:"id"`
+	Endpoint   string     `json:"endpoint"`
+	DB         string     `json:"db,omitempty"`
+	Variant    string     `json:"variant,omitempty"`
+	QuestionID int        `json:"question_id,omitempty"`
+	TotalMs    float64    `json:"total_ms"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// Snapshot returns up to n finished traces. With slowest=false the order is
+// oldest-to-newest (completion order, deterministic for a serial workload);
+// with slowest=true traces sort by descending total latency, ties broken by
+// ID so the ordering stays stable. n <= 0 returns everything buffered.
+func (c *Collector) Snapshot(n int, slowest bool) []View {
+	if c == nil {
+		return nil
+	}
+	if c.limit <= 0 {
+		return []View{}
+	}
+	c.mu.Lock()
+	traces := make([]*Trace, 0, c.count)
+	start := c.next - c.count
+	for i := 0; i < c.count; i++ {
+		traces = append(traces, c.ring[((start+i)%c.limit+c.limit)%c.limit])
+	}
+	c.mu.Unlock()
+
+	if slowest {
+		sort.SliceStable(traces, func(a, b int) bool {
+			if traces[a].Total != traces[b].Total {
+				return traces[a].Total > traces[b].Total
+			}
+			return traces[a].ID < traces[b].ID
+		})
+	}
+	if n > 0 && len(traces) > n {
+		if slowest {
+			traces = traces[:n] // the n slowest
+		} else {
+			traces = traces[len(traces)-n:] // the n most recent
+		}
+	}
+	out := make([]View, len(traces))
+	for i, t := range traces {
+		spans := t.Spans()
+		sv := make([]SpanView, len(spans))
+		for j, sp := range spans {
+			sv[j] = SpanView{
+				Stage:        sp.Stage.String(),
+				OffsetMillis: round3(float64(sp.Start) / float64(time.Millisecond)),
+				DurMillis:    round3(float64(sp.Dur) / float64(time.Millisecond)),
+			}
+		}
+		out[i] = View{
+			ID:         t.ID,
+			Endpoint:   t.Endpoint,
+			DB:         t.DB,
+			Variant:    t.Variant,
+			QuestionID: t.QuestionID,
+			TotalMs:    round3(float64(t.Total) / float64(time.Millisecond)),
+			Spans:      sv,
+		}
+	}
+	return out
+}
+
+// StageSnapshot is one stage's aggregate across every finished trace.
+type StageSnapshot struct {
+	Stage        string  `json:"stage"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanMillis   float64 `json:"mean_ms"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+}
+
+// Stages returns the per-stage aggregates in pipeline order, omitting stages
+// never observed.
+func (c *Collector) Stages() []StageSnapshot {
+	if c == nil {
+		return nil
+	}
+	out := make([]StageSnapshot, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		h := &c.stages[s]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, StageSnapshot{
+			Stage:        s.String(),
+			Count:        n,
+			TotalSeconds: float64(h.TotalNanos()) / float64(time.Second),
+			MeanMillis:   round3(h.MeanMillis()),
+			P50Millis:    round3(h.Quantile(0.50)),
+			P99Millis:    round3(h.Quantile(0.99)),
+		})
+	}
+	return out
+}

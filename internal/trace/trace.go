@@ -1,0 +1,186 @@
+// Package trace provides request-scoped pipeline timing for the serving
+// layer and the evaluation sweep. A Trace carries a preallocated slab of
+// stage spans and travels with a request through context.Context; each
+// pipeline layer (server, workflow, sqlexec, evalx call sites) records the
+// stages it owns. Finished traces land in a bounded in-memory Collector that
+// serves /debugz/traces and folds per-stage durations into fixed log-spaced
+// latency histograms for /metricsz.
+//
+// The hot path is allocation-light by construction: starting a trace is one
+// allocation (the span slab is part of the Trace), recording a span is one
+// atomic slot claim plus one atomic publish, and every recording entry point
+// is a no-op on a nil *Trace, so untraced requests pay only a pointer check.
+package trace
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one timed pipeline stage. The set mirrors the serving
+// pipeline: batch-queue wait, schema-prompt rendering, synthetic-LLM decode,
+// SQL parse + denaturalization, query execution, and execution-match
+// comparison.
+type Stage uint8
+
+const (
+	StageQueue  Stage = iota // batch-wait between enqueue and worker pickup
+	StagePrompt              // schema-knowledge prompt rendering
+	StageDecode              // model inference (synthetic LLM decode)
+	StageParse               // prediction parse + denaturalization
+	StageExec                // gold/predicted query execution
+	StageMatch               // execution-result match comparison
+	NumStages                // sentinel: number of stages
+)
+
+// String names the stage as it appears in /debugz/traces and /metricsz.
+func (s Stage) String() string {
+	switch s {
+	case StageQueue:
+		return "queue"
+	case StagePrompt:
+		return "prompt_render"
+	case StageDecode:
+		return "llm_decode"
+	case StageParse:
+		return "sql_parse"
+	case StageExec:
+		return "sql_exec"
+	case StageMatch:
+		return "match"
+	}
+	return "unknown"
+}
+
+// maxSpans bounds the span slab. The deepest pipeline (/v1/infer) records at
+// most seven spans; extra slots absorb future stages. Spans past the slab are
+// dropped rather than grown: tracing must never allocate mid-request.
+const maxSpans = 16
+
+// slabSpan is one slot of the span slab. The stage field doubles as the
+// publication flag: it holds Stage+1 and is stored (atomically) only after
+// the plain start/duration fields are written, so a reader that observes a
+// non-zero stage is guaranteed to see the complete span. Slot claims and
+// publishes are the only synchronization on the recording path.
+type slabSpan struct {
+	stage      atomic.Uint32 // Stage+1; 0 = unpublished
+	startNanos int64         // offset from Trace.Begin
+	durNanos   int64
+}
+
+// Span is one published stage timing, read back out of a finished trace.
+type Span struct {
+	Stage Stage
+	Start time.Duration // offset from the trace's begin time
+	Dur   time.Duration
+}
+
+// Trace is the timing record of one request (or one sweep cell). The
+// addressing fields (Endpoint, DB, Variant, QuestionID) are written by the
+// owning handler before any concurrent span recording starts; spans may be
+// appended from other goroutines (batch workers) via the atomic slab.
+type Trace struct {
+	ID         uint64
+	Endpoint   string
+	DB         string
+	Variant    string
+	QuestionID int
+	Begin      time.Time
+	Total      time.Duration // set by Collector.Finish
+
+	n     atomic.Int32
+	spans [maxSpans]slabSpan
+}
+
+// Now returns the current time when the trace is active and the zero time on
+// a nil trace. Call sites use the zero start to skip both the span and the
+// closing clock read, so disabled tracing costs one nil check per stage.
+func (t *Trace) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records a completed stage that started at start (a Now result).
+func (t *Trace) Span(s Stage, start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.SpanDur(s, start, time.Since(start))
+}
+
+// SpanDur records a stage with an explicit duration. It exists for timings
+// attributed to several traces at once — a micro-batch's shared prompt
+// render is measured once and recorded on every member's trace.
+func (t *Trace) SpanDur(s Stage, start time.Time, d time.Duration) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	i := int(t.n.Add(1)) - 1
+	if i >= maxSpans {
+		return // slab full: drop rather than allocate
+	}
+	sp := &t.spans[i]
+	sp.startNanos = int64(start.Sub(t.Begin))
+	sp.durNanos = int64(d)
+	sp.stage.Store(uint32(s) + 1) // publish
+}
+
+// SetRequest fills the addressing fields shown in /debugz/traces. It must be
+// called by the goroutine that owns the request, before the trace is handed
+// to concurrent recorders.
+func (t *Trace) SetRequest(db, variant string, questionID int) {
+	if t == nil {
+		return
+	}
+	t.DB, t.Variant, t.QuestionID = db, variant, questionID
+}
+
+// Spans returns the published spans in recording order. Unpublished slots
+// (claimed but not yet stored by a concurrent recorder) are skipped.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	n := int(t.n.Load())
+	if n > maxSpans {
+		n = maxSpans
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		st := t.spans[i].stage.Load()
+		if st == 0 {
+			continue
+		}
+		out = append(out, Span{
+			Stage: Stage(st - 1),
+			Start: time.Duration(t.spans[i].startNanos),
+			Dur:   time.Duration(t.spans[i].durNanos),
+		})
+	}
+	return out
+}
+
+// ctxKey is the private context key for trace propagation.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil when the request is
+// untraced. All Trace methods are nil-safe, so callers use the result
+// unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	if !tr.Now().IsZero() {
+		t.Fatal("nil trace Now() must return the zero time")
+	}
+	tr.Span(StageExec, time.Now())   // must not panic
+	tr.SpanDur(StagePrompt, time.Now(), time.Millisecond)
+	tr.SetRequest("ASIS", "native", 1)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace Spans() = %v, want nil", got)
+	}
+}
+
+func TestZeroStartSkipsSpan(t *testing.T) {
+	c := NewCollector(4)
+	tr := c.Start("/v1/infer")
+	tr.Span(StageExec, time.Time{}) // a Now() from a nil trace
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("zero start recorded %d spans, want 0", n)
+	}
+}
+
+func TestSpanRecordingOrderAndOffsets(t *testing.T) {
+	c := NewCollector(4)
+	tr := c.Start("/v1/infer")
+	s1 := tr.Now()
+	tr.SpanDur(StagePrompt, s1, 3*time.Millisecond)
+	s2 := tr.Now()
+	tr.SpanDur(StageDecode, s2, 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Stage != StagePrompt || spans[1].Stage != StageDecode {
+		t.Fatalf("span order = %v, %v; want prompt_render, llm_decode", spans[0].Stage, spans[1].Stage)
+	}
+	if spans[0].Dur != 3*time.Millisecond || spans[1].Dur != 5*time.Millisecond {
+		t.Fatalf("durations = %v, %v", spans[0].Dur, spans[1].Dur)
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Fatalf("offsets went backwards: %v then %v", spans[0].Start, spans[1].Start)
+	}
+}
+
+func TestSlabDropsBeyondCapacity(t *testing.T) {
+	c := NewCollector(1)
+	tr := c.Start("x")
+	for i := 0; i < maxSpans+8; i++ {
+		tr.SpanDur(StageExec, tr.Begin, time.Microsecond)
+	}
+	if n := len(tr.Spans()); n != maxSpans {
+		t.Fatalf("slab holds %d spans, want %d", n, maxSpans)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	c := NewCollector(1)
+	tr := c.Start("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Span(StageExec, tr.Now())
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 8 {
+		t.Fatalf("concurrent recording published %d spans, want 8", n)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	c := NewCollector(1)
+	tr := c.Start("x")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("context did not round-trip the trace")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace must not wrap the context")
+	}
+}
+
+func TestCollectorRingBounds(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 5; i++ {
+		tr := c.Start("/v1/classify")
+		c.Finish(tr)
+	}
+	views := c.Snapshot(0, false)
+	if len(views) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(views))
+	}
+	// Oldest-first: the two earliest finished traces were evicted.
+	if views[0].ID != 3 || views[2].ID != 5 {
+		t.Fatalf("ring ids = %d..%d, want 3..5", views[0].ID, views[2].ID)
+	}
+	if got := c.Snapshot(2, false); len(got) != 2 || got[0].ID != 4 {
+		t.Fatalf("Snapshot(2) = %v, want the 2 most recent (ids 4,5)", got)
+	}
+}
+
+func TestCollectorSlowestOrdering(t *testing.T) {
+	c := NewCollector(4)
+	durs := []time.Duration{2 * time.Millisecond, 8 * time.Millisecond, 1 * time.Millisecond}
+	for _, d := range durs {
+		tr := c.Start("x")
+		tr.Begin = time.Now().Add(-d) // synthesize a total latency
+		c.Finish(tr)
+	}
+	views := c.Snapshot(0, true)
+	if len(views) != 3 {
+		t.Fatalf("got %d traces, want 3", len(views))
+	}
+	if !(views[0].TotalMs >= views[1].TotalMs && views[1].TotalMs >= views[2].TotalMs) {
+		t.Fatalf("slowest-first ordering violated: %v", views)
+	}
+	if views[0].ID != 2 {
+		t.Fatalf("slowest trace id = %d, want 2 (the 8ms one)", views[0].ID)
+	}
+	if got := c.Snapshot(1, true); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("Snapshot(1, slowest) = %v, want just the slowest", got)
+	}
+}
+
+func TestCollectorDisabledRing(t *testing.T) {
+	c := NewCollector(0)
+	tr := c.Start("x")
+	tr.SpanDur(StageExec, tr.Begin, 2*time.Millisecond)
+	c.Finish(tr)
+	if got := c.Snapshot(0, false); len(got) != 0 {
+		t.Fatalf("ringless collector buffered %d traces", len(got))
+	}
+	st := c.Stages()
+	if len(st) != 1 || st[0].Stage != "sql_exec" || st[0].Count != 1 {
+		t.Fatalf("histograms did not accumulate: %+v", st)
+	}
+}
+
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	tr := c.Start("x")
+	if tr != nil {
+		t.Fatal("nil collector must start nil traces")
+	}
+	c.Finish(tr) // must not panic
+	if c.Snapshot(0, false) != nil || c.Stages() != nil {
+		t.Fatal("nil collector snapshots must be nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 9},  // 1000µs -> 2^9=512..1024
+		{time.Second, 19},      // 1e6µs -> 2^19=524288..2^20
+		{10 * time.Minute, 27}, // clamped to the top bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations spread over two well-separated buckets.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond) // bucket [2µs,4µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond) // bucket [2048µs,4096µs)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.002 || p50 > 0.004 {
+		t.Errorf("p50 = %vms, want within [2µs,4µs)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 2.0 || p99 > 4.096 {
+		t.Errorf("p99 = %vms, want within [2.048ms,4.096ms]", p99)
+	}
+	if h.Quantile(0) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(1) {
+		t.Error("quantiles are not monotone")
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+	wantMean := (90*0.003 + 10*3.0) / 100
+	if m := h.MeanMillis(); m < wantMean*0.99 || m > wantMean*1.01 {
+		t.Errorf("mean = %vms, want ≈%vms", m, wantMean)
+	}
+}

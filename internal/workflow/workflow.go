@@ -6,6 +6,7 @@
 package workflow
 
 import (
+	"context"
 	"sort"
 
 	"github.com/snails-bench/snails/internal/datasets"
@@ -13,6 +14,7 @@ import (
 	"github.com/snails-bench/snails/internal/nlq"
 	"github.com/snails-bench/snails/internal/schema"
 	"github.com/snails-bench/snails/internal/sqlparse"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // RunInput is one (database, question, schema variant, model) cell of the
@@ -95,20 +97,44 @@ func SharedPrompt(b *datasets.Built) bool { return len(b.Modules) <= 1 }
 
 // Run executes the full pipeline for one cell.
 func Run(in RunInput) RunOutput {
+	return RunCtx(context.Background(), in)
+}
+
+// RunCtx is Run with trace propagation: when the context carries a
+// trace.Trace, the prompt render, model decode, and parse/denaturalize
+// stages are recorded as spans. Untraced contexts pay one nil check per
+// stage.
+func RunCtx(ctx context.Context, in RunInput) RunOutput {
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
 	prompt, tables := PromptFor(in.B, in.Q, in.Variant)
-	return RunWithPrompt(in, prompt, tables)
+	tr.Span(trace.StagePrompt, t0)
+	return runWithPrompt(tr, in, prompt, tables)
 }
 
 // RunWithPrompt executes the pipeline for one cell against a pre-rendered
 // schema prompt (which must be PromptFor's output for the same cell, or the
 // shared per-variant prompt of a single-module database).
 func RunWithPrompt(in RunInput, prompt string, tables []string) RunOutput {
+	return runWithPrompt(nil, in, prompt, tables)
+}
+
+// RunWithPromptCtx is RunWithPrompt with trace propagation. The prompt span
+// is the caller's responsibility (a micro-batch records its shared render on
+// every member trace); decode and parse are recorded here.
+func RunWithPromptCtx(ctx context.Context, in RunInput, prompt string, tables []string) RunOutput {
+	return runWithPrompt(trace.FromContext(ctx), in, prompt, tables)
+}
+
+func runWithPrompt(tr *trace.Trace, in RunInput, prompt string, tables []string) RunOutput {
+	t0 := tr.Now()
 	pred := in.Model.Infer(llm.Task{
 		SchemaKnowledge: prompt,
 		Question:        in.Q.Text,
 		Intent:          in.Q.Intent,
 		Seed:            Seed(in.Model.Profile.Name, in.B.Name, in.Q.ID, in.Variant),
 	})
+	tr.Span(trace.StageDecode, t0)
 
 	out := RunOutput{
 		Prompt:       prompt,
@@ -121,12 +147,15 @@ func RunWithPrompt(in RunInput, prompt string, tables []string) RunOutput {
 	if pred.Invalid {
 		return out
 	}
+	t1 := tr.Now()
 	sel, err := sqlparse.Parse(pred.SQL)
 	if err != nil {
+		tr.Span(trace.StageParse, t1)
 		return out
 	}
 	out.ParseOK = true
 	out.NativeSQL = Denaturalize(in.B.Schema, sel, in.Variant)
+	tr.Span(trace.StageParse, t1)
 	return out
 }
 

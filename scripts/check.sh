@@ -25,11 +25,32 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/ ./internal/trace/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLoadCSV$' -fuzztime 10s ./internal/etl/
+
+echo "== tracing smoke (snailsd -pprof: /debug/pprof/ + /debugz/traces, clean shutdown)"
+SNAILSD_BIN="$(mktemp -d)/snailsd"
+go build -o "$SNAILSD_BIN" ./cmd/snailsd
+"$SNAILSD_BIN" -addr 127.0.0.1:18931 -pprof -preload=false &
+SNAILSD_PID=$!
+tries=0
+until curl -fsS -o /dev/null http://127.0.0.1:18931/healthz; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "snailsd did not become healthy" >&2
+        kill "$SNAILSD_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -fsS -o /dev/null http://127.0.0.1:18931/debug/pprof/
+curl -fsS http://127.0.0.1:18931/debugz/traces | grep -q '"traces"'
+kill -TERM "$SNAILSD_PID"
+wait "$SNAILSD_PID"
+rm -rf "$(dirname "$SNAILSD_BIN")"
 
 echo "OK"

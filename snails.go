@@ -337,16 +337,41 @@ type SweepStats struct {
 	Workers          int     `json:"workers"`
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	CellsPerSec      float64 `json:"cells_per_sec"`
+	// Stages is the per-stage latency breakdown (prompt render, LLM decode,
+	// SQL parse, execution, result match) over all computed cells. Memo hits
+	// skip the work and the span, so counts reflect compute performed.
+	Stages []SweepStage `json:"stages,omitempty"`
+}
+
+// SweepStage is one pipeline stage's latency aggregate within a sweep.
+type SweepStage struct {
+	Stage        string  `json:"stage"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanMillis   float64 `json:"mean_ms"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
 }
 
 // BenchSweep runs (or returns the cached) full evaluation sweep and reports
 // its execution statistics.
 func BenchSweep() SweepStats {
 	st := experiments.Run().Stats
-	return SweepStats{
+	out := SweepStats{
 		Cells:            st.Cells,
 		Workers:          st.Workers,
 		WallClockSeconds: st.WallClock.Seconds(),
 		CellsPerSec:      st.CellsPerSec,
 	}
+	for _, sg := range st.Stages {
+		out.Stages = append(out.Stages, SweepStage{
+			Stage:        sg.Stage,
+			Count:        sg.Count,
+			TotalSeconds: sg.TotalSeconds,
+			MeanMillis:   sg.MeanMillis,
+			P50Millis:    sg.P50Millis,
+			P99Millis:    sg.P99Millis,
+		})
+	}
+	return out
 }
