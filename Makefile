@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report fuzz serve loadtest profile
+.PHONY: build test vet race check bench report fuzz serve loadtest profile baseline
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/ ./internal/trace/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/
 
 # Short fuzz pass over the SQL front end and CSV ingestion (the same smoke
 # scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
@@ -42,6 +42,13 @@ serve:
 
 # Load-test a spawned in-process daemon and regenerate BENCH_serve.json.
 loadtest:
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
+
+# Regenerate both committed benchmark baselines (the artifacts the
+# `snailsbench -compare` regression gate diffs against). Run this on the
+# machine that will run the gate: the baselines are absolute numbers.
+baseline:
+	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json
 	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
 
 # Capture CPU and heap profiles from a loadgen run against an in-process

@@ -14,14 +14,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	snails "github.com/snails-bench/snails"
+	"github.com/snails-bench/snails/internal/obs"
 )
 
 func main() {
@@ -32,6 +35,13 @@ func main() {
 }
 
 func run(args []string) error {
+	args, err := setupLogging(args, os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return usage()
+		}
+		return err
+	}
 	if len(args) == 0 {
 		return usage()
 	}
@@ -71,6 +81,27 @@ func run(args []string) error {
 	}
 }
 
+// setupLogging parses the global flags that may precede the subcommand
+// (flag parsing stops at the first non-flag argument, so `snails -log-level
+// debug bench` works while `bench -parallel 4` keeps its own flags). It
+// installs the resulting logger as the process default and returns the
+// remaining arguments.
+func setupLogging(args []string, stderr io.Writer) ([]string, error) {
+	fs := flag.NewFlagSet("snails", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("log-format", "text", "structured log encoding ("+obs.LogFormats+")")
+	level := fs.String("log-level", "warn", "minimum log level (debug|info|warn|error)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	log, err := obs.NewLogger(stderr, *format, *level)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(log)
+	return fs.Args(), nil
+}
+
 func usage() error {
 	fmt.Println(`snails — SNAILS schema-naturalness benchmark (SIGMOD 2025 reproduction)
 
@@ -87,6 +118,10 @@ commands:
   expand <identifier> [metadata.csv]    expand an abbreviated identifier (optionally grounded)
   summary                               headline benchmark digest
   bench [-parallel n] [-json file]      run the evaluation sweep and report throughput
+
+global flags (before the command):
+  -log-format text|json                 structured log encoding (default text)
+  -log-level  debug|info|warn|error     minimum log level (default warn)
 
 models:   ` + strings.Join(snails.Models(), ", ") + `
 variants: Native, Regular, Low, Least`)

@@ -15,6 +15,8 @@ func TestRunDispatch(t *testing.T) {
 		{"views", "CWO"},
 		{"questions", "CWO", "3"},
 		{"sql", "CWO", "SELECT", "COUNT(*)", "FROM", "species"},
+		{"-log-level", "debug", "dbs"},
+		{"-log-format", "json", "-log-level", "error", "dbs"},
 	}
 	for _, args := range ok {
 		if err := run(args); err != nil {
@@ -36,6 +38,8 @@ func TestRunErrors(t *testing.T) {
 		{"ask", "CWO", "bogus-model", "1"},
 		{"sql", "CWO"},
 		{"sql", "CWO", "NOT", "SQL"},
+		{"-log-format", "yaml", "dbs"},
+		{"-log-level", "loud", "dbs"},
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

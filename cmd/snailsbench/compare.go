@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The -compare mode is the benchmark regression gate: it diffs a baseline
+// artifact (BENCH_sweep.json or BENCH_serve.json, auto-detected) against a
+// current one, prints a per-metric delta table, and exits non-zero when any
+// gated metric regressed past the tolerance or a baseline metric is missing
+// from the current run. Directions are metric-aware — throughput regresses
+// down, latency regresses up, workload counts must match exactly.
+
+// direction classifies how a metric's delta is judged.
+type direction int
+
+const (
+	higherBetter direction = iota // throughput: regression when it drops
+	lowerBetter                   // latency / wall clock: regression when it grows
+	exactCount                    // workload shape: any change invalidates the run
+	infoOnly                      // reported for context, never gated
+)
+
+// compared is one row of the delta table.
+type compared struct {
+	name      string
+	base, cur float64
+	dir       direction
+	missing   bool // present in the baseline, absent from the current run
+}
+
+// delta is the signed relative change from baseline to current.
+func (c compared) delta() float64 {
+	if c.base == 0 {
+		return 0
+	}
+	return (c.cur - c.base) / c.base
+}
+
+// regressed applies the direction-aware gate at the given tolerance.
+func (c compared) regressed(tol float64) bool {
+	if c.missing {
+		return true
+	}
+	switch c.dir {
+	case higherBetter:
+		return c.delta() < -tol
+	case lowerBetter:
+		if c.base == 0 {
+			return c.cur > 0
+		}
+		return c.delta() > tol
+	case exactCount:
+		return c.base != c.cur
+	default:
+		return false
+	}
+}
+
+func (c compared) status(tol float64) string {
+	switch {
+	case c.missing:
+		return "MISSING"
+	case c.dir == exactCount && c.base != c.cur:
+		return "CHANGED"
+	case c.regressed(tol):
+		return "REGRESSED"
+	case c.dir == infoOnly:
+		return "info"
+	default:
+		return "ok"
+	}
+}
+
+// artifactKind tags which benchmark schema a JSON artifact carries.
+type artifactKind string
+
+const (
+	kindSweep artifactKind = "sweep"
+	kindServe artifactKind = "serve"
+)
+
+// defaultArtifact maps a baseline's kind to the committed artifact -against
+// defaults to.
+var defaultArtifact = map[artifactKind]string{
+	kindSweep: "BENCH_sweep.json",
+	kindServe: "BENCH_serve.json",
+}
+
+// loadArtifact reads a benchmark artifact and detects its kind by schema:
+// BENCH_sweep.json carries cells_per_sec, BENCH_serve.json requests_per_sec.
+func loadArtifact(path string) (artifactKind, *benchStats, *serveStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var probe struct {
+		CellsPerSec    *float64 `json:"cells_per_sec"`
+		RequestsPerSec *float64 `json:"requests_per_sec"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case probe.CellsPerSec != nil:
+		var st benchStats
+		if err := json.Unmarshal(data, &st); err != nil {
+			return "", nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return kindSweep, &st, nil, nil
+	case probe.RequestsPerSec != nil:
+		var st serveStats
+		if err := json.Unmarshal(data, &st); err != nil {
+			return "", nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return kindServe, nil, &st, nil
+	default:
+		return "", nil, nil, fmt.Errorf("%s: not a snailsbench artifact (no cells_per_sec or requests_per_sec)", path)
+	}
+}
+
+// sweepRows builds the delta table for a pair of BENCH_sweep.json artifacts.
+// Stage latencies are informational — they jitter at microsecond scale — but
+// a stage present in the baseline must still exist in the current run.
+func sweepRows(base, cur *benchStats) []compared {
+	rows := []compared{
+		{name: "cells", base: float64(base.Cells), cur: float64(cur.Cells), dir: exactCount},
+		{name: "workers", base: float64(base.Workers), cur: float64(cur.Workers), dir: infoOnly},
+		{name: "cells_per_sec", base: base.CellsPerSec, cur: cur.CellsPerSec, dir: higherBetter},
+		{name: "wall_clock_seconds", base: base.WallClockSeconds, cur: cur.WallClockSeconds, dir: lowerBetter},
+	}
+	curStages := map[string]float64{}
+	for _, sg := range cur.Stages {
+		curStages[sg.Stage] = sg.P50Millis
+	}
+	for _, sg := range base.Stages {
+		p50, ok := curStages[sg.Stage]
+		rows = append(rows, compared{
+			name: "stage/" + sg.Stage + "_p50_ms", base: sg.P50Millis, cur: p50,
+			dir: infoOnly, missing: !ok,
+		})
+	}
+	return rows
+}
+
+// serveRows builds the delta table for a pair of BENCH_serve.json artifacts.
+func serveRows(base, cur *serveStats) []compared {
+	return []compared{
+		{name: "requests", base: float64(base.Requests), cur: float64(cur.Requests), dir: exactCount},
+		{name: "errors", base: float64(base.Errors), cur: float64(cur.Errors), dir: exactCount},
+		{name: "requests_per_sec", base: base.RequestsPerSec, cur: cur.RequestsPerSec, dir: higherBetter},
+		{name: "wall_clock_seconds", base: base.WallClockSeconds, cur: cur.WallClockSeconds, dir: lowerBetter},
+		{name: "client_p50_ms", base: base.ClientP50Millis, cur: cur.ClientP50Millis, dir: lowerBetter},
+		{name: "client_p99_ms", base: base.ClientP99Millis, cur: cur.ClientP99Millis, dir: lowerBetter},
+		{name: "cache_hit_ratio", base: base.Server.CacheHitRatio, cur: cur.Server.CacheHitRatio, dir: higherBetter},
+		{name: "server_p50_ms", base: base.Server.LatencyP50Millis, cur: cur.Server.LatencyP50Millis, dir: infoOnly},
+		{name: "server_p99_ms", base: base.Server.LatencyP99Millis, cur: cur.Server.LatencyP99Millis, dir: infoOnly},
+	}
+}
+
+// runCompare is the -compare entry point; the returned code is the process
+// exit status (0 pass, 1 regression, 2 unusable input).
+func runCompare(cfg *benchConfig, stdout, stderr io.Writer) int {
+	baseKind, baseSweep, baseServe, err := loadArtifact(cfg.compare)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench: compare:", err)
+		return 2
+	}
+	against := cfg.against
+	if against == "" {
+		against = defaultArtifact[baseKind]
+	}
+	curKind, curSweep, curServe, err := loadArtifact(against)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench: compare:", err)
+		return 2
+	}
+	if curKind != baseKind {
+		fmt.Fprintf(stderr, "snailsbench: compare: %s is a %s artifact but %s is a %s artifact\n",
+			cfg.compare, baseKind, against, curKind)
+		return 2
+	}
+
+	var rows []compared
+	if baseKind == kindSweep {
+		rows = sweepRows(baseSweep, curSweep)
+	} else {
+		rows = serveRows(baseServe, curServe)
+	}
+
+	fmt.Fprintf(stdout, "comparing %s artifacts: baseline %s vs current %s (tolerance %.0f%%)\n\n",
+		baseKind, cfg.compare, against, 100*cfg.tolerance)
+	fmt.Fprintf(stdout, "%-28s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta", "status")
+	failures := 0
+	for _, row := range rows {
+		if row.regressed(cfg.tolerance) {
+			failures++
+		}
+		deltaCol := fmt.Sprintf("%+.1f%%", 100*row.delta())
+		if row.missing {
+			deltaCol = "-"
+		}
+		fmt.Fprintf(stdout, "%-28s %14.3f %14.3f %9s  %s\n",
+			row.name, row.base, row.cur, deltaCol, row.status(cfg.tolerance))
+	}
+	fmt.Fprintln(stdout)
+	if failures > 0 {
+		fmt.Fprintf(stdout, "compare: FAIL — %d of %d metrics regressed past the %.0f%% tolerance\n",
+			failures, len(rows), 100*cfg.tolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "compare: PASS — %d metrics within the %.0f%% tolerance\n", len(rows), 100*cfg.tolerance)
+	return 0
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/server"
+	"github.com/snails-bench/snails/internal/trace"
+)
+
+// writeArtifact marshals a stats value into dir and returns its path.
+func writeArtifact(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// compare runs the gate over two artifact paths and returns (exit code,
+// stdout, stderr).
+func compare(t *testing.T, baseline, against string, tolerance float64) (int, string, string) {
+	t.Helper()
+	cfg := &benchConfig{compare: baseline, against: against, tolerance: tolerance}
+	var stdout, stderr bytes.Buffer
+	code := runCompare(cfg, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func sweepFixture() benchStats {
+	return benchStats{
+		Cells:            1280,
+		Workers:          8,
+		GOMAXPROCS:       8,
+		WallClockSeconds: 2.0,
+		CellsPerSec:      640.0,
+		Stages: []trace.StageSnapshot{
+			{Stage: "llm_decode", Count: 1280, P50Millis: 0.9},
+			{Stage: "sql_exec", Count: 1280, P50Millis: 0.2},
+		},
+	}
+}
+
+func serveFixture() serveStats {
+	st := serveStats{
+		Requests:         400,
+		Errors:           0,
+		Concurrency:      16,
+		WallClockSeconds: 1.0,
+		RequestsPerSec:   400.0,
+		ClientP50Millis:  2.0,
+		ClientP99Millis:  20.0,
+	}
+	st.Server = server.MetricsSnapshot{CacheHitRatio: 0.4, LatencyP50Millis: 1.5, LatencyP99Millis: 18.0}
+	return st
+}
+
+// TestCompareIdentical is the committed-baseline criterion: an artifact
+// compared against itself passes at any tolerance, including zero.
+func TestCompareIdentical(t *testing.T) {
+	dir := t.TempDir()
+	sweep := writeArtifact(t, dir, "sweep.json", sweepFixture())
+	serve := writeArtifact(t, dir, "serve.json", serveFixture())
+	for _, path := range []string{sweep, serve} {
+		code, stdout, stderr := compare(t, path, path, 0)
+		if code != 0 {
+			t.Errorf("self-compare of %s = %d\nstdout: %s\nstderr: %s", path, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "compare: PASS") {
+			t.Errorf("self-compare stdout missing PASS: %q", stdout)
+		}
+	}
+}
+
+// TestCompareRegressed injects a >=10% throughput regression into the
+// current run of each artifact kind; the gate must exit non-zero at the
+// default tolerance and name the offending metric.
+func TestCompareRegressed(t *testing.T) {
+	dir := t.TempDir()
+
+	cur := sweepFixture()
+	cur.CellsPerSec = sweepFixture().CellsPerSec * 0.85 // 15% slower
+	cur.WallClockSeconds = sweepFixture().WallClockSeconds / 0.85
+	base := writeArtifact(t, dir, "sweep_base.json", sweepFixture())
+	against := writeArtifact(t, dir, "sweep_cur.json", cur)
+	code, stdout, _ := compare(t, base, against, 0.10)
+	if code != 1 {
+		t.Errorf("regressed sweep compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "compare: FAIL") || !strings.Contains(stdout, "REGRESSED") {
+		t.Errorf("regressed sweep stdout missing FAIL/REGRESSED: %q", stdout)
+	}
+
+	curS := serveFixture()
+	curS.ClientP50Millis = serveFixture().ClientP50Millis * 1.5 // 50% slower
+	baseS := writeArtifact(t, dir, "serve_base.json", serveFixture())
+	againstS := writeArtifact(t, dir, "serve_cur.json", curS)
+	code, stdout, _ = compare(t, baseS, againstS, 0.10)
+	if code != 1 {
+		t.Errorf("regressed serve compare = %d, want 1\n%s", code, stdout)
+	}
+
+	// A generous tolerance absorbs the same regression.
+	if code, stdout, _ := compare(t, baseS, againstS, 0.60); code != 0 {
+		t.Errorf("serve compare at 60%% tolerance = %d, want 0\n%s", code, stdout)
+	}
+}
+
+// TestCompareImproved: deltas in the good direction never trip the gate,
+// however large.
+func TestCompareImproved(t *testing.T) {
+	dir := t.TempDir()
+	cur := sweepFixture()
+	cur.CellsPerSec *= 3
+	cur.WallClockSeconds /= 3
+	base := writeArtifact(t, dir, "base.json", sweepFixture())
+	against := writeArtifact(t, dir, "cur.json", cur)
+	if code, stdout, _ := compare(t, base, against, 0.10); code != 0 {
+		t.Errorf("improved compare = %d, want 0\n%s", code, stdout)
+	}
+}
+
+// TestCompareMissingMetric: a stage present in the baseline but absent from
+// the current run fails the gate even when every shared metric is identical.
+func TestCompareMissingMetric(t *testing.T) {
+	dir := t.TempDir()
+	cur := sweepFixture()
+	cur.Stages = cur.Stages[:1] // drop sql_exec
+	base := writeArtifact(t, dir, "base.json", sweepFixture())
+	against := writeArtifact(t, dir, "cur.json", cur)
+	code, stdout, _ := compare(t, base, against, 0.10)
+	if code != 1 {
+		t.Errorf("missing-metric compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "MISSING") || !strings.Contains(stdout, "stage/sql_exec_p50_ms") {
+		t.Errorf("missing-metric stdout should flag stage/sql_exec_p50_ms MISSING: %q", stdout)
+	}
+}
+
+// TestCompareExactCountChanged: a different workload size means the artifacts
+// are not comparable, regardless of tolerance.
+func TestCompareExactCountChanged(t *testing.T) {
+	dir := t.TempDir()
+	cur := serveFixture()
+	cur.Requests = 800
+	cur.RequestsPerSec = 800
+	base := writeArtifact(t, dir, "base.json", serveFixture())
+	against := writeArtifact(t, dir, "cur.json", cur)
+	code, stdout, _ := compare(t, base, against, 10.0)
+	if code != 1 {
+		t.Errorf("changed-count compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "CHANGED") {
+		t.Errorf("changed-count stdout missing CHANGED: %q", stdout)
+	}
+}
+
+// TestCompareUnusableInput: missing files, non-artifact JSON, and mixed
+// artifact kinds all exit 2 with a diagnostic.
+func TestCompareUnusableInput(t *testing.T) {
+	dir := t.TempDir()
+	sweep := writeArtifact(t, dir, "sweep.json", sweepFixture())
+	serve := writeArtifact(t, dir, "serve.json", serveFixture())
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte(`{"hello": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]string{
+		{filepath.Join(dir, "nope.json"), sweep},
+		{junk, sweep},
+		{sweep, serve}, // kind mismatch
+	} {
+		code, _, stderr := compare(t, tc[0], tc[1], 0.10)
+		if code != 2 {
+			t.Errorf("compare(%s, %s) = %d, want 2", tc[0], tc[1], code)
+		}
+		if stderr == "" {
+			t.Errorf("compare(%s, %s) silent on stderr", tc[0], tc[1])
+		}
+	}
+}
+
+// TestCompareAgainstDefault: with -against empty the gate picks the
+// committed artifact matching the baseline's kind, resolved in the working
+// directory.
+func TestCompareAgainstDefault(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", sweepFixture())
+	writeArtifact(t, dir, "BENCH_sweep.json", sweepFixture())
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if code, stdout, stderr := compare(t, base, "", 0.10); code != 0 {
+		t.Errorf("default-against compare = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}

@@ -7,6 +7,11 @@
 // With -loadgen it instead hammers a snailsd serving instance (spawning an
 // in-process one when -target is empty) and emits BENCH_serve.json with
 // throughput, cache hit ratio, and latency percentiles.
+//
+// With -compare <baseline.json> it becomes a regression gate: the baseline
+// artifact is diffed against -against (defaulting to the committed artifact
+// of the same kind), a per-metric delta table is printed, and the exit
+// status is non-zero when any metric regressed past -tolerance.
 package main
 
 import (
@@ -15,11 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
 
 	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/trace"
 )
 
@@ -51,6 +58,14 @@ type benchConfig struct {
 	trace       bool
 	cpuProfile  string
 	memProfile  string
+
+	// compare mode (regression gate)
+	compare   string
+	against   string
+	tolerance float64
+
+	logFormat string
+	logLevel  string
 }
 
 // parseFlags parses argv into a benchConfig using an isolated FlagSet.
@@ -70,6 +85,11 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	fs.BoolVar(&cfg.trace, "trace", false, "loadgen: pull /debugz/traces after the run and add a per-stage time budget to the serving stats")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "loadgen: write a CPU profile to this file (covers the in-process server too)")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "loadgen: write a heap profile to this file after the run")
+	fs.StringVar(&cfg.compare, "compare", "", "regression gate: treat this artifact as the baseline, diff it against -against, exit non-zero past -tolerance")
+	fs.StringVar(&cfg.against, "against", "", "compare: current artifact (empty picks BENCH_sweep.json or BENCH_serve.json to match the baseline kind)")
+	fs.Float64Var(&cfg.tolerance, "tolerance", 0.10, "compare: allowed relative regression per gated metric")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding ("+obs.LogFormats+")")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level (debug|info|warn|error)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -78,6 +98,13 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	}
 	if cfg.requests <= 0 || cfg.concurrency <= 0 {
 		return nil, fmt.Errorf("-requests and -concurrency must be positive")
+	}
+	if cfg.tolerance < 0 {
+		return nil, fmt.Errorf("-tolerance must be non-negative")
+	}
+	if _, err := obs.NewLogger(io.Discard, cfg.logFormat, cfg.logLevel); err != nil {
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return nil, err
 	}
 	return cfg, nil
 }
@@ -133,6 +160,12 @@ func main() {
 	cfg, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
 		os.Exit(2)
+	}
+	// parseFlags already validated the logging flags.
+	log, _ := obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel)
+	slog.SetDefault(log)
+	if cfg.compare != "" {
+		os.Exit(runCompare(cfg, os.Stdout, os.Stderr))
 	}
 	if cfg.loadgen {
 		os.Exit(runLoadgen(cfg, os.Stdout, os.Stderr))

@@ -27,6 +27,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.requests != 400 || cfg.concurrency != 16 || cfg.serveOut != "BENCH_serve.json" {
 		t.Errorf("unexpected loadgen defaults: %+v", cfg)
 	}
+	if cfg.compare != "" || cfg.against != "" || cfg.tolerance != 0.10 {
+		t.Errorf("unexpected compare defaults: %+v", cfg)
+	}
+	if cfg.logFormat != "text" || cfg.logLevel != "info" {
+		t.Errorf("unexpected logging defaults: %+v", cfg)
+	}
 }
 
 func TestParseFlagsLoadgen(t *testing.T) {
@@ -51,6 +57,9 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"-requests", "-5"},
 		{"-concurrency", "0"},
 		{"-requests", "notanumber"},
+		{"-tolerance", "-0.5"},
+		{"-log-format", "yaml"},
+		{"-log-level", "loud"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Errorf("parseFlags(%v) accepted, want error", args)

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/server"
 )
 
@@ -37,6 +39,8 @@ type config struct {
 	drainGrace   time.Duration
 	traceBuffer  int
 	pprof        bool
+	logFormat    string
+	logLevel     string
 }
 
 // parseFlags parses argv into a config using an isolated FlagSet.
@@ -54,16 +58,22 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "maximum time to drain in-flight work on shutdown")
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "request traces kept for /debugz/traces (0 = default 256, negative disables tracing)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding ("+obs.LogFormats+")")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level (debug|info|warn|error)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if _, err := obs.NewLogger(io.Discard, cfg.logFormat, cfg.logLevel); err != nil {
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return nil, err
+	}
 	return cfg, nil
 }
 
-func (c *config) serverConfig() server.Config {
+func (c *config) serverConfig(log *slog.Logger) server.Config {
 	return server.Config{
 		RequestTimeout: c.timeout,
 		CacheEntries:   c.cacheEntries,
@@ -72,6 +82,7 @@ func (c *config) serverConfig() server.Config {
 		Workers:        c.workers,
 		TraceBuffer:    c.traceBuffer,
 		EnablePprof:    c.pprof,
+		Logger:         log,
 	}
 }
 
@@ -80,32 +91,42 @@ func (c *config) serverConfig() server.Config {
 // non-nil, receives the bound listen address once the server is accepting —
 // tests and the loadgen harness use it to avoid polling.
 func run(cfg *config, stderr io.Writer, ready chan<- string, signals <-chan os.Signal) int {
-	s := server.New(cfg.serverConfig())
+	// The daemon's logger also becomes the process default so structured
+	// debug records from the pipeline packages (workflow parse failures,
+	// sweep outcomes) share the handler and its request-scoped attributes.
+	log, err := obs.NewLogger(stderr, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return 2
+	}
+	slog.SetDefault(log)
+
+	s := server.New(cfg.serverConfig(log))
 	if cfg.preload {
 		start := time.Now()
 		s.Preload()
-		fmt.Fprintf(stderr, "snailsd: preloaded collection in %s\n", time.Since(start).Round(time.Millisecond))
+		log.Info("preloaded collection", slog.Duration("took", time.Since(start).Round(time.Millisecond)))
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		fmt.Fprintln(stderr, "snailsd:", err)
+		log.Error("listen failed", slog.String("addr", cfg.addr), slog.String("err", err.Error()))
 		return 1
 	}
 	httpSrv := &http.Server{Handler: s}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stderr, "snailsd: listening on %s\n", ln.Addr())
+	log.Info("listening", slog.String("addr", ln.Addr().String()))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
 	select {
 	case sig := <-signals:
-		fmt.Fprintf(stderr, "snailsd: %v — draining\n", sig)
+		log.Info("shutdown signal received, draining", slog.String("signal", sig.String()))
 	case err := <-serveErr:
-		fmt.Fprintln(stderr, "snailsd:", err)
+		log.Error("serve failed", slog.String("err", err.Error()))
 		return 1
 	}
 
@@ -116,12 +137,12 @@ func run(cfg *config, stderr io.Writer, ready chan<- string, signals <-chan os.S
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(stderr, "snailsd: shutdown:", err)
+		log.Error("shutdown did not finish within the drain grace", slog.String("err", err.Error()))
 		s.Drain()
 		return 1
 	}
 	s.Drain()
-	fmt.Fprintln(stderr, "snailsd: drained, exiting")
+	log.Info("drained, exiting")
 	return 0
 }
 

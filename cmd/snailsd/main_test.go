@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"syscall"
@@ -23,10 +24,17 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if !cfg.preload || cfg.drainGrace != 30*time.Second {
 		t.Errorf("unexpected lifecycle defaults: %+v", cfg)
 	}
-	sc := cfg.serverConfig()
+	if cfg.logFormat != "text" || cfg.logLevel != "info" {
+		t.Errorf("unexpected logging defaults: %+v", cfg)
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	sc := cfg.serverConfig(log)
 	if sc.RequestTimeout != cfg.timeout || sc.CacheEntries != cfg.cacheEntries ||
 		sc.BatchWindow != cfg.batchWindow || sc.MaxBatch != cfg.maxBatch || sc.Workers != cfg.workers {
 		t.Errorf("serverConfig() lost fields: %+v", sc)
+	}
+	if sc.Logger != log {
+		t.Error("serverConfig() dropped the logger")
 	}
 }
 
@@ -35,6 +43,8 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"-nosuchflag"},
 		{"positional"},
 		{"-timeout", "notaduration"},
+		{"-log-format", "yaml"},
+		{"-log-level", "loud"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Errorf("parseFlags(%v) accepted, want error", args)

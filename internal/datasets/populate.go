@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"fmt"
+	"log/slog"
 
 	"github.com/snails-bench/snails/internal/sqldb"
 )
@@ -51,6 +52,15 @@ func populate(spec Spec, built *Built) *sqldb.DB {
 		}
 		rowCount[ts.Key] = ts.Rows
 	}
+	rows := 0
+	for _, n := range rowCount {
+		rows += n
+	}
+	slog.Debug("populated database",
+		slog.String("db", spec.Name),
+		slog.Int("tables", len(built.Schema.Tables)),
+		slog.Int("core_tables", len(spec.Core)),
+		slog.Int("rows", rows))
 	return db
 }
 

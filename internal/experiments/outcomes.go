@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+// Per-cell sweep outcomes, tallied process-wide by variant. The metrics
+// registry reads these through CellOutcome at scrape time; the sweep engine
+// itself never imports a metrics package. "error" covers cells whose
+// prediction failed to parse; "mismatch" parsed but did not reproduce the
+// gold result (execution failures included).
+const (
+	outcomeMatch = iota
+	outcomeMismatch
+	outcomeError
+	numOutcomes
+)
+
+// Outcomes lists the per-cell result classes in display order, aligned with
+// the outcome* indices above.
+var Outcomes = []string{"match", "mismatch", "error"}
+
+type outcomeRow [numOutcomes]atomic.Uint64
+
+var cellOutcomes = make([]outcomeRow, len(schema.Variants))
+
+// countOutcome classifies a finished cell into its outcome row.
+func countOutcome(c *Cell) int {
+	idx := outcomeError
+	switch {
+	case c.ExecCorrect:
+		idx = outcomeMatch
+	case c.ParseOK:
+		idx = outcomeMismatch
+	}
+	cellOutcomes[int(c.Variant)][idx].Add(1)
+	return idx
+}
+
+// CellOutcome returns the number of sweep cells that finished with the named
+// outcome ("match", "mismatch", "error") under one schema variant, since
+// process start.
+func CellOutcome(v schema.Variant, outcome string) uint64 {
+	vi := int(v)
+	if vi < 0 || vi >= len(cellOutcomes) {
+		return 0
+	}
+	for i, name := range Outcomes {
+		if name == outcome {
+			return cellOutcomes[vi][i].Load()
+		}
+	}
+	return 0
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -364,6 +365,15 @@ func runCell(ctx context.Context, b *datasets.Built, q nlq.Question, goldIDs sql
 				cell.ExecCorrect = outcome == evalx.MatchYes
 			}
 		}
+	}
+
+	if outcome := countOutcome(&cell); outcome != outcomeMatch {
+		slog.DebugContext(ctx, "sweep cell missed",
+			slog.String("model", m.Profile.Name),
+			slog.String("db", b.Name),
+			slog.String("variant", v.String()),
+			slog.Int("question_id", q.ID),
+			slog.String("outcome", Outcomes[outcome]))
 	}
 
 	if out.FilteredNative != nil {

@@ -41,6 +41,8 @@ type Cache[V any] struct {
 	shards      [shardCount]shard[V]
 	maxPerShard int // 0 = unbounded
 	evictions   atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
 }
 
 // New returns an unbounded cache.
@@ -86,6 +88,11 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 		e.ref.Store(true)
 	}
 	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -154,3 +161,10 @@ func (c *Cache[V]) Len() int {
 // Evictions returns the number of entries displaced by the clock hand since
 // the cache was created (always 0 for unbounded caches).
 func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// Hits returns the number of Get calls that found their key. GetOrCompute
+// lookups count through the same path.
+func (c *Cache[V]) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of Get calls that missed.
+func (c *Cache[V]) Misses() uint64 { return c.misses.Load() }

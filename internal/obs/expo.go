@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in Prometheus text format
+// v0.0.4: a # HELP and # TYPE line per family followed by its samples.
+// Families are emitted in sorted name order and series in registration
+// (or sorted label) order, so consecutive scrapes of a quiet process are
+// byte-identical — the output is diffable, not just parseable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.collect() {
+			bw.WriteString(f.name)
+			bw.WriteString(s.suffix)
+			writeLabels(bw, s.labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLabels renders a {name="value",...} block, omitted when empty.
+func writeLabels(bw *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Name)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(l.Value))
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// escapeHelp escapes backslash and newline, the two characters the format
+// reserves in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integral values (the common case for
+// counters) print without an exponent or decimal point, +Inf prints as the
+// format's literal, and everything else uses the shortest round-trip form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFormats names the accepted -log-format flag values.
+const LogFormats = "text|json"
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the process logger: text (the human default) or JSON
+// lines on w, filtered at level, with request-scoped context attributes
+// (see ContextAttrs) appended to every record logged through a context.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want %s)", format, LogFormats)
+	}
+	return slog.New(contextHandler{h}), nil
+}
+
+// attrsKey carries request-scoped log attributes through a context.
+type attrsKey struct{}
+
+// ContextAttrs returns ctx extended with attributes that every record logged
+// through this context (via a NewLogger handler) will carry. The serving
+// layer seeds request id, endpoint, db, variant, and stage attributes here
+// once per request; the pipeline packages below it (workflow, sqlexec,
+// experiments) then log plain messages and inherit the request scope.
+func ContextAttrs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(attrsKey{}).([]slog.Attr)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, attrsKey{}, merged)
+}
+
+// contextHandler is a slog.Handler middleware that appends the context's
+// request-scoped attributes to each record.
+type contextHandler struct {
+	inner slog.Handler
+}
+
+func (h contextHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h contextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if attrs, ok := ctx.Value(attrsKey{}).([]slog.Attr); ok {
+		rec.AddAttrs(attrs...)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return contextHandler{h.inner.WithAttrs(attrs)}
+}
+
+func (h contextHandler) WithGroup(name string) slog.Handler {
+	return contextHandler{h.inner.WithGroup(name)}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTestRegistry assembles a registry exercising every metric kind.
+func buildTestRegistry() (*Registry, *Counter, *CounterVec, *Gauge, *Histogram) {
+	r := NewRegistry()
+	c := r.Counter("snails_test_events_total", "Test events.")
+	vec := r.CounterVec("snails_test_requests_total", "Test requests by path.", "path")
+	g := r.Gauge("snails_test_inflight", "Test in-flight requests.")
+	h := r.Histogram("snails_test_duration_seconds", "Test latencies.")
+	r.GaugeFunc("snails_test_uptime_seconds", "Test uptime.", func() float64 { return 12.5 })
+	r.CounterSeries("snails_test_cache_hits_total", "Test cache hits by cache.",
+		Series{Labels: []Label{{"cache", "gold"}}, F: func() float64 { return 3 }},
+		Series{Labels: []Label{{"cache", "pred"}}, F: func() float64 { return 0 }},
+	)
+	r.RegisterRuntime()
+	return r, c, vec, g, h
+}
+
+// sampleLine matches one exposition sample: name, optional labels, value.
+var sampleLine = regexp.MustCompile(`^([a-z0-9_]+)(\{[^}]*\})? (-?[0-9].*|\+Inf|-Inf|NaN)$`)
+
+// parseExposition splits a text-format document into per-line samples,
+// failing the test on any malformed line. It returns family names seen in
+// HELP/TYPE headers and the full set of samples keyed by name+labels.
+func parseExposition(t *testing.T, text string) (families map[string]string, samples map[string]float64) {
+	t.Helper()
+	families = map[string]string{} // name -> type
+	samples = map[string]float64{}
+	var lastFamily string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown TYPE %q in %q", typ, line)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("family %q declared twice", name)
+			}
+			families[name] = typ
+			lastFamily = name
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			name := m[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if base != lastFamily && name != lastFamily {
+				t.Fatalf("sample %q not under its family's TYPE header (last family %q)", name, lastFamily)
+			}
+			var v float64
+			if m[3] == "+Inf" {
+				v = math.Inf(1)
+			} else {
+				var err error
+				if v, err = strconv.ParseFloat(m[3], 64); err != nil {
+					t.Fatalf("bad value in %q: %v", line, err)
+				}
+			}
+			if _, dup := samples[name+m[2]]; dup {
+				t.Fatalf("duplicate sample %q", name+m[2])
+			}
+			samples[name+m[2]] = v
+		}
+	}
+	return families, samples
+}
+
+// TestExpositionFormat is the text-format golden test: every line parses,
+// every family name is snails_-prefixed snake_case and unique, counters end
+// in _total, and histogram families emit the full _bucket/_sum/_count shape.
+func TestExpositionFormat(t *testing.T) {
+	r, c, vec, g, h := buildTestRegistry()
+	c.Add(7)
+	vec.With("/v1/infer").Inc()
+	vec.With("/healthz").Add(2)
+	g.Set(3)
+	h.Observe(3 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	families, samples := parseExposition(t, text)
+
+	nameRe := regexp.MustCompile(`^snails_[a-z0-9]+(_[a-z0-9]+)*$`)
+	for name, typ := range families {
+		if !nameRe.MatchString(name) {
+			t.Errorf("family %q is not snails_-prefixed snake_case", name)
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter family %q does not end in _total", name)
+		}
+	}
+
+	if v := samples["snails_test_events_total"]; v != 7 {
+		t.Errorf("events_total = %v, want 7", v)
+	}
+	if v := samples[`snails_test_requests_total{path="/v1/infer"}`]; v != 1 {
+		t.Errorf("requests_total{/v1/infer} = %v, want 1", v)
+	}
+	if v := samples[`snails_test_cache_hits_total{cache="pred"}`]; v != 0 {
+		t.Errorf("zero-valued series must still render, got %v", v)
+	}
+	if v := samples["snails_test_uptime_seconds"]; v != 12.5 {
+		t.Errorf("uptime = %v, want 12.5", v)
+	}
+
+	// Histogram shape: cumulative buckets ending at +Inf == _count, and the
+	// 3ms observation lands at every le >= 4096µs.
+	inf := `snails_test_duration_seconds_bucket{le="+Inf"}`
+	if samples[inf] != 1 || samples["snails_test_duration_seconds_count"] != 1 {
+		t.Errorf("histogram count: +Inf bucket %v, _count %v, want 1",
+			samples[inf], samples["snails_test_duration_seconds_count"])
+	}
+	if v := samples[`snails_test_duration_seconds_bucket{le="0.002048"}`]; v != 0 {
+		t.Errorf("bucket below 3ms observation = %v, want 0", v)
+	}
+	if v := samples[`snails_test_duration_seconds_bucket{le="0.004096"}`]; v != 1 {
+		t.Errorf("bucket above 3ms observation = %v, want 1", v)
+	}
+	sum := samples["snails_test_duration_seconds_sum"]
+	if sum < 0.0029 || sum > 0.0031 {
+		t.Errorf("_sum = %v, want ≈0.003", sum)
+	}
+
+	// Cumulative buckets must be monotone.
+	var prev float64 = -1
+	for i := 0; i < NumBuckets; i++ {
+		key := `snails_test_duration_seconds_bucket{le="` + formatFloat(BucketUpperSeconds(i)) + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %s: %v < %v", key, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestExpositionDeterministic asserts two scrapes of a quiet registry are
+// byte-identical and family order is sorted.
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snails_zeta_total", "z")
+	r.Counter("snails_alpha_total", "a")
+	r.Gauge("snails_mid_gauge", "m")
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("consecutive scrapes differ on a quiet registry")
+	}
+	za := strings.Index(a.String(), "snails_zeta_total")
+	aa := strings.Index(a.String(), "snails_alpha_total")
+	if aa > za {
+		t.Error("families are not emitted in sorted order")
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	for _, name := range []string{
+		"requests_total",         // missing prefix
+		"snails_CamelCase_total", // upper case
+		"snails_bad-name_total",  // dash
+		"snails__double_total",   // empty segment
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q was accepted", name)
+				}
+			}()
+			NewRegistry().Counter(name, "x")
+		}()
+	}
+	// Counter without _total suffix.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("counter without _total suffix was accepted")
+			}
+		}()
+		NewRegistry().Counter("snails_events", "x")
+	}()
+	// Duplicate registration.
+	func() {
+		r := NewRegistry()
+		r.Counter("snails_dup_total", "x")
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate family name was accepted")
+			}
+		}()
+		r.Gauge("snails_dup_total", "x")
+	}()
+}
+
+// TestConcurrentScrape hammers every metric kind from many goroutines while
+// scraping, under -race in the tier-1 pass.
+func TestConcurrentScrape(t *testing.T) {
+	r, c, vec, g, h := buildTestRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				vec.With("/v1/infer").Inc()
+				vec.With("/p" + strconv.Itoa(i%3)).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		parseExposition(t, sb.String())
+	}
+	close(stop)
+	wg.Wait()
+
+	// Counters observed after the load finishes must be exact.
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parseExposition(t, sb.String())
+	if v := samples["snails_test_events_total"]; v != float64(c.Value()) {
+		t.Errorf("final counter = %v, want %v", v, c.Value())
+	}
+	if samples["snails_test_inflight"] != 0 {
+		t.Errorf("inflight gauge should settle at 0, got %v", samples["snails_test_inflight"])
+	}
+}

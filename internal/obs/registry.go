@@ -1,0 +1,270 @@
+// Package obs is the process observability layer: a metrics registry with
+// Prometheus text-format exposition, the shared log-spaced latency histogram,
+// and structured logging built on log/slog with request-scoped attributes.
+//
+// Everything is stdlib-only and allocation-light on the hot path: counters
+// and gauges are single atomics, histograms are fixed atomic bucket arrays,
+// and scrape-time work (callbacks, sorting, formatting) happens only when a
+// scraper actually asks. Metric families follow one naming convention,
+// enforced at registration: `snails_`-prefixed snake_case, with base units in
+// seconds and bytes and counters suffixed `_total`.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricName is the registration gate for family names: snails_-prefixed
+// snake_case, lower-case alphanumerics only.
+var metricName = regexp.MustCompile(`^snails_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// Series binds a callback-valued series to its labels. The callback is read
+// at scrape time, so the registry can expose counters owned by other
+// packages (memo caches, sqlexec tallies, sweep outcomes) without those
+// packages importing obs.
+type Series struct {
+	Labels []Label
+	F      func() float64
+}
+
+// HistogramSeries binds a labeled series to a Histogram read at scrape time.
+type HistogramSeries struct {
+	Labels []Label
+	H      *Histogram
+}
+
+// sample is one exposition line of a family: an optional name suffix
+// (_bucket/_sum/_count for histograms), the label set, and the value.
+type sample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// family is one registered metric family; collect produces its samples at
+// scrape time.
+type family struct {
+	name, help, typ string
+	collect         func() []sample
+}
+
+// Registry holds metric families and renders them in Prometheus text format
+// v0.0.4. Registration is expected at construction time (it panics on a
+// duplicate or malformed name — both are programming errors); collection is
+// safe for concurrent scrapes while metrics update.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register installs a family, enforcing the naming convention.
+func (r *Registry) register(name, help, typ string, collect func() []sample) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q must match %s", name, metricName))
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, collect: collect}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers and returns a new counter family with a single
+// unlabeled series.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func() []sample {
+		return []sample{{value: float64(c.v.Load())}}
+	})
+	return c
+}
+
+// Gauge is an integer-valued metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers and returns a new gauge family with a single unlabeled
+// series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func() []sample {
+		return []sample{{value: float64(g.v.Load())}}
+	})
+	return g
+}
+
+// CounterVec is a counter family keyed by one or more label values. Series
+// are created on first touch (or pre-declared with With so they render as 0
+// before any increment).
+type CounterVec struct {
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it at zero
+// on first use. The number of values must match the vec's label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: counter vec with labels %v got %d values", v.labels, len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	c, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.m[key] = c
+	return c
+}
+
+// Each calls f for every series in label-value order.
+func (v *CounterVec) Each(f func(values []string, count uint64)) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(strings.Split(k, "\x00"), v.m[k].Value())
+	}
+	v.mu.RUnlock()
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, m: map[string]*Counter{}}
+	r.register(name, help, "counter", func() []sample {
+		var out []sample
+		v.Each(func(values []string, count uint64) {
+			ls := make([]Label, len(labels))
+			for i := range labels {
+				ls[i] = Label{labels[i], values[i]}
+			}
+			out = append(out, sample{labels: ls, value: float64(count)})
+		})
+		return out
+	})
+	return v
+}
+
+// CounterFunc registers a counter family whose single series is read from a
+// callback at scrape time. The callback's value must be monotone — it
+// typically reads an atomic owned by another package.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, help, "counter", func() []sample {
+		return []sample{{value: f()}}
+	})
+}
+
+// GaugeFunc registers a gauge family whose single series is read from a
+// callback at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, "gauge", func() []sample {
+		return []sample{{value: f()}}
+	})
+}
+
+// seriesSamples evaluates fixed callback series into samples.
+func seriesSamples(series []Series) []sample {
+	out := make([]sample, len(series))
+	for i, s := range series {
+		out[i] = sample{labels: s.Labels, value: s.F()}
+	}
+	return out
+}
+
+// CounterSeries registers a counter family with a fixed set of labeled
+// callback series (e.g. one per named cache). Every series renders on every
+// scrape, zero or not, so the family's label space is diffable.
+func (r *Registry) CounterSeries(name, help string, series ...Series) {
+	r.register(name, help, "counter", func() []sample { return seriesSamples(series) })
+}
+
+// GaugeSeries registers a gauge family with a fixed set of labeled callback
+// series.
+func (r *Registry) GaugeSeries(name, help string, series ...Series) {
+	r.register(name, help, "gauge", func() []sample { return seriesSamples(series) })
+}
+
+// Histogram registers and returns a new unlabeled latency histogram family.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.HistogramSeriesFamily(name, help, HistogramSeries{H: h})
+	return h
+}
+
+// HistogramSeriesFamily registers a histogram family over a fixed set of
+// labeled Histograms (e.g. one per pipeline stage, owned by the trace
+// collector). Exposition renders the standard cumulative _bucket series plus
+// _sum and _count; _count is derived from the bucket sum so the cumulative
+// series is self-consistent under concurrent observation.
+func (r *Registry) HistogramSeriesFamily(name, help string, series ...HistogramSeries) {
+	r.register(name, help, "histogram", func() []sample {
+		var out []sample
+		for _, s := range series {
+			buckets, sumSeconds := s.H.Snapshot()
+			var cum uint64
+			for i := 0; i < NumBuckets; i++ {
+				cum += buckets[i]
+				le := formatFloat(BucketUpperSeconds(i))
+				ls := append(append([]Label{}, s.Labels...), Label{"le", le})
+				out = append(out, sample{suffix: "_bucket", labels: ls, value: float64(cum)})
+			}
+			out = append(out, sample{suffix: "_sum", labels: s.Labels, value: sumSeconds})
+			out = append(out, sample{suffix: "_count", labels: s.Labels, value: float64(cum)})
+		}
+		return out
+	})
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime installs the Go runtime gauge families: goroutine count,
+// heap occupancy, and GC activity. Memory stats are read once per scrape
+// (runtime.ReadMemStats), cached for the duration of one collection pass so
+// the four memstats-backed families agree with each other.
+func (r *Registry) RegisterRuntime() {
+	// One scrape evaluates families in sorted order within a few
+	// microseconds; a tiny TTL cache keeps them on one ReadMemStats call
+	// without holding stale numbers across scrapes.
+	var mu sync.Mutex
+	var cached runtime.MemStats
+	var readAt time.Time
+	mem := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(readAt) > 100*time.Millisecond {
+			runtime.ReadMemStats(&cached)
+			readAt = time.Now()
+		}
+		return cached
+	}
+
+	r.GaugeFunc("snails_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("snails_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(mem().HeapAlloc) })
+	r.GaugeFunc("snails_go_sys_bytes",
+		"Bytes of memory obtained from the OS.",
+		func() float64 { return float64(mem().Sys) })
+	r.CounterFunc("snails_go_gc_runs_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(mem().NumGC) })
+	r.CounterFunc("snails_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(mem().PauseTotalNs) / float64(time.Second) })
+}

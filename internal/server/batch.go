@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/snails-bench/snails/internal/datasets"
@@ -26,16 +27,22 @@ type pool struct {
 	jobs   chan func()
 	closed bool
 	wg     sync.WaitGroup
+
+	workers  int
+	busy     atomic.Int64  // workers currently running a job
+	rejected atomic.Uint64 // submissions refused (saturated or closed)
 }
 
 func newPool(workers, queueDepth int) *pool {
-	p := &pool{jobs: make(chan func(), queueDepth)}
+	p := &pool{jobs: make(chan func(), queueDepth), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
 			for f := range p.jobs {
+				p.busy.Add(1)
 				f()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -47,12 +54,14 @@ func (p *pool) submit(f func()) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
+		p.rejected.Add(1)
 		return false
 	}
 	select {
 	case p.jobs <- f:
 		return true
 	default:
+		p.rejected.Add(1)
 		return false
 	}
 }
@@ -180,6 +189,42 @@ func (bt *batcher) dispatch(ba *inferBatch) {
 	}
 }
 
+// pendingItems counts requests sitting in not-yet-flushed batches — the
+// batcher's queue depth gauge.
+func (bt *batcher) pendingItems() int {
+	bt.mu.Lock()
+	n := 0
+	for _, ba := range bt.pending {
+		n += len(ba.items)
+	}
+	bt.mu.Unlock()
+	return n
+}
+
+// coalesceClass buckets a flushed batch's size for the coalesce counter.
+// Classes are coarse on purpose: the interesting signal is "alone vs shared"
+// and the rough sharing factor, not an exact size distribution.
+func coalesceClass(n int) string {
+	switch {
+	case n <= 1:
+		return "1"
+	case n == 2:
+		return "2"
+	case n == 3:
+		return "3"
+	case n <= 7:
+		return "4-7"
+	case n <= 15:
+		return "8-15"
+	default:
+		return "16+"
+	}
+}
+
+// coalesceClasses lists every class so the counter vec pre-declares them and
+// scrapes render the full label space from the first request on.
+var coalesceClasses = []string{"1", "2", "3", "4-7", "8-15", "16+"}
+
 // drain flushes every pending batch immediately and waits for in-flight
 // batches to finish. Called during graceful shutdown after the listener has
 // stopped accepting new requests.
@@ -205,6 +250,7 @@ func (bt *batcher) drain() {
 func (bt *batcher) run(ba *inferBatch) {
 	bt.s.metrics.batches.Add(1)
 	bt.s.metrics.batchedReq.Add(uint64(len(ba.items)))
+	bt.s.coalesce.With(coalesceClass(len(ba.items))).Inc()
 
 	// The queue span closes now for every member: the batch has been picked
 	// up, so each request's wait ends here regardless of its slot in the
@@ -266,6 +312,7 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (I
 		Valid:      out.ParseOK,
 	}
 	if !out.ParseOK {
+		s.verdicts.With("invalid").Inc()
 		return resp, nil
 	}
 	link := evalx.QueryLinkingSQL(it.q.Gold, out.NativeSQL)
@@ -279,6 +326,11 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (I
 		t0 := it.tr.Now()
 		resp.ExecCorrect = evalx.CompareResults(gold, pred) == evalx.MatchYes
 		it.tr.Span(trace.StageMatch, t0)
+	}
+	if resp.ExecCorrect {
+		s.verdicts.With("correct").Inc()
+	} else {
+		s.verdicts.With("incorrect").Inc()
 	}
 	return resp, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/stats"
 	"github.com/snails-bench/snails/internal/trace"
 )
@@ -70,6 +71,10 @@ type metrics struct {
 	byEndpoint sync.Map // endpoint path -> *atomic.Uint64
 
 	lat latencyRing
+	// dur is the same request latency as lat, folded into the log-spaced
+	// histogram /metrics exposes (the ring serves /metricsz's interpolated
+	// percentiles; the histogram serves scrape-time bucket series).
+	dur obs.Histogram
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -80,6 +85,15 @@ func (m *metrics) countEndpoint(path string) {
 		v, _ = m.byEndpoint.LoadOrStore(path, new(atomic.Uint64))
 	}
 	v.(*atomic.Uint64).Add(1)
+}
+
+// endpointCount reads one path's request count (0 before its first request).
+func (m *metrics) endpointCount(path string) uint64 {
+	v, ok := m.byEndpoint.Load(path)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Uint64).Load()
 }
 
 // MetricsSnapshot is the /metricsz response document.
@@ -108,6 +122,14 @@ type MetricsSnapshot struct {
 }
 
 func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnapshot {
+	// Read every counter before computing uptime: uptime is the denominator
+	// of any rate a consumer derives, so it must be at least as fresh as the
+	// counts. (An earlier version evaluated uptime first inside the struct
+	// literal, so counters incremented during snapshot assembly could exceed
+	// what the reported uptime accounted for.)
+	requests := m.requests.Load()
+	errs, timeouts := m.errors.Load(), m.timeouts.Load()
+	inflight := m.inflight.Load()
 	hits, misses := m.cacheHits.Load(), m.cacheMiss.Load()
 	ratio := 0.0
 	if hits+misses > 0 {
@@ -126,11 +148,11 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 	})
 	return MetricsSnapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
-		RequestsTotal:    m.requests.Load(),
+		RequestsTotal:    requests,
 		RequestsByPath:   byPath,
-		ErrorsTotal:      m.errors.Load(),
-		TimeoutsTotal:    m.timeouts.Load(),
-		Inflight:         m.inflight.Load(),
+		ErrorsTotal:      errs,
+		TimeoutsTotal:    timeouts,
+		Inflight:         inflight,
 		CacheHits:        hits,
 		CacheMisses:      misses,
 		CacheHitRatio:    ratio,

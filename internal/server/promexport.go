@@ -1,0 +1,181 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/obs"
+	"github.com/snails-bench/snails/internal/schema"
+	"github.com/snails-bench/snails/internal/sqlexec"
+	"github.com/snails-bench/snails/internal/trace"
+)
+
+// scrapePaths is the fixed endpoint set the per-path request counter exposes.
+// A fixed list (rather than enumerating the sync.Map at scrape time) keeps
+// the label space identical across scrapes, so dashboards and the check.sh
+// monotone smoke can address any series before its first request.
+var scrapePaths = []string{
+	"/v1/infer", "/v1/classify", "/v1/modify", "/v1/link",
+	"/metrics", "/metricsz", "/debugz/traces",
+}
+
+// registerMetrics builds the server's registry. Families fall into three
+// groups: counters owned by this Server (HTTP, cache, batcher, pool), reads
+// of process-wide tallies owned by other packages (sqlexec, sweep outcomes,
+// Go runtime), and histogram views over the trace collector. Everything is
+// registered once at construction; scrapes only read.
+func (s *Server) registerMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	m := s.metrics
+
+	// --- HTTP serving ---------------------------------------------------
+	pathSeries := make([]obs.Series, len(scrapePaths))
+	for i, p := range scrapePaths {
+		p := p
+		pathSeries[i] = obs.Series{
+			Labels: []obs.Label{{Name: "path", Value: p}},
+			F:      func() float64 { return float64(m.endpointCount(p)) },
+		}
+	}
+	r.CounterSeries("snails_http_requests_total", "Requests received, by path.", pathSeries...)
+	r.CounterFunc("snails_http_errors_total", "Responses with status >= 400.",
+		func() float64 { return float64(m.errors.Load()) })
+	r.CounterFunc("snails_http_timeouts_total", "Requests answered 504 (deadline expired).",
+		func() float64 { return float64(m.timeouts.Load()) })
+	r.GaugeFunc("snails_http_inflight", "API requests currently being served.",
+		func() float64 { return float64(m.inflight.Load()) })
+	r.HistogramSeriesFamily("snails_http_request_duration_seconds",
+		"API request latency, including queueing and batching.",
+		obs.HistogramSeries{H: &m.dur})
+	r.GaugeFunc("snails_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(m.start).Seconds() })
+
+	// --- memo caches ----------------------------------------------------
+	// Three cache classes: whole-response, gold-query results, predicted-
+	// query results. The response class reads the server's own hit counters
+	// (a nil cache means response caching is disabled and stays at zero).
+	counterBy := func(label string, f func() uint64) obs.Series {
+		return obs.Series{
+			Labels: []obs.Label{{Name: "cache", Value: label}},
+			F:      func() float64 { return float64(f()) },
+		}
+	}
+	respStat := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			if s.cache == nil {
+				return 0
+			}
+			return f()
+		}
+	}
+	r.CounterSeries("snails_cache_hits_total", "Cache lookups that found their key, by cache class.",
+		counterBy("response", respStat(func() uint64 { return s.cache.Hits() })),
+		counterBy("gold", s.goldCache.Hits),
+		counterBy("pred", s.predCache.Hits),
+	)
+	r.CounterSeries("snails_cache_misses_total", "Cache lookups that missed, by cache class.",
+		counterBy("response", respStat(func() uint64 { return s.cache.Misses() })),
+		counterBy("gold", s.goldCache.Misses),
+		counterBy("pred", s.predCache.Misses),
+	)
+	r.CounterSeries("snails_cache_evictions_total", "Entries displaced by the clock hand, by cache class.",
+		counterBy("response", respStat(func() uint64 { return s.cache.Evictions() })),
+		counterBy("gold", s.goldCache.Evictions),
+		counterBy("pred", s.predCache.Evictions),
+	)
+	r.GaugeSeries("snails_cache_entries", "Entries currently resident, by cache class.",
+		counterBy("response", respStat(func() uint64 { return uint64(s.cache.Len()) })),
+		counterBy("gold", func() uint64 { return uint64(s.goldCache.Len()) }),
+		counterBy("pred", func() uint64 { return uint64(s.predCache.Len()) }),
+	)
+
+	// --- micro-batcher ---------------------------------------------------
+	r.CounterFunc("snails_batches_total", "Inference batches flushed to the worker pool.",
+		func() float64 { return float64(m.batches.Load()) })
+	r.CounterFunc("snails_batched_requests_total", "Inference requests carried by flushed batches.",
+		func() float64 { return float64(m.batchedReq.Load()) })
+	s.coalesce = r.CounterVec("snails_batch_coalesce_total",
+		"Flushed batches by coarse size class.", "size")
+	for _, c := range coalesceClasses {
+		s.coalesce.With(c)
+	}
+	r.GaugeFunc("snails_batch_queue_depth", "Requests waiting in not-yet-flushed batches.",
+		func() float64 { return float64(s.batcher.pendingItems()) })
+
+	// --- worker pool -----------------------------------------------------
+	r.GaugeFunc("snails_pool_workers", "Size of the inference worker pool.",
+		func() float64 { return float64(s.pool.workers) })
+	r.GaugeFunc("snails_pool_busy_workers", "Workers currently running a batch.",
+		func() float64 { return float64(s.pool.busy.Load()) })
+	r.GaugeFunc("snails_pool_queue_depth", "Batches queued for a free worker.",
+		func() float64 { return float64(len(s.pool.jobs)) })
+	r.GaugeFunc("snails_pool_queue_capacity", "Bound of the worker pool queue.",
+		func() float64 { return float64(cap(s.pool.jobs)) })
+	r.CounterFunc("snails_pool_rejections_total", "Batch submissions refused because the pool was saturated or closed.",
+		func() float64 { return float64(s.pool.rejected.Load()) })
+
+	// --- inference evaluation --------------------------------------------
+	s.verdicts = r.CounterVec("snails_infer_verdicts_total",
+		"Completed /v1/infer evaluations by verdict.", "verdict")
+	for _, v := range []string{"correct", "incorrect", "invalid"} {
+		s.verdicts.With(v)
+	}
+
+	// --- pipeline stages --------------------------------------------------
+	if s.traces != nil {
+		stageSeries := make([]obs.HistogramSeries, 0, trace.NumStages)
+		for st := trace.Stage(0); st < trace.NumStages; st++ {
+			stageSeries = append(stageSeries, obs.HistogramSeries{
+				Labels: []obs.Label{{Name: "stage", Value: st.String()}},
+				H:      s.traces.StageHistogram(st),
+			})
+		}
+		r.HistogramSeriesFamily("snails_stage_duration_seconds",
+			"Pipeline stage latency from the trace collector.", stageSeries...)
+	}
+
+	// --- process-wide tallies ---------------------------------------------
+	r.CounterFunc("snails_sqlexec_queries_total", "Top-level SQL statements executed process-wide.",
+		func() float64 { return float64(sqlexec.Stats().Queries) })
+	r.CounterFunc("snails_sqlexec_parse_failures_total", "SQL strings that failed to parse.",
+		func() float64 { return float64(sqlexec.Stats().ParseFailures) })
+	r.CounterFunc("snails_sqlexec_exec_failures_total", "Parsed statements that failed during execution.",
+		func() float64 { return float64(sqlexec.Stats().ExecFailures) })
+	r.CounterFunc("snails_sqlexec_rows_returned_total", "Result rows produced by successful statements.",
+		func() float64 { return float64(sqlexec.Stats().RowsReturned) })
+
+	sweepSeries := make([]obs.Series, 0, len(schema.Variants)*len(experiments.Outcomes))
+	for _, v := range schema.Variants {
+		for _, o := range experiments.Outcomes {
+			v, o := v, o
+			sweepSeries = append(sweepSeries, obs.Series{
+				Labels: []obs.Label{{Name: "variant", Value: v.String()}, {Name: "outcome", Value: o}},
+				F:      func() float64 { return float64(experiments.CellOutcome(v, o)) },
+			})
+		}
+	}
+	r.CounterSeries("snails_sweep_cells_total",
+		"Sweep cells evaluated process-wide, by schema variant and outcome.", sweepSeries...)
+
+	r.RegisterRuntime()
+}
+
+// handleMetrics serves the registry in Prometheus text format v0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.countEndpoint("/metrics")
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed", "/metrics requires GET"))
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	if err := s.reg.WriteText(w); err != nil {
+		// The connection is gone mid-scrape; nothing useful to write.
+		s.logger.Debug("metrics scrape aborted", "err", err)
+	}
+}

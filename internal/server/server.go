@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"github.com/snails-bench/snails/internal/llm"
 	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/naturalness"
+	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/sqldb"
 	"github.com/snails-bench/snails/internal/trace"
 )
@@ -69,6 +71,11 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default; snailsd's -pprof flag sets it).
 	EnablePprof bool
+	// Logger receives the server's structured logs (access records at debug,
+	// 5xx responses at warn). Defaults to slog.Default(), so a binary that
+	// installs an obs.NewLogger as the process default gets request-scoped
+	// attributes on every record without further wiring.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +114,15 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *metrics
+	logger  *slog.Logger
+
+	// reg is this server's metrics registry, scraped at GET /metrics. It is
+	// per-Server (not process-global) so tests building many Servers never
+	// collide on family names; process-wide counters (sqlexec, sweep
+	// outcomes, runtime) are exposed through scrape-time callbacks.
+	reg      *obs.Registry
+	coalesce *obs.CounterVec // flushed batch sizes by coarse class
+	verdicts *obs.CounterVec // /v1/infer evaluation verdicts
 
 	cache     *memo.Cache[cachedResponse] // nil when caching is disabled
 	goldCache *memo.Cache[*sqldb.Result]
@@ -137,8 +153,12 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
+		logger:   cfg.Logger,
 		models:   map[string]*llm.Model{},
 		draining: make(chan struct{}),
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = memo.NewBounded[cachedResponse](cfg.CacheEntries)
@@ -149,12 +169,14 @@ func New(cfg Config) *Server {
 	s.goldCache, s.predCache = newExecCaches()
 	s.pool = newPool(cfg.Workers, 4*cfg.Workers+64)
 	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
+	s.registerMetrics()
 
 	s.mux.HandleFunc("/v1/infer", s.post("/v1/infer", s.handleInfer))
 	s.mux.HandleFunc("/v1/classify", s.post("/v1/classify", s.handleClassify))
 	s.mux.HandleFunc("/v1/modify", s.post("/v1/modify", s.handleModify))
 	s.mux.HandleFunc("/v1/link", s.post("/v1/link", s.handleLink))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/debugz/traces", s.handleDebugTraces)
 	if cfg.EnablePprof {
@@ -204,7 +226,7 @@ func (s *Server) isDraining() bool {
 
 // Sentinel API errors shared across handlers.
 var (
-	errOverloaded = errorf(http.StatusServiceUnavailable, "overloaded", "server is saturated; retry with backoff")
+	errOverloaded  = errorf(http.StatusServiceUnavailable, "overloaded", "server is saturated; retry with backoff")
 	errDrainingAPI = errorf(http.StatusServiceUnavailable, "draining", "server is shutting down")
 )
 
@@ -212,17 +234,46 @@ var (
 // and returns a response document or an API error.
 type handlerFunc func(ctx context.Context, req *apiRequest) (any, *apiError)
 
+// statusWriter records the status code a handler writes so the access log
+// and metrics can see it after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 // post wraps an endpoint with the shared serving concerns: method check,
-// body cap, request deadline, response cache, metrics, and uniform error
-// rendering.
+// body cap, request deadline, response cache, metrics, access logging, and
+// uniform error rendering.
 func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+	return func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.requests.Add(1)
 		s.metrics.countEndpoint(endpoint)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		defer func() { s.metrics.lat.record(time.Since(start)) }()
+
+		w := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
+		logCtx := r.Context()
+		defer func() {
+			d := time.Since(start)
+			s.metrics.lat.record(d)
+			s.metrics.dur.Observe(d)
+			// Access records go out at debug so sustained traffic costs one
+			// disabled-level check per request; server faults surface at warn.
+			lvl := slog.LevelDebug
+			if w.status >= http.StatusInternalServerError {
+				lvl = slog.LevelWarn
+			}
+			s.logger.LogAttrs(logCtx, lvl, "request served",
+				slog.String("path", endpoint),
+				slog.Int("status", w.status),
+				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)))
+		}()
 
 		if r.Method != http.MethodPost {
 			s.writeError(w, errorf(http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST", endpoint))
@@ -275,10 +326,24 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 
 		// Trace the computed path only: cache hits replay bytes and would
 		// produce empty traces. The trace rides the context; pipeline layers
-		// record their stages onto it.
+		// record their stages onto it. The same context carries the request's
+		// log attributes, so any slog call downstream (workflow parse
+		// failures, sweep outcomes) is attributable to this request.
 		tr := s.traces.Start(endpoint)
+		var attrs []slog.Attr
 		if tr != nil {
 			ctx = trace.NewContext(ctx, tr)
+			attrs = append(attrs, slog.Uint64("request_id", tr.ID))
+		}
+		if req.DB != "" {
+			attrs = append(attrs, slog.String("db", req.DB))
+		}
+		if req.Variant != "" {
+			attrs = append(attrs, slog.String("variant", req.Variant))
+		}
+		if len(attrs) > 0 {
+			ctx = obs.ContextAttrs(ctx, attrs...)
+			logCtx = ctx
 		}
 		doc, apiErr := h(ctx, &req)
 		s.traces.Finish(tr)

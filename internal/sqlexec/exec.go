@@ -17,7 +17,9 @@ import (
 
 // Execute runs the statement against the database.
 func Execute(db *sqldb.DB, sel *sqlparse.Select) (*sqldb.Result, error) {
-	return execSelect(db, sel, nil)
+	res, err := execSelect(db, sel, nil)
+	record(rowCount(res), err)
+	return res, err
 }
 
 // ExecuteCtx is Execute with trace propagation: when the context carries a
@@ -29,6 +31,7 @@ func ExecuteCtx(ctx context.Context, db *sqldb.DB, sel *sqlparse.Select) (*sqldb
 	t0 := tr.Now()
 	res, err := execSelect(db, sel, nil)
 	tr.Span(trace.StageExec, t0)
+	record(rowCount(res), err)
 	return res, err
 }
 
@@ -46,11 +49,21 @@ func ExecuteSQLCtx(ctx context.Context, db *sqldb.DB, query string) (*sqldb.Resu
 	sel, err := sqlparse.Parse(query)
 	if err != nil {
 		tr.Span(trace.StageExec, t0)
+		queries.Add(1)
+		parseFailures.Add(1)
 		return nil, err
 	}
 	res, err := execSelect(db, sel, nil)
 	tr.Span(trace.StageExec, t0)
+	record(rowCount(res), err)
 	return res, err
+}
+
+func rowCount(res *sqldb.Result) int {
+	if res == nil {
+		return 0
+	}
+	return len(res.Rows)
 }
 
 // --- row environments ---------------------------------------------------------

@@ -157,6 +157,16 @@ type StageSnapshot struct {
 	P99Millis    float64 `json:"p99_ms"`
 }
 
+// StageHistogram returns the collector's latency histogram for one stage so
+// the metrics registry can expose it as a Prometheus histogram series.
+// Callers must treat it as observe-only; nil collectors return nil.
+func (c *Collector) StageHistogram(s Stage) *Histogram {
+	if c == nil || s >= NumStages {
+		return nil
+	}
+	return &c.stages[s]
+}
+
 // Stages returns the per-stage aggregates in pipeline order, omitting stages
 // never observed.
 func (c *Collector) Stages() []StageSnapshot {

@@ -7,6 +7,7 @@ package workflow
 
 import (
 	"context"
+	"log/slog"
 	"sort"
 
 	"github.com/snails-bench/snails/internal/datasets"
@@ -109,24 +110,25 @@ func RunCtx(ctx context.Context, in RunInput) RunOutput {
 	t0 := tr.Now()
 	prompt, tables := PromptFor(in.B, in.Q, in.Variant)
 	tr.Span(trace.StagePrompt, t0)
-	return runWithPrompt(tr, in, prompt, tables)
+	return runWithPrompt(ctx, in, prompt, tables)
 }
 
 // RunWithPrompt executes the pipeline for one cell against a pre-rendered
 // schema prompt (which must be PromptFor's output for the same cell, or the
 // shared per-variant prompt of a single-module database).
 func RunWithPrompt(in RunInput, prompt string, tables []string) RunOutput {
-	return runWithPrompt(nil, in, prompt, tables)
+	return runWithPrompt(context.Background(), in, prompt, tables)
 }
 
 // RunWithPromptCtx is RunWithPrompt with trace propagation. The prompt span
 // is the caller's responsibility (a micro-batch records its shared render on
 // every member trace); decode and parse are recorded here.
 func RunWithPromptCtx(ctx context.Context, in RunInput, prompt string, tables []string) RunOutput {
-	return runWithPrompt(trace.FromContext(ctx), in, prompt, tables)
+	return runWithPrompt(ctx, in, prompt, tables)
 }
 
-func runWithPrompt(tr *trace.Trace, in RunInput, prompt string, tables []string) RunOutput {
+func runWithPrompt(ctx context.Context, in RunInput, prompt string, tables []string) RunOutput {
+	tr := trace.FromContext(ctx)
 	t0 := tr.Now()
 	pred := in.Model.Infer(llm.Task{
 		SchemaKnowledge: prompt,
@@ -151,6 +153,12 @@ func runWithPrompt(tr *trace.Trace, in RunInput, prompt string, tables []string)
 	sel, err := sqlparse.Parse(pred.SQL)
 	if err != nil {
 		tr.Span(trace.StageParse, t1)
+		slog.DebugContext(ctx, "prediction did not parse",
+			slog.String("model", in.Model.Profile.Name),
+			slog.String("db", in.B.Name),
+			slog.String("variant", in.Variant.String()),
+			slog.Int("question_id", in.Q.ID),
+			slog.String("err", err.Error()))
 		return out
 	}
 	out.ParseOK = true

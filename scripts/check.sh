@@ -25,7 +25,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/server/ ./internal/trace/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
@@ -49,8 +49,40 @@ until curl -fsS -o /dev/null http://127.0.0.1:18931/healthz; do
 done
 curl -fsS -o /dev/null http://127.0.0.1:18931/debug/pprof/
 curl -fsS http://127.0.0.1:18931/debugz/traces | grep -q '"traces"'
+
+echo "== /metrics scrape smoke (Prometheus format, monotone self-count)"
+SCRATCH="$(mktemp -d)"
+curl -fsS http://127.0.0.1:18931/metrics > "$SCRATCH/scrape1.txt"
+grep -q '^# TYPE snails_http_requests_total counter' "$SCRATCH/scrape1.txt"
+grep -q '^# TYPE snails_http_request_duration_seconds histogram' "$SCRATCH/scrape1.txt"
+grep -q '^# TYPE snails_go_goroutines gauge' "$SCRATCH/scrape1.txt"
+curl -fsS -o /dev/null -X POST -d '{"identifiers":["VgHt"]}' http://127.0.0.1:18931/v1/classify
+curl -fsS http://127.0.0.1:18931/metrics > "$SCRATCH/scrape2.txt"
+M1="$(grep 'snails_http_requests_total{path="/metrics"}' "$SCRATCH/scrape1.txt" | awk '{print $2}')"
+M2="$(grep 'snails_http_requests_total{path="/metrics"}' "$SCRATCH/scrape2.txt" | awk '{print $2}')"
+C2="$(grep 'snails_http_requests_total{path="/v1/classify"}' "$SCRATCH/scrape2.txt" | awk '{print $2}')"
+awk -v a="$M1" -v b="$M2" -v c="$C2" 'BEGIN { if (!(b > a && c >= 1)) { print "scrape counters not monotone: /metrics " a " -> " b ", /v1/classify " c; exit 1 } }'
+
 kill -TERM "$SNAILSD_PID"
 wait "$SNAILSD_PID"
 rm -rf "$(dirname "$SNAILSD_BIN")"
+
+echo "== benchmark regression gate (snailsbench -compare)"
+go build -o "$SCRATCH/snailsbench" ./cmd/snailsbench
+# The committed baselines must pass the gate against themselves (plumbing +
+# schema check; -against defaults to the committed artifact of the same kind).
+"$SCRATCH/snailsbench" -compare BENCH_sweep.json > /dev/null
+"$SCRATCH/snailsbench" -compare BENCH_serve.json > /dev/null
+# A fresh loadgen run self-compares clean even at zero tolerance...
+"$SCRATCH/snailsbench" -loadgen -requests 120 -concurrency 8 -serve-bench "$SCRATCH/serve.json" > /dev/null 2>&1
+"$SCRATCH/snailsbench" -compare "$SCRATCH/serve.json" -against "$SCRATCH/serve.json" -tolerance 0 > /dev/null
+# ...and an inflated baseline (digit prepended to requests_per_sec, so the
+# fresh run looks ~10x slower) must trip the gate with a non-zero exit.
+sed 's/"requests_per_sec": /"requests_per_sec": 9/' "$SCRATCH/serve.json" > "$SCRATCH/inflated.json"
+if "$SCRATCH/snailsbench" -compare "$SCRATCH/inflated.json" -against "$SCRATCH/serve.json" > /dev/null; then
+    echo "compare gate failed to flag an injected regression" >&2
+    exit 1
+fi
+rm -rf "$SCRATCH"
 
 echo "OK"
