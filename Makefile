@@ -15,14 +15,15 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
 
-# Short fuzz pass over the SQL front end and CSV ingestion (the same smoke
-# scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
+# Short fuzz pass over the SQL front end, CSV ingestion, and the planner
+# differential (the same smoke scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime 10s ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s ./internal/etl/
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanExec$$' -fuzztime 10s ./internal/sqlexec/
 
 # Tier-1 verification: build, vet, full tests, then the race pass.
 check:

@@ -132,14 +132,23 @@ func sweepRows(base, cur *benchStats) []compared {
 		{name: "cells_per_sec", base: base.CellsPerSec, cur: cur.CellsPerSec, dir: higherBetter},
 		{name: "wall_clock_seconds", base: base.WallClockSeconds, cur: cur.WallClockSeconds, dir: lowerBetter},
 	}
-	curStages := map[string]float64{}
+	type stageCur struct {
+		p50, total float64
+	}
+	curStages := map[string]stageCur{}
 	for _, sg := range cur.Stages {
-		curStages[sg.Stage] = sg.P50Millis
+		curStages[sg.Stage] = stageCur{p50: sg.P50Millis, total: sg.TotalSeconds}
 	}
 	for _, sg := range base.Stages {
-		p50, ok := curStages[sg.Stage]
+		sc, ok := curStages[sg.Stage]
 		rows = append(rows, compared{
-			name: "stage/" + sg.Stage + "_p50_ms", base: sg.P50Millis, cur: p50,
+			name: "stage/" + sg.Stage + "_p50_ms", base: sg.P50Millis, cur: sc.p50,
+			dir: infoOnly, missing: !ok,
+		})
+		// Per-stage totals localize a wall-clock regression to the pipeline
+		// stage that caused it; still informational, wall_clock gates.
+		rows = append(rows, compared{
+			name: "stage/" + sg.Stage + "_total_seconds", base: sg.TotalSeconds, cur: sc.total,
 			dir: infoOnly, missing: !ok,
 		})
 	}

@@ -1,0 +1,56 @@
+package llm
+
+import (
+	"testing"
+
+	"github.com/snails-bench/snails/internal/nlq"
+)
+
+// BenchmarkLinkerResolve measures end-to-end inference over one schema with
+// varying seeds and mentions — the sweep's steady-state access pattern, where
+// the per-(schema, phrase) scoring-plan tables amortize across questions.
+func BenchmarkLinkerResolve(b *testing.B) {
+	p, ok := ProfileByName("gpt-4o")
+	if !ok {
+		b.Fatal("profile gpt-4o missing")
+	}
+	m := New(p)
+	tasks := []Task{
+		{
+			SchemaKnowledge: sampleSchema,
+			Question:        "Show the vegetation height of the observations whose county is 'Butte'.",
+			Intent: nlq.Intent{
+				Kind: nlq.KindListFilter, TableMention: "observations",
+				Columns: []nlq.ColMention{
+					{Phrase: "vegetation height", Role: nlq.RoleProjection},
+					{Phrase: "animal count", Role: nlq.RoleFilter},
+				},
+				FilterOp: "=", FilterValue: "3",
+			},
+		},
+		{
+			SchemaKnowledge: sampleSchema,
+			Question:        "How many observations are there?",
+			Intent:          nlq.Intent{Kind: nlq.KindCountAll, TableMention: "field observations", Agg: "COUNT"},
+		},
+		{
+			SchemaKnowledge: abbrevSchema,
+			Question:        "Show the vegetation height of the observations.",
+			Intent: nlq.Intent{
+				Kind: nlq.KindListFilter, TableMention: "observations",
+				Columns: []nlq.ColMention{
+					{Phrase: "vegetation height", Role: nlq.RoleProjection},
+					{Phrase: "animal count", Role: nlq.RoleFilter},
+				},
+				FilterOp: ">", FilterValue: "1",
+			},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := tasks[i%len(tasks)]
+		task.Seed = uint64(i)
+		_ = m.Infer(task)
+	}
+}

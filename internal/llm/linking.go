@@ -3,6 +3,7 @@ package llm
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"github.com/snails-bench/snails/internal/ident"
 	"github.com/snails-bench/snails/internal/memo"
@@ -19,10 +20,47 @@ import (
 // look up by bare identifier with no per-call key allocation.
 type linkMemo struct {
 	plans *memo.Cache[*memo.Cache[*simPlan]]
+
+	// schemas maps *PromptSchema to its per-schema memo. Prompt schemas are
+	// themselves memoized by prompt text (parsePromptCached) and by the
+	// subset-selection memo below, so pointer identity is a stable key for
+	// the working set; a pointer that falls out of those caches merely
+	// strands its (identical, recomputable) entry here.
+	schemas sync.Map // *PromptSchema -> *schemaMemo
 }
 
 func newLinkMemo() *linkMemo {
 	return &linkMemo{plans: memo.NewBounded[*memo.Cache[*simPlan]](1 << 12)}
+}
+
+func (lm *linkMemo) schemaMemoFor(ps *PromptSchema) *schemaMemo {
+	if v, ok := lm.schemas.Load(ps); ok {
+		return v.(*schemaMemo)
+	}
+	v, _ := lm.schemas.LoadOrStore(ps, newSchemaMemo())
+	return v.(*schemaMemo)
+}
+
+// schemaMemo is the seed-independent precompute for one (model, schema)
+// pair. Table-name and column plan sets are cached separately because their
+// consumers differ: every linkTable/secondBestTable/filterTables call scans
+// all table names, while only filterTables' column-evidence pass scans all
+// columns (linkColumn touches at most two tables and stays on the lazy
+// per-identifier path, where precompiling the full schema would be wasted
+// work). subsets memoizes the filtering stage's schema subsetting so the
+// same keep-list yields a stable *PromptSchema pointer.
+type schemaMemo struct {
+	tablePlans *memo.Cache[[]*simPlan]   // phrase -> plan per table name
+	colPlans   *memo.Cache[[][]*simPlan] // phrase -> plans per table's columns
+	subsets    *memo.Cache[*PromptSchema]
+}
+
+func newSchemaMemo() *schemaMemo {
+	return &schemaMemo{
+		tablePlans: memo.NewBounded[[]*simPlan](1 << 12),
+		colPlans:   memo.NewBounded[[][]*simPlan](1 << 11),
+		subsets:    memo.NewBounded[*PromptSchema](1 << 10),
+	}
 }
 
 // fieldsMemo caches phrase tokenizations (seed- and model-independent).
@@ -220,10 +258,11 @@ func (l *linker) evalPlan(p *simPlan) float64 {
 	return cov
 }
 
-// sim scores how well an identifier matches a mention phrase in [0, ~1].
-func (l *linker) sim(phrase, identifier string) float64 {
+// planFor returns the compiled plan for one (phrase, identifier) pair,
+// memoized per phrase when the linker has a memo.
+func (l *linker) planFor(phrase, identifier string) *simPlan {
 	if l.memo == nil {
-		return l.evalPlan(l.buildPlan(phrase, identifier))
+		return l.buildPlan(phrase, identifier)
 	}
 	if phrase != l.curPhrase || l.curPlans == nil {
 		l.curPlans = l.memo.plans.GetOrCompute(phrase, func() *memo.Cache[*simPlan] {
@@ -232,11 +271,57 @@ func (l *linker) sim(phrase, identifier string) float64 {
 		l.curPhrase = phrase
 	}
 	if p, ok := l.curPlans.Get(identifier); ok {
-		return l.evalPlan(p)
+		return p
 	}
 	p := l.buildPlan(phrase, identifier)
 	l.curPlans.Put(identifier, p)
-	return l.evalPlan(p)
+	return p
+}
+
+// sim scores how well an identifier matches a mention phrase in [0, ~1].
+func (l *linker) sim(phrase, identifier string) float64 {
+	return l.evalPlan(l.planFor(phrase, identifier))
+}
+
+// tablePlansFor returns the phrase's compiled plans against every table
+// name of the schema, built once per (model, schema, phrase) and replayed
+// across grid cells: question mentions derive from schema elements, so the
+// same phrase recurs across many questions of a database. The plans come
+// from the same planFor cache sim uses, so the paths can never diverge.
+func (l *linker) tablePlansFor(ps *PromptSchema, phrase string) []*simPlan {
+	build := func() []*simPlan {
+		out := make([]*simPlan, len(ps.Tables))
+		for i := range ps.Tables {
+			out[i] = l.planFor(phrase, ps.Tables[i].Name)
+		}
+		return out
+	}
+	if l.memo == nil {
+		return build()
+	}
+	return l.memo.schemaMemoFor(ps).tablePlans.GetOrCompute(phrase, build)
+}
+
+// colPlansFor returns the phrase's compiled plans against every column of
+// every table — the filterTables column-evidence scan, which is the one
+// consumer that genuinely touches the full cross product.
+func (l *linker) colPlansFor(ps *PromptSchema, phrase string) [][]*simPlan {
+	build := func() [][]*simPlan {
+		out := make([][]*simPlan, len(ps.Tables))
+		for i := range ps.Tables {
+			t := &ps.Tables[i]
+			cp := make([]*simPlan, len(t.Columns))
+			for ci := range t.Columns {
+				cp[ci] = l.planFor(phrase, t.Columns[ci].Name)
+			}
+			out[i] = cp
+		}
+		return out
+	}
+	if l.memo == nil {
+		return build()
+	}
+	return l.memo.schemaMemoFor(ps).colPlans.GetOrCompute(phrase, build)
 }
 
 // noise returns the deterministic per-candidate score perturbation.
@@ -279,10 +364,11 @@ func columnNoiseKey(t *PromptTable, ci int) uint64 {
 // candidate clears the model's confidence floor (the model will hallucinate
 // a table name instead).
 func (l *linker) linkTable(phrase string, ps *PromptSchema) (int, float64, bool) {
+	plans := l.tablePlansFor(ps, phrase)
 	bestIdx, bestScore := -1, math.Inf(-1)
 	for i := range ps.Tables {
 		t := &ps.Tables[i]
-		s := l.sim(phrase, t.Name) + l.noiseKeyed(tableNoiseKey(t, "table"))
+		s := l.evalPlan(plans[i]) + l.noiseKeyed(tableNoiseKey(t, "table"))
 		if s > bestScore {
 			bestIdx, bestScore = i, s
 		}

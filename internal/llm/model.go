@@ -65,7 +65,7 @@ func (m *Model) Infer(task Task) Prediction {
 	if p.FilterKeep > 0 {
 		kept := m.filterTables(l, ps, task.Intent)
 		pred.FilteredTables = kept
-		working = subsetSchema(ps, kept)
+		working = m.subsetSchema(ps, kept)
 	}
 
 	res := m.resolve(l, working, task.Intent)
@@ -214,13 +214,14 @@ func (m *Model) maybeMutate(l *linker, name string, score float64, key string) s
 
 // secondBestTable re-links a phrase while excluding one index.
 func (m *Model) secondBestTable(l *linker, ps *PromptSchema, phrase string, exclude int) int {
+	plans := l.tablePlansFor(ps, phrase)
 	best, bestScore := -1, -1e9
 	for i := range ps.Tables {
 		if i == exclude {
 			continue
 		}
 		t := &ps.Tables[i]
-		s := l.sim(phrase, t.Name) + l.noiseKeyed(tableNoiseKey(t, "table2"))
+		s := l.evalPlan(plans[i]) + l.noiseKeyed(tableNoiseKey(t, "table2"))
 		if s > bestScore {
 			best, bestScore = i, s
 		}
@@ -256,19 +257,30 @@ func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []strin
 	if in.JoinTableMention != "" {
 		mentions = append(mentions, in.JoinTableMention)
 	}
+	// Fetch each phrase's precompiled scoring table once; the per-table
+	// maxima below are order-insensitive, so hoisting the phrase loop out of
+	// the table loop changes nothing but the lookup count.
+	mplans := make([][]*simPlan, len(mentions))
+	for mi, mn := range mentions {
+		mplans[mi] = l.tablePlansFor(ps, mn)
+	}
+	cplans := make([][][]*simPlan, len(in.Columns))
+	for ci := range in.Columns {
+		cplans[ci] = l.colPlansFor(ps, in.Columns[ci].Phrase)
+	}
 	for i := range ps.Tables {
 		t := &ps.Tables[i]
 		best := 0.0
-		for _, mn := range mentions {
-			if s := l.sim(mn, t.Name); s > best {
+		for mi := range mentions {
+			if s := l.evalPlan(mplans[mi][i]); s > best {
 				best = s
 			}
 		}
 		// Column evidence: a table whose columns match the question's column
 		// mentions is likely relevant even if its own name is opaque.
-		for _, cm := range in.Columns {
-			for _, c := range t.Columns {
-				if s := 0.6 * l.sim(cm.Phrase, c.Name); s > best {
+		for ci := range in.Columns {
+			for _, cp := range cplans[ci][i] {
+				if s := 0.6 * l.evalPlan(cp); s > best {
 					best = s
 				}
 			}
@@ -286,6 +298,21 @@ func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []strin
 		out = append(out, s.name)
 	}
 	return out
+}
+
+// subsetSchema memoizes subsetting per (schema, keep list): the filtering
+// stage selects from a small set of table combinations per schema, and a
+// stable *PromptSchema pointer per combination lets the downstream linking
+// calls hit the per-schema plan memo instead of rebuilding it every cell.
+func (m *Model) subsetSchema(ps *PromptSchema, keep []string) *PromptSchema {
+	if m.memo == nil {
+		return subsetSchema(ps, keep)
+	}
+	sm := m.memo.schemaMemoFor(ps)
+	key := strings.Join(keep, "\x1f")
+	return sm.subsets.GetOrCompute(key, func() *PromptSchema {
+		return subsetSchema(ps, keep)
+	})
 }
 
 func subsetSchema(ps *PromptSchema, keep []string) *PromptSchema {

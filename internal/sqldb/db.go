@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // TableData holds one table's column names and row storage.
@@ -12,6 +14,24 @@ type TableData struct {
 	Columns []string
 	colIdx  map[string]int
 	Rows    [][]Value
+
+	// db backlinks the owning database so Insert can advance its
+	// generation counter; nil for detached tables.
+	db *DB
+
+	// Lazily built per-column equality indexes (see EqIndex).
+	idxMu   sync.Mutex
+	eqIdxes map[int]*colEqIndex
+}
+
+// colEqIndex maps canonical equality keys to ascending row indices. rows
+// records the table length at build time: appends invalidate the index.
+// usable is false when the column holds a NaN, whose equality Compare
+// cannot be represented by keys.
+type colEqIndex struct {
+	rows    int
+	usable  bool
+	buckets map[string][]int
 }
 
 // NewTableData creates an empty table with the given columns.
@@ -36,7 +56,48 @@ func (t *TableData) Insert(row []Value) error {
 		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
 	}
 	t.Rows = append(t.Rows, append([]Value(nil), row...))
+	if t.db != nil {
+		t.db.gen.Add(1)
+	}
 	return nil
+}
+
+// EqIndex returns a map from canonical equality key (see AppendEqKey) to
+// the ascending row indices holding that key in column col, building the
+// index on first use. NULL rows are absent from every bucket. ok is false
+// when col is out of range or the column holds a NaN; callers must then
+// fall back to a linear scan. The index is keyed to the current row count,
+// so rows appended after a build trigger a rebuild on the next call.
+func (t *TableData) EqIndex(col int) (map[string][]int, bool) {
+	if col < 0 || col >= len(t.Columns) {
+		return nil, false
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if idx, ok := t.eqIdxes[col]; ok && idx.rows == len(t.Rows) {
+		return idx.buckets, idx.usable
+	}
+	idx := &colEqIndex{rows: len(t.Rows), usable: true, buckets: make(map[string][]int)}
+	var kb []byte
+	for ri, r := range t.Rows {
+		v := r[col]
+		if v.IsNull() {
+			continue
+		}
+		var ok bool
+		kb, ok = AppendEqKey(kb[:0], v)
+		if !ok { // NaN: unrepresentable equality, whole index unusable
+			idx.usable = false
+			idx.buckets = nil
+			break
+		}
+		idx.buckets[string(kb)] = append(idx.buckets[string(kb)], ri)
+	}
+	if t.eqIdxes == nil {
+		t.eqIdxes = make(map[int]*colEqIndex)
+	}
+	t.eqIdxes[col] = idx
+	return idx.buckets, idx.usable
 }
 
 // MustInsert panics on arity mismatch; used by the deterministic dataset
@@ -83,7 +144,17 @@ type DB struct {
 	order     []string
 	views     map[string]View
 	viewOrder []string
+
+	// gen counts catalog and data mutations (CreateTable, Insert,
+	// CreateView, DropView). Executor-side caches key their validity on it:
+	// benchmark databases are immutable after load, so in steady state the
+	// generation never moves and caches live forever.
+	gen atomic.Uint64
 }
+
+// Generation returns the mutation counter. Any table create, row insert, or
+// view create/drop advances it.
+func (d *DB) Generation() uint64 { return d.gen.Load() }
 
 // NewDB creates an empty database.
 func NewDB(name string) *DB {
@@ -93,11 +164,13 @@ func NewDB(name string) *DB {
 // CreateTable registers a new table; re-creating an existing table replaces it.
 func (d *DB) CreateTable(name string, columns []string) *TableData {
 	t := NewTableData(name, columns)
+	t.db = d
 	key := strings.ToUpper(name)
 	if _, exists := d.tables[key]; !exists {
 		d.order = append(d.order, name)
 	}
 	d.tables[key] = t
+	d.gen.Add(1)
 	return t
 }
 

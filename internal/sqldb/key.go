@@ -1,0 +1,47 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// AppendEqKey appends a canonical equality key for v to dst. Two non-null
+// values produce the same key bytes iff Compare reports them equal, which
+// makes the keys usable for hash-join build sides and equality indexes.
+//
+// Compare's equality classes split on AsFloat: any two parseable-as-number
+// values compare numerically (Int(5), Float(5.0), String("5"), and Bool
+// cross-match), everything else compares as upper-cased strings. A numeric
+// value can never collide with a non-numeric one: numeric renderings always
+// re-parse, so a case-folded string equal to one would itself be numeric.
+//
+// ok is false for NULL (which equals nothing) and for NaN: Compare treats
+// NaN as equal to every numeric value, a non-transitive relation no key
+// encoding can represent. Callers must fall back to pairwise comparison
+// when a NaN key appears.
+//
+// Multi-column keys are built by appending fields in sequence; the numeric
+// form is fixed-width and the string form length-prefixed, so concatenation
+// stays injective.
+func AppendEqKey(dst []byte, v Value) ([]byte, bool) {
+	if v.IsNull() {
+		return dst, false
+	}
+	if f, numeric := v.AsFloat(); numeric {
+		if math.IsNaN(f) {
+			return dst, false
+		}
+		if f == 0 {
+			f = 0 // collapse -0.0 and +0.0, which Compare treats as equal
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		dst = append(dst, 'N')
+		return append(dst, b[:]...), true
+	}
+	s := strings.ToUpper(v.String())
+	dst = append(dst, 'S')
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...), true
+}

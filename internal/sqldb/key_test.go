@@ -1,0 +1,207 @@
+package sqldb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// keyCorpus spans the equality classes AppendEqKey must separate: numerics
+// across kinds, numeric strings, plain strings differing only by case, and
+// near-miss pairs (numeric vs non-numeric renderings).
+func keyCorpus() []Value {
+	return []Value{
+		Int(0), Int(5), Int(-5), Int(1 << 40),
+		Float(0), Float(math.Copysign(0, -1)), Float(5), Float(5.5), Float(-5),
+		String("5"), String(" 5 "), String("5.5"), String("-5"),
+		String("abc"), String("ABC"), String("abd"), String(""),
+		String("5x"), String("0"), Bool(true), Bool(false),
+	}
+}
+
+func TestAppendEqKeyMatchesCompare(t *testing.T) {
+	vals := keyCorpus()
+	for _, a := range vals {
+		ka, aok := AppendEqKey(nil, a)
+		if !aok {
+			t.Fatalf("AppendEqKey(%v) unexpectedly unusable", a)
+		}
+		for _, b := range vals {
+			kb, bok := AppendEqKey(nil, b)
+			if !bok {
+				t.Fatalf("AppendEqKey(%v) unexpectedly unusable", b)
+			}
+			keyEq := bytes.Equal(ka, kb)
+			cmpEq := Compare(a, b) == 0
+			if keyEq != cmpEq {
+				t.Errorf("key/Compare disagree for %v vs %v: keys equal=%v, Compare equal=%v",
+					a, b, keyEq, cmpEq)
+			}
+		}
+	}
+}
+
+func TestAppendEqKeyQuickNumeric(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, _ := AppendEqKey(nil, Int(a))
+		kb, _ := AppendEqKey(nil, Int(b))
+		return bytes.Equal(ka, kb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		ka, ok := AppendEqKey(nil, Float(a))
+		if !ok {
+			return false
+		}
+		// The numeric rendering must agree with the int key when integral.
+		if a == math.Trunc(a) && math.Abs(a) < 1<<53 {
+			ki, _ := AppendEqKey(nil, Int(int64(a)))
+			return bytes.Equal(ka, ki)
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendEqKeyUnusableValues(t *testing.T) {
+	if _, ok := AppendEqKey(nil, Null()); ok {
+		t.Error("NULL must not produce an equality key")
+	}
+	if _, ok := AppendEqKey(nil, Float(math.NaN())); ok {
+		t.Error("NaN must not produce an equality key")
+	}
+	// Appending to a non-empty prefix keeps the prefix intact either way.
+	prefix := []byte("pfx")
+	out, ok := AppendEqKey(prefix, Null())
+	if ok || !bytes.Equal(out, prefix) {
+		t.Errorf("NULL key append altered prefix: %q ok=%v", out, ok)
+	}
+}
+
+func TestAppendEqKeyNegativeZero(t *testing.T) {
+	kp, _ := AppendEqKey(nil, Float(0))
+	kn, _ := AppendEqKey(nil, Float(math.Copysign(0, -1)))
+	if !bytes.Equal(kp, kn) {
+		t.Error("+0.0 and -0.0 must share an equality key (Compare treats them equal)")
+	}
+}
+
+func TestAppendEqKeyConcatenationInjective(t *testing.T) {
+	// Length prefixes must keep multi-field keys unambiguous: ("ab","c")
+	// vs ("a","bc") and string-vs-number boundary cases.
+	pairs := [][2]Value{
+		{String("ab"), String("c")},
+		{String("a"), String("bc")},
+		{String("a"), Int(1)},
+		{Int(1), String("a")},
+	}
+	seen := map[string][2]Value{}
+	for _, p := range pairs {
+		k, _ := AppendEqKey(nil, p[0])
+		k, _ = AppendEqKey(k, p[1])
+		if prev, dup := seen[string(k)]; dup {
+			t.Errorf("composite key collision: %v and %v", prev, p)
+		}
+		seen[string(k)] = p
+	}
+}
+
+func TestEqIndexBucketsAndNulls(t *testing.T) {
+	tab := NewTableData("t", []string{"a", "b"})
+	tab.MustInsert(Int(1), String("x"))
+	tab.MustInsert(Int(2), String("y"))
+	tab.MustInsert(Int(1), Null())
+	tab.MustInsert(Null(), String("x"))
+
+	idx, ok := tab.EqIndex(0)
+	if !ok {
+		t.Fatal("EqIndex(0) should be usable")
+	}
+	k1, _ := AppendEqKey(nil, Int(1))
+	if got := idx[string(k1)]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("bucket for 1: got %v, want [0 2]", got)
+	}
+	total := 0
+	for _, rows := range idx {
+		total += len(rows)
+	}
+	if total != 3 {
+		t.Errorf("NULL rows must be absent from buckets: %d indexed, want 3", total)
+	}
+	// A numerically equal float probes the same bucket as the int key.
+	kf, _ := AppendEqKey(nil, Float(1.0))
+	if got := idx[string(kf)]; len(got) != 2 {
+		t.Errorf("Float(1.0) probe found %v, want the Int(1) bucket", got)
+	}
+	if _, ok := tab.EqIndex(5); ok {
+		t.Error("out-of-range column must report unusable")
+	}
+}
+
+func TestEqIndexNaNUnusable(t *testing.T) {
+	tab := NewTableData("t", []string{"a"})
+	tab.MustInsert(Float(1))
+	tab.MustInsert(Float(math.NaN()))
+	if _, ok := tab.EqIndex(0); ok {
+		t.Error("a NaN in the column must make the whole index unusable")
+	}
+}
+
+func TestEqIndexRebuildOnInsert(t *testing.T) {
+	tab := NewTableData("t", []string{"a"})
+	tab.MustInsert(Int(7))
+	idx1, ok := tab.EqIndex(0)
+	if !ok {
+		t.Fatal("first build should succeed")
+	}
+	k, _ := AppendEqKey(nil, Int(7))
+	if len(idx1[string(k)]) != 1 {
+		t.Fatalf("bucket for 7: %v", idx1[string(k)])
+	}
+	tab.MustInsert(Int(7))
+	idx2, ok := tab.EqIndex(0)
+	if !ok {
+		t.Fatal("rebuild should succeed")
+	}
+	if len(idx2[string(k)]) != 2 {
+		t.Errorf("index stale after insert: bucket %v, want 2 rows", idx2[string(k)])
+	}
+}
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	db := NewDB("g")
+	g0 := db.Generation()
+	tab := db.CreateTable("t", []string{"a"})
+	g1 := db.Generation()
+	if g1 <= g0 {
+		t.Error("CreateTable must advance the generation")
+	}
+	tab.MustInsert(Int(1))
+	g2 := db.Generation()
+	if g2 <= g1 {
+		t.Error("Insert must advance the generation")
+	}
+	db.CreateView("v", "SELECT a FROM t")
+	g3 := db.Generation()
+	if g3 <= g2 {
+		t.Error("CreateView must advance the generation")
+	}
+	db.DropView("v")
+	if db.Generation() <= g3 {
+		t.Error("DropView must advance the generation")
+	}
+	if db.DropView("absent") {
+		t.Error("dropping an absent view should report false")
+	}
+	// A detached table (no db backlink) never panics on insert.
+	free := NewTableData("free", []string{"x"})
+	free.MustInsert(Int(1))
+}

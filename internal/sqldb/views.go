@@ -25,6 +25,7 @@ func (d *DB) CreateView(name, selectSQL string) {
 		d.viewOrder = append(d.viewOrder, name)
 	}
 	d.views[key] = View{Name: name, SelectSQL: selectSQL}
+	d.gen.Add(1)
 }
 
 // ViewLookup resolves a view by qualified or bare name. When schema is
@@ -61,6 +62,7 @@ func (d *DB) DropView(name string) bool {
 			break
 		}
 	}
+	d.gen.Add(1)
 	return true
 }
 

@@ -1,0 +1,493 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// dbCache holds per-database derived state: parsed view ASTs, materialized
+// view results, correlation verdicts, and uncorrelated-subquery results.
+// A cache is valid for exactly one database generation (sqldb.DB.Generation);
+// any catalog or data mutation strands the old cache and the next execution
+// starts a fresh one. Benchmark databases are immutable after load, so in
+// steady state every view/subquery executes once per database.
+//
+// Subquery maps are keyed by *sqlparse.Select pointer: the prediction
+// pipeline parses each (db, sql) pair once and re-executes the same AST, so
+// pointer identity is a stable, collision-free key.
+type dbCache struct {
+	gen uint64
+	mu  sync.RWMutex
+
+	viewAST map[string]*viewASTEntry
+	viewRes map[string]*viewResEntry
+	corr    map[*sqlparse.Select]bool
+	subq    map[*sqlparse.Select]*subqEntry
+}
+
+type viewASTEntry struct {
+	sel *sqlparse.Select
+	err error
+}
+
+type viewResEntry struct {
+	res *sqldb.Result
+	err error
+}
+
+// subqEntry caches one uncorrelated subquery's result. The IN-probe hash
+// set over the first output column is built lazily on first IN use.
+type subqEntry struct {
+	res   *sqldb.Result
+	once  sync.Once
+	set   map[string]struct{}
+	setOK bool
+}
+
+// inSet returns the equality-key set of the first column's non-null values.
+// usable is false when a member is NaN, whose equality class (equal to every
+// numeric under sqldb.Compare) no key can encode; callers then scan linearly.
+func (e *subqEntry) inSet() (map[string]struct{}, bool) {
+	e.once.Do(func() {
+		set := make(map[string]struct{}, len(e.res.Rows))
+		var kb []byte
+		for _, row := range e.res.Rows {
+			if len(row) == 0 || row[0].IsNull() {
+				continue
+			}
+			var ok bool
+			kb, ok = sqldb.AppendEqKey(kb[:0], row[0])
+			if !ok {
+				return // NaN member: leave setOK false
+			}
+			set[string(kb)] = struct{}{}
+		}
+		e.set, e.setOK = set, true
+	})
+	return e.set, e.setOK
+}
+
+// dbCaches maps *sqldb.DB to its current *dbCache. Entries are replaced
+// (not mutated) when the database generation moves; a losing racer merely
+// duplicates work into a cache that is then dropped.
+var dbCaches sync.Map
+
+func cacheFor(db *sqldb.DB) *dbCache {
+	gen := db.Generation()
+	if v, ok := dbCaches.Load(db); ok {
+		if c := v.(*dbCache); c.gen == gen {
+			return c
+		}
+	}
+	c := &dbCache{
+		gen:     gen,
+		viewAST: make(map[string]*viewASTEntry),
+		viewRes: make(map[string]*viewResEntry),
+		corr:    make(map[*sqlparse.Select]bool),
+		subq:    make(map[*sqlparse.Select]*subqEntry),
+	}
+	dbCaches.Store(db, c)
+	return c
+}
+
+// viewSelect parses a view definition once per cache lifetime, caching the
+// wrapped error alongside so failures are as cheap as successes.
+func (c *dbCache) viewSelect(v sqldb.View) (*sqlparse.Select, error) {
+	key := strings.ToUpper(v.Name)
+	c.mu.RLock()
+	a, ok := c.viewAST[key]
+	c.mu.RUnlock()
+	if ok {
+		return a.sel, a.err
+	}
+	sel, err := sqlparse.Parse(v.SelectSQL)
+	if err != nil {
+		sel = nil
+		err = fmt.Errorf("sqlexec: view %s has an invalid definition: %w", v.Name, err)
+	}
+	a = &viewASTEntry{sel: sel, err: err}
+	c.mu.Lock()
+	if exist, ok := c.viewAST[key]; ok {
+		a = exist
+	} else {
+		c.viewAST[key] = a
+	}
+	c.mu.Unlock()
+	return a.sel, a.err
+}
+
+// viewResult materializes a view once per cache lifetime.
+func (c *dbCache) viewResult(v sqldb.View, ex *executor) (*sqldb.Result, error) {
+	key := strings.ToUpper(v.Name)
+	c.mu.RLock()
+	r, ok := c.viewRes[key]
+	c.mu.RUnlock()
+	if ok {
+		viewCacheHits.Add(1)
+		return r.res, r.err
+	}
+	sel, err := c.viewSelect(v)
+	if err != nil {
+		r = &viewResEntry{err: err}
+	} else {
+		viewExecs.Add(1)
+		res, err := ex.exec(sel, nil)
+		if err != nil {
+			r = &viewResEntry{err: fmt.Errorf("sqlexec: executing view %s: %w", v.Name, err)}
+		} else {
+			r = &viewResEntry{res: res}
+		}
+	}
+	c.mu.Lock()
+	if exist, ok := c.viewRes[key]; ok {
+		r = exist // first writer wins; identical content either way
+	} else {
+		c.viewRes[key] = r
+	}
+	c.mu.Unlock()
+	return r.res, r.err
+}
+
+func (c *dbCache) subqGet(sel *sqlparse.Select) *subqEntry {
+	c.mu.RLock()
+	e := c.subq[sel]
+	c.mu.RUnlock()
+	return e
+}
+
+// subqPut caches a successful subquery result (errors are never cached: the
+// naive path re-executes and so must we, and failures are rare anyway).
+func (c *dbCache) subqPut(sel *sqlparse.Select, res *sqldb.Result) *subqEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.subq[sel]; ok {
+		return e
+	}
+	e := &subqEntry{res: res}
+	c.subq[sel] = e
+	return e
+}
+
+// uncorrelated reports whether sel's result is a function of the database
+// alone — no reference anywhere inside it escapes its own scopes. Verdicts
+// are cached by AST pointer; the analysis is purely static, so the verdict
+// depends only on (sel, catalog), both fixed for a cache generation.
+func (c *dbCache) uncorrelated(sel *sqlparse.Select, ex *executor) bool {
+	c.mu.RLock()
+	v, ok := c.corr[sel]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	u := ex.selfContained(sel, nil, 0)
+	c.mu.Lock()
+	c.corr[sel] = u
+	c.mu.Unlock()
+	return u
+}
+
+// --- static correlation analysis ---------------------------------------------
+
+// The analysis mirrors env.lookup conservatively: a subquery is
+// self-contained when every column reference it (transitively) contains
+// statically resolves within the subquery's own source scopes. Anything
+// uncertain — unknown tables, unresolvable columns, un-derivable column
+// sets, excessive nesting — classifies as correlated, which only costs the
+// cache, never correctness. Soundness direction: env.lookup searches inner
+// scopes before outer ones, so a reference that statically resolves inside
+// the subquery can never dynamically bind to an outer row.
+
+// maxAnalysisDepth bounds recursion through nested subqueries and view
+// definitions (views may reference views, or pathologically themselves).
+const maxAnalysisDepth = 32
+
+// sscope is one static scope level: the FROM sources of one SELECT.
+type sscope struct {
+	srcs []*ssrc
+}
+
+// ssrc is a statically known source: its qualifier names and column set
+// (upper-cased, matching colIdx semantics).
+type ssrc struct {
+	name  string
+	alias string
+	cols  map[string]struct{}
+}
+
+func (s *ssrc) matches(q string) bool {
+	if q == "" {
+		return true
+	}
+	return strings.EqualFold(q, s.alias) || strings.EqualFold(q, s.name)
+}
+
+func resolveStatic(stack []*sscope, cr *sqlparse.ColRef) bool {
+	up := strings.ToUpper(cr.Column)
+	for _, sc := range stack {
+		for _, s := range sc.srcs {
+			if !s.matches(cr.Table) {
+				continue
+			}
+			if _, ok := s.cols[up]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selfContained reports whether every reference inside sel resolves within
+// sel's own scopes (own = enclosing scopes that still belong to the
+// subquery under analysis, for nested levels).
+func (ex *executor) selfContained(sel *sqlparse.Select, own []*sscope, depth int) bool {
+	if sel == nil || depth > maxAnalysisDepth {
+		return false
+	}
+	sc := &sscope{}
+	stack := append([]*sscope{sc}, own...)
+	if sel.From != nil {
+		s, ok := ex.staticSource(sel.From, own, depth)
+		if !ok {
+			return false
+		}
+		sc.srcs = append(sc.srcs, s)
+		for ji := range sel.Joins {
+			s, ok := ex.staticSource(&sel.Joins[ji].Right, own, depth)
+			if !ok {
+				return false
+			}
+			sc.srcs = append(sc.srcs, s)
+			// ON of join k sees sources 0..k: sc grows as we walk, matching
+			// the runtime env.
+			if !ex.exprSelfContained(sel.Joins[ji].On, stack, depth) {
+				return false
+			}
+		}
+	}
+	for i := range sel.Items {
+		if !ex.exprSelfContained(sel.Items[i].Expr, stack, depth) {
+			return false
+		}
+	}
+	if !ex.exprSelfContained(sel.Where, stack, depth) {
+		return false
+	}
+	for _, g := range sel.GroupBy {
+		if !ex.exprSelfContained(g, stack, depth) {
+			return false
+		}
+	}
+	if !ex.exprSelfContained(sel.Having, stack, depth) {
+		return false
+	}
+	for _, o := range sel.OrderBy {
+		// ORDER BY may also target projection aliases; those references
+		// fail static resolution and conservatively classify as correlated.
+		if !ex.exprSelfContained(o.Expr, stack, depth) {
+			return false
+		}
+	}
+	return true
+}
+
+// staticSource derives the scope entry for one FROM/JOIN input.
+func (ex *executor) staticSource(ref *sqlparse.TableRef, own []*sscope, depth int) (*ssrc, bool) {
+	if ref.Subquery != nil {
+		// A derived table must itself be self-contained: its outer scopes at
+		// runtime are the analysis root's outer scopes (bindRef passes the
+		// root's outer env, not the enclosing SELECT's sources).
+		if !ex.selfContained(ref.Subquery, own, depth+1) {
+			return nil, false
+		}
+		cols, ok := ex.staticColumns(ref.Subquery, depth+1)
+		if !ok {
+			return nil, false
+		}
+		return &ssrc{alias: ref.Alias, cols: cols}, true
+	}
+	if v, ok := ex.db.ViewLookup(ref.Schema, ref.Table); ok {
+		// Views execute against a nil outer env, so their content is a
+		// function of the database regardless of the referencing query;
+		// only their column set matters here.
+		cols, ok := ex.viewColumns(v, depth+1)
+		if !ok {
+			return nil, false
+		}
+		return &ssrc{name: ref.Table, alias: ref.Alias, cols: cols}, true
+	}
+	if ref.Schema != "" && !strings.EqualFold(ref.Schema, "dbo") {
+		return nil, false
+	}
+	t, ok := ex.db.Table(ref.Table)
+	if !ok {
+		return nil, false
+	}
+	cols := make(map[string]struct{}, len(t.Columns))
+	for _, c := range t.Columns {
+		cols[strings.ToUpper(c)] = struct{}{}
+	}
+	return &ssrc{name: t.Name, alias: ref.Alias, cols: cols}, true
+}
+
+func (ex *executor) viewColumns(v sqldb.View, depth int) (map[string]struct{}, bool) {
+	if ex.cache == nil {
+		return nil, false
+	}
+	sel, err := ex.cache.viewSelect(v)
+	if err != nil {
+		return nil, false
+	}
+	return ex.staticColumns(sel, depth)
+}
+
+// staticColumns derives the output column-name set of a SELECT, mirroring
+// projectionColumns. ok is false when the set cannot be derived (unknown
+// sources under a *, nesting too deep).
+func (ex *executor) staticColumns(sel *sqlparse.Select, depth int) (map[string]struct{}, bool) {
+	if sel == nil || depth > maxAnalysisDepth {
+		return nil, false
+	}
+	var srcs []*ssrc
+	addRef := func(ref *sqlparse.TableRef) {
+		if ref.Subquery != nil {
+			if cols, ok := ex.staticColumns(ref.Subquery, depth+1); ok {
+				srcs = append(srcs, &ssrc{alias: ref.Alias, cols: cols})
+			} else {
+				srcs = append(srcs, nil)
+			}
+			return
+		}
+		if v, ok := ex.db.ViewLookup(ref.Schema, ref.Table); ok {
+			if cols, ok := ex.viewColumns(v, depth+1); ok {
+				srcs = append(srcs, &ssrc{name: ref.Table, alias: ref.Alias, cols: cols})
+			} else {
+				srcs = append(srcs, nil)
+			}
+			return
+		}
+		if t, ok := ex.db.Table(ref.Table); ok && (ref.Schema == "" || strings.EqualFold(ref.Schema, "dbo")) {
+			cols := make(map[string]struct{}, len(t.Columns))
+			for _, c := range t.Columns {
+				cols[strings.ToUpper(c)] = struct{}{}
+			}
+			srcs = append(srcs, &ssrc{name: t.Name, alias: ref.Alias, cols: cols})
+			return
+		}
+		srcs = append(srcs, nil) // unknown source: only fatal under a *
+	}
+	if sel.From != nil {
+		addRef(sel.From)
+		for ji := range sel.Joins {
+			addRef(&sel.Joins[ji].Right)
+		}
+	}
+	out := make(map[string]struct{})
+	for i := range sel.Items {
+		item := &sel.Items[i]
+		if item.Alias != "" {
+			out[strings.ToUpper(item.Alias)] = struct{}{}
+			continue
+		}
+		switch it := item.Expr.(type) {
+		case *sqlparse.Star:
+			for _, s := range srcs {
+				if s == nil {
+					if it.Table == "" {
+						return nil, false
+					}
+					continue
+				}
+				if it.Table != "" && !s.matches(it.Table) {
+					continue
+				}
+				for c := range s.cols {
+					out[c] = struct{}{}
+				}
+			}
+			// A qualified star over an unknown source expands to unknown
+			// columns; reject to stay conservative.
+			for _, s := range srcs {
+				if s == nil && it.Table != "" {
+					return nil, false
+				}
+			}
+		case *sqlparse.ColRef:
+			out[strings.ToUpper(it.Column)] = struct{}{}
+		case *sqlparse.FuncCall:
+			out[strings.ToUpper(it.Name)] = struct{}{}
+		default:
+			out[strings.ToUpper(fmt.Sprintf("expr%d", i+1))] = struct{}{}
+		}
+	}
+	return out, true
+}
+
+// exprSelfContained walks an expression; nested subqueries extend the scope
+// stack (anything inside the analysis root resolving to any root scope is
+// still self-contained).
+func (ex *executor) exprSelfContained(e sqlparse.Expr, stack []*sscope, depth int) bool {
+	if e == nil {
+		return true
+	}
+	ok := true
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *sqlparse.NumberLit, *sqlparse.StringLit, sqlparse.NullLit, *sqlparse.Star:
+		case *sqlparse.ColRef:
+			if !resolveStatic(stack, x) {
+				ok = false
+			}
+		case *sqlparse.Paren:
+			walk(x.Inner)
+		case *sqlparse.Not:
+			walk(x.Inner)
+		case *sqlparse.IsNull:
+			walk(x.Inner)
+		case *sqlparse.Binary:
+			walk(x.Left)
+			walk(x.Right)
+		case *sqlparse.Between:
+			walk(x.Inner)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sqlparse.InExpr:
+			walk(x.Inner)
+			for _, item := range x.List {
+				walk(item)
+			}
+			if x.Subquery != nil && !ex.selfContained(x.Subquery, stack, depth+1) {
+				ok = false
+			}
+		case *sqlparse.Exists:
+			if !ex.selfContained(x.Subquery, stack, depth+1) {
+				ok = false
+			}
+		case *sqlparse.SubqueryExpr:
+			if !ex.selfContained(x.Subquery, stack, depth+1) {
+				ok = false
+			}
+		case *sqlparse.CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		case *sqlparse.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		default:
+			ok = false // unknown node: conservative
+		}
+	}
+	walk(e)
+	return ok
+}

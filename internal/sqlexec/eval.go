@@ -13,7 +13,8 @@ import (
 // aggContext provides aggregate evaluation over a group's rows.
 type aggContext struct {
 	ex    *executor
-	rows  [][]*source
+	rows  [][]sqldb.Value
+	srcs  []*source
 	outer *env
 }
 
@@ -95,7 +96,7 @@ func (ex *executor) evalWith(e sqlparse.Expr, en *env, agg *aggContext) (sqldb.V
 	case *sqlparse.InExpr:
 		return ex.evalIn(x, en, agg)
 	case *sqlparse.Exists:
-		res, err := execSelect(ex.db, x.Subquery, en)
+		res, _, err := ex.subquery(x.Subquery, en)
 		if err != nil {
 			return sqldb.Null(), err
 		}
@@ -105,7 +106,7 @@ func (ex *executor) evalWith(e sqlparse.Expr, en *env, agg *aggContext) (sqldb.V
 		}
 		return sqldb.Bool(found), nil
 	case *sqlparse.SubqueryExpr:
-		res, err := execSelect(ex.db, x.Subquery, en)
+		res, _, err := ex.subquery(x.Subquery, en)
 		if err != nil {
 			return sqldb.Null(), err
 		}
@@ -270,14 +271,28 @@ func (ex *executor) evalIn(x *sqlparse.InExpr, en *env, agg *aggContext) (sqldb.
 	}
 	found := false
 	if x.Subquery != nil {
-		res, err := execSelect(ex.db, x.Subquery, en)
+		res, entry, err := ex.subquery(x.Subquery, en)
 		if err != nil {
 			return sqldb.Null(), err
 		}
-		for _, row := range res.Rows {
-			if len(row) > 0 && sqldb.Equal(v, row[0]) {
-				found = true
-				break
+		probed := false
+		if entry != nil {
+			// Cached uncorrelated subquery: probe its hash set. Falls back
+			// to the linear scan when the probe value or a member is NaN
+			// (whose equality class no key can encode).
+			if set, usable := entry.inSet(); usable {
+				if kb, ok := sqldb.AppendEqKey(nil, v); ok {
+					_, found = set[string(kb)]
+					probed = true
+				}
+			}
+		}
+		if !probed {
+			for _, row := range res.Rows {
+				if len(row) > 0 && sqldb.Equal(v, row[0]) {
+					found = true
+					break
+				}
 			}
 		}
 	} else {
@@ -332,8 +347,9 @@ func (ex *executor) evalAggregate(f *sqlparse.FuncCall, agg *aggContext) (sqldb.
 	}
 	var vals []sqldb.Value
 	seen := map[string]struct{}{}
+	e := &env{sources: agg.srcs, outer: agg.outer}
 	for _, r := range agg.rows {
-		e := &env{sources: r, outer: agg.outer}
+		e.row = r
 		v, err := agg.ex.eval(f.Args[0], e)
 		if err != nil {
 			return sqldb.Null(), err

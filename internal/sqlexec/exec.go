@@ -2,6 +2,13 @@
 // sqldb engine. Together with sqlparse and sqldb it substitutes for the
 // paper's MS SQL Server instances: gold and predicted queries are executed
 // here and their result sets compared for execution accuracy.
+//
+// Execution is planned: single-source WHERE/ON conjuncts are pushed into
+// the scans, equi-join conjuncts drive hash joins, rows are flat value
+// slices with per-source offsets, and view/subquery results are cached per
+// database generation (see plan.go and cache.go). A reference nested-loop
+// path (naive.go) is retained for differential testing; planner results
+// are byte-identical to it by construction.
 package sqlexec
 
 import (
@@ -68,14 +75,18 @@ func rowCount(res *sqldb.Result) int {
 
 // --- row environments ---------------------------------------------------------
 
-// source is one bound FROM/JOIN input: a table or derived subquery with its
-// current row.
+// source is one bound FROM/JOIN input: a table or derived subquery. Rows
+// are flat value slices shared by all sources of a query; off locates this
+// source's columns within them.
 type source struct {
 	name    string // base table name ("" for derived)
 	alias   string
 	columns []string
 	colIdx  map[string]int
-	row     []sqldb.Value
+	off     int // column offset within the flat row
+	// table backlinks the base table when the source is one (nil for views
+	// and derived tables); the planner uses it for equality-index reuse.
+	table *sqldb.TableData
 }
 
 func newSource(name, alias string, columns []string) *source {
@@ -87,6 +98,8 @@ func newSource(name, alias string, columns []string) *source {
 	return s
 }
 
+func (s *source) width() int { return len(s.columns) }
+
 func (s *source) matchesQualifier(q string) bool {
 	if q == "" {
 		return true
@@ -95,9 +108,10 @@ func (s *source) matchesQualifier(q string) bool {
 }
 
 // env is a chain of row environments; outer links support correlated
-// subqueries.
+// subqueries. One flat row serves every source in the frame.
 type env struct {
 	sources []*source
+	row     []sqldb.Value
 	outer   *env
 }
 
@@ -108,7 +122,7 @@ func (e *env) lookup(qualifier, column string) (sqldb.Value, bool) {
 				continue
 			}
 			if i, ok := s.colIdx[strings.ToUpper(column)]; ok {
-				return s.row[i], true
+				return cur.row[s.off+i], true
 			}
 		}
 	}
@@ -118,98 +132,70 @@ func (e *env) lookup(qualifier, column string) (sqldb.Value, bool) {
 // --- execution ------------------------------------------------------------------
 
 type executor struct {
-	db *sqldb.DB
+	db    *sqldb.DB
+	cache *dbCache // per-DB view/subquery caches; nil on the naive path
+	naive bool     // reference nested-loop path (differential tests)
 }
 
 func execSelect(db *sqldb.DB, sel *sqlparse.Select, outer *env) (*sqldb.Result, error) {
-	ex := &executor{db: db}
-	rows, sources, err := ex.buildRows(sel, outer)
+	ex := &executor{db: db, cache: cacheFor(db)}
+	return ex.exec(sel, outer)
+}
+
+// execSelectNaive runs the retained reference path: nested-loop joins with
+// the full ON evaluated per candidate pair, WHERE applied after
+// materialization, no pushdown and no result caching.
+func execSelectNaive(db *sqldb.DB, sel *sqlparse.Select, outer *env) (*sqldb.Result, error) {
+	ex := &executor{db: db, naive: true}
+	return ex.exec(sel, outer)
+}
+
+// exec dispatches one SELECT (top-level or nested) to the active engine.
+func (ex *executor) exec(sel *sqlparse.Select, outer *env) (*sqldb.Result, error) {
+	var rows [][]sqldb.Value
+	var srcs []*source
+	var err error
+	if ex.naive {
+		rows, srcs, err = ex.naiveRows(sel, outer)
+	} else {
+		rows, srcs, err = ex.plannedRows(sel, outer)
+	}
 	if err != nil {
 		return nil, err
 	}
-	// WHERE
-	if sel.Where != nil {
-		var kept [][]*source
-		for _, r := range rows {
-			e := &env{sources: r, outer: outer}
-			ok, err := ex.evalBool(sel.Where, e)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
 	if len(sel.GroupBy) > 0 || hasAggregate(sel) {
-		return ex.execGrouped(sel, rows, sources, outer)
+		return ex.execGrouped(sel, rows, srcs, outer)
 	}
-	return ex.execPlain(sel, rows, sources, outer)
+	return ex.execPlain(sel, rows, srcs, outer)
 }
 
-// buildRows materializes the FROM/JOIN row combinations. Each row is a slice
-// of bound sources (one per table ref) whose row fields are set.
-func (ex *executor) buildRows(sel *sqlparse.Select, outer *env) ([][]*source, []*source, error) {
-	if sel.From == nil {
-		// SELECT without FROM: a single empty row.
-		return [][]*source{{}}, nil, nil
-	}
-	base, baseRows, err := ex.bindRef(sel.From, outer)
-	if err != nil {
-		return nil, nil, err
-	}
-	sources := []*source{base}
-	rows := make([][]*source, 0, len(baseRows))
-	for _, r := range baseRows {
-		b := *base
-		b.row = r
-		rows = append(rows, []*source{&b})
-	}
-	for ji := range sel.Joins {
-		j := &sel.Joins[ji]
-		right, rightRows, err := ex.bindRef(&j.Right, outer)
+// subquery executes a nested SELECT appearing in an expression. On the
+// planner path, subqueries that reference nothing outside themselves are
+// served from the per-DB cache; the returned entry (nil when uncached)
+// carries the lazily built IN-probe hash set.
+func (ex *executor) subquery(sel *sqlparse.Select, en *env) (*sqldb.Result, *subqEntry, error) {
+	if !ex.naive && ex.cache != nil && ex.cache.uncorrelated(sel, ex) {
+		if e := ex.cache.subqGet(sel); e != nil {
+			return e.res, e, nil
+		}
+		res, err := ex.exec(sel, en)
 		if err != nil {
 			return nil, nil, err
 		}
-		sources = append(sources, right)
-		var next [][]*source
-		for _, left := range rows {
-			matched := false
-			for _, rr := range rightRows {
-				rb := *right
-				rb.row = rr
-				combined := append(append([]*source{}, left...), &rb)
-				e := &env{sources: combined, outer: outer}
-				ok, err := ex.evalBool(j.On, e)
-				if err != nil {
-					return nil, nil, err
-				}
-				if ok {
-					matched = true
-					next = append(next, combined)
-				}
-			}
-			if !matched && j.Kind == sqlparse.JoinLeft {
-				nullRight := *right
-				nullRight.row = make([]sqldb.Value, len(right.columns))
-				for i := range nullRight.row {
-					nullRight.row[i] = sqldb.Null()
-				}
-				next = append(next, append(append([]*source{}, left...), &nullRight))
-			}
-		}
-		rows = next
+		e := ex.cache.subqPut(sel, res)
+		return e.res, e, nil
 	}
-	return rows, sources, nil
+	res, err := ex.exec(sel, en)
+	return res, nil, err
 }
 
 // bindRef resolves a table ref to a source template plus its rows. Views
 // (qualified like db_nl.X or bare) resolve by executing their definition;
-// the view name remains addressable as a qualifier inside the query.
+// the view name remains addressable as a qualifier inside the query. On the
+// planner path view ASTs and results are cached per database generation.
 func (ex *executor) bindRef(ref *sqlparse.TableRef, outer *env) (*source, [][]sqldb.Value, error) {
 	if ref.Subquery != nil {
-		res, err := execSelect(ex.db, ref.Subquery, outer)
+		res, _, err := ex.subquery(ref.Subquery, outer)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -217,13 +203,9 @@ func (ex *executor) bindRef(ref *sqlparse.TableRef, outer *env) (*source, [][]sq
 		return s, res.Rows, nil
 	}
 	if v, ok := ex.db.ViewLookup(ref.Schema, ref.Table); ok {
-		sel, err := sqlparse.Parse(v.SelectSQL)
+		res, err := ex.execView(v)
 		if err != nil {
-			return nil, nil, fmt.Errorf("sqlexec: view %s has an invalid definition: %w", v.Name, err)
-		}
-		res, err := execSelect(ex.db, sel, nil)
-		if err != nil {
-			return nil, nil, fmt.Errorf("sqlexec: executing view %s: %w", v.Name, err)
+			return nil, nil, err
 		}
 		s := newSource(ref.Table, ref.Alias, res.Columns)
 		return s, res.Rows, nil
@@ -236,21 +218,43 @@ func (ex *executor) bindRef(ref *sqlparse.TableRef, outer *env) (*source, [][]sq
 		return nil, nil, fmt.Errorf("sqlexec: unknown table %q", ref.Table)
 	}
 	s := newSource(t.Name, ref.Alias, t.Columns)
+	s.table = t
 	return s, t.Rows, nil
+}
+
+// execView materializes a view definition. The naive path re-parses and
+// re-executes per reference (the original behaviour the differential tests
+// pin down); the planner path parses once and executes once per database
+// generation.
+func (ex *executor) execView(v sqldb.View) (*sqldb.Result, error) {
+	if ex.naive || ex.cache == nil {
+		sel, err := sqlparse.Parse(v.SelectSQL)
+		if err != nil {
+			return nil, fmt.Errorf("sqlexec: view %s has an invalid definition: %w", v.Name, err)
+		}
+		viewExecs.Add(1)
+		res, err := ex.exec(sel, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sqlexec: executing view %s: %w", v.Name, err)
+		}
+		return res, nil
+	}
+	return ex.cache.viewResult(v, ex)
 }
 
 // --- plain (ungrouped) projection ------------------------------------------------
 
-func (ex *executor) execPlain(sel *sqlparse.Select, rows [][]*source, sources []*source, outer *env) (*sqldb.Result, error) {
-	cols, err := projectionColumns(sel, sources)
+func (ex *executor) execPlain(sel *sqlparse.Select, rows [][]sqldb.Value, srcs []*source, outer *env) (*sqldb.Result, error) {
+	cols, err := projectionColumns(sel, srcs)
 	if err != nil {
 		return nil, err
 	}
 	res := &sqldb.Result{Columns: cols}
 	var ordered []projRow
+	e := &env{sources: srcs, outer: outer}
 	for _, r := range rows {
-		e := &env{sources: r, outer: outer}
-		out, err := ex.projectRow(sel, e, r)
+		e.row = r
+		out, err := ex.projectRow(sel, e, srcs)
 		if err != nil {
 			return nil, err
 		}
@@ -271,16 +275,16 @@ func (ex *executor) execPlain(sel *sqlparse.Select, rows [][]*source, sources []
 	return res, nil
 }
 
-func (ex *executor) projectRow(sel *sqlparse.Select, e *env, r []*source) ([]sqldb.Value, error) {
+func (ex *executor) projectRow(sel *sqlparse.Select, e *env, srcs []*source) ([]sqldb.Value, error) {
 	var out []sqldb.Value
 	for i := range sel.Items {
 		switch it := sel.Items[i].Expr.(type) {
 		case *sqlparse.Star:
-			for _, s := range r {
+			for _, s := range srcs {
 				if it.Table != "" && !s.matchesQualifier(it.Table) {
 					continue
 				}
-				out = append(out, s.row...)
+				out = append(out, e.row[s.off:s.off+s.width()]...)
 			}
 		default:
 			v, err := ex.eval(sel.Items[i].Expr, e)
@@ -297,11 +301,11 @@ func (ex *executor) projectRow(sel *sqlparse.Select, e *env, r []*source) ([]sql
 
 type group struct {
 	key  string
-	rows [][]*source
+	rows [][]sqldb.Value
 }
 
-func (ex *executor) execGrouped(sel *sqlparse.Select, rows [][]*source, sources []*source, outer *env) (*sqldb.Result, error) {
-	cols, err := projectionColumns(sel, sources)
+func (ex *executor) execGrouped(sel *sqlparse.Select, rows [][]sqldb.Value, srcs []*source, outer *env) (*sqldb.Result, error) {
+	cols, err := projectionColumns(sel, srcs)
 	if err != nil {
 		return nil, err
 	}
@@ -312,11 +316,12 @@ func (ex *executor) execGrouped(sel *sqlparse.Select, rows [][]*source, sources 
 	} else {
 		byKey := map[string]*group{}
 		var order []string
+		ge := &env{sources: srcs, outer: outer}
 		for _, r := range rows {
-			e := &env{sources: r, outer: outer}
+			ge.row = r
 			var kb strings.Builder
-			for _, ge := range sel.GroupBy {
-				v, err := ex.eval(ge, e)
+			for _, gx := range sel.GroupBy {
+				v, err := ex.eval(gx, ge)
 				if err != nil {
 					return nil, err
 				}
@@ -342,11 +347,11 @@ func (ex *executor) execGrouped(sel *sqlparse.Select, rows [][]*source, sources 
 	for _, g := range groups {
 		var e *env
 		if len(g.rows) > 0 {
-			e = &env{sources: g.rows[0], outer: outer}
+			e = &env{sources: srcs, row: g.rows[0], outer: outer}
 		} else {
 			e = &env{outer: outer}
 		}
-		agg := &aggContext{ex: ex, rows: g.rows, outer: outer}
+		agg := &aggContext{ex: ex, rows: g.rows, srcs: srcs, outer: outer}
 		if sel.Having != nil {
 			ok, err := ex.evalBoolAgg(sel.Having, e, agg)
 			if err != nil {

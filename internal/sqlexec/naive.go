@@ -1,0 +1,75 @@
+package sqlexec
+
+import (
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// naiveRows is the retained reference pipeline: bind each source as its
+// join is reached, nested-loop every join evaluating the full ON expression
+// per candidate pair, and apply WHERE only after full materialization. The
+// planner's output must be byte-identical to this path (see property and
+// fuzz tests); keep it dumb.
+func (ex *executor) naiveRows(sel *sqlparse.Select, outer *env) ([][]sqldb.Value, []*source, error) {
+	if sel.From == nil {
+		// SELECT without FROM: a single empty row.
+		return [][]sqldb.Value{{}}, nil, nil
+	}
+	base, rows, err := ex.bindRef(sel.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs := []*source{base}
+	width := base.width()
+	for ji := range sel.Joins {
+		j := &sel.Joins[ji]
+		right, rightRows, err := ex.bindRef(&j.Right, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		right.off = width
+		srcs = append(srcs, right)
+		w := width + right.width()
+		scratch := make([]sqldb.Value, w)
+		e := &env{sources: srcs, row: scratch, outer: outer}
+		var next [][]sqldb.Value
+		for _, left := range rows {
+			copy(scratch, left)
+			matched := false
+			for _, rr := range rightRows {
+				copy(scratch[width:], rr)
+				ok, err := ex.evalBool(j.On, e)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					matched = true
+					nr := make([]sqldb.Value, w)
+					copy(nr, scratch)
+					next = append(next, nr)
+				}
+			}
+			if !matched && j.Kind == sqlparse.JoinLeft {
+				next = append(next, padRight(left, width, w))
+			}
+		}
+		rows = next
+		width = w
+	}
+	if sel.Where != nil {
+		e := &env{sources: srcs, outer: outer}
+		var kept [][]sqldb.Value
+		for _, r := range rows {
+			e.row = r
+			ok, err := ex.evalBool(sel.Where, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	return rows, srcs, nil
+}

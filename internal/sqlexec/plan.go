@@ -1,0 +1,647 @@
+package sqlexec
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// The planner rewrites a SELECT's FROM/JOIN/WHERE into scans with pushed
+// filters, hash or nested-loop joins, and a residual WHERE — while keeping
+// results (and error outcomes) indistinguishable from the naive reference
+// path. The safety argument rests on totality: an expression is *total*
+// when its evaluation can never return an error (all column refs statically
+// resolve, literals parse, and every operator/function involved is
+// error-free). The planner only ever skips or re-orders evaluations of
+// total expressions; every non-total expression is still evaluated on
+// exactly the rows where the naive path would evaluate it without a
+// preceding short-circuit. Hoisting therefore stops at the first non-total
+// conjunct of each AND chain, and WHERE pushdown additionally requires
+// every ON conjunct of every join to be total (pushdown removes rows
+// before the joins run).
+
+// scanPlan filters one FROM/JOIN input before join materialization.
+type scanPlan struct {
+	filters []sqlparse.Expr // pushed single-source conjuncts (all total)
+	// Equality-index probe: column idxCol = idxExpr, where idxExpr
+	// references no scan-local source. idxConj retains the original
+	// conjunct for the linear fallback (NaN keys, detached tables).
+	idxCol  int
+	idxExpr sqlparse.Expr
+	idxConj sqlparse.Expr
+}
+
+// joinStep is the execution strategy for one JOIN.
+type joinStep struct {
+	kind sqlparse.JoinKind
+	// all is the full flattened ON conjunct list in evaluation order; the
+	// nested-loop path (no equi keys, or NaN hash keys) evaluates it as-is.
+	all []sqlparse.Expr
+	// equiL/equiR are aligned hash-key expressions: equiL over the
+	// accumulated left sources, equiR over the new right source.
+	equiL, equiR []sqlparse.Expr
+	// residual conjuncts run per matched pair, in original order.
+	residual []sqlparse.Expr
+	// leftFilters run against the accumulated rows before pairing
+	// (INNER only: LEFT joins null-pad unmatched left rows instead).
+	leftFilters []sqlparse.Expr
+	// rightIdxCol enables reusing the table's equality index as the hash
+	// build side: single bare-ColRef key over an unfiltered base table.
+	rightIdxCol int
+}
+
+type queryPlan struct {
+	scans []scanPlan
+	joins []joinStep
+	where []sqlparse.Expr // residual WHERE conjuncts, original order
+}
+
+// conjInfo is the classification of one conjunct (or key expression).
+type conjInfo struct {
+	total bool   // evaluation can never error
+	mask  uint64 // bit i set when the expr reads source i; outer refs set no bit
+}
+
+// splitAnd flattens an AND chain (through parentheses) into conjuncts in
+// evaluation order.
+func splitAnd(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	switch x := e.(type) {
+	case *sqlparse.Paren:
+		return splitAnd(x.Inner, out)
+	case *sqlparse.Binary:
+		if x.Op == "AND" {
+			return splitAnd(x.Right, splitAnd(x.Left, out))
+		}
+	}
+	return append(out, e)
+}
+
+func numberParses(text string) bool {
+	if strings.Contains(text, ".") {
+		_, err := strconv.ParseFloat(text, 64)
+		return err == nil
+	}
+	_, err := strconv.ParseInt(text, 10, 64)
+	return err == nil
+}
+
+// classify computes totality and the source mask of e as evaluated against
+// the given sources (in env.lookup order) with the outer chain behind them.
+func (ex *executor) classify(e sqlparse.Expr, srcs []*source, outer *env) conjInfo {
+	c := conjInfo{total: true}
+	ex.classifyWalk(e, srcs, outer, &c)
+	return c
+}
+
+func (ex *executor) classifyWalk(e sqlparse.Expr, srcs []*source, outer *env, out *conjInfo) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		if !numberParses(x.Text) {
+			out.total = false
+		}
+	case *sqlparse.StringLit:
+	case sqlparse.NullLit:
+	case *sqlparse.ColRef:
+		up := strings.ToUpper(x.Column)
+		for i, s := range srcs {
+			if !s.matchesQualifier(x.Table) {
+				continue
+			}
+			if _, ok := s.colIdx[up]; ok {
+				out.mask |= uint64(1) << i
+				return
+			}
+		}
+		for cur := outer; cur != nil; cur = cur.outer {
+			for _, s := range cur.sources {
+				if !s.matchesQualifier(x.Table) {
+					continue
+				}
+				if _, ok := s.colIdx[up]; ok {
+					return // outer-resolved: constant for this execution
+				}
+			}
+		}
+		out.total = false // unresolvable: evaluation errors
+	case *sqlparse.Paren:
+		ex.classifyWalk(x.Inner, srcs, outer, out)
+	case *sqlparse.Not:
+		ex.classifyWalk(x.Inner, srcs, outer, out)
+	case *sqlparse.IsNull:
+		ex.classifyWalk(x.Inner, srcs, outer, out)
+	case *sqlparse.Binary:
+		ex.classifyWalk(x.Left, srcs, outer, out)
+		ex.classifyWalk(x.Right, srcs, outer, out)
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE", "+":
+			// "+" never errors: non-numeric operands concatenate.
+		default:
+			// -,*,/,% error on non-numeric operands; unknown ops error.
+			out.total = false
+		}
+	case *sqlparse.Between:
+		ex.classifyWalk(x.Inner, srcs, outer, out)
+		ex.classifyWalk(x.Lo, srcs, outer, out)
+		ex.classifyWalk(x.Hi, srcs, outer, out)
+	case *sqlparse.InExpr:
+		ex.classifyWalk(x.Inner, srcs, outer, out)
+		for _, item := range x.List {
+			ex.classifyWalk(item, srcs, outer, out)
+		}
+		if x.Subquery != nil {
+			out.total = false
+		}
+	case *sqlparse.Exists:
+		out.total = false
+	case *sqlparse.SubqueryExpr:
+		out.total = false
+	case *sqlparse.CaseExpr:
+		for _, w := range x.Whens {
+			ex.classifyWalk(w.Cond, srcs, outer, out)
+			ex.classifyWalk(w.Then, srcs, outer, out)
+		}
+		if x.Else != nil {
+			ex.classifyWalk(x.Else, srcs, outer, out)
+		}
+	case *sqlparse.FuncCall:
+		for _, a := range x.Args {
+			ex.classifyWalk(a, srcs, outer, out)
+		}
+		if isAggregateFunc(x.Name) {
+			out.total = false // errors outside grouped context
+			return
+		}
+		switch x.Name {
+		case "YEAR", "MONTH", "DAY", "LEN", "UPPER", "LOWER":
+			if len(x.Args) != 1 {
+				out.total = false
+			}
+		default:
+			// ABS/ROUND error on non-numeric args; unknown functions error.
+			out.total = false
+		}
+	case *sqlparse.Star:
+		out.total = false
+	default:
+		out.total = false
+	}
+}
+
+// makePlan classifies the WHERE and ON conjuncts of sel against the bound
+// sources and decides pushdown, hash keys, and residuals.
+func (ex *executor) makePlan(sel *sqlparse.Select, srcs []*source, outer *env) *queryPlan {
+	p := &queryPlan{scans: make([]scanPlan, len(srcs)), joins: make([]joinStep, len(sel.Joins))}
+	for i := range p.scans {
+		p.scans[i].idxCol = -1
+	}
+	hoist := len(srcs) <= 64 // masks are uint64; wider FROMs run unplanned
+
+	allONTotal := true
+	for ji := range sel.Joins {
+		j := &sel.Joins[ji]
+		st := &p.joins[ji]
+		st.kind = j.Kind
+		st.rightIdxCol = -1
+		st.all = splitAnd(j.On, nil)
+		k := ji + 1
+		vis := srcs[:k+1] // ON of join k sees sources 0..k, like the naive env
+
+		firstNonTotal := len(st.all)
+		infos := make([]conjInfo, len(st.all))
+		for idx, c := range st.all {
+			infos[idx] = ex.classify(c, vis, outer)
+			if !infos[idx].total {
+				allONTotal = false
+				if firstNonTotal == len(st.all) {
+					firstNonTotal = idx
+				}
+			}
+		}
+
+		rightBit := uint64(1) << k
+		for idx, c := range st.all {
+			if !hoist || idx >= firstNonTotal {
+				st.residual = append(st.residual, c)
+				continue
+			}
+			if b, isEq := c.(*sqlparse.Binary); isEq && b.Op == "=" {
+				li := ex.classify(b.Left, vis, outer)
+				ri := ex.classify(b.Right, vis, outer)
+				if li.mask != 0 && li.mask&rightBit == 0 && ri.mask == rightBit {
+					st.equiL = append(st.equiL, b.Left)
+					st.equiR = append(st.equiR, b.Right)
+					continue
+				}
+				if ri.mask != 0 && ri.mask&rightBit == 0 && li.mask == rightBit {
+					st.equiL = append(st.equiL, b.Right)
+					st.equiR = append(st.equiR, b.Left)
+					continue
+				}
+			}
+			switch {
+			case infos[idx].mask == rightBit:
+				p.scans[k].filters = append(p.scans[k].filters, c)
+			case infos[idx].mask&rightBit == 0 && j.Kind == sqlparse.JoinInner:
+				st.leftFilters = append(st.leftFilters, c)
+			default:
+				st.residual = append(st.residual, c)
+			}
+		}
+	}
+
+	if sel.Where != nil {
+		conjs := splitAnd(sel.Where, nil)
+		firstNonTotal := len(conjs)
+		infos := make([]conjInfo, len(conjs))
+		for idx, c := range conjs {
+			infos[idx] = ex.classify(c, srcs, outer)
+			if !infos[idx].total && firstNonTotal == len(conjs) {
+				firstNonTotal = idx
+			}
+		}
+		for idx, c := range conjs {
+			pushable := hoist && allONTotal && idx < firstNonTotal
+			if pushable {
+				m := infos[idx].mask
+				if m != 0 && m&(m-1) == 0 {
+					i := bits.TrailingZeros64(m)
+					// Never filter the nullable side of a LEFT JOIN: the
+					// conjunct must also see the null-padded rows.
+					if i == 0 || sel.Joins[i-1].Kind != sqlparse.JoinLeft {
+						p.scans[i].filters = append(p.scans[i].filters, c)
+						continue
+					}
+				} else if m == 0 {
+					// Row-independent conjunct: cheapest to fold into the
+					// base scan, where it filters everything or nothing.
+					p.scans[0].filters = append(p.scans[0].filters, c)
+					continue
+				}
+			}
+			p.where = append(p.where, c)
+		}
+	}
+
+	// Equality-index selection: a pushed `col = const` filter over a base
+	// table probes the table's lazy hash index instead of scanning.
+	for i := range p.scans {
+		sp := &p.scans[i]
+		if srcs[i].table == nil || len(sp.filters) == 0 {
+			continue
+		}
+		for fi, c := range sp.filters {
+			if col, val, ok := ex.indexableEq(c, srcs, i, outer); ok {
+				sp.idxCol, sp.idxExpr, sp.idxConj = col, val, c
+				sp.filters = append(sp.filters[:fi:fi], sp.filters[fi+1:]...)
+				break
+			}
+		}
+	}
+
+	// Hash-build index reuse: single bare-ColRef equi key over an
+	// unfiltered base table shares the table's equality index.
+	for ji := range p.joins {
+		st := &p.joins[ji]
+		k := ji + 1
+		if len(st.equiR) != 1 || srcs[k].table == nil {
+			continue
+		}
+		if p.scans[k].idxExpr != nil || len(p.scans[k].filters) > 0 {
+			continue
+		}
+		if cr, ok := st.equiR[0].(*sqlparse.ColRef); ok {
+			ci := ex.classify(cr, srcs[:k+1], outer)
+			if ci.mask == uint64(1)<<k {
+				if idx, ok := srcs[k].colIdx[strings.ToUpper(cr.Column)]; ok {
+					st.rightIdxCol = idx
+				}
+			}
+		}
+	}
+	return p
+}
+
+// indexableEq reports whether conjunct c (pushed to source i) is
+// `col = const` (or swapped) with const free of scan-local references.
+func (ex *executor) indexableEq(c sqlparse.Expr, srcs []*source, i int, outer *env) (int, sqlparse.Expr, bool) {
+	b, ok := c.(*sqlparse.Binary)
+	if !ok || b.Op != "=" {
+		return 0, nil, false
+	}
+	try := func(colSide, valSide sqlparse.Expr) (int, sqlparse.Expr, bool) {
+		cr, ok := colSide.(*sqlparse.ColRef)
+		if !ok {
+			return 0, nil, false
+		}
+		if ci := ex.classify(cr, srcs, outer); ci.mask != uint64(1)<<i {
+			return 0, nil, false
+		}
+		if vi := ex.classify(valSide, srcs, outer); vi.mask != 0 {
+			return 0, nil, false
+		}
+		idx, ok := srcs[i].colIdx[strings.ToUpper(cr.Column)]
+		if !ok {
+			return 0, nil, false
+		}
+		return idx, valSide, true
+	}
+	if col, val, ok := try(b.Left, b.Right); ok {
+		return col, val, true
+	}
+	return try(b.Right, b.Left)
+}
+
+// --- planned row building -----------------------------------------------------
+
+// plannedRows materializes the FROM/JOIN/WHERE pipeline under the plan.
+func (ex *executor) plannedRows(sel *sqlparse.Select, outer *env) ([][]sqldb.Value, []*source, error) {
+	if sel.From == nil {
+		// SELECT without FROM: a single empty row.
+		return [][]sqldb.Value{{}}, nil, nil
+	}
+	srcs := make([]*source, 0, 1+len(sel.Joins))
+	rels := make([][][]sqldb.Value, 0, 1+len(sel.Joins))
+	base, baseRows, err := ex.bindRef(sel.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs = append(srcs, base)
+	rels = append(rels, baseRows)
+	off := base.width()
+	for ji := range sel.Joins {
+		right, rightRows, err := ex.bindRef(&sel.Joins[ji].Right, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		right.off = off
+		off += right.width()
+		srcs = append(srcs, right)
+		rels = append(rels, rightRows)
+	}
+
+	plan := ex.makePlan(sel, srcs, outer)
+
+	rows, err := ex.scanRows(&plan.scans[0], srcs[0], rels[0], outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k := 1; k < len(srcs); k++ {
+		st := &plan.joins[k-1]
+		if len(st.leftFilters) > 0 {
+			rows, err = ex.filterRows(rows, st.leftFilters, &env{sources: srcs[:k], outer: outer})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		right, err := ex.scanRows(&plan.scans[k], srcs[k], rels[k], outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(st.equiL) > 0 {
+			out, ok, err := ex.joinHash(st, rows, right, srcs, k, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				rows = out
+				continue
+			}
+			// NaN hash key: equality classes are unrepresentable, redo the
+			// whole join pairwise.
+		}
+		rows, err = ex.joinNested(st, rows, right, srcs, k, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(plan.where) > 0 {
+		rows, err = ex.filterRows(rows, plan.where, &env{sources: srcs, outer: outer})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return rows, srcs, nil
+}
+
+// filterRows keeps the rows on which every conjunct evaluates true. The env
+// is reused across rows; e.row is set per row.
+func (ex *executor) filterRows(rows [][]sqldb.Value, conjs []sqlparse.Expr, e *env) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	for _, r := range rows {
+		e.row = r
+		keep := true
+		for _, c := range conjs {
+			b, err := ex.evalBool(c, e)
+			if err != nil {
+				return nil, err
+			}
+			if !b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// scanRows applies a scan's pushed filters (and equality-index probe) to
+// one input relation. Rows pass through untouched — and unallocated — when
+// nothing was pushed.
+func (ex *executor) scanRows(sp *scanPlan, src *source, rows [][]sqldb.Value, outer *env) ([][]sqldb.Value, error) {
+	if sp.idxExpr == nil && len(sp.filters) == 0 {
+		return rows, nil
+	}
+	local := *src
+	local.off = 0
+	e := &env{sources: []*source{&local}, outer: outer}
+
+	filters := sp.filters
+	if sp.idxExpr != nil {
+		v, err := ex.eval(sp.idxExpr, &env{outer: outer})
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			// `col = NULL` is false on every row.
+			return nil, nil
+		}
+		indexed := false
+		if src.table != nil && len(src.table.Rows) == len(rows) {
+			if kb, ok := sqldb.AppendEqKey(nil, v); ok {
+				if buckets, usable := src.table.EqIndex(sp.idxCol); usable {
+					idxs := buckets[string(kb)]
+					sub := make([][]sqldb.Value, 0, len(idxs))
+					for _, ri := range idxs {
+						sub = append(sub, rows[ri])
+					}
+					rows = sub
+					indexed = true
+				}
+			}
+		}
+		if !indexed {
+			// NaN probe value or unusable index: evaluate the original
+			// conjunct linearly.
+			filters = append([]sqlparse.Expr{sp.idxConj}, filters...)
+		}
+	}
+	return ex.filterRows(rows, filters, e)
+}
+
+// joinNested pairs every left row with every right row, evaluating the full
+// ON conjunct list — the reference strategy, also the fallback when hash
+// keys cannot represent a value's equality class.
+func (ex *executor) joinNested(st *joinStep, left, right [][]sqldb.Value, srcs []*source, k int, outer *env) ([][]sqldb.Value, error) {
+	lw := srcs[k].off
+	w := lw + srcs[k].width()
+	scratch := make([]sqldb.Value, w)
+	e := &env{sources: srcs[:k+1], row: scratch, outer: outer}
+	var out [][]sqldb.Value
+	for _, lr := range left {
+		copy(scratch, lr)
+		matched := false
+		for _, rr := range right {
+			copy(scratch[lw:], rr)
+			ok := true
+			for _, c := range st.all {
+				b, err := ex.evalBool(c, e)
+				if err != nil {
+					return nil, err
+				}
+				if !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				nr := make([]sqldb.Value, w)
+				copy(nr, scratch)
+				out = append(out, nr)
+			}
+		}
+		if !matched && st.kind == sqlparse.JoinLeft {
+			out = append(out, padRight(lr, lw, w))
+		}
+	}
+	return out, nil
+}
+
+// padRight extends a left row to width w with NULLs (LEFT JOIN no-match).
+func padRight(lr []sqldb.Value, lw, w int) []sqldb.Value {
+	nr := make([]sqldb.Value, w)
+	copy(nr, lr)
+	for i := lw; i < w; i++ {
+		nr[i] = sqldb.Null()
+	}
+	return nr
+}
+
+// joinHash executes one join via a hash build over the right rows keyed on
+// the equi conjuncts, probing with the left rows in order (preserving the
+// nested loop's output order: right matches ascend within each left row).
+// ok is false when a NaN key value is encountered — NaN equals every
+// numeric under sqldb.Compare, which no key can encode — in which case the
+// caller redoes the join pairwise.
+func (ex *executor) joinHash(st *joinStep, left, right [][]sqldb.Value, srcs []*source, k int, outer *env) ([][]sqldb.Value, bool, error) {
+	lw := srcs[k].off
+	w := lw + srcs[k].width()
+
+	var buckets map[string][]int
+	if st.rightIdxCol >= 0 && srcs[k].table != nil && len(srcs[k].table.Rows) == len(right) {
+		if b, usable := srcs[k].table.EqIndex(st.rightIdxCol); usable {
+			buckets = b
+		}
+	}
+	if buckets == nil {
+		buckets = make(map[string][]int, len(right))
+		local := *srcs[k]
+		local.off = 0
+		re := &env{sources: []*source{&local}, outer: outer}
+		var kb []byte
+		for ri, rr := range right {
+			re.row = rr
+			kb = kb[:0]
+			skip := false
+			for _, ke := range st.equiR {
+				v, err := ex.eval(ke, re)
+				if err != nil {
+					return nil, false, err
+				}
+				if v.IsNull() {
+					skip = true // NULL joins nothing
+					break
+				}
+				var ok bool
+				kb, ok = sqldb.AppendEqKey(kb, v)
+				if !ok {
+					return nil, false, nil // NaN: fall back to nested loop
+				}
+			}
+			if skip {
+				continue
+			}
+			buckets[string(kb)] = append(buckets[string(kb)], ri)
+		}
+	}
+
+	le := &env{sources: srcs[:k], outer: outer}
+	scratch := make([]sqldb.Value, w)
+	pe := &env{sources: srcs[:k+1], row: scratch, outer: outer}
+	var out [][]sqldb.Value
+	var kb []byte
+	for _, lr := range left {
+		le.row = lr
+		kb = kb[:0]
+		skip := false
+		for _, ke := range st.equiL {
+			v, err := ex.eval(ke, le)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				skip = true
+				break
+			}
+			var ok bool
+			kb, ok = sqldb.AppendEqKey(kb, v)
+			if !ok {
+				return nil, false, nil // NaN probe: fall back, discard partial
+			}
+		}
+		matched := false
+		if !skip {
+			for _, ri := range buckets[string(kb)] {
+				copy(scratch, lr)
+				copy(scratch[lw:], right[ri])
+				ok := true
+				for _, c := range st.residual {
+					b, err := ex.evalBool(c, pe)
+					if err != nil {
+						return nil, false, err
+					}
+					if !b {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matched = true
+					nr := make([]sqldb.Value, w)
+					copy(nr, scratch)
+					out = append(out, nr)
+				}
+			}
+		}
+		if !matched && st.kind == sqlparse.JoinLeft {
+			out = append(out, padRight(lr, lw, w))
+		}
+	}
+	return out, true, nil
+}

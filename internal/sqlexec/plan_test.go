@@ -1,0 +1,352 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/sqldb"
+	"github.com/snails-bench/snails/internal/sqlparse"
+)
+
+// buildPlan parses sql, binds its sources exactly as plannedRows does, and
+// returns the resulting plan for shape assertions.
+func buildPlan(t *testing.T, db *sqldb.DB, sql string) (*queryPlan, []*source) {
+	t.Helper()
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	ex := &executor{db: db, cache: cacheFor(db)}
+	base, _, err := ex.bindRef(sel.From, nil)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	srcs := []*source{base}
+	off := base.width()
+	for ji := range sel.Joins {
+		right, _, err := ex.bindRef(&sel.Joins[ji].Right, nil)
+		if err != nil {
+			t.Fatalf("bind join %d of %q: %v", ji, sql, err)
+		}
+		right.off = off
+		off += right.width()
+		srcs = append(srcs, right)
+	}
+	return ex.makePlan(sel, srcs, nil), srcs
+}
+
+func TestPlanEquiJoinAndPushdown(t *testing.T) {
+	p, _ := buildPlan(t, testDB(),
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id WHERE s.kind = 'bird' AND o.count > 1")
+	st := &p.joins[0]
+	if len(st.equiL) != 1 || len(st.equiR) != 1 {
+		t.Fatalf("expected one equi key pair, got L=%d R=%d", len(st.equiL), len(st.equiR))
+	}
+	if len(st.residual) != 0 || len(st.leftFilters) != 0 {
+		t.Errorf("pure equi ON should leave no residual/leftFilters: %d/%d",
+			len(st.residual), len(st.leftFilters))
+	}
+	// s.kind = 'bird' becomes the right scan's index probe; o.count > 1 is a
+	// pushed filter on the base scan. Nothing remains in the residual WHERE.
+	if p.scans[1].idxExpr == nil {
+		t.Error("s.kind = 'bird' should select the equality-index probe")
+	}
+	if len(p.scans[0].filters) != 1 {
+		t.Errorf("o.count > 1 should push to the base scan: %d filters", len(p.scans[0].filters))
+	}
+	if len(p.where) != 0 {
+		t.Errorf("no conjunct should remain in WHERE: %d left", len(p.where))
+	}
+}
+
+func TestPlanLeftJoinNullableSideNotPushed(t *testing.T) {
+	p, _ := buildPlan(t, testDB(),
+		"SELECT * FROM species s LEFT JOIN observations o ON s.species_id = o.species_id WHERE o.location = 'north'")
+	// The conjunct reads the nullable right side, so it must stay in the
+	// residual WHERE where it also sees the null-padded rows.
+	if len(p.scans[1].filters) != 0 || p.scans[1].idxExpr != nil {
+		t.Error("nullable-side conjunct must not be pushed into the scan")
+	}
+	if len(p.where) != 1 {
+		t.Errorf("conjunct should remain in WHERE: %d", len(p.where))
+	}
+}
+
+func TestPlanInnerJoinLeftFilters(t *testing.T) {
+	p, _ := buildPlan(t, testDB(),
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id AND o.count > 1")
+	st := &p.joins[0]
+	if len(st.leftFilters) != 1 {
+		t.Errorf("left-only ON conjunct of an INNER join should pre-filter: %d", len(st.leftFilters))
+	}
+	if len(st.equiL) != 1 {
+		t.Errorf("equi key should still be detected: %d", len(st.equiL))
+	}
+}
+
+func TestPlanLeftJoinOnConjunctStaysResidual(t *testing.T) {
+	p, _ := buildPlan(t, testDB(),
+		"SELECT * FROM species s LEFT JOIN observations o ON s.species_id = o.species_id AND s.kind = 'bird'")
+	st := &p.joins[0]
+	// A LEFT join must not drop left rows before pairing: the left-only
+	// conjunct controls matching, not row survival.
+	if len(st.leftFilters) != 0 {
+		t.Error("LEFT join must not pre-filter the left side")
+	}
+	if len(st.residual) != 1 {
+		t.Errorf("left-only conjunct should run as a residual: %d", len(st.residual))
+	}
+}
+
+func TestPlanHoistingStopsAtNonTotalConjunct(t *testing.T) {
+	p, _ := buildPlan(t, testDB(),
+		"SELECT * FROM species WHERE species_id IN (SELECT species_id FROM observations) AND kind = 'bird'")
+	// The subquery conjunct can error, so neither it nor anything after it
+	// may be hoisted past the point the naive path would short-circuit.
+	if len(p.scans[0].filters) != 0 || p.scans[0].idxExpr != nil {
+		t.Error("no conjunct may be pushed past a non-total prefix")
+	}
+	if len(p.where) != 2 {
+		t.Errorf("both conjuncts should remain in WHERE order: %d", len(p.where))
+	}
+
+	// Reversed order: the total conjunct precedes the subquery and is safe
+	// to hoist.
+	p2, _ := buildPlan(t, testDB(),
+		"SELECT * FROM species WHERE kind = 'bird' AND species_id IN (SELECT species_id FROM observations)")
+	if len(p2.scans[0].filters)+btoi(p2.scans[0].idxExpr != nil) != 1 {
+		t.Error("total prefix conjunct should be pushed")
+	}
+	if len(p2.where) != 1 {
+		t.Errorf("only the subquery conjunct should remain: %d", len(p2.where))
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestPlanConstantConjunctFoldsIntoBaseScan(t *testing.T) {
+	p, _ := buildPlan(t, testDB(), "SELECT * FROM species WHERE 1 = 0 AND kind = 'bird'")
+	if len(p.scans[0].filters) == 0 {
+		t.Error("row-independent conjunct should fold into the base scan")
+	}
+	if len(p.where) != 0 {
+		t.Errorf("nothing should remain in WHERE: %d", len(p.where))
+	}
+}
+
+func TestPlanRightIndexReuse(t *testing.T) {
+	p, srcs := buildPlan(t, testDB(),
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id")
+	st := &p.joins[0]
+	want, _ := srcs[1].colIdx["SPECIES_ID"]
+	if st.rightIdxCol != want {
+		t.Errorf("bare-column equi key over a base table should reuse its index: got %d, want %d",
+			st.rightIdxCol, want)
+	}
+
+	// A filtered right scan must not reuse the whole-table index.
+	p2, _ := buildPlan(t, testDB(),
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id AND s.kind = 'bird'")
+	if p2.joins[0].rightIdxCol != -1 {
+		t.Error("filtered right side must build its own hash table")
+	}
+}
+
+// --- differential: planner vs retained naive path -----------------------------
+
+// resultDigest folds a result (column names, then every value with its kind)
+// into a comparison string. Two digests match iff the results are
+// byte-identical, including type distinctions String() alone would collapse.
+func resultDigest(res *sqldb.Result) string {
+	var sb strings.Builder
+	for _, c := range res.Columns {
+		sb.WriteString(c)
+		sb.WriteByte(1)
+	}
+	sb.WriteByte(2)
+	for _, r := range res.Rows {
+		for _, v := range r {
+			fmt.Fprintf(&sb, "%d:%s", int(v.Kind), v.String())
+			sb.WriteByte(1)
+		}
+		sb.WriteByte(2)
+	}
+	return sb.String()
+}
+
+// checkPlanVsNaive asserts the planner and the reference nested-loop path
+// agree: both error, or both succeed with byte-identical results.
+func checkPlanVsNaive(t *testing.T, db *sqldb.DB, sql string) {
+	t.Helper()
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	pres, perr := execSelect(db, sel, nil)
+	nres, nerr := execSelectNaive(db, sel, nil)
+	if (perr != nil) != (nerr != nil) {
+		t.Fatalf("error mismatch for %q:\n  planner: %v\n  naive:   %v", sql, perr, nerr)
+	}
+	if perr != nil {
+		return
+	}
+	if dp, dn := resultDigest(pres), resultDigest(nres); dp != dn {
+		t.Fatalf("result mismatch for %q:\n  planner: %q\n  naive:   %q", sql, dp, dn)
+	}
+}
+
+func TestPlannerMatchesNaiveOnFixedQueries(t *testing.T) {
+	db := testDB()
+	db.CreateView("bird_species", "SELECT species_id, name FROM species WHERE kind = 'bird'")
+	queries := []string{
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id",
+		"SELECT * FROM species s LEFT JOIN observations o ON s.species_id = o.species_id",
+		"SELECT * FROM species s LEFT JOIN observations o ON s.species_id = o.species_id WHERE o.location = 'north'",
+		"SELECT * FROM species s LEFT JOIN observations o ON s.species_id = o.species_id AND o.count > 1",
+		"SELECT s.name, o.obs_id FROM observations o JOIN species s ON o.species_id = s.species_id AND o.count > 1 WHERE s.kind = 'bird'",
+		"SELECT a.name, b.name FROM species a JOIN species b ON a.kind = b.kind WHERE a.species_id < b.species_id",
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id JOIN species s2 ON s.kind = s2.kind",
+		"SELECT * FROM observations WHERE species_id = NULL",
+		"SELECT * FROM observations WHERE 1 = 0 AND count > 0",
+		"SELECT * FROM observations WHERE 1 = 1 AND count > 0",
+		"SELECT name FROM species WHERE species_id IN (SELECT species_id FROM observations WHERE count > 1)",
+		"SELECT name FROM species s WHERE EXISTS (SELECT obs_id FROM observations o WHERE o.species_id = s.species_id)",
+		"SELECT s.kind, COUNT(*) FROM observations o JOIN species s ON o.species_id = s.species_id GROUP BY s.kind ORDER BY s.kind",
+		"SELECT DISTINCT s.kind FROM observations o JOIN species s ON o.species_id = s.species_id ORDER BY s.kind",
+		"SELECT TOP 2 o.obs_id FROM observations o JOIN species s ON o.species_id = s.species_id ORDER BY o.count DESC",
+		"SELECT b.name, o.count FROM bird_species b JOIN observations o ON b.species_id = o.species_id",
+		"SELECT * FROM (SELECT species_id, kind FROM species) d JOIN observations o ON d.species_id = o.species_id",
+		"SELECT * FROM observations o JOIN species s ON o.species_id = s.species_id WHERE o.count > ABS(-1)",
+		"SELECT * FROM observations o JOIN missing m ON o.obs_id = m.id",
+	}
+	for _, q := range queries {
+		checkPlanVsNaive(t, db, q)
+	}
+}
+
+func TestPlannerNaNJoinFallsBackToNestedLoop(t *testing.T) {
+	db := sqldb.NewDB("nan")
+	l := db.CreateTable("l", []string{"k", "tag"})
+	l.MustInsert(sqldb.Float(1), sqldb.String("a"))
+	l.MustInsert(sqldb.Float(math.NaN()), sqldb.String("b"))
+	l.MustInsert(sqldb.Null(), sqldb.String("c"))
+	r := db.CreateTable("r", []string{"k", "lbl"})
+	r.MustInsert(sqldb.Float(1), sqldb.String("x"))
+	r.MustInsert(sqldb.Float(2), sqldb.String("y"))
+
+	// NaN on the probe side: hash keys cannot encode its equality class
+	// (NaN compares equal to every numeric), so the planner must redo the
+	// join pairwise and still match the reference exactly.
+	checkPlanVsNaive(t, db, "SELECT * FROM l JOIN r ON l.k = r.k")
+	checkPlanVsNaive(t, db, "SELECT * FROM l LEFT JOIN r ON l.k = r.k")
+	checkPlanVsNaive(t, db, "SELECT * FROM r JOIN l ON r.k = l.k")
+	checkPlanVsNaive(t, db, "SELECT * FROM l WHERE k = 1")
+}
+
+// --- view caching regression ---------------------------------------------------
+
+func TestViewExecutedOncePerGeneration(t *testing.T) {
+	db := testDB()
+	db.CreateView("north_obs", "SELECT obs_id, species_id, count FROM observations WHERE location = 'north'")
+	before := Stats()
+	for i := 0; i < 3; i++ {
+		if _, err := ExecuteSQL(db, "SELECT obs_id FROM north_obs"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := Stats()
+	if got := after.ViewExecs - before.ViewExecs; got != 1 {
+		t.Errorf("view should execute once across 3 planner queries, executed %d times", got)
+	}
+	if got := after.ViewCacheHits - before.ViewCacheHits; got != 2 {
+		t.Errorf("expected 2 view cache hits, got %d", got)
+	}
+
+	// Any database mutation strands the cache: the next query re-executes
+	// the view against the new generation.
+	obs, _ := db.Table("observations")
+	obs.MustInsert(sqldb.Int(6), sqldb.Int(2), sqldb.String("2022-01-01"), sqldb.Int(3), sqldb.String("north"))
+	mid := Stats()
+	res, err := ExecuteSQL(db, "SELECT obs_id FROM north_obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Errorf("post-insert view should see the new row: %d rows", res.NumRows())
+	}
+	if got := Stats().ViewExecs - mid.ViewExecs; got != 1 {
+		t.Errorf("mutation should force exactly one re-execution, got %d", got)
+	}
+}
+
+func TestNaivePathReexecutesViews(t *testing.T) {
+	db := testDB()
+	db.CreateView("v_obs", "SELECT obs_id, species_id FROM observations")
+	sql := "SELECT a.obs_id FROM v_obs a JOIN v_obs b ON a.obs_id = b.obs_id"
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := Stats()
+	if _, err := execSelectNaive(db, sel, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := Stats().ViewExecs - before.ViewExecs; got != 2 {
+		t.Errorf("naive path should re-execute the view per reference: %d execs, want 2", got)
+	}
+
+	// The planner executes it once and serves the second reference from the
+	// per-generation cache — the bindRef re-parse/re-execute fix.
+	mid := Stats()
+	if _, err := execSelect(db, sel, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if got := after.ViewExecs - mid.ViewExecs; got != 1 {
+		t.Errorf("planner should execute the view once, got %d", got)
+	}
+	if got := after.ViewCacheHits - mid.ViewCacheHits; got != 1 {
+		t.Errorf("second reference should hit the cache, got %d hits", got)
+	}
+}
+
+func TestPlannerConcurrentExecutionDeterministic(t *testing.T) {
+	db := testDB()
+	db.CreateView("north_obs2", "SELECT obs_id, species_id, count FROM observations WHERE location = 'north'")
+	sql := "SELECT s.name, n.count FROM north_obs2 n JOIN species s ON n.species_id = s.species_id ORDER BY n.obs_id"
+	ref, err := ExecuteSQL(db, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultDigest(ref)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ExecuteSQL(db, sql)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resultDigest(res); got != want {
+				errs <- fmt.Errorf("digest mismatch:\n  got  %q\n  want %q", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

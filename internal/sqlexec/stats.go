@@ -11,6 +11,8 @@ var (
 	parseFailures atomic.Uint64 // ExecuteSQL* calls whose SQL did not parse
 	execFailures  atomic.Uint64 // parsed statements that failed during execution
 	rowsReturned  atomic.Uint64 // result rows produced by successful statements
+	viewExecs     atomic.Uint64 // view definitions actually executed
+	viewCacheHits atomic.Uint64 // view references served from the per-DB cache
 )
 
 // ExecStats is a point-in-time snapshot of the package counters.
@@ -19,6 +21,8 @@ type ExecStats struct {
 	ParseFailures uint64
 	ExecFailures  uint64
 	RowsReturned  uint64
+	ViewExecs     uint64
+	ViewCacheHits uint64
 }
 
 // Stats returns the current counter values. The fields are read independently,
@@ -30,6 +34,8 @@ func Stats() ExecStats {
 		ParseFailures: parseFailures.Load(),
 		ExecFailures:  execFailures.Load(),
 		RowsReturned:  rowsReturned.Load(),
+		ViewExecs:     viewExecs.Load(),
+		ViewCacheHits: viewCacheHits.Load(),
 	}
 }
 

@@ -9,8 +9,9 @@
 # interleaving is what the race detector needs, not the full grid).
 #
 # The fuzz smoke replays each target's committed corpus and mutates for ten
-# seconds — long enough to catch shallow regressions in the SQL front end
-# and CSV ingestion without stalling the tier-1 loop.
+# seconds — long enough to catch shallow regressions in the SQL front end,
+# CSV ingestion, and the planner/naive differential without stalling the
+# tier-1 loop.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,12 +26,13 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLoadCSV$' -fuzztime 10s ./internal/etl/
+go test -run '^$' -fuzz '^FuzzPlanExec$' -fuzztime 10s ./internal/sqlexec/
 
 echo "== tracing smoke (snailsd -pprof: /debug/pprof/ + /debugz/traces, clean shutdown)"
 SNAILSD_BIN="$(mktemp -d)/snailsd"
@@ -73,6 +75,10 @@ go build -o "$SCRATCH/snailsbench" ./cmd/snailsbench
 # schema check; -against defaults to the committed artifact of the same kind).
 "$SCRATCH/snailsbench" -compare BENCH_sweep.json > /dev/null
 "$SCRATCH/snailsbench" -compare BENCH_serve.json > /dev/null
+# The current committed baselines must not regress against the pre-planner
+# snapshots (BENCH_*.prev.json): the query-planner speedups are load-bearing.
+"$SCRATCH/snailsbench" -compare BENCH_sweep.prev.json -against BENCH_sweep.json > /dev/null
+"$SCRATCH/snailsbench" -compare BENCH_serve.prev.json -against BENCH_serve.json > /dev/null
 # A fresh loadgen run self-compares clean even at zero tolerance...
 "$SCRATCH/snailsbench" -loadgen -requests 120 -concurrency 8 -serve-bench "$SCRATCH/serve.json" > /dev/null 2>&1
 "$SCRATCH/snailsbench" -compare "$SCRATCH/serve.json" -against "$SCRATCH/serve.json" -tolerance 0 > /dev/null
