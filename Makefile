@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report fuzz serve loadtest profile baseline
+.PHONY: build test vet race check bench report fuzz serve loadtest profile baseline scaling
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
 
 # Short fuzz pass over the SQL front end, CSV ingestion, and the planner
 # differential (the same smoke scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
@@ -37,6 +37,11 @@ bench:
 report:
 	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json
 
+# Regenerate BENCH_sweep.json including the worker scaling curve (the rows
+# the -compare gate checks per worker count). One timed full sweep per count.
+scaling:
+	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json -scaling 1,2,4,8
+
 # Run the serving daemon on :8080 (Ctrl-C drains gracefully).
 serve:
 	$(GO) run ./cmd/snailsd
@@ -49,7 +54,7 @@ loadtest:
 # `snailsbench -compare` regression gate diffs against). Run this on the
 # machine that will run the gate: the baselines are absolute numbers.
 baseline:
-	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json
+	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json -scaling 1,2,4,8
 	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
 
 # Capture CPU and heap profiles from a loadgen run against an in-process

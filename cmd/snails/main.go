@@ -333,7 +333,12 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	jsonOut := fs.String("json", "", "also write the stats as JSON to this file")
+	scaling := fs.String("scaling", "", "also measure the worker scaling curve at these comma-separated worker counts (e.g. 1,2,4,8)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseWorkerList(*scaling)
+	if err != nil {
 		return err
 	}
 	snails.SetParallelism(*parallel)
@@ -349,6 +354,21 @@ func cmdBench(args []string) error {
 				sg.Stage, sg.Count, sg.TotalSeconds, sg.MeanMillis, sg.P50Millis, sg.P99Millis)
 		}
 	}
+	if len(counts) > 0 {
+		curve := snails.BenchScaling(counts)
+		fmt.Println("\nworker scaling (timed full sweeps against warmed execution memos):")
+		fmt.Printf("  %-8s %12s %14s %11s  %s\n", "workers", "wall_clock", "cells_per_sec", "efficiency", "llm_decode_total")
+		for _, pt := range curve {
+			decode := 0.0
+			for _, sg := range pt.Stages {
+				if sg.Stage == "llm_decode" {
+					decode = sg.TotalSeconds
+				}
+			}
+			fmt.Printf("  %-8d %11.3fs %14.0f %11.2f %15.3fs\n",
+				pt.Workers, pt.WallClockSeconds, pt.CellsPerSec, pt.Efficiency, decode)
+		}
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(st, "", "  ")
 		if err != nil {
@@ -360,6 +380,22 @@ func cmdBench(args []string) error {
 		fmt.Printf("stats written to %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// parseWorkerList parses a comma-separated worker-count list ("" = none).
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-scaling: %q is not a positive worker count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func cmdExpand(args []string) error {

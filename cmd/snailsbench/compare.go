@@ -152,8 +152,33 @@ func sweepRows(base, cur *benchStats) []compared {
 			dir: infoOnly, missing: !ok,
 		})
 	}
+	// Scaling-curve rows: per-worker throughput and parallel efficiency are
+	// gated — a contention regression shows up at high worker counts while
+	// the single-worker numbers stay clean. A worker count present in the
+	// baseline curve must exist in the current one (missing-row fail), so a
+	// regenerated artifact cannot silently drop the curve.
+	curScaling := map[int]*scalingRow{}
+	for i := range cur.Scaling {
+		pt := &cur.Scaling[i]
+		curScaling[pt.Workers] = &scalingRow{cps: pt.CellsPerSec, eff: pt.Efficiency, wall: pt.WallClockSeconds}
+	}
+	for _, pt := range base.Scaling {
+		sc, ok := curScaling[pt.Workers]
+		if sc == nil {
+			sc = &scalingRow{}
+		}
+		prefix := fmt.Sprintf("scaling/workers=%d_", pt.Workers)
+		rows = append(rows,
+			compared{name: prefix + "cells_per_sec", base: pt.CellsPerSec, cur: sc.cps, dir: higherBetter, missing: !ok},
+			compared{name: prefix + "efficiency", base: pt.Efficiency, cur: sc.eff, dir: higherBetter, missing: !ok},
+			compared{name: prefix + "wall_clock_seconds", base: pt.WallClockSeconds, cur: sc.wall, dir: infoOnly, missing: !ok},
+		)
+	}
 	return rows
 }
+
+// scalingRow is the current artifact's curve entry for one worker count.
+type scalingRow struct{ cps, eff, wall float64 }
 
 // serveRows builds the delta table for a pair of BENCH_serve.json artifacts.
 func serveRows(base, cur *serveStats) []compared {

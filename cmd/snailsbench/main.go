@@ -23,6 +23,8 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/snails-bench/snails/internal/experiments"
@@ -40,6 +42,11 @@ type benchStats struct {
 	// Stages is the sweep's per-stage latency breakdown (same span
 	// instrumentation as the serving daemon's /metricsz).
 	Stages []trace.StageSnapshot `json:"stages,omitempty"`
+	// Scaling is the worker scaling curve (-scaling), one timed full sweep
+	// per worker count against warmed execution memos. When the committed
+	// baseline carries a curve, -compare gates per-worker throughput and
+	// parallel efficiency row by row.
+	Scaling []experiments.ScalingPoint `json:"scaling,omitempty"`
 }
 
 // benchConfig is the parsed flag set, split from main for testability.
@@ -48,6 +55,7 @@ type benchConfig struct {
 	summary  bool
 	parallel int
 	benchOut string
+	scaling  string
 
 	// loadgen mode
 	loadgen     bool
@@ -77,6 +85,7 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	fs.BoolVar(&cfg.summary, "summary", false, "print only the headline digest")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at every setting")
 	fs.StringVar(&cfg.benchOut, "bench", "BENCH_sweep.json", "write sweep throughput stats to this JSON file (empty disables)")
+	fs.StringVar(&cfg.scaling, "scaling", "", "also measure the worker scaling curve at these comma-separated worker counts (e.g. 1,2,4,8) and embed it in the sweep stats")
 	fs.BoolVar(&cfg.loadgen, "loadgen", false, "load-test a snailsd server instead of generating the report")
 	fs.StringVar(&cfg.target, "target", "", "loadgen: base URL of a running snailsd (empty spawns one in-process)")
 	fs.IntVar(&cfg.requests, "requests", 400, "loadgen: total requests to issue")
@@ -102,11 +111,32 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	if cfg.tolerance < 0 {
 		return nil, fmt.Errorf("-tolerance must be non-negative")
 	}
+	if _, err := parseWorkerCounts(cfg.scaling); err != nil {
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return nil, err
+	}
 	if _, err := obs.NewLogger(io.Discard, cfg.logFormat, cfg.logLevel); err != nil {
 		fmt.Fprintln(stderr, "snailsbench:", err)
 		return nil, err
 	}
 	return cfg, nil
+}
+
+// parseWorkerCounts parses the -scaling flag's comma-separated worker list.
+// An empty flag means no curve.
+func parseWorkerCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-scaling: %q is not a positive worker count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runReport is the classic mode: regenerate the paper report and the sweep
@@ -136,6 +166,11 @@ func runReport(cfg *benchConfig, stdout, stderr io.Writer) int {
 
 	if cfg.benchOut != "" {
 		st := experiments.Run().Stats
+		counts, _ := parseWorkerCounts(cfg.scaling) // validated in parseFlags
+		var curve []experiments.ScalingPoint
+		if len(counts) > 0 {
+			curve = experiments.ScalingCurve(counts)
+		}
 		data, err := json.MarshalIndent(benchStats{
 			Cells:            st.Cells,
 			Workers:          st.Workers,
@@ -143,6 +178,7 @@ func runReport(cfg *benchConfig, stdout, stderr io.Writer) int {
 			WallClockSeconds: st.WallClock.Seconds(),
 			CellsPerSec:      st.CellsPerSec,
 			Stages:           st.Stages,
+			Scaling:          curve,
 		}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "snailsbench:", err)

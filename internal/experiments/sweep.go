@@ -309,13 +309,35 @@ func runJob(cells []Cell, j job, models []*llm.Model, coll *trace.Collector) {
 		return f
 	}
 
+	// Batch-level prompt sharing: the prompt (and its interned schema
+	// handle) depends only on the variant within a job, so render and parse
+	// once and let all six models decode against the same handle — the same
+	// sharing the serving micro-batcher does per (db, variant) batch.
+	type sharedPrompt struct {
+		prompt string
+		tables []string
+		ps     *llm.PromptSchema
+	}
+	prompts := make([]sharedPrompt, len(schema.Variants))
+	for vi, v := range schema.Variants {
+		tr := coll.Start("sweep")
+		tr.SetRequest(b.Name, v.String(), q.ID)
+		t0 := tr.Now()
+		prompt, tables := workflow.PromptFor(b, q, v)
+		ps := llm.PromptSchemaOf(prompt)
+		tr.Span(trace.StagePrompt, t0)
+		coll.Finish(tr)
+		prompts[vi] = sharedPrompt{prompt: prompt, tables: tables, ps: ps}
+	}
+
 	idx := j.base
 	for _, m := range models {
 		family := tokenizerFor(m.Profile.Name)
-		for _, v := range schema.Variants {
+		for vi, v := range schema.Variants {
 			tr := coll.Start("sweep")
 			tr.SetRequest(b.Name, v.String(), q.ID)
-			cell := runCell(trace.NewContext(context.Background(), tr), b, q, goldIDs, gold, m, v)
+			sp := &prompts[vi]
+			cell := runCell(trace.NewContext(context.Background(), tr), b, q, goldIDs, gold, m, v, sp.prompt, sp.tables, sp.ps)
 			coll.Finish(tr)
 			f := featsOf(v, family)
 			cell.Combined = f.combined
@@ -337,9 +359,9 @@ func questionsOf(b *datasets.Built) []nlq.Question {
 }
 
 func runCell(ctx context.Context, b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
-	gold *sqldb.Result, m *llm.Model, v schema.Variant) Cell {
+	gold *sqldb.Result, m *llm.Model, v schema.Variant, prompt string, tables []string, ps *llm.PromptSchema) Cell {
 
-	out := workflow.RunCtx(ctx, workflow.RunInput{B: b, Q: q, Variant: v, Model: m})
+	out := workflow.RunWithSchemaCtx(ctx, workflow.RunInput{B: b, Q: q, Variant: v, Model: m}, prompt, tables, ps)
 	cell := Cell{
 		Model:      m.Profile.Name,
 		DB:         b.Name,

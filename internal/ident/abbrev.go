@@ -9,8 +9,12 @@ import (
 // sharing the same first letter — the shape of most abbreviations ("vg" in
 // "vegetation", "ht" in "height"). Both inputs are compared case-insensitively.
 func IsSubsequence(abbr, word string) bool {
-	a := strings.ToLower(abbr)
-	w := strings.ToLower(word)
+	return IsSubsequenceLower(strings.ToLower(abbr), strings.ToLower(word))
+}
+
+// IsSubsequenceLower is IsSubsequence for already-lower-cased inputs; the
+// decode hot loops intern every token pre-lowered and skip the case folding.
+func IsSubsequenceLower(a, w string) bool {
 	if a == "" || w == "" || a[0] != w[0] {
 		return false
 	}
@@ -26,8 +30,11 @@ func IsSubsequence(abbr, word string) bool {
 // IsPrefixAbbrev reports whether abbr is a truncation prefix of word
 // ("temp" for "temperature").
 func IsPrefixAbbrev(abbr, word string) bool {
-	a := strings.ToLower(abbr)
-	w := strings.ToLower(word)
+	return IsPrefixAbbrevLower(strings.ToLower(abbr), strings.ToLower(word))
+}
+
+// IsPrefixAbbrevLower is IsPrefixAbbrev for already-lower-cased inputs.
+func IsPrefixAbbrevLower(a, w string) bool {
 	return a != "" && len(a) < len(w) && strings.HasPrefix(w, a)
 }
 

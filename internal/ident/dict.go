@@ -93,6 +93,12 @@ func IsCommonAcronym(tok string) bool {
 	return ok
 }
 
+// IsCommonAcronymLower is IsCommonAcronym for an already-lower-cased token.
+func IsCommonAcronymLower(tok string) bool {
+	_, ok := CommonAcronyms[tok]
+	return ok
+}
+
 // Segment splits a concatenated token into dictionary words when the whole
 // token parses as 2-4 English words ("casenumber" -> ["case", "number"]).
 // It returns nil when no full segmentation exists. Real-world identifiers

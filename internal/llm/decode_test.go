@@ -1,0 +1,271 @@
+package llm
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/nlq"
+)
+
+// mixedSchema exercises the interner on a schema that mixes naturalness
+// levels and shares column names across tables (join-key shaped).
+const mixedSchema = `#observations(observation_id int, species_id int, VgHt float, obs_date date, AnCt int)
+#species(species_id int, common_name nvarchar, SciNm nvarchar, animal_class nvarchar)
+#site_locations(location_id int, observation_id int, LocNm nvarchar, county nvarchar)
+`
+
+// decodeTasks is a task mix covering the decode paths: table linking, column
+// linking across roles, joins (second-table linking), aggregates, and the
+// filtering workflows' whole-schema scoring.
+func decodeTasks(schema string) []Task {
+	return []Task{
+		{
+			SchemaKnowledge: schema,
+			Question:        "How many observations are there?",
+			Intent:          nlq.Intent{Kind: nlq.KindCountAll, TableMention: "field observations", Agg: "COUNT"},
+		},
+		{
+			SchemaKnowledge: schema,
+			Question:        "Show the vegetation height of the observations whose animal count is 3.",
+			Intent: nlq.Intent{
+				Kind: nlq.KindListFilter, TableMention: "observations",
+				Columns: []nlq.ColMention{
+					{Phrase: "vegetation height", Role: nlq.RoleProjection},
+					{Phrase: "animal count", Role: nlq.RoleFilter},
+				},
+				FilterOp: "=", FilterValue: "3",
+			},
+		},
+		{
+			SchemaKnowledge: schema,
+			Question:        "Show the common name of each observation.",
+			Intent: nlq.Intent{
+				Kind: nlq.KindJoinList, TableMention: "observations", JoinTableMention: "species",
+				Columns: []nlq.ColMention{
+					{Phrase: "common name", Role: nlq.RoleProjection, OnJoined: true},
+					{Phrase: "species id", Role: nlq.RoleJoinChild},
+					{Phrase: "species id", Role: nlq.RoleJoinParent, OnJoined: true},
+				},
+			},
+		},
+		{
+			SchemaKnowledge: schema,
+			Question:        "What is the average vegetation height of the observations?",
+			Intent: nlq.Intent{
+				Kind: nlq.KindAggMeasure, TableMention: "observations", Agg: "AVG",
+				Columns: []nlq.ColMention{{Phrase: "vegetation height", Role: nlq.RoleAggArg}},
+			},
+		},
+	}
+}
+
+// TestFastMatchesReference is the decode engine's equivalence oracle: for
+// every profile (all workflows), schema, seed, and task shape, the columnar
+// fast path must produce bit-identical predictions to the retained reference
+// path (per-identifier plans, no interning).
+func TestFastMatchesReference(t *testing.T) {
+	schemas := []string{sampleSchema, abbrevSchema, mixedSchema}
+	for _, p := range Profiles() {
+		fast, ref := New(p), NewReference(p)
+		for si, schema := range schemas {
+			for _, task := range decodeTasks(schema) {
+				for seed := uint64(0); seed < 16; seed++ {
+					task.Seed = seed
+					got, want := fast.Infer(task), ref.Infer(task)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s schema#%d kind=%d seed=%d:\n fast %+v\n ref  %+v",
+							p.Name, si, task.Intent.Kind, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentDecodeStress hammers one shared Model (shared linking memo,
+// interned schemas, CAS-published column slabs) from many goroutines and
+// checks every prediction against a serially computed golden. Run under
+// -race this covers the lock-free slab publication and the pooled linkers'
+// scratch reuse.
+func TestConcurrentDecodeStress(t *testing.T) {
+	p, _ := ProfileByName("gpt-4o")
+	fp, _ := ProfileByName("CodeS") // filtering workflow: whole-schema scoring
+	if fp == nil {
+		fp = p
+	}
+	schemas := []string{sampleSchema, abbrevSchema, mixedSchema}
+	iters := 400
+	if testing.Short() {
+		iters = 120
+	}
+
+	for _, prof := range []*Profile{p, fp} {
+		golden := map[string]Prediction{}
+		gm := New(prof)
+		for si, schema := range schemas {
+			for ti, task := range decodeTasks(schema) {
+				for seed := uint64(0); seed < 4; seed++ {
+					task.Seed = seed
+					golden[fmt.Sprintf("%d/%d/%d", si, ti, seed)] = gm.Infer(task)
+				}
+			}
+		}
+
+		m := New(prof) // fresh memo: goroutines race to build every slab
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					si := (g + i) % len(schemas)
+					tasks := decodeTasks(schemas[si])
+					ti := i % len(tasks)
+					task := tasks[ti]
+					seed := uint64(i % 4)
+					task.Seed = seed
+					got := m.Infer(task)
+					want := golden[fmt.Sprintf("%d/%d/%d", si, ti, seed)]
+					if !reflect.DeepEqual(got, want) {
+						select {
+						case errs <- fmt.Sprintf("g%d i%d: got %+v want %+v", g, i, got, want):
+						default:
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("%s: concurrent decode diverged: %s", prof.Name, e)
+		}
+	}
+}
+
+// TestBoundedMemosEvict drives more distinct keys through the package-level
+// decode memos than they can hold and checks the clock hand keeps them
+// bounded instead of growing without limit (the sync.Map these replaced
+// retained every schema ever seen).
+func TestBoundedMemosEvict(t *testing.T) {
+	t.Run("fieldsMemo", func(t *testing.T) {
+		ev0 := fieldsMemo.Evictions()
+		n := (1 << 14) + 2048
+		for i := 0; i < n; i++ {
+			lowerFields(fmt.Sprintf("synthetic phrase number %d", i))
+		}
+		if got, cap := fieldsMemo.Len(), 1<<14; got > cap {
+			t.Errorf("fieldsMemo.Len() = %d, want <= %d", got, cap)
+		}
+		if fieldsMemo.Evictions() == ev0 {
+			t.Error("fieldsMemo never evicted under sustained distinct keys")
+		}
+	})
+	t.Run("phraseMemo", func(t *testing.T) {
+		ev0 := phraseMemo.Evictions()
+		n := (1 << 14) + 2048
+		for i := 0; i < n; i++ {
+			phraseInfoFor(fmt.Sprintf("interned phrase number %d", i))
+		}
+		if got, cap := phraseMemo.Len(), 1<<14; got > cap {
+			t.Errorf("phraseMemo.Len() = %d, want <= %d", got, cap)
+		}
+		if phraseMemo.Evictions() == ev0 {
+			t.Error("phraseMemo never evicted under sustained distinct keys")
+		}
+	})
+	t.Run("promptMemo", func(t *testing.T) {
+		ev0 := promptMemo.Evictions()
+		n := (1 << 12) + 512
+		for i := 0; i < n; i++ {
+			parsePromptCached(fmt.Sprintf("#t%d(c%d int, name_%d nvarchar)\n", i, i, i))
+		}
+		if got, cap := promptMemo.Len(), 1<<12; got > cap {
+			t.Errorf("promptMemo.Len() = %d, want <= %d", got, cap)
+		}
+		if promptMemo.Evictions() == ev0 {
+			t.Error("promptMemo never evicted under sustained distinct keys")
+		}
+	})
+	t.Run("linkMemoBounded", func(t *testing.T) {
+		// The model-level memo's slab/group caches are bounded too; feed many
+		// distinct (schema, phrase) pairs and verify Len never exceeds cap.
+		m := New(Profiles()[0])
+		for i := 0; i < 64; i++ {
+			task := countTask(fmt.Sprintf("#table_%d(id_%d int, value_%d float)\n", i, i, i))
+			task.Intent.TableMention = fmt.Sprintf("table %d", i)
+			m.Infer(task)
+		}
+		if got, cap := m.memo.slabs.Len(), 1<<13; got > cap {
+			t.Errorf("slab cache Len() = %d, want <= %d", got, cap)
+		}
+		if got, cap := m.memo.groups.Len(), 1<<13; got > cap {
+			t.Errorf("group cache Len() = %d, want <= %d", got, cap)
+		}
+	})
+}
+
+// TestScoringLoopAllocs pins the columnar fast path's core scoring loops at
+// zero allocations once the slabs are warm: evalSlab reads flat slabs, the
+// scratch buffers are pooled, and candidate iteration is index-based.
+func TestScoringLoopAllocs(t *testing.T) {
+	p, _ := ProfileByName("gpt-4o")
+	m := New(p)
+	ps := PromptSchemaOf(sampleSchema)
+	l := linkerPool.Get().(*linker)
+	l.reset(p, 42, m.memo, true)
+
+	// One op per measurement: the linker's single-entry (schema, phrase) slab
+	// caches hold across repeats of the same lookup, which is the shape of
+	// the real decode loop (one phrase scored against all candidates before
+	// moving on).
+	ops := []struct {
+		name string
+		fn   func()
+	}{
+		{"bestTable", func() { l.bestTable(ps, "vegetation height") }},
+		{"secondTable", func() { l.secondTable(ps, "species", 0) }},
+		{"bestColumn", func() { l.bestColumn(ps, "vegetation height", 0, 1) }},
+		{"tableSim", func() { l.tableSim(ps, "observations", 0) }},
+	}
+	for _, op := range ops {
+		op.fn() // warm: build slabs, settle the single-entry caches
+		if got := testing.AllocsPerRun(200, op.fn); got != 0 {
+			t.Errorf("%s: warm scoring loop allocates %.2f allocs/op, want 0", op.name, got)
+		}
+	}
+	linkerPool.Put(l)
+}
+
+// BenchmarkInferDecode measures end-to-end inference on the columnar fast
+// path and the retained reference path over the same task mix; the
+// allocs/op column is the decode engine's allocation budget (gated by
+// scripts/check.sh next to the throughput gate).
+func BenchmarkInferDecode(b *testing.B) {
+	p, ok := ProfileByName("gpt-4o")
+	if !ok {
+		b.Fatal("profile gpt-4o missing")
+	}
+	for _, v := range []struct {
+		name  string
+		model *Model
+	}{
+		{"fast", New(p)},
+		{"reference", NewReference(p)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tasks := append(decodeTasks(sampleSchema), decodeTasks(abbrevSchema)...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := tasks[i%len(tasks)]
+				task.Seed = uint64(i)
+				_ = v.model.Infer(task)
+			}
+		})
+	}
+}

@@ -1,0 +1,513 @@
+package llm
+
+import (
+	"encoding/binary"
+	"math"
+	"sync/atomic"
+
+	"github.com/snails-bench/snails/internal/ident"
+	"github.com/snails-bench/snails/internal/memo"
+)
+
+// This file implements the interned, columnar decode engine: the fast path
+// behind Model.Infer. The original per-identifier plan path (linking.go)
+// is retained verbatim as the reference implementation — NewReference
+// builds a model that decodes through it, and the differential tests assert
+// bit-identical predictions between the two, mirroring the planner/naive
+// pattern in internal/sqlexec.
+//
+// Three layers remove all per-cell string work from the scoring loops:
+//
+//  1. schemaIntern — built once per parsed PromptSchema: every identifier's
+//     word split is interned into a dense uint32 word table, and the
+//     seed-independent noise hash keys are flattened into per-table /
+//     per-column slabs. No strings.ToLower, strings.Fields or string-concat
+//     hashing survives into the candidate loops. Subset schemas (the
+//     filtering stage's keep-lists) intern as index views onto their parent:
+//     they carry only a table-index map, so every subset combination reuses
+//     the parent's slabs instead of compiling its own.
+//  2. phraseInfo — built once per mention phrase (bounded global memo):
+//     lower-cased word split, initials, concatenation, and every hashSeed
+//     the resolver needs (hallucination, mutation, tmut keys).
+//  3. colSlab — built once per (model, schema, phrase) in the model's
+//     linkMemo: the compiled decode of the phrase against every table name
+//     (kind 'T') or every column (kind 'C'), stored as flat float64/uint64
+//     columns indexed by position. The grids are cached separately because
+//     table mentions never score columns and column mentions never score
+//     table names. Candidate enumeration walks index ranges; evalSlab is
+//     allocation-free and touches only slab memory plus the per-cell seed.
+
+// idInfo is one interned identifier: its raw rendering plus the dense word
+// ids of its alphabetic sub-tokens (ident.Words output, already lower-case).
+type idInfo struct {
+	name   string
+	toks   []string
+	tokIDs []uint32
+}
+
+// internSeq hands out process-unique intern ids; the 8-byte rendering
+// prefixes slab cache keys so evicted-and-reparsed schemas never collide.
+var internSeq atomic.Uint64
+
+// schemaIntern is the seed- and model-independent interning of one
+// PromptSchema. It is built once (ParsePrompt / subsetSchema), shared by
+// every model and goroutine, and immutable afterward.
+//
+// A subset intern holds only root and tabMap; all slab-space fields (key,
+// words, tabs, cols, colOff, noise keys) live on the root it views into.
+type schemaIntern struct {
+	// root is the intern owning the flat identifier space; self for a
+	// schema interned from scratch, the parent's root for a subset view.
+	root *schemaIntern
+	// tabMap maps this schema's table index to the root's table index
+	// (identity for roots).
+	tabMap []int32
+
+	key   string   // unique cache-key prefix (8 bytes)
+	words []string // dense word table: id -> lower-cased word
+	tabs  []idInfo // per table
+	cols  []idInfo // all columns, flattened in table order
+	// colOff[i]..colOff[i+1] is table i's range in cols / nkColumn.
+	colOff []int32
+	// Flattened noise hash keys (see linker.noiseKeyed).
+	nkTable, nkTable2, nkFilter []uint64
+	nkColumn                    []uint64
+	// subsets memoizes the filtering stage's schema subsetting so the same
+	// keep-list yields a stable *PromptSchema pointer. It is model-
+	// independent (subsetting is pure), so it lives here rather than in the
+	// per-model linkMemo, and its lifetime is bounded by the parse memo that
+	// owns this intern. Only roots carry it (subsets are never re-subset).
+	subsets *memo.Cache[*PromptSchema]
+}
+
+// internSchema builds a root intern for a prompt schema.
+func internSchema(ps *PromptSchema) *schemaIntern {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], internSeq.Add(1))
+	nT := len(ps.Tables)
+	in := &schemaIntern{
+		key:      string(kb[:]),
+		tabMap:   make([]int32, nT),
+		tabs:     make([]idInfo, nT),
+		colOff:   make([]int32, nT+1),
+		nkTable:  make([]uint64, nT),
+		nkTable2: make([]uint64, nT),
+		nkFilter: make([]uint64, nT),
+		subsets:  memo.NewBounded[*PromptSchema](1 << 10),
+	}
+	in.root = in
+	ids := make(map[string]uint32)
+	intern := func(name string) idInfo {
+		toks := ident.Words(name)
+		info := idInfo{name: name, toks: toks, tokIDs: make([]uint32, len(toks))}
+		for i, t := range toks {
+			id, ok := ids[t]
+			if !ok {
+				id = uint32(len(in.words))
+				ids[t] = id
+				in.words = append(in.words, t)
+			}
+			info.tokIDs[i] = id
+		}
+		return info
+	}
+	for i := range ps.Tables {
+		t := &ps.Tables[i]
+		in.tabMap[i] = int32(i)
+		in.tabs[i] = intern(t.Name)
+		in.nkTable[i] = tableNoiseKey(t, "table")
+		in.nkTable2[i] = tableNoiseKey(t, "table2")
+		in.nkFilter[i] = tableNoiseKey(t, "filter")
+		for ci := range t.Columns {
+			in.cols = append(in.cols, intern(t.Columns[ci].Name))
+			in.nkColumn = append(in.nkColumn, columnNoiseKey(t, ci))
+		}
+		in.colOff[i+1] = int32(len(in.cols))
+	}
+	return in
+}
+
+// internSubset builds the index-view intern of a subset schema: tabMap
+// carries the parent indices of the kept tables, in subset order.
+func internSubset(parent *schemaIntern, keptParentIdx []int32) *schemaIntern {
+	return &schemaIntern{root: parent.root, tabMap: keptParentIdx}
+}
+
+// phraseInfo is the interned form of one mention phrase: everything the
+// resolver would otherwise recompute per cell with string operations.
+type phraseInfo struct {
+	words    []string // lowerFields(phrase); shared, do not modify
+	initials string
+	concat   string
+	// Precomputed hash keys for the resolver's seed mixes.
+	kHalluc   uint64 // hashSeed("halluc", phrase)
+	kMut      uint64 // hashSeed("mut", phrase)
+	kPhrase   uint64 // hashSeed(phrase)
+	kTbl      uint64 // hashSeed("tbl:" + phrase)
+	kTmutTbl  uint64 // hashSeed("tmut", "tbl:"+phrase)
+	kJtbl     uint64 // hashSeed("jtbl:" + phrase)
+	kTmutJtbl uint64 // hashSeed("tmut", "jtbl:"+phrase)
+}
+
+// phraseMemo caches phrase interns across models (seed-independent).
+var phraseMemo = memo.NewBounded[*phraseInfo](1 << 14)
+
+func phraseInfoFor(phrase string) *phraseInfo {
+	if pi, ok := phraseMemo.Get(phrase); ok {
+		return pi
+	}
+	words := lowerFields(phrase)
+	pi := &phraseInfo{
+		words:     words,
+		initials:  initials(words),
+		kHalluc:   hashSeed("halluc", phrase),
+		kMut:      hashSeed("mut", phrase),
+		kPhrase:   hashSeed(phrase),
+		kTbl:      hashSeed("tbl:" + phrase),
+		kTmutTbl:  hashSeed("tmut", "tbl:"+phrase),
+		kJtbl:     hashSeed("jtbl:" + phrase),
+		kTmutJtbl: hashSeed("tmut", "jtbl:"+phrase),
+	}
+	if len(words) > 1 {
+		n := 0
+		for _, w := range words {
+			n += len(w)
+		}
+		b := make([]byte, 0, n)
+		for _, w := range words {
+			b = append(b, w...)
+		}
+		pi.concat = string(b)
+	} else if len(words) == 1 {
+		pi.concat = words[0]
+	}
+	phraseMemo.Put(phrase, pi)
+	return pi
+}
+
+// Columnar score slabs. Entry i of a colSlab is the compiled simPlan of the
+// phrase against identifier i of the root intern's table or column space,
+// laid out column-wise: per-entry scalars in parallel slices and the
+// per-word decode scores in one shared slab indexed through wOff.
+// flags/fixed/whole/penalty/nW mirror the simPlan fields exactly; evalSlab
+// replays evalPlan's float operations in the same order, so results are
+// bit-identical.
+const (
+	slabFixed = 1 << 0 // short-circuit to fixed score
+	slabWhole = 1 << 1 // concatenated-rendering max(whole, coverage)
+)
+
+type colSlab struct {
+	flags   []uint8
+	fixed   []float64
+	whole   []float64
+	penalty []float64 // extra-token dilution; exactly 1 when absent
+	nW      []float64 // float64(word count): the coverage divisor
+	wOff    []int32   // entry i's word range is wOff[i]..wOff[i+1]
+	best    []float64
+	gateKey []uint64
+	gateOK  []bool
+}
+
+// slabBuilder compiles one phrase against a slice of a root intern's
+// identifiers. The decode-dedup scratch lives on the linker and is stamped
+// with a generation per (root, phrase): decode(tok, word) depends only on
+// the interned token id and the phrase word index, and schema tokens repeat
+// heavily ("id", "name", "date"), so each pair is decoded once per phrase —
+// shared across the table grid and all per-table column grids — with no
+// scratch clearing between builds.
+type slabBuilder struct {
+	p   *Profile
+	pi  *phraseInfo
+	l   *linker
+	nID int
+}
+
+// decPrep points the linker's decode scratch at (root, phrase), bumping the
+// generation stamp only when the target changes so successive builds for the
+// same phrase keep their memoized decodes.
+func (l *linker) decPrep(root *schemaIntern, phrase string, nWords int) {
+	if l.decRoot == root && l.decPhrase == phrase {
+		return
+	}
+	l.decRoot, l.decPhrase = root, phrase
+	if n := nWords * len(root.words); n > len(l.decScore) {
+		l.decScore = make([]float64, n)
+		l.decEpoch = make([]uint32, n)
+		l.decGen = 0
+	}
+	if l.decGen == ^uint32(0) {
+		for i := range l.decEpoch {
+			l.decEpoch[i] = 0
+		}
+		l.decGen = 0
+	}
+	l.decGen++
+}
+
+func buildSlab(l *linker, root *schemaIntern, phrase string, ids []idInfo) *colSlab {
+	pi := phraseInfoFor(phrase)
+	l.decPrep(root, phrase, len(pi.words))
+	b := slabBuilder{p: l.p, pi: pi, l: l, nID: len(root.words)}
+	n := len(ids)
+	wcap := len(pi.words) * n
+	cs := &colSlab{
+		flags:   make([]uint8, n),
+		fixed:   make([]float64, n),
+		whole:   make([]float64, n),
+		penalty: make([]float64, n),
+		nW:      make([]float64, n),
+		wOff:    make([]int32, n+1),
+		best:    make([]float64, 0, wcap),
+		gateKey: make([]uint64, 0, wcap),
+		gateOK:  make([]bool, 0, wcap),
+	}
+	for i := range ids {
+		b.add(cs, i, &ids[i])
+		cs.wOff[i+1] = int32(len(cs.best))
+	}
+	return cs
+}
+
+// add compiles one (phrase, identifier) pair into entry i. The branch
+// structure mirrors linker.buildPlan exactly; the only differences are that
+// the lower-casing, word splitting, and initials/concat derivations were
+// hoisted into the interns.
+func (b *slabBuilder) add(cs *colSlab, i int, id *idInfo) {
+	cs.penalty[i] = 1
+	words := b.pi.words
+	if len(words) == 0 || id.name == "" {
+		cs.flags[i] = slabFixed
+		return
+	}
+	toks := id.toks
+	if len(toks) == 0 {
+		cs.flags[i] = slabFixed
+		return
+	}
+	if len(toks) == 1 && len(words) >= 3 && toks[0] == b.pi.initials {
+		cs.flags[i] = slabFixed
+		cs.fixed[i] = b.p.LexSkill * math.Exp(-b.p.Sensitivity*0.85)
+		return
+	}
+	if len(toks) == 1 && len(words) > 1 {
+		if toks[0] == b.pi.concat {
+			cs.flags[i] = slabFixed
+			cs.fixed[i] = 1
+			return
+		}
+		if whole := decodeLower(b.p, toks[0], b.pi.concat); whole > 0 {
+			cs.flags[i] |= slabWhole
+			cs.whole[i] = whole
+		}
+	}
+	cs.nW[i] = float64(len(words))
+	l := b.l
+	for wi, w := range words {
+		best := 0.0
+		for ti, t := range toks {
+			idx := wi*b.nID + int(id.tokIDs[ti])
+			var s float64
+			if l.decEpoch[idx] == l.decGen {
+				s = l.decScore[idx]
+			} else {
+				s = decodeLower(b.p, t, w)
+				l.decScore[idx] = s
+				l.decEpoch[idx] = l.decGen
+			}
+			if s > best {
+				best = s
+			}
+		}
+		cs.best = append(cs.best, best)
+		if best > 0 && best < 0.999 {
+			cs.gateOK = append(cs.gateOK, true)
+			cs.gateKey = append(cs.gateKey, hashSeed("gate", w, id.name))
+		} else {
+			cs.gateOK = append(cs.gateOK, false)
+			cs.gateKey = append(cs.gateKey, 0)
+		}
+	}
+	if extra := len(toks) - len(words); extra > 1 {
+		cs.penalty[i] = 1 / (1 + 0.08*float64(extra-1))
+	}
+}
+
+// evalSlab applies the per-cell seed to slab entry i. It is the columnar
+// twin of evalPlan: same float operations in the same order (the coverage
+// divisor is stored as float64(nWords) and divided, never inverted, and the
+// no-penalty multiplier is exactly 1.0), so scores are bit-identical to the
+// reference path. Allocation-free.
+func (l *linker) evalSlab(cs *colSlab, i int) float64 {
+	if cs.flags[i]&slabFixed != 0 {
+		return cs.fixed[i]
+	}
+	var total float64
+	for j, je := cs.wOff[i], cs.wOff[i+1]; j < je; j++ {
+		best := cs.best[j]
+		if cs.gateOK[j] && !l.p.DisableGate {
+			uncertain := 1 - best
+			gateP := 0.6 * uncertain * uncertain
+			if hash01(l.seed^cs.gateKey[j]) < gateP {
+				best *= 0.15
+			}
+		}
+		total += best
+	}
+	cov := total / cs.nW[i]
+	cov *= cs.penalty[i]
+	if cs.flags[i]&slabWhole != 0 && cs.whole[i] > cov {
+		return cs.whole[i]
+	}
+	return cov
+}
+
+// colGroup is the lazily-materialized column grid of one (root, phrase):
+// one sub-slab per table, built on first touch and published atomically.
+// Zero-shot models only ever score the two candidate tables of each column
+// mention, so building the whole-schema grid eagerly (as the filtering
+// models need) would waste most of the work. Concurrent first touches may
+// build the same sub-slab twice; the build is deterministic, so whichever
+// CAS wins is bit-identical to the loser.
+type colGroup struct {
+	tabs []atomic.Pointer[colSlab]
+}
+
+// tabSlabFor returns the phrase's table-name grid for the schema's root,
+// building on first use and replaying from the model's bounded slab cache
+// afterward. The linker keeps a single-entry cache so candidate loops — which
+// score one phrase against many identifiers — pay the shared-cache lookup
+// once per phrase change, and the loops themselves read slab memory without
+// locks.
+func (l *linker) tabSlabFor(root *schemaIntern, phrase string) *colSlab {
+	if l.curTabSlab != nil && l.curTabRoot == root && l.curTabPhrase == phrase {
+		return l.curTabSlab
+	}
+	key := root.key + phrase
+	sl, ok := l.memo.slabs.Get(key)
+	if !ok {
+		sl = buildSlab(l, root, phrase, root.tabs)
+		l.memo.slabs.Put(key, sl)
+	}
+	l.curTabRoot, l.curTabPhrase, l.curTabSlab = root, phrase, sl
+	return sl
+}
+
+// colGroupFor returns the phrase's column-grid group (single-entry linker
+// cache over the model's bounded group cache).
+func (l *linker) colGroupFor(root *schemaIntern, phrase string) *colGroup {
+	if l.curGrp != nil && l.curGrpRoot == root && l.curGrpPhrase == phrase {
+		return l.curGrp
+	}
+	key := root.key + phrase
+	g, ok := l.memo.groups.Get(key)
+	if !ok {
+		g = &colGroup{tabs: make([]atomic.Pointer[colSlab], len(root.tabs))}
+		l.memo.groups.Put(key, g)
+	}
+	l.curGrpRoot, l.curGrpPhrase, l.curGrp = root, phrase, g
+	return g
+}
+
+// colTabIn returns the group's sub-slab for root table ri, building it on
+// first touch.
+func (l *linker) colTabIn(g *colGroup, root *schemaIntern, phrase string, ri int) *colSlab {
+	if sub := g.tabs[ri].Load(); sub != nil {
+		return sub
+	}
+	sub := buildSlab(l, root, phrase, root.cols[root.colOff[ri]:root.colOff[ri+1]])
+	if !g.tabs[ri].CompareAndSwap(nil, sub) {
+		sub = g.tabs[ri].Load()
+	}
+	return sub
+}
+
+// fastOn reports whether the columnar path serves this schema: the model
+// must not be a reference model, and the schema must carry an intern
+// (hand-assembled PromptSchema literals fall back to the reference path,
+// the same convention the primed noise keys use).
+func (l *linker) fastOn(ps *PromptSchema) bool {
+	return l.fast && l.memo != nil && ps.intern != nil
+}
+
+// fastLinkTable is linkTable on the columnar path.
+func (l *linker) fastLinkTable(ps *PromptSchema, phrase string) (int, float64, bool) {
+	in := ps.intern
+	root := in.root
+	sl := l.tabSlabFor(root, phrase)
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for i := range in.tabMap {
+		ri := int(in.tabMap[i])
+		s := l.evalSlab(sl, ri) + l.noiseKeyed(root.nkTable[ri])
+		if s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx < 0 || bestScore < l.p.MinConfidence {
+		return bestIdx, bestScore, false
+	}
+	return bestIdx, bestScore, true
+}
+
+// fastSecondTable is secondBestTable on the columnar path.
+func (l *linker) fastSecondTable(ps *PromptSchema, phrase string, exclude int) int {
+	in := ps.intern
+	root := in.root
+	sl := l.tabSlabFor(root, phrase)
+	best, bestScore := -1, -1e9
+	for i := range in.tabMap {
+		if i == exclude {
+			continue
+		}
+		ri := int(in.tabMap[i])
+		s := l.evalSlab(sl, ri) + l.noiseKeyed(root.nkTable2[ri])
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if bestScore < l.p.MinConfidence {
+		return -1
+	}
+	return best
+}
+
+// fastLinkColumn is linkColumn on the columnar path: it walks the two
+// candidate tables' lazily-built column sub-slabs in the root's index space.
+func (l *linker) fastLinkColumn(ps *PromptSchema, phrase string, pri0, pri1 int) (tableIdx int, column string, score float64, ok bool) {
+	in := ps.intern
+	root := in.root
+	g := l.colGroupFor(root, phrase)
+	bestScore := math.Inf(-1)
+	for pri := 0; pri < 2; pri++ {
+		ti := pri0
+		if pri == 1 {
+			ti = pri1
+		}
+		if ti < 0 || ti >= len(in.tabMap) {
+			continue
+		}
+		bonus := 0.0
+		if pri == 0 {
+			bonus = 0.05
+		}
+		ri := int(in.tabMap[ti])
+		sub := l.colTabIn(g, root, phrase, ri)
+		base := root.colOff[ri]
+		for k := 0; k < len(sub.flags); k++ {
+			s := l.evalSlab(sub, k) + l.noiseKeyed(root.nkColumn[base+int32(k)]) + bonus
+			if s > bestScore {
+				bestScore, tableIdx, column = s, ti, root.cols[base+int32(k)].name
+			}
+		}
+	}
+	if column == "" || bestScore < l.p.MinConfidence {
+		return tableIdx, column, bestScore, false
+	}
+	return tableIdx, column, bestScore, true
+}
+
+// fastTableSim is sim(phrase, table name) on the columnar path.
+func (l *linker) fastTableSim(ps *PromptSchema, phrase string, ti int) float64 {
+	in := ps.intern
+	return l.evalSlab(l.tabSlabFor(in.root, phrase), int(in.tabMap[ti]))
+}

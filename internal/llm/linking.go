@@ -3,7 +3,6 @@ package llm
 import (
 	"math"
 	"strings"
-	"sync"
 
 	"github.com/snails-bench/snails/internal/ident"
 	"github.com/snails-bench/snails/internal/memo"
@@ -11,55 +10,28 @@ import (
 
 // linkMemo caches the seed-independent parts of linking for one model. Raw
 // decode scores depend only on the profile's lexical parameters, so each
-// (phrase, identifier) pair compiles once into a simPlan that is replayed
-// for all 12k grid cells. Seed-dependent noise and gating stay per-call,
-// keeping results bit-identical to the unmemoized linker.
+// (phrase, identifier) pair compiles once and is replayed for all 12k grid
+// cells. Seed-dependent noise and gating stay per-call, keeping results
+// bit-identical to the unmemoized linker.
 //
-// Plans are stored two-level (phrase -> identifier -> plan) so the hot
-// candidate loops — which score one phrase against every table or column —
-// look up by bare identifier with no per-call key allocation.
+// Three stores back the two decode paths: plans holds per-identifier
+// simPlans (phrase -> identifier -> plan; the reference path and the bare
+// sim API), slabs holds the columnar table-name grids, and groups holds the
+// lazily-materialized per-table column grids the fast path walks (see
+// intern.go). All are entry-capped with clock-hand eviction, so a
+// long-lived server's memory stays bounded no matter how adversarial the
+// prompt/phrase variety is; an evicted entry is simply recomputed.
 type linkMemo struct {
-	plans *memo.Cache[*memo.Cache[*simPlan]]
-
-	// schemas maps *PromptSchema to its per-schema memo. Prompt schemas are
-	// themselves memoized by prompt text (parsePromptCached) and by the
-	// subset-selection memo below, so pointer identity is a stable key for
-	// the working set; a pointer that falls out of those caches merely
-	// strands its (identical, recomputable) entry here.
-	schemas sync.Map // *PromptSchema -> *schemaMemo
+	plans  *memo.Cache[*memo.Cache[*simPlan]]
+	slabs  *memo.Cache[*colSlab]  // intern key + phrase -> table-name grid
+	groups *memo.Cache[*colGroup] // intern key + phrase -> column grids
 }
 
 func newLinkMemo() *linkMemo {
-	return &linkMemo{plans: memo.NewBounded[*memo.Cache[*simPlan]](1 << 12)}
-}
-
-func (lm *linkMemo) schemaMemoFor(ps *PromptSchema) *schemaMemo {
-	if v, ok := lm.schemas.Load(ps); ok {
-		return v.(*schemaMemo)
-	}
-	v, _ := lm.schemas.LoadOrStore(ps, newSchemaMemo())
-	return v.(*schemaMemo)
-}
-
-// schemaMemo is the seed-independent precompute for one (model, schema)
-// pair. Table-name and column plan sets are cached separately because their
-// consumers differ: every linkTable/secondBestTable/filterTables call scans
-// all table names, while only filterTables' column-evidence pass scans all
-// columns (linkColumn touches at most two tables and stays on the lazy
-// per-identifier path, where precompiling the full schema would be wasted
-// work). subsets memoizes the filtering stage's schema subsetting so the
-// same keep-list yields a stable *PromptSchema pointer.
-type schemaMemo struct {
-	tablePlans *memo.Cache[[]*simPlan]   // phrase -> plan per table name
-	colPlans   *memo.Cache[[][]*simPlan] // phrase -> plans per table's columns
-	subsets    *memo.Cache[*PromptSchema]
-}
-
-func newSchemaMemo() *schemaMemo {
-	return &schemaMemo{
-		tablePlans: memo.NewBounded[[]*simPlan](1 << 12),
-		colPlans:   memo.NewBounded[[][]*simPlan](1 << 11),
-		subsets:    memo.NewBounded[*PromptSchema](1 << 10),
+	return &linkMemo{
+		plans:  memo.NewBounded[*memo.Cache[*simPlan]](1 << 12),
+		slabs:  memo.NewBounded[*colSlab](1 << 13),
+		groups: memo.NewBounded[*colGroup](1 << 13),
 	}
 }
 
@@ -79,17 +51,63 @@ func lowerFields(phrase string) []string {
 
 // linker scores candidate identifiers against natural-language mention
 // phrases for one model profile. A linker serves a single Infer call on a
-// single goroutine; only its memo is shared.
+// single goroutine; only its memo is shared. Infer pools linkers so the
+// scratch buffers below survive across calls.
 type linker struct {
 	p    *Profile
 	seed uint64 // per-(model, question, variant) base seed
 	memo *linkMemo
+	// fast selects the columnar decode path (intern.go); reference models
+	// clear it to exercise the original per-identifier plan path.
+	fast bool
 
 	// Single-entry cache of the plan set for the phrase currently being
 	// linked: candidate loops score one phrase against many identifiers, so
 	// this collapses the outer memo lookup to one per phrase change.
 	curPhrase string
 	curPlans  *memo.Cache[*simPlan]
+
+	// Single-entry caches of the columnar table grid and column-grid group
+	// for the (schema, phrase) currently being linked (fast path analogue of
+	// curPlans; the two grid kinds are cached independently, see intern.go).
+	curTabPhrase string
+	curTabRoot   *schemaIntern
+	curTabSlab   *colSlab
+	curGrpPhrase string
+	curGrpRoot   *schemaIntern
+	curGrp       *colGroup
+
+	// Decode-dedup scratch for slab builds, generation-stamped per
+	// (root, phrase) so it is never cleared (see linker.decPrep).
+	decScore  []float64
+	decEpoch  []uint32
+	decGen    uint32
+	decRoot   *schemaIntern
+	decPhrase string
+
+	// Reusable scratch for the schema-filtering stage.
+	scoreScratch []scoredName
+	slabScratch  []*colSlab
+	groupScratch []*colGroup
+}
+
+// scoredName is one (identifier, score) row of the filtering stage.
+type scoredName struct {
+	name  string
+	score float64
+}
+
+// reset prepares a pooled linker for a new Infer call. Every cross-call
+// pointer is cleared: stale plan/slab caches would otherwise leak state
+// between models.
+func (l *linker) reset(p *Profile, seed uint64, m *linkMemo, fast bool) {
+	l.p, l.seed, l.memo, l.fast = p, seed, m, fast
+	l.curPhrase, l.curPlans = "", nil
+	l.curTabPhrase, l.curTabRoot, l.curTabSlab = "", nil, nil
+	l.curGrpPhrase, l.curGrpRoot, l.curGrp = "", nil, nil
+	// The decode scratch stamps are cleared (not the arrays: the generation
+	// counter invalidates them) because decode scores depend on the profile.
+	l.decRoot, l.decPhrase = nil, ""
 }
 
 // simPlan is the compiled, seed-independent evaluation of sim for one
@@ -122,19 +140,24 @@ type simPlan struct {
 // core mechanism: the same identifier is easy at Regular naturalness and
 // nearly opaque at Least, with weaker profiles decaying faster.
 func (l *linker) decode(tok, w string) float64 {
-	tok = strings.ToLower(tok)
-	w = strings.ToLower(w)
+	return decodeLower(l.p, strings.ToLower(tok), strings.ToLower(w))
+}
+
+// decodeLower is decode for already-lower-cased inputs — the interned fast
+// path stores every token and phrase word pre-lowered, so the per-build
+// loops skip the case folding entirely.
+func decodeLower(p *Profile, tok, w string) float64 {
 	if tok == w {
 		return 1
 	}
-	if ident.IsCommonAcronym(tok) && strings.HasPrefix(w, tok[:1]) {
-		return 0.9 * l.p.LexSkill
+	if ident.IsCommonAcronymLower(tok) && strings.HasPrefix(w, tok[:1]) {
+		return 0.9 * p.LexSkill
 	}
-	if !ident.IsSubsequence(tok, w) {
+	if !ident.IsSubsequenceLower(tok, w) {
 		return 0
 	}
 	removed := float64(len(w)-len(tok)) / float64(len(w))
-	if ident.IsPrefixAbbrev(tok, w) && !l.p.DisablePrefixEase {
+	if ident.IsPrefixAbbrevLower(tok, w) && !p.DisablePrefixEase {
 		// Prefix truncations ("temp" for "temperature", "veg" for
 		// "vegetation") read far more easily than interior abbreviations.
 		removed *= 0.45
@@ -143,11 +166,11 @@ func (l *linker) decode(tok, w string) float64 {
 		// One/two-letter consonant skeletons are near-opaque regardless of
 		// the original word length.
 		removed = math.Max(removed, 0.8)
-	} else if len(tok) == 3 && !ident.IsPrefixAbbrev(tok, w) {
+	} else if len(tok) == 3 && !ident.IsPrefixAbbrevLower(tok, w) {
 		// Three-letter interior skeletons ("cnt", "sgr") are little better.
 		removed = math.Max(removed, 0.68)
 	}
-	return l.p.LexSkill * math.Exp(-l.p.Sensitivity*removed)
+	return p.LexSkill * math.Exp(-p.Sensitivity*removed)
 }
 
 // initials returns the first letters of the phrase words ("cost of goods
@@ -284,44 +307,31 @@ func (l *linker) sim(phrase, identifier string) float64 {
 }
 
 // tablePlansFor returns the phrase's compiled plans against every table
-// name of the schema, built once per (model, schema, phrase) and replayed
-// across grid cells: question mentions derive from schema elements, so the
-// same phrase recurs across many questions of a database. The plans come
-// from the same planFor cache sim uses, so the paths can never diverge.
+// name of the schema. The plans come from the same planFor cache sim uses,
+// so the paths can never diverge. This is reference-path machinery: the
+// fast path replays the columnar slabs instead (intern.go).
 func (l *linker) tablePlansFor(ps *PromptSchema, phrase string) []*simPlan {
-	build := func() []*simPlan {
-		out := make([]*simPlan, len(ps.Tables))
-		for i := range ps.Tables {
-			out[i] = l.planFor(phrase, ps.Tables[i].Name)
-		}
-		return out
+	out := make([]*simPlan, len(ps.Tables))
+	for i := range ps.Tables {
+		out[i] = l.planFor(phrase, ps.Tables[i].Name)
 	}
-	if l.memo == nil {
-		return build()
-	}
-	return l.memo.schemaMemoFor(ps).tablePlans.GetOrCompute(phrase, build)
+	return out
 }
 
 // colPlansFor returns the phrase's compiled plans against every column of
 // every table — the filterTables column-evidence scan, which is the one
 // consumer that genuinely touches the full cross product.
 func (l *linker) colPlansFor(ps *PromptSchema, phrase string) [][]*simPlan {
-	build := func() [][]*simPlan {
-		out := make([][]*simPlan, len(ps.Tables))
-		for i := range ps.Tables {
-			t := &ps.Tables[i]
-			cp := make([]*simPlan, len(t.Columns))
-			for ci := range t.Columns {
-				cp[ci] = l.planFor(phrase, t.Columns[ci].Name)
-			}
-			out[i] = cp
+	out := make([][]*simPlan, len(ps.Tables))
+	for i := range ps.Tables {
+		t := &ps.Tables[i]
+		cp := make([]*simPlan, len(t.Columns))
+		for ci := range t.Columns {
+			cp[ci] = l.planFor(phrase, t.Columns[ci].Name)
 		}
-		return out
+		out[i] = cp
 	}
-	if l.memo == nil {
-		return build()
-	}
-	return l.memo.schemaMemoFor(ps).colPlans.GetOrCompute(phrase, build)
+	return out
 }
 
 // noise returns the deterministic per-candidate score perturbation.
@@ -379,12 +389,16 @@ func (l *linker) linkTable(phrase string, ps *PromptSchema) (int, float64, bool)
 	return bestIdx, bestScore, true
 }
 
-// linkColumn picks the best column for a mention phrase among the given
-// tables (in priority order: earlier tables get a locality bonus, the way
+// linkColumn picks the best column for a mention phrase among two candidate
+// tables (in priority order: the first table gets a locality bonus, the way
 // attention concentrates on the table already chosen for the FROM clause).
-func (l *linker) linkColumn(phrase string, ps *PromptSchema, tableIdxs []int) (tableIdx int, column string, score float64, ok bool) {
+func (l *linker) linkColumn(phrase string, ps *PromptSchema, pri0, pri1 int) (tableIdx int, column string, score float64, ok bool) {
 	bestScore := math.Inf(-1)
-	for pri, ti := range tableIdxs {
+	for pri := 0; pri < 2; pri++ {
+		ti := pri0
+		if pri == 1 {
+			ti = pri1
+		}
 		if ti < 0 || ti >= len(ps.Tables) {
 			continue
 		}
@@ -407,18 +421,81 @@ func (l *linker) linkColumn(phrase string, ps *PromptSchema, tableIdxs []int) (t
 	return tableIdx, column, bestScore, true
 }
 
+// bestTable, secondTable, bestColumn and tableSim dispatch between the
+// columnar fast path and the retained reference path; the two are asserted
+// bit-identical by TestFastMatchesReference.
+
+func (l *linker) bestTable(ps *PromptSchema, phrase string) (int, float64, bool) {
+	if l.fastOn(ps) {
+		return l.fastLinkTable(ps, phrase)
+	}
+	return l.linkTable(phrase, ps)
+}
+
+func (l *linker) secondTable(ps *PromptSchema, phrase string, exclude int) int {
+	if l.fastOn(ps) {
+		return l.fastSecondTable(ps, phrase, exclude)
+	}
+	return l.refSecondTable(ps, phrase, exclude)
+}
+
+func (l *linker) bestColumn(ps *PromptSchema, phrase string, pri0, pri1 int) (int, string, float64, bool) {
+	if l.fastOn(ps) {
+		return l.fastLinkColumn(ps, phrase, pri0, pri1)
+	}
+	return l.linkColumn(phrase, ps, pri0, pri1)
+}
+
+func (l *linker) tableSim(ps *PromptSchema, phrase string, ti int) float64 {
+	if l.fastOn(ps) {
+		return l.fastTableSim(ps, phrase, ti)
+	}
+	return l.sim(phrase, ps.Tables[ti].Name)
+}
+
+// refSecondTable re-links a phrase while excluding one index (reference
+// path; moved here from Model so both paths live side by side).
+func (l *linker) refSecondTable(ps *PromptSchema, phrase string, exclude int) int {
+	plans := l.tablePlansFor(ps, phrase)
+	best, bestScore := -1, -1e9
+	for i := range ps.Tables {
+		if i == exclude {
+			continue
+		}
+		t := &ps.Tables[i]
+		s := l.evalPlan(plans[i]) + l.noiseKeyed(tableNoiseKey(t, "table2"))
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if bestScore < l.p.MinConfidence {
+		return -1
+	}
+	return best
+}
+
 // hallucinateIdentifier invents an identifier for a phrase the model failed
 // to link: it renders the phrase the way the model "expects" schemas to be
 // named. The result rarely exists in the schema, producing the typo-like
 // failures the paper reports.
 func (l *linker) hallucinateIdentifier(phrase string) string {
-	words := lowerFields(phrase) // shared slice: copy before any mutation
+	if l.fast {
+		pi := phraseInfoFor(phrase)
+		return l.hallucinateFrom(pi.words, pi.kHalluc)
+	}
+	return l.hallucinateFrom(lowerFields(phrase), hashSeed("halluc", phrase))
+}
+
+// hallucinateFrom renders the hallucination from a pre-split phrase and its
+// precomputed hash key.
+func (l *linker) hallucinateFrom(words []string, kHalluc uint64) string {
+	// words is a shared slice: copy before any mutation.
 	if len(words) == 0 {
 		return "unknown"
 	}
 	// Hallucinations are near-misses, not faithful reconstructions: models
 	// toggle plurality, add spurious suffixes, or drop qualifying words.
-	switch h := hash01(l.seed ^ hashSeed("halluc", phrase)); {
+	switch h := hash01(l.seed ^ kHalluc); {
 	case h < 0.2:
 		words = append([]string{}, words...)
 		words[len(words)-1] = togglePlural(words[len(words)-1])

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/snails-bench/snails/internal/nlq"
 )
@@ -36,18 +37,53 @@ type Prediction struct {
 // profile is read-only and the linking memo is a concurrency-safe cache of
 // seed-independent decode scores.
 type Model struct {
-	Profile *Profile
-	memo    *linkMemo
+	Profile  *Profile
+	memo     *linkMemo
+	nameSeed uint64 // hashSeed(Profile.Name), mixed into every task seed
+	// ref forces the original per-identifier plan path instead of the
+	// columnar fast path; used by the differential tests (NewReference).
+	ref bool
 }
 
 // New returns a model for the profile.
-func New(p *Profile) *Model { return &Model{Profile: p, memo: newLinkMemo()} }
+func New(p *Profile) *Model {
+	return &Model{Profile: p, memo: newLinkMemo(), nameSeed: hashSeed(p.Name)}
+}
+
+// NewReference returns a model that decodes through the original
+// per-identifier plan path rather than the interned columnar engine. Its
+// predictions are bit-identical to New's by contract; differential tests
+// (here and in the workflow/experiments layers) enforce that, mirroring the
+// planner-vs-naive pattern in internal/sqlexec.
+func NewReference(p *Profile) *Model {
+	m := New(p)
+	m.ref = true
+	return m
+}
+
+// linkerPool recycles linkers (and their filtering-stage scratch buffers)
+// across Infer calls; a linker is only ever owned by one goroutine at a
+// time.
+var linkerPool = sync.Pool{New: func() any { return &linker{} }}
 
 // Infer produces a SQL prediction for the task.
 func (m *Model) Infer(task Task) Prediction {
+	return m.InferOn(parsePromptCached(task.SchemaKnowledge), task)
+}
+
+// PromptSchemaOf parses a schema-knowledge block into the shared, memoized
+// prompt-schema handle Infer uses internally. The serving layer's
+// micro-batcher parses once per (db, variant) batch and feeds the same
+// handle to every task via InferOn.
+func PromptSchemaOf(block string) *PromptSchema { return parsePromptCached(block) }
+
+// InferOn is Infer against a pre-parsed prompt schema (which must be the
+// parse of task.SchemaKnowledge).
+func (m *Model) InferOn(ps *PromptSchema, task Task) Prediction {
 	p := m.Profile
-	l := &linker{p: p, seed: task.Seed ^ hashSeed(p.Name), memo: m.memo}
-	ps := parsePromptCached(task.SchemaKnowledge)
+	l := linkerPool.Get().(*linker)
+	l.reset(p, task.Seed^m.nameSeed, m.memo, !m.ref)
+	defer linkerPool.Put(l)
 	if len(ps.Tables) == 0 {
 		return Prediction{SQL: "SELECT 1", Invalid: true}
 	}
@@ -115,52 +151,60 @@ func templateComplexity(k nlq.Kind) int {
 	}
 }
 
-// resolved holds the model's schema-linking decisions for one query.
+// numRoles sizes the per-role arrays of resolved; nlq.Role is a dense iota.
+const numRoles = int(nlq.RoleJoinShared) + 1
+
+// resolved holds the model's schema-linking decisions for one query. The
+// per-role maps of earlier versions are fixed arrays (nlq.Role is dense), so
+// resolve costs one allocation for the struct and none per mention.
 type resolved struct {
 	table     string // FROM table (as named in the prompt)
 	joinTable string
-	cols      map[nlq.Role]string // resolved column per role
-	colJoined map[nlq.Role]bool   // whether the resolved column sits on the joined table
-	sharedCol string              // composite-key second column
+	cols      [numRoles]string // resolved column per role
+	colJoined [numRoles]bool   // whether the resolved column sits on the joined table
+	sharedCol string           // composite-key second column
 	hasJoin   bool
 }
 
 // resolve links every mention of the intent against the prompt schema.
 func (m *Model) resolve(l *linker, ps *PromptSchema, in nlq.Intent) *resolved {
-	r := &resolved{cols: map[nlq.Role]string{}, colJoined: map[nlq.Role]bool{}}
+	r := &resolved{}
 
-	ti, tscore, ok := l.linkTable(in.TableMention, ps)
+	ti, tscore, ok := l.bestTable(ps, in.TableMention)
 	if !ok {
 		r.table = l.hallucinateIdentifier(in.TableMention)
 		ti = -1
 	} else {
-		r.table = m.maybeMutate(l, ps.Tables[ti].Name, tscore, "tbl:"+in.TableMention)
+		kTmut, kKey := l.tmutKeys(in.TableMention, false)
+		r.table = m.maybeMutate(l, ps.Tables[ti].Name, tscore, kTmut, kKey)
 	}
 	ji := -1
 	if in.JoinTableMention != "" {
 		r.hasJoin = true
 		var jok bool
-		ji, _, jok = l.linkTable(in.JoinTableMention, ps)
+		ji, _, jok = l.bestTable(ps, in.JoinTableMention)
 		if !jok || ji == ti {
 			// Re-link excluding the primary table.
-			ji = m.secondBestTable(l, ps, in.JoinTableMention, ti)
+			ji = l.secondTable(ps, in.JoinTableMention, ti)
 		}
 		if ji >= 0 {
-			r.joinTable = m.maybeMutate(l, ps.Tables[ji].Name, l.sim(in.JoinTableMention, ps.Tables[ji].Name), "jtbl:"+in.JoinTableMention)
+			kTmut, kKey := l.tmutKeys(in.JoinTableMention, true)
+			r.joinTable = m.maybeMutate(l, ps.Tables[ji].Name, l.tableSim(ps, in.JoinTableMention, ji), kTmut, kKey)
 		} else {
 			r.joinTable = l.hallucinateIdentifier(in.JoinTableMention)
 		}
 	}
 
-	for _, cm := range in.Columns {
-		priority := []int{ti, ji}
+	for ci := range in.Columns {
+		cm := &in.Columns[ci]
+		pri0, pri1 := ti, ji
 		if cm.OnJoined {
-			priority = []int{ji, ti}
+			pri0, pri1 = ji, ti
 		}
-		cti, col, score, ok := l.linkColumn(cm.Phrase, ps, priority)
+		cti, col, score, ok := l.bestColumn(ps, cm.Phrase, pri0, pri1)
 		if !ok {
 			col = l.hallucinateIdentifier(cm.Phrase)
-			cti = priority[0]
+			cti = pri0
 		} else {
 			// Typo-like hallucination grows with linking uncertainty: a
 			// confidently linked natural identifier is copied verbatim while
@@ -172,8 +216,9 @@ func (m *Model) resolve(l *linker, ps *PromptSchema, in nlq.Intent) *resolved {
 				uncertain = 0
 			}
 			mutP := m.Profile.HallucinationRate + 0.30*uncertain*uncertain
-			if hash01(l.seed^hashSeed("mut", cm.Phrase)) < mutP {
-				col = l.mutateIdentifier(col, l.seed^hashSeed(cm.Phrase))
+			kMut, kPhrase := l.mutKeys(cm.Phrase)
+			if hash01(l.seed^kMut) < mutP {
+				col = l.mutateIdentifier(col, l.seed^kPhrase)
 			}
 		}
 		r.cols[cm.Role] = col
@@ -199,37 +244,49 @@ func (m *Model) resolve(l *linker, ps *PromptSchema, in nlq.Intent) *resolved {
 
 // maybeMutate applies the uncertainty-scaled typo hallucination to a linked
 // identifier. Table names are as vulnerable as columns: the paper observes
-// models dropping tbl_ prefixes and re-casing opaque table names.
-func (m *Model) maybeMutate(l *linker, name string, score float64, key string) string {
+// models dropping tbl_ prefixes and re-casing opaque table names. The hash
+// keys are hashSeed("tmut", key) and hashSeed(key) for the historical
+// "tbl:"/"jtbl:" mention keys, precomputed by the phrase intern on the fast
+// path (linker.tmutKeys).
+func (m *Model) maybeMutate(l *linker, name string, score float64, kTmut, kKey uint64) string {
 	uncertain := 1 - score
 	if uncertain < 0 {
 		uncertain = 0
 	}
 	mutP := m.Profile.HallucinationRate*0.5 + 0.22*uncertain*uncertain
-	if hash01(l.seed^hashSeed("tmut", key)) < mutP {
-		return l.mutateIdentifier(name, l.seed^hashSeed(key))
+	if hash01(l.seed^kTmut) < mutP {
+		return l.mutateIdentifier(name, l.seed^kKey)
 	}
 	return name
 }
 
-// secondBestTable re-links a phrase while excluding one index.
-func (m *Model) secondBestTable(l *linker, ps *PromptSchema, phrase string, exclude int) int {
-	plans := l.tablePlansFor(ps, phrase)
-	best, bestScore := -1, -1e9
-	for i := range ps.Tables {
-		if i == exclude {
-			continue
+// tmutKeys returns (hashSeed("tmut", key), hashSeed(key)) for the table-
+// mutation key "tbl:"+phrase (or "jtbl:"+phrase when joined), from the
+// phrase intern on the fast path and by direct hashing on the reference
+// path.
+func (l *linker) tmutKeys(phrase string, joined bool) (kTmut, kKey uint64) {
+	if l.fast {
+		pi := phraseInfoFor(phrase)
+		if joined {
+			return pi.kTmutJtbl, pi.kJtbl
 		}
-		t := &ps.Tables[i]
-		s := l.evalPlan(plans[i]) + l.noiseKeyed(tableNoiseKey(t, "table2"))
-		if s > bestScore {
-			best, bestScore = i, s
-		}
+		return pi.kTmutTbl, pi.kTbl
 	}
-	if bestScore < l.p.MinConfidence {
-		return -1
+	key := "tbl:" + phrase
+	if joined {
+		key = "jtbl:" + phrase
 	}
-	return best
+	return hashSeed("tmut", key), hashSeed(key)
+}
+
+// mutKeys returns (hashSeed("mut", phrase), hashSeed(phrase)) for the
+// column-mutation draws.
+func (l *linker) mutKeys(phrase string) (kMut, kPhrase uint64) {
+	if l.fast {
+		pi := phraseInfoFor(phrase)
+		return pi.kMut, pi.kPhrase
+	}
+	return hashSeed("mut", phrase), hashSeed(phrase)
 }
 
 func idLikeColumn(ps *PromptSchema, ti int) string {
@@ -248,6 +305,9 @@ func idLikeColumn(ps *PromptSchema, ti int) string {
 // their link score against the question's mentions and the top-K kept. Less
 // natural table names rank lower, reproducing the Figure 12 recall drop.
 func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []string {
+	if l.fastOn(ps) {
+		return m.fastFilterTables(l, ps, in)
+	}
 	type scored struct {
 		name  string
 		score float64
@@ -300,17 +360,86 @@ func (m *Model) filterTables(l *linker, ps *PromptSchema, in nlq.Intent) []strin
 	return out
 }
 
+// fastFilterTables is filterTables on the columnar path: the per-phrase
+// slabs are fetched once, the evidence maxima walk flat index ranges in the
+// same comparison order as the reference loop, and the ranking runs a
+// stable insertion sort over a pooled scratch slice (a stable sort's output
+// is unique, so it matches sort.SliceStable exactly). Only the returned
+// keep-list is allocated.
+func (m *Model) fastFilterTables(l *linker, ps *PromptSchema, in nlq.Intent) []string {
+	in2 := ps.intern
+	root := in2.root
+	mslabs := l.slabScratch[:0]
+	mslabs = append(mslabs, l.tabSlabFor(root, in.TableMention))
+	if in.JoinTableMention != "" {
+		mslabs = append(mslabs, l.tabSlabFor(root, in.JoinTableMention))
+	}
+	groups := l.groupScratch[:0]
+	for ci := range in.Columns {
+		g := l.colGroupFor(root, in.Columns[ci].Phrase)
+		groups = append(groups, g)
+		// Materialize phrase-major: every table's sub-slab for one phrase in
+		// a row, so the builds share the phrase's decode-dedup scratch.
+		for ri := range root.tabs {
+			l.colTabIn(g, root, in.Columns[ci].Phrase, ri)
+		}
+	}
+	l.slabScratch = mslabs[:0]
+	l.groupScratch = groups[:0]
+
+	all := l.scoreScratch[:0]
+	for i := range ps.Tables {
+		ri := int(in2.tabMap[i])
+		best := 0.0
+		for mi := range mslabs {
+			if s := l.evalSlab(mslabs[mi], ri); s > best {
+				best = s
+			}
+		}
+		// Column evidence: a table whose columns match the question's column
+		// mentions is likely relevant even if its own name is opaque.
+		for ci := range groups {
+			cs := l.colTabIn(groups[ci], root, in.Columns[ci].Phrase, ri)
+			for k := 0; k < len(cs.flags); k++ {
+				if s := 0.6 * l.evalSlab(cs, k); s > best {
+					best = s
+				}
+			}
+		}
+		best += l.noiseKeyed(root.nkFilter[ri])
+		all = append(all, scoredName{ps.Tables[i].Name, best})
+	}
+	l.scoreScratch = all[:0]
+	// Stable insertion sort, descending: elements move left only past
+	// strictly smaller scores, so equal scores keep their original order.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].score > all[j-1].score; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	keep := m.Profile.FilterKeep
+	if keep > len(all) {
+		keep = len(all)
+	}
+	out := make([]string, 0, keep)
+	for _, s := range all[:keep] {
+		out = append(out, s.name)
+	}
+	return out
+}
+
 // subsetSchema memoizes subsetting per (schema, keep list): the filtering
 // stage selects from a small set of table combinations per schema, and a
 // stable *PromptSchema pointer per combination lets the downstream linking
-// calls hit the per-schema plan memo instead of rebuilding it every cell.
+// calls hit the slab memo instead of rebuilding it every cell. The memo
+// lives on the schema intern (subsetting is model-independent), so its
+// lifetime is bounded by the parse cache that owns the intern.
 func (m *Model) subsetSchema(ps *PromptSchema, keep []string) *PromptSchema {
-	if m.memo == nil {
+	if ps.intern == nil {
 		return subsetSchema(ps, keep)
 	}
-	sm := m.memo.schemaMemoFor(ps)
 	key := strings.Join(keep, "\x1f")
-	return sm.subsets.GetOrCompute(key, func() *PromptSchema {
+	return ps.intern.subsets.GetOrCompute(key, func() *PromptSchema {
 		return subsetSchema(ps, keep)
 	})
 }
@@ -321,10 +450,21 @@ func subsetSchema(ps *PromptSchema, keep []string) *PromptSchema {
 		kept[strings.ToUpper(k)] = struct{}{}
 	}
 	out := &PromptSchema{}
-	for _, t := range ps.Tables {
+	var idx []int32
+	for i, t := range ps.Tables {
 		if _, ok := kept[strings.ToUpper(t.Name)]; ok {
 			out.Tables = append(out.Tables, t)
+			idx = append(idx, int32(i))
 		}
+	}
+	if ps.intern != nil {
+		// Subsets intern as index views onto the parent: every keep-list
+		// combination replays the parent's columnar slabs instead of
+		// compiling its own grids (the filtering models otherwise produce
+		// thousands of distinct subset schemas per sweep).
+		out.intern = internSubset(ps.intern, idx)
+	} else {
+		out.intern = internSchema(out)
 	}
 	return out
 }

@@ -44,6 +44,13 @@ func (t *PromptTable) prime() {
 // names — only the (possibly naturalness-modified) prompt rendering.
 type PromptSchema struct {
 	Tables []PromptTable
+
+	// intern is the dense-id interning of the schema's identifiers and the
+	// anchor for its columnar score slabs (see intern.go). ParsePrompt and
+	// subsetSchema populate it; hand-assembled literals leave it nil and the
+	// linker falls back to the reference path, the same convention the
+	// primed noise keys follow.
+	intern *schemaIntern
 }
 
 // ParsePrompt recovers the schema graph from a schema-knowledge block in the
@@ -82,6 +89,7 @@ func ParsePrompt(block string) *PromptSchema {
 			ps.Tables = append(ps.Tables, t)
 		}
 	}
+	ps.intern = internSchema(ps)
 	return ps
 }
 

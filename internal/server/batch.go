@@ -260,9 +260,13 @@ func (bt *batcher) run(ba *inferBatch) {
 	}
 
 	shared := ""
+	var sharedPS *llm.PromptSchema
 	if workflow.SharedPrompt(ba.b) && len(ba.items) > 0 {
 		// The shared render is timed once and attributed to every traced
-		// member — each request did pay for it, amortized.
+		// member — each request did pay for it, amortized. The parsed
+		// prompt-schema handle (identifier interning, columnar score slabs)
+		// is resolved here too, so every member of the batch decodes against
+		// one interned schema instead of re-hashing the prompt text.
 		var t0 time.Time
 		for _, it := range ba.items {
 			if it.tr != nil {
@@ -271,6 +275,7 @@ func (bt *batcher) run(ba *inferBatch) {
 			}
 		}
 		shared, _ = workflow.PromptFor(ba.b, ba.items[0].q, ba.key.variant)
+		sharedPS = llm.PromptSchemaOf(shared)
 		if !t0.IsZero() {
 			d := time.Since(t0)
 			for _, it := range ba.items {
@@ -279,7 +284,7 @@ func (bt *batcher) run(ba *inferBatch) {
 		}
 	}
 	for _, it := range ba.items {
-		resp, err := bt.s.runInfer(ba, it, shared)
+		resp, err := bt.s.runInfer(ba, it, shared, sharedPS)
 		if err != nil {
 			it.out <- inferOutcome{err: err}
 			continue
@@ -291,11 +296,13 @@ func (bt *batcher) run(ba *inferBatch) {
 // runInfer is the per-item pipeline: prompt → synthetic-LLM inference →
 // denaturalization → linking scores → relaxed execution match. Gold query
 // results and predicted-query executions are memoized across requests.
-func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string) (InferResponse, *apiError) {
+func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string, sharedPS *llm.PromptSchema) (InferResponse, *apiError) {
 	ctx := trace.NewContext(context.Background(), it.tr)
 	in := workflow.RunInput{B: ba.b, Q: it.q, Variant: ba.key.variant, Model: s.modelFor(it.profile)}
 	var out workflow.RunOutput
-	if sharedPrompt != "" {
+	if sharedPS != nil {
+		out = workflow.RunWithSchemaCtx(ctx, in, sharedPrompt, nil, sharedPS)
+	} else if sharedPrompt != "" {
 		out = workflow.RunWithPromptCtx(ctx, in, sharedPrompt, nil)
 	} else {
 		out = workflow.RunCtx(ctx, in)

@@ -32,7 +32,161 @@ type Tokenizer struct {
 // Train learns merge rules from the corpus. The corpus is a whitespace
 // separated list of words; word frequency is taken as the number of times a
 // word appears. numMerges bounds the learned vocabulary size.
+//
+// The trainer keeps pair counts incrementally: symbols are interned to dense
+// int32 ids, each merge re-counts only the entries that actually contain the
+// merged pair (tracked by an occurrence index), and the arg-max is a lazy
+// max-heap of (count, pair) snapshots validated against the live counts on
+// pop. That replaces the original full-corpus recount per merge — O(merges ×
+// corpus) — with work proportional to the symbols actually rewritten. The
+// original trainer survives as trainReference; TestTrainMatchesReference
+// asserts identical merge tables, so the learned tokenizer is bit-identical.
 func Train(name, corpus string, numMerges int) *Tokenizer {
+	freq := make(map[string]int)
+	for _, w := range strings.Fields(strings.ToLower(corpus)) {
+		freq[w]++
+	}
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic training order
+
+	// Symbol interning: pair keys pack two dense ids into a uint64, so the
+	// hot maps hash integers instead of composite string keys.
+	var symtab []string
+	symID := make(map[string]int32)
+	intern := func(s string) int32 {
+		id, ok := symID[s]
+		if !ok {
+			id = int32(len(symtab))
+			symID[s] = id
+			symtab = append(symtab, s)
+		}
+		return id
+	}
+	pk := func(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+	type entry struct {
+		syms []int32
+		n    int
+	}
+	entries := make([]entry, 0, len(words))
+	counts := make(map[uint64]int)
+	// occ maps a pair to the entries it has appeared in. Entries are appended
+	// on every recount and never removed, so a list may hold stale or
+	// duplicate indices; the per-merge stamp below deduplicates and a stale
+	// entry merely recounts to an unchanged multiset.
+	occ := make(map[uint64][]int32)
+	for ei, w := range words {
+		syms := make([]int32, 0, len(w)+1)
+		for _, r := range w {
+			syms = append(syms, intern(string(r)))
+		}
+		syms = append(syms, intern("</w>"))
+		entries = append(entries, entry{syms: syms, n: freq[w]})
+		for j := 0; j+1 < len(syms); j++ {
+			k := pk(syms[j], syms[j+1])
+			counts[k] += freq[w]
+			occ[k] = append(occ[k], int32(ei))
+		}
+	}
+
+	t := &Tokenizer{
+		name:   name,
+		ranks:  make(map[pair]int, numMerges),
+		vocab:  make(map[string]struct{}),
+		merges: numMerges,
+		counts: memo.NewBounded[int](1 << 16),
+	}
+
+	// Lazy max-heap ordered like the reference arg-max scan: count
+	// descending, then lessPair ascending. Snapshots go stale when counts
+	// change; a popped snapshot is only trusted if it matches the live count
+	// (and is re-pushed with the live count otherwise), which maintains the
+	// invariant that every pair with live count >= 2 stays findable.
+	var h pairHeap
+	for k, n := range counts {
+		if n >= 2 {
+			h.push(heapItem{n, symtab[uint32(k>>32)], symtab[uint32(k)], k})
+		}
+	}
+
+	stamp := make([]int, len(entries))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	seen := make(map[uint64]int) // dirty-key dedup stamp, by merge index + 1
+	var dirty []uint64
+	for i := 0; i < numMerges; i++ {
+		var best heapItem
+		found := false
+		for len(h) > 0 {
+			it := h.pop()
+			cur := counts[it.key]
+			if cur != it.cnt {
+				if cur >= 2 {
+					h.push(heapItem{cur, it.l, it.r, it.key})
+				}
+				continue
+			}
+			if cur < 2 {
+				continue
+			}
+			best = it
+			found = true
+			break
+		}
+		if !found {
+			break // nothing left worth merging
+		}
+		t.ranks[pair{best.l, best.r}] = i
+		merged := best.l + best.r
+		t.vocab[merged] = struct{}{}
+		lid, rid, mid := symID[best.l], symID[best.r], intern(merged)
+
+		// Recount only the entries containing the merged pair: subtract each
+		// entry's full pair multiset, rewrite it, add the new multiset back.
+		// Whole-entry recounting keeps the counts identical to a from-scratch
+		// recount without per-position neighbour bookkeeping.
+		dirty = dirty[:0]
+		for _, ei := range occ[best.key] {
+			if stamp[ei] == i {
+				continue
+			}
+			stamp[ei] = i
+			e := &entries[ei]
+			for j := 0; j+1 < len(e.syms); j++ {
+				k := pk(e.syms[j], e.syms[j+1])
+				counts[k] -= e.n
+				dirty = append(dirty, k)
+			}
+			e.syms = applyMergeID(e.syms, lid, rid, mid)
+			for j := 0; j+1 < len(e.syms); j++ {
+				k := pk(e.syms[j], e.syms[j+1])
+				counts[k] += e.n
+				occ[k] = append(occ[k], ei)
+				dirty = append(dirty, k)
+			}
+		}
+		delete(occ, best.key)
+		delete(counts, best.key) // fully consumed; adjacency cannot re-form
+		for _, k := range dirty {
+			if seen[k] == i+1 {
+				continue
+			}
+			seen[k] = i + 1
+			if n := counts[k]; n >= 2 {
+				h.push(heapItem{n, symtab[uint32(k>>32)], symtab[uint32(k)], k})
+			}
+		}
+	}
+	return t
+}
+
+// trainReference is the original trainer: a full pair recount and arg-max
+// scan per merge. It is retained as the equality oracle for Train.
+func trainReference(name, corpus string, numMerges int) *Tokenizer {
 	freq := make(map[string]int)
 	for _, w := range strings.Fields(strings.ToLower(corpus)) {
 		freq[w]++
@@ -93,6 +247,84 @@ func Train(name, corpus string, numMerges int) *Tokenizer {
 		}
 	}
 	return t
+}
+
+// heapItem is one (count, pair) snapshot in the training heap. l and r are
+// the pair's symbol renderings, carried so tie-breaking never re-resolves
+// the symbol table.
+type heapItem struct {
+	cnt  int
+	l, r string
+	key  uint64
+}
+
+// pairHeap is a binary max-heap under the reference selection order:
+// higher count first, lessPair as the tie-break.
+type pairHeap []heapItem
+
+func heapLess(a, b heapItem) bool {
+	if a.cnt != b.cnt {
+		return a.cnt > b.cnt
+	}
+	if a.l != b.l {
+		return a.l < b.l
+	}
+	return a.r < b.r
+}
+
+func (h *pairHeap) push(it heapItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *pairHeap) pop() heapItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && heapLess(s[c+1], s[c]) {
+			c++
+		}
+		if !heapLess(s[c], s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
+// applyMergeID is applyMerge over interned symbol ids.
+func applyMergeID(syms []int32, left, right, merged int32) []int32 {
+	out := syms[:0]
+	i := 0
+	for i < len(syms) {
+		if i+1 < len(syms) && syms[i] == left && syms[i+1] == right {
+			out = append(out, merged)
+			i += 2
+			continue
+		}
+		out = append(out, syms[i])
+		i++
+	}
+	return out
 }
 
 func lessPair(a, b pair) bool {

@@ -132,6 +132,57 @@ func TestEncodeWordDeterministic(t *testing.T) {
 	}
 }
 
+// sameTokenizer asserts two trainers learned identical merge tables.
+func sameTokenizer(t *testing.T, got, want *Tokenizer) {
+	t.Helper()
+	if len(got.ranks) != len(want.ranks) {
+		t.Fatalf("merge count differs: got %d want %d", len(got.ranks), len(want.ranks))
+	}
+	for p, r := range want.ranks {
+		if gr, ok := got.ranks[p]; !ok || gr != r {
+			t.Fatalf("merge %q+%q: got rank %d (present=%v), want %d", p.left, p.right, gr, ok, r)
+		}
+	}
+	if len(got.vocab) != len(want.vocab) {
+		t.Fatalf("vocab size differs: got %d want %d", len(got.vocab), len(want.vocab))
+	}
+	for v := range want.vocab {
+		if _, ok := got.vocab[v]; !ok {
+			t.Fatalf("vocab missing %q", v)
+		}
+	}
+}
+
+// TestTrainMatchesReference pins the incremental trainer to the original
+// full-recount trainer: identical merge tables (and hence identical
+// encodings) on the real training corpus and on exhaustion-terminating
+// corpora where the merge budget outlives the mergeable pairs.
+func TestTrainMatchesReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		corpus string
+		merges int
+	}{
+		{"tiny", "height height height vegetation vegetation width", 50},
+		{"exhaustion", "aa ab ba bb aa ab", 1000},
+		{"corpus300", trainingCorpus(), 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameTokenizer(t, Train("x", tc.corpus, tc.merges), trainReference("x", tc.corpus, tc.merges))
+		})
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	corpus := trainingCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train("bench", corpus, 2600)
+	}
+}
+
 func BenchmarkEncode(b *testing.B) {
 	tok := ForModel(ModelGPT)
 	b.ReportAllocs()

@@ -127,10 +127,26 @@ func RunWithPromptCtx(ctx context.Context, in RunInput, prompt string, tables []
 	return runWithPrompt(ctx, in, prompt, tables)
 }
 
+// RunWithSchemaCtx is RunWithPromptCtx with a pre-parsed prompt-schema
+// handle (which must be llm.PromptSchemaOf(prompt)). Batch-level callers —
+// the sweep's per-question jobs and the serving micro-batcher — resolve the
+// handle once per (db, variant) batch so member cells skip the per-cell
+// prompt-text hash entirely.
+func RunWithSchemaCtx(ctx context.Context, in RunInput, prompt string, tables []string, ps *llm.PromptSchema) RunOutput {
+	return runWithSchema(ctx, in, prompt, tables, ps)
+}
+
 func runWithPrompt(ctx context.Context, in RunInput, prompt string, tables []string) RunOutput {
+	return runWithSchema(ctx, in, prompt, tables, nil)
+}
+
+func runWithSchema(ctx context.Context, in RunInput, prompt string, tables []string, ps *llm.PromptSchema) RunOutput {
 	tr := trace.FromContext(ctx)
 	t0 := tr.Now()
-	pred := in.Model.Infer(llm.Task{
+	if ps == nil {
+		ps = llm.PromptSchemaOf(prompt)
+	}
+	pred := in.Model.InferOn(ps, llm.Task{
 		SchemaKnowledge: prompt,
 		Question:        in.Q.Text,
 		Intent:          in.Q.Intent,

@@ -26,13 +26,21 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLoadCSV$' -fuzztime 10s ./internal/etl/
 go test -run '^$' -fuzz '^FuzzPlanExec$' -fuzztime 10s ./internal/sqlexec/
+
+echo "== decode allocation gate (zero-alloc scoring loops + Infer allocs/op budget)"
+# TestScoringLoopAllocs pins the warm columnar scoring loops at exactly zero
+# allocations; the benchmark bounds the end-to-end Infer allocation budget
+# (Prediction assembly only — ~9 allocs/op at the time the gate was set).
+go test -run 'TestScoringLoopAllocs' -count=1 ./internal/llm/ > /dev/null
+ALLOCS="$(go test -run '^$' -bench 'BenchmarkInferDecode/fast' -benchtime 2000x -benchmem ./internal/llm/ | awk '$NF == "allocs/op" {print $(NF-1)}')"
+awk -v a="$ALLOCS" 'BEGIN { if (a == "" || a+0 > 16) { print "decode Infer allocs/op budget exceeded: \"" a "\" > 16"; exit 1 } }'
 
 echo "== tracing smoke (snailsd -pprof: /debug/pprof/ + /debugz/traces, clean shutdown)"
 SNAILSD_BIN="$(mktemp -d)/snailsd"

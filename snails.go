@@ -353,6 +353,17 @@ type SweepStage struct {
 	P99Millis    float64 `json:"p99_ms"`
 }
 
+// ScalingPoint is one row of the sweep worker-scaling curve: full-grid
+// throughput at a fixed worker count, with parallel efficiency relative to
+// the curve's first point.
+type ScalingPoint = experiments.ScalingPoint
+
+// BenchScaling measures sweep throughput at each of the given worker counts
+// (a warmup sweep runs first so every point sees warmed execution memos) and
+// returns the scaling curve. Results are bit-identical at every worker
+// count; only the timings differ.
+func BenchScaling(workers []int) []ScalingPoint { return experiments.ScalingCurve(workers) }
+
 // BenchSweep runs (or returns the cached) full evaluation sweep and reports
 // its execution statistics.
 func BenchSweep() SweepStats {
