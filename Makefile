@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report fuzz serve loadtest profile baseline scaling
+.PHONY: build test vet race check bench report fuzz serve loadtest cluster-loadtest profile baseline scaling
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/
 
 # Short fuzz pass over the SQL front end, CSV ingestion, and the planner
 # differential (the same smoke scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
@@ -50,12 +50,20 @@ serve:
 loadtest:
 	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
 
+# Cluster weak-scaling table: measure in-process clusters at 1, 2, and 4
+# shards (router + shards on loopback) and print one row per shard count.
+# The committed BENCH_serve.json carries the same table; regenerate it with
+# `make baseline`. See DESIGN.md §8 for the topology and the benchmark's
+# weak-scaling rationale.
+cluster-loadtest:
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench "" -cluster-shards 1,2,4 -cluster-concurrency 2
+
 # Regenerate both committed benchmark baselines (the artifacts the
 # `snailsbench -compare` regression gate diffs against). Run this on the
 # machine that will run the gate: the baselines are absolute numbers.
 baseline:
 	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json -scaling 1,2,4,8
-	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace
+	$(GO) run ./cmd/snailsbench -loadgen -serve-bench BENCH_serve.json -trace -cluster-shards 1,2,4 -cluster-concurrency 2
 
 # Capture CPU and heap profiles from a loadgen run against an in-process
 # daemon (so the profiles cover the serving work, not just the client).

@@ -182,7 +182,7 @@ type scalingRow struct{ cps, eff, wall float64 }
 
 // serveRows builds the delta table for a pair of BENCH_serve.json artifacts.
 func serveRows(base, cur *serveStats) []compared {
-	return []compared{
+	rows := []compared{
 		{name: "requests", base: float64(base.Requests), cur: float64(cur.Requests), dir: exactCount},
 		{name: "errors", base: float64(base.Errors), cur: float64(cur.Errors), dir: exactCount},
 		{name: "requests_per_sec", base: base.RequestsPerSec, cur: cur.RequestsPerSec, dir: higherBetter},
@@ -193,6 +193,45 @@ func serveRows(base, cur *serveStats) []compared {
 		{name: "server_p50_ms", base: base.Server.LatencyP50Millis, cur: cur.Server.LatencyP50Millis, dir: infoOnly},
 		{name: "server_p99_ms", base: base.Server.LatencyP99Millis, cur: cur.Server.LatencyP99Millis, dir: infoOnly},
 	}
+
+	// server_requests_total must equal the requests the loadgen sent — the
+	// self-scrape off-by-one regression (the server once counted the
+	// loadgen's own /metricsz pull, reporting 401 for 400 sent). Only gate
+	// when the BASELINE is internally consistent: a pre-fix baseline
+	// artifact carries the off-by-one itself and would fail every post-fix
+	// run, so it gets an informational row instead.
+	dir := infoOnly
+	if base.Requests > 0 && base.Server.RequestsTotal == uint64(base.Requests) {
+		dir = exactCount
+	}
+	rows = append(rows, compared{
+		name: "server_requests_total",
+		base: float64(base.Server.RequestsTotal), cur: float64(cur.Server.RequestsTotal), dir: dir,
+	})
+
+	// Cluster weak-scaling rows: per-shard-count throughput and speedup are
+	// gated, and a shard count present in the baseline table must exist in
+	// the current one (missing-row fail) — a regenerated artifact cannot
+	// silently drop the cluster table or a row of it.
+	curPoints := map[int]*shardPoint{}
+	for i := range cur.ShardScaling {
+		pt := &cur.ShardScaling[i]
+		curPoints[pt.Shards] = pt
+	}
+	for _, pt := range base.ShardScaling {
+		sc, ok := curPoints[pt.Shards]
+		if sc == nil {
+			sc = &shardPoint{}
+		}
+		prefix := fmt.Sprintf("cluster/shards=%d_", pt.Shards)
+		rows = append(rows,
+			compared{name: prefix + "requests_per_sec", base: pt.RequestsPerSec, cur: sc.RequestsPerSec, dir: higherBetter, missing: !ok},
+			compared{name: prefix + "speedup", base: pt.Speedup, cur: sc.Speedup, dir: higherBetter, missing: !ok},
+			compared{name: prefix + "errors", base: float64(pt.Errors), cur: float64(sc.Errors), dir: exactCount, missing: !ok},
+			compared{name: prefix + "wall_clock_seconds", base: pt.WallClockSeconds, cur: sc.WallClockSeconds, dir: infoOnly, missing: !ok},
+		)
+	}
+	return rows
 }
 
 // runCompare is the -compare entry point; the returned code is the process

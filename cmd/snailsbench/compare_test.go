@@ -189,6 +189,94 @@ func TestCompareUnusableInput(t *testing.T) {
 	}
 }
 
+// TestCompareClusterRows: the per-shard-count table is gated row by row —
+// a dropped shard count fails as MISSING, a speedup regression past the
+// tolerance fails, and new errors in any row fail regardless of tolerance.
+func TestCompareClusterRows(t *testing.T) {
+	dir := t.TempDir()
+	withTable := func() serveStats {
+		st := serveFixture()
+		st.Server.RequestsTotal = uint64(st.Requests)
+		st.ShardScaling = []shardPoint{
+			{Shards: 1, Requests: 400, Concurrency: 2, WallClockSeconds: 0.26, RequestsPerSec: 1500, Speedup: 1.0},
+			{Shards: 2, Requests: 800, Concurrency: 4, WallClockSeconds: 0.22, RequestsPerSec: 3600, Speedup: 2.4},
+			{Shards: 4, Requests: 1600, Concurrency: 8, WallClockSeconds: 0.29, RequestsPerSec: 5500, Speedup: 3.6},
+		}
+		return st
+	}
+	base := writeArtifact(t, dir, "base.json", withTable())
+
+	// Identical table passes at zero tolerance.
+	if code, stdout, _ := compare(t, base, base, 0); code != 0 {
+		t.Errorf("self-compare with cluster table = %d, want 0\n%s", code, stdout)
+	}
+
+	// Dropping the 4-shard row is a missing-row failure even though every
+	// surviving metric matches.
+	cur := withTable()
+	cur.ShardScaling = cur.ShardScaling[:2]
+	against := writeArtifact(t, dir, "dropped.json", cur)
+	code, stdout, _ := compare(t, base, against, 0.10)
+	if code != 1 {
+		t.Errorf("dropped-row compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "cluster/shards=4_requests_per_sec") || !strings.Contains(stdout, "MISSING") {
+		t.Errorf("dropped-row stdout should flag cluster/shards=4 MISSING: %q", stdout)
+	}
+
+	// A speedup collapse at 4 shards regresses past the tolerance.
+	cur = withTable()
+	cur.ShardScaling[2].RequestsPerSec = 2000
+	cur.ShardScaling[2].Speedup = 1.3
+	against = writeArtifact(t, dir, "collapsed.json", cur)
+	if code, stdout, _ := compare(t, base, against, 0.10); code != 1 {
+		t.Errorf("collapsed-speedup compare = %d, want 1\n%s", code, stdout)
+	}
+
+	// Errors in a row are exact-count: one failed request trips the gate at
+	// any tolerance.
+	cur = withTable()
+	cur.ShardScaling[1].Errors = 1
+	against = writeArtifact(t, dir, "errors.json", cur)
+	if code, stdout, _ := compare(t, base, against, 10.0); code != 1 {
+		t.Errorf("cluster-errors compare = %d, want 1\n%s", code, stdout)
+	}
+}
+
+// TestCompareServerRequestsTotalGating: server_requests_total is gated
+// exactly when the baseline is internally consistent (counter == requests
+// sent); a pre-fix baseline that carries the self-scrape off-by-one only
+// yields an informational row so it cannot block the fixed server.
+func TestCompareServerRequestsTotalGating(t *testing.T) {
+	dir := t.TempDir()
+
+	// Consistent baseline: a current run whose counter drifts (the
+	// off-by-one coming back) must fail.
+	baseStats := serveFixture()
+	baseStats.Server.RequestsTotal = 400
+	curStats := serveFixture()
+	curStats.Server.RequestsTotal = 401
+	base := writeArtifact(t, dir, "base_fixed.json", baseStats)
+	against := writeArtifact(t, dir, "cur_drifted.json", curStats)
+	code, stdout, _ := compare(t, base, against, 10.0)
+	if code != 1 {
+		t.Errorf("drifted requests_total compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "server_requests_total") || !strings.Contains(stdout, "CHANGED") {
+		t.Errorf("stdout should flag server_requests_total CHANGED: %q", stdout)
+	}
+
+	// Inconsistent (pre-fix) baseline: the row is informational, so a fixed
+	// current run passes.
+	baseStats.Server.RequestsTotal = 401
+	curStats.Server.RequestsTotal = 400
+	base = writeArtifact(t, dir, "base_prefix.json", baseStats)
+	against = writeArtifact(t, dir, "cur_fixed.json", curStats)
+	if code, stdout, _ := compare(t, base, against, 0); code != 0 {
+		t.Errorf("pre-fix baseline compare = %d, want 0\n%s", code, stdout)
+	}
+}
+
 // TestCompareAgainstDefault: with -against empty the gate picks the
 // committed artifact matching the baseline's kind, resolved in the working
 // directory.

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/cluster/clustertest"
 	"github.com/snails-bench/snails/internal/server"
 	"github.com/snails-bench/snails/internal/trace"
 )
@@ -33,6 +34,18 @@ type serveStats struct {
 
 	Server server.MetricsSnapshot `json:"server"`
 
+	// ShardScaling (with -cluster-shards) is the cluster throughput table:
+	// one row per shard count, each driving an in-process cluster (router
+	// + N shards on loopback) with the offered load scaled by the shard
+	// count — N× the request volume at N× the client concurrency, the
+	// classic weak-scaling serving benchmark ("N shards absorb N tenants'
+	// traffic in the same wall clock"). Each row records its own request
+	// and concurrency columns so the scaling is explicit. Speedup is
+	// requests_per_sec relative to the 1-shard row (both through the
+	// router, so the proxy hop cancels out of the ratio). When the
+	// committed baseline carries the table, -compare gates every row.
+	ShardScaling []shardPoint `json:"shard_scaling,omitempty"`
+
 	// StageBudget (with -trace) attributes traced time to pipeline stages
 	// across every trace the server still buffers: where a marginal
 	// millisecond of serving latency actually goes. Fractions are of total
@@ -40,6 +53,17 @@ type serveStats struct {
 	StageBudget []stageBudget `json:"stage_budget,omitempty"`
 	// TracesSampled reports how many buffered traces the budget covers.
 	TracesSampled int `json:"traces_sampled,omitempty"`
+}
+
+// shardPoint is one row of the cluster weak-scaling table.
+type shardPoint struct {
+	Shards           int     `json:"shards"`
+	Requests         int     `json:"requests"`
+	Concurrency      int     `json:"concurrency"`
+	Errors           int     `json:"errors"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	RequestsPerSec   float64 `json:"requests_per_sec"`
+	Speedup          float64 `json:"speedup"`
 }
 
 // stageBudget is one pipeline stage's share of the traced serving time.
@@ -136,6 +160,129 @@ func spawnInprocServer(stderr io.Writer) (string, func(), error) {
 	return "http://" + ln.Addr().String(), stop, nil
 }
 
+// hammer drives the request list through the target at the given client
+// concurrency and returns wall-clock time, per-request latencies of the
+// successes, and the error count.
+func hammer(client *http.Client, target string, reqs []struct{ path, body string }, concurrency int, stderr io.Writer) (time.Duration, []float64, int) {
+	var (
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies = make([]float64, 0, len(reqs))
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := reqs[i]
+				t0 := time.Now()
+				resp, err := client.Post(target+r.path, "application/json", bytes.NewReader([]byte(r.body)))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				if err != nil {
+					errs.Add(1)
+					fmt.Fprintf(stderr, "snailsbench: %s: %v\n", r.path, err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					fmt.Fprintf(stderr, "snailsbench: %s: HTTP %d: %s\n", r.path, resp.StatusCode, bytes.TrimSpace(body))
+					continue
+				}
+				latMu.Lock()
+				latencies = append(latencies, ms)
+				latMu.Unlock()
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return time.Since(start), latencies, int(errs.Load())
+}
+
+// interleave reorders a request stream by a fixed stride coprime to its
+// length, deterministically spreading the workload's consecutive
+// same-(db, variant) blocks apart. The serial block order is right for a
+// single process (it feeds micro-batching), but a cluster client population
+// is many tenants hitting different databases at once — without the
+// interleave every in-flight request targets the same shard's block while
+// the other shards idle, and the table measures the stream's serialization
+// instead of the topology.
+func interleave(reqs []struct{ path, body string }) []struct{ path, body string } {
+	n := len(reqs)
+	if n == 0 {
+		return reqs
+	}
+	stride := 37
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	out := make([]struct{ path, body string }, n)
+	for k := 0; k < n; k++ {
+		out[k] = reqs[(k*stride)%n]
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// runClusterTable measures the cluster weak-scaling table through the
+// clustertest rig (real router, real shards, on loopback): the row for N
+// shards offers N× the base request volume at N× the base client
+// concurrency, so each shard sees the same per-shard load in every row and
+// speedup reports how much more traffic the topology absorbs in similar
+// wall clock. The per-shard concurrency is kept low (-cluster-concurrency,
+// default 2) so a lone shard is bound by its micro-batch window rhythm,
+// not the CPU; independent per-shard windows are exactly what sharding
+// parallelizes. Every row must complete error-free.
+func runClusterTable(cfg *benchConfig, counts []int, stdout, stderr io.Writer) ([]shardPoint, error) {
+	var points []shardPoint
+	var baseRPS float64
+	for _, n := range counts {
+		c, err := clustertest.Start(clustertest.Options{Shards: n, Preload: true})
+		if err != nil {
+			return nil, fmt.Errorf("cluster with %d shards: %w", n, err)
+		}
+		reqs := interleave(workload(cfg.requests * n))
+		concurrency := cfg.clusterConcurrency * n
+		client := &http.Client{Timeout: 30 * time.Second}
+		wall, _, errCount := hammer(client, c.RouterURL, reqs, concurrency, stderr)
+		c.Stop()
+
+		pt := shardPoint{
+			Shards:           n,
+			Requests:         len(reqs),
+			Concurrency:      concurrency,
+			Errors:           errCount,
+			WallClockSeconds: wall.Seconds(),
+			RequestsPerSec:   float64(len(reqs)) / wall.Seconds(),
+		}
+		if baseRPS == 0 {
+			baseRPS = pt.RequestsPerSec
+		}
+		pt.Speedup = pt.RequestsPerSec / baseRPS
+		points = append(points, pt)
+		fmt.Fprintf(stdout, "cluster: shards=%d requests=%d concurrency=%d wall=%.2fs rps=%.0f speedup=%.2fx errors=%d\n",
+			pt.Shards, pt.Requests, pt.Concurrency, pt.WallClockSeconds, pt.RequestsPerSec, pt.Speedup, pt.Errors)
+		if errCount > 0 {
+			return points, fmt.Errorf("cluster with %d shards: %d requests failed", n, errCount)
+		}
+	}
+	return points, nil
+}
+
 // runLoadgen hammers the target server with the deterministic workload and
 // writes BENCH_serve.json. Exit status 0 requires every request to succeed.
 func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
@@ -183,52 +330,12 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 	reqs := workload(cfg.requests)
 	client := &http.Client{Timeout: 30 * time.Second}
 
-	var (
-		errs      atomic.Int64
-		latMu     sync.Mutex
-		latencies = make([]float64, 0, len(reqs))
-	)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < cfg.concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				r := reqs[i]
-				t0 := time.Now()
-				resp, err := client.Post(target+r.path, "application/json", bytes.NewReader([]byte(r.body)))
-				ms := float64(time.Since(t0)) / float64(time.Millisecond)
-				if err != nil {
-					errs.Add(1)
-					fmt.Fprintf(stderr, "snailsbench: %s: %v\n", r.path, err)
-					continue
-				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errs.Add(1)
-					fmt.Fprintf(stderr, "snailsbench: %s: HTTP %d: %s\n", r.path, resp.StatusCode, bytes.TrimSpace(body))
-					continue
-				}
-				latMu.Lock()
-				latencies = append(latencies, ms)
-				latMu.Unlock()
-			}
-		}()
-	}
-	for i := range reqs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	wall := time.Since(start)
+	wall, latencies, errCount := hammer(client, target, reqs, cfg.concurrency, stderr)
 
 	stats := serveStats{
 		Target:           target,
 		Requests:         len(reqs),
-		Errors:           int(errs.Load()),
+		Errors:           errCount,
 		Concurrency:      cfg.concurrency,
 		WallClockSeconds: wall.Seconds(),
 		RequestsPerSec:   float64(len(reqs)) / wall.Seconds(),
@@ -264,6 +371,17 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 				stats.StageBudget = stageBudgetFrom(tr.Traces)
 			}
 			resp.Body.Close()
+		}
+	}
+
+	// With -cluster-shards, append the weak-scaling cluster table. It runs
+	// after the single-target measurement so the artifact carries both.
+	if counts, _ := parseWorkerCounts(cfg.clusterShards); len(counts) > 0 {
+		points, err := runClusterTable(cfg, counts, stdout, stderr)
+		stats.ShardScaling = points
+		if err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
 		}
 	}
 

@@ -58,14 +58,16 @@ type benchConfig struct {
 	scaling  string
 
 	// loadgen mode
-	loadgen     bool
-	target      string
-	requests    int
-	concurrency int
-	serveOut    string
-	trace       bool
-	cpuProfile  string
-	memProfile  string
+	loadgen            bool
+	target             string
+	requests           int
+	concurrency        int
+	serveOut           string
+	trace              bool
+	cpuProfile         string
+	memProfile         string
+	clusterShards      string
+	clusterConcurrency int
 
 	// compare mode (regression gate)
 	compare   string
@@ -94,6 +96,8 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	fs.BoolVar(&cfg.trace, "trace", false, "loadgen: pull /debugz/traces after the run and add a per-stage time budget to the serving stats")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "loadgen: write a CPU profile to this file (covers the in-process server too)")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "loadgen: write a heap profile to this file after the run")
+	fs.StringVar(&cfg.clusterShards, "cluster-shards", "", "loadgen: also measure in-process clusters at these comma-separated shard counts (e.g. 1,2,4) under concurrency scaled per shard, and embed the table in the serving stats")
+	fs.IntVar(&cfg.clusterConcurrency, "cluster-concurrency", 2, "loadgen: client concurrency PER SHARD for the -cluster-shards table (kept low so a lone shard is window-bound, which is what sharding parallelizes)")
 	fs.StringVar(&cfg.compare, "compare", "", "regression gate: treat this artifact as the baseline, diff it against -against, exit non-zero past -tolerance")
 	fs.StringVar(&cfg.against, "against", "", "compare: current artifact (empty picks BENCH_sweep.json or BENCH_serve.json to match the baseline kind)")
 	fs.Float64Var(&cfg.tolerance, "tolerance", 0.10, "compare: allowed relative regression per gated metric")
@@ -105,14 +109,18 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if cfg.requests <= 0 || cfg.concurrency <= 0 {
-		return nil, fmt.Errorf("-requests and -concurrency must be positive")
+	if cfg.requests <= 0 || cfg.concurrency <= 0 || cfg.clusterConcurrency <= 0 {
+		return nil, fmt.Errorf("-requests, -concurrency, and -cluster-concurrency must be positive")
 	}
 	if cfg.tolerance < 0 {
 		return nil, fmt.Errorf("-tolerance must be non-negative")
 	}
 	if _, err := parseWorkerCounts(cfg.scaling); err != nil {
 		fmt.Fprintln(stderr, "snailsbench:", err)
+		return nil, err
+	}
+	if _, err := parseWorkerCounts(cfg.clusterShards); err != nil {
+		fmt.Fprintln(stderr, "snailsbench: -cluster-shards:", err)
 		return nil, err
 	}
 	if _, err := obs.NewLogger(io.Discard, cfg.logFormat, cfg.logLevel); err != nil {

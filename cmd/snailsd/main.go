@@ -41,6 +41,15 @@ type config struct {
 	pprof        bool
 	logFormat    string
 	logLevel     string
+
+	// Cluster topology (DESIGN.md §8). -cluster turns the process into the
+	// stateless router; -cluster-shards spawns and supervises N local
+	// workers, -cluster-peers routes to externally-managed shards instead.
+	// -shard-id marks a worker process and stamps its responses.
+	cluster       bool
+	clusterShards int
+	clusterPeers  string
+	shardID       string
 }
 
 // parseFlags parses argv into a config using an isolated FlagSet.
@@ -60,11 +69,30 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding ("+obs.LogFormats+")")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level (debug|info|warn|error)")
+	fs.BoolVar(&cfg.cluster, "cluster", false, "run as a cluster router instead of a single server")
+	fs.IntVar(&cfg.clusterShards, "cluster-shards", 2, "worker shards to spawn and supervise locally (with -cluster)")
+	fs.StringVar(&cfg.clusterPeers, "cluster-peers", "", "comma-separated shard addresses to route to instead of spawning (with -cluster)")
+	fs.StringVar(&cfg.shardID, "shard-id", "", "shard name stamped on responses (set by -cluster when spawning workers)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.cluster && cfg.shardID != "" {
+		err := fmt.Errorf("-cluster and -shard-id are mutually exclusive (the router spawns workers itself)")
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return nil, err
+	}
+	if cfg.cluster && cfg.clusterPeers == "" && cfg.clusterShards < 1 {
+		err := fmt.Errorf("-cluster-shards must be >= 1, got %d", cfg.clusterShards)
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return nil, err
+	}
+	if !cfg.cluster && cfg.clusterPeers != "" {
+		err := fmt.Errorf("-cluster-peers requires -cluster")
+		fmt.Fprintln(stderr, "snailsd:", err)
+		return nil, err
 	}
 	if _, err := obs.NewLogger(io.Discard, cfg.logFormat, cfg.logLevel); err != nil {
 		fmt.Fprintln(stderr, "snailsd:", err)
@@ -82,6 +110,7 @@ func (c *config) serverConfig(log *slog.Logger) server.Config {
 		Workers:        c.workers,
 		TraceBuffer:    c.traceBuffer,
 		EnablePprof:    c.pprof,
+		ShardID:        c.shardID,
 		Logger:         log,
 	}
 }
@@ -153,5 +182,8 @@ func main() {
 	}
 	signals := make(chan os.Signal, 1)
 	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	if cfg.cluster {
+		os.Exit(runCluster(cfg, os.Stderr, nil, signals))
+	}
 	os.Exit(run(cfg, os.Stderr, nil, signals))
 }

@@ -1,0 +1,402 @@
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/snails-bench/snails/internal/cluster"
+	"github.com/snails-bench/snails/internal/server"
+)
+
+// reqSpec is one request in a replayable stream.
+type reqSpec struct {
+	path string
+	body string
+}
+
+// testStream is a deterministic request mix across databases, variants, and
+// endpoints — enough spread to land on every shard of a small cluster.
+func testStream() []reqSpec {
+	var out []reqSpec
+	for _, db := range []string{"ASIS", "NTSB", "CWO", "PILB"} {
+		for _, variant := range []string{"native", "regular", "low"} {
+			for qid := 1; qid <= 2; qid++ {
+				out = append(out, reqSpec{"/v1/infer", fmt.Sprintf(
+					`{"db":%q,"model":"gpt-4o","variant":%q,"question_id":%d}`, db, variant, qid)})
+			}
+		}
+	}
+	out = append(out,
+		reqSpec{"/v1/classify", `{"identifiers":["vegetation_height","tbl_emp","xqz"]}`},
+		reqSpec{"/v1/modify", `{"op":"expand","identifier":"veg_hght"}`},
+		reqSpec{"/v1/link", `{"gold_sql":"SELECT a FROM t","pred_sql":"SELECT a FROM t"}`},
+	)
+	return out
+}
+
+// soloResponses replays the stream against a fresh single-process server and
+// returns status + body per request — the reference a cluster must match
+// byte-for-byte.
+func soloResponses(cfg server.Config, stream []reqSpec) []*httptest.ResponseRecorder {
+	s := server.New(cfg)
+	defer s.Drain()
+	out := make([]*httptest.ResponseRecorder, len(stream))
+	for i, spec := range stream {
+		req := httptest.NewRequest(http.MethodPost, spec.path, strings.NewReader(spec.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		out[i] = rec
+	}
+	return out
+}
+
+// post sends one stream request through the cluster router.
+func post(t *testing.T, client *http.Client, base string, spec reqSpec) (int, []byte, string) {
+	t.Helper()
+	resp, err := client.Post(base+spec.path, "application/json", strings.NewReader(spec.body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", spec.path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", spec.path, err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Snails-Shard")
+}
+
+// clusterMetricsz pulls and decodes the router's aggregated /metricsz.
+func clusterMetricsz(t *testing.T, client *http.Client, base string) cluster.ClusterMetricsz {
+	t.Helper()
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatalf("GET /metricsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc cluster.ClusterMetricsz
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode /metricsz: %v", err)
+	}
+	return doc
+}
+
+func startCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestClusterByteIdentity: the same request stream against one process and
+// a 2-shard cluster yields identical status codes and byte-identical bodies;
+// the only cluster-visible difference is the X-Snails-Shard header.
+func TestClusterByteIdentity(t *testing.T) {
+	stream := testStream()
+	solo := soloResponses(server.Config{}, stream)
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	shardsSeen := map[string]bool{}
+	for i, spec := range stream {
+		status, body, shard := post(t, client, c.RouterURL, spec)
+		if status != solo[i].Code {
+			t.Fatalf("request %d (%s %s): cluster status %d, solo %d",
+				i, spec.path, spec.body, status, solo[i].Code)
+		}
+		if !bytes.Equal(body, solo[i].Body.Bytes()) {
+			t.Fatalf("request %d (%s %s): cluster body differs from solo\ncluster: %s\nsolo:    %s",
+				i, spec.path, spec.body, body, solo[i].Body.Bytes())
+		}
+		if shard == "" {
+			t.Fatalf("request %d: cluster response missing X-Snails-Shard header", i)
+		}
+		shardsSeen[shard] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("stream touched shards %v, want both shards of the cluster", shardsSeen)
+	}
+}
+
+// TestKillShardUnderLoad: SIGKILL-ing a shard mid-load produces zero wrong
+// answers and zero client-visible errors — the router re-hashes every
+// affected request onto the surviving shard within the retry budget.
+func TestKillShardUnderLoad(t *testing.T) {
+	stream := testStream()
+	solo := soloResponses(server.Config{}, stream)
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+
+	const clients = 4
+	const perClient = 40
+	killAt := int64(clients * perClient / 4)
+
+	var sent atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; i < perClient; i++ {
+				n := sent.Add(1)
+				if n == killAt {
+					killOnce.Do(func() { c.KillShard(0) })
+				}
+				idx := (w*perClient + i) % len(stream)
+				spec := stream[idx]
+				resp, err := client.Post(c.RouterURL+spec.path, "application/json", strings.NewReader(spec.body))
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %v", w, i, err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != solo[idx].Code {
+					errs <- fmt.Errorf("client %d request %d (%s): status %d, want %d (body %s)",
+						w, i, spec.path, resp.StatusCode, solo[idx].Code, body)
+					continue
+				}
+				if !bytes.Equal(body, solo[idx].Body.Bytes()) {
+					errs <- fmt.Errorf("client %d request %d (%s): wrong answer\ngot:  %s\nwant: %s",
+						w, i, spec.path, body, solo[idx].Body.Bytes())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := clusterMetricsz(t, &http.Client{Timeout: 10 * time.Second}, c.RouterURL)
+	if snap.Router.AliveShards != 1 {
+		t.Errorf("alive shards after kill = %d, want 1", snap.Router.AliveShards)
+	}
+	if snap.Router.RetriesTotal == 0 {
+		t.Errorf("router reports zero retries despite a shard dying under load")
+	}
+}
+
+// TestDrainFinishesInflight: draining a shard lets its in-flight micro-
+// batches finish — every request issued before the drain completes with the
+// correct body — and the router routes around it afterwards.
+func TestDrainFinishesInflight(t *testing.T) {
+	stream := testStream()
+	cfg := server.Config{BatchWindow: 40 * time.Millisecond}
+	solo := soloResponses(cfg, stream)
+	c := startCluster(t, Options{Shards: 2, Preload: true, ShardConfig: cfg})
+
+	// Fire a wave of requests; with the widened batch window they sit in
+	// shard queues when the drain starts.
+	var wg sync.WaitGroup
+	type result struct {
+		idx    int
+		status int
+		body   []byte
+	}
+	results := make(chan result, len(stream))
+	for i, spec := range stream {
+		wg.Add(1)
+		go func(i int, spec reqSpec) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			resp, err := client.Post(c.RouterURL+spec.path, "application/json", strings.NewReader(spec.body))
+			if err != nil {
+				results <- result{idx: i, status: -1}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- result{i, resp.StatusCode, body}
+		}(i, spec)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.DrainShard(0, 10*time.Second); err != nil {
+		t.Errorf("drain did not finish in-flight work within grace: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.status != solo[r.idx].Code {
+			t.Errorf("request %d: status %d, want %d (body %s)", r.idx, r.status, solo[r.idx].Code, r.body)
+			continue
+		}
+		if !bytes.Equal(r.body, solo[r.idx].Body.Bytes()) {
+			t.Errorf("request %d: wrong answer after drain\ngot:  %s\nwant: %s", r.idx, r.body, solo[r.idx].Body.Bytes())
+		}
+	}
+
+	// The drained shard is out of rotation; traffic keeps flowing.
+	if err := c.WaitAlive(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, spec := range stream[:6] {
+		status, _, shard := post(t, client, c.RouterURL, spec)
+		if status != http.StatusOK {
+			t.Errorf("post-drain request to %s: status %d, want 200", spec.path, status)
+		}
+		if shard == "shard-0" {
+			t.Errorf("post-drain request routed to drained shard 0")
+		}
+	}
+}
+
+// TestRestartRejoinsAndRewarms: a killed shard restarted on the same address
+// rejoins the ring and re-warms its memo caches — the aggregated /metricsz
+// hit counters recover once the stream replays.
+func TestRestartRejoinsAndRewarms(t *testing.T) {
+	stream := testStream()
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	replay := func() {
+		for _, spec := range stream {
+			status, _, _ := post(t, client, c.RouterURL, spec)
+			if status != http.StatusOK {
+				t.Fatalf("replay request %s: status %d", spec.path, status)
+			}
+		}
+	}
+
+	// Warm both shards, then verify the stream is fully cached.
+	replay()
+	before := clusterMetricsz(t, client, c.RouterURL)
+	replay()
+	warm := clusterMetricsz(t, client, c.RouterURL)
+	if got := warm.CacheHits - before.CacheHits; got < uint64(len(stream)) {
+		t.Fatalf("warm replay hit cache %d times, want >= %d", got, len(stream))
+	}
+
+	c.KillShard(0)
+	if err := c.WaitAlive(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitAlive(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// First replay re-warms the restarted shard's empty caches (its share of
+	// the stream misses); the next replay must be fully hot again.
+	replay()
+	rewarmed := clusterMetricsz(t, client, c.RouterURL)
+	replay()
+	hot := clusterMetricsz(t, client, c.RouterURL)
+	if got := hot.CacheHits - rewarmed.CacheHits; got < uint64(len(stream)) {
+		t.Fatalf("post-restart replay hit cache %d times, want >= %d — restarted shard did not re-warm", got, len(stream))
+	}
+
+	// Both shards are serving again.
+	shardsSeen := map[string]bool{}
+	for _, spec := range stream {
+		_, _, shard := post(t, client, c.RouterURL, spec)
+		shardsSeen[shard] = true
+	}
+	if !shardsSeen["shard-0"] {
+		t.Errorf("restarted shard 0 receives no traffic after rejoin (saw %v)", shardsSeen)
+	}
+}
+
+// TestProbeFaults: dropped probes take a healthy shard out of rotation
+// without dropping client traffic; probes slower than the timeout read as
+// down; recovery is automatic when the fault clears.
+func TestProbeFaults(t *testing.T) {
+	stream := testStream()
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	c.DropProbes(1, true)
+	if err := c.WaitAlive(1, 5*time.Second); err != nil {
+		t.Fatalf("dropped probes did not mark the shard down: %v", err)
+	}
+	for _, spec := range stream[:8] {
+		status, _, shard := post(t, client, c.RouterURL, spec)
+		if status != http.StatusOK {
+			t.Errorf("request during probe outage: status %d, want 200", status)
+		}
+		if shard == "shard-1" {
+			t.Errorf("request routed to shard with failing probes")
+		}
+	}
+	c.DropProbes(1, false)
+	if err := c.WaitAlive(2, 10*time.Second); err != nil {
+		t.Fatalf("shard did not recover after probes resumed: %v", err)
+	}
+
+	// Probes slower than the probe timeout are failures too.
+	c.SlowProbes(1, 2*time.Second)
+	if err := c.WaitAlive(1, 10*time.Second); err != nil {
+		t.Fatalf("slow probes did not mark the shard down: %v", err)
+	}
+	c.SlowProbes(1, 0)
+	if err := c.WaitAlive(2, 10*time.Second); err != nil {
+		t.Fatalf("shard did not recover after slow probes cleared: %v", err)
+	}
+}
+
+// TestAggregatedMetrics: the router's /metrics merges shard expositions
+// under shard="<name>" labels alongside its own families, and /metricsz
+// sums shard counters so the cluster reads like one process.
+func TestAggregatedMetrics(t *testing.T) {
+	stream := testStream()
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, spec := range stream {
+		post(t, client, c.RouterURL, spec)
+	}
+
+	snap := clusterMetricsz(t, client, c.RouterURL)
+	if snap.RequestsTotal != uint64(len(stream)) {
+		t.Errorf("aggregated requests_total = %d, want %d", snap.RequestsTotal, len(stream))
+	}
+	if snap.Router.RequestsTotal != uint64(len(stream)) {
+		t.Errorf("router requests_total = %d, want %d", snap.Router.RequestsTotal, len(stream))
+	}
+	if len(snap.ShardHealth) != 2 {
+		t.Fatalf("shard_health has %d entries, want 2", len(snap.ShardHealth))
+	}
+	var shardReqs uint64
+	for _, sh := range snap.ShardHealth {
+		if !sh.Alive {
+			t.Errorf("shard %s not alive in healthy cluster", sh.Name)
+		}
+		shardReqs += sh.Requests
+	}
+	if shardReqs != uint64(len(stream)) {
+		t.Errorf("per-shard routed requests sum to %d, want %d", shardReqs, len(stream))
+	}
+
+	resp, err := client.Get(c.RouterURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"snails_router_requests_total",
+		`shard="shard-0"`,
+		`shard="shard-1"`,
+		"snails_http_requests_total{",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("aggregated /metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardState is the router's view of one worker shard: its address, its
+// probed liveness, and the counters the aggregated metrics expose. The
+// router reads alive on every request; only the health loop (and the
+// fast-path mark-down on a transport error) writes it.
+type shardState struct {
+	name string
+	base string // http://host:port, no trailing slash
+
+	alive    atomic.Bool
+	draining atomic.Bool // shard answered healthz 503/"draining"
+	pid      atomic.Int64
+
+	probes   atomic.Uint64
+	failures atomic.Uint64
+	requests atomic.Uint64 // proxied requests answered by this shard
+	retries  atomic.Uint64 // attempts moved off this shard mid-request
+
+	// kick wakes the health loop for an immediate re-probe (a transport
+	// error is stronger evidence than waiting out the probe interval).
+	kick chan struct{}
+
+	lastErrMu sync.Mutex
+	lastErr   string
+}
+
+func newShardState(name, base string) *shardState {
+	return &shardState{name: name, base: base, kick: make(chan struct{}, 1)}
+}
+
+func (s *shardState) setErr(err error) {
+	s.lastErrMu.Lock()
+	if err == nil {
+		s.lastErr = ""
+	} else {
+		s.lastErr = err.Error()
+	}
+	s.lastErrMu.Unlock()
+}
+
+func (s *shardState) lastError() string {
+	s.lastErrMu.Lock()
+	defer s.lastErrMu.Unlock()
+	return s.lastErr
+}
+
+// markDown records a request-path transport failure: the shard is routed
+// around immediately and the health loop re-probes without waiting out its
+// interval.
+func (s *shardState) markDown(err error) {
+	s.alive.Store(false)
+	s.setErr(err)
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ShardHealth is one shard's row in the router's /healthz and /metricsz
+// documents.
+type ShardHealth struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining,omitempty"`
+	Pid      int    `json:"pid,omitempty"`
+	Probes   uint64 `json:"probes"`
+	Failures uint64 `json:"probe_failures"`
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+func (s *shardState) health() ShardHealth {
+	return ShardHealth{
+		Name:     s.name,
+		Addr:     s.base,
+		Alive:    s.alive.Load(),
+		Draining: s.draining.Load(),
+		Pid:      int(s.pid.Load()),
+		Probes:   s.probes.Load(),
+		Failures: s.failures.Load(),
+		Requests: s.requests.Load(),
+		Retries:  s.retries.Load(),
+		LastErr:  s.lastError(),
+	}
+}
+
+// healthLoop probes one shard's /healthz until stop closes. A healthy shard
+// is probed every interval; failures back off exponentially (capped at
+// 8×interval) so a dead shard is not hammered, and a kick — sent when the
+// request path sees a transport error, or right after a supervised restart —
+// short-circuits the wait for fast rejoin.
+func (rt *Router) healthLoop(s *shardState, stop <-chan struct{}) {
+	defer rt.loops.Done()
+	interval := rt.cfg.HealthInterval
+	backoff := interval
+	timer := time.NewTimer(0) // first probe immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		case <-s.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		wasAlive := s.alive.Load()
+		err := rt.probe(s)
+		if err == nil {
+			s.alive.Store(true)
+			s.setErr(nil)
+			backoff = interval
+			if !wasAlive {
+				rt.logger.Info("shard rejoined", slog.String("shard", s.name), slog.String("addr", s.base))
+			}
+			timer.Reset(interval)
+			continue
+		}
+		s.failures.Add(1)
+		s.alive.Store(false)
+		s.setErr(err)
+		if wasAlive {
+			rt.logger.Warn("shard unhealthy", slog.String("shard", s.name),
+				slog.String("addr", s.base), slog.String("err", err.Error()))
+		}
+		timer.Reset(backoff)
+		if backoff < 8*interval {
+			backoff *= 2
+		}
+	}
+}
+
+// probe performs one /healthz round trip under the probe timeout. A shard
+// that answers anything but 200 (a draining shard answers 503) counts as
+// not routable; draining is recorded separately so operators can tell a
+// clean drain from a crash.
+func (rt *Router) probe(s *shardState) error {
+	s.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		s.draining.Store(false)
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		s.draining.Store(resp.StatusCode == http.StatusServiceUnavailable)
+		return fmt.Errorf("healthz answered HTTP %d", resp.StatusCode)
+	}
+	s.draining.Store(false)
+	return nil
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/datasets"
+)
+
+func testUniverse() []string {
+	return Universe(datasets.Names, WireVariants)
+}
+
+func shardNames(n int) []string {
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7"}
+	return names[:n]
+}
+
+func ringLoads(r *Ring, universe []string) []int {
+	loads := make([]int, r.Shards())
+	for _, k := range universe {
+		loads[r.Shard(k)]++
+	}
+	return loads
+}
+
+// TestRingBalance: over the full benchmark (db, variant) universe, no shard
+// may hold more than 15% above the even share — at any shard count the
+// cluster benchmark uses.
+func TestRingBalance(t *testing.T) {
+	u := testUniverse()
+	for _, n := range []int{1, 2, 3, 4} {
+		r := NewRing(shardNames(n), u)
+		even := float64(len(u)) / float64(n)
+		for i, load := range ringLoads(r, u) {
+			if float64(load) > even*1.15 {
+				t.Errorf("%d shards: shard %d holds %d keys, > 15%% over even share %.1f", n, i, load, even)
+			}
+		}
+	}
+}
+
+// TestRingFailoverMovement: when a shard dies, the router does not rebuild
+// the ring — it walks Ranking(key) past the dead shard. So exactly the dead
+// shard's keys move (at most ceil(|universe|/N) ≤ "1/N of keys"), and every
+// key owned by a surviving shard stays put.
+func TestRingFailoverMovement(t *testing.T) {
+	u := testUniverse()
+	const n = 4
+	r := NewRing(shardNames(n), u)
+	bound := (len(u) + n - 1) / n
+
+	for dead := 0; dead < n; dead++ {
+		moved := 0
+		for _, k := range u {
+			owner := r.Shard(k)
+			failover := ownerAvoiding(r, k, dead)
+			if owner != dead {
+				if failover != owner {
+					t.Fatalf("key %q owned by live shard %d moved to %d when shard %d died", k, owner, failover, dead)
+				}
+				continue
+			}
+			if failover == dead {
+				t.Fatalf("key %q still routed to dead shard %d", k, dead)
+			}
+			moved++
+		}
+		if moved > bound {
+			t.Errorf("shard %d leaving moved %d keys, want <= ceil(%d/%d) = %d", dead, moved, len(u), n, bound)
+		}
+	}
+}
+
+// ownerAvoiding is the router's failover rule: the first shard in the key's
+// ranking that is not down.
+func ownerAvoiding(r *Ring, key string, dead int) int {
+	for _, s := range r.Ranking(key) {
+		if s != dead {
+			return s
+		}
+	}
+	return dead
+}
+
+// TestRingDeterministicPlacement: two rings built from the same topology —
+// a router before and after a restart — place every key identically, even
+// when the universe arrives in a different order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	u := testUniverse()
+	reversed := make([]string, len(u))
+	for i, k := range u {
+		reversed[len(u)-1-i] = k
+	}
+	a := NewRing(shardNames(4), u)
+	b := NewRing(shardNames(4), u)
+	c := NewRing(shardNames(4), reversed)
+	probe := append(append([]string(nil), u...), Key("ADHOC", "native"), Key("", ""), Key("NOPE", "x"))
+	for _, k := range probe {
+		if a.Shard(k) != b.Shard(k) || a.Shard(k) != c.Shard(k) {
+			t.Fatalf("key %q placement differs across identical topologies: %d / %d / %d",
+				k, a.Shard(k), b.Shard(k), c.Shard(k))
+		}
+		if !reflect.DeepEqual(a.Ranking(k), b.Ranking(k)) {
+			t.Fatalf("key %q ranking differs across identical topologies", k)
+		}
+	}
+}
+
+// TestRingRankingShape: a ranking is a permutation of all shards with the
+// owner first, so walking it visits every possible failover target exactly
+// once.
+func TestRingRankingShape(t *testing.T) {
+	u := testUniverse()
+	r := NewRing(shardNames(4), u)
+	probe := append(append([]string(nil), u...), Key("ADHOC", "regular"))
+	for _, k := range probe {
+		rank := r.Ranking(k)
+		if len(rank) != r.Shards() {
+			t.Fatalf("key %q ranking has %d entries, want %d", k, len(rank), r.Shards())
+		}
+		if rank[0] != r.Shard(k) {
+			t.Fatalf("key %q ranking starts at %d, owner is %d", k, rank[0], r.Shard(k))
+		}
+		seen := make([]bool, r.Shards())
+		for _, s := range rank {
+			if s < 0 || s >= r.Shards() || seen[s] {
+				t.Fatalf("key %q ranking %v is not a permutation", k, rank)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestUniverseShape: the universe enumerates every (db, variant) pair plus
+// the empty-db key per variant, so db-less traffic is pre-balanced too.
+func TestUniverseShape(t *testing.T) {
+	u := testUniverse()
+	want := (len(datasets.Names) + 1) * len(WireVariants)
+	if len(u) != want {
+		t.Fatalf("universe has %d keys, want %d", len(u), want)
+	}
+	seen := map[string]bool{}
+	for _, k := range u {
+		if seen[k] {
+			t.Fatalf("universe has duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+	for _, v := range WireVariants {
+		if !seen[Key("", v)] {
+			t.Errorf("universe missing empty-db key for variant %q", v)
+		}
+		for _, db := range datasets.Names {
+			if !seen[Key(db, v)] {
+				t.Errorf("universe missing key for (%s, %q)", db, v)
+			}
+		}
+	}
+}
+
+// TestRingUnknownKeyFallback: keys outside the universe still place
+// deterministically via pure rendezvous hashing.
+func TestRingUnknownKeyFallback(t *testing.T) {
+	r := NewRing(shardNames(4), testUniverse())
+	for _, k := range []string{Key("ADHOC", "native"), Key("ZZZ", ""), "free-form"} {
+		s := r.Shard(k)
+		if s < 0 || s >= r.Shards() {
+			t.Fatalf("unknown key %q placed on invalid shard %d", k, s)
+		}
+		if again := r.Shard(k); again != s {
+			t.Fatalf("unknown key %q placement unstable: %d then %d", k, s, again)
+		}
+	}
+}

@@ -1,0 +1,644 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snails-bench/snails/internal/obs"
+	"github.com/snails-bench/snails/internal/server"
+)
+
+// Shard names one worker process the router can forward to.
+type Shard struct {
+	Name string // stable identity (ring placement hashes this)
+	Base string // base URL, e.g. http://127.0.0.1:9001
+}
+
+// Config parameterizes a Router. The zero value of every optional field is
+// production-ready.
+type Config struct {
+	// Shards is the worker set; at least one is required.
+	Shards []Shard
+	// Universe is the known placement-key set (cluster.Universe of the
+	// benchmark databases); it seeds the balanced ring assignment.
+	Universe []string
+	// HealthInterval spaces /healthz probes per shard (default 250ms);
+	// probe failures back off exponentially to 8× this.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// RetryBudget caps forwarding attempts per request (default 8). A
+	// transport failure marks the shard down and re-hashes the request to
+	// the next shard in the key's ranking; when no shard is routable the
+	// router waits RetryWait between attempts, so the budget also bounds
+	// how long a request rides out a full restart.
+	RetryBudget int
+	// RetryWait is the pause before re-attempting when no shard is
+	// routable (default 250ms).
+	RetryWait time.Duration
+	// MaxBodyBytes caps proxied request bodies (default 1 MiB, matching the
+	// shard servers).
+	MaxBodyBytes int64
+	// Transport overrides the forwarding transport (tests inject faults).
+	Transport http.RoundTripper
+	// ProbeTransport overrides the health-probe transport independently of
+	// the request path, so probe faults (slow, dropped) can be injected
+	// without touching live traffic.
+	ProbeTransport http.RoundTripper
+	// Logger receives router logs; defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+	if c.RetryWait <= 0 {
+		c.RetryWait = 250 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Router is the cluster front end: an http.Handler that owns no benchmark
+// state at all — every answer is computed by a shard — so it can be
+// restarted, scaled, or replicated freely. Placement is the deterministic
+// ring; liveness is the probed shard set; the proxy path buffers each
+// request body once and replays it across retries.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shardState
+	logger *slog.Logger
+
+	client      *http.Client
+	probeClient *http.Client
+
+	reg *obs.Registry
+
+	requests   atomic.Uint64 // proxied API requests
+	retried    atomic.Uint64 // forwarding attempts beyond each request's first
+	unroutable atomic.Uint64 // requests that exhausted the retry budget
+
+	mux      *http.ServeMux
+	draining chan struct{}
+	drainOne sync.Once
+	inflight sync.WaitGroup
+
+	stop    chan struct{}
+	stopOne sync.Once
+	loops   sync.WaitGroup
+}
+
+// NewRouter builds a Router and starts its health loops. Call Close (or
+// Drain) to stop them.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: router needs at least one shard")
+	}
+	names := make([]string, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		names[i] = s.Name
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(names, cfg.Universe),
+		logger:   cfg.Logger,
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	if rt.logger == nil {
+		rt.logger = slog.Default()
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = defaultTransport()
+	}
+	probeTransport := cfg.ProbeTransport
+	if probeTransport == nil {
+		probeTransport = transport
+	}
+	rt.client = &http.Client{Transport: transport}
+	rt.probeClient = &http.Client{Transport: probeTransport}
+
+	for _, s := range cfg.Shards {
+		rt.shards = append(rt.shards, newShardState(s.Name, strings.TrimRight(s.Base, "/")))
+	}
+	rt.registerMetrics()
+
+	rt.mux.HandleFunc("/v1/", rt.handleProxy)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metricsz", rt.handleMetricsz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/debugz/traces", rt.handleTraces)
+
+	for _, s := range rt.shards {
+		rt.loops.Add(1)
+		go rt.healthLoop(s, rt.stop)
+	}
+	return rt, nil
+}
+
+// defaultTransport is tuned for many small loopback round trips: connection
+// reuse matters more than per-host idle caps.
+func defaultTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 128
+	t.IdleConnTimeout = 30 * time.Second
+	return t
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// SetPID records a locally-spawned shard's process id; it surfaces in
+// /healthz and /metricsz so tooling (the check.sh kill smoke) can target a
+// specific worker process.
+func (rt *Router) SetPID(i, pid int) {
+	if i >= 0 && i < len(rt.shards) {
+		rt.shards[i].pid.Store(int64(pid))
+	}
+}
+
+// KickProbe short-circuits a shard's probe wait (the supervisor calls this
+// right after respawning a worker, so rejoin is bounded by probe latency,
+// not the backed-off interval).
+func (rt *Router) KickProbe(i int) {
+	if i >= 0 && i < len(rt.shards) {
+		select {
+		case rt.shards[i].kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ShardHealths snapshots every shard's router-side state.
+func (rt *Router) ShardHealths() []ShardHealth {
+	out := make([]ShardHealth, len(rt.shards))
+	for i, s := range rt.shards {
+		out[i] = s.health()
+	}
+	return out
+}
+
+// AliveShards counts currently-routable shards.
+func (rt *Router) AliveShards() int {
+	n := 0
+	for _, s := range rt.shards {
+		if s.alive.Load() && !s.draining.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// BeginShutdown flips /healthz to draining and rejects new proxied requests
+// with 503, so load balancers rotate the router out while in-flight
+// requests finish.
+func (rt *Router) BeginShutdown() {
+	rt.drainOne.Do(func() { close(rt.draining) })
+}
+
+// Drain waits for in-flight proxied requests, then stops the health loops.
+// The shards themselves are drained by whoever owns their processes.
+func (rt *Router) Drain() {
+	rt.BeginShutdown()
+	rt.inflight.Wait()
+	rt.Close()
+}
+
+// Close stops the health loops without touching in-flight requests.
+func (rt *Router) Close() {
+	rt.stopOne.Do(func() { close(rt.stop) })
+	rt.loops.Wait()
+}
+
+func (rt *Router) isDraining() bool {
+	select {
+	case <-rt.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// routeKey extracts the placement key from a request body. Bodies that do
+// not parse still route (deterministically, on the empty key); the shard
+// owns rejecting them, so the router stays byte-identical to a single
+// process on every input.
+func routeKey(body []byte) string {
+	var probe struct {
+		DB      string `json:"db"`
+		Variant string `json:"variant"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	return Key(probe.DB, probe.Variant)
+}
+
+// pickShard returns the first routable shard in the key's ranking, or -1.
+func (rt *Router) pickShard(ranking []int, tried []bool) int {
+	for _, i := range ranking {
+		if tried != nil && tried[i] {
+			continue
+		}
+		s := rt.shards[i]
+		if s.alive.Load() && !s.draining.Load() {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleProxy forwards one API request to its shard, re-hashing to the next
+// shard in the ranking on transport failure and riding out full outages
+// (every shard down, e.g. mid-restart) with bounded waits. Responses are
+// streamed back unmodified except for the X-Snails-Shard header, so cluster
+// bodies stay byte-identical to single-process ones.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	if rt.isDraining() {
+		rt.writeError(w, http.StatusServiceUnavailable, "draining", "router is shutting down")
+		return
+	}
+	rt.inflight.Add(1)
+	defer rt.inflight.Done()
+
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST", r.URL.Path)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		rt.writeError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
+		return
+	}
+
+	ranking := rt.ring.Ranking(routeKey(body))
+	// tried marks shards that failed THIS request at transport level; the
+	// set resets each wait round so a restarted shard is retried.
+	tried := make([]bool, len(rt.shards))
+	attempts := 0
+	var lastErr error
+	for attempts < rt.cfg.RetryBudget {
+		if err := r.Context().Err(); err != nil {
+			rt.writeCtxError(w, err)
+			return
+		}
+		idx := rt.pickShard(ranking, tried)
+		if idx < 0 {
+			// Nothing routable right now. Wait out a restart (bounded by the
+			// remaining budget) rather than failing instantly.
+			attempts++
+			for i := range tried {
+				tried[i] = false
+			}
+			select {
+			case <-r.Context().Done():
+				rt.writeCtxError(w, r.Context().Err())
+				return
+			case <-time.After(rt.cfg.RetryWait):
+			}
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			rt.retried.Add(1)
+			rt.shards[idx].retries.Add(1)
+		}
+		resp, err := rt.forward(r, idx, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				rt.writeCtxError(w, r.Context().Err())
+				return
+			}
+			tried[idx] = true
+			rt.shards[idx].markDown(err)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The shard is draining or saturated; both are transient, so the
+			// budget retries elsewhere (or later) instead of surfacing 503.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			tried[idx] = true
+			lastErr = fmt.Errorf("shard %s answered 503", rt.shards[idx].name)
+			continue
+		}
+		rt.relay(w, resp, idx)
+		return
+	}
+	rt.unroutable.Add(1)
+	msg := "no shard available within the retry budget"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s (last error: %v)", msg, lastErr)
+	}
+	rt.writeError(w, http.StatusBadGateway, "no_shard", "%s", msg)
+}
+
+// forward performs one attempt against one shard.
+func (rt *Router) forward(r *http.Request, idx int, body []byte) (*http.Response, error) {
+	s := rt.shards[idx]
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, s.base+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	return resp, nil
+}
+
+// relay copies a shard response to the client, tagging which shard served
+// it. A body read error mid-copy cannot be retried (the status line is
+// already out), so it just truncates — the client sees a short read.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, idx int) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Snails-Shard", rt.shards[idx].name)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// ClusterHealth is the router's /healthz document.
+type ClusterHealth struct {
+	Status string        `json:"status"` // "ok" | "degraded" | "down" | "draining"
+	Shards []ShardHealth `json:"shards"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	alive := rt.AliveShards()
+	doc := ClusterHealth{Shards: rt.ShardHealths()}
+	status := http.StatusOK
+	switch {
+	case rt.isDraining():
+		doc.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case alive == len(rt.shards):
+		doc.Status = "ok"
+	case alive > 0:
+		doc.Status = "degraded"
+	default:
+		doc.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	rt.writeDoc(w, status, doc)
+}
+
+// RouterStats is the router's own counter block inside /metricsz.
+type RouterStats struct {
+	RequestsTotal   uint64 `json:"requests_total"`
+	RetriesTotal    uint64 `json:"retries_total"`
+	UnroutableTotal uint64 `json:"unroutable_total"`
+	AliveShards     int    `json:"alive_shards"`
+	Shards          int    `json:"shards"`
+}
+
+// ClusterMetricsz aggregates shard /metricsz snapshots. The embedded
+// MetricsSnapshot sums counters across shards (so existing consumers — the
+// loadgen, dashboards — read a cluster exactly like a single process), and
+// the shard and router blocks carry the per-shard breakdown.
+type ClusterMetricsz struct {
+	server.MetricsSnapshot
+	Router      RouterStats   `json:"router"`
+	ShardHealth []ShardHealth `json:"shard_health"`
+}
+
+// shardSnapshots fetches /metricsz from every alive shard concurrently.
+func (rt *Router) shardSnapshots(ctx context.Context) []server.MetricsSnapshot {
+	out := make([]*server.MetricsSnapshot, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		if !s.alive.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/metricsz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				return
+			}
+			var snap server.MetricsSnapshot
+			if json.NewDecoder(resp.Body).Decode(&snap) == nil {
+				out[i] = &snap
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	snaps := make([]server.MetricsSnapshot, 0, len(out))
+	for _, s := range out {
+		if s != nil {
+			snaps = append(snaps, *s)
+		}
+	}
+	return snaps
+}
+
+func (rt *Router) routerStats() RouterStats {
+	return RouterStats{
+		RequestsTotal:   rt.requests.Load(),
+		RetriesTotal:    rt.retried.Load(),
+		UnroutableTotal: rt.unroutable.Load(),
+		AliveShards:     rt.AliveShards(),
+		Shards:          len(rt.shards),
+	}
+}
+
+func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	doc := ClusterMetricsz{
+		MetricsSnapshot: server.MergeSnapshots(rt.shardSnapshots(ctx)),
+		Router:          rt.routerStats(),
+		ShardHealth:     rt.ShardHealths(),
+	}
+	rt.writeDoc(w, http.StatusOK, doc)
+}
+
+// handleMetrics serves the aggregated Prometheus exposition: the router's
+// own families first, then every alive shard's scrape re-labeled with
+// shard="<name>" so per-shard series stay distinguishable.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		rt.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "/metrics requires GET")
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	var buf bytes.Buffer
+	rt.reg.WriteText(&buf)
+
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	sources := make([]obs.Exposition, 0, len(rt.shards))
+	for _, s := range rt.shards {
+		if !s.alive.Load() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		text, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		sources = append(sources, obs.Exposition{Value: s.name, Text: text})
+	}
+	w.Write(buf.Bytes())
+	obs.MergeExpositions(w, "shard", sources)
+}
+
+// handleTraces fans /debugz/traces out to every alive shard and
+// concatenates the buffered traces in shard order. 404 means every shard
+// runs with tracing disabled.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	merged := server.TracesResponse{}
+	found := false
+	for _, s := range rt.shards {
+		if !s.alive.Load() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/debugz/traces?"+r.URL.RawQuery, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			var tr server.TracesResponse
+			if json.NewDecoder(resp.Body).Decode(&tr) == nil {
+				merged.Traces = append(merged.Traces, tr.Traces...)
+				merged.Slowest = tr.Slowest
+				found = true
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+	if !found {
+		rt.writeError(w, http.StatusNotFound, "tracing_disabled", "no shard has tracing enabled")
+		return
+	}
+	rt.writeDoc(w, http.StatusOK, merged)
+}
+
+// registerMetrics builds the router's own Prometheus families.
+func (rt *Router) registerMetrics() {
+	r := obs.NewRegistry()
+	rt.reg = r
+	r.CounterFunc("snails_router_requests_total", "API requests received by the cluster router.",
+		func() float64 { return float64(rt.requests.Load()) })
+	r.CounterFunc("snails_router_retries_total", "Forwarding attempts beyond each request's first.",
+		func() float64 { return float64(rt.retried.Load()) })
+	r.CounterFunc("snails_router_unroutable_total", "Requests that exhausted the retry budget.",
+		func() float64 { return float64(rt.unroutable.Load()) })
+	shardUp := make([]obs.Series, len(rt.shards))
+	shardReq := make([]obs.Series, len(rt.shards))
+	for i, s := range rt.shards {
+		s := s
+		label := []obs.Label{{Name: "shard", Value: s.name}}
+		shardUp[i] = obs.Series{Labels: label, F: func() float64 {
+			if s.alive.Load() {
+				return 1
+			}
+			return 0
+		}}
+		shardReq[i] = obs.Series{Labels: label, F: func() float64 { return float64(s.requests.Load()) }}
+	}
+	r.GaugeSeries("snails_router_shard_up", "Shard routability as probed (1 alive, 0 down).", shardUp...)
+	r.CounterSeries("snails_router_shard_requests_total", "Requests answered per shard.", shardReq...)
+	r.RegisterRuntime()
+}
+
+func (rt *Router) writeDoc(w http.ResponseWriter, status int, doc any) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "encode_failed", "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// writeError mirrors the shard servers' uniform error body shape.
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	body, _ := json.Marshal(struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}{struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{code, fmt.Sprintf(format, args...)}})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (rt *Router) writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+		return
+	}
+	rt.writeError(w, 499, "canceled", "client canceled the request")
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition is one source scrape for MergeExpositions: the text exposition
+// plus the label value identifying where it came from.
+type Exposition struct {
+	Value string // label value, e.g. the shard name
+	Text  []byte // a Prometheus text-format v0.0.4 scrape
+}
+
+// MergeExpositions folds several Prometheus text expositions into one,
+// prefixing every sample with `label="<value>"` so same-named series from
+// different sources stay distinguishable. The cluster router uses it to
+// aggregate shard scrapes under shard="<name>".
+//
+// Families (a # HELP/# TYPE comment pair and its samples) are merged by
+// name: the first source's comments win, samples from every source follow
+// in source order, and families are emitted in sorted name order — the same
+// diffable discipline as Registry.WriteText. Sample lines are rewritten
+// textually (the label block either starts after the metric name or is
+// created), so histograms, counters, and gauges all pass through unchanged
+// apart from the added label.
+func MergeExpositions(w io.Writer, label string, sources []Exposition) error {
+	type mergedFamily struct {
+		help, typ string
+		samples   []string
+	}
+	families := map[string]*mergedFamily{}
+	var order []string
+
+	for _, src := range sources {
+		prefix := label + `="` + escapeLabelValue(src.Value) + `"`
+		var cur *mergedFamily
+		for _, line := range strings.Split(string(src.Text), "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				rest := line[len("# HELP "):]
+				name := rest
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					name = rest[:i]
+				}
+				f, ok := families[name]
+				if !ok {
+					f = &mergedFamily{}
+					families[name] = f
+					order = append(order, name)
+				}
+				cur = f
+				if strings.HasPrefix(line, "# HELP ") && f.help == "" {
+					f.help = line
+				}
+				if strings.HasPrefix(line, "# TYPE ") && f.typ == "" {
+					f.typ = line
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") || cur == nil {
+				continue
+			}
+			cur.samples = append(cur.samples, relabelSample(line, prefix))
+		}
+	}
+
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := families[name]
+		if f.help != "" {
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		if f.typ != "" {
+			bw.WriteString(f.typ)
+			bw.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			bw.WriteString(s)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// relabelSample injects a label pair into one sample line. The metric name
+// ends at '{' (labeled sample) or at the first space (bare sample).
+func relabelSample(line, labelPair string) string {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		// name{...} value — existing labels follow ours.
+		rest := line[i+1:]
+		if strings.HasPrefix(rest, "}") {
+			return line[:i] + "{" + labelPair + rest
+		}
+		return line[:i] + "{" + labelPair + "," + rest
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return line[:i] + "{" + labelPair + "}" + line[i:]
+	}
+	return line
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMergeExpositionsRelabelsAndMerges(t *testing.T) {
+	shard0 := []byte(`# HELP snails_http_requests_total Requests received, by path.
+# TYPE snails_http_requests_total counter
+snails_http_requests_total{path="/v1/infer"} 10
+snails_http_requests_total{path="/v1/link"} 2
+# HELP snails_uptime_seconds Seconds since the server was constructed.
+# TYPE snails_uptime_seconds gauge
+snails_uptime_seconds 5.5
+`)
+	shard1 := []byte(`# HELP snails_http_requests_total Requests received, by path.
+# TYPE snails_http_requests_total counter
+snails_http_requests_total{path="/v1/infer"} 7
+# HELP snails_cache_hits_total Cache lookups that found their key.
+# TYPE snails_cache_hits_total counter
+snails_cache_hits_total{cache="response"} 3
+`)
+
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, "shard", []Exposition{
+		{Value: "shard-0", Text: shard0},
+		{Value: "shard-1", Text: shard1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`snails_http_requests_total{shard="shard-0",path="/v1/infer"} 10`,
+		`snails_http_requests_total{shard="shard-0",path="/v1/link"} 2`,
+		`snails_http_requests_total{shard="shard-1",path="/v1/infer"} 7`,
+		// Bare samples gain a label block.
+		`snails_uptime_seconds{shard="shard-0"} 5.5`,
+		`snails_cache_hits_total{shard="shard-1",cache="response"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Same-named families merge under ONE comment pair — Prometheus rejects
+	// duplicate # TYPE lines.
+	if n := strings.Count(out, "# TYPE snails_http_requests_total"); n != 1 {
+		t.Errorf("family comments duplicated: %d TYPE lines\n%s", n, out)
+	}
+
+	// Families are emitted in sorted name order for diffable scrapes.
+	var familyOrder []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			familyOrder = append(familyOrder, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(familyOrder); i++ {
+		if familyOrder[i-1] > familyOrder[i] {
+			t.Errorf("families not sorted: %v", familyOrder)
+		}
+	}
+}
+
+func TestMergeExpositionsEscapesLabelValue(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, "shard", []Exposition{
+		{Value: `weird"name\`, Text: []byte("# HELP m x\n# TYPE m counter\nm 1\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `m{shard="weird\"name\\"} 1`) {
+		t.Errorf("label value not escaped: %s", buf.String())
+	}
+}
+
+func TestRelabelSampleEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m{} 1`, `m{shard="s"} 1`},
+		{`m{a="b"} 1`, `m{shard="s",a="b"} 1`},
+		{`m 1`, `m{shard="s"} 1`},
+		// Histogram bucket lines pass through with the label prepended.
+		{`m_bucket{le="0.5"} 4`, `m_bucket{shard="s",le="0.5"} 4`},
+	}
+	for _, c := range cases {
+		if got := relabelSample(c.in, `shard="s"`); got != c.want {
+			t.Errorf("relabelSample(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

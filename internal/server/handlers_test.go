@@ -384,8 +384,13 @@ func TestMetricsz(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
 		t.Fatal(err)
 	}
-	if m.RequestsTotal < 5 {
-		t.Errorf("requests_total = %d, want >= 5", m.RequestsTotal)
+	// Exactly the 4 workload requests: the /metricsz pull itself must not
+	// count (it is observability traffic, reported separately).
+	if m.RequestsTotal != 4 {
+		t.Errorf("requests_total = %d, want 4", m.RequestsTotal)
+	}
+	if m.ObservabilityTotal != 1 {
+		t.Errorf("observability_requests_total = %d, want 1", m.ObservabilityTotal)
 	}
 	if m.ErrorsTotal != 1 {
 		t.Errorf("errors_total = %d, want 1", m.ErrorsTotal)

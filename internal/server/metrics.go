@@ -96,24 +96,37 @@ func (m *metrics) endpointCount(path string) uint64 {
 	return v.(*atomic.Uint64).Load()
 }
 
+// observabilityPaths are the endpoints whose traffic is monitoring-induced —
+// scrapes and trace pulls — rather than workload. They still appear in
+// requests_by_path, but requests_total excludes them: a loadgen run that
+// sends 400 requests and then scrapes /metricsz must read back exactly 400,
+// or the -compare gate's workload count depends on how often something
+// scraped the server. (The original off-by-one: the loadgen's own final
+// /metricsz pull counted itself, reporting 401.)
+var observabilityPaths = []string{"/metrics", "/metricsz", "/debugz/traces"}
+
 // MetricsSnapshot is the /metricsz response document.
 type MetricsSnapshot struct {
-	UptimeSeconds    float64           `json:"uptime_seconds"`
-	RequestsTotal    uint64            `json:"requests_total"`
-	RequestsByPath   map[string]uint64 `json:"requests_by_path"`
-	ErrorsTotal      uint64            `json:"errors_total"`
-	TimeoutsTotal    uint64            `json:"timeouts_total"`
-	Inflight         int64             `json:"inflight"`
-	CacheHits        uint64            `json:"cache_hits"`
-	CacheMisses      uint64            `json:"cache_misses"`
-	CacheHitRatio    float64           `json:"cache_hit_ratio"`
-	CacheEntries     int               `json:"cache_entries"`
-	CacheEvictions   uint64            `json:"cache_evictions"`
-	Batches          uint64            `json:"batches"`
-	BatchedRequests  uint64            `json:"batched_requests"`
-	MeanBatchSize    float64           `json:"mean_batch_size"`
-	LatencyP50Millis float64           `json:"latency_p50_ms"`
-	LatencyP99Millis float64           `json:"latency_p99_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RequestsTotal counts workload (API) requests only; self-induced
+	// observability traffic is reported separately so scraping the server
+	// never perturbs the gated workload count.
+	RequestsTotal      uint64            `json:"requests_total"`
+	ObservabilityTotal uint64            `json:"observability_requests_total"`
+	RequestsByPath     map[string]uint64 `json:"requests_by_path"`
+	ErrorsTotal        uint64            `json:"errors_total"`
+	TimeoutsTotal      uint64            `json:"timeouts_total"`
+	Inflight           int64             `json:"inflight"`
+	CacheHits          uint64            `json:"cache_hits"`
+	CacheMisses        uint64            `json:"cache_misses"`
+	CacheHitRatio      float64           `json:"cache_hit_ratio"`
+	CacheEntries       int               `json:"cache_entries"`
+	CacheEvictions     uint64            `json:"cache_evictions"`
+	Batches            uint64            `json:"batches"`
+	BatchedRequests    uint64            `json:"batched_requests"`
+	MeanBatchSize      float64           `json:"mean_batch_size"`
+	LatencyP50Millis   float64           `json:"latency_p50_ms"`
+	LatencyP99Millis   float64           `json:"latency_p99_ms"`
 
 	// Stages breaks request latency down by pipeline stage (queue, prompt
 	// render, decode, parse, exec, match) from the trace collector's
@@ -127,6 +140,14 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 	// counts. (An earlier version evaluated uptime first inside the struct
 	// literal, so counters incremented during snapshot assembly could exceed
 	// what the reported uptime accounted for.)
+	//
+	// Observability-path counts load BEFORE the request total: every such
+	// request increments both counters, so this order guarantees the
+	// subtraction below never underflows even mid-increment.
+	var obsTotal uint64
+	for _, p := range observabilityPaths {
+		obsTotal += m.endpointCount(p)
+	}
 	requests := m.requests.Load()
 	errs, timeouts := m.errors.Load(), m.timeouts.Load()
 	inflight := m.inflight.Load()
@@ -147,21 +168,22 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 		return true
 	})
 	return MetricsSnapshot{
-		UptimeSeconds:    time.Since(m.start).Seconds(),
-		RequestsTotal:    requests,
-		RequestsByPath:   byPath,
-		ErrorsTotal:      errs,
-		TimeoutsTotal:    timeouts,
-		Inflight:         inflight,
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		CacheHitRatio:    ratio,
-		CacheEntries:     cacheEntries,
-		CacheEvictions:   cacheEvictions,
-		Batches:          batches,
-		BatchedRequests:  batched,
-		MeanBatchSize:    meanBatch,
-		LatencyP50Millis: ps[0],
-		LatencyP99Millis: ps[1],
+		UptimeSeconds:      time.Since(m.start).Seconds(),
+		RequestsTotal:      requests - obsTotal,
+		ObservabilityTotal: obsTotal,
+		RequestsByPath:     byPath,
+		ErrorsTotal:        errs,
+		TimeoutsTotal:      timeouts,
+		Inflight:           inflight,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheHitRatio:      ratio,
+		CacheEntries:       cacheEntries,
+		CacheEvictions:     cacheEvictions,
+		Batches:            batches,
+		BatchedRequests:    batched,
+		MeanBatchSize:      meanBatch,
+		LatencyP50Millis:   ps[0],
+		LatencyP99Millis:   ps[1],
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -63,5 +64,49 @@ func TestLatencyRingWrapAround(t *testing.T) {
 	// The smallest retained sample is 100µs = 0.1ms.
 	if got[0] < 0.1-1e-9 {
 		t.Errorf("oldest samples should have been evicted, min=%v", got[0])
+	}
+}
+
+// Regression: scraping the server must not count toward requests_total.
+// The original bug: a loadgen that sent 400 API requests and then pulled
+// /metricsz to read the counters got back requests_total=401 — the scrape
+// counted itself, so the workload count depended on how often anything
+// observed the server. Observability traffic is now reported separately.
+func TestMetricsSelfScrapeExcluded(t *testing.T) {
+	s := newTestServer()
+	defer s.Drain()
+
+	const apiRequests = 5
+	for i := 0; i < apiRequests; i++ {
+		if rec := do(s, "POST", "/v1/classify", validBody("/v1/classify"), nil); rec.Code != 200 {
+			t.Fatalf("classify request %d: status %d", i, rec.Code)
+		}
+	}
+	// Scrape every observability endpoint a few times, interleaved — none
+	// of it may leak into the workload count.
+	for i := 0; i < 3; i++ {
+		do(s, "GET", "/metricsz", "", nil)
+		do(s, "GET", "/metrics", "", nil)
+		do(s, "GET", "/debugz/traces", "", nil)
+	}
+
+	rec := do(s, "GET", "/metricsz", "", nil)
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode /metricsz: %v", err)
+	}
+	if snap.RequestsTotal != apiRequests {
+		t.Errorf("requests_total = %d, want %d (observability traffic leaked in)", snap.RequestsTotal, apiRequests)
+	}
+	// 3 full scrape rounds plus the final /metricsz pull.
+	if snap.ObservabilityTotal != 10 {
+		t.Errorf("observability_requests_total = %d, want 10", snap.ObservabilityTotal)
+	}
+	// The per-path map still records everything, so nothing is hidden.
+	if snap.RequestsByPath["/metricsz"] != 4 {
+		t.Errorf("requests_by_path[/metricsz] = %d, want 4", snap.RequestsByPath["/metricsz"])
+	}
+	if snap.RequestsByPath["/v1/classify"] != apiRequests {
+		t.Errorf("requests_by_path[/v1/classify] = %d, want %d", snap.RequestsByPath["/v1/classify"], apiRequests)
 	}
 }

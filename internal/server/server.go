@@ -71,6 +71,11 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default; snailsd's -pprof flag sets it).
 	EnablePprof bool
+	// ShardID, when non-empty, is stamped on every response as the
+	// X-Snails-Shard header. Cluster workers set it so the byte-identity
+	// guarantee can be checked modulo shard attribution (bodies identical,
+	// only the header differs).
+	ShardID string
 	// Logger receives the server's structured logs (access records at debug,
 	// 5xx responses at warn). Defaults to slog.Default(), so a binary that
 	// installs an obs.NewLogger as the process default gets request-scoped
@@ -197,6 +202,9 @@ func (s *Server) Preload() {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ShardID != "" {
+		w.Header().Set("X-Snails-Shard", s.cfg.ShardID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

@@ -4,9 +4,15 @@
 # The -race pass covers the packages the parallel sweep engine and the
 # serving layer touch: the worker pool and memoized caches in experiments,
 # the shared linking memos in llm, the per-cell pipeline in workflow, the
-# clock-hand cache in memo, and the batching HTTP server. It runs with
-# -short so the determinism test uses a database subset (goroutine
-# interleaving is what the race detector needs, not the full grid).
+# clock-hand cache in memo, the batching HTTP server, and the cluster
+# router plus its fault-injection harness (kill/restart/drain under load).
+# It runs with -short so the determinism test uses a database subset
+# (goroutine interleaving is what the race detector needs, not the full
+# grid).
+#
+# The cluster smoke exercises the real binary topology: a router spawning
+# two shard processes, load through the router while one shard takes
+# SIGKILL (zero client-visible errors required), then a SIGTERM drain.
 #
 # The fuzz smoke replays each target's committed corpus and mutates for ten
 # seconds — long enough to catch shallow regressions in the SQL front end,
@@ -26,7 +32,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
@@ -76,6 +82,45 @@ awk -v a="$M1" -v b="$M2" -v c="$C2" 'BEGIN { if (!(b > a && c >= 1)) { print "s
 kill -TERM "$SNAILSD_PID"
 wait "$SNAILSD_PID"
 rm -rf "$(dirname "$SNAILSD_BIN")"
+
+echo "== cluster smoke (router + 2 shards, SIGKILL one mid-load, clean drain)"
+CSCRATCH="$(mktemp -d)"
+go build -o "$CSCRATCH/snailsd" ./cmd/snailsd
+go build -o "$CSCRATCH/snailsbench" ./cmd/snailsbench
+"$CSCRATCH/snailsd" -cluster -cluster-shards 2 -addr 127.0.0.1:18941 -preload=false &
+ROUTER_PID=$!
+tries=0
+until curl -fsS http://127.0.0.1:18941/healthz 2>/dev/null | grep -q '"status":"ok"'; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 150 ]; then
+        echo "cluster router never reported all shards alive" >&2
+        kill "$ROUTER_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+# Background load through the router; every request must succeed even though
+# a shard dies mid-run (the router retries onto the survivor and the
+# supervisor respawns the victim).
+"$CSCRATCH/snailsbench" -loadgen -target http://127.0.0.1:18941 -requests 200 -concurrency 4 -serve-bench "" > "$CSCRATCH/loadgen.out" 2>&1 &
+LOADGEN_PID=$!
+sleep 0.3
+SHARD_PID="$(curl -fsS http://127.0.0.1:18941/metricsz | tr ',' '\n' | grep -m1 '"pid"' | grep -o '[0-9][0-9]*' | head -1)"
+if [ -z "$SHARD_PID" ]; then
+    echo "could not extract a shard pid from /metricsz" >&2
+    kill "$ROUTER_PID" 2>/dev/null || true
+    exit 1
+fi
+kill -9 "$SHARD_PID"
+if ! wait "$LOADGEN_PID"; then
+    echo "cluster loadgen failed after shard kill:" >&2
+    cat "$CSCRATCH/loadgen.out" >&2
+    kill "$ROUTER_PID" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID"
+rm -rf "$CSCRATCH"
 
 echo "== benchmark regression gate (snailsbench -compare)"
 go build -o "$SCRATCH/snailsbench" ./cmd/snailsbench
