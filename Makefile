@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench report fuzz serve loadtest cluster-loadtest profile baseline scaling
+.PHONY: build test vet race check bench report fuzz serve loadtest cluster-loadtest profile baseline scaling backends
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # the determinism test on a database subset; interleaving, not grid size, is
 # what the race detector exercises.
 race:
-	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/
+	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/ ./internal/backend/ ./internal/config/
 
 # Short fuzz pass over the SQL front end, CSV ingestion, and the planner
 # differential (the same smoke scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
@@ -41,6 +41,13 @@ report:
 # the -compare gate checks per worker count). One timed full sweep per count.
 scaling:
 	$(GO) run ./cmd/snailsbench -out report.txt -bench BENCH_sweep.json -scaling 1,2,4,8
+
+# Model-backend gate: race-test the backend interface + config packages,
+# then run the bounded config-driven sweep end to end against the hermetic
+# mock /v1/chat/completions server (see DESIGN.md §9).
+backends:
+	$(GO) test -race ./internal/backend/ ./internal/config/
+	$(GO) run ./cmd/snailsbench -config configs/mock-http.json
 
 # Run the serving daemon on :8080 (Ctrl-C drains gracefully).
 serve:

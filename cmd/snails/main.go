@@ -118,6 +118,7 @@ commands:
   expand <identifier> [metadata.csv]    expand an abbreviated identifier (optionally grounded)
   summary                               headline benchmark digest
   bench [-parallel n] [-json file]      run the evaluation sweep and report throughput
+        [-config file] [-cells file]    ... or the sweep an experiment config describes (see configs/)
 
 global flags (before the command):
   -log-format text|json                 structured log encoding (default text)
@@ -334,6 +335,8 @@ func cmdBench(args []string) error {
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	jsonOut := fs.String("json", "", "also write the stats as JSON to this file")
 	scaling := fs.String("scaling", "", "also measure the worker scaling curve at these comma-separated worker counts (e.g. 1,2,4,8)")
+	configPath := fs.String("config", "", "run the sweep a declarative experiment config describes (JSON; see configs/) instead of the full default grid")
+	cells := fs.String("cells", "", "write the canonical per-cell dump to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -342,7 +345,43 @@ func cmdBench(args []string) error {
 		return err
 	}
 	snails.SetParallelism(*parallel)
-	st := snails.BenchSweep()
+
+	var st snails.SweepStats
+	if *configPath != "" {
+		if *scaling != "" {
+			return fmt.Errorf("-scaling measures the default grid; it cannot combine with -config")
+		}
+		var cellsW io.Writer
+		if *cells != "" {
+			f, err := os.Create(*cells)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			cellsW = f
+		}
+		if st, err = snails.RunExperimentConfig(*configPath, cellsW); err != nil {
+			return err
+		}
+		return printBenchStats(st, counts, jsonOut)
+	}
+	st = snails.BenchSweep()
+	if *cells != "" {
+		f, err := os.Create(*cells)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := snails.WriteSweepCells(f); err != nil {
+			return err
+		}
+	}
+	return printBenchStats(st, counts, jsonOut)
+}
+
+// printBenchStats renders sweep stats (and the optional scaling curve) the
+// way bench always has, shared by the flag and config paths.
+func printBenchStats(st snails.SweepStats, counts []int, jsonOut *string) error {
 	fmt.Printf("cells:      %d\n", st.Cells)
 	fmt.Printf("workers:    %d\n", st.Workers)
 	fmt.Printf("wall clock: %.3fs\n", st.WallClockSeconds)

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/snails-bench/snails/internal/experiments"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // The -compare mode is the benchmark regression gate: it diffs a baseline
@@ -29,7 +32,8 @@ type compared struct {
 	name      string
 	base, cur float64
 	dir       direction
-	missing   bool // present in the baseline, absent from the current run
+	missing   bool   // present in the baseline, absent from the current run
+	note      string // appended to the status column, e.g. why a row is ungated
 }
 
 // delta is the signed relative change from baseline to current.
@@ -61,18 +65,23 @@ func (c compared) regressed(tol float64) bool {
 }
 
 func (c compared) status(tol float64) string {
+	var s string
 	switch {
 	case c.missing:
-		return "MISSING"
+		s = "MISSING"
 	case c.dir == exactCount && c.base != c.cur:
-		return "CHANGED"
+		s = "CHANGED"
 	case c.regressed(tol):
-		return "REGRESSED"
+		s = "REGRESSED"
 	case c.dir == infoOnly:
-		return "info"
+		s = "info"
 	default:
-		return "ok"
+		s = "ok"
 	}
+	if c.note != "" {
+		s += " (" + c.note + ")"
+	}
+	return s
 }
 
 // artifactKind tags which benchmark schema a JSON artifact carries.
@@ -157,28 +166,58 @@ func sweepRows(base, cur *benchStats) []compared {
 	// the single-worker numbers stay clean. A worker count present in the
 	// baseline curve must exist in the current one (missing-row fail), so a
 	// regenerated artifact cannot silently drop the curve.
-	curScaling := map[int]*scalingRow{}
+	curScaling := map[int]*experiments.ScalingPoint{}
 	for i := range cur.Scaling {
-		pt := &cur.Scaling[i]
-		curScaling[pt.Workers] = &scalingRow{cps: pt.CellsPerSec, eff: pt.Efficiency, wall: pt.WallClockSeconds}
+		curScaling[cur.Scaling[i].Workers] = &cur.Scaling[i]
 	}
 	for _, pt := range base.Scaling {
 		sc, ok := curScaling[pt.Workers]
 		if sc == nil {
-			sc = &scalingRow{}
+			sc = &experiments.ScalingPoint{}
 		}
 		prefix := fmt.Sprintf("scaling/workers=%d_", pt.Workers)
+
+		// Efficiency at Workers > GOMAXPROCS measures scheduler
+		// oversubscription, not the engine, so the row is annotated rather
+		// than gated when either side ran oversubscribed. Rows from
+		// pre-GOMAXPROCS artifacts (field absent, zero) stay gated.
+		effDir, effNote := higherBetter, ""
+		if oversubscribed(pt) || oversubscribed(*sc) {
+			effDir, effNote = infoOnly, "workers>gomaxprocs"
+		}
 		rows = append(rows,
-			compared{name: prefix + "cells_per_sec", base: pt.CellsPerSec, cur: sc.cps, dir: higherBetter, missing: !ok},
-			compared{name: prefix + "efficiency", base: pt.Efficiency, cur: sc.eff, dir: higherBetter, missing: !ok},
-			compared{name: prefix + "wall_clock_seconds", base: pt.WallClockSeconds, cur: sc.wall, dir: infoOnly, missing: !ok},
+			compared{name: prefix + "cells_per_sec", base: pt.CellsPerSec, cur: sc.CellsPerSec, dir: higherBetter, missing: !ok},
+			compared{name: prefix + "efficiency", base: pt.Efficiency, cur: sc.Efficiency, dir: effDir, missing: !ok, note: effNote},
+			compared{name: prefix + "wall_clock_seconds", base: pt.WallClockSeconds, cur: sc.WallClockSeconds, dir: infoOnly, missing: !ok},
 		)
+
+		// Per-row stage presence: the baseline curve pads every pipeline
+		// stage into each row (zero-count rows included), so a stage that
+		// vanishes from a regenerated artifact — the sql_exec-swallowed-by-
+		// the-warmup-memo bug — fails here as MISSING instead of silently
+		// comparing clean. Counts themselves are informational: memo warmth
+		// legitimately varies across runs.
+		curStages := map[string]trace.StageSnapshot{}
+		for _, sg := range sc.Stages {
+			curStages[sg.Stage] = sg
+		}
+		for _, sg := range pt.Stages {
+			c, have := curStages[sg.Stage]
+			rows = append(rows, compared{
+				name: prefix + "stage/" + sg.Stage + "_count",
+				base: float64(sg.Count), cur: float64(c.Count),
+				dir: infoOnly, missing: !have,
+			})
+		}
 	}
 	return rows
 }
 
-// scalingRow is the current artifact's curve entry for one worker count.
-type scalingRow struct{ cps, eff, wall float64 }
+// oversubscribed reports a scaling row that ran more workers than scheduler
+// threads; its efficiency is a property of the machine, not the code.
+func oversubscribed(p experiments.ScalingPoint) bool {
+	return p.GOMAXPROCS > 0 && p.Workers > p.GOMAXPROCS
+}
 
 // serveRows builds the delta table for a pair of BENCH_serve.json artifacts.
 func serveRows(base, cur *serveStats) []compared {

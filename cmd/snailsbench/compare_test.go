@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/snails-bench/snails/internal/experiments"
 	"github.com/snails-bench/snails/internal/server"
 	"github.com/snails-bench/snails/internal/trace"
 )
@@ -186,6 +187,134 @@ func TestCompareUnusableInput(t *testing.T) {
 		if stderr == "" {
 			t.Errorf("compare(%s, %s) silent on stderr", tc[0], tc[1])
 		}
+	}
+}
+
+// scalingFixture returns a benchStats whose curve carries the padded stage
+// breakdown and the per-row GOMAXPROCS, the way a regenerated artifact does.
+func scalingFixture(gomaxprocs int) benchStats {
+	st := sweepFixture()
+	paddedStages := func(execCount uint64) []trace.StageSnapshot {
+		out := make([]trace.StageSnapshot, trace.NumStages)
+		for i := range out {
+			out[i] = trace.StageSnapshot{Stage: trace.Stage(i).String()}
+		}
+		for i := range out {
+			switch out[i].Stage {
+			case "llm_decode":
+				out[i].Count = 1280
+			case "sql_exec":
+				out[i].Count = execCount
+			}
+		}
+		return out
+	}
+	st.Scaling = []experiments.ScalingPoint{
+		{Workers: 1, GOMAXPROCS: gomaxprocs, WallClockSeconds: 2.0, CellsPerSec: 640, Efficiency: 1.0, Stages: paddedStages(0)},
+		{Workers: 4, GOMAXPROCS: gomaxprocs, WallClockSeconds: 0.6, CellsPerSec: 2133, Efficiency: 0.83, Stages: paddedStages(0)},
+	}
+	return st
+}
+
+// TestCompareScalingStageRows is satellite coverage for the vanished-stage
+// bug: every scaling row in the baseline lists all pipeline stages (explicit
+// zero counts included), and a current artifact whose row dropped a stage —
+// the old behavior when the warmup memo swallowed sql_exec — must fail as
+// MISSING even though every shared number matches.
+func TestCompareScalingStageRows(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", scalingFixture(8))
+
+	// Identical padded rows (zero-count stages included) pass at zero
+	// tolerance: an explicit zero compares clean against an explicit zero.
+	if code, stdout, _ := compare(t, base, base, 0); code != 0 {
+		t.Errorf("self-compare with padded scaling rows = %d, want 0\n%s", code, stdout)
+	}
+
+	// Drop sql_exec from the 4-worker row, as an unpadded artifact would.
+	cur := scalingFixture(8)
+	stages := cur.Scaling[1].Stages
+	kept := stages[:0]
+	for _, sg := range stages {
+		if sg.Stage != "sql_exec" {
+			kept = append(kept, sg)
+		}
+	}
+	cur.Scaling[1].Stages = kept
+	against := writeArtifact(t, dir, "dropped_stage.json", cur)
+	code, stdout, _ := compare(t, base, against, 0.10)
+	if code != 1 {
+		t.Errorf("dropped-stage compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "scaling/workers=4_stage/sql_exec_count") || !strings.Contains(stdout, "MISSING") {
+		t.Errorf("stdout should flag scaling/workers=4_stage/sql_exec_count MISSING: %q", stdout)
+	}
+	// Only the dropped stage is flagged; the intact 1-worker row is not.
+	if n := strings.Count(stdout, "MISSING"); n != 1 {
+		t.Errorf("want exactly 1 MISSING row (the dropped stage), got %d:\n%s", n, stdout)
+	}
+}
+
+// TestCompareScalingOversubscription pins the annotate-don't-gate rule: an
+// efficiency collapse at Workers <= GOMAXPROCS is a real contention
+// regression and fails, while the same collapse at Workers > GOMAXPROCS on
+// either side only earns a workers>gomaxprocs annotation — a one-core
+// machine cannot regress the 8-worker efficiency row, it never had the
+// parallelism to begin with.
+func TestCompareScalingOversubscription(t *testing.T) {
+	dir := t.TempDir()
+	collapse := func(st benchStats) benchStats {
+		st.Scaling[1].Efficiency = 0.25 // down from 0.83
+		return st
+	}
+
+	// Gated side: 4 workers on 8 scheduler threads — the collapse fails.
+	base := writeArtifact(t, dir, "base_wide.json", scalingFixture(8))
+	against := writeArtifact(t, dir, "cur_wide_collapsed.json", collapse(scalingFixture(8)))
+	code, stdout, _ := compare(t, base, against, 0.10)
+	if code != 1 {
+		t.Errorf("gated oversubscription compare = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "scaling/workers=4_efficiency") || !strings.Contains(stdout, "REGRESSED") {
+		t.Errorf("stdout should flag scaling/workers=4_efficiency REGRESSED: %q", stdout)
+	}
+	if strings.Contains(stdout, "workers>gomaxprocs") {
+		t.Errorf("within-capacity rows must not carry the oversubscription note: %q", stdout)
+	}
+
+	// Annotated side: the current run only had one scheduler thread, so the
+	// same collapse is tolerated and the row is annotated.
+	curNarrow := collapse(scalingFixture(1))
+	against = writeArtifact(t, dir, "cur_narrow_collapsed.json", curNarrow)
+	code, stdout, _ = compare(t, base, against, 0.10)
+	if code != 0 {
+		t.Errorf("annotated oversubscription compare = %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "workers>gomaxprocs") {
+		t.Errorf("stdout should annotate the oversubscribed efficiency row: %q", stdout)
+	}
+
+	// Per-worker throughput stays gated even on an oversubscribed row —
+	// the baseline ran on the same machine, so cells_per_sec is comparable
+	// regardless of scheduler width; only efficiency loses its meaning.
+	curSlow := scalingFixture(1)
+	curSlow.Scaling[1].CellsPerSec *= 0.5
+	against = writeArtifact(t, dir, "cur_slow.json", curSlow)
+	if code, stdout, _ := compare(t, base, against, 0.10); code != 1 {
+		t.Errorf("throughput collapse on oversubscribed row = %d, want 1\n%s", code, stdout)
+	}
+
+	// A pre-GOMAXPROCS baseline (field zero) against an oversubscribed
+	// current run still annotates: either side being over is enough.
+	baseLegacy := scalingFixture(0)
+	base = writeArtifact(t, dir, "base_legacy.json", baseLegacy)
+	against = writeArtifact(t, dir, "cur_narrow2.json", collapse(scalingFixture(1)))
+	code, stdout, _ = compare(t, base, against, 0.10)
+	if code != 0 {
+		t.Errorf("legacy-baseline oversubscription compare = %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "workers>gomaxprocs") {
+		t.Errorf("stdout should annotate via the current side: %q", stdout)
 	}
 }
 

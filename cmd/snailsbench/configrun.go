@@ -1,0 +1,87 @@
+// The -config mode runs a declarative experiment instead of the full
+// default grid: the JSON config names the backends (synthetic profiles,
+// OpenAI-style HTTP endpoints, or the hermetic in-process mock), the
+// database and variant axes, the worker count, and the budget. The mode
+// prints a run summary and, with -cells, writes the canonical per-cell dump
+// — run-independent fields only, so a config that mirrors the default grid
+// produces a dump byte-identical to the flag path's (check.sh cmp-gates
+// exactly that).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/snails-bench/snails/internal/backend"
+	"github.com/snails-bench/snails/internal/config"
+	"github.com/snails-bench/snails/internal/experiments"
+)
+
+// runConfigSweep is the -config entry point; the returned code is the
+// process exit status (0 pass, 1 run failure, 2 unusable config).
+func runConfigSweep(cfg *benchConfig, stdout, stderr io.Writer) int {
+	exp, err := config.Load(cfg.config)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return 2
+	}
+	backends, closeBackends, err := backend.BuildAll(exp)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return 2
+	}
+	defer closeBackends()
+
+	experiments.SetDefaultWorkers(cfg.parallel)
+	sw, err := experiments.RunConfig(exp, backends)
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return 2
+	}
+
+	name := exp.Name
+	if name == "" {
+		name = cfg.config
+	}
+	fmt.Fprintf(stdout, "experiment %s: %d cells across %d backends, %d workers, %.3fs (%.0f cells/sec)\n",
+		name, sw.Stats.Cells, len(backends), sw.Stats.Workers,
+		sw.Stats.WallClock.Seconds(), sw.Stats.CellsPerSec)
+	for _, be := range backends {
+		parsed, exec := 0, 0
+		for i := range sw.Cells {
+			if sw.Cells[i].Backend != be.Name() {
+				continue
+			}
+			if sw.Cells[i].ParseOK {
+				parsed++
+			}
+			if sw.Cells[i].ExecCorrect {
+				exec++
+			}
+		}
+		fmt.Fprintf(stdout, "  %-28s parsed=%d exec_correct=%d\n", be.Name(), parsed, exec)
+	}
+
+	if cfg.cells != "" {
+		if err := writeCellsFile(cfg.cells, sw); err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cells written to %s\n", cfg.cells)
+	}
+	return 0
+}
+
+// writeCellsFile dumps a sweep's canonical cells to path.
+func writeCellsFile(path string, sw *experiments.Sweep) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sw.WriteCells(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -56,6 +56,10 @@ type benchConfig struct {
 	parallel int
 	benchOut string
 	scaling  string
+	cells    string
+
+	// config mode (declarative experiment sweep)
+	config string
 
 	// loadgen mode
 	loadgen            bool
@@ -88,6 +92,8 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	fs.IntVar(&cfg.parallel, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at every setting")
 	fs.StringVar(&cfg.benchOut, "bench", "BENCH_sweep.json", "write sweep throughput stats to this JSON file (empty disables)")
 	fs.StringVar(&cfg.scaling, "scaling", "", "also measure the worker scaling curve at these comma-separated worker counts (e.g. 1,2,4,8) and embed it in the sweep stats")
+	fs.StringVar(&cfg.cells, "cells", "", "write the canonical per-cell dump (run-independent fields only; byte-identical across equivalent runs) to this file")
+	fs.StringVar(&cfg.config, "config", "", "run the sweep a declarative experiment config describes (JSON; see configs/) instead of the full default grid")
 	fs.BoolVar(&cfg.loadgen, "loadgen", false, "load-test a snailsd server instead of generating the report")
 	fs.StringVar(&cfg.target, "target", "", "loadgen: base URL of a running snailsd (empty spawns one in-process)")
 	fs.IntVar(&cfg.requests, "requests", 400, "loadgen: total requests to issue")
@@ -114,6 +120,11 @@ func parseFlags(args []string, stderr io.Writer) (*benchConfig, error) {
 	}
 	if cfg.tolerance < 0 {
 		return nil, fmt.Errorf("-tolerance must be non-negative")
+	}
+	if cfg.config != "" && (cfg.loadgen || cfg.compare != "") {
+		err := fmt.Errorf("-config runs an experiment sweep; it cannot combine with -loadgen or -compare")
+		fmt.Fprintln(stderr, "snailsbench:", err)
+		return nil, err
 	}
 	if _, err := parseWorkerCounts(cfg.scaling); err != nil {
 		fmt.Fprintln(stderr, "snailsbench:", err)
@@ -197,6 +208,12 @@ func runReport(cfg *benchConfig, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if cfg.cells != "" {
+		if err := writeCellsFile(cfg.cells, experiments.Run()); err != nil {
+			fmt.Fprintln(stderr, "snailsbench:", err)
+			return 1
+		}
+	}
 	return 0
 }
 
@@ -213,6 +230,9 @@ func main() {
 	}
 	if cfg.loadgen {
 		os.Exit(runLoadgen(cfg, os.Stdout, os.Stderr))
+	}
+	if cfg.config != "" {
+		os.Exit(runConfigSweep(cfg, os.Stdout, os.Stderr))
 	}
 	os.Exit(runReport(cfg, os.Stdout, os.Stderr))
 }

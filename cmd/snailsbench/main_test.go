@@ -141,3 +141,72 @@ func TestRunLoadgenSmoke(t *testing.T) {
 		t.Errorf("stdout missing summary line: %q", stdout.String())
 	}
 }
+
+// TestRunConfigSweepMockHTTP drives the -config mode end to end against the
+// committed mock-http experiment: the sweep runs through a real loopback
+// HTTP backend and the canonical cell dump lands where -cells pointed.
+func TestRunConfigSweepMockHTTP(t *testing.T) {
+	dir := t.TempDir()
+	cells := filepath.Join(dir, "cells.txt")
+	cfg, err := parseFlags([]string{"-config", "../../configs/mock-http.json", "-cells", cells}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := runConfigSweep(cfg, &stdout, &stderr); code != 0 {
+		t.Fatalf("runConfigSweep = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "experiment mock-http-smoke") {
+		t.Errorf("summary does not name the experiment: %q", stdout.String())
+	}
+	data, err := os.ReadFile(cells)
+	if err != nil {
+		t.Fatalf("cell dump missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	// KIS and CWO, native+regular, first 5 questions each: 20 cells.
+	if len(lines) != 20 {
+		t.Fatalf("cell dump has %d lines, want 20:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "mock\t") {
+			t.Fatalf("cell not attributed to the mock backend: %q", line)
+		}
+	}
+}
+
+// TestRunConfigSweepBadConfig: a missing or invalid config exits 2 without
+// running anything.
+func TestRunConfigSweepBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"variants": ["plaid"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{filepath.Join(dir, "missing.json"), bad} {
+		cfg, err := parseFlags([]string{"-config", path}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		if code := runConfigSweep(cfg, &stdout, &stderr); code != 2 {
+			t.Errorf("runConfigSweep(%s) = %d, want 2", path, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("runConfigSweep(%s) silent on stderr", path)
+		}
+	}
+}
+
+// TestParseFlagsConfigExclusions: -config cannot combine with the loadgen
+// or compare modes.
+func TestParseFlagsConfigExclusions(t *testing.T) {
+	for _, args := range [][]string{
+		{"-config", "x.json", "-loadgen"},
+		{"-config", "x.json", "-compare", "base.json"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}

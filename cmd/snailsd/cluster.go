@@ -39,9 +39,11 @@ type worker struct {
 }
 
 // workerArgs builds the child argv: the parent's serving flags minus
-// everything cluster- and listener-related.
+// everything cluster- and listener-related. The experiment config is
+// forwarded so every shard registers the same backends the router was
+// started with.
 func (c *config) workerArgs(name, addr string) []string {
-	return []string{
+	args := []string{
 		"-addr", addr,
 		"-shard-id", name,
 		"-timeout", c.timeout.String(),
@@ -55,6 +57,10 @@ func (c *config) workerArgs(name, addr string) []string {
 		"-log-format", c.logFormat,
 		"-log-level", c.logLevel,
 	}
+	if c.configPath != "" {
+		args = append(args, "-config", c.configPath)
+	}
+	return args
 }
 
 // allocAddrs reserves n distinct loopback ports by binding and releasing

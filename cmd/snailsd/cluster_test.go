@@ -62,6 +62,23 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 	if child.cluster {
 		t.Error("worker must not inherit -cluster")
 	}
+
+	// The experiment config rides along so every shard registers the same
+	// backends the router was started with — and stays absent otherwise.
+	if child.configPath != "" {
+		t.Errorf("worker inherited a config path that was never set: %q", child.configPath)
+	}
+	parent, err = parseFlags([]string{"-cluster", "-config", "configs/mock-http.json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err = parseFlags(parent.workerArgs("shard-0", "127.0.0.1:1234"), io.Discard)
+	if err != nil {
+		t.Fatalf("workerArgs with -config do not parse: %v", err)
+	}
+	if child.configPath != "configs/mock-http.json" {
+		t.Errorf("config path not forwarded to the shard: %q", child.configPath)
+	}
 }
 
 // TestRunClusterPeersGracefulShutdown boots the router in -cluster-peers

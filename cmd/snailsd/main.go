@@ -23,6 +23,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
+	expconfig "github.com/snails-bench/snails/internal/config"
 	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/server"
 )
@@ -39,6 +41,7 @@ type config struct {
 	drainGrace   time.Duration
 	traceBuffer  int
 	pprof        bool
+	configPath   string
 	logFormat    string
 	logLevel     string
 
@@ -67,6 +70,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "maximum time to drain in-flight work on shutdown")
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "request traces kept for /debugz/traces (0 = default 256, negative disables tracing)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.configPath, "config", "", "experiment config whose backends are registered for /v1/infer alongside the synthetic family (JSON; see configs/)")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding ("+obs.LogFormats+")")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level (debug|info|warn|error)")
 	fs.BoolVar(&cfg.cluster, "cluster", false, "run as a cluster router instead of a single server")
@@ -130,7 +134,27 @@ func run(cfg *config, stderr io.Writer, ready chan<- string, signals <-chan os.S
 	}
 	slog.SetDefault(log)
 
-	s := server.New(cfg.serverConfig(log))
+	scfg := cfg.serverConfig(log)
+	if cfg.configPath != "" {
+		exp, err := expconfig.Load(cfg.configPath)
+		if err != nil {
+			log.Error("config load failed", slog.String("err", err.Error()))
+			return 2
+		}
+		backends, closeBackends, err := backend.BuildAll(exp)
+		if err != nil {
+			log.Error("backend build failed", slog.String("err", err.Error()))
+			return 2
+		}
+		defer closeBackends()
+		scfg.Backends = backends
+		names := make([]string, len(backends))
+		for i, be := range backends {
+			names[i] = be.Name()
+		}
+		log.Info("registered configured backends", slog.Any("backends", names))
+	}
+	s := server.New(scfg)
 	if cfg.preload {
 		start := time.Now()
 		s.Preload()

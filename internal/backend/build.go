@@ -1,0 +1,111 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/snails-bench/snails/internal/config"
+	"github.com/snails-bench/snails/internal/llm"
+)
+
+// Build materializes one backend from its config spec. The returned closer
+// releases resources the spec caused to be allocated (the mock-http type
+// starts an in-process endpoint); it is non-nil and idempotent-safe to call
+// exactly once even for backends without resources.
+func Build(spec config.BackendSpec) (Backend, func() error, error) {
+	noop := func() error { return nil }
+	switch spec.Type {
+	case "", config.TypeSynthetic:
+		p, ok := llm.ProfileByName(spec.Model)
+		if !ok {
+			return nil, nil, fmt.Errorf("backend %q: unknown synthetic profile %q (known: %s)",
+				spec.Name(), spec.Model, strings.Join(profileNames(), ", "))
+		}
+		be := NewSynthetic(p)
+		if spec.ID != "" && spec.ID != p.Name {
+			return named{Backend: be, name: spec.ID}, noop, nil
+		}
+		return be, noop, nil
+
+	case config.TypeHTTP:
+		be, err := NewHTTP(httpOptions(spec, spec.BaseURL))
+		if err != nil {
+			return nil, nil, fmt.Errorf("backend %q: %w", spec.Name(), err)
+		}
+		return be, noop, nil
+
+	case config.TypeMockHTTP:
+		mock, err := NewMockServer(MockOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("backend %q: %w", spec.Name(), err)
+		}
+		be, err := NewHTTP(httpOptions(spec, mock.URL))
+		if err != nil {
+			mock.Close()
+			return nil, nil, fmt.Errorf("backend %q: %w", spec.Name(), err)
+		}
+		return be, mock.Close, nil
+	}
+	return nil, nil, fmt.Errorf("backend %q: unknown type %q", spec.Name(), spec.Type)
+}
+
+// BuildAll materializes every backend of an experiment (the full synthetic
+// family when the config names none) plus one closer for the lot.
+func BuildAll(exp *config.Experiment) ([]Backend, func() error, error) {
+	specs := exp.Backends
+	if len(specs) == 0 {
+		for _, p := range llm.Profiles() {
+			specs = append(specs, config.BackendSpec{Type: config.TypeSynthetic, Model: p.Name})
+		}
+	}
+	backends := make([]Backend, 0, len(specs))
+	closers := make([]func() error, 0, len(specs))
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for _, spec := range specs {
+		be, closer, err := Build(spec)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		backends = append(backends, be)
+		closers = append(closers, closer)
+	}
+	return backends, closeAll, nil
+}
+
+// httpOptions maps a wire-backend spec to client options.
+func httpOptions(spec config.BackendSpec, baseURL string) HTTPOptions {
+	return HTTPOptions{
+		Name:       spec.Name(),
+		BaseURL:    baseURL,
+		Model:      spec.Model,
+		MaxRetries: spec.MaxRetries,
+		Backoff:    time.Duration(spec.BackoffMs) * time.Millisecond,
+		Timeout:    time.Duration(spec.TimeoutMs) * time.Millisecond,
+	}
+}
+
+// named renames a backend to the spec's id without changing behavior.
+type named struct {
+	Backend
+	name string
+}
+
+func (n named) Name() string { return n.name }
+
+func profileNames() []string {
+	out := make([]string, 0, 6)
+	for _, p := range llm.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/config"
+)
+
+func TestBuildSynthetic(t *testing.T) {
+	be, closer, err := Build(config.BackendSpec{Type: config.TypeSynthetic, Model: "gpt-4o"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer closer()
+	if be.Name() != "gpt-4o" || !be.Capabilities().Deterministic {
+		t.Fatalf("unexpected backend %q %+v", be.Name(), be.Capabilities())
+	}
+	if _, _, err := Build(config.BackendSpec{Model: "gpt-99"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown synthetic profile") {
+		t.Fatalf("Build accepted an unknown profile: %v", err)
+	}
+}
+
+func TestBuildSyntheticRenamed(t *testing.T) {
+	be, closer, err := Build(config.BackendSpec{ID: "baseline", Model: "gpt-4o"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer closer()
+	if be.Name() != "baseline" {
+		t.Fatalf("Name = %q, want the spec id", be.Name())
+	}
+	if !be.Capabilities().Deterministic {
+		t.Fatal("rename must not change capabilities")
+	}
+}
+
+func TestBuildMockHTTPEndToEnd(t *testing.T) {
+	be, closer, err := Build(config.BackendSpec{ID: "mock", Type: config.TypeMockHTTP, Model: "mock-model"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer closer()
+	res, err := be.Infer(context.Background(), testReq)
+	if err != nil {
+		t.Fatalf("Infer through built mock backend: %v", err)
+	}
+	if res.SQL != "SELECT COUNT(*) FROM Observations" {
+		t.Fatalf("SQL = %q", res.SQL)
+	}
+}
+
+func TestBuildAllDefaultsToSyntheticFamily(t *testing.T) {
+	backends, closer, err := BuildAll(&config.Experiment{})
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	defer closer()
+	if len(backends) != 6 {
+		t.Fatalf("got %d backends, want the 6 synthetic profiles", len(backends))
+	}
+	for _, be := range backends {
+		if !be.Capabilities().Deterministic {
+			t.Fatalf("%s: default family must be synthetic", be.Name())
+		}
+	}
+}
+
+func TestBuildAllClosesOnError(t *testing.T) {
+	_, _, err := BuildAll(&config.Experiment{Backends: []config.BackendSpec{
+		{Type: config.TypeMockHTTP, Model: "mock"},
+		{Type: config.TypeSynthetic, Model: "not-a-profile"},
+	}})
+	if err == nil {
+		t.Fatal("BuildAll succeeded with a bad spec")
+	}
+}

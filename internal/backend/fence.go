@@ -1,0 +1,52 @@
+package backend
+
+import "strings"
+
+// ExtractSQL pulls the SQL out of a chat-completion message. Models wrap
+// queries in markdown fences; the contract mirrors the common eval-harness
+// idiom:
+//
+//   - the first ```sql fence wins (later fences are commentary),
+//   - a malformed fence (opener, no closer) yields everything after the
+//     opener — truncated generations still surface their partial SQL,
+//   - a bare ``` fence is accepted, with a lone language tag on the opener
+//     line stripped,
+//   - no fence at all returns the whole message trimmed.
+func ExtractSQL(content string) string {
+	lower := strings.ToLower(content)
+	if i := strings.Index(lower, "```sql"); i >= 0 && !isWordByte(lower, i+len("```sql")) {
+		return trimFenceBody(content[i+len("```sql"):])
+	}
+	if i := strings.Index(content, "```"); i >= 0 {
+		body := content[i+3:]
+		// A generic fence may carry a language tag on the opener line
+		// (```SQLite and friends); drop it when the first line is a
+		// single word.
+		if nl := strings.IndexByte(body, '\n'); nl >= 0 {
+			tag := strings.TrimSpace(body[:nl])
+			if tag != "" && !strings.ContainsAny(tag, " \t") && len(tag) <= 16 {
+				body = body[nl+1:]
+			}
+		}
+		return trimFenceBody(body)
+	}
+	return strings.TrimSpace(content)
+}
+
+// isWordByte reports whether s[i] exists and continues an identifier —
+// used to keep "```sql" from matching the prefix of "```sqlite".
+func isWordByte(s string, i int) bool {
+	if i >= len(s) {
+		return false
+	}
+	c := s[i]
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// trimFenceBody cuts the body at the closing fence (if any) and trims.
+func trimFenceBody(body string) string {
+	if end := strings.Index(body, "```"); end >= 0 {
+		body = body[:end]
+	}
+	return strings.TrimSpace(body)
+}

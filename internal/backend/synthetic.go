@@ -1,0 +1,55 @@
+package backend
+
+import (
+	"context"
+
+	"github.com/snails-bench/snails/internal/llm"
+)
+
+// Synthetic adapts a synthetic model (internal/llm) to the Backend
+// interface. It is the reference implementation: deterministic, batchable,
+// and — for profiles with a filtering stage — schema-linking. The adapter
+// preserves the exact InferOn call path, so a synthetic-backend sweep is
+// bit-identical to the pre-interface pipeline.
+type Synthetic struct {
+	m *llm.Model
+}
+
+// NewSynthetic returns a backend over a fresh model for the profile.
+func NewSynthetic(p *llm.Profile) *Synthetic { return &Synthetic{m: llm.New(p)} }
+
+// WrapModel adapts an existing model (sharing its linking memo).
+func WrapModel(m *llm.Model) *Synthetic { return &Synthetic{m: m} }
+
+// Model exposes the underlying synthetic model for callers that need
+// profile details (reporting labels, tokenizer family).
+func (s *Synthetic) Model() *llm.Model { return s.m }
+
+// Name is the synthetic profile's name (e.g. "gpt-4o").
+func (s *Synthetic) Name() string { return s.m.Profile.Name }
+
+// Capabilities: synthetic models are deterministic and batchable; filter
+// workflows additionally link.
+func (s *Synthetic) Capabilities() Capabilities {
+	return Capabilities{
+		Deterministic: true,
+		Batchable:     true,
+		SchemaLinking: s.m.Profile.FilterKeep > 0,
+	}
+}
+
+// Infer decodes through the synthetic model. It never returns an error and
+// ignores the context: synthetic decode is pure compute.
+func (s *Synthetic) Infer(_ context.Context, req Request) (Result, error) {
+	ps := req.PromptSchema
+	if ps == nil {
+		ps = llm.PromptSchemaOf(req.SchemaKnowledge)
+	}
+	pred := s.m.InferOn(ps, llm.Task{
+		SchemaKnowledge: req.SchemaKnowledge,
+		Question:        req.Question,
+		Intent:          req.Intent,
+		Seed:            req.Seed,
+	})
+	return Result{SQL: pred.SQL, FilteredTables: pred.FilteredTables, Invalid: pred.Invalid}, nil
+}

@@ -400,3 +400,77 @@ func TestAggregatedMetrics(t *testing.T) {
 		}
 	}
 }
+
+// slowTransport delays every forwarded round trip, honoring cancellation —
+// the stand-in for a shard that answers, but slower than the client can wait.
+type slowTransport struct {
+	base  http.RoundTripper
+	delay time.Duration
+}
+
+func (s slowTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+	return s.base.RoundTrip(r)
+}
+
+// TestRelayDeadlinePropagation is the regression test for the hardcoded 5s
+// relay timeout: the aggregation endpoints used to fan out under their own
+// fixed 5s context no matter what the client could wait, so a client with a
+// 150ms budget hung for the full shard latency. With the deadline header the
+// router must answer 504 within the client's budget — well before the slow
+// shard would have answered and far before the relay cap — while a generous
+// budget still rides the slowness out to a 200.
+func TestRelayDeadlinePropagation(t *testing.T) {
+	const shardDelay = time.Second
+	c := startCluster(t, Options{
+		Shards: 1,
+		Router: cluster.Config{Transport: slowTransport{base: http.DefaultTransport, delay: shardDelay}},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	get := func(path, budgetMs string) (int, []byte, time.Duration) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, c.RouterURL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budgetMs != "" {
+			req.Header.Set(cluster.DeadlineHeader, budgetMs)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, time.Since(start)
+	}
+
+	// 150ms budget against a 1s shard: 504 before the shard answers.
+	status, body, elapsed := get("/metricsz", "150")
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("/metricsz under short deadline = %d, want 504: %s", status, body)
+	}
+	if !strings.Contains(string(body), "timeout") {
+		t.Errorf("504 body should carry the timeout code: %s", body)
+	}
+	if elapsed >= shardDelay {
+		t.Errorf("504 arrived after %v — the router waited out the slow shard instead of honoring the 150ms budget", elapsed)
+	}
+
+	// Same budget on the trace fan-out: 504, not the misleading
+	// "tracing_disabled" 404 an empty timed-out sweep used to imply.
+	if status, body, _ := get("/debugz/traces", "150"); status != http.StatusGatewayTimeout {
+		t.Fatalf("/debugz/traces under short deadline = %d, want 504: %s", status, body)
+	}
+
+	// A budget beyond the shard latency behaves as before.
+	if status, body, _ := get("/metricsz", "10000"); status != http.StatusOK {
+		t.Fatalf("/metricsz under generous deadline = %d, want 200: %s", status, body)
+	}
+}

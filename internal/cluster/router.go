@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,13 @@ type Config struct {
 	// MaxBodyBytes caps proxied request bodies (default 1 MiB, matching the
 	// shard servers).
 	MaxBodyBytes int64
+	// RelayMax caps the shard fan-out of the aggregation endpoints
+	// (/metricsz, /metrics, /debugz/traces) when the inbound request carries
+	// no tighter bound of its own (default 5s). A client deadline — the
+	// request context's, or an explicit DeadlineHeader budget — below the
+	// cap wins, so a client that can only wait 150ms gets its 504 in 150ms,
+	// not after the relay cap.
+	RelayMax time.Duration
 	// Transport overrides the forwarding transport (tests inject faults).
 	Transport http.RoundTripper
 	// ProbeTransport overrides the health-probe transport independently of
@@ -75,7 +83,35 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.RelayMax <= 0 {
+		c.RelayMax = 5 * time.Second
+	}
 	return c
+}
+
+// DeadlineHeader carries a client's remaining time budget, in integer
+// milliseconds, into the router's aggregation endpoints. net/http does not
+// propagate a client's own timeout across the wire — the server-side request
+// context only cancels on disconnect — so without the header the router
+// would fan out under the full RelayMax even when the client gave up long
+// ago. Absent, unparsable, or non-positive values fall back to RelayMax.
+const DeadlineHeader = "X-Snails-Deadline-Ms"
+
+// relayContext bounds an aggregation handler's shard fan-out: the inbound
+// request context (which may already carry a deadline), tightened by the
+// DeadlineHeader budget when present, capped at RelayMax either way.
+func (rt *Router) relayContext(r *http.Request) (context.Context, context.CancelFunc) {
+	bound := rt.cfg.RelayMax
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		if ms, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < bound {
+				bound = d
+			}
+		}
+	}
+	// WithTimeout keeps any earlier parent deadline, so a short client
+	// deadline on the request context wins over the cap automatically.
+	return context.WithTimeout(r.Context(), bound)
 }
 
 // Router is the cluster front end: an http.Handler that owns no benchmark
@@ -490,10 +526,17 @@ func (rt *Router) routerStats() RouterStats {
 }
 
 func (rt *Router) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	ctx, cancel := rt.relayContext(r)
 	defer cancel()
+	snaps := rt.shardSnapshots(ctx)
+	// A fan-out cut short by the deadline has incomplete sums; a timeout is
+	// honest where a silently partial aggregate is not.
+	if err := ctx.Err(); err != nil {
+		rt.writeCtxError(w, err)
+		return
+	}
 	doc := ClusterMetricsz{
-		MetricsSnapshot: server.MergeSnapshots(rt.shardSnapshots(ctx)),
+		MetricsSnapshot: server.MergeSnapshots(snaps),
 		Router:          rt.routerStats(),
 		ShardHealth:     rt.ShardHealths(),
 	}
@@ -515,7 +558,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	rt.reg.WriteText(&buf)
 
-	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	ctx, cancel := rt.relayContext(r)
 	defer cancel()
 	sources := make([]obs.Exposition, 0, len(rt.shards))
 	for _, s := range rt.shards {
@@ -537,6 +580,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		sources = append(sources, obs.Exposition{Value: s.name, Text: text})
 	}
+	if err := ctx.Err(); err != nil {
+		rt.writeCtxError(w, err)
+		return
+	}
 	w.Write(buf.Bytes())
 	obs.MergeExpositions(w, "shard", sources)
 }
@@ -545,7 +592,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // concatenates the buffered traces in shard order. 404 means every shard
 // runs with tracing disabled.
 func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	ctx, cancel := rt.relayContext(r)
 	defer cancel()
 	merged := server.TracesResponse{}
 	found := false
@@ -572,6 +619,12 @@ func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
 			io.Copy(io.Discard, resp.Body)
 		}
 		resp.Body.Close()
+	}
+	// Distinguish "ran out of time" from "no shard has tracing on": a
+	// deadline cut means the 404 below would lie.
+	if err := ctx.Err(); err != nil {
+		rt.writeCtxError(w, err)
+		return
 	}
 	if !found {
 		rt.writeError(w, http.StatusNotFound, "tracing_disabled", "no shard has tracing enabled")

@@ -1,0 +1,197 @@
+// Package config defines the declarative JSON experiment configuration the
+// binaries load instead of flag soup: which backends to evaluate, over
+// which databases and schema variants, with what parallelism and budget.
+// The package is pure data — internal/backend builds Backend values from
+// the specs, and internal/experiments resolves databases and budgets — so
+// it can be imported from every layer without cycles.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+// Backend types a BackendSpec can name.
+const (
+	// TypeSynthetic is the deterministic synthetic family (internal/llm);
+	// Model selects the profile.
+	TypeSynthetic = "synthetic"
+	// TypeHTTP is an OpenAI-style /v1/chat/completions endpoint at
+	// BaseURL.
+	TypeHTTP = "http"
+	// TypeMockHTTP spins up the hermetic in-process mock endpoint and
+	// points an HTTP backend at it — the config-driven smoke path.
+	TypeMockHTTP = "mock-http"
+)
+
+// BackendSpec declares one backend of an experiment.
+type BackendSpec struct {
+	// ID names the backend in cells and reports; defaults to Model.
+	ID string `json:"id,omitempty"`
+	// Type is one of the Type* constants; empty means synthetic.
+	Type string `json:"type,omitempty"`
+	// Model is the synthetic profile name, or the model field of the
+	// chat request for wire backends.
+	Model string `json:"model,omitempty"`
+	// BaseURL roots an http backend's endpoint (ignored for the others).
+	BaseURL string `json:"base_url,omitempty"`
+	// MaxRetries / TimeoutMs / BackoffMs tune wire backends; zero means
+	// the backend defaults.
+	MaxRetries int `json:"max_retries,omitempty"`
+	TimeoutMs  int `json:"timeout_ms,omitempty"`
+	BackoffMs  int `json:"backoff_ms,omitempty"`
+}
+
+// Name returns the spec's reporting id.
+func (s *BackendSpec) Name() string {
+	if s.ID != "" {
+		return s.ID
+	}
+	return s.Model
+}
+
+// Budget bounds an experiment. Zero fields mean unbounded.
+type Budget struct {
+	// MaxQuestionsPerDB keeps only the first N questions of each
+	// database (grid order is deterministic, so this is a stable prefix).
+	MaxQuestionsPerDB int `json:"max_questions_per_db,omitempty"`
+	// MaxCells caps the total grid size; enumeration stops once the
+	// next question's stride would exceed it.
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// Experiment is the root of a config file.
+type Experiment struct {
+	// Name labels the run in logs and reports.
+	Name string `json:"name,omitempty"`
+	// Backends to evaluate. Empty means the full synthetic family.
+	Backends []BackendSpec `json:"backends,omitempty"`
+	// Databases restricts the collection (by dataset name). Empty means
+	// every SNAILS database.
+	Databases []string `json:"databases,omitempty"`
+	// Variants restricts the schema-naturalness axis ("native",
+	// "regular", "low", "least"). Empty means all four.
+	Variants []string `json:"variants,omitempty"`
+	// Workers is the sweep worker count; 0 means the process default.
+	Workers int `json:"workers,omitempty"`
+	// Budget bounds the grid.
+	Budget Budget `json:"budget,omitempty"`
+}
+
+// Load reads and validates an experiment config file.
+func Load(path string) (*Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	exp, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	return exp, nil
+}
+
+// Parse decodes and validates an experiment config. Unknown fields are
+// rejected so a typo'd axis fails loudly instead of silently running the
+// default grid.
+func Parse(data []byte) (*Experiment, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	exp := &Experiment{}
+	if err := dec.Decode(exp); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after config object")
+	}
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// Validate checks the experiment's internal consistency (backend specs,
+// variant names, budget signs). Database names are resolved by the
+// experiments layer, which owns the collection.
+func (e *Experiment) Validate() error {
+	seen := map[string]bool{}
+	for i := range e.Backends {
+		b := &e.Backends[i]
+		switch b.Type {
+		case "", TypeSynthetic:
+			if b.Model == "" {
+				return fmt.Errorf("backends[%d]: synthetic backend needs a model (profile name)", i)
+			}
+		case TypeHTTP:
+			if b.BaseURL == "" {
+				return fmt.Errorf("backends[%d]: http backend needs a base_url", i)
+			}
+		case TypeMockHTTP:
+			// The mock endpoint is spun up in-process; no URL needed.
+		default:
+			return fmt.Errorf("backends[%d]: unknown type %q (want %s, %s, or %s)",
+				i, b.Type, TypeSynthetic, TypeHTTP, TypeMockHTTP)
+		}
+		name := b.Name()
+		if name == "" {
+			return fmt.Errorf("backends[%d]: needs an id or model", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("backends[%d]: duplicate backend id %q", i, name)
+		}
+		seen[name] = true
+		if b.MaxRetries < 0 || b.TimeoutMs < 0 || b.BackoffMs < 0 {
+			return fmt.Errorf("backends[%d]: retries/timeout/backoff must be non-negative", i)
+		}
+	}
+	for _, v := range e.Variants {
+		if _, err := ParseVariant(v); err != nil {
+			return err
+		}
+	}
+	if e.Workers < 0 {
+		return fmt.Errorf("workers must be non-negative")
+	}
+	if e.Budget.MaxQuestionsPerDB < 0 || e.Budget.MaxCells < 0 {
+		return fmt.Errorf("budget bounds must be non-negative")
+	}
+	return nil
+}
+
+// ResolveVariants maps the config's variant names to schema variants, in
+// config order. Empty means the full axis.
+func (e *Experiment) ResolveVariants() ([]schema.Variant, error) {
+	if len(e.Variants) == 0 {
+		return schema.Variants, nil
+	}
+	out := make([]schema.Variant, 0, len(e.Variants))
+	for _, s := range e.Variants {
+		v, err := ParseVariant(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseVariant maps a config/wire variant name ("native", "regular",
+// "low", "least", case-insensitive, with the paper's n1/n2/n3 aliases) to
+// a schema variant.
+func ParseVariant(s string) (schema.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "native":
+		return schema.VariantNative, nil
+	case "regular", "n1":
+		return schema.VariantRegular, nil
+	case "low", "n2":
+		return schema.VariantLow, nil
+	case "least", "n3":
+		return schema.VariantLeast, nil
+	}
+	return schema.VariantNative, fmt.Errorf("unknown variant %q (want native, regular, low, or least)", s)
+}

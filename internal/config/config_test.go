@@ -1,0 +1,120 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+func TestParseFullConfig(t *testing.T) {
+	exp, err := Parse([]byte(`{
+		"name": "smoke",
+		"backends": [
+			{"type": "synthetic", "model": "gpt-4o"},
+			{"id": "wire", "type": "http", "base_url": "http://127.0.0.1:9", "model": "m", "max_retries": 2, "timeout_ms": 500, "backoff_ms": 5},
+			{"id": "mock", "type": "mock-http", "model": "mock-model"}
+		],
+		"databases": ["KIS"],
+		"variants": ["native", "least"],
+		"workers": 2,
+		"budget": {"max_questions_per_db": 5, "max_cells": 100}
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if exp.Name != "smoke" || len(exp.Backends) != 3 || exp.Workers != 2 {
+		t.Fatalf("unexpected experiment: %+v", exp)
+	}
+	if exp.Backends[0].Name() != "gpt-4o" || exp.Backends[1].Name() != "wire" {
+		t.Fatalf("backend names: %q %q", exp.Backends[0].Name(), exp.Backends[1].Name())
+	}
+	vs, err := exp.ResolveVariants()
+	if err != nil {
+		t.Fatalf("ResolveVariants: %v", err)
+	}
+	if want := []schema.Variant{schema.VariantNative, schema.VariantLeast}; !reflect.DeepEqual(vs, want) {
+		t.Fatalf("variants = %v, want %v", vs, want)
+	}
+	if exp.Budget.MaxQuestionsPerDB != 5 || exp.Budget.MaxCells != 100 {
+		t.Fatalf("budget = %+v", exp.Budget)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	exp, err := Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	vs, err := exp.ResolveVariants()
+	if err != nil {
+		t.Fatalf("ResolveVariants: %v", err)
+	}
+	if !reflect.DeepEqual(vs, schema.Variants) {
+		t.Fatalf("empty variants must mean the full axis, got %v", vs)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"bakends": []}`, "bakends"},
+		{"unknown backend type", `{"backends": [{"type": "grpc", "model": "m"}]}`, "unknown type"},
+		{"synthetic without model", `{"backends": [{"type": "synthetic"}]}`, "needs a model"},
+		{"http without url", `{"backends": [{"type": "http", "model": "m"}]}`, "base_url"},
+		{"duplicate ids", `{"backends": [{"model": "a"}, {"id": "a", "type": "mock-http"}]}`, "duplicate"},
+		{"bad variant", `{"variants": ["natural"]}`, "unknown variant"},
+		{"negative workers", `{"workers": -1}`, "non-negative"},
+		{"negative budget", `{"budget": {"max_cells": -5}}`, "non-negative"},
+		{"trailing data", `{} {}`, "trailing"},
+		{"not json", `nope`, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(path, []byte(`{"name": "from-disk"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if exp.Name != "from-disk" {
+		t.Fatalf("Name = %q", exp.Name)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("Load succeeded on a missing file")
+	}
+}
+
+func TestParseVariantAliases(t *testing.T) {
+	for in, want := range map[string]schema.Variant{
+		"Native": schema.VariantNative, "n1": schema.VariantRegular,
+		"N2": schema.VariantLow, "LEAST": schema.VariantLeast,
+	} {
+		v, err := ParseVariant(in)
+		if err != nil || v != want {
+			t.Fatalf("ParseVariant(%q) = %v, %v; want %v", in, v, err, want)
+		}
+	}
+	if _, err := ParseVariant(""); err == nil {
+		t.Fatal("ParseVariant accepted the empty string")
+	}
+}

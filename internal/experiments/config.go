@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/snails-bench/snails/internal/backend"
+	"github.com/snails-bench/snails/internal/config"
+	"github.com/snails-bench/snails/internal/datasets"
+)
+
+// RunConfig executes the grid a declarative experiment config describes,
+// over pre-built backends (backend.BuildAll(exp) — the caller owns their
+// closer so wire backends outlive the sweep only as long as needed).
+func RunConfig(exp *config.Experiment, backends []backend.Backend) (*Sweep, error) {
+	dbs, err := ResolveDatabases(exp.Databases)
+	if err != nil {
+		return nil, err
+	}
+	variants, err := exp.ResolveVariants()
+	if err != nil {
+		return nil, err
+	}
+	return RunSweep(dbs, Options{
+		Workers:           exp.Workers,
+		Backends:          backends,
+		Variants:          variants,
+		MaxQuestionsPerDB: exp.Budget.MaxQuestionsPerDB,
+		MaxCells:          exp.Budget.MaxCells,
+	}), nil
+}
+
+// ResolveDatabases maps config database names to built datasets, in config
+// order. Empty means the full collection.
+func ResolveDatabases(names []string) ([]*datasets.Built, error) {
+	if len(names) == 0 {
+		return datasets.All(), nil
+	}
+	out := make([]*datasets.Built, 0, len(names))
+	for _, n := range names {
+		b, ok := datasets.Get(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown database %q (known: %s)",
+				n, strings.Join(datasets.Names, ", "))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// WriteCells dumps the sweep's cells in canonical grid order, one line per
+// cell, with only run-independent fields — no wall-clock anywhere. Two
+// sweeps over the same deterministic grid produce byte-identical dumps, so
+// the config-driven path can be diffed against the flag path with cmp(1).
+func (s *Sweep) WriteCells(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		exec, parse := 0, 0
+		if c.ExecCorrect {
+			exec = 1
+		}
+		if c.ParseOK {
+			parse = 1
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%d\tparse=%d\texec=%d\tR=%.4f\tP=%.4f\tF1=%.4f\n",
+			c.Backend, c.DB, c.Variant, c.QuestionID, parse, exec,
+			c.Link.Recall, c.Link.Precision, c.Link.F1)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/backend"
+	"github.com/snails-bench/snails/internal/config"
+	"github.com/snails-bench/snails/internal/schema"
+)
+
+// testDBs returns a small deterministic collection (full grid in -short).
+func testDBs(t *testing.T) []string {
+	t.Helper()
+	if testing.Short() {
+		return []string{"KIS"}
+	}
+	return []string{"KIS", "CWO"}
+}
+
+// TestConfigSweepMatchesFlagPath pins the tentpole's byte-identity promise:
+// a config-driven sweep over synthetic backends produces exactly the cells
+// the classic Options path does.
+func TestConfigSweepMatchesFlagPath(t *testing.T) {
+	names := testDBs(t)
+	exp := &config.Experiment{Databases: names, Workers: 2}
+	backends, closer, err := backend.BuildAll(exp)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	defer closer()
+	viaConfig, err := RunConfig(exp, backends)
+	if err != nil {
+		t.Fatalf("RunConfig: %v", err)
+	}
+
+	dbs, err := ResolveDatabases(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFlags := RunSweep(dbs, Options{Workers: 2})
+
+	var a, b bytes.Buffer
+	if err := viaConfig.WriteCells(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaFlags.WriteCells(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty cell dump")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("config-driven sweep diverged from the flag path (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}
+
+// TestConfigSweepBudget checks the budget axes cut the grid to a stable
+// prefix.
+func TestConfigSweepBudget(t *testing.T) {
+	exp := &config.Experiment{
+		Databases: []string{"KIS"},
+		Backends:  []config.BackendSpec{{Model: "gpt-4o"}},
+		Variants:  []string{"native", "least"},
+		Workers:   1,
+		Budget:    config.Budget{MaxQuestionsPerDB: 3},
+	}
+	backends, closer, err := backend.BuildAll(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	s, err := RunConfig(exp, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 backend x 2 variants x 3 questions.
+	if len(s.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(s.Cells))
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Backend != "gpt-4o" || c.Backend != c.Model {
+			t.Fatalf("cell %d: backend %q model %q", i, c.Backend, c.Model)
+		}
+		if c.Variant != schema.VariantNative && c.Variant != schema.VariantLeast {
+			t.Fatalf("cell %d: unexpected variant %v", i, c.Variant)
+		}
+	}
+
+	capped, err := RunConfig(&config.Experiment{
+		Databases: []string{"KIS"},
+		Backends:  exp.Backends,
+		Variants:  exp.Variants,
+		Workers:   1,
+		Budget:    config.Budget{MaxCells: 4},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Cells) != 4 {
+		t.Fatalf("MaxCells=4 got %d cells", len(capped.Cells))
+	}
+	// The capped run is a prefix of the budgeted one.
+	var full, pre bytes.Buffer
+	s.WriteCells(&full)
+	capped.WriteCells(&pre)
+	if !strings.HasPrefix(full.String(), pre.String()) {
+		t.Fatal("MaxCells run is not a prefix of the larger grid")
+	}
+}
+
+// TestConfigSweepUnknownDatabase checks name resolution fails loudly.
+func TestConfigSweepUnknownDatabase(t *testing.T) {
+	if _, err := ResolveDatabases([]string{"NOPE"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown database") {
+		t.Fatalf("ResolveDatabases: %v", err)
+	}
+}
+
+// TestConfigSweepMockHTTP runs a budgeted grid end-to-end through the mock
+// chat-completions endpoint: every cell must decode over the wire (the
+// mock answers a COUNT over the prompt's first table) and most should
+// parse after denaturalization.
+func TestConfigSweepMockHTTP(t *testing.T) {
+	exp := &config.Experiment{
+		Databases: []string{"KIS"},
+		Backends: []config.BackendSpec{{
+			ID: "mock", Type: config.TypeMockHTTP, Model: "mock-model",
+			MaxRetries: 2, TimeoutMs: 5000, BackoffMs: 1,
+		}},
+		Variants: []string{"native"},
+		Workers:  2,
+		Budget:   config.Budget{MaxQuestionsPerDB: 4},
+	}
+	backends, closer, err := backend.BuildAll(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	s, err := RunConfig(exp, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(s.Cells))
+	}
+	parsed := 0
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Backend != "mock" {
+			t.Fatalf("cell %d backend %q", i, c.Backend)
+		}
+		if c.ParseOK {
+			parsed++
+		}
+	}
+	if parsed == 0 {
+		t.Fatal("no mock generation parsed — the wire or fence path is broken")
+	}
+}

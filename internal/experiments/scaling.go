@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/trace"
 )
@@ -8,7 +10,12 @@ import (
 // ScalingPoint is one row of the sweep worker-scaling curve: throughput of
 // the full evaluation grid at a fixed worker count.
 type ScalingPoint struct {
-	Workers          int     `json:"workers"`
+	Workers int `json:"workers"`
+	// GOMAXPROCS records the scheduler parallelism this row actually ran
+	// under. Efficiency at Workers > GOMAXPROCS measures oversubscription,
+	// not the engine, so the compare gate annotates (rather than gates)
+	// such rows.
+	GOMAXPROCS       int     `json:"gomaxprocs,omitempty"`
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	CellsPerSec      float64 `json:"cells_per_sec"`
 	// Efficiency is parallel efficiency relative to the curve's first point:
@@ -17,7 +24,11 @@ type ScalingPoint struct {
 	// cores than workers the curve flattens and efficiency decays toward
 	// cores/workers — the committed baseline records what its machine did.
 	Efficiency float64 `json:"efficiency"`
-	// Stages is the per-stage latency breakdown of this point's sweep.
+	// Stages is the per-stage latency breakdown of this point's sweep,
+	// padded to every pipeline stage: stages whose work was memoized away
+	// (the warmup sweep warms the gold/pred execution caches, so timed
+	// runs hit the memo and record no sql_exec span) appear with
+	// Count == 0 instead of silently vanishing from the row.
 	Stages []trace.StageSnapshot `json:"stages,omitempty"`
 }
 
@@ -47,9 +58,10 @@ func ScalingCurve(workerCounts []int) []ScalingPoint {
 		sw := RunSweep(datasets.All(), Options{Workers: w})
 		pt := ScalingPoint{
 			Workers:          w,
+			GOMAXPROCS:       runtime.GOMAXPROCS(0),
 			WallClockSeconds: sw.Stats.WallClock.Seconds(),
 			CellsPerSec:      sw.Stats.CellsPerSec,
-			Stages:           sw.Stats.Stages,
+			Stages:           padStages(sw.Stats.Stages),
 		}
 		perWorker := pt.CellsPerSec / float64(w)
 		if basePerWorker == 0 {
@@ -59,6 +71,28 @@ func ScalingCurve(workerCounts []int) []ScalingPoint {
 			pt.Efficiency = perWorker / basePerWorker
 		}
 		out = append(out, pt)
+	}
+	return out
+}
+
+// padStages expands a stage breakdown to every pipeline stage in canonical
+// order, inserting explicit zero-count rows for stages that recorded no
+// span. Collector.Stages omits unobserved stages, which is right for "what
+// did this run compute" but wrong for a baseline artifact: a stage whose
+// work disappeared into a memo (or regressed into never running) must show
+// up as zero, where the compare gate can see it, not vanish.
+func padStages(in []trace.StageSnapshot) []trace.StageSnapshot {
+	out := make([]trace.StageSnapshot, trace.NumStages)
+	for i := range out {
+		out[i] = trace.StageSnapshot{Stage: trace.Stage(i).String()}
+	}
+	for _, s := range in {
+		for i := range out {
+			if out[i].Stage == s.Stage {
+				out[i] = s
+				break
+			}
+		}
 	}
 	return out
 }

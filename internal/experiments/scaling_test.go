@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/snails-bench/snails/internal/trace"
+)
+
+// TestScalingCurveListsAllStages is the regression test for the vanished
+// sql_exec stage: the warmup sweep warms the gold/pred execution memos, so
+// the timed runs hit the memo and record no exec span — and the scaling
+// rows used to silently drop the stage. Every row must list every pipeline
+// stage, zero-count rows included, so a disappeared stage is visible to the
+// compare gate instead of indistinguishable from "never existed".
+func TestScalingCurveListsAllStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full sweeps")
+	}
+	curve := ScalingCurve([]int{1})
+	if len(curve) != 1 {
+		t.Fatalf("got %d points, want 1", len(curve))
+	}
+	pt := curve[0]
+	if len(pt.Stages) != int(trace.NumStages) {
+		t.Fatalf("row lists %d stages, want all %d", len(pt.Stages), trace.NumStages)
+	}
+	for i, s := range pt.Stages {
+		if want := trace.Stage(i).String(); s.Stage != want {
+			t.Fatalf("stage %d = %q, want %q (canonical order)", i, s.Stage, want)
+		}
+	}
+	// The decode stage always does real work; exec is the memoized one.
+	byName := map[string]trace.StageSnapshot{}
+	for _, s := range pt.Stages {
+		byName[s.Stage] = s
+	}
+	if byName["llm_decode"].Count == 0 {
+		t.Fatal("llm_decode recorded no spans — the curve measured nothing")
+	}
+	if exec, ok := byName["sql_exec"]; !ok {
+		t.Fatal("sql_exec row missing")
+	} else if exec.Count != 0 {
+		// Not a failure — a cold pred cache can still execute — but the
+		// row being present is the contract; log the observation.
+		t.Logf("sql_exec recorded %d spans (pred memo not fully warm)", exec.Count)
+	}
+	if pt.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("GOMAXPROCS = %d, want %d", pt.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestPadStages pins the padding helper: observed stages keep their data,
+// unobserved ones appear zeroed, order is canonical.
+func TestPadStages(t *testing.T) {
+	in := []trace.StageSnapshot{
+		{Stage: "llm_decode", Count: 10, TotalSeconds: 1.5},
+		{Stage: "match", Count: 3},
+	}
+	out := padStages(in)
+	if len(out) != int(trace.NumStages) {
+		t.Fatalf("len = %d, want %d", len(out), trace.NumStages)
+	}
+	for i, s := range out {
+		if want := trace.Stage(i).String(); s.Stage != want {
+			t.Fatalf("out[%d] = %q, want %q", i, s.Stage, want)
+		}
+		switch s.Stage {
+		case "llm_decode":
+			if s.Count != 10 || s.TotalSeconds != 1.5 {
+				t.Fatalf("llm_decode lost its data: %+v", s)
+			}
+		case "match":
+			if s.Count != 3 {
+				t.Fatalf("match lost its data: %+v", s)
+			}
+		default:
+			if s.Count != 0 || s.TotalSeconds != 0 {
+				t.Fatalf("%s should be zeroed: %+v", s.Stage, s)
+			}
+		}
+	}
+	if got := padStages(nil); len(got) != int(trace.NumStages) {
+		t.Fatalf("padStages(nil) len = %d", len(got))
+	}
+}

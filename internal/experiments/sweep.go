@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/evalx"
 	"github.com/snails-bench/snails/internal/llm"
@@ -31,7 +32,11 @@ import (
 
 // Cell is one observation of the benchmark grid.
 type Cell struct {
+	// Model and Backend both carry the decode identity. They are equal —
+	// Backend is the interface-era name; Model remains because every
+	// report aggregation keys off it.
 	Model      string
+	Backend    string
 	DB         string
 	Variant    schema.Variant
 	QuestionID int
@@ -82,13 +87,33 @@ type Sweep struct {
 	Stats Stats
 }
 
-// Options configures sweep execution. The zero value runs with the
-// process-default worker count.
+// Options configures sweep execution. The zero value runs the full
+// synthetic family over every variant with the process-default worker
+// count.
 type Options struct {
 	// Workers is the number of concurrent grid workers. 0 means the
 	// process default (SetDefaultWorkers, else GOMAXPROCS); 1 runs the
-	// classic serial loop. Results are identical at every setting.
+	// classic serial loop. Results are identical at every setting for
+	// deterministic backends.
 	Workers int
+
+	// Backends is the decode axis. Empty means one synthetic backend per
+	// llm profile — the classic grid. Determinism guarantees (parallel
+	// output bit-identical to serial) hold per backend only when its
+	// capabilities claim it.
+	Backends []backend.Backend
+
+	// Variants is the schema-naturalness axis. Empty means all four.
+	Variants []schema.Variant
+
+	// MaxQuestionsPerDB keeps only the first N questions per database
+	// (0 = all). The grid enumeration is deterministic, so this is a
+	// stable prefix.
+	MaxQuestionsPerDB int
+
+	// MaxCells caps the total grid size (0 = unbounded); enumeration
+	// stops before the job that would exceed it.
+	MaxCells int
 }
 
 // defaultWorkers holds the process-wide worker override; 0 defers to
@@ -215,20 +240,37 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 	}
 	start := time.Now()
 
-	s := &Sweep{Tally: map[string]*evalx.IdentifierTally{}}
-	models := make([]*llm.Model, 0, 6)
-	for _, p := range llm.Profiles() {
-		models = append(models, llm.New(p))
-		s.Tally[p.Name] = evalx.NewIdentifierTally()
+	backends := opts.Backends
+	if len(backends) == 0 {
+		backends = make([]backend.Backend, 0, 6)
+		for _, p := range llm.Profiles() {
+			backends = append(backends, backend.NewSynthetic(p))
+		}
 	}
-	stride := len(models) * len(schema.Variants)
+	variants := opts.Variants
+	if len(variants) == 0 {
+		variants = schema.Variants
+	}
+
+	s := &Sweep{Tally: map[string]*evalx.IdentifierTally{}}
+	for _, be := range backends {
+		s.Tally[be.Name()] = evalx.NewIdentifierTally()
+	}
+	stride := len(backends) * len(variants)
 
 	// Enumerate jobs serially: question generation touches package-level
 	// caches and fixes the grid layout.
 	var jobs []job
 	total := 0
 	for _, b := range dbs {
-		for _, q := range questionsOf(b) {
+		qs := questionsOf(b)
+		if opts.MaxQuestionsPerDB > 0 && len(qs) > opts.MaxQuestionsPerDB {
+			qs = qs[:opts.MaxQuestionsPerDB]
+		}
+		for _, q := range qs {
+			if opts.MaxCells > 0 && total+stride > opts.MaxCells {
+				break
+			}
 			jobs = append(jobs, job{b: b, q: q, base: total})
 			total += stride
 		}
@@ -241,7 +283,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 
 	if workers == 1 {
 		for _, j := range jobs {
-			runJob(s.Cells, j, models, coll)
+			runJob(s.Cells, j, backends, variants, coll)
 		}
 	} else {
 		var next atomic.Int64
@@ -255,7 +297,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 					if i >= len(jobs) {
 						return
 					}
-					runJob(s.Cells, jobs[i], models, coll)
+					runJob(s.Cells, jobs[i], backends, variants, coll)
 				}
 			}()
 		}
@@ -267,7 +309,7 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 	for i := range s.Cells {
 		c := &s.Cells[i]
 		if c.Variant == schema.VariantNative && c.ParseOK {
-			s.Tally[c.Model].Observe(c.GoldIDs, c.PredIDs)
+			s.Tally[c.Backend].Observe(c.GoldIDs, c.PredIDs)
 		}
 	}
 
@@ -279,10 +321,10 @@ func RunSweep(dbs []*datasets.Built, opts Options) *Sweep {
 	return s
 }
 
-// runJob evaluates one (database, question) across every model and variant,
-// writing cells into the shared slice at the job's reserved stride. Cells in
-// distinct jobs never alias, so no locking is needed.
-func runJob(cells []Cell, j job, models []*llm.Model, coll *trace.Collector) {
+// runJob evaluates one (database, question) across every backend and
+// variant, writing cells into the shared slice at the job's reserved
+// stride. Cells in distinct jobs never alias, so no locking is needed.
+func runJob(cells []Cell, j job, backends []backend.Backend, variants []schema.Variant, coll *trace.Collector) {
 	b, q := j.b, j.q
 	goldSel, err := sqlparse.Parse(q.Gold)
 	if err != nil {
@@ -318,8 +360,8 @@ func runJob(cells []Cell, j job, models []*llm.Model, coll *trace.Collector) {
 		tables []string
 		ps     *llm.PromptSchema
 	}
-	prompts := make([]sharedPrompt, len(schema.Variants))
-	for vi, v := range schema.Variants {
+	prompts := make([]sharedPrompt, len(variants))
+	for vi, v := range variants {
 		tr := coll.Start("sweep")
 		tr.SetRequest(b.Name, v.String(), q.ID)
 		t0 := tr.Now()
@@ -331,13 +373,13 @@ func runJob(cells []Cell, j job, models []*llm.Model, coll *trace.Collector) {
 	}
 
 	idx := j.base
-	for _, m := range models {
-		family := tokenizerFor(m.Profile.Name)
-		for vi, v := range schema.Variants {
+	for _, be := range backends {
+		family := tokenizerFor(be.Name())
+		for vi, v := range variants {
 			tr := coll.Start("sweep")
 			tr.SetRequest(b.Name, v.String(), q.ID)
 			sp := &prompts[vi]
-			cell := runCell(trace.NewContext(context.Background(), tr), b, q, goldIDs, gold, m, v, sp.prompt, sp.tables, sp.ps)
+			cell := runCell(trace.NewContext(context.Background(), tr), b, q, goldIDs, gold, be, v, sp.prompt, sp.tables, sp.ps)
 			coll.Finish(tr)
 			f := featsOf(v, family)
 			cell.Combined = f.combined
@@ -359,11 +401,12 @@ func questionsOf(b *datasets.Built) []nlq.Question {
 }
 
 func runCell(ctx context.Context, b *datasets.Built, q nlq.Question, goldIDs sqlparse.IdentifierSet,
-	gold *sqldb.Result, m *llm.Model, v schema.Variant, prompt string, tables []string, ps *llm.PromptSchema) Cell {
+	gold *sqldb.Result, be backend.Backend, v schema.Variant, prompt string, tables []string, ps *llm.PromptSchema) Cell {
 
-	out := workflow.RunWithSchemaCtx(ctx, workflow.RunInput{B: b, Q: q, Variant: v, Model: m}, prompt, tables, ps)
+	out := workflow.RunWithSchemaCtx(ctx, workflow.RunInput{B: b, Q: q, Variant: v, Backend: be}, prompt, tables, ps)
 	cell := Cell{
-		Model:      m.Profile.Name,
+		Model:      be.Name(),
+		Backend:    be.Name(),
 		DB:         b.Name,
 		Variant:    v,
 		QuestionID: q.ID,
@@ -391,7 +434,7 @@ func runCell(ctx context.Context, b *datasets.Built, q nlq.Question, goldIDs sql
 
 	if outcome := countOutcome(&cell); outcome != outcomeMatch {
 		slog.DebugContext(ctx, "sweep cell missed",
-			slog.String("model", m.Profile.Name),
+			slog.String("model", be.Name()),
 			slog.String("db", b.Name),
 			slog.String("variant", v.String()),
 			slog.Int("question_id", q.ID),

@@ -3,12 +3,17 @@ package server
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/evalx"
+	"github.com/snails-bench/snails/internal/experiments"
 	"github.com/snails-bench/snails/internal/llm"
 	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/nlq"
@@ -79,17 +84,20 @@ func (p *pool) close() {
 }
 
 // inferKey groups concurrent inference requests that can share one rendered
-// schema prompt.
+// schema prompt. The backend name is part of the key: batches never mix
+// backends, so per-backend dispatch (a wire backend's latency, a synthetic
+// one's shared decode structures) stays isolated.
 type inferKey struct {
 	db      string
 	variant schema.Variant
+	backend string
 }
 
 // inferItem is one queued /v1/infer request inside a batch.
 type inferItem struct {
-	q       nlq.Question
-	profile *llm.Profile
-	out     chan inferOutcome // buffered(1); exactly one send per item
+	q   nlq.Question
+	be  backend.Backend
+	out chan inferOutcome // buffered(1); exactly one send per item
 
 	// tr is the request's trace (nil when tracing is disabled); enqueued
 	// marks when the item entered the batch, so the worker can record the
@@ -134,10 +142,17 @@ func newBatcher(s *Server, window time.Duration, maxBatch int) *batcher {
 
 // enqueue queues one request and returns the channel its outcome will be
 // delivered on. Every item receives exactly one outcome — a result, or an
-// overload error if the pool rejects its batch.
-func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, p *llm.Profile, tr *trace.Trace) chan inferOutcome {
-	item := &inferItem{q: q, profile: p, out: make(chan inferOutcome, 1), tr: tr, enqueued: tr.Now()}
-	key := inferKey{db: b.Name, variant: v}
+// overload error if the pool rejects its batch. Non-batchable backends
+// (wire models: each request is an independent network call) skip the
+// window and dispatch immediately as singleton batches.
+func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, be backend.Backend, tr *trace.Trace) chan inferOutcome {
+	item := &inferItem{q: q, be: be, out: make(chan inferOutcome, 1), tr: tr, enqueued: tr.Now()}
+	key := inferKey{db: b.Name, variant: v, backend: be.Name()}
+
+	if !be.Capabilities().Batchable {
+		bt.dispatch(&inferBatch{key: key, b: b, items: []*inferItem{item}})
+		return item.out
+	}
 
 	bt.mu.Lock()
 	ba := bt.pending[key]
@@ -298,7 +313,7 @@ func (bt *batcher) run(ba *inferBatch) {
 // results and predicted-query executions are memoized across requests.
 func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string, sharedPS *llm.PromptSchema) (InferResponse, *apiError) {
 	ctx := trace.NewContext(context.Background(), it.tr)
-	in := workflow.RunInput{B: ba.b, Q: it.q, Variant: ba.key.variant, Model: s.modelFor(it.profile)}
+	in := workflow.RunInput{B: ba.b, Q: it.q, Variant: ba.key.variant, Backend: it.be}
 	var out workflow.RunOutput
 	if sharedPS != nil {
 		out = workflow.RunWithSchemaCtx(ctx, in, sharedPrompt, nil, sharedPS)
@@ -307,10 +322,14 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string, sh
 	} else {
 		out = workflow.RunCtx(ctx, in)
 	}
+	if out.InferErr != nil {
+		return InferResponse{}, errorf(http.StatusBadGateway, "backend_failed",
+			"backend %s could not answer: %v", it.be.Name(), out.InferErr)
+	}
 
 	resp := InferResponse{
 		DB:         ba.b.Name,
-		Model:      it.profile.Name,
+		Model:      it.be.Name(),
 		Variant:    ba.key.variant.String(),
 		QuestionID: it.q.ID,
 		Question:   it.q.Text,
@@ -342,18 +361,42 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string, sh
 	return resp, nil
 }
 
-// modelFor returns the server's shared model instance for a profile. Models
+// backendFor resolves a decode backend by name: configured backends first,
+// then the synthetic family lazily by profile name. Synthetic backends
 // carry only memoized deterministic state, so sharing across requests is
 // race-safe (the parallel sweep engine relies on the same property).
-func (s *Server) modelFor(p *llm.Profile) *llm.Model {
-	s.modelsMu.Lock()
-	defer s.modelsMu.Unlock()
-	m, ok := s.models[p.Name]
-	if !ok {
-		m = llm.New(p)
-		s.models[p.Name] = m
+func (s *Server) backendFor(name string) (backend.Backend, *apiError) {
+	s.backendsMu.Lock()
+	defer s.backendsMu.Unlock()
+	if be, ok := s.backends[name]; ok {
+		return be, nil
 	}
-	return m
+	p, ok := llm.ProfileByName(name)
+	if !ok {
+		return nil, errorf(http.StatusNotFound, "unknown_model", "unknown model %q (have %s)",
+			name, strings.Join(s.backendNamesLocked(), ", "))
+	}
+	be := backend.WrapModel(llm.New(p))
+	s.backends[name] = be
+	return be, nil
+}
+
+// backendNamesLocked lists the reachable backend names (configured plus
+// synthetic profiles), sorted, for error messages. Callers hold backendsMu.
+func (s *Server) backendNamesLocked() []string {
+	seen := map[string]bool{}
+	var out []string
+	for name := range s.backends {
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, name := range experiments.ModelNames() {
+		if !seen[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // goldResult executes (and memoizes) a question's gold query. The execution

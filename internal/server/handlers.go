@@ -10,7 +10,6 @@ import (
 	"github.com/snails-bench/snails/internal/evalx"
 	"github.com/snails-bench/snails/internal/experiments"
 	"github.com/snails-bench/snails/internal/ident"
-	"github.com/snails-bench/snails/internal/llm"
 	"github.com/snails-bench/snails/internal/modifier"
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/nlq"
@@ -72,10 +71,9 @@ func (s *Server) handleInfer(ctx context.Context, req *apiRequest) (any, *apiErr
 	if model == "" {
 		model = "gpt-4o"
 	}
-	profile, ok := llm.ProfileByName(model)
-	if !ok {
-		return nil, errorf(http.StatusNotFound, "unknown_model", "unknown model %q (have %s)",
-			model, strings.Join(experiments.ModelNames(), ", "))
+	be, apiErr := s.backendFor(model)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	v, err := parseVariant(req.Variant)
 	if err != nil {
@@ -88,7 +86,7 @@ func (s *Server) handleInfer(ctx context.Context, req *apiRequest) (any, *apiErr
 
 	tr := trace.FromContext(ctx)
 	tr.SetRequest(b.Name, v.String(), q.ID)
-	out := s.batcher.enqueue(b, v, q, profile, tr)
+	out := s.batcher.enqueue(b, v, q, be, tr)
 	select {
 	case o := <-out:
 		if o.err != nil {

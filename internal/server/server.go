@@ -35,9 +35,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/experiments"
-	"github.com/snails-bench/snails/internal/llm"
 	"github.com/snails-bench/snails/internal/memo"
 	"github.com/snails-bench/snails/internal/naturalness"
 	"github.com/snails-bench/snails/internal/obs"
@@ -76,6 +76,11 @@ type Config struct {
 	// guarantee can be checked modulo shard attribution (bodies identical,
 	// only the header differs).
 	ShardID string
+	// Backends pre-registers decode backends by name (config-driven
+	// deployments: wire backends, renamed synthetics). Synthetic profiles
+	// not listed here remain reachable by profile name — they are built
+	// lazily on first use, preserving the classic /v1/infer surface.
+	Backends []backend.Backend
 	// Logger receives the server's structured logs (access records at debug,
 	// 5xx responses at warn). Defaults to slog.Default(), so a binary that
 	// installs an obs.NewLogger as the process default gets request-scoped
@@ -140,8 +145,10 @@ type Server struct {
 	pool    *pool
 	batcher *batcher
 
-	modelsMu sync.Mutex
-	models   map[string]*llm.Model
+	// backendsMu guards the decode-backend registry: configured backends
+	// at construction, synthetic profiles lazily on first request.
+	backendsMu sync.Mutex
+	backends   map[string]backend.Backend
 
 	clfOnce    sync.Once
 	classifier *naturalness.SoftmaxClassifier
@@ -159,8 +166,11 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
 		logger:   cfg.Logger,
-		models:   map[string]*llm.Model{},
+		backends: map[string]backend.Backend{},
 		draining: make(chan struct{}),
+	}
+	for _, be := range cfg.Backends {
+		s.backends[be.Name()] = be
 	}
 	if s.logger == nil {
 		s.logger = slog.Default()

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"sort"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/llm"
 	"github.com/snails-bench/snails/internal/nlq"
@@ -19,12 +20,24 @@ import (
 )
 
 // RunInput is one (database, question, schema variant, model) cell of the
-// benchmark grid.
+// benchmark grid. Exactly one of Backend and Model drives the decode:
+// Backend when set, else Model through the synthetic fast path (the two are
+// bit-identical for synthetic backends — the adapter calls the same
+// InferOn).
 type RunInput struct {
 	B       *datasets.Built
 	Q       nlq.Question
 	Variant schema.Variant
+	Backend backend.Backend
 	Model   *llm.Model
+}
+
+// ModelName returns the decode identity used for seeding and logs.
+func (in *RunInput) ModelName() string {
+	if in.Backend != nil {
+		return in.Backend.Name()
+	}
+	return in.Model.Profile.Name
 }
 
 // RunOutput is the pipeline's result for one cell.
@@ -45,6 +58,9 @@ type RunOutput struct {
 	// FilteredNative is the schema-filtering selection mapped back to
 	// native table names.
 	FilteredNative []string
+	// InferErr is set when a backend could not answer (wire failure,
+	// exhausted retries). The cell counts as failed; the sweep goes on.
+	InferErr error
 }
 
 // promptTables picks the schema subset shown in the prompt. Single-module
@@ -146,18 +162,47 @@ func runWithSchema(ctx context.Context, in RunInput, prompt string, tables []str
 	if ps == nil {
 		ps = llm.PromptSchemaOf(prompt)
 	}
-	pred := in.Model.InferOn(ps, llm.Task{
-		SchemaKnowledge: prompt,
-		Question:        in.Q.Text,
-		Intent:          in.Q.Intent,
-		Seed:            Seed(in.Model.Profile.Name, in.B.Name, in.Q.ID, in.Variant),
-	})
+	seed := Seed(in.ModelName(), in.B.Name, in.Q.ID, in.Variant)
+	var pred llm.Prediction
+	var inferErr error
+	if in.Backend != nil {
+		res, err := in.Backend.Infer(ctx, backend.Request{
+			SchemaKnowledge: prompt,
+			Question:        in.Q.Text,
+			Intent:          in.Q.Intent,
+			Seed:            seed,
+			PromptSchema:    ps,
+		})
+		if err != nil {
+			inferErr = err
+			pred = llm.Prediction{Invalid: true}
+		} else {
+			pred = llm.Prediction{SQL: res.SQL, FilteredTables: res.FilteredTables, Invalid: res.Invalid}
+		}
+	} else {
+		pred = in.Model.InferOn(ps, llm.Task{
+			SchemaKnowledge: prompt,
+			Question:        in.Q.Text,
+			Intent:          in.Q.Intent,
+			Seed:            seed,
+		})
+	}
 	tr.Span(trace.StageDecode, t0)
 
 	out := RunOutput{
 		Prompt:       prompt,
 		PromptTables: tables,
 		Prediction:   pred,
+		InferErr:     inferErr,
+	}
+	if inferErr != nil {
+		slog.DebugContext(ctx, "backend inference failed",
+			slog.String("backend", in.ModelName()),
+			slog.String("db", in.B.Name),
+			slog.String("variant", in.Variant.String()),
+			slog.Int("question_id", in.Q.ID),
+			slog.String("err", inferErr.Error()))
+		return out
 	}
 	for _, ft := range pred.FilteredTables {
 		out.FilteredNative = append(out.FilteredNative, in.B.Schema.ToNativeVariant(ft, in.Variant))
@@ -170,7 +215,7 @@ func runWithSchema(ctx context.Context, in RunInput, prompt string, tables []str
 	if err != nil {
 		tr.Span(trace.StageParse, t1)
 		slog.DebugContext(ctx, "prediction did not parse",
-			slog.String("model", in.Model.Profile.Name),
+			slog.String("model", in.ModelName()),
 			slog.String("db", in.B.Name),
 			slog.String("variant", in.Variant.String()),
 			slog.Int("question_id", in.Q.ID),

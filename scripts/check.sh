@@ -4,8 +4,9 @@
 # The -race pass covers the packages the parallel sweep engine and the
 # serving layer touch: the worker pool and memoized caches in experiments,
 # the shared linking memos in llm, the per-cell pipeline in workflow, the
-# clock-hand cache in memo, the batching HTTP server, and the cluster
-# router plus its fault-injection harness (kill/restart/drain under load).
+# clock-hand cache in memo, the batching HTTP server, the cluster
+# router plus its fault-injection harness (kill/restart/drain under load),
+# and the model backends (retrying HTTP client against the mock server).
 # It runs with -short so the determinism test uses a database subset
 # (goroutine interleaving is what the race detector needs, not the full
 # grid).
@@ -32,7 +33,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-touched packages)"
-go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/
+go test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/ ./internal/backend/ ./internal/config/
 
 echo "== go fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
@@ -122,8 +123,23 @@ kill -TERM "$ROUTER_PID"
 wait "$ROUTER_PID"
 rm -rf "$CSCRATCH"
 
-echo "== benchmark regression gate (snailsbench -compare)"
+echo "== config-driven sweep smoke (configs/ vs flag path, mock HTTP end-to-end)"
 go build -o "$SCRATCH/snailsbench" ./cmd/snailsbench
+# configs/synthetic.json mirrors the default grid exactly (same profile
+# order, all databases and variants), so the config path must produce a
+# byte-identical per-cell dump to the flag path.
+"$SCRATCH/snailsbench" -out "$SCRATCH/flags_report.txt" -bench "" -cells "$SCRATCH/cells_flags.txt"
+"$SCRATCH/snailsbench" -config configs/synthetic.json -cells "$SCRATCH/cells_config.txt" > /dev/null
+cmp "$SCRATCH/cells_flags.txt" "$SCRATCH/cells_config.txt"
+# The mock-HTTP config runs end to end through a real loopback
+# /v1/chat/completions server: 20 cells (2 DBs x 2 variants x 5 questions),
+# every row attributed to the "mock" backend.
+"$SCRATCH/snailsbench" -config configs/mock-http.json -cells "$SCRATCH/cells_mock.txt" > /dev/null
+MOCK_ROWS="$(grep -c '^mock' "$SCRATCH/cells_mock.txt")"
+TOTAL_ROWS="$(wc -l < "$SCRATCH/cells_mock.txt")"
+awk -v m="$MOCK_ROWS" -v t="$TOTAL_ROWS" 'BEGIN { if (m != 20 || t+0 != 20) { print "mock-http sweep produced " m "/" t " mock rows, want 20/20"; exit 1 } }'
+
+echo "== benchmark regression gate (snailsbench -compare)"
 # The committed baselines must pass the gate against themselves (plumbing +
 # schema check; -against defaults to the committed artifact of the same kind).
 "$SCRATCH/snailsbench" -compare BENCH_sweep.json > /dev/null

@@ -22,6 +22,8 @@ import (
 	"io"
 	"strings"
 
+	"github.com/snails-bench/snails/internal/backend"
+	"github.com/snails-bench/snails/internal/config"
 	"github.com/snails-bench/snails/internal/datasets"
 	"github.com/snails-bench/snails/internal/evalx"
 	"github.com/snails-bench/snails/internal/experiments"
@@ -367,7 +369,10 @@ func BenchScaling(workers []int) []ScalingPoint { return experiments.ScalingCurv
 // BenchSweep runs (or returns the cached) full evaluation sweep and reports
 // its execution statistics.
 func BenchSweep() SweepStats {
-	st := experiments.Run().Stats
+	return sweepStatsOf(experiments.Run().Stats)
+}
+
+func sweepStatsOf(st experiments.Stats) SweepStats {
 	out := SweepStats{
 		Cells:            st.Cells,
 		Workers:          st.Workers,
@@ -385,4 +390,39 @@ func BenchSweep() SweepStats {
 		})
 	}
 	return out
+}
+
+// RunExperimentConfig loads a declarative experiment config (see configs/ in
+// the repository for examples), builds its backends — synthetic profiles,
+// OpenAI-style HTTP endpoints, or the hermetic in-process mock — runs the
+// configured sweep, and reports its execution statistics. When cells is
+// non-nil the canonical per-cell dump is written to it: one line per grid
+// cell with only run-independent fields, so two runs of the same config (or
+// a config run and the equivalent flag-path run) diff byte-identical.
+func RunExperimentConfig(path string, cells io.Writer) (SweepStats, error) {
+	exp, err := config.Load(path)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	backends, closeBackends, err := backend.BuildAll(exp)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	defer closeBackends()
+	sw, err := experiments.RunConfig(exp, backends)
+	if err != nil {
+		return SweepStats{}, err
+	}
+	if cells != nil {
+		if err := sw.WriteCells(cells); err != nil {
+			return SweepStats{}, err
+		}
+	}
+	return sweepStatsOf(sw.Stats), nil
+}
+
+// WriteSweepCells writes the canonical per-cell dump of the full default
+// sweep (the flag-path grid RunExperimentConfig's dump is diffed against).
+func WriteSweepCells(w io.Writer) error {
+	return experiments.Run().WriteCells(w)
 }
