@@ -17,13 +17,15 @@ test:
 race:
 	$(GO) test -race -short ./internal/experiments/ ./internal/llm/ ./internal/token/ ./internal/workflow/ ./internal/memo/ ./internal/obs/ ./internal/server/ ./internal/trace/ ./internal/sqlexec/ ./internal/sqldb/ ./internal/cluster/ ./internal/cluster/clustertest/ ./internal/backend/ ./internal/config/
 
-# Short fuzz pass over the SQL front end, CSV ingestion, and the planner
-# differential (the same smoke scripts/check.sh runs). Raise -fuzztime for a deeper hunt.
+# Short fuzz pass over the SQL front end, CSV ingestion, the planner
+# differential, and the trace wire header (the same smoke scripts/check.sh
+# runs). Raise -fuzztime for a deeper hunt.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime 10s ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime 10s ./internal/etl/
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanExec$$' -fuzztime 10s ./internal/sqlexec/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceHeader$$' -fuzztime 10s ./internal/trace/
 
 # Tier-1 verification: build, vet, full tests, then the race pass.
 check:

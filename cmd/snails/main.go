@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	snails "github.com/snails-bench/snails"
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/obs"
 )
 
@@ -392,6 +393,14 @@ func printBenchStats(st snails.SweepStats, counts []int, jsonOut *string) error 
 			fmt.Printf("  %-13s n=%-6d total=%.3fs mean=%.3fms p50=%.3fms p99=%.3fms\n",
 				sg.Stage, sg.Count, sg.TotalSeconds, sg.MeanMillis, sg.P50Millis, sg.P99Millis)
 		}
+	}
+	// Config-driven sweeps route inference through the model-backend layer;
+	// surface its process-wide tallies so retry/fence trouble is visible from
+	// the CLI without scraping a server. The default synthetic grid bypasses
+	// the layer and leaves every counter at zero, so the line stays quiet.
+	if bs := backend.ReadStats(); bs.RequestsOK+bs.RequestsError > 0 {
+		fmt.Printf("backend:    ok=%d err=%d retries=%d fence_failures=%d backoff=%.3fs\n",
+			bs.RequestsOK, bs.RequestsError, bs.Retries, bs.FenceFailures, bs.BackoffSeconds)
 	}
 	if len(counts) > 0 {
 		curve := snails.BenchScaling(counts)

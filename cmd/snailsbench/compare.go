@@ -269,6 +269,18 @@ func serveRows(base, cur *serveStats) []compared {
 			compared{name: prefix + "errors", base: float64(pt.Errors), cur: float64(sc.Errors), dir: exactCount, missing: !ok},
 			compared{name: prefix + "wall_clock_seconds", base: pt.WallClockSeconds, cur: sc.WallClockSeconds, dir: infoOnly, missing: !ok},
 		)
+		// Router-overhead attribution: the magnitude jitters at sub-
+		// millisecond scale so it is informational, but a baseline that HAS
+		// the attribution (stitched samples behind it) must keep producing
+		// it — tracing propagation silently breaking would zero the sample
+		// count, which fails here as MISSING.
+		if pt.OverheadSamples > 0 {
+			rows = append(rows,
+				compared{name: prefix + "router_overhead_ms", base: pt.RouterOverheadMillis, cur: sc.RouterOverheadMillis, dir: infoOnly, missing: !ok},
+				compared{name: prefix + "overhead_samples", base: float64(pt.OverheadSamples), cur: float64(sc.OverheadSamples),
+					dir: infoOnly, missing: !ok || sc.OverheadSamples == 0, note: "presence-gated"},
+			)
+		}
 	}
 	return rows
 }

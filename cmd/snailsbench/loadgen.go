@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/cluster"
 	"github.com/snails-bench/snails/internal/cluster/clustertest"
 	"github.com/snails-bench/snails/internal/server"
 	"github.com/snails-bench/snails/internal/trace"
@@ -64,6 +65,71 @@ type shardPoint struct {
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 	RequestsPerSec   float64 `json:"requests_per_sec"`
 	Speedup          float64 `json:"speedup"`
+
+	// RouterOverheadMillis attributes the proxy hop's cost from stitched
+	// traces: over every recent request with both a router-side and a
+	// shard-side view under one wire trace ID, the mean of router end-to-end
+	// time minus shard-side total time — body buffering, ring lookup, relay
+	// round-trip overhead, and response copy. OverheadSamples counts the
+	// stitched pairs behind the mean (cache hits produce router-only views
+	// and are excluded).
+	RouterOverheadMillis float64 `json:"router_overhead_ms"`
+	OverheadSamples      int     `json:"overhead_samples"`
+}
+
+// routerOverhead pulls the router's merged trace stream (router views plus
+// shard views in one document) and computes the per-request proxy overhead
+// by grouping views on their shared wire trace ID.
+func routerOverhead(client *http.Client, base string, stderr io.Writer) (float64, int) {
+	resp, err := client.Get(base + "/debugz/traces")
+	if err != nil {
+		fmt.Fprintln(stderr, "snailsbench: router traces:", err)
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "snailsbench: router traces: HTTP %d\n", resp.StatusCode)
+		return 0, 0
+	}
+	var tr server.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		fmt.Fprintln(stderr, "snailsbench: router traces:", err)
+		return 0, 0
+	}
+	type pair struct {
+		routerMs, shardMs    float64
+		hasRouter, hasShard bool
+	}
+	groups := map[string]*pair{}
+	for _, v := range tr.Traces {
+		if v.TraceID == "" {
+			continue
+		}
+		g := groups[v.TraceID]
+		if g == nil {
+			g = &pair{}
+			groups[v.TraceID] = g
+		}
+		if v.Proc == "router" {
+			g.routerMs += v.TotalMs
+			g.hasRouter = true
+		} else {
+			g.shardMs += v.TotalMs
+			g.hasShard = true
+		}
+	}
+	var sum float64
+	n := 0
+	for _, g := range groups {
+		if g.hasRouter && g.hasShard {
+			sum += g.routerMs - g.shardMs
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
 }
 
 // stageBudget is one pipeline stage's share of the traced serving time.
@@ -251,7 +317,13 @@ func runClusterTable(cfg *benchConfig, counts []int, stdout, stderr io.Writer) (
 	var points []shardPoint
 	var baseRPS float64
 	for _, n := range counts {
-		c, err := clustertest.Start(clustertest.Options{Shards: n, Preload: true})
+		// The router traces every request (cache hits included) while shards
+		// trace only computed paths, so with the default 256-trace ring the
+		// early cache-miss traces — the only ones with a shard-side pair —
+		// are evicted before the post-run pull. Size the router's ring to the
+		// row's request volume so the overhead attribution keeps its samples.
+		c, err := clustertest.Start(clustertest.Options{Shards: n, Preload: true,
+			Router: cluster.Config{TraceBuffer: cfg.requests * n}})
 		if err != nil {
 			return nil, fmt.Errorf("cluster with %d shards: %w", n, err)
 		}
@@ -259,23 +331,26 @@ func runClusterTable(cfg *benchConfig, counts []int, stdout, stderr io.Writer) (
 		concurrency := cfg.clusterConcurrency * n
 		client := &http.Client{Timeout: 30 * time.Second}
 		wall, _, errCount := hammer(client, c.RouterURL, reqs, concurrency, stderr)
+		overheadMs, samples := routerOverhead(client, c.RouterURL, stderr)
 		c.Stop()
 
 		pt := shardPoint{
-			Shards:           n,
-			Requests:         len(reqs),
-			Concurrency:      concurrency,
-			Errors:           errCount,
-			WallClockSeconds: wall.Seconds(),
-			RequestsPerSec:   float64(len(reqs)) / wall.Seconds(),
+			Shards:               n,
+			Requests:             len(reqs),
+			Concurrency:          concurrency,
+			Errors:               errCount,
+			WallClockSeconds:     wall.Seconds(),
+			RequestsPerSec:       float64(len(reqs)) / wall.Seconds(),
+			RouterOverheadMillis: overheadMs,
+			OverheadSamples:      samples,
 		}
 		if baseRPS == 0 {
 			baseRPS = pt.RequestsPerSec
 		}
 		pt.Speedup = pt.RequestsPerSec / baseRPS
 		points = append(points, pt)
-		fmt.Fprintf(stdout, "cluster: shards=%d requests=%d concurrency=%d wall=%.2fs rps=%.0f speedup=%.2fx errors=%d\n",
-			pt.Shards, pt.Requests, pt.Concurrency, pt.WallClockSeconds, pt.RequestsPerSec, pt.Speedup, pt.Errors)
+		fmt.Fprintf(stdout, "cluster: shards=%d requests=%d concurrency=%d wall=%.2fs rps=%.0f speedup=%.2fx router_overhead=%.2fms (%d stitched) errors=%d\n",
+			pt.Shards, pt.Requests, pt.Concurrency, pt.WallClockSeconds, pt.RequestsPerSec, pt.Speedup, pt.RouterOverheadMillis, pt.OverheadSamples, pt.Errors)
 		if errCount > 0 {
 			return points, fmt.Errorf("cluster with %d shards: %d requests failed", n, errCount)
 		}

@@ -199,9 +199,10 @@ func runCluster(cfg *config, stderr io.Writer, ready chan<- string, signals <-ch
 	}
 
 	rt, err := cluster.NewRouter(cluster.Config{
-		Shards:   shards,
-		Universe: cluster.DefaultUniverse(),
-		Logger:   log,
+		Shards:      shards,
+		Universe:    cluster.DefaultUniverse(),
+		TraceBuffer: cfg.traceBuffer,
+		Logger:      log,
 	})
 	if err != nil {
 		log.Error("cluster start failed", slog.String("err", err.Error()))

@@ -40,6 +40,7 @@ type config struct {
 	preload      bool
 	drainGrace   time.Duration
 	traceBuffer  int
+	canonEvery   int
 	pprof        bool
 	configPath   string
 	logFormat    string
@@ -69,6 +70,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.preload, "preload", true, "build all databases and train the classifier before listening")
 	fs.DurationVar(&cfg.drainGrace, "drain-grace", 30*time.Second, "maximum time to drain in-flight work on shutdown")
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 0, "request traces kept for /debugz/traces (0 = default 256, negative disables tracing)")
+	fs.IntVar(&cfg.canonEvery, "canonical-log-every", 0, "promote every Nth canonical request log line to info (0 = default 256, negative never promotes)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.configPath, "config", "", "experiment config whose backends are registered for /v1/infer alongside the synthetic family (JSON; see configs/)")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log encoding ("+obs.LogFormats+")")
@@ -107,15 +109,16 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 
 func (c *config) serverConfig(log *slog.Logger) server.Config {
 	return server.Config{
-		RequestTimeout: c.timeout,
-		CacheEntries:   c.cacheEntries,
-		BatchWindow:    c.batchWindow,
-		MaxBatch:       c.maxBatch,
-		Workers:        c.workers,
-		TraceBuffer:    c.traceBuffer,
-		EnablePprof:    c.pprof,
-		ShardID:        c.shardID,
-		Logger:         log,
+		RequestTimeout:    c.timeout,
+		CacheEntries:      c.cacheEntries,
+		BatchWindow:       c.batchWindow,
+		MaxBatch:          c.maxBatch,
+		Workers:           c.workers,
+		TraceBuffer:       c.traceBuffer,
+		CanonicalLogEvery: c.canonEvery,
+		EnablePprof:       c.pprof,
+		ShardID:           c.shardID,
+		Logger:            log,
 	}
 }
 

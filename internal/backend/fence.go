@@ -11,7 +11,9 @@ import "strings"
 //     opener — truncated generations still surface their partial SQL,
 //   - a bare ``` fence is accepted, with a lone language tag on the opener
 //     line stripped,
-//   - no fence at all returns the whole message trimmed.
+//   - no fence at all returns the whole message trimmed (and counts as a
+//     fence-extraction failure in snails_backend_fence_failures_total —
+//     the model ignored the fencing instruction).
 func ExtractSQL(content string) string {
 	lower := strings.ToLower(content)
 	if i := strings.Index(lower, "```sql"); i >= 0 && !isWordByte(lower, i+len("```sql")) {
@@ -30,6 +32,7 @@ func ExtractSQL(content string) string {
 		}
 		return trimFenceBody(body)
 	}
+	fenceFailures.Add(1)
 	return strings.TrimSpace(content)
 }
 

@@ -9,8 +9,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
+
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // HTTPOptions configures an OpenAI-style chat-completions backend.
@@ -103,7 +106,9 @@ const systemPrompt = "You translate natural-language questions into a single SQL
 // Infer POSTs the chat request, retrying retryable failures with
 // exponential backoff. Each attempt runs under the sooner of the per-attempt
 // timeout and the caller's deadline; the backoff sleep itself respects the
-// caller's context, so a short client deadline is honored mid-retry.
+// caller's context, so a short client deadline is honored mid-retry. Every
+// attempt records a backend_attempt span on the request's trace, and the
+// retry/backoff/outcome tallies feed the snails_backend_* families.
 func (h *HTTP) Infer(ctx context.Context, req Request) (Result, error) {
 	body, err := json.Marshal(chatRequest{
 		Model: h.opts.Model,
@@ -113,18 +118,27 @@ func (h *HTTP) Infer(ctx context.Context, req Request) (Result, error) {
 		},
 	})
 	if err != nil {
+		countOutcome(err)
 		return Result{}, fmt.Errorf("backend %s: marshal: %w", h.opts.Name, err)
 	}
 
+	tr := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt <= h.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, h.opts.Backoff<<(attempt-1)); err != nil {
+			retriesTotal.Add(1)
+			d := h.opts.Backoff << (attempt - 1)
+			if err := sleepCtx(ctx, d); err != nil {
+				countOutcome(err)
 				return Result{}, fmt.Errorf("backend %s: %w (last attempt: %v)", h.opts.Name, err, lastErr)
 			}
+			backoffHist.Observe(d)
 		}
+		start := tr.Now()
 		content, err := h.attempt(ctx, body)
+		tr.SpanTag(trace.StageBackendAttempt, start, h.opts.Name+"#"+strconv.Itoa(attempt))
 		if err == nil {
+			countOutcome(nil)
 			return Result{SQL: ExtractSQL(content)}, nil
 		}
 		lastErr = err
@@ -132,6 +146,7 @@ func (h *HTTP) Infer(ctx context.Context, req Request) (Result, error) {
 			break
 		}
 	}
+	countOutcome(lastErr)
 	return Result{}, fmt.Errorf("backend %s: %w", h.opts.Name, lastErr)
 }
 

@@ -1,0 +1,58 @@
+package backend
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/snails-bench/snails/internal/obs"
+)
+
+// Process-wide backend tallies, the seventh pipeline concern surfaced by the
+// observability layer. Like sqlexec's execution stats they are package
+// atomics read by scrape-time callbacks (snails_backend_* families) and by
+// /metricsz snapshots, so both the synthetic and HTTP backends feed the same
+// counters without carrying registry handles.
+var (
+	requestsOK    atomic.Uint64 // Infer calls that returned a result
+	requestsError atomic.Uint64 // Infer calls that returned an error
+	retriesTotal  atomic.Uint64 // HTTP re-sends after a retryable failure
+	fenceFailures atomic.Uint64 // ExtractSQL fell through to "no fence"
+	backoffHist   obs.Histogram // retry backoff sleep durations
+)
+
+// Stats is a snapshot of the process-wide backend tallies, embedded in
+// /metricsz (and therefore BENCH_serve.json) and summed across shards by
+// the router's aggregated view.
+type Stats struct {
+	RequestsOK     uint64  `json:"requests_ok"`
+	RequestsError  uint64  `json:"requests_error"`
+	Retries        uint64  `json:"retries"`
+	FenceFailures  uint64  `json:"fence_failures"`
+	BackoffSleeps  uint64  `json:"backoff_sleeps"`
+	BackoffSeconds float64 `json:"backoff_seconds"`
+}
+
+// ReadStats snapshots the tallies.
+func ReadStats() Stats {
+	return Stats{
+		RequestsOK:     requestsOK.Load(),
+		RequestsError:  requestsError.Load(),
+		Retries:        retriesTotal.Load(),
+		FenceFailures:  fenceFailures.Load(),
+		BackoffSleeps:  backoffHist.Count(),
+		BackoffSeconds: float64(backoffHist.TotalNanos()) / float64(time.Second),
+	}
+}
+
+// BackoffHistogram exposes the backoff-sleep histogram for registry
+// exposition (snails_backend_backoff_seconds). Observe-only for callers.
+func BackoffHistogram() *obs.Histogram { return &backoffHist }
+
+// countOutcome tallies one finished Infer.
+func countOutcome(err error) {
+	if err != nil {
+		requestsError.Add(1)
+	} else {
+		requestsOK.Add(1)
+	}
+}

@@ -1,0 +1,155 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/trace"
+)
+
+// statsDelta runs f and returns how much each tally moved. Tests in this
+// package run serially, so deltas are attributable to f.
+func statsDelta(f func()) Stats {
+	before := ReadStats()
+	f()
+	after := ReadStats()
+	return Stats{
+		RequestsOK:     after.RequestsOK - before.RequestsOK,
+		RequestsError:  after.RequestsError - before.RequestsError,
+		Retries:        after.Retries - before.Retries,
+		FenceFailures:  after.FenceFailures - before.FenceFailures,
+		BackoffSleeps:  after.BackoffSleeps - before.BackoffSleeps,
+		BackoffSeconds: after.BackoffSeconds - before.BackoffSeconds,
+	}
+}
+
+// A retried-then-successful HTTP inference must surface in every tally:
+// one ok request, two retries, two backoff sleeps, and one backend_attempt
+// span per wire attempt on the request's trace.
+func TestHTTPBackendTalliesAndSpans(t *testing.T) {
+	m, err := NewMockServer(MockOptions{FailStatus: 500, FailCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h, err := NewHTTP(HTTPOptions{BaseURL: m.URL, Model: "mock", Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := trace.NewCollector(4)
+	tr := c.Start("/v1/infer")
+	ctx := trace.NewContext(context.Background(), tr)
+
+	var res Result
+	d := statsDelta(func() {
+		var ierr error
+		res, ierr = h.Infer(ctx, Request{SchemaKnowledge: "#Flights(Id INTEGER)", Question: "how many?"})
+		if ierr != nil {
+			t.Fatalf("Infer: %v", ierr)
+		}
+	})
+	if !strings.Contains(res.SQL, "SELECT COUNT(*)") {
+		t.Fatalf("unexpected SQL %q", res.SQL)
+	}
+	if d.RequestsOK != 1 || d.RequestsError != 0 {
+		t.Errorf("outcome tallies = %+v, want 1 ok / 0 error", d)
+	}
+	if d.Retries != 2 || d.BackoffSleeps != 2 {
+		t.Errorf("retry tallies = %+v, want 2 retries / 2 backoff sleeps", d)
+	}
+	if d.BackoffSeconds <= 0 {
+		t.Errorf("backoff histogram recorded no time: %+v", d)
+	}
+
+	var attempts []string
+	for _, sp := range tr.Spans() {
+		if sp.Stage == trace.StageBackendAttempt {
+			attempts = append(attempts, sp.Tag)
+		}
+	}
+	want := []string{"mock#0", "mock#1", "mock#2"}
+	if len(attempts) != len(want) {
+		t.Fatalf("backend_attempt spans = %v, want %v", attempts, want)
+	}
+	for i := range want {
+		if attempts[i] != want[i] {
+			t.Fatalf("backend_attempt spans = %v, want %v", attempts, want)
+		}
+	}
+}
+
+// A terminal (non-retryable) failure counts one error with no retries.
+func TestHTTPBackendErrorTally(t *testing.T) {
+	m, err := NewMockServer(MockOptions{NonJSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h, err := NewHTTP(HTTPOptions{BaseURL: m.URL, Model: "mock", Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := statsDelta(func() {
+		if _, ierr := h.Infer(context.Background(), Request{Question: "q"}); ierr == nil {
+			t.Fatal("want an error from a non-JSON response")
+		}
+	})
+	if d.RequestsOK != 0 || d.RequestsError != 1 || d.Retries != 0 {
+		t.Errorf("tallies after terminal failure = %+v, want 0 ok / 1 error / 0 retries", d)
+	}
+}
+
+// The synthetic backend feeds the same families: one ok request and one
+// backend_attempt span, even though it never retries.
+func TestSyntheticBackendTalliesAndSpan(t *testing.T) {
+	p, ok := llm.ProfileByName("gpt-4o")
+	if !ok {
+		t.Fatal("no gpt-4o profile")
+	}
+	be := NewSynthetic(p)
+	c := trace.NewCollector(4)
+	tr := c.Start("/v1/infer")
+	ctx := trace.NewContext(context.Background(), tr)
+	d := statsDelta(func() {
+		if _, err := be.Infer(ctx, Request{SchemaKnowledge: "#Flights(Id INTEGER)", Question: "how many flights are there?"}); err != nil {
+			t.Fatalf("Infer: %v", err)
+		}
+	})
+	if d.RequestsOK != 1 || d.RequestsError != 0 || d.Retries != 0 {
+		t.Errorf("synthetic tallies = %+v, want 1 ok", d)
+	}
+	var tags []string
+	for _, sp := range tr.Spans() {
+		if sp.Stage == trace.StageBackendAttempt {
+			tags = append(tags, sp.Tag)
+		}
+	}
+	if len(tags) != 1 || tags[0] != "gpt-4o#0" {
+		t.Errorf("synthetic backend_attempt spans = %v, want [gpt-4o#0]", tags)
+	}
+}
+
+// No fence in the content counts a fence-extraction failure; fenced content
+// does not.
+func TestFenceFailureTally(t *testing.T) {
+	d := statsDelta(func() {
+		if got := ExtractSQL("SELECT 1"); got != "SELECT 1" {
+			t.Fatalf("ExtractSQL = %q", got)
+		}
+	})
+	if d.FenceFailures != 1 {
+		t.Errorf("unfenced content counted %d failures, want 1", d.FenceFailures)
+	}
+	d = statsDelta(func() {
+		if got := ExtractSQL("```sql\nSELECT 1\n```"); got != "SELECT 1" {
+			t.Fatalf("ExtractSQL = %q", got)
+		}
+	})
+	if d.FenceFailures != 0 {
+		t.Errorf("fenced content counted %d failures, want 0", d.FenceFailures)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/snails-bench/snails/internal/llm"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // Synthetic adapts a synthetic model (internal/llm) to the Backend
@@ -38,18 +39,25 @@ func (s *Synthetic) Capabilities() Capabilities {
 	}
 }
 
-// Infer decodes through the synthetic model. It never returns an error and
-// ignores the context: synthetic decode is pure compute.
-func (s *Synthetic) Infer(_ context.Context, req Request) (Result, error) {
+// Infer decodes through the synthetic model. It never returns an error, and
+// the context is consulted only for the request trace (synthetic decode is
+// pure compute, so there is exactly one attempt): a traced request gets a
+// backend_attempt span, and the call feeds the shared outcome tallies so
+// synthetic and wire backends surface in the same snails_backend_* families.
+func (s *Synthetic) Infer(ctx context.Context, req Request) (Result, error) {
 	ps := req.PromptSchema
 	if ps == nil {
 		ps = llm.PromptSchemaOf(req.SchemaKnowledge)
 	}
+	tr := trace.FromContext(ctx)
+	start := tr.Now()
 	pred := s.m.InferOn(ps, llm.Task{
 		SchemaKnowledge: req.SchemaKnowledge,
 		Question:        req.Question,
 		Intent:          req.Intent,
 		Seed:            req.Seed,
 	})
+	tr.SpanTag(trace.StageBackendAttempt, start, s.Name()+"#0")
+	countOutcome(nil)
 	return Result{SQL: pred.SQL, FilteredTables: pred.FilteredTables, Invalid: pred.Invalid}, nil
 }

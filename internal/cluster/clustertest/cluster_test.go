@@ -15,6 +15,7 @@ import (
 
 	"github.com/snails-bench/snails/internal/cluster"
 	"github.com/snails-bench/snails/internal/server"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // reqSpec is one request in a replayable stream.
@@ -472,5 +473,189 @@ func TestRelayDeadlinePropagation(t *testing.T) {
 	// A budget beyond the shard latency behaves as before.
 	if status, body, _ := get("/metricsz", "10000"); status != http.StatusOK {
 		t.Fatalf("/metricsz under generous deadline = %d, want 200: %s", status, body)
+	}
+}
+
+// postTraced sends one request and returns the response plus its wire trace
+// ID (the X-Snails-Trace header the shard echoes through the router).
+func postTraced(t *testing.T, client *http.Client, base string, spec reqSpec) (*http.Response, []byte, string) {
+	t.Helper()
+	resp, err := client.Post(base+spec.path, "application/json", strings.NewReader(spec.body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", spec.path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", spec.path, err)
+	}
+	return resp, body, resp.Header.Get(trace.Header)
+}
+
+// stitchedTrace polls the router's /debugz/traces?id= until the stitched
+// document holds views from both a router and at least one shard (the
+// router's deferred Finish races the client's read of the response), or the
+// timeout expires — returning whatever was last fetched either way.
+func stitchedTrace(t *testing.T, client *http.Client, base, tid string, timeout time.Duration) server.TracesResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var doc server.TracesResponse
+	for {
+		resp, err := client.Get(base + "/debugz/traces?id=" + tid)
+		if err != nil {
+			t.Fatalf("GET /debugz/traces?id=%s: %v", tid, err)
+		}
+		doc = server.TracesResponse{}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /debugz/traces?id=%s: %v", tid, err)
+		}
+		procs := map[string]bool{}
+		for _, v := range doc.Traces {
+			procs[v.Proc] = true
+		}
+		if procs["router"] && len(procs) >= 2 {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			return doc
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStitchedTraceAcrossProcesses: one /v1/infer through a 2-shard cluster
+// yields exactly one stitched trace — the router's root view (route span plus
+// a relay attempt) and the serving shard's view (the six pipeline stages) —
+// grouped under the single wire trace ID the response header reports.
+func TestStitchedTraceAcrossProcesses(t *testing.T) {
+	c := startCluster(t, Options{Shards: 2, Preload: true})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	spec := reqSpec{"/v1/infer", `{"db":"ASIS","model":"gpt-4o","variant":"native","question_id":1}`}
+	resp, body, tid := postTraced(t, client, c.RouterURL, spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+	if tid == "" {
+		t.Fatal("response carries no X-Snails-Trace header")
+	}
+
+	doc := stitchedTrace(t, client, c.RouterURL, tid, 5*time.Second)
+	if doc.TraceID != tid {
+		t.Errorf("stitched doc echoes trace_id %q, want %q", doc.TraceID, tid)
+	}
+	var routerView, shardView *trace.View
+	for i := range doc.Traces {
+		v := &doc.Traces[i]
+		if v.TraceID != tid {
+			t.Errorf("view proc=%q carries trace_id %q, want %q", v.Proc, v.TraceID, tid)
+		}
+		switch {
+		case v.Proc == "router":
+			routerView = v
+		case strings.HasPrefix(v.Proc, "shard-"):
+			shardView = v
+		}
+	}
+	if routerView == nil || shardView == nil {
+		t.Fatalf("stitched trace must span router and shard processes, got %d views: %+v", len(doc.Traces), doc.Traces)
+	}
+
+	routerStages := map[string]int{}
+	for _, sp := range routerView.Spans {
+		routerStages[sp.Stage]++
+	}
+	if routerStages["route"] != 1 {
+		t.Errorf("router view route spans = %d, want 1 (spans: %+v)", routerStages["route"], routerView.Spans)
+	}
+	if routerStages["relay_attempt"] != 1 {
+		t.Errorf("router view relay_attempt spans = %d, want 1 (spans: %+v)", routerStages["relay_attempt"], routerView.Spans)
+	}
+
+	shardStages := map[string]bool{}
+	for _, sp := range shardView.Spans {
+		shardStages[sp.Stage] = true
+	}
+	for _, want := range []string{"queue", "prompt_render", "llm_decode", "sql_parse", "sql_exec", "match"} {
+		if !shardStages[want] {
+			t.Errorf("shard view missing pipeline stage %q (spans: %+v)", want, shardView.Spans)
+		}
+	}
+	if !shardStages["backend_attempt"] {
+		t.Errorf("shard view missing backend_attempt span (spans: %+v)", shardView.Spans)
+	}
+}
+
+// TestFailoverRelayAttemptsShareOneTrace: a request whose first shard dies
+// mid-flight records BOTH relay attempts — the failed one against the dead
+// shard and the succeeding one against the survivor — in the same router
+// trace, tagged shard#attempt in order. The health interval is set far above
+// the test's duration so the router genuinely discovers the death on the
+// request path, not from a probe.
+func TestFailoverRelayAttemptsShareOneTrace(t *testing.T) {
+	c := startCluster(t, Options{
+		Shards:  2,
+		Preload: true,
+		Router:  cluster.Config{HealthInterval: 10 * time.Second},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Find a request that shard-0 owns while both shards are up.
+	var spec reqSpec
+	found := false
+	for _, s := range testStream() {
+		if _, _, shard := post(t, client, c.RouterURL, s); shard == "shard-0" {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no stream request routed to shard-0")
+	}
+
+	c.KillShard(0)
+	resp, body, tid := postTraced(t, client, c.RouterURL, spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Snails-Shard"); got != "shard-1" {
+		t.Fatalf("failover request served by %q, want shard-1", got)
+	}
+	if tid == "" {
+		t.Fatal("failover response carries no X-Snails-Trace header")
+	}
+
+	doc := stitchedTrace(t, client, c.RouterURL, tid, 5*time.Second)
+	var routerView *trace.View
+	for i := range doc.Traces {
+		if doc.Traces[i].Proc == "router" {
+			routerView = &doc.Traces[i]
+		}
+	}
+	if routerView == nil {
+		t.Fatalf("no router view in stitched trace: %+v", doc.Traces)
+	}
+	var relays []string
+	for _, sp := range routerView.Spans {
+		if sp.Stage == "relay_attempt" {
+			relays = append(relays, sp.Tag)
+		}
+	}
+	if len(relays) != 2 {
+		t.Fatalf("router trace has %d relay attempts %v, want 2 (dead shard, then survivor)", len(relays), relays)
+	}
+	if relays[0] != "shard-0#0" || relays[1] != "shard-1#1" {
+		t.Errorf("relay attempt tags = %v, want [shard-0#0 shard-1#1]", relays)
+	}
+	shardSeen := false
+	for _, v := range doc.Traces {
+		if v.Proc == "shard-1" && v.TraceID == tid {
+			shardSeen = true
+		}
+	}
+	if !shardSeen {
+		t.Errorf("surviving shard's view missing from stitched trace: %+v", doc.Traces)
 	}
 }

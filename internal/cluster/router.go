@@ -17,6 +17,7 @@ import (
 
 	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/server"
+	"github.com/snails-bench/snails/internal/trace"
 )
 
 // Shard names one worker process the router can forward to.
@@ -63,7 +64,15 @@ type Config struct {
 	// the request path, so probe faults (slow, dropped) can be injected
 	// without touching live traffic.
 	ProbeTransport http.RoundTripper
-	// Logger receives router logs; defaults to slog.Default().
+	// TraceBuffer bounds the router's own ring of finished request traces
+	// (route/relay/failover spans), mirroring the shard servers' semantics:
+	// 0 means the default (256), negative disables router-side tracing.
+	// Requests still propagate any inbound X-Snails-Trace header to shards
+	// when disabled; the router just records no spans of its own.
+	TraceBuffer int
+	// Logger receives router logs; defaults to slog.Default(). It is wrapped
+	// in the obs context middleware, so relay warnings and shard health
+	// transitions carry request-scoped attributes (trace_id, shard).
 	Logger *slog.Logger
 }
 
@@ -85,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RelayMax <= 0 {
 		c.RelayMax = 5 * time.Second
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
 	}
 	return c
 }
@@ -128,7 +140,8 @@ type Router struct {
 	client      *http.Client
 	probeClient *http.Client
 
-	reg *obs.Registry
+	reg    *obs.Registry
+	traces *trace.Collector // nil when router-side tracing is disabled
 
 	requests   atomic.Uint64 // proxied API requests
 	retried    atomic.Uint64 // forwarding attempts beyond each request's first
@@ -163,8 +176,10 @@ func NewRouter(cfg Config) (*Router, error) {
 		draining: make(chan struct{}),
 		stop:     make(chan struct{}),
 	}
-	if rt.logger == nil {
-		rt.logger = slog.Default()
+	rt.logger = obs.ContextLogger(cfg.Logger)
+	if cfg.TraceBuffer > 0 {
+		rt.traces = trace.NewCollector(cfg.TraceBuffer)
+		rt.traces.SetProcess("router")
 	}
 	transport := cfg.Transport
 	if transport == nil {
@@ -312,6 +327,13 @@ func (rt *Router) pickShard(ranking []int, tried []bool) int {
 // (every shard down, e.g. mid-restart) with bounded waits. Responses are
 // streamed back unmodified except for the X-Snails-Shard header, so cluster
 // bodies stay byte-identical to single-process ones.
+//
+// Each relayed request runs under a root trace: a route span around the ring
+// lookup, one relay_attempt span per forward (tagged shard#attempt), and a
+// failover_wait span per no-shard-routable pause. The trace's wire ID — the
+// inbound X-Snails-Trace header when present, freshly minted otherwise — is
+// injected into every shard attempt, so the shard's own trace adopts it and
+// /debugz/traces?id= on the router stitches both sides into one tree.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	rt.requests.Add(1)
 	if rt.isDraining() {
@@ -337,11 +359,30 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Adopt a propagated wire ID or mint a fresh one; either way the ID is
+	// injected into every shard attempt so both sides stitch. With router
+	// tracing disabled (nil collector) tr is nil and the recording calls
+	// no-op, but an inbound header still propagates.
+	wireID, _ := trace.Extract(r.Header)
+	tr := rt.traces.StartRemote(r.URL.Path, wireID)
+	tid := wireID
+	if tr != nil {
+		tid = tr.TraceID
+	}
+	defer rt.traces.Finish(tr)
+	logCtx := r.Context()
+	if tid != 0 {
+		logCtx = obs.ContextAttrs(logCtx, slog.String("trace_id", trace.FormatID(tid)))
+	}
+
+	routeStart := tr.Now()
 	ranking := rt.ring.Ranking(routeKey(body))
+	tr.Span(trace.StageRoute, routeStart)
 	// tried marks shards that failed THIS request at transport level; the
 	// set resets each wait round so a restarted shard is retried.
 	tried := make([]bool, len(rt.shards))
 	attempts := 0
+	relayAttempt := 0
 	var lastErr error
 	for attempts < rt.cfg.RetryBudget {
 		if err := r.Context().Err(); err != nil {
@@ -356,12 +397,14 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			for i := range tried {
 				tried[i] = false
 			}
+			waitStart := tr.Now()
 			select {
 			case <-r.Context().Done():
 				rt.writeCtxError(w, r.Context().Err())
 				return
 			case <-time.After(rt.cfg.RetryWait):
 			}
+			tr.Span(trace.StageFailover, waitStart)
 			continue
 		}
 		attempts++
@@ -369,7 +412,10 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			rt.retried.Add(1)
 			rt.shards[idx].retries.Add(1)
 		}
-		resp, err := rt.forward(r, idx, body)
+		attemptStart := tr.Now()
+		resp, err := rt.forward(r, idx, body, tid)
+		tr.SpanTag(trace.StageRelay, attemptStart, rt.shards[idx].name+"#"+strconv.Itoa(relayAttempt))
+		relayAttempt++
 		if err != nil {
 			if r.Context().Err() != nil {
 				rt.writeCtxError(w, r.Context().Err())
@@ -377,6 +423,10 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			}
 			tried[idx] = true
 			rt.shards[idx].markDown(err)
+			rt.logger.WarnContext(logCtx, "relay attempt failed",
+				slog.String("shard", rt.shards[idx].name),
+				slog.Int("attempt", relayAttempt-1),
+				slog.String("err", err.Error()))
 			lastErr = err
 			continue
 		}
@@ -397,17 +447,21 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if lastErr != nil {
 		msg = fmt.Sprintf("%s (last error: %v)", msg, lastErr)
 	}
+	rt.logger.WarnContext(logCtx, "request unroutable",
+		slog.String("path", r.URL.Path), slog.Int("attempts", attempts))
 	rt.writeError(w, http.StatusBadGateway, "no_shard", "%s", msg)
 }
 
-// forward performs one attempt against one shard.
-func (rt *Router) forward(r *http.Request, idx int, body []byte) (*http.Response, error) {
+// forward performs one attempt against one shard, carrying the request's
+// wire trace ID so the shard's trace adopts it.
+func (rt *Router) forward(r *http.Request, idx int, body []byte, traceID uint64) (*http.Response, error) {
 	s := rt.shards[idx]
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, s.base+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	trace.Inject(req.Header, traceID)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -589,13 +643,31 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces fans /debugz/traces out to every alive shard and
-// concatenates the buffered traces in shard order. 404 means every shard
-// runs with tracing disabled.
+// concatenates the buffered traces in shard order. 404 means tracing is off
+// everywhere (every shard AND the router).
+//
+// With ?id=<16 hex digits> the response is one stitched trace: the router's
+// own views for that wire ID first (root spans — route, relay attempts,
+// failover waits), then each shard's views carrying the same ID (the six
+// pipeline stages), merged purely by trace ID. Span offsets stay relative to
+// each process's own clock; grouping, not clock alignment, is the contract.
 func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var lookupID uint64
+	lookupRaw := r.URL.Query().Get("id")
+	if lookupRaw != "" {
+		id, ok := trace.ParseID(lookupRaw)
+		if !ok {
+			rt.writeError(w, http.StatusBadRequest, "bad_id",
+				"id must be 16 lowercase hex digits (a wire trace id)")
+			return
+		}
+		lookupID = id
+	}
 	ctx, cancel := rt.relayContext(r)
 	defer cancel()
 	merged := server.TracesResponse{}
-	found := false
+	found := rt.traces != nil
+	var shardViews []trace.View
 	for _, s := range rt.shards {
 		if !s.alive.Load() {
 			continue
@@ -611,7 +683,7 @@ func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if resp.StatusCode == http.StatusOK {
 			var tr server.TracesResponse
 			if json.NewDecoder(resp.Body).Decode(&tr) == nil {
-				merged.Traces = append(merged.Traces, tr.Traces...)
+				shardViews = append(shardViews, tr.Traces...)
 				merged.Slowest = tr.Slowest
 				found = true
 			}
@@ -620,15 +692,36 @@ func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Body.Close()
 	}
-	// Distinguish "ran out of time" from "no shard has tracing on": a
+	// Distinguish "ran out of time" from "no process has tracing on": a
 	// deadline cut means the 404 below would lie.
 	if err := ctx.Err(); err != nil {
 		rt.writeCtxError(w, err)
 		return
 	}
 	if !found {
-		rt.writeError(w, http.StatusNotFound, "tracing_disabled", "no shard has tracing enabled")
+		rt.writeError(w, http.StatusNotFound, "tracing_disabled", "tracing is disabled cluster-wide")
 		return
+	}
+	if lookupID != 0 {
+		// Stitch: router root views first, then shard views (already filtered
+		// by the shards' own ?id= handling).
+		merged.Traces = append(rt.traces.Find(lookupID), shardViews...)
+		merged.TraceID = lookupRaw
+	} else {
+		// The browse stream carries the router's own views too (leniently
+		// honoring the same n/slowest knobs the shards validate), so a single
+		// pull sees both sides of every recent request — the loadgen's
+		// router-overhead attribution groups them by trace_id.
+		q := r.URL.Query()
+		n := 0
+		if parsed, err := strconv.Atoi(q.Get("n")); err == nil && parsed > 0 {
+			n = parsed
+		}
+		slowest := q.Get("slowest") == "1" || q.Get("slowest") == "true"
+		merged.Traces = append(rt.traces.Snapshot(n, slowest), shardViews...)
+	}
+	if merged.Traces == nil {
+		merged.Traces = []trace.View{}
 	}
 	rt.writeDoc(w, http.StatusOK, merged)
 }
@@ -658,6 +751,9 @@ func (rt *Router) registerMetrics() {
 	}
 	r.GaugeSeries("snails_router_shard_up", "Shard routability as probed (1 alive, 0 down).", shardUp...)
 	r.CounterSeries("snails_router_shard_requests_total", "Requests answered per shard.", shardReq...)
+	r.CounterFunc("snails_trace_spans_dropped_total",
+		"Spans dropped process-wide because a trace's span slab was full.",
+		func() float64 { return float64(trace.SpansDropped()) })
 	r.RegisterRuntime()
 }
 

@@ -47,6 +47,22 @@ func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
 	return slog.New(contextHandler{h}), nil
 }
 
+// ContextLogger ensures a logger routes records through the context-attrs
+// middleware, so callers handed an arbitrary *slog.Logger (the cluster
+// router's Config.Logger, a test logger) can attach request-scoped
+// attributes via ContextAttrs and have them appear. Loggers already built by
+// NewLogger pass through unchanged; a nil logger returns slog.Default()
+// wrapped.
+func ContextLogger(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		l = slog.Default()
+	}
+	if _, ok := l.Handler().(contextHandler); ok {
+		return l
+	}
+	return slog.New(contextHandler{l.Handler()})
+}
+
 // attrsKey carries request-scoped log attributes through a context.
 type attrsKey struct{}
 

@@ -124,10 +124,13 @@ type HealthResponse struct {
 }
 
 // TracesResponse is the /debugz/traces body: the buffered request traces,
-// oldest first (or slowest first when requested).
+// oldest first (or slowest first when requested). With ?id= the response is
+// a single-trace lookup — TraceID echoes the queried wire ID and Traces
+// holds only views carrying it (on the router, stitched across processes).
 type TracesResponse struct {
 	Traces  []trace.View `json:"traces"`
 	Slowest bool         `json:"slowest"`
+	TraceID string       `json:"trace_id,omitempty"`
 }
 
 // parseVariant maps the wire form ("native", "regular", "low", "least",

@@ -263,15 +263,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugTraces serves the bounded ring of finished request traces as
-// JSON: the last n traces in completion order, or the n slowest when
-// ?slowest=1. Tracing disabled (TraceBuffer < 0) answers 404 so probes can
-// tell "off" from "idle".
+// JSON: the last n traces in completion order, the n slowest when
+// ?slowest=1, or the traces carrying one wire trace ID when ?id= is given
+// (the cluster router's stitching fan-out uses this). Tracing disabled
+// (TraceBuffer < 0) answers 404 so probes can tell "off" from "idle".
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	s.metrics.countEndpoint("/debugz/traces")
 	if s.traces == nil {
 		s.writeError(w, errorf(http.StatusNotFound, "tracing_disabled",
 			"request tracing is disabled (start with a non-negative trace buffer)"))
+		return
+	}
+	if v := r.URL.Query().Get("id"); v != "" {
+		id, ok := trace.ParseID(v)
+		if !ok {
+			s.writeError(w, errorf(http.StatusBadRequest, "bad_id",
+				"query parameter id must be 16 lowercase hex digits"))
+			return
+		}
+		views := s.traces.Find(id)
+		if views == nil {
+			views = []trace.View{}
+		}
+		s.writeDoc(w, http.StatusOK, TracesResponse{Traces: views, TraceID: v})
 		return
 	}
 	n := 0

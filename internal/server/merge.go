@@ -36,6 +36,12 @@ func MergeSnapshots(snaps []MetricsSnapshot) MetricsSnapshot {
 		out.CacheEvictions += s.CacheEvictions
 		out.Batches += s.Batches
 		out.BatchedRequests += s.BatchedRequests
+		out.Backend.RequestsOK += s.Backend.RequestsOK
+		out.Backend.RequestsError += s.Backend.RequestsError
+		out.Backend.Retries += s.Backend.Retries
+		out.Backend.FenceFailures += s.Backend.FenceFailures
+		out.Backend.BackoffSleeps += s.Backend.BackoffSleeps
+		out.Backend.BackoffSeconds += s.Backend.BackoffSeconds
 		w := float64(s.RequestsTotal)
 		p50Weighted += w * s.LatencyP50Millis
 		p99Weighted += w * s.LatencyP99Millis

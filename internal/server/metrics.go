@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/stats"
 	"github.com/snails-bench/snails/internal/trace"
@@ -132,6 +133,12 @@ type MetricsSnapshot struct {
 	// render, decode, parse, exec, match) from the trace collector's
 	// log-spaced histograms. Empty when tracing is disabled or idle.
 	Stages []trace.StageSnapshot `json:"stages,omitempty"`
+
+	// Backend is the process-wide model-backend tally block (requests by
+	// outcome, retries, backoff time, fence-extraction failures) — the same
+	// families /metrics exposes as snails_backend_*. Summed across shards by
+	// the router's aggregated view.
+	Backend backend.Stats `json:"backend"`
 }
 
 func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnapshot {
@@ -185,5 +192,6 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 		MeanBatchSize:      meanBatch,
 		LatencyP50Millis:   ps[0],
 		LatencyP99Millis:   ps[1],
+		Backend:            backend.ReadStats(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/snails-bench/snails/internal/backend"
 	"github.com/snails-bench/snails/internal/experiments"
 	"github.com/snails-bench/snails/internal/obs"
 	"github.com/snails-bench/snails/internal/schema"
@@ -135,6 +136,28 @@ func (s *Server) registerMetrics() {
 		r.HistogramSeriesFamily("snails_stage_duration_seconds",
 			"Pipeline stage latency from the trace collector.", stageSeries...)
 	}
+
+	// --- model backends (seventh pipeline concern) --------------------------
+	r.CounterSeries("snails_backend_requests_total",
+		"Backend Infer calls process-wide, by outcome.",
+		obs.Series{Labels: []obs.Label{{Name: "outcome", Value: "ok"}},
+			F: func() float64 { return float64(backend.ReadStats().RequestsOK) }},
+		obs.Series{Labels: []obs.Label{{Name: "outcome", Value: "error"}},
+			F: func() float64 { return float64(backend.ReadStats().RequestsError) }})
+	r.CounterFunc("snails_backend_retries_total",
+		"HTTP backend re-sends after retryable failures.",
+		func() float64 { return float64(backend.ReadStats().Retries) })
+	r.CounterFunc("snails_backend_fence_failures_total",
+		"Chat completions with no SQL fence (the whole message was taken as SQL).",
+		func() float64 { return float64(backend.ReadStats().FenceFailures) })
+	r.HistogramSeriesFamily("snails_backend_backoff_seconds",
+		"Retry backoff sleeps between backend attempts.",
+		obs.HistogramSeries{H: backend.BackoffHistogram()})
+
+	// --- tracing health -----------------------------------------------------
+	r.CounterFunc("snails_trace_spans_dropped_total",
+		"Spans dropped process-wide because a trace's span slab was full.",
+		func() float64 { return float64(trace.SpansDropped()) })
 
 	// --- process-wide tallies ---------------------------------------------
 	r.CounterFunc("snails_sqlexec_queries_total", "Top-level SQL statements executed process-wide.",

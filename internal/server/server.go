@@ -32,7 +32,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/snails-bench/snails/internal/backend"
@@ -68,6 +71,12 @@ type Config struct {
 	// served at /debugz/traces (default 256 traces; negative disables
 	// tracing entirely, including the per-stage histograms in /metricsz).
 	TraceBuffer int
+	// CanonicalLogEvery samples the canonical per-request wide log line
+	// under load: every request emits it at debug, and every Nth completed
+	// request is promoted to info, so a production log level still sees a
+	// steady, representative trickle (default 256; negative disables the
+	// promotion and leaves every line at debug).
+	CanonicalLogEvery int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default; snailsd's -pprof flag sets it).
 	EnablePprof bool
@@ -110,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer == 0 {
 		c.TraceBuffer = 256
 	}
+	if c.CanonicalLogEvery == 0 {
+		c.CanonicalLogEvery = 256
+	}
 	return c
 }
 
@@ -150,6 +162,9 @@ type Server struct {
 	backendsMu sync.Mutex
 	backends   map[string]backend.Backend
 
+	// canonSeq numbers completed requests for canonical-log sampling.
+	canonSeq atomic.Uint64
+
 	clfOnce    sync.Once
 	classifier *naturalness.SoftmaxClassifier
 
@@ -172,14 +187,21 @@ func New(cfg Config) *Server {
 	for _, be := range cfg.Backends {
 		s.backends[be.Name()] = be
 	}
-	if s.logger == nil {
-		s.logger = slog.Default()
-	}
+	// Any injected logger is routed through the obs context middleware so
+	// request-scoped attrs (trace_id, db, variant) reach its records; loggers
+	// built by obs.NewLogger pass through unchanged.
+	s.logger = obs.ContextLogger(s.logger)
 	if cfg.CacheEntries > 0 {
 		s.cache = memo.NewBounded[cachedResponse](cfg.CacheEntries)
 	}
 	if cfg.TraceBuffer > 0 {
 		s.traces = trace.NewCollector(cfg.TraceBuffer)
+		// Attribute this process's span groups in stitched cluster traces.
+		if cfg.ShardID != "" {
+			s.traces.SetProcess(cfg.ShardID)
+		} else {
+			s.traces.SetProcess("server")
+		}
 	}
 	s.goldCache, s.predCache = newExecCaches()
 	s.pool = newPool(cfg.Workers, 4*cfg.Workers+64)
@@ -277,20 +299,52 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 
 		w := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
 		logCtx := r.Context()
+		var (
+			tr           *trace.Trace
+			cacheVerdict = "off"
+			model        string
+			matchVerdict string
+		)
 		defer func() {
 			d := time.Since(start)
 			s.metrics.lat.record(d)
 			s.metrics.dur.Observe(d)
-			// Access records go out at debug so sustained traffic costs one
-			// disabled-level check per request; server faults surface at warn.
+			// The canonical wide line: one record per completed request with
+			// everything needed to debug it in isolation (trace_id, db, and
+			// variant ride in as context attrs). It goes out at debug so
+			// sustained traffic costs one disabled-level check per request;
+			// server faults surface at warn, and every CanonicalLogEvery-th
+			// request is promoted to info — the sampled-under-load trickle
+			// that keeps a production log level representative without the
+			// full firehose.
 			lvl := slog.LevelDebug
 			if w.status >= http.StatusInternalServerError {
 				lvl = slog.LevelWarn
+			} else if every := s.cfg.CanonicalLogEvery; every > 0 && s.canonSeq.Add(1)%uint64(every) == 0 {
+				lvl = slog.LevelInfo
 			}
-			s.logger.LogAttrs(logCtx, lvl, "request served",
+			if !s.logger.Enabled(logCtx, lvl) {
+				return
+			}
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
 				slog.String("path", endpoint),
 				slog.Int("status", w.status),
-				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)))
+				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)),
+				slog.String("cache", cacheVerdict))
+			if s.cfg.ShardID != "" {
+				attrs = append(attrs, slog.String("shard", s.cfg.ShardID))
+			}
+			if model != "" {
+				attrs = append(attrs, slog.String("backend", model))
+			}
+			if matchVerdict != "" {
+				attrs = append(attrs, slog.String("match", matchVerdict))
+			}
+			if tr != nil {
+				attrs = append(attrs, slog.String("stages_us", stageMicros(tr)))
+			}
+			s.logger.LogAttrs(logCtx, lvl, "request served", attrs...)
 		}()
 
 		if r.Method != http.MethodPost {
@@ -323,15 +377,32 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 			return
 		}
 
+		// Request-scoped log attributes apply to every record below — the
+		// canonical completion line included, so cache hits still log their
+		// db/variant.
+		var attrs []slog.Attr
+		if req.DB != "" {
+			attrs = append(attrs, slog.String("db", req.DB))
+		}
+		if req.Variant != "" {
+			attrs = append(attrs, slog.String("variant", req.Variant))
+		}
+		if len(attrs) > 0 {
+			ctx = obs.ContextAttrs(ctx, attrs...)
+			logCtx = ctx
+		}
+
 		key := s.cacheKey(endpoint, &req)
 		if s.cache != nil {
 			if hit, ok := s.cache.Get(key); ok {
 				s.metrics.cacheHits.Add(1)
+				cacheVerdict = "hit"
 				w.Header().Set("X-Snails-Cache", "hit")
 				s.writeJSON(w, hit.status, hit.body)
 				return
 			}
 			s.metrics.cacheMiss.Add(1)
+			cacheVerdict = "miss"
 			w.Header().Set("X-Snails-Cache", "miss")
 		}
 
@@ -343,28 +414,39 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 		}
 
 		// Trace the computed path only: cache hits replay bytes and would
-		// produce empty traces. The trace rides the context; pipeline layers
-		// record their stages onto it. The same context carries the request's
-		// log attributes, so any slog call downstream (workflow parse
-		// failures, sweep outcomes) is attributable to this request.
-		tr := s.traces.Start(endpoint)
-		var attrs []slog.Attr
+		// produce empty traces. A propagated X-Snails-Trace header (the
+		// cluster router relaying this request) is adopted so this process's
+		// spans stitch under the router's trace; otherwise a fresh wire ID is
+		// minted. Either way the ID is echoed on the response and stamped
+		// into the log attributes, and the trace rides the context so
+		// pipeline layers record their stages onto it.
+		if remoteID, ok := trace.Extract(r.Header); ok {
+			tr = s.traces.StartRemote(endpoint, remoteID)
+		} else {
+			tr = s.traces.Start(endpoint)
+		}
 		if tr != nil {
 			ctx = trace.NewContext(ctx, tr)
-			attrs = append(attrs, slog.Uint64("request_id", tr.ID))
-		}
-		if req.DB != "" {
-			attrs = append(attrs, slog.String("db", req.DB))
-		}
-		if req.Variant != "" {
-			attrs = append(attrs, slog.String("variant", req.Variant))
-		}
-		if len(attrs) > 0 {
-			ctx = obs.ContextAttrs(ctx, attrs...)
+			tid := trace.FormatID(tr.TraceID)
+			w.Header().Set(trace.Header, tid)
+			ctx = obs.ContextAttrs(ctx,
+				slog.Uint64("request_id", tr.ID),
+				slog.String("trace_id", tid))
 			logCtx = ctx
 		}
 		doc, apiErr := h(ctx, &req)
 		s.traces.Finish(tr)
+		if ir, ok := doc.(InferResponse); ok {
+			model = ir.Model
+			switch {
+			case !ir.Valid:
+				matchVerdict = "invalid"
+			case ir.ExecCorrect:
+				matchVerdict = "correct"
+			default:
+				matchVerdict = "incorrect"
+			}
+		}
 		if apiErr != nil {
 			s.writeError(w, apiErr)
 			return
@@ -379,6 +461,29 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 		}
 		s.writeJSON(w, http.StatusOK, body)
 	}
+}
+
+// stageMicros renders a finished trace's spans as a compact
+// "stage[tag]:micros" list for the canonical log line, e.g.
+// "queue:41 prompt_render:220 llm_decode:8114 backend_attempt[gpt-4o#0]:8010".
+// Only called when the record's level is enabled, so the string build is off
+// the disabled-logging hot path.
+func stageMicros(tr *trace.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sp.Stage.String())
+		if sp.Tag != "" {
+			b.WriteByte('[')
+			b.WriteString(sp.Tag)
+			b.WriteByte(']')
+		}
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(sp.Dur/time.Microsecond), 10))
+	}
+	return b.String()
 }
 
 // cacheKey derives the response-cache key from the endpoint, the request's

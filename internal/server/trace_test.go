@@ -3,10 +3,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/snails-bench/snails/internal/obs"
 )
 
 // tracesOf pulls /debugz/traces and decodes the body.
@@ -228,7 +231,14 @@ func TestTracingDoesNotChangeResponses(t *testing.T) {
 // the tracing overhead (<2% is the budget; asserted by inspection of the
 // benchmark delta, since Go benchmarks don't self-compare).
 func benchInfer(b *testing.B, traceBuffer int) {
-	s := New(Config{CacheEntries: -1, TraceBuffer: traceBuffer, RequestTimeout: 60 * time.Second})
+	// Logging filtered at warn keeps the pair a pure tracing comparison —
+	// the canonical line's sampled info promotion would otherwise write to
+	// the bench's stderr (BenchmarkInferLogging owns the logging overhead).
+	log, err := obs.NewLogger(io.Discard, "json", "warn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{CacheEntries: -1, TraceBuffer: traceBuffer, RequestTimeout: 60 * time.Second, Logger: log})
 	bodies := inferBodies(64)
 	b.ReportAllocs()
 	b.ResetTimer()

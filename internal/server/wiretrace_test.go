@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/snails-bench/snails/internal/backend"
+	"github.com/snails-bench/snails/internal/trace"
+)
+
+// TestTraceHeaderMintedAndEchoed: an untraced request gets a fresh wire ID
+// echoed on the response, and /debugz/traces?id= finds exactly that trace.
+func TestTraceHeaderMintedAndEchoed(t *testing.T) {
+	s := newTestServer()
+	rec := do(s, http.MethodPost, "/v1/infer", validBody("/v1/infer"), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	tid := rec.Result().Header.Get(trace.Header)
+	if tid == "" {
+		t.Fatal("response carries no X-Snails-Trace header")
+	}
+	if _, ok := trace.ParseID(tid); !ok {
+		t.Fatalf("echoed trace id %q is not canonical wire form", tid)
+	}
+
+	resp := tracesOf(t, s, "?id="+tid)
+	if resp.TraceID != tid {
+		t.Errorf("lookup echoes trace_id %q, want %q", resp.TraceID, tid)
+	}
+	if len(resp.Traces) != 1 {
+		t.Fatalf("lookup found %d traces, want 1", len(resp.Traces))
+	}
+	if got := resp.Traces[0].TraceID; got != tid {
+		t.Errorf("found view carries trace_id %q, want %q", got, tid)
+	}
+}
+
+// TestTraceHeaderAdoption: a request arriving with X-Snails-Trace (the
+// router relaying it) adopts the propagated ID — the response echoes it
+// verbatim and the recorded trace carries it, so cross-process stitching
+// works purely by ID equality.
+func TestTraceHeaderAdoption(t *testing.T) {
+	s := New(Config{CacheEntries: -1, RequestTimeout: 30 * time.Second, ShardID: "shard-7"})
+	const wire = "00000000deadbeef"
+	req := httptest.NewRequest(http.MethodPost, "/v1/infer", strings.NewReader(validBody("/v1/infer")))
+	req.Header.Set(trace.Header, wire)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Result().Header.Get(trace.Header); got != wire {
+		t.Errorf("response echoes %q, want the adopted %q", got, wire)
+	}
+
+	resp := tracesOf(t, s, "?id="+wire)
+	if len(resp.Traces) != 1 {
+		t.Fatalf("lookup found %d traces, want 1", len(resp.Traces))
+	}
+	v := resp.Traces[0]
+	if v.TraceID != wire {
+		t.Errorf("adopted view carries trace_id %q, want %q", v.TraceID, wire)
+	}
+	if v.Proc != "shard-7" {
+		t.Errorf("view proc = %q, want the shard id", v.Proc)
+	}
+
+	// A malformed inbound header is ignored, not adopted: the request still
+	// serves and gets a freshly minted ID.
+	req = httptest.NewRequest(http.MethodPost, "/v1/infer", strings.NewReader(validBody("/v1/infer")))
+	req.Header.Set(trace.Header, "DEADBEEFDEADBEEF")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer with bad header: HTTP %d", rec.Code)
+	}
+	got := rec.Result().Header.Get(trace.Header)
+	if got == "" || got == "DEADBEEFDEADBEEF" {
+		t.Errorf("malformed inbound header must be replaced by a minted ID, got %q", got)
+	}
+}
+
+// TestDebugTracesByIDValidation: malformed ids are 400 bad_id; a well-formed
+// but unknown id answers 200 with an empty (non-null) traces array.
+func TestDebugTracesByIDValidation(t *testing.T) {
+	s := newTestServer()
+	for _, bad := range []string{"xyz", "DEADBEEFDEADBEEF", "0000000000000000", "deadbeef"} {
+		rec := do(s, http.MethodGet, "/debugz/traces?id="+bad, "", nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("id=%q: want 400, got %d", bad, rec.Code)
+			continue
+		}
+		if code := errCode(t, rec); code != "bad_id" {
+			t.Errorf("id=%q: code=%q, want bad_id", bad, code)
+		}
+	}
+
+	rec := do(s, http.MethodGet, "/debugz/traces?id=00000000deadbeef", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unknown id: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"traces":[]`) {
+		t.Errorf("unknown id must answer an empty traces array: %s", rec.Body.String())
+	}
+}
+
+// TestCanonicalRequestLog: every completed request emits one wide log line
+// with the full debugging context — trace id, shard, db, variant, backend,
+// cache verdict, match verdict, and the per-stage micros breakdown.
+func TestCanonicalRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s := New(Config{
+		CacheEntries:   -1,
+		RequestTimeout: 30 * time.Second,
+		ShardID:        "shard-3",
+		Logger:         logger,
+	})
+	rec := do(s, http.MethodPost, "/v1/infer", validBody("/v1/infer"), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	tid := rec.Result().Header.Get(trace.Header)
+
+	var line string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(l, "request served") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no canonical request log line emitted; log:\n%s", buf.String())
+	}
+	for _, want := range []string{
+		"path=/v1/infer",
+		"status=200",
+		"dur_ms=",
+		"cache=off",
+		"shard=shard-3",
+		"backend=gpt-4o",
+		"match=",
+		"stages_us=",
+		"db=ASIS",
+		"variant=regular",
+		"trace_id=" + tid,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("canonical line missing %q:\n%s", want, line)
+		}
+	}
+	for _, stage := range []string{"queue:", "prompt_render:", "llm_decode:"} {
+		if !strings.Contains(line, stage) {
+			t.Errorf("stages_us missing %q:\n%s", stage, line)
+		}
+	}
+}
+
+// TestCanonicalLogSampling: with the canonical line at debug and the logger
+// at info, only every CanonicalLogEvery-th request is promoted — the sampled
+// trickle that keeps an info-level production log representative.
+func TestCanonicalLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	s := New(Config{
+		CacheEntries:      -1,
+		RequestTimeout:    30 * time.Second,
+		CanonicalLogEvery: 4,
+		Logger:            logger,
+	})
+	const n = 8
+	for i := 1; i <= n; i++ {
+		body := fmt.Sprintf(`{"db":"ASIS","model":"gpt-4o","variant":"regular","question_id":%d}`, i)
+		if rec := do(s, http.MethodPost, "/v1/infer", body, nil); rec.Code != http.StatusOK {
+			t.Fatalf("infer %d: HTTP %d", i, rec.Code)
+		}
+	}
+	got := strings.Count(buf.String(), "request served")
+	if got != n/4 {
+		t.Errorf("info-level canonical lines = %d over %d requests with every=4, want %d\nlog:\n%s",
+			got, n, n/4, buf.String())
+	}
+
+	// A negative sampling interval disables promotion entirely.
+	buf.Reset()
+	s2 := New(Config{
+		CacheEntries:      -1,
+		RequestTimeout:    30 * time.Second,
+		CanonicalLogEvery: -1,
+		Logger:            slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})),
+	})
+	for i := 0; i < 4; i++ {
+		do(s2, http.MethodPost, "/v1/infer", validBody("/v1/infer"), nil)
+	}
+	if strings.Contains(buf.String(), "request served") {
+		t.Errorf("CanonicalLogEvery=-1 must never promote:\n%s", buf.String())
+	}
+}
+
+// TestMergeSnapshotsSumsBackend: the cluster-wide /metricsz view sums the
+// per-shard backend tallies (they are per-process counters, so summation is
+// the only correct fold).
+func TestMergeSnapshotsSumsBackend(t *testing.T) {
+	a := MetricsSnapshot{Backend: backend.Stats{
+		RequestsOK: 10, RequestsError: 1, Retries: 3,
+		FenceFailures: 2, BackoffSleeps: 3, BackoffSeconds: 0.5,
+	}}
+	b := MetricsSnapshot{Backend: backend.Stats{
+		RequestsOK: 5, RequestsError: 2, Retries: 1,
+		FenceFailures: 0, BackoffSleeps: 1, BackoffSeconds: 0.25,
+	}}
+	m := MergeSnapshots([]MetricsSnapshot{a, b}).Backend
+	if m.RequestsOK != 15 || m.RequestsError != 3 || m.Retries != 4 ||
+		m.FenceFailures != 2 || m.BackoffSleeps != 4 || m.BackoffSeconds != 0.75 {
+		t.Errorf("merged backend stats = %+v", m)
+	}
+}

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,8 @@ import (
 type Collector struct {
 	limit int
 	seq   atomic.Uint64
+	base  uint64 // random per-collector base mixed into wire trace IDs
+	proc  string // process attribution stamped on every started trace
 
 	mu    sync.Mutex
 	ring  []*Trace // last limit finished traces, oldest first once full
@@ -30,17 +34,67 @@ func NewCollector(limit int) *Collector {
 	if limit > 0 {
 		c.ring = make([]*Trace, limit)
 	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		c.base = binary.LittleEndian.Uint64(b[:])
+	}
 	return c
 }
 
-// Start begins a new trace for the given endpoint. Nil-safe: a nil collector
-// returns a nil trace and the whole recording path no-ops.
+// SetProcess names the process whose traces this collector holds ("router",
+// a shard id). The name is stamped on every subsequently started trace and
+// surfaced as the "proc" field in /debugz/traces so stitched cross-process
+// trees attribute each span group.
+func (c *Collector) SetProcess(name string) {
+	if c == nil {
+		return
+	}
+	c.proc = name
+}
+
+// newTraceID mints a globally-unique non-zero wire ID for the seq-th trace:
+// a splitmix64-style mix of the collector's crypto/rand base and the trace
+// sequence number. Within a process IDs are distinct by construction (the
+// mix is a bijection of the sequence); across processes the random base
+// makes collisions 2^-64-unlikely. The zero ID is reserved as "untraced",
+// so the one sequence value that would mix to zero is nudged.
+func (c *Collector) newTraceID(seq uint64) uint64 {
+	for {
+		x := c.base + seq*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+		seq += 1 << 63 // flip the top bit: remix outside the sequence space
+	}
+}
+
+// Start begins a new trace for the given endpoint with a freshly minted
+// wire ID. Nil-safe: a nil collector returns a nil trace and the whole
+// recording path no-ops.
 func (c *Collector) Start(endpoint string) *Trace {
+	return c.StartRemote(endpoint, 0)
+}
+
+// StartRemote begins a trace that adopts a propagated wire ID (an Extract
+// result), so shard-side spans stitch under the router's trace. A zero ID
+// mints a fresh one, making StartRemote(e, 0) identical to Start(e).
+func (c *Collector) StartRemote(endpoint string, traceID uint64) *Trace {
 	if c == nil {
 		return nil
 	}
+	id := c.seq.Add(1)
+	if traceID == 0 {
+		traceID = c.newTraceID(id)
+	}
 	return &Trace{
-		ID:       c.seq.Add(1),
+		ID:       id,
+		TraceID:  traceID,
+		Process:  c.proc,
 		Endpoint: endpoint,
 		Begin:    time.Now(),
 	}
@@ -73,20 +127,76 @@ func (c *Collector) Finish(t *Trace) {
 // SpanView is the JSON rendering of one span.
 type SpanView struct {
 	Stage        string  `json:"stage"`
+	Tag          string  `json:"tag,omitempty"`
 	OffsetMillis float64 `json:"offset_ms"`
 	DurMillis    float64 `json:"dur_ms"`
 }
 
 // View is the JSON rendering of one finished trace, served by
-// /debugz/traces.
+// /debugz/traces. TraceID is the wire identity shared across processes;
+// Proc attributes the span group to the process that recorded it, so a
+// stitched response groups router-side and shard-side Views under one
+// trace_id. (Span offsets are relative to each process's own trace begin —
+// there is no cross-process clock alignment.)
 type View struct {
 	ID         uint64     `json:"id"`
+	TraceID    string     `json:"trace_id,omitempty"`
+	Proc       string     `json:"proc,omitempty"`
 	Endpoint   string     `json:"endpoint"`
 	DB         string     `json:"db,omitempty"`
 	Variant    string     `json:"variant,omitempty"`
 	QuestionID int        `json:"question_id,omitempty"`
 	TotalMs    float64    `json:"total_ms"`
 	Spans      []SpanView `json:"spans"`
+}
+
+// viewOf renders one finished trace.
+func viewOf(t *Trace) View {
+	spans := t.Spans()
+	sv := make([]SpanView, len(spans))
+	for j, sp := range spans {
+		sv[j] = SpanView{
+			Stage:        sp.Stage.String(),
+			Tag:          sp.Tag,
+			OffsetMillis: round3(float64(sp.Start) / float64(time.Millisecond)),
+			DurMillis:    round3(float64(sp.Dur) / float64(time.Millisecond)),
+		}
+	}
+	tid := ""
+	if t.TraceID != 0 {
+		tid = FormatID(t.TraceID)
+	}
+	return View{
+		ID:         t.ID,
+		TraceID:    tid,
+		Proc:       t.Process,
+		Endpoint:   t.Endpoint,
+		DB:         t.DB,
+		Variant:    t.Variant,
+		QuestionID: t.QuestionID,
+		TotalMs:    round3(float64(t.Total) / float64(time.Millisecond)),
+		Spans:      sv,
+	}
+}
+
+// Find returns the buffered traces carrying the given wire ID, oldest
+// first. Within one process a wire ID normally maps to a single trace, but
+// the ring may hold several when an upstream re-sends the same header.
+func (c *Collector) Find(traceID uint64) []View {
+	if c == nil || c.limit <= 0 || traceID == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	var out []View
+	start := c.next - c.count
+	for i := 0; i < c.count; i++ {
+		t := c.ring[((start+i)%c.limit+c.limit)%c.limit]
+		if t.TraceID == traceID {
+			out = append(out, viewOf(t))
+		}
+	}
+	c.mu.Unlock()
+	return out
 }
 
 // Snapshot returns up to n finished traces. With slowest=false the order is
@@ -125,24 +235,7 @@ func (c *Collector) Snapshot(n int, slowest bool) []View {
 	}
 	out := make([]View, len(traces))
 	for i, t := range traces {
-		spans := t.Spans()
-		sv := make([]SpanView, len(spans))
-		for j, sp := range spans {
-			sv[j] = SpanView{
-				Stage:        sp.Stage.String(),
-				OffsetMillis: round3(float64(sp.Start) / float64(time.Millisecond)),
-				DurMillis:    round3(float64(sp.Dur) / float64(time.Millisecond)),
-			}
-		}
-		out[i] = View{
-			ID:         t.ID,
-			Endpoint:   t.Endpoint,
-			DB:         t.DB,
-			Variant:    t.Variant,
-			QuestionID: t.QuestionID,
-			TotalMs:    round3(float64(t.Total) / float64(time.Millisecond)),
-			Spans:      sv,
-		}
+		out[i] = viewOf(t)
 	}
 	return out
 }

@@ -31,7 +31,16 @@ const (
 	StageParse               // prediction parse + denaturalization
 	StageExec                // gold/predicted query execution
 	StageMatch               // execution-result match comparison
-	NumStages                // sentinel: number of stages
+
+	// Cluster and backend stages are appended after the original pipeline
+	// six so existing stage indices (and every [NumStages] array) stay
+	// stable across artifacts.
+	StageRoute          // router: consistent-hash ring lookup
+	StageRelay          // router: one relay attempt against a shard
+	StageFailover       // router: wait for a shard to come back before retrying
+	StageBackendAttempt // backend: one model inference attempt (HTTP or synthetic)
+
+	NumStages // sentinel: number of stages
 )
 
 // String names the stage as it appears in /debugz/traces and /metricsz.
@@ -49,6 +58,14 @@ func (s Stage) String() string {
 		return "sql_exec"
 	case StageMatch:
 		return "match"
+	case StageRoute:
+		return "route"
+	case StageRelay:
+		return "relay_attempt"
+	case StageFailover:
+		return "failover_wait"
+	case StageBackendAttempt:
+		return "backend_attempt"
 	}
 	return "unknown"
 }
@@ -60,13 +77,14 @@ const maxSpans = 16
 
 // slabSpan is one slot of the span slab. The stage field doubles as the
 // publication flag: it holds Stage+1 and is stored (atomically) only after
-// the plain start/duration fields are written, so a reader that observes a
-// non-zero stage is guaranteed to see the complete span. Slot claims and
+// the plain start/duration/tag fields are written, so a reader that observes
+// a non-zero stage is guaranteed to see the complete span. Slot claims and
 // publishes are the only synchronization on the recording path.
 type slabSpan struct {
 	stage      atomic.Uint32 // Stage+1; 0 = unpublished
 	startNanos int64         // offset from Trace.Begin
 	durNanos   int64
+	tag        string // free-form qualifier (shard#attempt, attempt index)
 }
 
 // Span is one published stage timing, read back out of a finished trace.
@@ -74,14 +92,30 @@ type Span struct {
 	Stage Stage
 	Start time.Duration // offset from the trace's begin time
 	Dur   time.Duration
+	Tag   string // optional qualifier (e.g. "shard-1#2" on a relay attempt)
 }
+
+// droppedSpans tallies spans lost to full slabs, process-wide. Exposed as
+// snails_trace_spans_dropped_total so silent span loss is visible.
+var droppedSpans atomic.Uint64
+
+// SpansDropped reports how many spans this process has dropped because a
+// trace's slab was full.
+func SpansDropped() uint64 { return droppedSpans.Load() }
 
 // Trace is the timing record of one request (or one sweep cell). The
 // addressing fields (Endpoint, DB, Variant, QuestionID) are written by the
 // owning handler before any concurrent span recording starts; spans may be
 // appended from other goroutines (batch workers) via the atomic slab.
 type Trace struct {
-	ID         uint64
+	ID uint64 // per-process sequence number (stable ordering key)
+	// TraceID is the globally-unique wire identity. It is propagated across
+	// processes in the X-Snails-Trace header: the router mints it, shards
+	// adopt it, and /debugz/traces stitches on it.
+	TraceID uint64
+	// Process names the process that recorded this trace's spans ("router",
+	// a shard id, or "server" for a solo daemon).
+	Process    string
 	Endpoint   string
 	DB         string
 	Variant    string
@@ -108,7 +142,16 @@ func (t *Trace) Span(s Stage, start time.Time) {
 	if t == nil || start.IsZero() {
 		return
 	}
-	t.SpanDur(s, start, time.Since(start))
+	t.record(s, start, time.Since(start), "")
+}
+
+// SpanTag records a completed stage with a qualifier tag — the relay
+// attempt's shard and retry index, a backend attempt number.
+func (t *Trace) SpanTag(s Stage, start time.Time, tag string) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.record(s, start, time.Since(start), tag)
 }
 
 // SpanDur records a stage with an explicit duration. It exists for timings
@@ -118,13 +161,19 @@ func (t *Trace) SpanDur(s Stage, start time.Time, d time.Duration) {
 	if t == nil || start.IsZero() {
 		return
 	}
+	t.record(s, start, d, "")
+}
+
+func (t *Trace) record(s Stage, start time.Time, d time.Duration, tag string) {
 	i := int(t.n.Add(1)) - 1
 	if i >= maxSpans {
-		return // slab full: drop rather than allocate
+		droppedSpans.Add(1) // slab full: drop rather than allocate, but count
+		return
 	}
 	sp := &t.spans[i]
 	sp.startNanos = int64(start.Sub(t.Begin))
 	sp.durNanos = int64(d)
+	sp.tag = tag
 	sp.stage.Store(uint32(s) + 1) // publish
 }
 
@@ -158,6 +207,7 @@ func (t *Trace) Spans() []Span {
 			Stage: Stage(st - 1),
 			Start: time.Duration(t.spans[i].startNanos),
 			Dur:   time.Duration(t.spans[i].durNanos),
+			Tag:   t.spans[i].tag,
 		})
 	}
 	return out

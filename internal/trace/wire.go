@@ -1,0 +1,75 @@
+// Wire propagation of trace identity. One request crossing the cluster
+// (client -> router -> shard) stays one trace: the router mints a TraceID,
+// Injects it into the relayed request's X-Snails-Trace header, and the shard
+// Extracts and adopts it, so /debugz/traces on the router can stitch both
+// processes' spans by ID.
+//
+// The wire format is deliberately rigid — exactly 16 lowercase hex digits,
+// nothing else — so Extract is a total function over hostile input: anything
+// malformed (wrong length, uppercase, stray bytes, the zero ID) is treated
+// as absent and the receiver mints a fresh ID instead.
+package trace
+
+import "net/http"
+
+// Header is the trace-propagation header name.
+const Header = "X-Snails-Trace"
+
+const hexDigits = "0123456789abcdef"
+
+// FormatID renders a trace ID in the wire format: 16 lowercase hex digits.
+func FormatID(id uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses the wire format. It accepts exactly 16 lowercase hex digits
+// encoding a non-zero ID and rejects everything else — a zero ID would make
+// unrelated traces stitch together, so it is treated as malformed.
+func ParseID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	if id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// Inject stamps the trace ID onto an outbound request's headers. A zero ID
+// (untraced request) leaves the headers untouched.
+func Inject(h http.Header, id uint64) {
+	if id == 0 {
+		return
+	}
+	h.Set(Header, FormatID(id))
+}
+
+// Extract reads a propagated trace ID from inbound request headers. The
+// second result is false when the header is absent or malformed; the caller
+// then mints a fresh ID.
+func Extract(h http.Header) (uint64, bool) {
+	v := h.Get(Header)
+	if v == "" {
+		return 0, false
+	}
+	return ParseID(v)
+}

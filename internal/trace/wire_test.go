@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatParseIDRoundTrip(t *testing.T) {
+	ids := []uint64{1, 0xdeadbeef, 0x0123456789abcdef, ^uint64(0)}
+	for _, id := range ids {
+		s := FormatID(id)
+		if len(s) != 16 || strings.ToLower(s) != s {
+			t.Fatalf("FormatID(%x) = %q, want 16 lowercase hex digits", id, s)
+		}
+		got, ok := ParseID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseID(FormatID(%x)) = %x, %v", id, got, ok)
+		}
+	}
+}
+
+func TestParseIDRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                  // empty
+		"0000000000000000",  // zero ID reserved as "untraced"
+		"DEADBEEFDEADBEEF",  // uppercase
+		"deadbeef",          // short
+		"deadbeefdeadbeef0", // long
+		"deadbeefdeadbeeg",  // non-hex
+		"deadbeef deadbee",  // embedded space
+		"0xdeadbeefdeadbe",  // prefix
+		"déadbeefdeadbee",   // multibyte rune padding to 16 bytes
+	}
+	for _, s := range bad {
+		if id, ok := ParseID(s); ok {
+			t.Errorf("ParseID(%q) accepted malformed input as %x", s, id)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	Inject(h, 0)
+	if h.Get(Header) != "" {
+		t.Fatal("Inject(0) must not set the header")
+	}
+	Inject(h, 0xabc)
+	id, ok := Extract(h)
+	if !ok || id != 0xabc {
+		t.Fatalf("Extract after Inject(0xabc) = %x, %v", id, ok)
+	}
+	if id, ok := Extract(http.Header{}); ok || id != 0 {
+		t.Fatalf("Extract on empty headers = %x, %v, want 0, false", id, ok)
+	}
+	h.Set(Header, "not-a-trace-id!!")
+	if _, ok := Extract(h); ok {
+		t.Fatal("Extract accepted a malformed header")
+	}
+}
+
+func TestCollectorMintsUniqueNonZeroTraceIDs(t *testing.T) {
+	c := NewCollector(4)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		tr := c.Start("x")
+		if tr.TraceID == 0 {
+			t.Fatal("minted a zero trace ID")
+		}
+		if seen[tr.TraceID] {
+			t.Fatalf("trace ID %x minted twice", tr.TraceID)
+		}
+		seen[tr.TraceID] = true
+	}
+}
+
+func TestStartRemoteAdoptsTraceID(t *testing.T) {
+	c := NewCollector(4)
+	c.SetProcess("shard-0")
+	tr := c.StartRemote("/v1/infer", 0xfeed)
+	if tr.TraceID != 0xfeed {
+		t.Fatalf("StartRemote did not adopt the ID: %x", tr.TraceID)
+	}
+	if tr.Process != "shard-0" {
+		t.Fatalf("process attribution = %q, want shard-0", tr.Process)
+	}
+	if fresh := c.StartRemote("/v1/infer", 0); fresh.TraceID == 0 {
+		t.Fatal("StartRemote(0) must mint a fresh ID")
+	}
+	c.Finish(tr)
+	views := c.Find(0xfeed)
+	if len(views) != 1 || views[0].TraceID != FormatID(0xfeed) || views[0].Proc != "shard-0" {
+		t.Fatalf("Find(0xfeed) = %+v", views)
+	}
+	if c.Find(0xbeef) != nil {
+		t.Fatal("Find on an unknown ID must return nothing")
+	}
+}
+
+func TestSpanTagPublished(t *testing.T) {
+	c := NewCollector(4)
+	tr := c.Start("/v1/infer")
+	tr.SpanTag(StageRelay, tr.Now(), "shard-1#2")
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != StageRelay || spans[0].Tag != "shard-1#2" {
+		t.Fatalf("tagged span = %+v", spans)
+	}
+	c.Finish(tr)
+	v := c.Snapshot(0, false)
+	if len(v) != 1 || len(v[0].Spans) != 1 || v[0].Spans[0].Tag != "shard-1#2" || v[0].Spans[0].Stage != "relay_attempt" {
+		t.Fatalf("tagged span view = %+v", v)
+	}
+}
+
+// Satellite regression: overflowing the slab must be counted, not silent.
+func TestSlabOverflowCountsDrops(t *testing.T) {
+	c := NewCollector(1)
+	tr := c.Start("x")
+	before := SpansDropped()
+	const extra = 8
+	for i := 0; i < maxSpans+extra; i++ {
+		tr.SpanDur(StageExec, tr.Begin, time.Microsecond)
+	}
+	if n := len(tr.Spans()); n != maxSpans {
+		t.Fatalf("slab holds %d spans, want %d", n, maxSpans)
+	}
+	if got := SpansDropped() - before; got != extra {
+		t.Fatalf("SpansDropped grew by %d, want %d", got, extra)
+	}
+}
+
+// FuzzTraceHeader drives hostile bytes through Extract and round-trips
+// Inject/Extract: no input may panic, parse to a zero ID, or parse to an ID
+// that Format doesn't reproduce byte-for-byte (which would let two distinct
+// header strings collide on one trace).
+func FuzzTraceHeader(f *testing.F) {
+	f.Add("deadbeefdeadbeef")
+	f.Add("0000000000000000")
+	f.Add("ffffffffffffffff")
+	f.Add("")
+	f.Add("X-Snails-Trace: 123")
+	f.Add("deadbeefdeadbee\x00")
+	f.Add("DEADBEEFDEADBEEF")
+	f.Fuzz(func(t *testing.T, s string) {
+		h := http.Header{}
+		h.Set(Header, s)
+		id, ok := Extract(h)
+		if !ok {
+			if id != 0 {
+				t.Fatalf("rejected input %q returned non-zero id %x", s, id)
+			}
+			return
+		}
+		if id == 0 {
+			t.Fatalf("Extract(%q) produced the reserved zero ID", s)
+		}
+		// Accepted strings are canonical: formatting the parsed ID must
+		// reproduce the input exactly, so distinct headers cannot collide.
+		if got := FormatID(id); got != s {
+			t.Fatalf("non-canonical accept: %q parsed to %x which formats as %q", s, id, got)
+		}
+		// And the Inject/Extract round trip is stable.
+		h2 := http.Header{}
+		Inject(h2, id)
+		id2, ok2 := Extract(h2)
+		if !ok2 || id2 != id {
+			t.Fatalf("round trip broke: %x -> %x, %v", id, id2, ok2)
+		}
+	})
+}

@@ -40,6 +40,7 @@ go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sqlparse/
 go test -run '^$' -fuzz '^FuzzLoadCSV$' -fuzztime 10s ./internal/etl/
 go test -run '^$' -fuzz '^FuzzPlanExec$' -fuzztime 10s ./internal/sqlexec/
+go test -run '^$' -fuzz '^FuzzTraceHeader$' -fuzztime 10s ./internal/trace/
 
 echo "== decode allocation gate (zero-alloc scoring loops + Infer allocs/op budget)"
 # TestScoringLoopAllocs pins the warm columnar scoring loops at exactly zero
@@ -119,6 +120,26 @@ if ! wait "$LOADGEN_PID"; then
     kill "$ROUTER_PID" 2>/dev/null || true
     exit 1
 fi
+# Stitched-trace assertion: pick any shard-recorded wire trace ID from the
+# router's merged trace stream, fetch that single trace by ?id=, and require
+# spans from at least two distinct processes — the router's root view and a
+# shard's pipeline view — under the one trace ID.
+TID="$(curl -fsS http://127.0.0.1:18941/debugz/traces \
+    | grep -o '"trace_id":"[0-9a-f]\{16\}","proc":"shard-[^"]*"' | head -1 \
+    | sed 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/')"
+if [ -z "$TID" ]; then
+    echo "no shard-side wire trace id in the router's /debugz/traces stream" >&2
+    kill "$ROUTER_PID" 2>/dev/null || true
+    exit 1
+fi
+STITCHED="$(curl -fsS "http://127.0.0.1:18941/debugz/traces?id=$TID")"
+for want in '"proc":"router"' '"proc":"shard-' '"stage":"route"' '"stage":"relay_attempt"'; do
+    if ! printf '%s' "$STITCHED" | grep -q "$want"; then
+        echo "stitched trace $TID missing $want: $STITCHED" >&2
+        kill "$ROUTER_PID" 2>/dev/null || true
+        exit 1
+    fi
+done
 kill -TERM "$ROUTER_PID"
 wait "$ROUTER_PID"
 rm -rf "$CSCRATCH"
