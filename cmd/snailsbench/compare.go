@@ -34,6 +34,19 @@ type compared struct {
 	dir       direction
 	missing   bool   // present in the baseline, absent from the current run
 	note      string // appended to the status column, e.g. why a row is ungated
+	// tolScale widens this row's tolerance by a factor (0 means 1×). Client-
+	// side latency percentiles use it: they fold in loadgen scheduling and
+	// connection reuse noise on top of server behavior, so they stay gated
+	// but at a looser bound than the server-derived rows.
+	tolScale float64
+}
+
+// tolerance applies the row's scale to the run-wide tolerance.
+func (c compared) tolerance(tol float64) float64 {
+	if c.tolScale > 0 {
+		return tol * c.tolScale
+	}
+	return tol
 }
 
 // delta is the signed relative change from baseline to current.
@@ -44,11 +57,13 @@ func (c compared) delta() float64 {
 	return (c.cur - c.base) / c.base
 }
 
-// regressed applies the direction-aware gate at the given tolerance.
+// regressed applies the direction-aware gate at the given tolerance
+// (widened by the row's tolScale, when set).
 func (c compared) regressed(tol float64) bool {
 	if c.missing {
 		return true
 	}
+	tol = c.tolerance(tol)
 	switch c.dir {
 	case higherBetter:
 		return c.delta() < -tol
@@ -226,8 +241,10 @@ func serveRows(base, cur *serveStats) []compared {
 		{name: "errors", base: float64(base.Errors), cur: float64(cur.Errors), dir: exactCount},
 		{name: "requests_per_sec", base: base.RequestsPerSec, cur: cur.RequestsPerSec, dir: higherBetter},
 		{name: "wall_clock_seconds", base: base.WallClockSeconds, cur: cur.WallClockSeconds, dir: lowerBetter},
-		{name: "client_p50_ms", base: base.ClientP50Millis, cur: cur.ClientP50Millis, dir: lowerBetter},
-		{name: "client_p99_ms", base: base.ClientP99Millis, cur: cur.ClientP99Millis, dir: lowerBetter},
+		{name: "client_p50_ms", base: base.ClientP50Millis, cur: cur.ClientP50Millis, dir: lowerBetter,
+			tolScale: 3, note: "client-side, 3x tolerance"},
+		{name: "client_p99_ms", base: base.ClientP99Millis, cur: cur.ClientP99Millis, dir: lowerBetter,
+			tolScale: 3, note: "client-side, 3x tolerance"},
 		{name: "cache_hit_ratio", base: base.Server.CacheHitRatio, cur: cur.Server.CacheHitRatio, dir: higherBetter},
 		{name: "server_p50_ms", base: base.Server.LatencyP50Millis, cur: cur.Server.LatencyP50Millis, dir: infoOnly},
 		{name: "server_p99_ms", base: base.Server.LatencyP99Millis, cur: cur.Server.LatencyP99Millis, dir: infoOnly},

@@ -425,3 +425,33 @@ func TestCompareAgainstDefault(t *testing.T) {
 		t.Errorf("default-against compare = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
 	}
 }
+
+// TestCompareClientLatencyToleranceScale: the client-side percentile rows
+// gate at 3x the run tolerance (they fold in loadgen scheduling and
+// connection-reuse noise) — a 20% client p99 drift passes a 10% run, but a
+// 40% drift still fails, and the widened bound never applies to server rows.
+func TestCompareClientLatencyToleranceScale(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", serveFixture())
+
+	drift := serveFixture()
+	drift.ClientP99Millis = serveFixture().ClientP99Millis * 1.2
+	if code, stdout, _ := compare(t, base, writeArtifact(t, dir, "drift.json", drift), 0.10); code != 0 {
+		t.Errorf("20%% client p99 drift at 10%% run tolerance = %d, want 0 (3x widened)\n%s", code, stdout)
+	}
+
+	bad := serveFixture()
+	bad.ClientP99Millis = serveFixture().ClientP99Millis * 1.4
+	code, stdout, _ := compare(t, base, writeArtifact(t, dir, "bad.json", bad), 0.10)
+	if code != 1 || !strings.Contains(stdout, "client_p99_ms") {
+		t.Errorf("40%% client p99 regression = %d, want 1 naming client_p99_ms\n%s", code, stdout)
+	}
+
+	// The widened bound is per-row: the same 20% delta on a server-derived
+	// gated row (requests_per_sec) still fails at 10%.
+	slow := serveFixture()
+	slow.RequestsPerSec = serveFixture().RequestsPerSec * 0.8
+	if code, stdout, _ := compare(t, base, writeArtifact(t, dir, "slow.json", slow), 0.10); code != 1 {
+		t.Errorf("20%% rps regression at 10%% tolerance = %d, want 1\n%s", code, stdout)
+	}
+}

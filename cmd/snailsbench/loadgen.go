@@ -33,6 +33,13 @@ type serveStats struct {
 	ClientP50Millis  float64 `json:"client_p50_ms"`
 	ClientP99Millis  float64 `json:"client_p99_ms"`
 
+	// ClientTransport records how the loadgen's HTTP client was tuned, so a
+	// BENCH_serve.json regression can be told apart from a client-side
+	// connection-churn artifact (the default transport keeps only two idle
+	// connections per host — at higher concurrency every other request paid
+	// a TCP handshake, and client p99 measured the churn, not the server).
+	ClientTransport *clientTransport `json:"client_transport,omitempty"`
+
 	Server server.MetricsSnapshot `json:"server"`
 
 	// ShardScaling (with -cluster-shards) is the cluster throughput table:
@@ -97,7 +104,7 @@ func routerOverhead(client *http.Client, base string, stderr io.Writer) (float64
 		return 0, 0
 	}
 	type pair struct {
-		routerMs, shardMs    float64
+		routerMs, shardMs   float64
 		hasRouter, hasShard bool
 	}
 	groups := map[string]*pair{}
@@ -226,6 +233,35 @@ func spawnInprocServer(stderr io.Writer) (string, func(), error) {
 	return "http://" + ln.Addr().String(), stop, nil
 }
 
+// clientTransport is the BENCH_serve.json record of the loadgen client's
+// transport tuning.
+type clientTransport struct {
+	MaxIdleConnsPerHost int     `json:"max_idle_conns_per_host"`
+	MaxIdleConns        int     `json:"max_idle_conns"`
+	IdleConnTimeoutSecs float64 `json:"idle_conn_timeout_secs"`
+	TimeoutSecs         float64 `json:"timeout_secs"`
+}
+
+// tunedClient builds the loadgen HTTP client with an idle-connection pool
+// sized to the worker count: every concurrent worker keeps its connection
+// warm between requests instead of fighting over http.DefaultTransport's
+// two-per-host idle slots and re-handshaking on every miss.
+func tunedClient(concurrency int) (*http.Client, *clientTransport) {
+	tp := http.DefaultTransport.(*http.Transport).Clone()
+	tp.MaxIdleConnsPerHost = concurrency
+	if tp.MaxIdleConns < concurrency {
+		tp.MaxIdleConns = concurrency
+	}
+	tp.IdleConnTimeout = 30 * time.Second
+	rec := &clientTransport{
+		MaxIdleConnsPerHost: tp.MaxIdleConnsPerHost,
+		MaxIdleConns:        tp.MaxIdleConns,
+		IdleConnTimeoutSecs: tp.IdleConnTimeout.Seconds(),
+		TimeoutSecs:         30,
+	}
+	return &http.Client{Transport: tp, Timeout: 30 * time.Second}, rec
+}
+
 // hammer drives the request list through the target at the given client
 // concurrency and returns wall-clock time, per-request latencies of the
 // successes, and the error count.
@@ -329,7 +365,7 @@ func runClusterTable(cfg *benchConfig, counts []int, stdout, stderr io.Writer) (
 		}
 		reqs := interleave(workload(cfg.requests * n))
 		concurrency := cfg.clusterConcurrency * n
-		client := &http.Client{Timeout: 30 * time.Second}
+		client, _ := tunedClient(concurrency)
 		wall, _, errCount := hammer(client, c.RouterURL, reqs, concurrency, stderr)
 		overheadMs, samples := routerOverhead(client, c.RouterURL, stderr)
 		c.Stop()
@@ -403,7 +439,7 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 	}
 
 	reqs := workload(cfg.requests)
-	client := &http.Client{Timeout: 30 * time.Second}
+	client, transportRec := tunedClient(cfg.concurrency)
 
 	wall, latencies, errCount := hammer(client, target, reqs, cfg.concurrency, stderr)
 
@@ -414,6 +450,7 @@ func runLoadgen(cfg *benchConfig, stdout, stderr io.Writer) int {
 		Concurrency:      cfg.concurrency,
 		WallClockSeconds: wall.Seconds(),
 		RequestsPerSec:   float64(len(reqs)) / wall.Seconds(),
+		ClientTransport:  transportRec,
 	}
 	sort.Float64s(latencies)
 	if n := len(latencies); n > 0 {

@@ -35,6 +35,7 @@ type config struct {
 	timeout      time.Duration
 	cacheEntries int
 	batchWindow  time.Duration
+	batchFixed   bool
 	maxBatch     int
 	workers      int
 	preload      bool
@@ -64,7 +65,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request deadline (504 on expiry)")
 	fs.IntVar(&cfg.cacheEntries, "cache", 4096, "response cache entries (negative disables caching)")
-	fs.DurationVar(&cfg.batchWindow, "batch-window", 2*time.Millisecond, "micro-batch accumulation window for /v1/infer")
+	fs.DurationVar(&cfg.batchWindow, "batch-window", 2*time.Millisecond, "micro-batch accumulation window ceiling for /v1/infer")
+	fs.BoolVar(&cfg.batchFixed, "batch-fixed-window", false, "always wait the full batch window (disables adaptive immediate flush)")
 	fs.IntVar(&cfg.maxBatch, "batch-max", 16, "flush a micro-batch early at this many requests")
 	fs.IntVar(&cfg.workers, "workers", 0, "inference worker pool size (0 = GOMAXPROCS)")
 	fs.BoolVar(&cfg.preload, "preload", true, "build all databases and train the classifier before listening")
@@ -112,6 +114,7 @@ func (c *config) serverConfig(log *slog.Logger) server.Config {
 		RequestTimeout:    c.timeout,
 		CacheEntries:      c.cacheEntries,
 		BatchWindow:       c.batchWindow,
+		FixedBatchWindow:  c.batchFixed,
 		MaxBatch:          c.maxBatch,
 		Workers:           c.workers,
 		TraceBuffer:       c.traceBuffer,

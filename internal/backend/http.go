@@ -35,6 +35,12 @@ type HTTPOptions struct {
 	// Timeout caps each attempt. The caller's context deadline always
 	// wins when sooner. 0 means the default (30s).
 	Timeout time.Duration
+	// MaxResponseBytes caps how much of a success response body is read
+	// (default 1 MiB). A larger body fails the attempt with
+	// ResponseTooLargeError — terminal, not retried: a server that
+	// over-produces once will over-produce again, and an unbounded ReadAll
+	// would let one misbehaving backend exhaust the process.
+	MaxResponseBytes int64
 	// Client overrides the HTTP client (tests inject failure transports).
 	Client *http.Client
 }
@@ -65,6 +71,9 @@ func NewHTTP(opts HTTPOptions) (*HTTP, error) {
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
+	}
+	if opts.MaxResponseBytes <= 0 {
+		opts.MaxResponseBytes = 1 << 20
 	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{}
@@ -197,10 +206,17 @@ func (h *HTTP) attempt(ctx context.Context, body []byte) (string, error) {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return "", fmt.Errorf("server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
 	}
-	raw, err := io.ReadAll(resp.Body)
+	limit := h.opts.MaxResponseBytes
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		// A disconnect mid-body surfaces here as unexpected EOF.
 		return "", fmt.Errorf("read body: %w", err)
+	}
+	// The size check must precede decoding: a capped read truncates the JSON
+	// mid-document, and looksTruncated would misread that as a retryable
+	// stream death instead of a terminal oversized response.
+	if int64(len(raw)) > limit {
+		return "", &ResponseTooLargeError{Limit: limit}
 	}
 	var cr chatResponse
 	if err := json.Unmarshal(raw, &cr); err != nil {
@@ -213,6 +229,15 @@ func (h *HTTP) attempt(ctx context.Context, body []byte) (string, error) {
 		return "", errors.New("response has no choices")
 	}
 	return cr.Choices[0].Message.Content, nil
+}
+
+// ResponseTooLargeError reports a success response whose body exceeded
+// HTTPOptions.MaxResponseBytes. It is terminal — retryable() does not match
+// it, so the attempt loop fails fast instead of re-downloading the flood.
+type ResponseTooLargeError struct{ Limit int64 }
+
+func (e *ResponseTooLargeError) Error() string {
+	return fmt.Sprintf("response body exceeds %d bytes", e.Limit)
 }
 
 // looksTruncated distinguishes a cut-off JSON document (retryable — the

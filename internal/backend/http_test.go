@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -183,5 +184,40 @@ func TestNewHTTPValidation(t *testing.T) {
 	}
 	if h.Capabilities().Deterministic {
 		t.Fatal("HTTP backend must not claim determinism")
+	}
+}
+
+// TestHTTPResponseTooLarge bounds the success-path body read: a response
+// larger than MaxResponseBytes fails with ResponseTooLargeError on the first
+// attempt — terminal, so the retry loop never re-downloads the flood.
+func TestHTTPResponseTooLarge(t *testing.T) {
+	m, err := NewMockServer(MockOptions{Respond: func(prompt, question string) string {
+		return strings.Repeat("x", 8192)
+	}})
+	if err != nil {
+		t.Fatalf("mock server: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	h, err := NewHTTP(HTTPOptions{
+		Name:             "mock",
+		BaseURL:          m.URL,
+		Model:            "mock-model",
+		MaxRetries:       3,
+		Backoff:          time.Millisecond,
+		MaxResponseBytes: 1024,
+	})
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	_, err = h.Infer(context.Background(), testReq)
+	var tooBig *ResponseTooLargeError
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("Infer err = %v, want ResponseTooLargeError", err)
+	}
+	if tooBig.Limit != 1024 {
+		t.Fatalf("Limit = %d, want 1024", tooBig.Limit)
+	}
+	if got := m.Requests(); got != 1 {
+		t.Fatalf("backend sent %d requests, want 1 (too-large must not retry)", got)
 	}
 }

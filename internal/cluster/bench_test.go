@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchWriter is a minimal ResponseWriter so the benchmark measures the
+// router's relay path, not recorder machinery.
+type benchWriter struct {
+	h http.Header
+}
+
+func (w *benchWriter) Header() http.Header         { return w.h }
+func (w *benchWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *benchWriter) WriteHeader(int)             {}
+
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// BenchmarkRelay measures one proxied request end to end against a stub
+// shard on loopback: pooled body read, ring lookup, forward, and the pooled
+// streaming relay back. Its allocs/op budget is gated in scripts/check.sh,
+// so a regression that re-buffers request or response bodies fails CI.
+func BenchmarkRelay(b *testing.B) {
+	shardResp := []byte(`{"db":"ASIS","model":"gpt-4o","variant":"regular","question_id":1,"sql":"SELECT 1"}` + "\n")
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(shardResp)
+	}))
+	defer stub.Close()
+
+	rt, err := NewRouter(Config{
+		Shards:      []Shard{{Name: "s1", Base: stub.URL}},
+		Universe:    DefaultUniverse(),
+		TraceBuffer: -1, // isolate the relay path from trace-collector allocations
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.AliveShards() < 1 {
+		if time.Now().After(deadline) {
+			b.Fatal("stub shard never came alive")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := []byte(`{"db":"ASIS","model":"gpt-4o","variant":"regular","question_id":1}`)
+	br := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/infer", nil)
+	w := &benchWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(body)
+		req.Body = replayBody{br}
+		for k := range w.h {
+			delete(w.h, k)
+		}
+		rt.ServeHTTP(w, req)
+	}
+}

@@ -347,7 +347,14 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST", r.URL.Path)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	// The body lives in a pooled buffer for the whole relay (routeKey reads
+	// it, each forward attempt replays it); no per-request ReadAll allocation.
+	// The buffer returns to the pool when the handler exits, after the last
+	// replay is done with its bytes.
+	bb := bodyBufPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bodyBufPool.Put(bb)
+	_, err := bb.ReadFrom(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -358,6 +365,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
 		return
 	}
+	body := bb.Bytes()
 
 	// Adopt a propagated wire ID or mint a fresh one; either way the ID is
 	// injected into every shard attempt so both sides stitch. With router
@@ -470,9 +478,28 @@ func (rt *Router) forward(r *http.Request, idx int, body []byte, traceID uint64)
 	return resp, nil
 }
 
-// relay copies a shard response to the client, tagging which shard served
-// it. A body read error mid-copy cannot be retried (the status line is
-// already out), so it just truncates — the client sees a short read.
+// bodyBufPool holds proxied request bodies; they are read once and replayed
+// per forward attempt, so one pooled buffer serves the request end to end.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// copyBufPool holds the 32 KiB scratch buffers relay streams shard bodies
+// through, replacing io.Copy's per-call allocation.
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// writerOnly hides http.ResponseWriter's optional ReadFrom so io.CopyBuffer
+// actually uses the pooled buffer instead of delegating to the writer (which
+// would allocate its own).
+type writerOnly struct{ io.Writer }
+
+// relay streams a shard response to the client, tagging which shard served
+// it. The shard's Content-Length (when known) passes through so the client
+// connection avoids chunked framing, and the body is copied through a pooled
+// buffer — the shard's bytes are never re-buffered in the router. A body
+// read error mid-copy cannot be retried (the status line is already out), so
+// it just truncates — the client sees a short read.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, idx int) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
@@ -481,8 +508,13 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, idx int) {
 		}
 	}
 	w.Header().Set("X-Snails-Shard", rt.shards[idx].name)
+	if w.Header().Get("Content-Length") == "" && resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	bp := copyBufPool.Get().(*[]byte)
+	io.CopyBuffer(writerOnly{w}, resp.Body, *bp)
+	copyBufPool.Put(bp)
 }
 
 // ClusterHealth is the router's /healthz document.

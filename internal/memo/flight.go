@@ -1,0 +1,98 @@
+package memo
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Group coalesces concurrent computations of the same key: the first caller
+// (the leader) runs compute while later callers (followers) park until the
+// leader publishes its result. It is the in-flight companion to Cache — a
+// cache dedups repeats of finished work, a Group dedups repeats of work that
+// has not finished yet. The serving layer stacks one over the other so N
+// identical concurrent cache misses run the pipeline once.
+//
+// Results are handed to followers through the flight itself, never through a
+// cache, so a bounded cache evicting the entry between the leader's Put and a
+// follower's wake-up cannot lose the value.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+// flightCall is one in-flight computation. done is closed after v and ok are
+// written, so waiters reading them after <-done never race the leader.
+type flightCall[V any] struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	v       V
+	ok      bool
+}
+
+// Do returns compute's value for key, running it at most once across
+// concurrent callers.
+//
+// compute returns (value, ok). ok=false means the result must not be shared —
+// the leader failed in a way that is private to its own request (a canceled
+// context, a per-request error). The leader still receives its own (v, false)
+// back; each follower waiting on that flight retries from the top, and the
+// first retrier becomes the new leader. A follower therefore computes at most
+// once — exactly what it would have done without the Group — so a failing
+// leader never amplifies work, it only stops sharing it.
+//
+// The returned shared flag reports whether the value came from another
+// caller's flight. err is non-nil only when ctx ended while waiting on a
+// leader; the leader itself never returns an error from Do (its compute's
+// failure shape rides inside V or ok).
+func (g *Group[V]) Do(ctx context.Context, key string, compute func() (V, bool)) (v V, ok bool, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall[V])
+		}
+		if c, inFlight := g.m[key]; inFlight {
+			c.waiters.Add(1)
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.ok {
+					return c.v, true, true, nil
+				}
+				// The leader declined to share (canceled, errored). Loop:
+				// whoever re-enters first becomes the new leader.
+				continue
+			case <-ctx.Done():
+				var zero V
+				return zero, false, true, ctx.Err()
+			}
+		}
+		c := &flightCall[V]{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.v, c.ok = compute()
+		g.mu.Lock()
+		// Remove before close: a caller arriving after the flight finished
+		// must start fresh, not wait on a completed call.
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		return c.v, c.ok, false, nil
+	}
+}
+
+// Waiters reports how many callers are currently parked on key's flight
+// (0 when no flight is in progress). Tests use it to sequence leaders and
+// followers deterministically; it is also a useful saturation gauge.
+func (g *Group[V]) Waiters(key string) int {
+	g.mu.Lock()
+	c := g.m[key]
+	g.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return int(c.waiters.Load())
+}

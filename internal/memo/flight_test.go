@@ -1,0 +1,250 @@
+package memo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGroupSoloCall(t *testing.T) {
+	var g Group[int]
+	calls := 0
+	v, ok, shared, err := g.Do(context.Background(), "k", func() (int, bool) {
+		calls++
+		return 42, true
+	})
+	if err != nil || !ok || shared || v != 42 || calls != 1 {
+		t.Fatalf("Do = (%d, %v, %v, %v), calls %d; want (42, true, false, nil), 1", v, ok, shared, err, calls)
+	}
+	if g.Waiters("k") != 0 {
+		t.Fatalf("Waiters = %d after the flight finished, want 0", g.Waiters("k"))
+	}
+}
+
+// TestGroupCoalescesConcurrentCallers parks followers behind a blocked
+// leader and asserts the computation ran once, every follower saw the
+// leader's value, and exactly one caller reports shared=false.
+func TestGroupCoalescesConcurrentCallers(t *testing.T) {
+	var g Group[string]
+	const followers = 8
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var calls atomic.Int64
+
+	type res struct {
+		v      string
+		shared bool
+		err    error
+	}
+	out := make(chan res, followers+1)
+	run := func() {
+		v, _, shared, err := g.Do(context.Background(), "k", func() (string, bool) {
+			if calls.Add(1) == 1 {
+				close(entered)
+				<-gate
+			}
+			return "value", true
+		})
+		out <- res{v, shared, err}
+	}
+
+	go run()
+	<-entered
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+	waitFor(t, "followers to park", func() bool { return g.Waiters("k") == followers })
+	close(gate)
+
+	leaders := 0
+	for i := 0; i < followers+1; i++ {
+		r := <-out
+		if r.err != nil || r.v != "value" {
+			t.Fatalf("caller got (%q, %v), want (\"value\", nil)", r.v, r.err)
+		}
+		if !r.shared {
+			leaders++
+		}
+	}
+	if calls.Load() != 1 || leaders != 1 {
+		t.Fatalf("compute ran %d times with %d leaders, want 1 and 1", calls.Load(), leaders)
+	}
+}
+
+// TestGroupFollowerContextCancel frees a follower whose context ends while
+// the leader is still computing; the leader is unaffected.
+func TestGroupFollowerContextCancel(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	leaderDone := make(chan int, 1)
+	go func() {
+		v, _, _, _ := g.Do(context.Background(), "k", func() (int, bool) {
+			close(entered)
+			<-gate
+			return 7, true
+		})
+		leaderDone <- v
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := g.Do(ctx, "k", func() (int, bool) { return 0, true })
+		followerErr <- err
+	}()
+	waitFor(t, "follower to park", func() bool { return g.Waiters("k") == 1 })
+	cancel()
+	if err := <-followerErr; err != context.Canceled {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	if v := <-leaderDone; v != 7 {
+		t.Fatalf("leader value = %d, want 7", v)
+	}
+}
+
+// TestGroupLeaderHandoff is the leader-cancellation contract: a leader whose
+// compute returns ok=false (its request died) wakes its followers, and one
+// of them re-runs the computation as the new leader instead of inheriting
+// the failure.
+func TestGroupLeaderHandoff(t *testing.T) {
+	var g Group[string]
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var calls atomic.Int64
+
+	leaderOut := make(chan bool, 1)
+	go func() {
+		_, ok, _, _ := g.Do(context.Background(), "k", func() (string, bool) {
+			calls.Add(1)
+			close(entered)
+			<-gate
+			return "", false // not shareable: the leader's request was canceled
+		})
+		leaderOut <- ok
+	}()
+	<-entered
+
+	followerOut := make(chan string, 1)
+	go func() {
+		v, ok, _, err := g.Do(context.Background(), "k", func() (string, bool) {
+			calls.Add(1)
+			return "retried", true
+		})
+		if err != nil || !ok {
+			t.Errorf("follower Do = (%v, %v), want success", ok, err)
+		}
+		followerOut <- v
+	}()
+	waitFor(t, "follower to park", func() bool { return g.Waiters("k") == 1 })
+	close(gate)
+
+	if ok := <-leaderOut; ok {
+		t.Fatal("failed leader reported ok=true")
+	}
+	if v := <-followerOut; v != "retried" {
+		t.Fatalf("follower value = %q, want %q (recomputed as the new leader)", v, "retried")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (failed leader + handoff)", calls.Load())
+	}
+}
+
+// TestGroupSurvivesCacheEvictionDuringCoalesce is the eviction-during-
+// coalesce regression test: the serving pattern stores the leader's result
+// in a bounded Cache AND returns it through the flight. Flooding the cache
+// while followers are parked evicts the leader's entry before they wake —
+// the followers must still receive the value (from the flight), never a
+// zero value re-read from the evicted cache slot.
+func TestGroupSurvivesCacheEvictionDuringCoalesce(t *testing.T) {
+	cache := NewBounded[string](shardCount) // one entry per shard: trivially floodable
+	var g Group[string]
+	const followers = 4
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	do := func() (string, error) {
+		v, _, _, err := g.Do(context.Background(), "hot", func() (string, bool) {
+			close(entered)
+			<-gate
+			cache.Put("hot", "computed")
+			return "computed", true
+		})
+		return v, err
+	}
+
+	leaderOut := make(chan string, 1)
+	go func() {
+		v, _ := do()
+		leaderOut <- v
+	}()
+	<-entered
+	followerOut := make(chan string, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			v, err := do()
+			if err != nil {
+				t.Errorf("follower: %v", err)
+			}
+			followerOut <- v
+		}()
+	}
+	waitFor(t, "followers to park", func() bool { return g.Waiters("hot") == followers })
+	close(gate)
+
+	// Evict the hot entry while followers are waking: every shard holds one
+	// entry, so one insert per shard displaces everything resident.
+	for i := 0; i < 4*shardCount; i++ {
+		cache.Put(fmt.Sprintf("flood-%d", i), "x")
+	}
+
+	if v := <-leaderOut; v != "computed" {
+		t.Fatalf("leader value = %q", v)
+	}
+	for i := 0; i < followers; i++ {
+		if v := <-followerOut; v != "computed" {
+			t.Fatalf("follower %d got %q after eviction, want %q from the flight", i, v, "computed")
+		}
+	}
+}
+
+// TestGroupConcurrentKeys hammers many goroutines over a small key space
+// under -race: every caller must observe its key's deterministic value.
+func TestGroupConcurrentKeys(t *testing.T) {
+	var g Group[int]
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < 50; j++ {
+				v, ok, _, err := g.Do(context.Background(), key, func() (int, bool) {
+					return i % 4, true
+				})
+				if err != nil || !ok || v != i%4 {
+					t.Errorf("Do(%s) = (%d, %v, %v)", key, v, ok, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

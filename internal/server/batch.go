@@ -117,17 +117,30 @@ type inferBatch struct {
 	b     *datasets.Built
 	items []*inferItem
 	timer *time.Timer
+	// adaptive marks a batch the adaptive policy flushed immediately (zero
+	// window): the pool was idle and nothing else was pending, so waiting
+	// for companions could only add latency, never sharing.
+	adaptive bool
 }
 
-// batcher accumulates concurrent /v1/infer requests per (db, variant) for up
-// to window (or maxBatch items) and flushes each batch as one pool job that
-// renders the schema prompt once. Batching trades a bounded added latency
-// (≤ window) for shared prompt work — the micro-batching pattern of serving
-// systems, applied to schema-knowledge rendering.
+// batcher accumulates concurrent /v1/infer requests per (db, variant) and
+// flushes each batch as one pool job that renders the schema prompt once.
+// Batching trades a bounded added latency for shared prompt work — the
+// micro-batching pattern of serving systems, applied to schema-knowledge
+// rendering.
+//
+// The flush policy is adaptive (unless fixed): a request arriving while the
+// worker pool has idle capacity and no other request is pending dispatches
+// immediately — waiting can only add latency when there is nobody to share
+// with and nothing ahead in line. Under contention the window scales with
+// observed queue depth, from window/8 up to the configured window, so a
+// deeper backlog waits longer and coalesces more. Every chosen window
+// (including zero) lands in the snails_batch_window_us histogram.
 type batcher struct {
 	s        *Server
 	window   time.Duration
 	maxBatch int
+	fixed    bool // always wait the full window (the pre-adaptive behavior)
 
 	mu      sync.Mutex
 	pending map[inferKey]*inferBatch
@@ -136,8 +149,40 @@ type batcher struct {
 	inflight sync.WaitGroup
 }
 
-func newBatcher(s *Server, window time.Duration, maxBatch int) *batcher {
-	return &batcher{s: s, window: window, maxBatch: maxBatch, pending: map[inferKey]*inferBatch{}}
+func newBatcher(s *Server, window time.Duration, maxBatch int, fixed bool) *batcher {
+	return &batcher{s: s, window: window, maxBatch: maxBatch, fixed: fixed, pending: map[inferKey]*inferBatch{}}
+}
+
+// windowLocked picks the accumulation window for a batch being created now.
+// Called under bt.mu (it reads the pending set).
+func (bt *batcher) windowLocked() time.Duration {
+	if bt.fixed {
+		return bt.window
+	}
+	queued := len(bt.s.pool.jobs)
+	busy := int(bt.s.pool.busy.Load())
+	pending := 0
+	for _, ba := range bt.pending {
+		pending += len(ba.items)
+	}
+	if queued == 0 && pending == 0 && busy < bt.s.pool.workers {
+		return 0
+	}
+	// Contended: scale the window with the depth of work ahead of this
+	// request. A saturated pool counts as one extra unit so depth is never
+	// zero when every worker is busy.
+	depth := queued + pending
+	if busy >= bt.s.pool.workers {
+		depth++
+	}
+	w := bt.window * time.Duration(depth) / time.Duration(bt.maxBatch)
+	if floor := bt.window / 8; w < floor {
+		w = floor
+	}
+	if w > bt.window {
+		w = bt.window
+	}
+	return w
 }
 
 // enqueue queues one request and returns the channel its outcome will be
@@ -157,9 +202,21 @@ func (bt *batcher) enqueue(b *datasets.Built, v schema.Variant, q nlq.Question, 
 	bt.mu.Lock()
 	ba := bt.pending[key]
 	if ba == nil {
+		w := bt.windowLocked()
+		if w == 0 {
+			// Adaptive fast path: idle capacity and an empty line — flush the
+			// singleton straight to the pool without registering it as
+			// pending, so a companion arriving a microsecond later starts its
+			// own batch instead of joining one already running.
+			bt.mu.Unlock()
+			bt.s.metrics.batchWindow.Observe(0)
+			bt.dispatch(&inferBatch{key: key, b: b, items: []*inferItem{item}, adaptive: true})
+			return item.out
+		}
 		ba = &inferBatch{key: key, b: b}
 		bt.pending[key] = ba
-		ba.timer = time.AfterFunc(bt.window, func() { bt.flush(key, ba) })
+		ba.timer = time.AfterFunc(w, func() { bt.flush(key, ba) })
+		bt.s.metrics.batchWindow.Observe(w)
 	}
 	ba.items = append(ba.items, item)
 	full := len(ba.items) >= bt.maxBatch
@@ -218,7 +275,9 @@ func (bt *batcher) pendingItems() int {
 
 // coalesceClass buckets a flushed batch's size for the coalesce counter.
 // Classes are coarse on purpose: the interesting signal is "alone vs shared"
-// and the rough sharing factor, not an exact size distribution.
+// and the rough sharing factor, not an exact size distribution. Batches the
+// adaptive policy flushed immediately report the distinct "adaptive" class —
+// they are singletons by choice (idle pool), not for lack of companions.
 func coalesceClass(n int) string {
 	switch {
 	case n <= 1:
@@ -238,7 +297,7 @@ func coalesceClass(n int) string {
 
 // coalesceClasses lists every class so the counter vec pre-declares them and
 // scrapes render the full label space from the first request on.
-var coalesceClasses = []string{"1", "2", "3", "4-7", "8-15", "16+"}
+var coalesceClasses = []string{"adaptive", "1", "2", "3", "4-7", "8-15", "16+"}
 
 // drain flushes every pending batch immediately and waits for in-flight
 // batches to finish. Called during graceful shutdown after the listener has
@@ -265,7 +324,11 @@ func (bt *batcher) drain() {
 func (bt *batcher) run(ba *inferBatch) {
 	bt.s.metrics.batches.Add(1)
 	bt.s.metrics.batchedReq.Add(uint64(len(ba.items)))
-	bt.s.coalesce.With(coalesceClass(len(ba.items))).Inc()
+	class := coalesceClass(len(ba.items))
+	if ba.adaptive {
+		class = "adaptive"
+	}
+	bt.s.coalesce.With(class).Inc()
 
 	// The queue span closes now for every member: the batch has been picked
 	// up, so each request's wait ends here regardless of its slot in the
@@ -366,6 +429,12 @@ func (s *Server) runInfer(ba *inferBatch, it *inferItem, sharedPrompt string, sh
 // carry only memoized deterministic state, so sharing across requests is
 // race-safe (the parallel sweep engine relies on the same property).
 func (s *Server) backendFor(name string) (backend.Backend, *apiError) {
+	s.backendsMu.RLock()
+	be, ok := s.backends[name]
+	s.backendsMu.RUnlock()
+	if ok {
+		return be, nil
+	}
 	s.backendsMu.Lock()
 	defer s.backendsMu.Unlock()
 	if be, ok := s.backends[name]; ok {
@@ -376,7 +445,7 @@ func (s *Server) backendFor(name string) (backend.Backend, *apiError) {
 		return nil, errorf(http.StatusNotFound, "unknown_model", "unknown model %q (have %s)",
 			name, strings.Join(s.backendNamesLocked(), ", "))
 	}
-	be := backend.WrapModel(llm.New(p))
+	be = backend.WrapModel(llm.New(p))
 	s.backends[name] = be
 	return be, nil
 }

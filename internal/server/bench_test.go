@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchWriter is a minimal ResponseWriter so the benchmarks measure the
+// serving path, not httptest's recorder machinery.
+type benchWriter struct {
+	h http.Header
+}
+
+func (w *benchWriter) Header() http.Header         { return w.h }
+func (w *benchWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *benchWriter) WriteHeader(int)             {}
+
+// resetHeader clears a reused header map without reallocating it.
+func resetHeader(h http.Header) {
+	for k := range h {
+		delete(h, k)
+	}
+}
+
+// replayBody lets one request body reader be rewound across iterations.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// BenchmarkServeHotPath measures the steady-state request path — decode,
+// cache key, lookup, response write — on a warm cache. Its allocs/op budget
+// is gated in scripts/check.sh, so a regression that re-buffers bodies or
+// re-encodes hits fails CI.
+func BenchmarkServeHotPath(b *testing.B) {
+	s := New(Config{RequestTimeout: 30 * time.Second, CanonicalLogEvery: -1})
+	body := []byte(`{"db":"ASIS","model":"gpt-4o","variant":"regular","question_id":1}`)
+	if rec := do(s, http.MethodPost, "/v1/infer", string(body), nil); rec.Code != http.StatusOK {
+		b.Fatalf("warmup: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	br := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/infer", nil)
+	w := &benchWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(body)
+		req.Body = replayBody{br}
+		resetHeader(w.h)
+		s.ServeHTTP(w, req)
+	}
+}

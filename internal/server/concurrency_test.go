@@ -96,9 +96,10 @@ func TestConcurrentInferDeterministic(t *testing.T) {
 // outcome while new requests are rejected.
 func TestGracefulDrainUnderLoad(t *testing.T) {
 	s := New(Config{
-		CacheEntries:   -1,
-		RequestTimeout: 60 * time.Second,
-		BatchWindow:    20 * time.Millisecond, // long window: requests are pending when drain hits
+		CacheEntries:     -1,
+		RequestTimeout:   60 * time.Second,
+		BatchWindow:      20 * time.Millisecond, // long window: requests are pending when drain hits
+		FixedBatchWindow: true,                  // adaptive flushing would dispatch them before the drain
 	})
 	bodies := inferBodies(16)
 	results := make(chan int, len(bodies))

@@ -32,6 +32,7 @@ func MergeSnapshots(snaps []MetricsSnapshot) MetricsSnapshot {
 		out.Inflight += s.Inflight
 		out.CacheHits += s.CacheHits
 		out.CacheMisses += s.CacheMisses
+		out.CacheCoalesced += s.CacheCoalesced
 		out.CacheEntries += s.CacheEntries
 		out.CacheEvictions += s.CacheEvictions
 		out.Batches += s.Batches

@@ -16,6 +16,7 @@ func TestMergeSnapshotsSumsAndRecomputes(t *testing.T) {
 		ErrorsTotal:        2,
 		CacheHits:          60,
 		CacheMisses:        40,
+		CacheCoalesced:     8,
 		CacheEntries:       5,
 		Batches:            10,
 		BatchedRequests:    30,
@@ -31,6 +32,7 @@ func TestMergeSnapshotsSumsAndRecomputes(t *testing.T) {
 		RequestsByPath:   map[string]uint64{"/v1/infer": 280, "/v1/link": 20},
 		CacheHits:        30,
 		CacheMisses:      70,
+		CacheCoalesced:   5,
 		CacheEntries:     7,
 		Batches:          10,
 		BatchedRequests:  50,
@@ -60,6 +62,9 @@ func TestMergeSnapshotsSumsAndRecomputes(t *testing.T) {
 	}
 	if m.CacheEntries != 12 {
 		t.Errorf("cache entries = %d, want 12", m.CacheEntries)
+	}
+	if m.CacheCoalesced != 13 {
+		t.Errorf("cache coalesced = %d, want 13", m.CacheCoalesced)
 	}
 	if math.Abs(m.MeanBatchSize-4.0) > 1e-9 {
 		t.Errorf("mean batch size = %v, want 80/20 = 4", m.MeanBatchSize)

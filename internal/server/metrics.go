@@ -66,6 +66,7 @@ type metrics struct {
 	inflight   atomic.Int64
 	cacheHits  atomic.Uint64
 	cacheMiss  atomic.Uint64
+	coalesced  atomic.Uint64 // misses served by another request's in-flight compute
 	batches    atomic.Uint64 // flushed inference batches
 	batchedReq atomic.Uint64 // inference requests carried by those batches
 
@@ -76,6 +77,10 @@ type metrics struct {
 	// histogram /metrics exposes (the ring serves /metricsz's interpolated
 	// percentiles; the histogram serves scrape-time bucket series).
 	dur obs.Histogram
+	// batchWindow records the accumulation window the adaptive policy chose
+	// each time a micro-batch was created (zero for immediate flushes), so
+	// the window distribution under load is observable.
+	batchWindow obs.Histogram
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -120,14 +125,19 @@ type MetricsSnapshot struct {
 	Inflight           int64             `json:"inflight"`
 	CacheHits          uint64            `json:"cache_hits"`
 	CacheMisses        uint64            `json:"cache_misses"`
-	CacheHitRatio      float64           `json:"cache_hit_ratio"`
-	CacheEntries       int               `json:"cache_entries"`
-	CacheEvictions     uint64            `json:"cache_evictions"`
-	Batches            uint64            `json:"batches"`
-	BatchedRequests    uint64            `json:"batched_requests"`
-	MeanBatchSize      float64           `json:"mean_batch_size"`
-	LatencyP50Millis   float64           `json:"latency_p50_ms"`
-	LatencyP99Millis   float64           `json:"latency_p99_ms"`
+	// CacheCoalesced counts misses that never ran the pipeline because an
+	// identical request was already computing — the singleflight followers.
+	// They are a subset of CacheMisses (the lookup did miss), so the hit
+	// ratio's meaning is unchanged.
+	CacheCoalesced   uint64  `json:"cache_coalesced"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	CacheEntries     int     `json:"cache_entries"`
+	CacheEvictions   uint64  `json:"cache_evictions"`
+	Batches          uint64  `json:"batches"`
+	BatchedRequests  uint64  `json:"batched_requests"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+	LatencyP50Millis float64 `json:"latency_p50_ms"`
+	LatencyP99Millis float64 `json:"latency_p99_ms"`
 
 	// Stages breaks request latency down by pipeline stage (queue, prompt
 	// render, decode, parse, exec, match) from the trace collector's
@@ -159,6 +169,7 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 	errs, timeouts := m.errors.Load(), m.timeouts.Load()
 	inflight := m.inflight.Load()
 	hits, misses := m.cacheHits.Load(), m.cacheMiss.Load()
+	coalesced := m.coalesced.Load()
 	ratio := 0.0
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
@@ -184,6 +195,7 @@ func (m *metrics) snapshot(cacheEntries int, cacheEvictions uint64) MetricsSnaps
 		Inflight:           inflight,
 		CacheHits:          hits,
 		CacheMisses:        misses,
+		CacheCoalesced:     coalesced,
 		CacheHitRatio:      ratio,
 		CacheEntries:       cacheEntries,
 		CacheEvictions:     cacheEvictions,

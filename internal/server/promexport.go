@@ -91,6 +91,9 @@ func (s *Server) registerMetrics() {
 		counterBy("gold", func() uint64 { return uint64(s.goldCache.Len()) }),
 		counterBy("pred", func() uint64 { return uint64(s.predCache.Len()) }),
 	)
+	r.CounterFunc("snails_cache_coalesced_total",
+		"Response-cache misses served from another request's in-flight compute (a subset of response misses).",
+		func() float64 { return float64(m.coalesced.Load()) })
 
 	// --- micro-batcher ---------------------------------------------------
 	r.CounterFunc("snails_batches_total", "Inference batches flushed to the worker pool.",
@@ -104,6 +107,9 @@ func (s *Server) registerMetrics() {
 	}
 	r.GaugeFunc("snails_batch_queue_depth", "Requests waiting in not-yet-flushed batches.",
 		func() float64 { return float64(s.batcher.pendingItems()) })
+	r.HistogramSeriesFamily("snails_batch_window_us",
+		"Accumulation window chosen by the adaptive flush policy per batch created (zero for immediate dispatch; le bounds are seconds).",
+		obs.HistogramSeries{H: &m.batchWindow})
 
 	// --- worker pool -----------------------------------------------------
 	r.GaugeFunc("snails_pool_workers", "Size of the inference worker pool.",

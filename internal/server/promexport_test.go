@@ -89,7 +89,9 @@ func TestMetricsExposition(t *testing.T) {
 		"snails_http_requests_total", "snails_http_errors_total", "snails_http_inflight",
 		"snails_http_request_duration_seconds", "snails_uptime_seconds",
 		"snails_cache_hits_total", "snails_cache_misses_total", "snails_cache_entries",
+		"snails_cache_coalesced_total",
 		"snails_batches_total", "snails_batch_coalesce_total", "snails_batch_queue_depth",
+		"snails_batch_window_us",
 		"snails_pool_workers", "snails_pool_busy_workers", "snails_pool_rejections_total",
 		"snails_infer_verdicts_total", "snails_stage_duration_seconds",
 		"snails_sqlexec_queries_total", "snails_sweep_cells_total",

@@ -23,11 +23,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -59,9 +61,17 @@ type Config struct {
 	// CacheEntries bounds the response cache (default 4096 entries, evicted
 	// clock-hand); negative disables response caching.
 	CacheEntries int
-	// BatchWindow is how long a lone /v1/infer request waits for companions
-	// before its batch flushes (default 2ms).
+	// BatchWindow is the longest a lone /v1/infer request waits for
+	// companions before its batch flushes (default 2ms). The adaptive flush
+	// policy treats this as a ceiling: with idle workers and nothing pending
+	// a request dispatches immediately, and under contention the window
+	// scales with queue depth up to this bound.
 	BatchWindow time.Duration
+	// FixedBatchWindow disables the adaptive flush policy: every batch waits
+	// the full BatchWindow (or fills to MaxBatch), the pre-adaptive
+	// behavior. Tests that need guaranteed coalescing set it; production
+	// servers should not.
+	FixedBatchWindow bool
 	// MaxBatch flushes a batch early once it holds this many requests
 	// (default 16).
 	MaxBatch int
@@ -146,7 +156,12 @@ type Server struct {
 	coalesce *obs.CounterVec // flushed batch sizes by coarse class
 	verdicts *obs.CounterVec // /v1/infer evaluation verdicts
 
-	cache     *memo.Cache[cachedResponse] // nil when caching is disabled
+	cache *memo.Cache[cachedResponse] // nil when caching is disabled
+	// flight coalesces concurrent identical cache misses: the leader runs
+	// the pipeline, followers receive its bytes through the flight (nil when
+	// caching is disabled — the flight shares exactly what the cache would
+	// have served a moment later, so the two are enabled together).
+	flight    *memo.Group[cachedResponse]
 	goldCache *memo.Cache[*sqldb.Result]
 	predCache *memo.Cache[*sqldb.Result]
 
@@ -158,8 +173,10 @@ type Server struct {
 	batcher *batcher
 
 	// backendsMu guards the decode-backend registry: configured backends
-	// at construction, synthetic profiles lazily on first request.
-	backendsMu sync.Mutex
+	// at construction, synthetic profiles lazily on first request. Reads
+	// vastly outnumber writes (every /v1/infer resolves a backend), so the
+	// steady-state lookup takes only the read lock.
+	backendsMu sync.RWMutex
 	backends   map[string]backend.Backend
 
 	// canonSeq numbers completed requests for canonical-log sampling.
@@ -193,6 +210,7 @@ func New(cfg Config) *Server {
 	s.logger = obs.ContextLogger(s.logger)
 	if cfg.CacheEntries > 0 {
 		s.cache = memo.NewBounded[cachedResponse](cfg.CacheEntries)
+		s.flight = &memo.Group[cachedResponse]{}
 	}
 	if cfg.TraceBuffer > 0 {
 		s.traces = trace.NewCollector(cfg.TraceBuffer)
@@ -205,7 +223,7 @@ func New(cfg Config) *Server {
 	}
 	s.goldCache, s.predCache = newExecCaches()
 	s.pool = newPool(cfg.Workers, 4*cfg.Workers+64)
-	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch)
+	s.batcher = newBatcher(s, cfg.BatchWindow, cfg.MaxBatch, cfg.FixedBatchWindow)
 	s.registerMetrics()
 
 	s.mux.HandleFunc("/v1/infer", s.post("/v1/infer", s.handleInfer))
@@ -226,11 +244,19 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Preload builds every benchmark database and trains the classifier so the
-// first request pays no cold-start cost.
+// Preload builds every benchmark database, trains the classifier, and
+// constructs every synthetic decode backend so the first request pays no
+// cold-start cost (model construction is the single largest lazy build —
+// ~100 ms for the richest profile — and would otherwise serialize the
+// first burst of traffic behind the registry lock).
 func (s *Server) Preload() {
-	datasets.All()
+	for _, b := range datasets.All() {
+		experiments.Questions(b.Name)
+	}
 	s.trainedClassifier()
+	for _, name := range experiments.ModelNames() {
+		s.backendFor(name)
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -413,53 +439,93 @@ func (s *Server) post(endpoint string, h handlerFunc) http.HandlerFunc {
 			return
 		}
 
-		// Trace the computed path only: cache hits replay bytes and would
-		// produce empty traces. A propagated X-Snails-Trace header (the
-		// cluster router relaying this request) is adopted so this process's
-		// spans stitch under the router's trace; otherwise a fresh wire ID is
-		// minted. Either way the ID is echoed on the response and stamped
-		// into the log attributes, and the trace rides the context so
-		// pipeline layers record their stages onto it.
-		if remoteID, ok := trace.Extract(r.Header); ok {
-			tr = s.traces.StartRemote(endpoint, remoteID)
-		} else {
-			tr = s.traces.Start(endpoint)
-		}
-		if tr != nil {
-			ctx = trace.NewContext(ctx, tr)
-			tid := trace.FormatID(tr.TraceID)
-			w.Header().Set(trace.Header, tid)
-			ctx = obs.ContextAttrs(ctx,
-				slog.Uint64("request_id", tr.ID),
-				slog.String("trace_id", tid))
-			logCtx = ctx
-		}
-		doc, apiErr := h(ctx, &req)
-		s.traces.Finish(tr)
-		if ir, ok := doc.(InferResponse); ok {
-			model = ir.Model
-			switch {
-			case !ir.Valid:
-				matchVerdict = "invalid"
-			case ir.ExecCorrect:
-				matchVerdict = "correct"
-			default:
-				matchVerdict = "incorrect"
+		// compute runs the full pipeline for this request: trace, handler,
+		// encode, cache fill. It is the singleflight leader's unit of work;
+		// ok=false (handler or encode error) tells parked followers the result
+		// is not shareable — one of them re-runs it as the new leader, so a
+		// canceled or failed leader never poisons the whole flight. Error
+		// details land in leaderErr, which only the leader itself reads.
+		//
+		// Tracing covers the computed path only: cache hits and coalesced
+		// followers replay bytes and would produce empty traces. A propagated
+		// X-Snails-Trace header (the cluster router relaying this request) is
+		// adopted so this process's spans stitch under the router's trace;
+		// otherwise a fresh wire ID is minted. Either way the ID is echoed on
+		// the response and stamped into the log attributes, and the trace
+		// rides the context so pipeline layers record their stages onto it.
+		var leaderErr *apiError
+		compute := func() (cachedResponse, bool) {
+			if remoteID, ok := trace.Extract(r.Header); ok {
+				tr = s.traces.StartRemote(endpoint, remoteID)
+			} else {
+				tr = s.traces.Start(endpoint)
 			}
+			cctx := ctx
+			if tr != nil {
+				cctx = trace.NewContext(cctx, tr)
+				tid := trace.FormatID(tr.TraceID)
+				w.Header().Set(trace.Header, tid)
+				cctx = obs.ContextAttrs(cctx,
+					slog.Uint64("request_id", tr.ID),
+					slog.String("trace_id", tid))
+				logCtx = cctx
+			}
+			doc, apiErr := h(cctx, &req)
+			s.traces.Finish(tr)
+			if ir, ok := doc.(InferResponse); ok {
+				model = ir.Model
+				switch {
+				case !ir.Valid:
+					matchVerdict = "invalid"
+				case ir.ExecCorrect:
+					matchVerdict = "correct"
+				default:
+					matchVerdict = "incorrect"
+				}
+			}
+			if apiErr != nil {
+				leaderErr = apiErr
+				return cachedResponse{}, false
+			}
+			body, err := encodeBody(doc)
+			if err != nil {
+				leaderErr = errorf(http.StatusInternalServerError, "encode_failed", "encoding response: %v", err)
+				return cachedResponse{}, false
+			}
+			res := cachedResponse{status: http.StatusOK, body: body}
+			if s.cache != nil {
+				s.cache.Put(key, res)
+			}
+			return res, true
 		}
-		if apiErr != nil {
-			s.writeError(w, apiErr)
+
+		if s.flight == nil {
+			res, ok := compute()
+			if !ok {
+				s.writeError(w, leaderErr)
+				return
+			}
+			s.writeJSON(w, res.status, res.body)
 			return
 		}
-		body, err := json.Marshal(doc)
+		res, ok, shared, err := s.flight.Do(ctx, key, compute)
 		if err != nil {
-			s.writeError(w, errorf(http.StatusInternalServerError, "encode_failed", "encoding response: %v", err))
+			// This request's own context ended while parked behind a leader.
+			s.writeError(w, ctxError(err))
 			return
 		}
-		if s.cache != nil {
-			s.cache.Put(key, cachedResponse{status: http.StatusOK, body: body})
+		if !ok {
+			// Only a leader sees ok=false (followers hand off and re-lead), so
+			// leaderErr is this goroutine's own handler error.
+			s.writeError(w, leaderErr)
+			return
 		}
-		s.writeJSON(w, http.StatusOK, body)
+		if shared {
+			s.metrics.coalesced.Add(1)
+			cacheVerdict = "coalesced"
+			w.Header().Set("X-Snails-Cache", "coalesced")
+		}
+		s.writeJSON(w, res.status, res.body)
 	}
 }
 
@@ -503,10 +569,30 @@ func ctxError(err error) *apiError {
 	return &apiError{Status: 499, Code: "canceled", Message: "client canceled the request"}
 }
 
+// encPool recycles JSON encode buffers across requests so the hot path's
+// only per-response allocation is the owned copy handed to the cache and
+// the singleflight (whose lifetime outlives the pooled buffer).
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeBody marshals doc through a pooled buffer and returns an owned
+// slice that already carries the trailing newline the API emits —
+// json.Encoder's output is exactly json.Marshal's plus '\n', so cached,
+// coalesced, and direct responses stay byte-identical to the historical
+// append(body, '\n') framing without re-copying the body per write.
+func encodeBody(doc any) ([]byte, error) {
+	buf := encPool.Get().(*bytes.Buffer)
+	defer encPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(doc); err != nil {
+		return nil, err
+	}
+	return bytes.Clone(buf.Bytes()), nil
+}
+
 // writeDoc marshals and writes a response document (used by the GET
 // observability endpoints, which bypass the POST wrapper).
 func (s *Server) writeDoc(w http.ResponseWriter, status int, doc any) {
-	body, err := json.Marshal(doc)
+	body, err := encodeBody(doc)
 	if err != nil {
 		s.writeError(w, errorf(http.StatusInternalServerError, "encode_failed", "encoding response: %v", err))
 		return
@@ -517,7 +603,15 @@ func (s *Server) writeDoc(w http.ResponseWriter, status int, doc any) {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		// Already newline-framed (the pooled encode path): write as-is
+		// instead of the old append(body, '\n'), which copied the whole
+		// body on every response — cache hits included.
+		w.Write(body)
+		return
+	}
+	w.Write(body)
+	io.WriteString(w, "\n")
 }
 
 func (s *Server) writeError(w http.ResponseWriter, e *apiError) {

@@ -35,10 +35,11 @@ func tracesOf(t *testing.T, s *Server, query string) TracesResponse {
 func TestTraceSpansSurviveBatchCoalescing(t *testing.T) {
 	const n = 12
 	s := New(Config{
-		CacheEntries:   -1,
-		RequestTimeout: 60 * time.Second,
-		BatchWindow:    25 * time.Millisecond,
-		MaxBatch:       n,
+		CacheEntries:     -1,
+		RequestTimeout:   60 * time.Second,
+		BatchWindow:      25 * time.Millisecond,
+		FixedBatchWindow: true, // the test asserts coalescing, so no adaptive immediate flush
+		MaxBatch:         n,
 	})
 
 	// All requests share (db, variant) so they coalesce into few batches.

@@ -50,6 +50,16 @@ go test -run 'TestScoringLoopAllocs' -count=1 ./internal/llm/ > /dev/null
 ALLOCS="$(go test -run '^$' -bench 'BenchmarkInferDecode/fast' -benchtime 2000x -benchmem ./internal/llm/ | awk '$NF == "allocs/op" {print $(NF-1)}')"
 awk -v a="$ALLOCS" 'BEGIN { if (a == "" || a+0 > 16) { print "decode Infer allocs/op budget exceeded: \"" a "\" > 16"; exit 1 } }'
 
+echo "== serving allocation gates (hot-path + relay allocs/op budgets)"
+# BenchmarkServeHotPath bounds the warm-cache request path (decode, cache
+# key, lookup, pooled response write) — ~30 allocs/op when the gate was set.
+# BenchmarkRelay bounds the router's proxied path (pooled body read, ring
+# lookup, forward, pooled streaming relay) — ~108 allocs/op at gate time.
+SERVE_ALLOCS="$(go test -run '^$' -bench 'BenchmarkServeHotPath' -benchtime 2000x -benchmem ./internal/server/ | awk '$NF == "allocs/op" {print $(NF-1)}')"
+awk -v a="$SERVE_ALLOCS" 'BEGIN { if (a == "" || a+0 > 40) { print "serve hot-path allocs/op budget exceeded: \"" a "\" > 40"; exit 1 } }'
+RELAY_ALLOCS="$(go test -run '^$' -bench 'BenchmarkRelay' -benchtime 2000x -benchmem ./internal/cluster/ | awk '$NF == "allocs/op" {print $(NF-1)}')"
+awk -v a="$RELAY_ALLOCS" 'BEGIN { if (a == "" || a+0 > 130) { print "cluster relay allocs/op budget exceeded: \"" a "\" > 130"; exit 1 } }'
+
 echo "== tracing smoke (snailsd -pprof: /debug/pprof/ + /debugz/traces, clean shutdown)"
 SNAILSD_BIN="$(mktemp -d)/snailsd"
 go build -o "$SNAILSD_BIN" ./cmd/snailsd
